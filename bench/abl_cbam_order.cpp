@@ -1,0 +1,26 @@
+// Ablation: sequential vs parallel arrangement of CBAM channel and
+// spatial attention. The paper: "the sequential alignment of the two
+// modules gives better results than parallel alignment."
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bench;
+  print_header("Ablation — CBAM sequential vs parallel", "Section III-C a)");
+
+  sd::SardConfig config;
+  config.pairs_per_category = std::max(20, bench_pairs() / 2);  // ablation scale
+  auto cases = sd::generate_sard_like(config);
+  auto corpus = build_encoded_corpus(cases, Representation::PathSensitive);
+  auto refs = split_corpus(corpus);
+
+  su::Table table({"CBAM arrangement", "FPR(%)", "FNR(%)", "A(%)", "P(%)", "F1(%)"});
+  for (bool sequential : {true, false}) {
+    auto model_config = base_model_config(corpus.vocab.size());
+    model_config.cbam_sequential = sequential;
+    sm::SeVulDetNet net(model_config);
+    auto c = train_and_eval(net, corpus, refs, 0.002f);
+    table.add_row(metric_row(sequential ? "sequential (paper)" : "parallel", c));
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,204 @@
+// Shared plumbing for the table/figure benchmarks: corpus construction
+// in the three gadget representations the paper compares (PS-CG, CG,
+// data-dependence-only CG), train/evaluate helpers, and consistent table
+// printing. Every bench is deterministic for a fixed scale.
+//
+// Scale: benches default to a laptop-scale corpus so the full suite runs
+// in tens of minutes; set SEVULDET_BENCH_PAIRS to trade time for tighter
+// numbers (the paper trains on 30,000 gadgets per category on GPUs; see
+// EXPERIMENTS.md for the scale mapping).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "sevuldet/core/pipeline.hpp"
+#include "sevuldet/core/trainer.hpp"
+#include "sevuldet/dataset/corpus.hpp"
+#include "sevuldet/dataset/kfold.hpp"
+#include "sevuldet/dataset/realworld.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+#include "sevuldet/models/birnn_net.hpp"
+#include "sevuldet/models/sevuldet_net.hpp"
+#include "sevuldet/nn/word2vec.hpp"
+#include "sevuldet/util/strings.hpp"
+#include "sevuldet/util/table.hpp"
+
+namespace bench {
+
+namespace sc = sevuldet::core;
+namespace sd = sevuldet::dataset;
+namespace sm = sevuldet::models;
+namespace ss = sevuldet::slicer;
+namespace su = sevuldet::util;
+
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+/// Default corpus scale (pairs per category). 60 pairs -> roughly 9-10k
+/// gadget samples across the four categories.
+inline int bench_pairs() { return env_int("SEVULDET_BENCH_PAIRS", 60); }
+inline int bench_epochs() { return env_int("SEVULDET_BENCH_EPOCHS", 6); }
+/// Cap on training-set size per model (keeps RNN baselines tractable).
+inline int bench_train_cap() { return env_int("SEVULDET_BENCH_TRAIN_CAP", 2500); }
+
+/// Training set for the real-world experiments (Tables VI, VII): the
+/// SARD-like corpus plus a small NVD-like slice of device-flavored
+/// vulnerable/patched pairs, mirroring the paper's merged SARD + NVD
+/// training data ("these cases contain complex semantics in real
+/// software, facilitating transfer learning between domains"). The slice
+/// is generated with a DIFFERENT seed than the Xen-like evaluation
+/// corpus, so evaluation programs are never seen in training.
+inline std::vector<sd::TestCase> mixed_training_cases() {
+  sd::SardConfig sard;
+  sard.pairs_per_category = bench_pairs();
+  auto cases = sd::generate_sard_like(sard);
+  sd::RealWorldConfig nvd;
+  nvd.variant_pairs = env_int("SEVULDET_BENCH_NVD_PAIRS", 1);
+  nvd.clean_functions = 24;  // teach device texture as mostly-clean
+  nvd.seed = 999;  // evaluation corpus uses the default seed 77
+  auto slice = sd::generate_realworld(nvd);
+  for (auto& tc : slice.cases) cases.push_back(std::move(tc));
+  return cases;
+}
+
+enum class Representation { PathSensitive, ControlAndData, DataOnly };
+
+inline const char* representation_name(Representation r) {
+  switch (r) {
+    case Representation::PathSensitive: return "PS-CG";
+    case Representation::ControlAndData: return "CG";
+    case Representation::DataOnly: return "CG(data-only)";
+  }
+  return "?";
+}
+
+inline sd::CorpusOptions corpus_options(Representation r) {
+  sd::CorpusOptions options;
+  switch (r) {
+    case Representation::PathSensitive:
+      options.gadget.path_sensitive = true;
+      options.gadget.slice.use_control_dep = true;
+      break;
+    case Representation::ControlAndData:
+      options.gadget.path_sensitive = false;
+      options.gadget.slice.use_control_dep = true;
+      break;
+    case Representation::DataOnly:
+      options.gadget.path_sensitive = false;
+      options.gadget.slice.use_control_dep = false;
+      break;
+  }
+  return options;
+}
+
+/// Build + encode a corpus for one representation over the given cases.
+inline sd::Corpus build_encoded_corpus(const std::vector<sd::TestCase>& cases,
+                                       Representation representation) {
+  sd::Corpus corpus = sd::build_corpus(cases, corpus_options(representation));
+  sd::encode_corpus(corpus);
+  return corpus;
+}
+
+struct SplitRefs {
+  sc::SampleRefs train;
+  sc::SampleRefs test;
+};
+
+/// Deterministic 5-fold fold-0 split, with the training side capped (and
+/// the cap applied AFTER shuffling so class balance is preserved).
+inline SplitRefs split_corpus(const sd::Corpus& corpus, std::uint64_t seed = 5) {
+  auto folds = sd::k_fold_splits(corpus.samples.size(), 5, seed);
+  auto train_idx = folds[0].train;
+  const std::size_t cap = static_cast<std::size_t>(bench_train_cap());
+  if (train_idx.size() > cap) train_idx.resize(cap);
+  SplitRefs refs;
+  refs.train = sc::sample_refs(corpus, train_idx);
+  refs.test = sc::sample_refs(corpus, folds[0].test);
+  return refs;
+}
+
+/// Per-category split: restrict the UNCAPPED fold split to one category,
+/// then cap the training side — otherwise small categories starve when
+/// the cap is applied to the mixed pool first.
+inline SplitRefs split_corpus_category(const sd::Corpus& corpus,
+                                       ss::TokenCategory category,
+                                       std::uint64_t seed = 5) {
+  auto folds = sd::k_fold_splits(corpus.samples.size(), 5, seed);
+  SplitRefs refs;
+  refs.train = sc::filter_category(sc::sample_refs(corpus, folds[0].train), category);
+  refs.test = sc::filter_category(sc::sample_refs(corpus, folds[0].test), category);
+  const std::size_t cap = static_cast<std::size_t>(bench_train_cap());
+  if (refs.train.size() > cap) refs.train.resize(cap);
+  return refs;
+}
+
+/// Pre-train word2vec on the train split and copy vectors into the model.
+inline void pretrain_embeddings(sm::Detector& detector, const sd::Corpus& corpus,
+                                const sc::SampleRefs& train) {
+  sevuldet::nn::Word2VecConfig config;
+  config.dim = detector.config().embed_dim;
+  config.epochs = 2;
+  sevuldet::nn::Word2Vec w2v(corpus.vocab, config);
+  std::vector<std::vector<int>> sentences;
+  sentences.reserve(train.size());
+  for (const auto* s : train) sentences.push_back(s->ids);
+  w2v.train(sentences);
+  sm::load_pretrained_embeddings(detector.params(), "embedding", w2v.embeddings());
+}
+
+/// Train a detector on a split and return its test confusion.
+inline sd::Confusion train_and_eval(sm::Detector& detector, const sd::Corpus& corpus,
+                                    const SplitRefs& refs, float lr,
+                                    bool verbose = true) {
+  pretrain_embeddings(detector, corpus, refs.train);
+  sc::TrainConfig config;
+  config.epochs = bench_epochs();
+  config.lr = lr;
+  config.verbose = verbose;
+  sc::train_detector(detector, refs.train, config);
+  return sc::evaluate_detector(detector, refs.test);
+}
+
+/// Model factory helpers with bench-scale hyper-parameters. The paper's
+/// Table IV values are kept where scale-free (dropout, relative dims);
+/// absolute sizes are reduced to CPU scale (documented in EXPERIMENTS.md).
+inline sm::ModelConfig base_model_config(int vocab_size) {
+  sm::ModelConfig config;
+  config.vocab_size = vocab_size;
+  config.embed_dim = 24;
+  config.conv_channels = 16;
+  config.attn_dim = 24;
+  config.dense1 = 64;
+  config.dense2 = 32;
+  config.rnn_hidden = 24;
+  config.fixed_length = env_int("SEVULDET_BENCH_FIXED_LEN", 60);
+  return config;
+}
+
+inline std::unique_ptr<sm::SeVulDetNet> make_sevuldet(int vocab_size) {
+  return std::make_unique<sm::SeVulDetNet>(base_model_config(vocab_size));
+}
+
+inline std::vector<std::string> metric_row(const std::string& name,
+                                           const sd::Confusion& c) {
+  return {name,
+          su::fmt(c.fpr() * 100, 1),
+          su::fmt(c.fnr() * 100, 1),
+          su::fmt(c.accuracy() * 100, 1),
+          su::fmt(c.precision() * 100, 1),
+          su::fmt(c.f1() * 100, 1)};
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n(reproduces %s; shapes comparable, absolute values are\n"
+              "CPU-scale — see EXPERIMENTS.md)\n", title, paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench

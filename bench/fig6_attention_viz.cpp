@@ -1,0 +1,85 @@
+// Fig. 6: the path-sensitive code gadget for the CVE-2016-9776-like
+// infinite-loop bug, and the ten tokens the trained token-attention
+// layer weighs highest (percentages normalized to the maximum weight) —
+// the paper's interpretability analysis (RQ4).
+#include "bench_common.hpp"
+
+#include <map>
+
+#include "sevuldet/dataset/realworld.hpp"
+#include "sevuldet/normalize/normalize.hpp"
+
+int main() {
+  using namespace bench;
+  print_header("Fig. 6 — attention visualization on the 9776-like gadget",
+               "Fig. 6");
+
+  // Train on SARD-like + NVD-like, as in Tables VI/VII (the paper's
+  // Fig. 6 model is the pre-trained detector that found the bug).
+  auto train_cases = mixed_training_cases();
+
+  auto corpus = build_encoded_corpus(train_cases, Representation::PathSensitive);
+  auto refs = split_corpus(corpus);
+  auto model = make_sevuldet(corpus.vocab.size());
+  std::printf("training SEVulDet...\n");
+  train_and_eval(*model, corpus, refs, 0.002f);
+
+  auto realworld = sd::generate_realworld({});
+  const auto& fec = realworld.planted[0];  // the 9776-like bug
+
+  // The gadget whose slice covers the flagged loop lines.
+  auto program = sevuldet::graph::build_program_graph(fec.testcase.source);
+  sevuldet::slicer::CodeGadget gadget;
+  for (const auto& token : sevuldet::slicer::find_special_tokens(program)) {
+    auto candidate = sevuldet::slicer::generate_gadget(program, token);
+    bool covers = false;
+    for (const auto& line : candidate.lines) {
+      if (fec.testcase.vulnerable_lines.contains(line.line)) covers = true;
+    }
+    if (covers && candidate.lines.size() > gadget.lines.size()) {
+      gadget = std::move(candidate);
+    }
+  }
+
+  std::printf("\npath-sensitive gadget for %s (%s), %zu lines "
+              "('+' = Algorithm 1 boundary):\n",
+              fec.cve.c_str(), fec.file.c_str(), gadget.lines.size());
+  for (const auto& line : gadget.lines) {
+    std::printf("  %3d %s %s\n", line.line, line.is_boundary ? "+" : " ",
+                line.text.c_str());
+  }
+
+  auto norm = sevuldet::normalize::normalize_gadget(gadget);
+  auto ids = corpus.vocab.encode(norm.tokens);
+  const float probability = model->predict(ids);
+  std::printf("\ngadget tokens: %zu (no truncation — flexible length)\n",
+              ids.size());
+  std::printf("SEVulDet probability: %.3f (threshold %.1f)\n", probability,
+              model->config().threshold);
+
+  // Top-10 attention tokens by distinct spelling (max weight per
+  // spelling), normalized to the maximum — the Fig. 6 right panel.
+  const auto& weights = model->last_token_weights();
+  std::map<std::string, float> by_token;
+  for (std::size_t i = 0; i < weights.size() && i < norm.tokens.size(); ++i) {
+    float& w = by_token[norm.tokens[i]];
+    w = std::max(w, weights[i]);
+  }
+  std::vector<std::pair<std::string, float>> ranked(by_token.begin(),
+                                                    by_token.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  const float max_w = ranked.empty() ? 1.0f : ranked[0].second;
+
+  std::printf("\ntop-10 attention tokens (distinct spellings):\n");
+  for (std::size_t rank = 0; rank < 10 && rank < ranked.size(); ++rank) {
+    const float pct = 100.0f * ranked[rank].second / max_w;
+    std::string bar(static_cast<std::size_t>(pct / 4), '#');
+    std::printf("  %2zu. %-12s %5.1f%% %s\n", rank + 1,
+                ranked[rank].first.c_str(), pct, bar.c_str());
+  }
+  std::printf("\npaper Fig. 6: the most-weighted tokens cluster on the loop\n"
+              "header and the size-update lines (the vulnerability logic), with\n"
+              "a block bracket in the top ten (path semantics noticed).\n");
+  return 0;
+}

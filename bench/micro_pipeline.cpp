@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark) for the preprocessing pipeline and
+// network stages: lexing, parsing, PDG construction, path-sensitive
+// slicing, normalization, and the SPP-CNN forward pass across sequence
+// lengths. These measure library throughput, not paper tables.
+#include <benchmark/benchmark.h>
+
+#include "sevuldet/dataset/sard_generator.hpp"
+#include "sevuldet/frontend/lexer.hpp"
+#include "sevuldet/frontend/parser.hpp"
+#include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/models/sevuldet_net.hpp"
+#include "sevuldet/normalize/normalize.hpp"
+#include "sevuldet/slicer/gadget.hpp"
+
+namespace {
+
+using namespace sevuldet;
+
+const dataset::TestCase& sample_case() {
+  static dataset::TestCase tc = [] {
+    dataset::TemplateSpec spec;
+    spec.category = slicer::TokenCategory::FunctionCall;
+    spec.vulnerable = true;
+    spec.long_variant = true;
+    spec.filler = 25;
+    spec.seed = 9;
+    return dataset::generate_case(spec);
+  }();
+  return tc;
+}
+
+void BM_Lex(benchmark::State& state) {
+  const auto& tc = sample_case();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frontend::lex_tokens(tc.source));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tc.source.size()));
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State& state) {
+  const auto& tc = sample_case();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frontend::parse(tc.source));
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_BuildProgramGraph(benchmark::State& state) {
+  const auto& tc = sample_case();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_program_graph(tc.source));
+  }
+}
+BENCHMARK(BM_BuildProgramGraph);
+
+void BM_PathSensitiveGadgets(benchmark::State& state) {
+  const auto& tc = sample_case();
+  auto program = graph::build_program_graph(tc.source);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(slicer::generate_gadgets(program));
+  }
+}
+BENCHMARK(BM_PathSensitiveGadgets);
+
+void BM_Normalize(benchmark::State& state) {
+  const auto& tc = sample_case();
+  auto program = graph::build_program_graph(tc.source);
+  auto gadgets = slicer::generate_gadgets(program);
+  for (auto _ : state) {
+    for (const auto& g : gadgets) {
+      benchmark::DoNotOptimize(normalize::normalize_gadget(g));
+    }
+  }
+}
+BENCHMARK(BM_Normalize);
+
+void BM_SeVulDetForward(benchmark::State& state) {
+  models::ModelConfig config;
+  config.vocab_size = 200;
+  config.embed_dim = 24;
+  config.conv_channels = 16;
+  config.attn_dim = 24;
+  config.dense1 = 64;
+  config.dense2 = 32;
+  models::SeVulDetNet net(config);
+  std::vector<int> ids(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = 2 + static_cast<int>(i % 190);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.predict(ids));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SeVulDetForward)->Arg(30)->Arg(100)->Arg(300)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

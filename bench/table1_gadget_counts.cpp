@@ -1,0 +1,42 @@
+// Table I: counts of the four path-sensitive code-gadget categories,
+// vulnerable vs non-vulnerable, over the full synthetic corpus.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bench;
+  print_header("Table I — path-sensitive code gadgets by category",
+               "Table I of the paper");
+
+  sd::SardConfig config;
+  config.pairs_per_category = bench_pairs();
+  auto cases = sd::generate_sard_like(config);
+  auto corpus = sd::build_corpus(cases, corpus_options(Representation::PathSensitive));
+
+  su::Table table({"Categories", "Vulnerable", "Non-vulnerable", "Total", "Vuln%"});
+  long long vuln_total = 0, all_total = 0;
+  for (auto category :
+       {ss::TokenCategory::FunctionCall, ss::TokenCategory::ArrayUsage,
+        ss::TokenCategory::PointerUsage, ss::TokenCategory::ArithExpr}) {
+    auto it = corpus.stats.by_category.find(category);
+    if (it == corpus.stats.by_category.end()) continue;
+    const auto [vulnerable, total] = it->second;
+    vuln_total += vulnerable;
+    all_total += total;
+    table.add_row({ss::category_long_name(category), std::to_string(vulnerable),
+                   std::to_string(total - vulnerable), std::to_string(total),
+                   su::fmt(100.0 * static_cast<double>(vulnerable) /
+                               static_cast<double>(total),
+                           1)});
+  }
+  table.add_row({"All", std::to_string(vuln_total),
+                 std::to_string(all_total - vuln_total), std::to_string(all_total),
+                 su::fmt(100.0 * static_cast<double>(vuln_total) /
+                             static_cast<double>(all_total),
+                         1)});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("programs: %zu  parse failures: %lld\n", cases.size(),
+              corpus.stats.parse_failures);
+  std::printf("paper's regime: 5.5%% - 10.2%% vulnerable per category "
+              "(strong minority); ours should land in the same regime.\n");
+  return 0;
+}

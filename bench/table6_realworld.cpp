@@ -1,0 +1,74 @@
+// Table VI: the three frameworks on real-world software (the Xen-like
+// corpus), each trained on the synthetic SARD-like corpus and evaluated
+// on gadgets extracted from the device-emulator programs — the transfer
+// setting where every framework degrades and SEVulDet degrades least.
+#include "bench_common.hpp"
+
+#include "sevuldet/dataset/realworld.hpp"
+
+int main() {
+  using namespace bench;
+  print_header("Table VI — real-world (Xen-like) evaluation", "Table VI");
+
+  auto train_cases = mixed_training_cases();
+
+  sd::RealWorldConfig rw_config;
+  rw_config.variant_pairs = env_int("SEVULDET_BENCH_RW_PAIRS", 10);
+  auto realworld = sd::generate_realworld(rw_config);
+  std::printf("real-world programs: %zu\n", realworld.cases.size());
+
+  su::Table table({"Work", "FPR(%)", "FNR(%)", "A(%)", "P(%)", "F1(%)"});
+
+  struct Framework {
+    const char* name;
+    Representation representation;
+  };
+  for (const Framework& fw :
+       {Framework{"VulDeePecker", Representation::DataOnly},
+        Framework{"SySeVR", Representation::ControlAndData},
+        Framework{"SEVulDet", Representation::PathSensitive}}) {
+    // Train corpus (SARD-like) and test corpus (Xen-like) share the
+    // representation and the vocabulary (built from training samples).
+    auto train_corpus = sd::build_corpus(train_cases, corpus_options(fw.representation));
+    sd::encode_corpus(train_corpus);
+    auto test_corpus =
+        sd::build_corpus(realworld.cases, corpus_options(fw.representation));
+    test_corpus.vocab = train_corpus.vocab;
+    for (auto& sample : test_corpus.samples) {
+      sample.ids = test_corpus.vocab.encode(sample.tokens);
+    }
+
+    auto train_refs = split_corpus(train_corpus).train;
+    sc::SampleRefs train_set = train_refs;
+    sc::SampleRefs test_set = sc::all_sample_refs(test_corpus);
+    if (std::string(fw.name) == "VulDeePecker") {
+      train_set = sc::filter_category(train_set, ss::TokenCategory::FunctionCall);
+      test_set = sc::filter_category(test_set, ss::TokenCategory::FunctionCall);
+    }
+
+    std::unique_ptr<sm::Detector> model;
+    if (std::string(fw.name) == "VulDeePecker") {
+      model = sm::make_vuldeepecker(base_model_config(train_corpus.vocab.size()));
+    } else if (std::string(fw.name) == "SySeVR") {
+      model = sm::make_sysevr(base_model_config(train_corpus.vocab.size()));
+    } else {
+      model = make_sevuldet(train_corpus.vocab.size());
+    }
+    pretrain_embeddings(*model, train_corpus, train_set);
+    sc::TrainConfig tc;
+    tc.epochs = bench_epochs();
+    tc.lr = 0.002f;
+    tc.verbose = true;
+    sc::train_detector(*model, train_set, tc);
+    auto confusion = sc::evaluate_detector(*model, test_set);
+    table.add_row(metric_row(fw.name, confusion));
+    std::printf("  %s on %zu real-world gadgets: %s\n", fw.name, test_set.size(),
+                confusion.summary().c_str());
+  }
+
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("expected shape (paper Table VI): every framework degrades on the\n"
+              "real-world corpus relative to Table V; SEVulDet keeps the best\n"
+              "FNR and F1 (paper: 60.6 / 67.9 / 73.4 F1).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Step II label auditing (the paper: heuristic labels are sometimes
+// wrong; k-fold cross-validation narrows the manual-check range). This
+// example injects label noise into a corpus, runs the k-fold audit, and
+// prints the review list a human would inspect.
+//
+//   ./build/examples/label_audit
+#include <cstdio>
+
+#include "sevuldet/core/relabel.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+#include "sevuldet/models/sevuldet_net.hpp"
+
+using namespace sevuldet;
+
+int main() {
+  dataset::SardConfig gen_config;
+  gen_config.pairs_per_category = 25;
+  gen_config.ambiguous_fraction = 0.0;  // auditing wants learnable samples
+  gen_config.long_fraction = 0.0;
+  auto corpus = dataset::build_corpus(dataset::generate_sard_like(gen_config));
+  dataset::encode_corpus(corpus);
+  std::printf("corpus: %zu gadgets (%lld flagged)\n", corpus.samples.size(),
+              corpus.stats.vulnerable());
+
+  // Inject label noise: flip some clean gadgets to "vulnerable" — the
+  // kind of mistake Step II's heuristic labeling makes.
+  std::vector<std::size_t> flipped;
+  for (std::size_t i = 0; i < corpus.samples.size() && flipped.size() < 12;
+       i += 131) {
+    if (corpus.samples[i].label == 0) {
+      corpus.samples[i].label = 1;
+      flipped.push_back(i);
+    }
+  }
+  std::printf("injected %zu wrong labels\n\n", flipped.size());
+
+  core::RelabelConfig audit;
+  audit.folds = 5;
+  audit.confidence = 0.85f;
+  audit.train.epochs = 5;
+  audit.train.lr = 0.002f;
+  auto factory = [](int vocab_size) -> std::unique_ptr<models::Detector> {
+    models::ModelConfig config;
+    config.vocab_size = vocab_size;
+    config.embed_dim = 16;
+    config.conv_channels = 12;
+    config.attn_dim = 12;
+    config.dense1 = 32;
+    config.dense2 = 16;
+    return std::make_unique<models::SeVulDetNet>(config);
+  };
+
+  std::printf("running %d-fold audit...\n", audit.folds);
+  auto suspects = core::find_suspect_labels(corpus, factory, audit);
+
+  std::size_t caught = 0;
+  std::printf("\nreview list (%zu entries):\n", suspects.size());
+  for (const auto& suspect : suspects) {
+    const bool was_injected =
+        std::find(flipped.begin(), flipped.end(), suspect.sample_index) !=
+        flipped.end();
+    if (was_injected) ++caught;
+    std::printf("  gadget #%zu  label=%d  model p=%.3f  %s%s\n",
+                suspect.sample_index, suspect.label, suspect.probability,
+                corpus.samples[suspect.sample_index].case_id.c_str(),
+                was_injected ? "  <-- injected noise" : "");
+  }
+  std::printf("\ncaught %zu of %zu injected flips; review list is %.1f%% of "
+              "the corpus (the paper's 'narrowed check range').\n",
+              caught, flipped.size(),
+              100.0 * static_cast<double>(suspects.size()) /
+                  static_cast<double>(corpus.samples.size()));
+  return 0;
+}

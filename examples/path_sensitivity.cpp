@@ -1,0 +1,88 @@
+// The paper's motivating example (Fig. 1): a correct and a vulnerable
+// program whose dependence-only code gadgets are IDENTICAL, so any
+// classifier is stuck at 50% accuracy on the pair — and how the
+// path-sensitive gadget (Algorithm 1) resolves the ambiguity by
+// preserving control-range boundary lines.
+//
+//   ./build/examples/path_sensitivity
+#include <cstdio>
+
+#include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/normalize/normalize.hpp"
+#include "sevuldet/slicer/gadget.hpp"
+
+using namespace sevuldet;
+
+namespace {
+
+const char* kGood = R"(void copy_data(char *data, int n) {
+  char dest[100];
+  if (n < 100) {
+    strncpy(dest, data, n);
+  } else {
+    report(n);
+  }
+})";
+
+const char* kBad = R"(void copy_data(char *data, int n) {
+  char dest[100];
+  if (n < 100) {
+    report(n);
+  } else {
+    strncpy(dest, data, n);
+  }
+})";
+
+slicer::CodeGadget gadget_for_strncpy(const graph::ProgramGraph& program,
+                                      bool path_sensitive) {
+  for (const auto& token : slicer::find_special_tokens(program)) {
+    if (token.category == slicer::TokenCategory::FunctionCall &&
+        token.text == "strncpy") {
+      slicer::GadgetOptions options;
+      options.path_sensitive = path_sensitive;
+      return slicer::generate_gadget(program, token, options);
+    }
+  }
+  return {};
+}
+
+void print_gadget(const char* title, const slicer::CodeGadget& gadget) {
+  std::printf("%s\n", title);
+  for (const auto& line : gadget.lines) {
+    std::printf("  %3d %s %s\n", line.line, line.is_boundary ? "+" : " ",
+                line.text.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== correct program ==\n%s\n", kGood);
+  std::printf("== vulnerable program ==\n%s\n", kBad);
+
+  graph::ProgramGraph good = graph::build_program_graph(kGood);
+  graph::ProgramGraph bad = graph::build_program_graph(kBad);
+
+  // Step III of Fig. 1: plain code gadgets (data + control dependence).
+  auto good_cg = gadget_for_strncpy(good, /*path_sensitive=*/false);
+  auto bad_cg = gadget_for_strncpy(bad, /*path_sensitive=*/false);
+  print_gadget("\n-- plain code gadget (correct program) --", good_cg);
+  print_gadget("-- plain code gadget (vulnerable program) --", bad_cg);
+
+  auto norm_good = normalize::normalize_text(good_cg.text()).text();
+  auto norm_bad = normalize::normalize_text(bad_cg.text()).text();
+  std::printf("\nnormalized plain gadgets identical: %s\n",
+              norm_good == norm_bad ? "YES (the Fig. 1 problem)" : "no");
+
+  // Algorithm 1: path-sensitive gadgets ('+' marks inserted boundaries).
+  auto good_ps = gadget_for_strncpy(good, /*path_sensitive=*/true);
+  auto bad_ps = gadget_for_strncpy(bad, /*path_sensitive=*/true);
+  print_gadget("\n-- path-sensitive gadget (correct program) --", good_ps);
+  print_gadget("-- path-sensitive gadget (vulnerable program) --", bad_ps);
+
+  auto ps_good = normalize::normalize_text(good_ps.text()).text();
+  auto ps_bad = normalize::normalize_text(bad_ps.text()).text();
+  std::printf("\nnormalized path-sensitive gadgets identical: %s\n",
+              ps_good == ps_bad ? "yes" : "NO (ambiguity resolved)");
+  return ps_good == ps_bad ? 1 : 0;
+}

@@ -1,0 +1,83 @@
+// Real-world scan: train SEVulDet on the SARD-like corpus, then scan the
+// Xen-like device-emulator corpus. Reports which of the three planted
+// CVE-shaped bugs (Table VII) the detector finds, compares against an
+// AFL-like fuzzing run on the same programs, and prints the Fig. 6-style
+// attention visualization for the CVE-2016-9776-like gadget.
+//
+//   ./build/examples/realworld_scan
+#include <cstdio>
+
+#include "sevuldet/baselines/fuzzer.hpp"
+#include "sevuldet/core/pipeline.hpp"
+#include "sevuldet/dataset/realworld.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+#include "sevuldet/frontend/parser.hpp"
+
+using namespace sevuldet;
+
+int main() {
+  // Train on the synthetic SARD-like corpus plus a small NVD-like slice
+  // of device-flavored pairs (differently seeded than the evaluation
+  // corpus) — the paper also trains on merged SARD + NVD.
+  dataset::SardConfig sard;
+  sard.pairs_per_category = 60;
+  auto cases = dataset::generate_sard_like(sard);
+  dataset::RealWorldConfig nvd;
+  nvd.variant_pairs = 1;
+  nvd.clean_functions = 24;
+  nvd.seed = 999;
+  for (auto& tc : dataset::generate_realworld(nvd).cases) {
+    cases.push_back(std::move(tc));
+  }
+
+  core::PipelineConfig config;
+  config.model.embed_dim = 24;
+  config.model.conv_channels = 16;
+  config.train.epochs = 6;
+  config.train.lr = 0.002f;
+  core::SeVulDet detector(config);
+  std::printf("training on SARD-like + NVD-like corpus...\n");
+  core::TrainResult trained = detector.train(cases);
+  std::printf("trained on %zu gadgets in %.1fs\n\n", trained.samples,
+              trained.seconds);
+
+  // Scan the Xen-like corpus.
+  dataset::RealWorldCorpus realworld = dataset::generate_realworld({});
+  for (const auto& bug : realworld.planted) {
+    std::printf("== planted %s (%s, %s) ==\n", bug.cve.c_str(),
+                bug.name.c_str(), bug.file.c_str());
+
+    // SEVulDet detection phase.
+    auto findings = detector.detect(bug.testcase.source);
+    bool hit = false;
+    for (const auto& finding : findings) {
+      if (bug.testcase.vulnerable_lines.contains(finding.line)) hit = true;
+    }
+    std::printf("  SEVulDet: %zu finding(s)%s\n", findings.size(),
+                hit ? " — flagged the planted line" : "");
+    if (!findings.empty() && bug.cve == "CVE-2016-9776") {
+      std::printf("  Fig.6-style attention (top tokens of first finding):\n   ");
+      for (const auto& [token, weight] : findings[0].top_tokens) {
+        std::printf(" %s(%.0f%%)", token.c_str(), weight * 100.0f);
+      }
+      std::printf("\n");
+    }
+
+    // AFL-like fuzzing on the same program.
+    auto unit = frontend::parse(bug.testcase.source);
+    baselines::FuzzConfig fuzz;
+    fuzz.executions = 20000;
+    fuzz.step_limit = 100000;
+    auto report = baselines::fuzz_program(unit, fuzz);
+    if (report.found) {
+      std::printf("  AFL-like: %s after %d execs (fault line %d)\n",
+                  interp::outcome_name(report.outcome), report.executions_used,
+                  report.fault_line);
+    } else {
+      std::printf("  AFL-like: nothing within %d execs (%zu coverage edges)\n",
+                  fuzz.executions, report.coverage_edges);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

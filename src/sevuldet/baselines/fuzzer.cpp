@@ -1,0 +1,130 @@
+#include "sevuldet/baselines/fuzzer.hpp"
+
+#include <array>
+#include <set>
+
+namespace sevuldet::baselines {
+
+namespace {
+
+constexpr std::array<std::int32_t, 18> kInterestingInts = {
+    0,    1,     -1,       16,        32,         64,         100,
+    127,  128,   255,      256,       512,        1024,       4096,
+    32767, 65535, 2147483647, -2147483648};
+
+constexpr std::array<std::int8_t, 9> kInterestingBytes = {0,  1,   -1, 16, 32,
+                                                          64, 100, 127, -128};
+
+void write_int(std::vector<std::uint8_t>& buf, std::size_t pos, std::int32_t v) {
+  for (int i = 0; i < 4 && pos + static_cast<std::size_t>(i) < buf.size(); ++i) {
+    buf[pos + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((static_cast<std::uint32_t>(v) >> (8 * i)) & 0xFF);
+  }
+}
+
+}  // namespace
+
+FuzzReport fuzz_program(const frontend::TranslationUnit& unit,
+                        const FuzzConfig& config) {
+  FuzzReport report;
+  util::Rng rng(config.seed);
+  interp::Interpreter interpreter(unit);
+  interp::ExecOptions exec_options;
+  exec_options.step_limit = config.step_limit;
+  exec_options.entry = config.entry;
+
+  std::set<std::pair<int, bool>> global_coverage;
+  std::vector<std::vector<std::uint8_t>> queue;
+  queue.emplace_back(static_cast<std::size_t>(config.input_len), 0);  // all zeros
+
+  // Takes the input BY VALUE: pushing into `queue` may reallocate it, and
+  // callers pass references to queue elements.
+  auto run_one = [&](std::vector<std::uint8_t> input, int exec_no) {
+    interp::ExecResult result = interpreter.run(input, exec_options);
+    bool new_coverage = false;
+    for (const auto& edge : result.coverage) {
+      if (global_coverage.insert(edge).second) new_coverage = true;
+    }
+    if (new_coverage) queue.push_back(input);
+    if (!report.found &&
+        (interp::is_crash(result.outcome) || result.outcome == interp::Outcome::Hang)) {
+      report.found = true;
+      report.outcome = result.outcome;
+      report.executions_used = exec_no;
+      report.trigger = input;
+      report.fault_line = result.fault_line;
+    }
+    return result;
+  };
+
+  int executed = 0;
+  // Dry-run the seed.
+  run_one(queue[0], ++executed);
+
+  while (executed < config.executions && !report.found) {
+    const auto& base = queue[rng.uniform(queue.size())];
+    std::vector<std::uint8_t> input = base;
+
+    switch (rng.uniform(5)) {
+      case 0: {  // single bit flip
+        if (!input.empty()) {
+          std::size_t bit = rng.uniform(input.size() * 8);
+          input[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        break;
+      }
+      case 1: {  // interesting byte
+        if (!input.empty()) {
+          input[rng.uniform(input.size())] = static_cast<std::uint8_t>(
+              kInterestingBytes[rng.uniform(kInterestingBytes.size())]);
+        }
+        break;
+      }
+      case 2: {  // interesting 32-bit value at 4-aligned position
+        if (input.size() >= 4) {
+          std::size_t slot = rng.uniform(input.size() / 4) * 4;
+          write_int(input, slot,
+                    kInterestingInts[rng.uniform(kInterestingInts.size())]);
+        }
+        break;
+      }
+      case 3: {  // random byte
+        if (!input.empty()) {
+          input[rng.uniform(input.size())] =
+              static_cast<std::uint8_t>(rng.uniform(256));
+        }
+        break;
+      }
+      default: {  // havoc: stack 2-6 random mutations
+        const int n = 2 + static_cast<int>(rng.uniform(5));
+        for (int i = 0; i < n && !input.empty(); ++i) {
+          switch (rng.uniform(3)) {
+            case 0:
+              input[rng.uniform(input.size())] ^=
+                  static_cast<std::uint8_t>(1u << rng.uniform(8));
+              break;
+            case 1:
+              input[rng.uniform(input.size())] = static_cast<std::uint8_t>(
+                  kInterestingBytes[rng.uniform(kInterestingBytes.size())]);
+              break;
+            default:
+              if (input.size() >= 4) {
+                write_int(input, rng.uniform(input.size() / 4) * 4,
+                          kInterestingInts[rng.uniform(kInterestingInts.size())]);
+              }
+              break;
+          }
+        }
+        break;
+      }
+    }
+    run_one(input, ++executed);
+  }
+
+  if (!report.found) report.executions_used = executed;
+  report.coverage_edges = global_coverage.size();
+  report.queue_size = queue.size();
+  return report;
+}
+
+}  // namespace sevuldet::baselines

@@ -1,0 +1,42 @@
+// AFL-like coverage-guided mutational fuzzer over the interp substrate —
+// the stand-in for the paper's 24-hour AFL runs (Table VII). It keeps a
+// queue of coverage-increasing inputs and mutates them with bit flips,
+// AFL's "interesting values" (0, -1, small powers of two, INT_MAX, ...),
+// and havoc stacking. Like real AFL it finds broad triggers (a zero
+// register, a huge loop count) quickly but cannot synthesize a 32-bit
+// protocol magic — exactly the paper's explanation for the missed
+// CVE-2016-9104.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sevuldet/frontend/ast.hpp"
+#include "sevuldet/interp/interp.hpp"
+#include "sevuldet/util/rng.hpp"
+
+namespace sevuldet::baselines {
+
+struct FuzzConfig {
+  int executions = 20000;        // total program executions (the budget)
+  long long step_limit = 100000; // interpreter steps before Hang
+  int input_len = 16;            // fuzz buffer size in bytes
+  std::string entry = "harness_main";
+  std::uint64_t seed = 1;
+};
+
+struct FuzzReport {
+  bool found = false;                 // any crash or hang
+  interp::Outcome outcome = interp::Outcome::Ok;
+  int executions_used = 0;            // executions until first finding (or total)
+  std::size_t coverage_edges = 0;     // distinct (line, taken) pairs seen
+  std::size_t queue_size = 0;         // corpus entries kept
+  std::vector<std::uint8_t> trigger;  // the input that triggered the finding
+  int fault_line = 0;
+};
+
+/// Fuzz one program. The unit must outlive the call.
+FuzzReport fuzz_program(const frontend::TranslationUnit& unit,
+                        const FuzzConfig& config = {});
+
+}  // namespace sevuldet::baselines

@@ -1,0 +1,286 @@
+#include "sevuldet/baselines/static_tool.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sevuldet/frontend/ast_text.hpp"
+#include "sevuldet/frontend/lexer.hpp"
+#include "sevuldet/frontend/parser.hpp"
+#include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/normalize/normalize.hpp"
+#include "sevuldet/slicer/special_tokens.hpp"
+#include "sevuldet/util/strings.hpp"
+
+namespace sevuldet::baselines {
+
+namespace {
+
+/// Lexical scan: flag every call to a function on the rule list,
+/// guard-blind (the defining weakness of lexical tools).
+std::vector<ToolFinding> lexical_scan(
+    const std::string& source,
+    const std::unordered_map<std::string, int>& rules) {
+  std::vector<ToolFinding> findings;
+  std::vector<frontend::Token> tokens;
+  try {
+    tokens = frontend::lex_tokens(source);
+  } catch (const frontend::LexError&) {
+    return findings;
+  }
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != frontend::TokenKind::Identifier) continue;
+    if (!tokens[i + 1].is_punct("(")) continue;
+    auto it = rules.find(tokens[i].text);
+    if (it == rules.end()) continue;
+    findings.push_back({tokens[i].line, tokens[i].text, it->second});
+  }
+  return findings;
+}
+
+}  // namespace
+
+std::vector<ToolFinding> FlawfinderLike::scan(const std::string& source) {
+  // Flawfinder's flavor: classic dangerous-call database, string and
+  // format functions rank highest.
+  static const std::unordered_map<std::string, int> kRules = {
+      {"strcpy", 4},  {"strcat", 4},  {"gets", 5},     {"sprintf", 4},
+      {"vsprintf", 4},{"scanf", 4},   {"sscanf", 3},   {"strncpy", 1},
+      {"strncat", 1}, {"memcpy", 2},  {"alloca", 4},   {"system", 4},
+      {"popen", 4},   {"exec", 4},    {"execl", 4},    {"execv", 4},
+      {"realpath", 3},{"getcwd", 3},  {"wcscpy", 4},
+  };
+  return lexical_scan(source, kRules);
+}
+
+std::vector<ToolFinding> RatsLike::scan(const std::string& source) {
+  // RATS' flavor: overlapping but distinct database; adds random-number
+  // and file-handling rules, skips some of Flawfinder's low-risk ones.
+  static const std::unordered_map<std::string, int> kRules = {
+      {"strcpy", 5},  {"strcat", 5},  {"gets", 5},   {"sprintf", 5},
+      {"scanf", 4},   {"memcpy", 3},  {"malloc", 1}, {"realloc", 1},
+      {"system", 5},  {"popen", 5},   {"rand", 2},   {"srand", 2},
+      {"tmpnam", 4},  {"mktemp", 4},  {"fscanf", 3}, {"wcsncpy", 2},
+  };
+  return lexical_scan(source, kRules);
+}
+
+std::vector<ToolFinding> CheckmarxLike::scan(const std::string& source) {
+  std::vector<ToolFinding> findings;
+  graph::ProgramGraph program;
+  try {
+    program = graph::build_program_graph(source);
+  } catch (const frontend::LexError&) {
+    return findings;
+  } catch (const frontend::ParseError&) {
+    return findings;
+  }
+
+  for (const auto& pdg : program.functions) {
+    // "Guarded by X" = some control-dependence ancestor predicate
+    // mentions variable X. Path-insensitive: which branch the statement
+    // sits in is invisible, exactly the paper's Fig. 1 critique.
+    auto guarded_by = [&](int unit, const std::string& var) {
+      std::vector<int> work = pdg.control.deps[static_cast<std::size_t>(unit)];
+      std::unordered_set<int> seen(work.begin(), work.end());
+      while (!work.empty()) {
+        int pred = work.back();
+        work.pop_back();
+        if (pdg.units[static_cast<std::size_t>(pred)].use_def.uses.contains(var)) {
+          return true;
+        }
+        for (int up : pdg.control.deps[static_cast<std::size_t>(pred)]) {
+          if (seen.insert(up).second) work.push_back(up);
+        }
+      }
+      return false;
+    };
+
+    bool fn_calls_alloc = false;
+    for (const auto& unit : pdg.units) {
+      for (const auto& callee : unit.use_def.calls) {
+        if (callee == "malloc" || callee == "calloc" || callee == "realloc" ||
+            callee == "alloca") {
+          fn_calls_alloc = true;
+        }
+      }
+    }
+
+    std::unordered_set<std::string> freed;  // pointers freed earlier in line order
+    for (const auto& unit : pdg.units) {
+      const frontend::Stmt& stmt = *unit.stmt;
+
+      // R1: unconditionally dangerous calls.
+      for (const auto& callee : unit.use_def.calls) {
+        static const std::unordered_set<std::string> kAlwaysBad = {
+            "strcpy", "strcat", "gets", "sprintf", "vsprintf", "system"};
+        if (kAlwaysBad.contains(callee)) {
+          findings.push_back({unit.line, "dangerous-call:" + callee, 4});
+        }
+      }
+
+      // R2: bounded copy whose size operand is an unguarded variable.
+      for (const auto& callee : unit.use_def.calls) {
+        static const std::unordered_set<std::string> kBounded = {
+            "strncpy", "strncat", "memcpy", "memmove"};
+        if (!kBounded.contains(callee)) continue;
+        // A size-like operand is hard to single out lexically; the rule
+        // fires when NONE of the used variables is guarded upstream.
+        bool any_guarded = false;
+        bool has_var_use = false;
+        for (const auto& var : unit.use_def.uses) {
+          has_var_use = true;
+          if (guarded_by(unit.id, var)) any_guarded = true;
+        }
+        if (has_var_use && !any_guarded) {
+          findings.push_back({unit.line, "unchecked-size:" + callee, 3});
+        }
+      }
+
+      // R3: array subscript with an unguarded variable index.
+      // R4: pointer dereference without a null guard.
+      // R5: division by an unguarded variable.
+      // Implemented via expression inspection below.
+      struct ExprRules {
+        const graph::StmtUnit& unit;
+        const decltype(guarded_by)& guard;
+        std::vector<ToolFinding>& findings;
+        const std::unordered_set<std::string>& freed;
+        bool fn_calls_alloc;
+
+        void walk(const frontend::Expr& e) {
+          using frontend::ExprKind;
+          switch (e.kind) {
+            case ExprKind::Index: {
+              const frontend::Expr& idx = *e.children[1];
+              if (idx.kind == ExprKind::Ident && !guard(unit.id, idx.text)) {
+                findings.push_back({unit.line, "unchecked-index:" + idx.text, 3});
+              }
+              break;
+            }
+            case ExprKind::Unary:
+              if (e.op == "*" && e.children[0]->kind == ExprKind::Ident) {
+                const std::string& p = e.children[0]->text;
+                if (freed.contains(p)) {
+                  findings.push_back({unit.line, "use-after-free:" + p, 5});
+                } else if (!guard(unit.id, p)) {
+                  findings.push_back({unit.line, "unchecked-deref:" + p, 3});
+                }
+              }
+              break;
+            case ExprKind::Binary:
+              if (e.op == "/" && e.children[1]->kind == ExprKind::Ident &&
+                  !guard(unit.id, e.children[1]->text)) {
+                findings.push_back(
+                    {unit.line, "div-by-var:" + e.children[1]->text, 2});
+              }
+              // R7: possible integer overflow — a multiplication with an
+              // unguarded variable operand whose result feeds allocation
+              // is flagged; without inter-statement taint the engine
+              // approximates by flagging any var*K with alloc in the
+              // same function (commercial SAST overflow-check flavor).
+              if (e.op == "*" && e.children[0]->kind == ExprKind::Ident &&
+                  !guard(unit.id, e.children[0]->text) && fn_calls_alloc) {
+                findings.push_back(
+                    {unit.line, "mul-overflow:" + e.children[0]->text, 2});
+              }
+              break;
+            default:
+              break;
+          }
+          for (const auto& child : e.children) walk(*child);
+        }
+      };
+
+      ExprRules rules{unit, guarded_by, findings, freed, fn_calls_alloc};
+      if (stmt.kind == frontend::StmtKind::Decl) {
+        if (stmt.for_has_init) rules.walk(*stmt.exprs[0]);
+      } else {
+        for (const auto& e : stmt.exprs) rules.walk(*e);
+      }
+
+      // Track frees for R6 (line-order use-after-free).
+      for (const auto& callee : unit.use_def.calls) {
+        if (callee == "free") {
+          for (const auto& var : unit.use_def.uses) freed.insert(var);
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+std::uint64_t VuddyLike::fingerprint(const std::string& function_body) {
+  // Abstraction stage: rename identifiers/keep structure, then FNV-1a.
+  normalize::NormalizedGadget norm = normalize::normalize_text(function_body);
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const auto& token : norm.tokens) {
+    for (char c : token) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ULL;
+    }
+    hash ^= 0xFF;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+/// Extract each function's raw text (begin..end lines) from a source.
+std::vector<std::pair<std::string, int>> function_bodies(const std::string& source) {
+  std::vector<std::pair<std::string, int>> out;
+  frontend::TranslationUnit unit;
+  try {
+    unit = frontend::parse(source);
+  } catch (const frontend::LexError&) {
+    return out;
+  } catch (const frontend::ParseError&) {
+    return out;
+  }
+  auto lines = util::split_lines(source);
+  for (const auto& fn : unit.functions) {
+    std::string body;
+    for (int l = fn.range.begin_line; l <= fn.range.end_line; ++l) {
+      if (l >= 1 && static_cast<std::size_t>(l) <= lines.size()) {
+        body += lines[static_cast<std::size_t>(l - 1)];
+        body += '\n';
+      }
+    }
+    out.emplace_back(std::move(body), fn.range.begin_line);
+  }
+  return out;
+}
+
+}  // namespace
+
+void VuddyLike::train(const std::vector<dataset::TestCase>& corpus) {
+  std::unordered_set<std::uint64_t> unique;
+  for (const auto& tc : corpus) {
+    if (!tc.vulnerable) continue;
+    for (const auto& [body, line] : function_bodies(tc.source)) {
+      // Only fingerprint the function containing a flagged line.
+      bool contains_flaw = false;
+      for (int flagged : tc.vulnerable_lines) {
+        auto lines = util::split_lines(body);
+        if (flagged >= line && flagged < line + static_cast<int>(lines.size())) {
+          contains_flaw = true;
+        }
+      }
+      if (contains_flaw) unique.insert(fingerprint(body));
+    }
+  }
+  fingerprints_.assign(unique.begin(), unique.end());
+}
+
+std::vector<ToolFinding> VuddyLike::scan(const std::string& source) {
+  std::vector<ToolFinding> findings;
+  std::unordered_set<std::uint64_t> known(fingerprints_.begin(), fingerprints_.end());
+  for (const auto& [body, line] : function_bodies(source)) {
+    if (known.contains(fingerprint(body))) {
+      findings.push_back({line, "clone-of-known-vulnerability", 5});
+    }
+  }
+  return findings;
+}
+
+}  // namespace sevuldet::baselines

@@ -1,0 +1,83 @@
+// Classical static-analysis baselines for Fig. 5. Each tool scans raw
+// source and reports line-level findings; a program is classified
+// vulnerable iff the tool reports at least one finding. The four tools
+// reproduce the failure modes the paper observes:
+//  - FlawfinderLike / RatsLike: lexical risk-ranked rule matchers (high
+//    FPR from guard-blind matching, high FNR on non-call flaw classes);
+//  - CheckmarxLike: intra-procedural dataflow rules over our PDG (better,
+//    still path-insensitive, so Fig.1-style flaws evade it);
+//  - VuddyLike: abstracted function fingerprint clone detection (lowest
+//    FPR, highest FNR — only re-used vulnerable code matches).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sevuldet/dataset/testcase.hpp"
+
+namespace sevuldet::baselines {
+
+struct ToolFinding {
+  int line = 0;
+  std::string rule;
+  int risk = 1;  // 1 (low) .. 5 (high)
+};
+
+class StaticTool {
+ public:
+  virtual ~StaticTool() = default;
+  virtual const std::string& name() const = 0;
+  virtual std::vector<ToolFinding> scan(const std::string& source) = 0;
+
+  /// Program-level verdict: any finding => vulnerable.
+  bool flags(const std::string& source) { return !scan(source).empty(); }
+};
+
+class FlawfinderLike : public StaticTool {
+ public:
+  const std::string& name() const override { return name_; }
+  std::vector<ToolFinding> scan(const std::string& source) override;
+
+ private:
+  std::string name_ = "Flawfinder";
+};
+
+class RatsLike : public StaticTool {
+ public:
+  const std::string& name() const override { return name_; }
+  std::vector<ToolFinding> scan(const std::string& source) override;
+
+ private:
+  std::string name_ = "RATS";
+};
+
+class CheckmarxLike : public StaticTool {
+ public:
+  const std::string& name() const override { return name_; }
+  std::vector<ToolFinding> scan(const std::string& source) override;
+
+ private:
+  std::string name_ = "Checkmarx";
+};
+
+/// Function-clone detector: learns fingerprints of known-vulnerable
+/// functions, then flags exact (abstracted) matches.
+class VuddyLike : public StaticTool {
+ public:
+  const std::string& name() const override { return name_; }
+
+  /// Fingerprint every function of every vulnerable training program.
+  void train(const std::vector<dataset::TestCase>& corpus);
+  std::vector<ToolFinding> scan(const std::string& source) override;
+  std::size_t fingerprint_count() const { return fingerprints_.size(); }
+
+  /// Abstraction: normalize identifiers/literals, strip layout, hash.
+  static std::uint64_t fingerprint(const std::string& function_body);
+
+ private:
+  std::string name_ = "VUDDY";
+  std::vector<std::uint64_t> fingerprints_;
+};
+
+}  // namespace sevuldet::baselines

@@ -1,0 +1,232 @@
+// sevuldet — command-line interface to the library.
+//
+//   sevuldet selftrain --out model.txt [--pairs N] [--epochs N]
+//       Train a detector on the synthetic SARD-like corpus and save it.
+//   sevuldet scan <file.c> --model model.txt
+//       Run the detection phase on a C source file; prints findings with
+//       line numbers, categories, probabilities and attention tokens.
+//   sevuldet gadgets <file.c> [--plain]
+//       Print every (path-sensitive) code gadget of a source file.
+//   sevuldet fuzz <file.c> [--execs N]
+//       AFL-like coverage-guided fuzzing of the file's harness_main().
+//   sevuldet train --dir DIR --manifest DIR/manifest.tsv --out model.txt
+//       Train on user-supplied .c files labeled by a TSV manifest
+//       (file<TAB>line<TAB>cwe per flagged line).
+//   sevuldet export-corpus --dir DIR [--pairs N]
+//       Write the synthetic SARD-like corpus to disk (+ manifest.tsv).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sevuldet/baselines/fuzzer.hpp"
+#include "sevuldet/core/pipeline.hpp"
+#include "sevuldet/dataset/manifest.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+#include "sevuldet/frontend/parser.hpp"
+#include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/slicer/gadget.hpp"
+
+using namespace sevuldet;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sevuldet selftrain --out MODEL [--pairs N] [--epochs N]\n"
+               "  sevuldet scan FILE.c --model MODEL\n"
+               "  sevuldet gadgets FILE.c [--plain]\n"
+               "  sevuldet fuzz FILE.c [--execs N]\n"
+               "  sevuldet train --dir DIR [--manifest TSV] --out MODEL\n"
+               "  sevuldet export-corpus --dir DIR [--pairs N]\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+const char* arg_value(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int cmd_selftrain(int argc, char** argv) {
+  const char* out = arg_value(argc, argv, "--out");
+  if (out == nullptr) return usage();
+  dataset::SardConfig corpus_config;
+  if (const char* pairs = arg_value(argc, argv, "--pairs")) {
+    corpus_config.pairs_per_category = std::atoi(pairs);
+  }
+  core::PipelineConfig config;
+  config.model.embed_dim = 24;
+  config.model.conv_channels = 16;
+  if (const char* epochs = arg_value(argc, argv, "--epochs")) {
+    config.train.epochs = std::atoi(epochs);
+  } else {
+    config.train.epochs = 6;
+  }
+  config.train.lr = 0.002f;
+  config.train.verbose = true;
+
+  core::SeVulDet detector(config);
+  std::printf("training on %d pairs/category...\n",
+              corpus_config.pairs_per_category);
+  auto result = detector.train(dataset::generate_sard_like(corpus_config));
+  std::printf("trained on %zu gadgets in %.1fs (final loss %.4f)\n",
+              result.samples, result.seconds, result.epoch_losses.back());
+  detector.save(out);
+  std::printf("model saved to %s\n", out);
+  return 0;
+}
+
+int cmd_scan(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const char* model_path = arg_value(argc, argv, "--model");
+  if (model_path == nullptr) return usage();
+  const std::string source = read_file(argv[0]);
+
+  core::PipelineConfig config;
+  config.model.embed_dim = 24;
+  config.model.conv_channels = 16;
+  core::SeVulDet detector(config);
+  detector.load(model_path);
+
+  auto findings = detector.detect(source);
+  if (findings.empty()) {
+    std::printf("%s: no findings\n", argv[0]);
+    return 0;
+  }
+  for (const auto& finding : findings) {
+    std::printf("%s:%d: [%s] suspicious %s '%s' (p=%.3f)\n", argv[0],
+                finding.line, slicer::category_name(finding.category),
+                finding.category == slicer::TokenCategory::FunctionCall
+                    ? "call to"
+                    : "use of",
+                finding.token.c_str(), finding.probability);
+    std::printf("  attention:");
+    for (const auto& [token, weight] : finding.top_tokens) {
+      std::printf(" %s(%.0f%%)", token.c_str(), weight * 100.0f);
+    }
+    std::printf("\n");
+  }
+  return 1;  // findings found => nonzero, CI-friendly
+}
+
+int cmd_gadgets(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string source = read_file(argv[0]);
+  graph::ProgramGraph program = graph::build_program_graph(source);
+  slicer::GadgetOptions options;
+  options.path_sensitive = !has_flag(argc, argv, "--plain");
+  auto gadgets = slicer::generate_gadgets(program, options);
+  std::printf("%zu gadget(s), %s\n\n", gadgets.size(),
+              options.path_sensitive ? "path-sensitive" : "plain");
+  for (const auto& gadget : gadgets) {
+    std::printf("--- %s '%s' at %s:%d ---\n",
+                slicer::category_name(gadget.token.category),
+                gadget.token.text.c_str(), gadget.token.function.c_str(),
+                gadget.token.line);
+    for (const auto& line : gadget.lines) {
+      std::printf("  %3d %s %s\n", line.line, line.is_boundary ? "+" : " ",
+                  line.text.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_fuzz(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string source = read_file(argv[0]);
+  auto unit = frontend::parse(source);
+  baselines::FuzzConfig config;
+  if (const char* execs = arg_value(argc, argv, "--execs")) {
+    config.executions = std::atoi(execs);
+  }
+  auto report = baselines::fuzz_program(unit, config);
+  std::printf("executions: %d  coverage edges: %zu  queue: %zu\n",
+              report.executions_used, report.coverage_edges, report.queue_size);
+  if (!report.found) {
+    std::printf("no crash or hang found\n");
+    return 0;
+  }
+  std::printf("FOUND %s at line %d; trigger bytes:",
+              interp::outcome_name(report.outcome), report.fault_line);
+  for (std::uint8_t b : report.trigger) std::printf(" %02x", b);
+  std::printf("\n");
+  return 1;
+}
+
+int cmd_train(int argc, char** argv) {
+  const char* dir = arg_value(argc, argv, "--dir");
+  const char* out = arg_value(argc, argv, "--out");
+  if (dir == nullptr || out == nullptr) return usage();
+  const char* manifest = arg_value(argc, argv, "--manifest");
+
+  auto cases = dataset::load_labeled_directory(dir, manifest ? manifest : "");
+  long vulnerable = 0;
+  for (const auto& tc : cases) vulnerable += tc.vulnerable ? 1 : 0;
+  std::printf("loaded %zu programs (%ld flagged) from %s\n", cases.size(),
+              vulnerable, dir);
+
+  core::PipelineConfig config;
+  config.model.embed_dim = 24;
+  config.model.conv_channels = 16;
+  config.train.epochs = 6;
+  config.train.lr = 0.002f;
+  config.train.verbose = true;
+  core::SeVulDet detector(config);
+  auto result = detector.train(cases);
+  std::printf("trained on %zu gadgets in %.1fs\n", result.samples, result.seconds);
+  detector.save(out);
+  std::printf("model saved to %s\n", out);
+  return 0;
+}
+
+int cmd_export_corpus(int argc, char** argv) {
+  const char* dir = arg_value(argc, argv, "--dir");
+  if (dir == nullptr) return usage();
+  dataset::SardConfig config;
+  if (const char* pairs = arg_value(argc, argv, "--pairs")) {
+    config.pairs_per_category = std::atoi(pairs);
+  }
+  auto cases = dataset::generate_sard_like(config);
+  dataset::export_corpus(cases, dir);
+  std::printf("wrote %zu programs + manifest.tsv to %s\n", cases.size(), dir);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "selftrain") return cmd_selftrain(argc - 2, argv + 2);
+    if (command == "scan") return cmd_scan(argc - 2, argv + 2);
+    if (command == "gadgets") return cmd_gadgets(argc - 2, argv + 2);
+    if (command == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
+    if (command == "train") return cmd_train(argc - 2, argv + 2);
+    if (command == "export-corpus") return cmd_export_corpus(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+  return usage();
+}

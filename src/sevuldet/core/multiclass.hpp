@@ -1,0 +1,51 @@
+// Multiclass vulnerability-type detection (the paper's detection phase
+// "outputs vulnerability type and line number", Fig. 2b; μVulDeePecker
+// extends the same gadget pipeline to multiclass). Class 0 is "benign";
+// classes 1..N-1 are CWE ids observed in the training corpus.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sevuldet/core/trainer.hpp"
+
+namespace sevuldet::core {
+
+/// Stable CWE-id <-> class-id mapping built from a sample set.
+class CweClassMap {
+ public:
+  static CweClassMap from_samples(const SampleRefs& samples);
+
+  /// Class id for a sample's CWE ("" / unknown CWE -> 0 = benign).
+  int class_of(const dataset::GadgetSample& sample) const;
+  int class_of_cwe(const std::string& cwe) const;
+  const std::string& name_of(int class_id) const;
+  int num_classes() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;            // [0] == "benign"
+  std::map<std::string, int> class_by_cwe_;
+};
+
+struct MulticlassEval {
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;  // unweighted mean of per-class F1
+  // confusion[truth][predicted]
+  std::vector<std::vector<long long>> confusion;
+  std::vector<double> per_class_precision;
+  std::vector<double> per_class_recall;
+  std::vector<double> per_class_f1;
+};
+
+/// Train with softmax cross-entropy; non-benign samples are up-weighted
+/// by the same neg/pos heuristic as the binary trainer.
+TrainResult train_multiclass(models::Detector& detector, const SampleRefs& train,
+                             const CweClassMap& classes,
+                             const TrainConfig& config);
+
+MulticlassEval evaluate_multiclass(models::Detector& detector,
+                                   const SampleRefs& test,
+                                   const CweClassMap& classes);
+
+}  // namespace sevuldet::core

@@ -1,0 +1,131 @@
+#include "sevuldet/core/pipeline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/nn/serialize.hpp"
+#include "sevuldet/normalize/normalize.hpp"
+#include "sevuldet/util/log.hpp"
+
+namespace sevuldet::core {
+
+SeVulDet::SeVulDet(PipelineConfig config) : config_(std::move(config)) {}
+
+void SeVulDet::build_model() {
+  models::ModelConfig model_config = config_.model;
+  model_config.vocab_size = vocab_.size();
+  model_ = std::make_unique<models::SeVulDetNet>(model_config);
+}
+
+TrainResult SeVulDet::train(const std::vector<dataset::TestCase>& programs) {
+  dataset::Corpus corpus = dataset::build_corpus(programs, config_.corpus);
+  dataset::encode_corpus(corpus, config_.corpus.min_token_count);
+  vocab_ = corpus.vocab;
+  return train_on_corpus(corpus, all_sample_refs(corpus));
+}
+
+TrainResult SeVulDet::train_on_corpus(const dataset::Corpus& corpus,
+                                      const SampleRefs& train_set) {
+  vocab_ = corpus.vocab;
+  build_model();
+
+  if (config_.pretrain_embeddings) {
+    nn::Word2VecConfig w2v_config = config_.word2vec;
+    w2v_config.dim = config_.model.embed_dim;
+    nn::Word2Vec w2v(vocab_, w2v_config);
+    std::vector<std::vector<int>> sentences;
+    sentences.reserve(train_set.size());
+    for (const auto* s : train_set) sentences.push_back(s->ids);
+    w2v.train(sentences);
+    models::load_pretrained_embeddings(model_->params(), "embedding",
+                                       w2v.embeddings());
+  }
+
+  return train_detector(*model_, train_set, config_.train);
+}
+
+std::vector<std::pair<std::string, float>> SeVulDet::top_attention_tokens(
+    const std::vector<std::string>& tokens, int top_k) {
+  const auto& weights = model_->last_token_weights();
+  std::vector<std::pair<std::string, float>> out;
+  if (weights.empty()) return out;
+  const std::size_t n = std::min(tokens.size(), weights.size());
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return weights[a] > weights[b];
+  });
+  const float max_w = weights[order[0]] > 0.0f ? weights[order[0]] : 1.0f;
+  for (std::size_t i = 0; i < n && static_cast<int>(i) < top_k; ++i) {
+    out.emplace_back(tokens[order[i]], weights[order[i]] / max_w);
+  }
+  return out;
+}
+
+std::vector<Finding> SeVulDet::detect(const std::string& source, int top_k) {
+  if (!trained()) throw std::logic_error("SeVulDet::detect before train/load");
+  std::vector<Finding> findings;
+
+  graph::ProgramGraph program = graph::build_program_graph(source);
+  for (const auto& token : slicer::find_special_tokens(program)) {
+    slicer::CodeGadget gadget =
+        slicer::generate_gadget(program, token, config_.corpus.gadget);
+    if (gadget.lines.empty()) continue;
+    normalize::NormalizedGadget norm = normalize::normalize_gadget(gadget);
+    if (norm.tokens.empty()) continue;
+    std::vector<int> ids = vocab_.encode(norm.tokens);
+    const float probability = model_->predict(ids);
+    if (probability <= config_.model.threshold) continue;
+
+    Finding finding;
+    finding.function = token.function;
+    finding.line = token.line;
+    finding.category = token.category;
+    finding.token = token.text;
+    finding.probability = probability;
+    finding.top_tokens = top_attention_tokens(norm.tokens, top_k);
+    findings.push_back(std::move(finding));
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return a.probability > b.probability;
+  });
+  return findings;
+}
+
+void SeVulDet::save(const std::string& path) const {
+  if (!trained()) throw std::logic_error("SeVulDet::save before train");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  const std::string vocab_blob = vocab_.serialize();
+  out << "SEVULDET-MODEL v1\n";
+  out << "vocab " << vocab_blob.size() << '\n';
+  out << vocab_blob;
+  out << nn::serialize_params(model_->params());
+}
+
+void SeVulDet::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::string header;
+  std::getline(in, header);
+  if (header != "SEVULDET-MODEL v1") {
+    throw std::runtime_error("bad model file header: " + header);
+  }
+  std::string tag;
+  std::size_t vocab_size = 0;
+  in >> tag >> vocab_size;
+  if (tag != "vocab") throw std::runtime_error("bad model file: missing vocab");
+  in.ignore(1);  // newline
+  std::string vocab_blob(vocab_size, '\0');
+  in.read(vocab_blob.data(), static_cast<std::streamsize>(vocab_size));
+  vocab_ = normalize::Vocabulary::deserialize(vocab_blob);
+  build_model();
+  std::ostringstream rest;
+  rest << in.rdbuf();
+  nn::deserialize_params(model_->params(), rest.str());
+}
+
+}  // namespace sevuldet::core

@@ -1,0 +1,81 @@
+// SEVulDet end-to-end pipeline — the library's primary public API.
+// Training phase (paper Fig. 2a): generate path-sensitive code gadgets
+// from labeled programs (Steps I-II), normalize (Step III), pre-train
+// word2vec and embed with token attention (Step IV), train the
+// CNN+SPP+CBAM detector (Step V). Detection phase (Fig. 2b): slice an
+// unlabeled program, classify each gadget, and report vulnerability
+// findings with line numbers and the attention weights that explain them
+// (the Fig. 6 visualization).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sevuldet/core/trainer.hpp"
+#include "sevuldet/dataset/corpus.hpp"
+#include "sevuldet/dataset/testcase.hpp"
+#include "sevuldet/models/sevuldet_net.hpp"
+#include "sevuldet/nn/word2vec.hpp"
+
+namespace sevuldet::core {
+
+struct PipelineConfig {
+  dataset::CorpusOptions corpus;     // path-sensitive by default
+  models::ModelConfig model;         // vocab_size is filled automatically
+  TrainConfig train;
+  nn::Word2VecConfig word2vec;
+  bool pretrain_embeddings = true;
+};
+
+/// One detection-phase result: a gadget classified as vulnerable.
+struct Finding {
+  std::string function;
+  int line = 0;                       // line of the special token
+  slicer::TokenCategory category = slicer::TokenCategory::FunctionCall;
+  std::string token;                  // e.g. "strncpy"
+  float probability = 0.0f;
+  /// Top-weighted tokens of this gadget by attention (Fig. 6), pairs of
+  /// (token spelling, weight normalized to the max weight).
+  std::vector<std::pair<std::string, float>> top_tokens;
+};
+
+class SeVulDet {
+ public:
+  explicit SeVulDet(PipelineConfig config);
+
+  /// Full training phase on labeled programs.
+  TrainResult train(const std::vector<dataset::TestCase>& programs);
+
+  /// Train directly on a prepared corpus (benches reuse corpora across
+  /// models). The corpus must already be encoded.
+  TrainResult train_on_corpus(const dataset::Corpus& corpus,
+                              const SampleRefs& train_set);
+
+  /// Detection phase on raw source. `top_k` attention tokens per finding.
+  std::vector<Finding> detect(const std::string& source, int top_k = 10);
+
+  /// Probability for a single pre-encoded gadget (used by evaluation).
+  float predict(const std::vector<int>& ids) { return model_->predict(ids); }
+
+  models::SeVulDetNet& model() { return *model_; }
+  const normalize::Vocabulary& vocab() const { return vocab_; }
+  const PipelineConfig& config() const { return config_; }
+  bool trained() const { return model_ != nullptr; }
+
+  /// Persist / restore the trained detector (vocabulary + parameters).
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+ private:
+  void build_model();
+  std::vector<std::pair<std::string, float>> top_attention_tokens(
+      const std::vector<std::string>& tokens, int top_k);
+
+  PipelineConfig config_;
+  normalize::Vocabulary vocab_;
+  std::unique_ptr<models::SeVulDetNet> model_;
+};
+
+}  // namespace sevuldet::core

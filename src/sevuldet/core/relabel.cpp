@@ -1,0 +1,39 @@
+#include "sevuldet/core/relabel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sevuldet/dataset/kfold.hpp"
+
+namespace sevuldet::core {
+
+std::vector<SuspectLabel> find_suspect_labels(const dataset::Corpus& corpus,
+                                              const DetectorFactory& factory,
+                                              const RelabelConfig& config) {
+  std::vector<SuspectLabel> suspects;
+  auto splits = dataset::k_fold_splits(corpus.samples.size(), config.folds,
+                                       config.split_seed);
+  for (const auto& split : splits) {
+    auto detector = factory(corpus.vocab.size());
+    train_detector(*detector, sample_refs(corpus, split.train), config.train);
+    for (std::size_t idx : split.test) {
+      const auto& sample = corpus.samples[idx];
+      if (sample.ids.empty()) continue;
+      const float probability = detector->predict(sample.ids);
+      const float disagreement =
+          std::fabs(probability - static_cast<float>(sample.label));
+      if (disagreement >= config.confidence) {
+        suspects.push_back({idx, probability, sample.label});
+      }
+    }
+  }
+  std::sort(suspects.begin(), suspects.end(),
+            [](const SuspectLabel& a, const SuspectLabel& b) {
+              const float da = std::fabs(a.probability - static_cast<float>(a.label));
+              const float db = std::fabs(b.probability - static_cast<float>(b.label));
+              return da > db;
+            });
+  return suspects;
+}
+
+}  // namespace sevuldet::core

@@ -1,0 +1,43 @@
+// Step II of the paper: heuristically generated gadget labels can be
+// wrong ("the invulnerable statements being the same as the vulnerable
+// statements"); the paper narrows the manual-check range with k-fold
+// cross-validation and relabels after manual judgment. This implements
+// the automated narrowing: train one model per fold and flag the test
+// samples that are misclassified with high confidence — the candidates a
+// human reviewer would inspect.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sevuldet/core/trainer.hpp"
+
+namespace sevuldet::core {
+
+struct RelabelConfig {
+  int folds = 5;              // the paper's k
+  float confidence = 0.9f;    // |probability - label| above this => suspect
+  TrainConfig train;
+  std::uint64_t split_seed = 17;
+};
+
+struct SuspectLabel {
+  std::size_t sample_index = 0;
+  float probability = 0.0f;  // model's vulnerable-probability
+  int label = 0;             // the (possibly wrong) recorded label
+};
+
+/// Factory so callers choose the screening model (a small SeVulDetNet is
+/// typical); receives the vocabulary size.
+using DetectorFactory =
+    std::function<std::unique_ptr<models::Detector>(int vocab_size)>;
+
+/// Every sample is test data in exactly one fold; it is flagged when the
+/// fold's model contradicts its label with at least `confidence`.
+/// Returned sorted by descending disagreement.
+std::vector<SuspectLabel> find_suspect_labels(const dataset::Corpus& corpus,
+                                              const DetectorFactory& factory,
+                                              const RelabelConfig& config = {});
+
+}  // namespace sevuldet::core

@@ -1,0 +1,101 @@
+#include "sevuldet/core/trainer.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "sevuldet/nn/optim.hpp"
+#include "sevuldet/util/log.hpp"
+#include "sevuldet/util/strings.hpp"
+
+namespace sevuldet::core {
+
+SampleRefs sample_refs(const dataset::Corpus& corpus,
+                       const std::vector<std::size_t>& idx) {
+  SampleRefs refs;
+  refs.reserve(idx.size());
+  for (std::size_t i : idx) refs.push_back(&corpus.samples[i]);
+  return refs;
+}
+
+SampleRefs all_sample_refs(const dataset::Corpus& corpus) {
+  SampleRefs refs;
+  refs.reserve(corpus.samples.size());
+  for (const auto& s : corpus.samples) refs.push_back(&s);
+  return refs;
+}
+
+SampleRefs filter_category(const SampleRefs& refs, slicer::TokenCategory category) {
+  SampleRefs out;
+  for (const auto* s : refs) {
+    if (s->category == category) out.push_back(s);
+  }
+  return out;
+}
+
+TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
+                           const TrainConfig& config) {
+  TrainResult result;
+  result.samples = train.size();
+  if (train.empty()) return result;
+
+  float pos_weight = config.pos_weight;
+  if (pos_weight <= 0.0f) {
+    long long pos = 0;
+    for (const auto* s : train) pos += s->label;
+    const long long neg = static_cast<long long>(train.size()) - pos;
+    pos_weight = pos == 0 ? 1.0f
+                          : std::min(10.0f, static_cast<float>(neg) /
+                                                static_cast<float>(std::max(1LL, pos)));
+  }
+
+  nn::Adam opt(detector.params(), config.lr);
+  util::Rng shuffle_rng(config.seed);
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double loss_sum = 0.0;
+    for (std::size_t i : order) {
+      const auto& sample = *train[i];
+      if (sample.ids.empty()) continue;
+      nn::NodePtr logit = detector.forward_logit(sample.ids, /*train=*/true);
+      nn::NodePtr loss =
+          nn::bce_with_logits(logit, static_cast<float>(sample.label));
+      if (sample.label == 1 && pos_weight != 1.0f) {
+        loss = nn::scale(loss, pos_weight);
+      }
+      loss_sum += loss->value.at(0, 0);
+      opt.zero_grad();
+      nn::backward(loss);
+      opt.clip_grad_norm(config.grad_clip);
+      opt.step();
+    }
+    const float mean_loss =
+        static_cast<float>(loss_sum / static_cast<double>(train.size()));
+    result.epoch_losses.push_back(mean_loss);
+    if (config.verbose) {
+      util::log_info(detector.name() + " epoch " + std::to_string(epoch + 1) +
+                     "/" + std::to_string(config.epochs) + " loss=" +
+                     util::fmt(mean_loss, 4));
+    }
+  }
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+dataset::Confusion evaluate_detector(models::Detector& detector,
+                                     const SampleRefs& test) {
+  dataset::Confusion confusion;
+  for (const auto* sample : test) {
+    if (sample->ids.empty()) continue;
+    const bool predicted = detector.is_vulnerable(sample->ids);
+    confusion.record(predicted, sample->label == 1);
+  }
+  return confusion;
+}
+
+}  // namespace sevuldet::core

@@ -1,0 +1,50 @@
+// Training and evaluation loops shared by every detector (SEVulDet, the
+// RQ1/RQ2 ablations, and the VulDeePecker/SySeVR stand-ins). Per-sample
+// Adam on binary cross-entropy with optional positive-class weighting —
+// the corpora are imbalanced (Table I: 5-10% vulnerable) and the paper
+// trains on the imbalanced data directly.
+#pragma once
+
+#include <vector>
+
+#include "sevuldet/dataset/corpus.hpp"
+#include "sevuldet/dataset/metrics.hpp"
+#include "sevuldet/models/model.hpp"
+
+namespace sevuldet::core {
+
+struct TrainConfig {
+  int epochs = 4;
+  float lr = 0.001f;
+  float grad_clip = 5.0f;
+  /// Loss multiplier for label-1 samples; <= 0 means "derive from class
+  /// balance" (neg/pos, capped at 10).
+  float pos_weight = 0.0f;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  std::vector<float> epoch_losses;  // mean loss per epoch
+  double seconds = 0.0;
+  std::size_t samples = 0;
+};
+
+using SampleRefs = std::vector<const dataset::GadgetSample*>;
+
+/// Collect pointers to a subset of corpus samples.
+SampleRefs sample_refs(const dataset::Corpus& corpus,
+                       const std::vector<std::size_t>& idx);
+SampleRefs all_sample_refs(const dataset::Corpus& corpus);
+
+/// Restrict to one category ("FC-only" for the VulDeePecker comparison).
+SampleRefs filter_category(const SampleRefs& refs, slicer::TokenCategory category);
+
+TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
+                           const TrainConfig& config);
+
+/// Confusion at the detector's configured threshold.
+dataset::Confusion evaluate_detector(models::Detector& detector,
+                                     const SampleRefs& test);
+
+}  // namespace sevuldet::core

@@ -1,0 +1,110 @@
+#include "sevuldet/dataset/corpus.hpp"
+
+#include <numeric>
+#include <set>
+
+#include "sevuldet/frontend/lexer.hpp"
+#include "sevuldet/frontend/parser.hpp"
+#include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/normalize/normalize.hpp"
+#include "sevuldet/util/log.hpp"
+
+namespace sevuldet::dataset {
+
+long long CorpusStats::vulnerable() const {
+  long long n = 0;
+  for (const auto& [cat, counts] : by_category) n += counts.first;
+  return n;
+}
+
+long long CorpusStats::total() const {
+  long long n = 0;
+  for (const auto& [cat, counts] : by_category) n += counts.second;
+  return n;
+}
+
+Corpus build_corpus(const std::vector<TestCase>& cases,
+                    const CorpusOptions& options) {
+  Corpus corpus;
+  std::set<std::pair<std::string, int>> seen;  // for optional dedup
+
+  for (const TestCase& tc : cases) {
+    graph::ProgramGraph program;
+    try {
+      program = graph::build_program_graph(tc.source);
+    } catch (const frontend::LexError&) {
+      ++corpus.stats.parse_failures;
+      continue;
+    } catch (const frontend::ParseError&) {
+      ++corpus.stats.parse_failures;
+      continue;
+    }
+
+    for (const auto& token : slicer::find_special_tokens(program)) {
+      slicer::CodeGadget gadget =
+          slicer::generate_gadget(program, token, options.gadget);
+      if (gadget.lines.empty()) continue;
+
+      // Step II: label from the manifest's flagged lines.
+      int label = 0;
+      for (const auto& line : gadget.lines) {
+        if (tc.vulnerable_lines.contains(line.line)) label = 1;
+      }
+
+      normalize::NormalizedGadget norm = normalize::normalize_gadget(gadget);
+      if (norm.tokens.empty()) continue;
+
+      if (options.deduplicate) {
+        std::string key;
+        for (const auto& t : norm.tokens) {
+          key += t;
+          key += ' ';
+        }
+        if (!seen.insert({key, label}).second) continue;
+      }
+
+      GadgetSample sample;
+      sample.tokens = std::move(norm.tokens);
+      sample.label = label;
+      if (label == 1) sample.cwe = tc.cwe;
+      sample.category = token.category;
+      sample.case_id = tc.id;
+      sample.from_ambiguous = tc.ambiguous_pair;
+      sample.from_long = tc.long_variant;
+      corpus.samples.push_back(std::move(sample));
+
+      auto& counts = corpus.stats.by_category[token.category];
+      counts.first += label;
+      ++counts.second;
+    }
+  }
+  return corpus;
+}
+
+void encode_corpus(Corpus& corpus, const std::vector<std::size_t>& vocab_from,
+                   int min_token_count) {
+  corpus.vocab = normalize::Vocabulary();
+  for (std::size_t idx : vocab_from) {
+    corpus.vocab.count_all(corpus.samples[idx].tokens);
+  }
+  corpus.vocab.freeze(min_token_count);
+  for (auto& sample : corpus.samples) {
+    sample.ids = corpus.vocab.encode(sample.tokens);
+  }
+}
+
+void encode_corpus(Corpus& corpus, int min_token_count) {
+  std::vector<std::size_t> all(corpus.samples.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  encode_corpus(corpus, all, min_token_count);
+}
+
+std::vector<std::vector<int>> corpus_sentences(const Corpus& corpus,
+                                               const std::vector<std::size_t>& idx) {
+  std::vector<std::vector<int>> sentences;
+  sentences.reserve(idx.size());
+  for (std::size_t i : idx) sentences.push_back(corpus.samples[i].ids);
+  return sentences;
+}
+
+}  // namespace sevuldet::dataset

@@ -1,0 +1,66 @@
+// Corpus construction: run the full preprocessing pipeline (Steps I-III
+// of the paper) over generated test cases — PDG, special tokens, slices,
+// (path-sensitive) gadgets, Step II labeling from the ground-truth
+// manifest, Step III normalization — and produce encoded samples ready
+// for embedding and training.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sevuldet/dataset/testcase.hpp"
+#include "sevuldet/normalize/vocab.hpp"
+#include "sevuldet/slicer/gadget.hpp"
+
+namespace sevuldet::dataset {
+
+struct GadgetSample {
+  std::vector<std::string> tokens;  // normalized token stream
+  std::vector<int> ids;             // vocabulary-encoded (filled by encode_corpus)
+  int label = 0;                    // Step II: 1 iff a flagged line is in the gadget
+  std::string cwe;                  // CWE id of the covered flaw ("" if clean)
+  slicer::TokenCategory category = slicer::TokenCategory::FunctionCall;
+  std::string case_id;
+  bool from_ambiguous = false;
+  bool from_long = false;
+};
+
+struct CorpusOptions {
+  slicer::GadgetOptions gadget;     // path_sensitive + slice options
+  bool deduplicate = false;         // drop exact (tokens, label) duplicates
+  int min_token_count = 1;          // vocabulary frequency floor
+};
+
+struct CorpusStats {
+  // [category] -> {vulnerable, total}
+  std::map<slicer::TokenCategory, std::pair<long long, long long>> by_category;
+  long long parse_failures = 0;
+  long long vulnerable() const;
+  long long total() const;
+};
+
+struct Corpus {
+  std::vector<GadgetSample> samples;
+  normalize::Vocabulary vocab;
+  CorpusStats stats;
+};
+
+/// Full pipeline. Programs that fail to parse are counted and skipped
+/// (real pipelines do the same with Joern failures).
+Corpus build_corpus(const std::vector<TestCase>& cases,
+                    const CorpusOptions& options = {});
+
+/// Build the vocabulary from a subset of samples (the training fold) and
+/// encode every sample with it.
+void encode_corpus(Corpus& corpus, const std::vector<std::size_t>& vocab_from,
+                   int min_token_count = 1);
+/// Convenience: vocabulary from all samples.
+void encode_corpus(Corpus& corpus, int min_token_count = 1);
+
+/// Sentences for word2vec pre-training (token streams of the given
+/// sample indices).
+std::vector<std::vector<int>> corpus_sentences(const Corpus& corpus,
+                                               const std::vector<std::size_t>& idx);
+
+}  // namespace sevuldet::dataset

@@ -1,0 +1,28 @@
+#include "sevuldet/dataset/kfold.hpp"
+
+#include <stdexcept>
+
+namespace sevuldet::dataset {
+
+std::vector<FoldSplit> k_fold_splits(std::size_t n, int k, std::uint64_t seed) {
+  if (k < 2) throw std::invalid_argument("k_fold_splits: k must be >= 2");
+  util::Rng rng(seed);
+  std::vector<std::size_t> order = rng.permutation(n);
+
+  std::vector<FoldSplit> splits(static_cast<std::size_t>(k));
+  for (int fold = 0; fold < k; ++fold) {
+    const std::size_t begin = n * static_cast<std::size_t>(fold) / static_cast<std::size_t>(k);
+    const std::size_t end = n * (static_cast<std::size_t>(fold) + 1) / static_cast<std::size_t>(k);
+    auto& split = splits[static_cast<std::size_t>(fold)];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= begin && i < end) {
+        split.test.push_back(order[i]);
+      } else {
+        split.train.push_back(order[i]);
+      }
+    }
+  }
+  return splits;
+}
+
+}  // namespace sevuldet::dataset

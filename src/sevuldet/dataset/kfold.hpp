@@ -1,0 +1,21 @@
+// Deterministic k-fold cross-validation splits (the paper uses five-fold
+// throughout, and k-fold relabeling in Step II).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sevuldet/util/rng.hpp"
+
+namespace sevuldet::dataset {
+
+struct FoldSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Shuffle [0, n) with `seed` and cut into k near-equal folds; fold i's
+/// split uses fold i as test and the rest as train.
+std::vector<FoldSplit> k_fold_splits(std::size_t n, int k, std::uint64_t seed);
+
+}  // namespace sevuldet::dataset

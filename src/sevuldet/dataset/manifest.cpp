@@ -1,0 +1,116 @@
+#include "sevuldet/dataset/manifest.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sevuldet/util/strings.hpp"
+
+namespace sevuldet::dataset {
+
+namespace fs = std::filesystem;
+
+std::map<std::string, ManifestEntry> parse_manifest(const std::string& text) {
+  std::map<std::string, ManifestEntry> out;
+  int row = 0;
+  for (const auto& raw : util::split_lines(text)) {
+    ++row;
+    std::string_view trimmed = util::trim(raw);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    // Split the RAW line: a leading tab means an empty file field, which
+    // must be rejected rather than silently absorbed.
+    auto fields = util::split(raw, '\t');
+    if (fields.empty() || fields[0].empty()) {
+      throw std::runtime_error("manifest row " + std::to_string(row) +
+                               ": missing file path");
+    }
+    ManifestEntry& entry = out[fields[0]];
+    if (fields.size() >= 2 && !fields[1].empty()) {
+      try {
+        int flagged = std::stoi(fields[1]);
+        if (flagged < 1) throw std::invalid_argument("line < 1");
+        entry.lines.insert(flagged);
+      } catch (const std::exception&) {
+        throw std::runtime_error("manifest row " + std::to_string(row) +
+                                 ": bad line number '" + fields[1] + "'");
+      }
+    }
+    if (fields.size() >= 3 && !fields[2].empty()) entry.cwe = fields[2];
+  }
+  return out;
+}
+
+std::string manifest_for(const std::vector<TestCase>& cases) {
+  std::string out =
+      "# file<TAB>line<TAB>cwe — one row per flagged line; clean files may\n"
+      "# appear with no line to be listed explicitly.\n";
+  for (const auto& tc : cases) {
+    const std::string file = tc.id + ".c";
+    if (tc.vulnerable_lines.empty()) {
+      out += file + "\n";
+      continue;
+    }
+    for (int line : tc.vulnerable_lines) {
+      out += file + "\t" + std::to_string(line) + "\t" + tc.cwe + "\n";
+    }
+  }
+  return out;
+}
+
+std::vector<TestCase> load_labeled_directory(const std::string& dir,
+                                             const std::string& manifest_path) {
+  std::map<std::string, ManifestEntry> manifest;
+  if (!manifest_path.empty()) {
+    std::ifstream in(manifest_path);
+    if (!in) throw std::runtime_error("cannot read manifest " + manifest_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    manifest = parse_manifest(buf.str());
+  }
+
+  std::vector<TestCase> cases;
+  const fs::path root(dir);
+  if (!fs::is_directory(root)) {
+    throw std::runtime_error("not a directory: " + dir);
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".c") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic order
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    TestCase tc;
+    tc.id = fs::relative(path, root).generic_string();
+    tc.source = buf.str();
+    auto it = manifest.find(tc.id);
+    if (it != manifest.end()) {
+      tc.vulnerable_lines = it->second.lines;
+      tc.vulnerable = !it->second.lines.empty();
+      tc.cwe = it->second.cwe;
+    }
+    cases.push_back(std::move(tc));
+  }
+  return cases;
+}
+
+void export_corpus(const std::vector<TestCase>& cases, const std::string& dir) {
+  const fs::path root(dir);
+  fs::create_directories(root);
+  for (const auto& tc : cases) {
+    std::ofstream out(root / (tc.id + ".c"));
+    if (!out) throw std::runtime_error("cannot write " + tc.id);
+    out << tc.source;
+  }
+  std::ofstream manifest(root / "manifest.tsv");
+  manifest << manifest_for(cases);
+}
+
+}  // namespace sevuldet::dataset

@@ -1,0 +1,40 @@
+// Loading labeled programs from disk — the equivalent of SARD's
+// manifest.xml / NVD's diff files for user-supplied corpora. The manifest
+// is a TSV: one "relative/path.c<TAB>line[<TAB>CWE-id]" row per flagged
+// line; files listed with no flagged lines (or not listed at all) are
+// treated as clean.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sevuldet/dataset/testcase.hpp"
+
+namespace sevuldet::dataset {
+
+struct ManifestEntry {
+  std::set<int> lines;
+  std::string cwe;  // last CWE seen for the file ("" if none given)
+};
+
+/// Parse manifest text. Malformed rows throw std::runtime_error with the
+/// row number.
+std::map<std::string, ManifestEntry> parse_manifest(const std::string& text);
+
+/// Serialize test cases' ground truth back to manifest text (round-trip
+/// with parse_manifest; used to export generated corpora to disk).
+std::string manifest_for(const std::vector<TestCase>& cases);
+
+/// Scan `dir` recursively for .c files, apply the manifest at
+/// `manifest_path` (may be empty => everything clean), and return test
+/// cases whose ids are the paths relative to `dir`.
+std::vector<TestCase> load_labeled_directory(const std::string& dir,
+                                             const std::string& manifest_path);
+
+/// Write a generated corpus to `dir` (one .c file per case) plus a
+/// "manifest.tsv" — lets external tools consume our synthetic corpora.
+void export_corpus(const std::vector<TestCase>& cases, const std::string& dir);
+
+}  // namespace sevuldet::dataset

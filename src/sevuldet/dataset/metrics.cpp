@@ -1,0 +1,48 @@
+#include "sevuldet/dataset/metrics.hpp"
+
+#include "sevuldet/util/strings.hpp"
+
+namespace sevuldet::dataset {
+
+double Confusion::fpr() const {
+  const long long denom = fp + tn;
+  return denom == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(denom);
+}
+
+double Confusion::fnr() const {
+  const long long denom = fn + tp;
+  return denom == 0 ? 0.0 : static_cast<double>(fn) / static_cast<double>(denom);
+}
+
+double Confusion::accuracy() const {
+  const long long t = total();
+  return t == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(t);
+}
+
+double Confusion::precision() const {
+  const long long denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Confusion::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+std::string Confusion::summary() const {
+  using util::fmt;
+  return "FPR=" + fmt(fpr() * 100, 1) + "% FNR=" + fmt(fnr() * 100, 1) +
+         "% A=" + fmt(accuracy() * 100, 1) + "% P=" + fmt(precision() * 100, 1) +
+         "% F1=" + fmt(f1() * 100, 1) + "%";
+}
+
+Confusion& Confusion::operator+=(const Confusion& other) {
+  tp += other.tp;
+  fp += other.fp;
+  tn += other.tn;
+  fn += other.fn;
+  return *this;
+}
+
+}  // namespace sevuldet::dataset

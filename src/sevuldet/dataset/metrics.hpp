@@ -1,0 +1,38 @@
+// Evaluation metrics (Section IV-A of the paper): FPR, FNR, Accuracy,
+// Precision, and the paper's F1 form F1 = 2·P·(1-FNR) / (P + (1-FNR)),
+// which equals the standard harmonic mean of precision and recall.
+#pragma once
+
+#include <string>
+
+namespace sevuldet::dataset {
+
+struct Confusion {
+  long long tp = 0;
+  long long fp = 0;
+  long long tn = 0;
+  long long fn = 0;
+
+  void record(bool predicted_positive, bool actually_positive) {
+    if (predicted_positive && actually_positive) ++tp;
+    else if (predicted_positive && !actually_positive) ++fp;
+    else if (!predicted_positive && actually_positive) ++fn;
+    else ++tn;
+  }
+
+  long long total() const { return tp + fp + tn + fn; }
+
+  double fpr() const;        // FP / (FP + TN)
+  double fnr() const;        // FN / (FN + TP)
+  double accuracy() const;   // (TP + TN) / total
+  double precision() const;  // TP / (TP + FP)
+  double recall() const { return 1.0 - fnr(); }
+  double f1() const;
+
+  /// "FPR=.. FNR=.. A=.. P=.. F1=.." percentages with one decimal.
+  std::string summary() const;
+
+  Confusion& operator+=(const Confusion& other);
+};
+
+}  // namespace sevuldet::dataset

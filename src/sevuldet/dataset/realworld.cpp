@@ -1,0 +1,300 @@
+#include "sevuldet/dataset/realworld.hpp"
+
+#include <array>
+
+namespace sevuldet::dataset {
+
+namespace {
+
+using slicer::TokenCategory;
+
+/// Register-decode chain: device emulators massage guest values through
+/// many masking/shifting steps before use; this is also what pushes the
+/// 9776-like gadget past fixed RNN time steps.
+void emit_decode_chain(CodeWriter& w, util::Rng& rng, const std::string& indent,
+                       const std::string& src, const std::string& dst, int count) {
+  static const std::array<const char*, 4> kOps = {"+", "^", "|", "-"};
+  std::string prev = src;
+  for (int i = 0; i < count; ++i) {
+    std::string cur = dst + "_r" + std::to_string(i);
+    w.line(indent + "int " + cur + " = " + prev + " " +
+           kOps[rng.uniform(kOps.size())] + " " +
+           std::to_string(rng.uniform(256)) + ";");
+    prev = cur;
+  }
+  // Undo the obfuscation so runtime semantics still track the register:
+  // the chain exists for dependence length, the final value is the raw
+  // register (keeps the fuzzer ground truth exact).
+  w.line(indent + "int " + dst + " = " + prev + " - (" + prev + " - " + src + ");");
+}
+
+// --- CVE-2016-9776-like: mcf_fec receive loop ------------------------------
+
+TestCase make_fec_case(bool vulnerable, int preamble, std::uint64_t seed,
+                       const std::string& id_suffix) {
+  util::Rng rng(seed);
+  CodeWriter w;
+  TestCase tc;
+  w.line("void fec_dma_write(int addr, int chunk) {");
+  w.line("  report(addr);");
+  w.line("}");
+  w.line("void fec_receive(int buf_addr, int frame_size, int emrbr_reg) {");
+  emit_decode_chain(w, rng, "  ", "emrbr_reg", "emrbr", preamble);
+  if (!vulnerable) {
+    w.line("  if (emrbr < 64) {");
+    w.line("    emrbr = 64;");
+    w.line("  }");
+  }
+  w.line("  int size = frame_size;");
+  int loop_line = w.line("  while (size > 0) {");
+  w.line("    int chunk = size;");
+  w.line("    if (chunk > emrbr) {");
+  w.line("      chunk = emrbr;");
+  w.line("    }");
+  w.line("    fec_dma_write(buf_addr, chunk);");
+  w.line("    buf_addr = buf_addr + chunk;");
+  int update_line = w.line("    size = size - chunk;");
+  w.line("  }");
+  w.line("}");
+  w.line("int harness_main() {");
+  w.line("  int emrbr_reg = input_int();");
+  w.line("  int frame_size = input_int();");
+  w.line("  if (frame_size < 0) {");
+  w.line("    frame_size = 0 - frame_size;");
+  w.line("  }");
+  w.line("  frame_size = frame_size % 4096;");
+  w.line("  if (frame_size == 0) {");
+  w.line("    frame_size = 64;");
+  w.line("  }");
+  w.line("  fec_receive(0, frame_size, emrbr_reg);");
+  w.line("  return 0;");
+  w.line("}");
+
+  tc.id = "rw-fec-" + id_suffix + (vulnerable ? "-bad" : "-good");
+  tc.source = w.source();
+  tc.vulnerable = vulnerable;
+  if (vulnerable) {
+    tc.vulnerable_lines.insert(loop_line);
+    tc.vulnerable_lines.insert(update_line);
+  }
+  tc.category = TokenCategory::ArithExpr;
+  tc.cwe = "CWE-835";
+  tc.long_variant = preamble > 10;
+  return tc;
+}
+
+// --- CVE-2016-9104-like: 9pfs xattr overflow-bypassed guard ----------------
+
+TestCase make_xattr_case(bool vulnerable, std::uint64_t seed,
+                         const std::string& id_suffix) {
+  util::Rng rng(seed);
+  CodeWriter w;
+  TestCase tc;
+  const int max = 256;
+  const int magic = 38591047 + static_cast<int>(rng.uniform(3)) * 1009;
+  w.line("int v9fs_xattr_read(char *payload, int off, int count) {");
+  w.line("  char region[" + std::to_string(max) + "];");
+  w.line("  int max = " + std::to_string(max) + ";");
+  int vuln_line;
+  if (vulnerable) {
+    w.line("  if (off + count > max) {");
+    w.line("    return -1;");
+    w.line("  }");
+    vuln_line = w.line("  memcpy(region + off, payload, count);");
+    tc.vulnerable_lines.insert(vuln_line);
+  } else {
+    w.line("  if (off < 0 || off > max || count > max - off) {");
+    w.line("    return -1;");
+    w.line("  }");
+    w.line("  memcpy(region + off, payload, count);");
+  }
+  w.line("  return region[0];");
+  w.line("}");
+  w.line("int harness_main() {");
+  w.line("  char payload[64];");
+  w.line("  int tag = input_int();");
+  w.line("  if (tag != " + std::to_string(magic) + ") {");
+  w.line("    return 0;");
+  w.line("  }");
+  w.line("  int off = input_int();");
+  w.line("  int count = input_int();");
+  w.line("  count = count % 64;");
+  w.line("  if (count < 1) {");
+  w.line("    count = 1;");
+  w.line("  }");
+  w.line("  int r = v9fs_xattr_read(payload, off, count);");
+  w.line("  return r;");
+  w.line("}");
+
+  tc.id = "rw-xattr-" + id_suffix + (vulnerable ? "-bad" : "-good");
+  tc.source = w.source();
+  tc.vulnerable = vulnerable;
+  tc.category = TokenCategory::FunctionCall;
+  tc.cwe = "CWE-190";
+  return tc;
+}
+
+// --- CVE-2016-4453-like: vmware_vga unbounded FIFO loop --------------------
+
+TestCase make_vga_case(bool vulnerable, std::uint64_t seed,
+                       const std::string& id_suffix) {
+  util::Rng rng(seed);
+  CodeWriter w;
+  TestCase tc;
+  const int clamp = 512 + static_cast<int>(rng.uniform(4)) * 256;
+  w.line("void vga_fifo_run(int cursor_count) {");
+  w.line("  int processed = 0;");
+  if (!vulnerable) {
+    w.line("  if (cursor_count > " + std::to_string(clamp) + ") {");
+    w.line("    cursor_count = " + std::to_string(clamp) + ";");
+    w.line("  }");
+  }
+  int loop_line = w.line("  while (processed < cursor_count) {");
+  w.line("    report(processed);");
+  int step_line = w.line("    processed = processed + 1;");
+  w.line("  }");
+  w.line("}");
+  w.line("int harness_main() {");
+  w.line("  int count = input_int();");
+  w.line("  vga_fifo_run(count);");
+  w.line("  return 0;");
+  w.line("}");
+
+  tc.id = "rw-vga-" + id_suffix + (vulnerable ? "-bad" : "-good");
+  tc.source = w.source();
+  tc.vulnerable = vulnerable;
+  if (vulnerable) {
+    tc.vulnerable_lines.insert(loop_line);
+    tc.vulnerable_lines.insert(step_line);
+  }
+  tc.category = TokenCategory::ArithExpr;
+  tc.cwe = "CWE-835";
+  return tc;
+}
+
+// --- clean device handlers -------------------------------------------------
+
+TestCase make_clean_device(util::Rng& rng, int serial) {
+  CodeWriter w;
+  TestCase tc;
+  const std::string suffix = std::to_string(serial);
+  switch (rng.uniform(4)) {
+    case 0: {  // masked register write
+      w.line("int reg_write" + suffix + "(int reg, int value) {");
+      w.line("  int masked = value & 65535;");
+      w.line("  if (reg < 0 || reg > 63) {");
+      w.line("    return -1;");
+      w.line("  }");
+      w.line("  int bank[64];");
+      w.line("  bank[reg] = masked;");
+      w.line("  return bank[reg];");
+      w.line("}");
+      break;
+    }
+    case 1: {  // bounded checksum loop
+      const int sz = 32 + static_cast<int>(rng.uniform(4)) * 32;
+      w.line("int checksum" + suffix + "(char *frame, int len) {");
+      w.line("  int acc = 0;");
+      w.line("  if (len > " + std::to_string(sz) + ") {");
+      w.line("    len = " + std::to_string(sz) + ";");
+      w.line("  }");
+      w.line("  for (int i = 0; i < len; i++) {");
+      w.line("    acc = acc + frame[i];");
+      w.line("  }");
+      w.line("  return acc & 255;");
+      w.line("}");
+      break;
+    }
+    case 2: {  // clamped DMA copy
+      const int sz = 64 + static_cast<int>(rng.uniform(4)) * 64;
+      w.line("void dma_copy" + suffix + "(char *guest, int len) {");
+      w.line("  char staging[" + std::to_string(sz) + "];");
+      w.line("  if (len < 0 || len > " + std::to_string(sz) + ") {");
+      w.line("    return;");
+      w.line("  }");
+      w.line("  memcpy(staging, guest, len);");
+      w.line("  report(staging[0]);");
+      w.line("}");
+      break;
+    }
+    default: {  // command dispatch
+      w.line("int dispatch" + suffix + "(int cmd, int arg) {");
+      w.line("  int status = 0;");
+      w.line("  switch (cmd) {");
+      w.line("    case 1:");
+      w.line("      status = arg & 255;");
+      w.line("      break;");
+      w.line("    case 2:");
+      w.line("      if (arg != 0) {");
+      w.line("        status = 4096 / arg;");
+      w.line("      }");
+      w.line("      break;");
+      w.line("    default:");
+      w.line("      status = -1;");
+      w.line("  }");
+      w.line("  return status;");
+      w.line("}");
+      break;
+    }
+  }
+  tc.id = "rw-clean-" + suffix;
+  tc.source = w.source();
+  tc.vulnerable = false;
+  tc.category = TokenCategory::FunctionCall;
+  tc.cwe = "";
+  return tc;
+}
+
+}  // namespace
+
+RealWorldCorpus generate_realworld(const RealWorldConfig& config) {
+  RealWorldCorpus corpus;
+  util::Rng rng(config.seed);
+
+  // The three flagship planted bugs (Table VII / Fig. 6).
+  {
+    PlantedBug fec;
+    fec.name = "infinite-loop in FEC receive";
+    fec.cve = "CVE-2016-9776";
+    fec.file = "*/net/mcf_fec.c";
+    fec.testcase = make_fec_case(true, config.preamble_chain, rng.next_u64(), "planted");
+    fec.category = TokenCategory::ArithExpr;
+    corpus.planted.push_back(fec);
+
+    PlantedBug xattr;
+    xattr.name = "OOB write via overflowed bounds check";
+    xattr.cve = "CVE-2016-9104";
+    xattr.file = "*/9pfs/virtio-9p.c";
+    xattr.testcase = make_xattr_case(true, rng.next_u64(), "planted");
+    xattr.category = TokenCategory::FunctionCall;
+    corpus.planted.push_back(xattr);
+
+    PlantedBug vga;
+    vga.name = "unbounded FIFO cursor loop";
+    vga.cve = "CVE-2016-4453";
+    vga.file = "*/display/vmware_vga.c";
+    vga.testcase = make_vga_case(true, rng.next_u64(), "planted");
+    vga.category = TokenCategory::ArithExpr;
+    corpus.planted.push_back(vga);
+  }
+
+  // Labeled corpus for Table VI: the planted programs, variant pairs of
+  // each shape, and clean device handlers.
+  for (const auto& bug : corpus.planted) corpus.cases.push_back(bug.testcase);
+  for (int i = 0; i < config.variant_pairs; ++i) {
+    const std::string suffix = std::to_string(i);
+    for (bool bad : {false, true}) {
+      corpus.cases.push_back(
+          make_fec_case(bad, config.preamble_chain / 2 + static_cast<int>(rng.uniform(10)),
+                        rng.next_u64(), suffix));
+      corpus.cases.push_back(make_xattr_case(bad, rng.next_u64(), suffix));
+      corpus.cases.push_back(make_vga_case(bad, rng.next_u64(), suffix));
+    }
+  }
+  for (int i = 0; i < config.clean_functions; ++i) {
+    corpus.cases.push_back(make_clean_device(rng, i));
+  }
+  return corpus;
+}
+
+}  // namespace sevuldet::dataset

@@ -1,0 +1,52 @@
+// Xen-like real-world corpus (the substitute for the paper's eight Xen
+// versions + 175 CVEs). Emits device-emulator-flavored programs — longer
+// functions, register handling, early-return guards, DMA loops — with a
+// vulnerable/patched pair structure mirroring NVD diffs, plus THREE
+// flagship planted bugs modeled on the CVEs of Table VII:
+//
+//   CVE-2016-9776-like  mcf_fec receive loop: a guest-controlled buffer
+//                       register of 0 keeps `size` constant — infinite
+//                       loop (the paper's Fig. 6 example). Broad trigger
+//                       (register == 0), so a fuzzer finds it.
+//   CVE-2016-9104-like  9pfs xattr: `off + count > max` guard wraps for
+//                       off near INT_MAX — OOB memcpy. Trigger hides
+//                       behind a 32-bit protocol magic, so the fuzzer's
+//                       mutation budget cannot reach it.
+//   CVE-2016-4453-like  vmware_vga FIFO: unclamped guest-supplied
+//                       cursor count drives an unbounded loop. Broad
+//                       trigger (any huge count).
+//
+// Every planted program carries a `harness_main` entry that consumes
+// fuzz input via the interpreter's input_byte/input_int natives.
+#pragma once
+
+#include <vector>
+
+#include "sevuldet/dataset/testcase.hpp"
+#include "sevuldet/util/rng.hpp"
+
+namespace sevuldet::dataset {
+
+struct RealWorldConfig {
+  int clean_functions = 60;  // clean device-handler programs
+  int variant_pairs = 8;     // extra vulnerable/patched pairs per CVE shape
+  int preamble_chain = 40;   // register-decode chain feeding the 9776 loop
+  std::uint64_t seed = 77;
+};
+
+struct PlantedBug {
+  std::string name;    // "CVE-2016-9776-like"
+  std::string cve;     // the QEMU CVE the paper lists (Table VII)
+  std::string file;    // fictitious path, mirroring Table VII's paths
+  TestCase testcase;   // the vulnerable program (with harness_main)
+  slicer::TokenCategory category = slicer::TokenCategory::FunctionCall;
+};
+
+struct RealWorldCorpus {
+  std::vector<TestCase> cases;      // labeled corpus for Table VI
+  std::vector<PlantedBug> planted;  // exactly three, for Table VII / Fig. 6
+};
+
+RealWorldCorpus generate_realworld(const RealWorldConfig& config = {});
+
+}  // namespace sevuldet::dataset

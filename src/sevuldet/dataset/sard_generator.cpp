@@ -1,0 +1,746 @@
+#include "sevuldet/dataset/sard_generator.hpp"
+
+#include <array>
+#include <string>
+
+namespace sevuldet::dataset {
+
+namespace {
+
+using slicer::TokenCategory;
+
+/// Deterministic identifier variation: every case draws fresh names so
+/// the corpus is textually diverse before normalization.
+class Namer {
+ public:
+  explicit Namer(util::Rng& rng) : rng_(rng) {}
+
+  std::string var(const char* role) {
+    static const std::array<const char*, 8> kSuffixes = {
+        "", "_val", "_buf", "_tmp", "2", "_in", "_x", "_cur"};
+    return std::string(role) + kSuffixes[rng_.uniform(kSuffixes.size())];
+  }
+
+  std::string fn(const char* role) {
+    static const std::array<const char*, 6> kPrefixes = {
+        "do_", "run_", "handle_", "proc_", "my_", "impl_"};
+    return std::string(kPrefixes[rng_.uniform(kPrefixes.size())]) + role;
+  }
+
+ private:
+  util::Rng& rng_;
+};
+
+/// Emit a dependent dataflow chain `int v1 = seed op c; ... name = vK;`
+/// so the backward slice of anything using `name` grows by `count`
+/// statements (the long-variant mechanism).
+void emit_chain(CodeWriter& w, util::Rng& rng, const std::string& indent,
+                const std::string& seed_expr, const std::string& name, int count) {
+  // Bitwise ops dominate so the chain does not flood the AE special-token
+  // category (chains exist for dependence length, not arithmetic).
+  static const std::array<const char*, 4> kOps = {"^", "|", "^", "|"};
+  std::string prev = seed_expr;
+  for (int i = 0; i < count; ++i) {
+    std::string cur = name + "_c" + std::to_string(i);
+    w.line(indent + "int " + cur + " = " + prev + " " +
+           kOps[rng.uniform(kOps.size())] + " " +
+           std::to_string(1 + rng.uniform(13)) + ";");
+    prev = cur;
+  }
+  w.line(indent + "int " + name + " = " + prev + ";");
+}
+
+/// Unrelated texture so sources differ even when gadgets coincide.
+void emit_texture(CodeWriter& w, util::Rng& rng, const std::string& indent) {
+  if (rng.bernoulli(0.5)) {
+    std::string t = "aux" + std::to_string(rng.uniform(90));
+    w.line(indent + "int " + t + " = " + std::to_string(rng.uniform(100)) + ";");
+    w.line(indent + t + " = " + t + " * 3;");
+  }
+}
+
+struct Emitted {
+  CodeWriter writer;
+  std::set<int> vulnerable_lines;
+};
+
+/// Append benign helper functions with their own (safe) special tokens so
+/// the gadget-level vulnerable ratio lands in the paper's 5-10% minority
+/// regime (Table I) rather than near parity.
+void emit_benign_helpers(CodeWriter& w, util::Rng& rng, int count) {
+  for (int h = 0; h < count; ++h) {
+    const std::string suffix = std::to_string(rng.uniform(10000));
+    switch (rng.uniform(4)) {
+      case 0: {  // safe library call
+        w.line("void util_copy" + suffix + "(char *out, char *in) {");
+        w.line("  char stage[128];");
+        w.line("  int n = (int)strlen(in);");
+        w.line("  if (n < 128) {");
+        w.line("    strncpy(stage, in, n);");
+        w.line("    stage[n] = 0;");
+        w.line("    strncpy(out, stage, n);");
+        w.line("  }");
+        w.line("}");
+        break;
+      }
+      case 1: {  // safe array walk
+        const int sz = 8 + static_cast<int>(rng.uniform(12)) * 4;
+        w.line("int util_sum" + suffix + "(int seed) {");
+        w.line("  int cells[" + std::to_string(sz) + "];");
+        w.line("  int acc = 0;");
+        w.line("  for (int i = 0; i < " + std::to_string(sz) + "; i++) {");
+        w.line("    cells[i] = seed + i;");
+        w.line("    acc = acc + cells[i];");
+        w.line("  }");
+        w.line("  return acc;");
+        w.line("}");
+        break;
+      }
+      case 2: {  // safe pointer use
+        w.line("void util_set" + suffix + "(int v) {");
+        w.line("  char *slot = (char *)malloc(32);");
+        w.line("  if (slot != NULL) {");
+        w.line("    *slot = (char)v;");
+        w.line("    free(slot);");
+        w.line("  }");
+        w.line("}");
+        break;
+      }
+      default: {  // safe arithmetic
+        w.line("int util_scale" + suffix + "(int a, int b) {");
+        w.line("  int limited = a % 100;");
+        w.line("  int scaled = limited * " + std::to_string(1 + rng.uniform(7)) + ";");
+        w.line("  if (b != 0) {");
+        w.line("    scaled = scaled / b;");
+        w.line("  }");
+        w.line("  return scaled;");
+        w.line("}");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FC templates
+// ---------------------------------------------------------------------------
+
+Emitted fc_strcpy_overflow(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  Emitted out;
+  CodeWriter& w = out.writer;
+  const int sz = 32 + static_cast<int>(rng.uniform(8)) * 16;
+  std::string fn = names.fn("copy");
+  std::string data = names.var("data");
+  std::string dest = names.var("dest");
+
+  w.line("void " + fn + "(char *" + data + ") {");
+  w.line("  char " + dest + "[" + std::to_string(sz) + "];");
+  emit_texture(w, rng, "  ");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", "(int)strlen(" + data + ")", "measured", spec.filler);
+  } else {
+    w.line("  int measured = (int)strlen(" + data + ");");
+  }
+  if (spec.vulnerable) {
+    int v = w.line("  strcpy(" + dest + ", " + data + ");");
+    out.vulnerable_lines.insert(v);
+    w.line("  " + dest + "[0] = (char)measured;");
+  } else {
+    w.line("  if (measured < " + std::to_string(sz) + ") {");
+    w.line("    strcpy(" + dest + ", " + data + ");");
+    w.line("  }");
+    w.line("  " + dest + "[0] = (char)measured;");
+  }
+  w.line("  printf(\"%s\", " + dest + ");");
+  w.line("}");
+  return out;
+}
+
+Emitted fc_ambiguous(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  // Fig. 1: identical data+control-dependence gadget, flaw position
+  // differs only by branch. The bad variant copies when the length check
+  // FAILED (else branch), so n can exceed the buffer.
+  Emitted out;
+  CodeWriter& w = out.writer;
+  const int sz = 100;
+  std::string fn = names.fn("recv");
+  std::string data = names.var("data");
+  std::string dest = names.var("dest");
+  std::string n = names.var("len");
+
+  w.line("void " + fn + "(char *" + data + ", int " + n + "_p) {");
+  w.line("  char " + dest + "[" + std::to_string(sz) + "];");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", n + "_p", n, spec.filler);
+  } else {
+    w.line("  int " + n + " = " + n + "_p;");
+  }
+  emit_texture(w, rng, "  ");
+  w.line("  if (" + n + " < " + std::to_string(sz) + ") {");
+  if (spec.vulnerable) {
+    w.line("    report(" + n + ");");
+    w.line("  } else {");
+    int v = w.line("    strncpy(" + dest + ", " + data + ", " + n + ");");
+    out.vulnerable_lines.insert(v);
+  } else {
+    w.line("    strncpy(" + dest + ", " + data + ", " + n + ");");
+    w.line("  } else {");
+    w.line("    report(" + n + ");");
+  }
+  w.line("  }");
+  w.line("  printf(\"%s\", " + dest + ");");
+  w.line("}");
+  return out;
+}
+
+Emitted fc_interproc(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  Emitted out;
+  CodeWriter& w = out.writer;
+  const int sz = 64;
+  std::string sink = names.fn("sink");
+  std::string driver = names.fn("driver");
+  std::string data = names.var("data");
+  std::string dest = names.var("dest");
+
+  w.line("void " + sink + "(char *dst, char *src, int len) {");
+  int v = w.line("  memcpy(dst, src, len);");
+  if (spec.vulnerable) out.vulnerable_lines.insert(v);
+  w.line("}");
+  w.line("void " + driver + "(char *" + data + ") {");
+  w.line("  char " + dest + "[" + std::to_string(sz) + "];");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", "(int)strlen(" + data + ")", "len", spec.filler);
+  } else {
+    w.line("  int len = (int)strlen(" + data + ");");
+  }
+  emit_texture(w, rng, "  ");
+  if (!spec.vulnerable) {
+    w.line("  if (len > " + std::to_string(sz) + ") {");
+    w.line("    len = " + std::to_string(sz) + ";");
+    w.line("  }");
+  }
+  w.line("  " + sink + "(" + dest + ", " + data + ", len);");
+  w.line("}");
+  return out;
+}
+
+Emitted fc_sprintf(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  Emitted out;
+  CodeWriter& w = out.writer;
+  const int sz = 24 + static_cast<int>(rng.uniform(4)) * 8;
+  std::string fn = names.fn("format");
+  std::string name = names.var("name");
+  std::string line_buf = names.var("line");
+
+  w.line("void " + fn + "(char *" + name + ") {");
+  w.line("  char " + line_buf + "[" + std::to_string(sz) + "];");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", "(int)strlen(" + name + ")", "tag", spec.filler);
+  } else {
+    w.line("  int tag = (int)strlen(" + name + ");");
+  }
+  if (spec.vulnerable) {
+    int v = w.line("  sprintf(" + line_buf + ", \"%s:%d\", " + name + ", tag);");
+    out.vulnerable_lines.insert(v);
+  } else {
+    w.line("  snprintf(" + line_buf + ", sizeof(" + line_buf + "), \"%s:%d\", " +
+           name + ", tag);");
+  }
+  w.line("  puts(" + line_buf + ");");
+  w.line("}");
+  return out;
+}
+
+Emitted fc_guard_bypass(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  // Early-return guard style: the check exists in BOTH variants; the bad
+  // one is additively overflowable (off + count wraps past INT_MAX), the
+  // good one uses the subtraction form. This is the CVE-2016-9104 shape
+  // and teaches models that guard *text* matters, not guard presence.
+  Emitted out;
+  CodeWriter& w = out.writer;
+  const int max = 128 + static_cast<int>(rng.uniform(4)) * 64;
+  std::string fn = names.fn("xattr");
+  std::string payload = names.var("payload");
+
+  w.line("int " + fn + "(char *" + payload + ", int off_p, int count) {");
+  w.line("  char region[" + std::to_string(max) + "];");
+  w.line("  int max = " + std::to_string(max) + ";");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", "off_p", "off", spec.filler);
+  } else {
+    w.line("  int off = off_p;");
+  }
+  emit_texture(w, rng, "  ");
+  if (spec.vulnerable) {
+    w.line("  if (off + count > max) {");
+    w.line("    return -1;");
+    w.line("  }");
+    int v = w.line("  memcpy(region + off, " + payload + ", count);");
+    out.vulnerable_lines.insert(v);
+  } else {
+    w.line("  if (off < 0 || off > max || count > max - off) {");
+    w.line("    return -1;");
+    w.line("  }");
+    w.line("  memcpy(region + off, " + payload + ", count);");
+  }
+  w.line("  return region[0];");
+  w.line("}");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// AU templates
+// ---------------------------------------------------------------------------
+
+Emitted au_index(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  Emitted out;
+  CodeWriter& w = out.writer;
+  const int sz = 16 + static_cast<int>(rng.uniform(6)) * 8;
+  std::string fn = names.fn("lookup");
+  std::string table = names.var("table");
+  std::string idx = names.var("idx");
+
+  w.line("int " + fn + "(int " + idx + "_p) {");
+  w.line("  int " + table + "[" + std::to_string(sz) + "];");
+  w.line("  for (int i = 0; i < " + std::to_string(sz) + "; i++) {");
+  w.line("    " + table + "[i] = i * 2;");
+  w.line("  }");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", idx + "_p", idx, spec.filler);
+  } else {
+    w.line("  int " + idx + " = " + idx + "_p;");
+  }
+  emit_texture(w, rng, "  ");
+  if (spec.vulnerable) {
+    int v = w.line("  int value = " + table + "[" + idx + "];");
+    out.vulnerable_lines.insert(v);
+    w.line("  return value;");
+  } else {
+    w.line("  if (" + idx + " >= 0 && " + idx + " < " + std::to_string(sz) + ") {");
+    w.line("    int value = " + table + "[" + idx + "];");
+    w.line("    return value;");
+    w.line("  }");
+    w.line("  return 0;");
+  }
+  w.line("}");
+  return out;
+}
+
+Emitted au_loop(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  Emitted out;
+  CodeWriter& w = out.writer;
+  const int sz = 10 + static_cast<int>(rng.uniform(30));
+  std::string fn = names.fn("fill");
+  std::string buf = names.var("buf");
+
+  w.line("void " + fn + "(int seed) {");
+  w.line("  int " + buf + "[" + std::to_string(sz) + "];");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", "seed", "base", spec.filler);
+  } else {
+    w.line("  int base = seed;");
+  }
+  const char* cmp = spec.vulnerable ? " <= " : " < ";
+  w.line("  for (int i = 0;i" + std::string(cmp) + std::to_string(sz) + "; i++) {");
+  int v = w.line("    " + buf + "[i] = base + i;");
+  if (spec.vulnerable) out.vulnerable_lines.insert(v);
+  w.line("  }");
+  w.line("  printf(\"%d\", " + buf + "[0]);");
+  w.line("}");
+  return out;
+}
+
+Emitted au_ambiguous(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  Emitted out;
+  CodeWriter& w = out.writer;
+  const int sz = 64;
+  std::string fn = names.fn("store");
+  std::string buf = names.var("slots");
+  std::string idx = names.var("pos");
+
+  w.line("void " + fn + "(int " + idx + "_p, int value) {");
+  w.line("  int " + buf + "[" + std::to_string(sz) + "];");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", idx + "_p", idx, spec.filler);
+  } else {
+    w.line("  int " + idx + " = " + idx + "_p;");
+  }
+  w.line("  if (" + idx + " < " + std::to_string(sz) + ") {");
+  if (spec.vulnerable) {
+    w.line("    report(" + idx + ");");
+    w.line("  } else {");
+    int v = w.line("    " + buf + "[" + idx + "] = value;");
+    out.vulnerable_lines.insert(v);
+  } else {
+    w.line("    " + buf + "[" + idx + "] = value;");
+    w.line("  } else {");
+    w.line("    report(" + idx + ");");
+  }
+  w.line("  }");
+  w.line("  printf(\"%d\", " + buf + "[0]);");
+  w.line("}");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PU templates
+// ---------------------------------------------------------------------------
+
+Emitted pu_null_deref(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  Emitted out;
+  CodeWriter& w = out.writer;
+  std::string fn = names.fn("alloc");
+  std::string p = names.var("ptr");
+  const int sz = 8 + static_cast<int>(rng.uniform(8)) * 4;
+
+  w.line("void " + fn + "(int fill) {");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", "fill", "amount", spec.filler);
+    w.line("  char *" + p + " = (char *)malloc(amount + " + std::to_string(sz) + ");");
+  } else {
+    w.line("  char *" + p + " = (char *)malloc(" + std::to_string(sz) + ");");
+  }
+  emit_texture(w, rng, "  ");
+  if (spec.vulnerable) {
+    int v = w.line("  *" + p + " = (char)fill;");
+    out.vulnerable_lines.insert(v);
+    w.line("  free(" + p + ");");
+  } else {
+    w.line("  if (" + p + " != NULL) {");
+    w.line("    *" + p + " = (char)fill;");
+    w.line("    free(" + p + ");");
+    w.line("  }");
+  }
+  w.line("}");
+  return out;
+}
+
+Emitted pu_use_after_free(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  Emitted out;
+  CodeWriter& w = out.writer;
+  std::string fn = names.fn("session");
+  std::string p = names.var("ctx");
+
+  w.line("void " + fn + "(int value) {");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", "value", "amount", spec.filler);
+    w.line("  char *" + p + " = (char *)malloc(amount % 64 + 16);");
+  } else {
+    w.line("  char *" + p + " = (char *)malloc(16);");
+  }
+  w.line("  if (" + p + " == NULL) {");
+  w.line("    return;");
+  w.line("  }");
+  emit_texture(w, rng, "  ");
+  if (spec.vulnerable) {
+    w.line("  free(" + p + ");");
+    int v = w.line("  *" + p + " = (char)value;");
+    out.vulnerable_lines.insert(v);
+  } else {
+    w.line("  *" + p + " = (char)value;");
+    w.line("  free(" + p + ");");
+  }
+  w.line("}");
+  return out;
+}
+
+Emitted pu_ambiguous(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  // Null-check polarity: deref is safe in the then branch, a flaw in the
+  // else branch; the dependence-only gadget is identical either way.
+  Emitted out;
+  CodeWriter& w = out.writer;
+  std::string fn = names.fn("update");
+  std::string p = names.var("entry");
+
+  w.line("void " + fn + "(int key, int value) {");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", "key", "slot", spec.filler);
+    w.line("  char *" + p + " = (char *)lookup_entry(slot);");
+  } else {
+    w.line("  char *" + p + " = (char *)lookup_entry(key);");
+  }
+  w.line("  if (" + p + " != NULL) {");
+  if (spec.vulnerable) {
+    w.line("    log_hit(key);");
+    w.line("  } else {");
+    int v = w.line("    *" + p + " = (char)value;");
+    out.vulnerable_lines.insert(v);
+  } else {
+    w.line("    *" + p + " = (char)value;");
+    w.line("  } else {");
+    w.line("    log_hit(key);");
+  }
+  w.line("  }");
+  w.line("}");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// AE templates
+// ---------------------------------------------------------------------------
+
+Emitted ae_overflow(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  Emitted out;
+  CodeWriter& w = out.writer;
+  std::string fn = names.fn("reserve");
+  std::string count = names.var("count");
+  const int elem = 4 + static_cast<int>(rng.uniform(4)) * 4;
+
+  w.line("void " + fn + "(int " + count + "_p) {");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", count + "_p", count, spec.filler);
+  } else {
+    w.line("  int " + count + " = " + count + "_p;");
+  }
+  emit_texture(w, rng, "  ");
+  if (spec.vulnerable) {
+    int v = w.line("  int total = " + count + " * " + std::to_string(elem) + ";");
+    out.vulnerable_lines.insert(v);
+    w.line("  char *block = (char *)malloc(total);");
+    w.line("  if (block != NULL) {");
+    w.line("    block[0] = 0;");
+    w.line("    free(block);");
+    w.line("  }");
+  } else {
+    w.line("  if (" + count + " > 0 && " + count + " < 1024) {");
+    w.line("    int total = " + count + " * " + std::to_string(elem) + ";");
+    w.line("    char *block = (char *)malloc(total);");
+    w.line("    if (block != NULL) {");
+    w.line("      block[0] = 0;");
+    w.line("      free(block);");
+    w.line("    }");
+    w.line("  }");
+  }
+  w.line("}");
+  return out;
+}
+
+Emitted ae_div_zero(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  Emitted out;
+  CodeWriter& w = out.writer;
+  std::string fn = names.fn("average");
+  std::string total = names.var("total");
+  std::string count = names.var("count");
+
+  w.line("int " + fn + "(int " + total + ", int " + count + "_p) {");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", count + "_p", count, spec.filler);
+  } else {
+    w.line("  int " + count + " = " + count + "_p;");
+  }
+  emit_texture(w, rng, "  ");
+  if (spec.vulnerable) {
+    int v = w.line("  int mean = " + total + " / " + count + ";");
+    out.vulnerable_lines.insert(v);
+    w.line("  int scaled = mean * 3;");
+    w.line("  int shifted = scaled + 7;");
+    w.line("  return shifted;");
+  } else {
+    w.line("  if (" + count + " != 0) {");
+    w.line("    int mean = " + total + " / " + count + ";");
+    w.line("    int scaled = mean * 3;");
+    w.line("    int shifted = scaled + 7;");
+    w.line("    return shifted;");
+    w.line("  }");
+    w.line("  return 0;");
+  }
+  w.line("}");
+  return out;
+}
+
+Emitted ae_ambiguous(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  Emitted out;
+  CodeWriter& w = out.writer;
+  std::string fn = names.fn("ratio");
+  std::string num = names.var("num");
+  std::string den = names.var("den");
+
+  w.line("int " + fn + "(int " + num + ", int " + den + "_p) {");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", den + "_p", den, spec.filler);
+  } else {
+    w.line("  int " + den + " = " + den + "_p;");
+  }
+  w.line("  int result = 0;");
+  w.line("  if (" + den + " != 0) {");
+  if (spec.vulnerable) {
+    w.line("    report(" + den + ");");
+    w.line("  } else {");
+    int v = w.line("    result = " + num + " / " + den + ";");
+    out.vulnerable_lines.insert(v);
+  } else {
+    w.line("    result = " + num + " / " + den + ";");
+    w.line("  } else {");
+    w.line("    report(" + den + ");");
+  }
+  w.line("  }");
+  w.line("  int doubled = result * 2;");
+  w.line("  return doubled;");
+  w.line("}");
+  return out;
+}
+
+Emitted ae_loop_hang(util::Rng& rng, const TemplateSpec& spec, Namer& names) {
+  // CWE-835 infinite loop: the loop step comes from an unchecked input
+  // and can be zero or negative, so `left` never decreases (the
+  // CVE-2016-9776 mcf_fec shape). The patched variant clamps the step.
+  Emitted out;
+  CodeWriter& w = out.writer;
+  std::string fn = names.fn("drain");
+  std::string left = names.var("left");
+  std::string step = names.var("step");
+
+  w.line("void " + fn + "(int " + left + "_p, int " + step + "_p) {");
+  if (spec.long_variant) {
+    emit_chain(w, rng, "  ", step + "_p", step, spec.filler);
+  } else {
+    w.line("  int " + step + " = " + step + "_p;");
+  }
+  w.line("  int " + left + " = " + left + "_p;");
+  emit_texture(w, rng, "  ");
+  if (!spec.vulnerable) {
+    w.line("  if (" + step + " < 1) {");
+    w.line("    " + step + " = 1;");
+    w.line("  }");
+  }
+  w.line("  while (" + left + " > 0) {");
+  w.line("    report(" + left + ");");
+  int v = w.line("    " + left + " = " + left + " - " + step + ";");
+  if (spec.vulnerable) out.vulnerable_lines.insert(v);
+  w.line("  }");
+  w.line("  int residue = " + left + " * 2 + 1;");
+  w.line("  report(residue);");
+  w.line("}");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+using TemplateFn = Emitted (*)(util::Rng&, const TemplateSpec&, Namer&);
+
+struct TemplateEntry {
+  TemplateFn fn;
+  const char* name;
+  const char* cwe;
+  bool ambiguous;
+  bool interprocedural;
+};
+
+const std::vector<TemplateEntry>& templates_for(TokenCategory category) {
+  static const std::vector<TemplateEntry> kFc = {
+      {fc_strcpy_overflow, "strcpy", "CWE-121", false, false},
+      {fc_ambiguous, "strncpy-path", "CWE-787", true, false},
+      {fc_interproc, "memcpy-interproc", "CWE-121", false, true},
+      {fc_sprintf, "sprintf", "CWE-787", false, false},
+      {fc_guard_bypass, "guard-bypass", "CWE-190", false, false},
+  };
+  static const std::vector<TemplateEntry> kAu = {
+      {au_index, "index", "CWE-125", false, false},
+      {au_loop, "loop-bound", "CWE-787", false, false},
+      {au_ambiguous, "index-path", "CWE-787", true, false},
+  };
+  static const std::vector<TemplateEntry> kPu = {
+      {pu_null_deref, "null-deref", "CWE-476", false, false},
+      {pu_use_after_free, "uaf", "CWE-416", false, false},
+      {pu_ambiguous, "null-path", "CWE-476", true, false},
+  };
+  static const std::vector<TemplateEntry> kAe = {
+      {ae_overflow, "int-overflow", "CWE-190", false, false},
+      {ae_div_zero, "div-zero", "CWE-369", false, false},
+      {ae_ambiguous, "div-path", "CWE-369", true, false},
+      {ae_loop_hang, "loop-hang", "CWE-835", false, false},
+  };
+  switch (category) {
+    case TokenCategory::FunctionCall: return kFc;
+    case TokenCategory::ArrayUsage: return kAu;
+    case TokenCategory::PointerUsage: return kPu;
+    case TokenCategory::ArithExpr: return kAe;
+  }
+  return kFc;
+}
+
+const TemplateEntry& pick_template(TokenCategory category, bool want_ambiguous,
+                                   bool want_interproc, util::Rng& rng) {
+  const auto& pool = templates_for(category);
+  std::vector<const TemplateEntry*> matching;
+  for (const auto& entry : pool) {
+    if (want_ambiguous && !entry.ambiguous) continue;
+    if (!want_ambiguous && entry.ambiguous) continue;
+    if (want_interproc && !entry.interprocedural) continue;
+    matching.push_back(&entry);
+  }
+  if (matching.empty()) {
+    for (const auto& entry : pool) {
+      if (entry.ambiguous == want_ambiguous) matching.push_back(&entry);
+    }
+  }
+  if (matching.empty()) matching.push_back(&pool[0]);
+  return *matching[rng.uniform(matching.size())];
+}
+
+TestCase build_case(const TemplateEntry& entry, const TemplateSpec& spec,
+                    util::Rng& rng, int serial) {
+  Namer names(rng);
+  Emitted emitted = entry.fn(rng, spec, names);
+  // Helpers go AFTER the core function so the flagged line numbers the
+  // template recorded stay valid.
+  emit_benign_helpers(emitted.writer, rng,
+                      3 + static_cast<int>(rng.uniform(3)));
+  TestCase tc;
+  tc.id = std::string(slicer::category_name(spec.category)) + "-" + entry.name +
+          "-" + std::to_string(serial) + (spec.vulnerable ? "-bad" : "-good");
+  tc.source = emitted.writer.source();
+  tc.vulnerable_lines = std::move(emitted.vulnerable_lines);
+  tc.vulnerable = spec.vulnerable;
+  tc.category = spec.category;
+  tc.cwe = entry.cwe;
+  tc.ambiguous_pair = entry.ambiguous;
+  tc.long_variant = spec.long_variant;
+  return tc;
+}
+
+}  // namespace
+
+TestCase generate_case(const TemplateSpec& spec) {
+  util::Rng rng(spec.seed);
+  const TemplateEntry& entry =
+      pick_template(spec.category, spec.ambiguous, spec.interprocedural, rng);
+  return build_case(entry, spec, rng, 0);
+}
+
+std::vector<TestCase> generate_sard_like(const SardConfig& config) {
+  std::vector<TestCase> cases;
+  util::Rng rng(config.seed);
+  const TokenCategory categories[] = {
+      TokenCategory::FunctionCall, TokenCategory::ArrayUsage,
+      TokenCategory::PointerUsage, TokenCategory::ArithExpr};
+  int serial = 0;
+  for (TokenCategory category : categories) {
+    for (int i = 0; i < config.pairs_per_category; ++i) {
+      TemplateSpec spec;
+      spec.category = category;
+      spec.ambiguous = rng.bernoulli(config.ambiguous_fraction);
+      spec.interprocedural =
+          !spec.ambiguous && rng.bernoulli(config.interproc_fraction);
+      spec.long_variant = rng.bernoulli(config.long_fraction);
+      spec.filler = spec.long_variant
+                        ? config.long_filler_statements +
+                              static_cast<int>(rng.uniform(10))
+                        : 0;
+      const TemplateEntry& entry =
+          pick_template(category, spec.ambiguous, spec.interprocedural, rng);
+      // A good and a bad variant share every other knob (SARD "Mixed"
+      // style): reseed a pair generator so both draw identical names.
+      const std::uint64_t pair_seed = rng.next_u64();
+      for (bool vulnerable : {false, true}) {
+        spec.vulnerable = vulnerable;
+        util::Rng pair_rng(pair_seed);
+        cases.push_back(build_case(entry, spec, pair_rng, serial));
+      }
+      ++serial;
+    }
+  }
+  return cases;
+}
+
+}  // namespace sevuldet::dataset

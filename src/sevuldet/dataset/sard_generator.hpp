@@ -1,0 +1,51 @@
+// Synthetic SARD-like corpus generator. SARD itself consists of
+// templated synthetic test cases (Juliet-style); this generator
+// reproduces that statistical structure for the four special-token
+// categories the paper slices on (FC/AU/PU/AE), each with a clean and a
+// flawed variant, plus the two mechanisms the paper's gains rest on:
+//
+//  * ambiguous pairs (Fig. 1): a good/bad pair whose data+control-
+//    dependence gadgets are textually identical after normalization but
+//    whose path-sensitive gadgets differ (flaw in the then vs the else
+//    branch of the same predicate);
+//  * long variants: extra dependent-dataflow filler between guard and
+//    sink pushes the gadget past typical RNN time steps, so fixed-length
+//    truncation removes discriminative tokens (Definition 8's failure
+//    mode).
+//
+// All randomness is seeded; identical configs produce identical corpora.
+#pragma once
+
+#include <vector>
+
+#include "sevuldet/dataset/testcase.hpp"
+#include "sevuldet/util/rng.hpp"
+
+namespace sevuldet::dataset {
+
+struct SardConfig {
+  // Number of template instantiations per category; each instantiation
+  // yields a good AND a bad program (mirroring SARD's "Mixed" cases).
+  int pairs_per_category = 120;
+  double ambiguous_fraction = 0.3;
+  double long_fraction = 0.25;
+  double interproc_fraction = 0.3;
+  int long_filler_statements = 30;
+  std::uint64_t seed = 2022;
+};
+
+std::vector<TestCase> generate_sard_like(const SardConfig& config);
+
+/// Single-template entry points used by tests and the examples.
+struct TemplateSpec {
+  slicer::TokenCategory category;
+  bool vulnerable = false;
+  bool ambiguous = false;
+  bool long_variant = false;
+  bool interprocedural = false;
+  int filler = 0;
+  std::uint64_t seed = 1;
+};
+TestCase generate_case(const TemplateSpec& spec);
+
+}  // namespace sevuldet::dataset

@@ -1,0 +1,45 @@
+// A generated test case: one self-contained C program with ground-truth
+// vulnerability annotations (the stand-in for a SARD test case + its
+// manifest.xml entry, per the substitution table in DESIGN.md).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "sevuldet/slicer/special_tokens.hpp"
+
+namespace sevuldet::dataset {
+
+struct TestCase {
+  std::string id;                  // e.g. "FC-strcpy-0042-bad"
+  std::string source;              // complete C translation unit
+  std::set<int> vulnerable_lines;  // 1-based lines of flaw sinks (empty if clean)
+  bool vulnerable = false;
+  slicer::TokenCategory category = slicer::TokenCategory::FunctionCall;
+  std::string cwe;                 // e.g. "CWE-121"
+  bool ambiguous_pair = false;     // Fig.1-style path-ambiguous pair member
+  bool long_variant = false;       // gadget exceeds typical RNN time steps
+};
+
+/// Helper for emitting line-accurate sources: append lines, remember the
+/// line numbers that matter.
+class CodeWriter {
+ public:
+  /// Appends one source line, returns its 1-based line number.
+  int line(const std::string& text) {
+    source_ += text;
+    source_ += '\n';
+    return ++count_;
+  }
+  /// Blank separator line.
+  void blank() { line(""); }
+
+  const std::string& source() const { return source_; }
+  int current_line() const { return count_; }
+
+ private:
+  std::string source_;
+  int count_ = 0;
+};
+
+}  // namespace sevuldet::dataset

@@ -1,0 +1,76 @@
+#include "sevuldet/frontend/ast.hpp"
+
+namespace sevuldet::frontend {
+
+const char* stmt_kind_name(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::Compound: return "compound";
+    case StmtKind::Decl: return "decl";
+    case StmtKind::ExprStmt: return "expr";
+    case StmtKind::If: return "if";
+    case StmtKind::For: return "for";
+    case StmtKind::While: return "while";
+    case StmtKind::DoWhile: return "do-while";
+    case StmtKind::Switch: return "switch";
+    case StmtKind::Case: return "case";
+    case StmtKind::Break: return "break";
+    case StmtKind::Continue: return "continue";
+    case StmtKind::Return: return "return";
+    case StmtKind::Goto: return "goto";
+    case StmtKind::Label: return "label";
+    case StmtKind::Null: return "null";
+  }
+  return "?";
+}
+
+const char* expr_kind_name(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::Ident: return "ident";
+    case ExprKind::IntLit: return "int";
+    case ExprKind::FloatLit: return "float";
+    case ExprKind::StringLit: return "string";
+    case ExprKind::CharLit: return "char";
+    case ExprKind::Unary: return "unary";
+    case ExprKind::PostfixUnary: return "postfix";
+    case ExprKind::Binary: return "binary";
+    case ExprKind::Assign: return "assign";
+    case ExprKind::Ternary: return "ternary";
+    case ExprKind::Call: return "call";
+    case ExprKind::Index: return "index";
+    case ExprKind::Member: return "member";
+    case ExprKind::Cast: return "cast";
+    case ExprKind::SizeOf: return "sizeof";
+    case ExprKind::Comma: return "comma";
+  }
+  return "?";
+}
+
+ExprPtr clone(const Expr& expr) {
+  auto out = std::make_unique<Expr>(expr.kind);
+  out->line = expr.line;
+  out->column = expr.column;
+  out->text = expr.text;
+  out->op = expr.op;
+  out->children.reserve(expr.children.size());
+  for (const auto& child : expr.children) out->children.push_back(clone(*child));
+  return out;
+}
+
+StmtPtr clone(const Stmt& stmt) {
+  auto out = std::make_unique<Stmt>(stmt.kind);
+  out->range = stmt.range;
+  out->name = stmt.name;
+  out->type = stmt.type;
+  out->decl_is_pointer = stmt.decl_is_pointer;
+  out->decl_is_array = stmt.decl_is_array;
+  out->for_has_init = stmt.for_has_init;
+  out->for_has_cond = stmt.for_has_cond;
+  out->for_has_step = stmt.for_has_step;
+  out->exprs.reserve(stmt.exprs.size());
+  for (const auto& e : stmt.exprs) out->exprs.push_back(clone(*e));
+  out->children.reserve(stmt.children.size());
+  for (const auto& c : stmt.children) out->children.push_back(clone(*c));
+  return out;
+}
+
+}  // namespace sevuldet::frontend

@@ -1,0 +1,164 @@
+// Abstract syntax tree for the C subset. The tree is statement-oriented:
+// the slicer and the path-sensitive gadget generator (Algorithm 1 of the
+// paper) work on statements with line numbers and on the expression trees
+// hanging off them. Nodes are owned through std::unique_ptr; the tree is
+// immutable after parsing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sevuldet::frontend {
+
+struct SourceRange {
+  int begin_line = 0;  // 1-based; 0 means unknown
+  int end_line = 0;    // inclusive
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  Ident,
+  IntLit,
+  FloatLit,
+  StringLit,
+  CharLit,
+  Unary,      // op applied prefix: - ! ~ * & ++ --
+  PostfixUnary,  // x++ x--
+  Binary,     // arithmetic / relational / logical / bitwise
+  Assign,     // = += -= *= /= %= <<= >>= &= |= ^=
+  Ternary,    // a ? b : c
+  Call,       // f(args)
+  Index,      // a[i]
+  Member,     // a.b or a->b
+  Cast,       // (type)expr
+  SizeOf,     // sizeof(type) or sizeof expr
+  Comma,      // a, b
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  int column = 0;
+
+  // Ident: name. Literals: spelled text. Unary/Binary/Assign: op spelling.
+  // Member: field name (op holds "." or "->"). Call: callee name if the
+  // callee is a plain identifier, otherwise empty. Cast/SizeOf: type text.
+  std::string text;
+  std::string op;
+
+  std::vector<std::unique_ptr<Expr>> children;
+
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  Compound,
+  Decl,       // type declarator [= init] (one declarator per Decl node)
+  ExprStmt,
+  If,         // children: cond expr; then_body; optional else_body
+  For,
+  While,
+  DoWhile,
+  Switch,
+  Case,       // case X: or default: — owns the labeled statements up to
+              // the next case at the same level
+  Break,
+  Continue,
+  Return,
+  Goto,
+  Label,
+  Null,       // lone ';'
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  SourceRange range;
+
+  // Decl: declared variable name in `name`, declared type text in `type`,
+  //       array extent expressions in `exprs` after the optional init.
+  // Goto/Label: label name in `name`.
+  // Case: case value text in `name` ("default" for default:).
+  std::string name;
+  std::string type;
+  bool decl_is_pointer = false;
+  bool decl_is_array = false;
+
+  // Expressions owned by this statement:
+  //  ExprStmt/Return: [0] = the expression (Return may be empty)
+  //  Decl: [0] = initializer if present, then array extents
+  //  If/While/DoWhile/Switch: [0] = condition
+  //  For: cond/step appear here (see for_* flags); init is a child stmt
+  std::vector<ExprPtr> exprs;
+
+  // Child statements: Compound -> all; If -> then [, else];
+  // For/While/DoWhile -> body (For may also carry an init Decl/ExprStmt
+  // as child [0], flagged by for_has_init); Switch -> Case nodes and any
+  // loose statements; Case/Label -> labeled statements.
+  std::vector<StmtPtr> children;
+
+  bool for_has_init = false;
+  bool for_has_cond = false;
+  bool for_has_step = false;
+
+  explicit Stmt(StmtKind k) : kind(k) {}
+};
+
+// ---------------------------------------------------------------------------
+// Declarations / translation unit
+// ---------------------------------------------------------------------------
+
+struct Param {
+  std::string type;
+  std::string name;
+  bool is_pointer = false;
+  bool is_array = false;
+};
+
+struct FunctionDef {
+  std::string return_type;
+  std::string name;
+  std::vector<Param> params;
+  StmtPtr body;  // Compound
+  SourceRange range;
+};
+
+struct GlobalDecl {
+  std::string text;  // raw source of the declaration line(s)
+  SourceRange range;
+};
+
+struct TranslationUnit {
+  std::vector<FunctionDef> functions;
+  std::vector<GlobalDecl> globals;
+  std::vector<std::string> directives;  // '#include ...' etc.
+
+  /// Find a function by name; nullptr if absent.
+  const FunctionDef* find_function(const std::string& name) const {
+    for (const auto& f : functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+const char* stmt_kind_name(StmtKind kind);
+const char* expr_kind_name(ExprKind kind);
+
+/// Deep copy helpers (the dataset generator mutates template ASTs).
+ExprPtr clone(const Expr& expr);
+StmtPtr clone(const Stmt& stmt);
+
+}  // namespace sevuldet::frontend

@@ -1,0 +1,210 @@
+#include "sevuldet/frontend/ast_queries.hpp"
+
+#include <unordered_map>
+
+namespace sevuldet::frontend {
+
+namespace {
+
+/// Base variable of an lvalue expression: a[i] -> a, *p -> p, s->f -> s.
+const Expr* lvalue_base(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::Ident:
+      return &e;
+    case ExprKind::Index:
+    case ExprKind::Member:
+      return lvalue_base(*e.children[0]);
+    case ExprKind::Unary:
+      if (e.op == "*") return lvalue_base(*e.children[0]);
+      return nullptr;
+    case ExprKind::Cast:
+      return lvalue_base(*e.children[0]);
+    default:
+      return nullptr;
+  }
+}
+
+struct Walker {
+  UseDef out;
+
+  void use_lvalue_subscripts(const Expr& e) {
+    // Reading or writing a[i] uses i; *p uses p; s->f uses s.
+    switch (e.kind) {
+      case ExprKind::Index:
+        use_lvalue_subscripts(*e.children[0]);
+        walk(*e.children[1], /*is_write=*/false);
+        break;
+      case ExprKind::Member:
+      case ExprKind::Cast:
+        use_lvalue_subscripts(*e.children[0]);
+        break;
+      case ExprKind::Unary:
+        if (e.op == "*") use_lvalue_subscripts(*e.children[0]);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void walk(const Expr& e, bool is_write) {
+    switch (e.kind) {
+      case ExprKind::Ident:
+        if (is_write) {
+          out.defs.insert(e.text);
+        } else {
+          out.uses.insert(e.text);
+        }
+        return;
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+      case ExprKind::StringLit:
+      case ExprKind::CharLit:
+        return;
+      case ExprKind::Assign: {
+        const Expr& lhs = *e.children[0];
+        if (const Expr* base = lvalue_base(lhs)) {
+          out.defs.insert(base->text);
+          // Writing through a[i] / *p also *uses* the base (address
+          // computation) and any subscripts; compound assignment reads
+          // the old value too.
+          if (lhs.kind != ExprKind::Ident || e.op != "=") {
+            out.uses.insert(base->text);
+          }
+          use_lvalue_subscripts(lhs);
+        } else {
+          walk(lhs, /*is_write=*/false);
+        }
+        walk(*e.children[1], /*is_write=*/false);
+        return;
+      }
+      case ExprKind::Unary:
+        if (e.op == "++" || e.op == "--") {
+          if (const Expr* base = lvalue_base(*e.children[0])) {
+            out.defs.insert(base->text);
+            out.uses.insert(base->text);
+            use_lvalue_subscripts(*e.children[0]);
+            return;
+          }
+        }
+        if (e.op == "&") {
+          // Taking an address is a use of the variable.
+          walk(*e.children[0], /*is_write=*/false);
+          return;
+        }
+        walk(*e.children[0], is_write);
+        return;
+      case ExprKind::PostfixUnary:
+        if (const Expr* base = lvalue_base(*e.children[0])) {
+          out.defs.insert(base->text);
+          out.uses.insert(base->text);
+          use_lvalue_subscripts(*e.children[0]);
+          return;
+        }
+        walk(*e.children[0], /*is_write=*/false);
+        return;
+      case ExprKind::Call: {
+        if (!e.text.empty()) out.calls.push_back(e.text);
+        std::vector<int> out_params;
+        bool writes = !e.text.empty() && library_out_params(e.text, out_params);
+        for (std::size_t i = 1; i < e.children.size(); ++i) {
+          const int arg_idx = static_cast<int>(i) - 1;
+          bool is_out = false;
+          if (writes) {
+            for (int p : out_params) {
+              if (p == arg_idx) is_out = true;
+            }
+          }
+          const Expr& arg = *e.children[i];
+          if (is_out) {
+            const Expr* base = nullptr;
+            if (arg.kind == ExprKind::Unary && arg.op == "&") {
+              base = lvalue_base(*arg.children[0]);
+            } else {
+              base = lvalue_base(arg);
+            }
+            if (base != nullptr) {
+              out.defs.insert(base->text);
+              out.uses.insert(base->text);
+              continue;
+            }
+          }
+          walk(arg, /*is_write=*/false);
+        }
+        // A call through a function pointer also uses the pointer.
+        if (e.text.empty()) walk(*e.children[0], /*is_write=*/false);
+        return;
+      }
+      default:
+        for (const auto& child : e.children) walk(*child, /*is_write=*/false);
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+bool library_out_params(const std::string& callee, std::vector<int>& out_params) {
+  // Map: function -> 0-based indices of pointer arguments it writes.
+  static const std::unordered_map<std::string, std::vector<int>> kOutParams = {
+      {"strcpy", {0}},   {"strncpy", {0}}, {"strcat", {0}},  {"strncat", {0}},
+      {"memcpy", {0}},   {"memmove", {0}}, {"memset", {0}},  {"sprintf", {0}},
+      {"snprintf", {0}}, {"gets", {0}},    {"fgets", {0}},   {"scanf", {1, 2, 3}},
+      {"sscanf", {2, 3}},{"fscanf", {2, 3}},{"read", {1}},   {"fread", {0}},
+      {"recv", {1}},     {"recvfrom", {1}},{"getcwd", {0}},  {"realpath", {1}},
+      {"wcscpy", {0}},   {"wcsncpy", {0}}, {"swprintf", {0}},
+      // free() invalidates its argument — modeling it as a def makes a
+      // later use data-dependent on the free, so use-after-free order is
+      // visible in slices (and UAF gadget pairs differ only by order).
+      {"free", {0}},
+  };
+  auto it = kOutParams.find(callee);
+  if (it == kOutParams.end()) return false;
+  out_params = it->second;
+  return true;
+}
+
+UseDef analyze_expr(const Expr& expr) {
+  Walker w;
+  w.walk(expr, /*is_write=*/false);
+  return std::move(w.out);
+}
+
+UseDef analyze_stmt(const Stmt& stmt) {
+  Walker w;
+  switch (stmt.kind) {
+    case StmtKind::Decl: {
+      auto handle_decl = [&w](const Stmt& d) {
+        w.out.defs.insert(d.name);
+        std::size_t extent_from = 0;
+        if (d.for_has_init) {
+          w.walk(*d.exprs[0], /*is_write=*/false);
+          extent_from = 1;
+        }
+        for (std::size_t i = extent_from; i < d.exprs.size(); ++i) {
+          w.walk(*d.exprs[i], /*is_write=*/false);  // array extents
+        }
+      };
+      handle_decl(stmt);
+      for (const auto& extra : stmt.children) handle_decl(*extra);
+      break;
+    }
+    case StmtKind::ExprStmt:
+    case StmtKind::Return:
+    case StmtKind::If:
+    case StmtKind::While:
+    case StmtKind::DoWhile:
+    case StmtKind::Switch:
+    case StmtKind::Case:
+      for (const auto& e : stmt.exprs) w.walk(*e, /*is_write=*/false);
+      break;
+    case StmtKind::For:
+      // Predicate unit covers cond + step; the init is its own unit.
+      for (const auto& e : stmt.exprs) w.walk(*e, /*is_write=*/false);
+      break;
+    default:
+      break;
+  }
+  return std::move(w.out);
+}
+
+}  // namespace sevuldet::frontend

@@ -1,0 +1,37 @@
+// Use/def/call extraction from expressions and statements — the raw
+// material for data-dependence edges (Definition 2 of the paper) and for
+// the special-token finder (Definition 4).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sevuldet/frontend/ast.hpp"
+
+namespace sevuldet::frontend {
+
+struct UseDef {
+  std::set<std::string> uses;   // variables read
+  std::set<std::string> defs;   // variables written (incl. declarations)
+  std::vector<std::string> calls;  // callee names, in evaluation order
+};
+
+/// Uses/defs/calls of one expression tree. Assignment LHS counts as a def
+/// (and as a use for compound assignments and ++/--); array/pointer
+/// element writes def the base variable conservatively; arguments to
+/// calls whose callee is a known out-writing library function (memcpy,
+/// strcpy, scanf, ...) def their destination argument.
+UseDef analyze_expr(const Expr& expr);
+
+/// Uses/defs/calls of one statement *unit*: its own expressions only —
+/// child statements are separate units for the CFG/PDG. For a Decl this
+/// includes the declared names as defs; for control statements it covers
+/// the predicate.
+UseDef analyze_stmt(const Stmt& stmt);
+
+/// True if the callee writes through one of its pointer arguments; the
+/// 0-based indices of written arguments are appended to out_params.
+bool library_out_params(const std::string& callee, std::vector<int>& out_params);
+
+}  // namespace sevuldet::frontend

@@ -1,0 +1,141 @@
+#include "sevuldet/frontend/ast_text.hpp"
+
+namespace sevuldet::frontend {
+
+namespace {
+
+std::string render(const Expr& e);
+
+std::string render_children_list(const Expr& e, std::size_t from) {
+  std::string out;
+  for (std::size_t i = from; i < e.children.size(); ++i) {
+    if (i > from) out += ", ";
+    out += render(*e.children[i]);
+  }
+  return out;
+}
+
+std::string render(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::Ident:
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::StringLit:
+    case ExprKind::CharLit:
+      return e.text;
+    case ExprKind::Unary:
+      return e.op + render(*e.children[0]);
+    case ExprKind::PostfixUnary:
+      return render(*e.children[0]) + e.op;
+    case ExprKind::Binary:
+      return render(*e.children[0]) + " " + e.op + " " + render(*e.children[1]);
+    case ExprKind::Assign:
+      return render(*e.children[0]) + " " + e.op + " " + render(*e.children[1]);
+    case ExprKind::Ternary:
+      return render(*e.children[0]) + " ? " + render(*e.children[1]) + " : " +
+             render(*e.children[2]);
+    case ExprKind::Call: {
+      std::string callee = e.text.empty() ? render(*e.children[0]) : e.text;
+      return callee + "(" + render_children_list(e, 1) + ")";
+    }
+    case ExprKind::Index:
+      return render(*e.children[0]) + "[" + render(*e.children[1]) + "]";
+    case ExprKind::Member:
+      return render(*e.children[0]) + e.op + e.text;
+    case ExprKind::Cast:
+      return "(" + e.text + ")" + render(*e.children[0]);
+    case ExprKind::SizeOf:
+      if (e.children.empty()) return "sizeof(" + e.text + ")";
+      return "sizeof " + render(*e.children[0]);
+    case ExprKind::Comma:
+      if (e.op == "{}") return "{" + render_children_list(e, 0) + "}";
+      return render_children_list(e, 0);
+  }
+  return "<?>";
+}
+
+std::string decl_text(const Stmt& s) {
+  std::string out = s.type + " ";
+  if (s.decl_is_pointer) out += "*";
+  out += s.name;
+  std::size_t extent_from = s.for_has_init ? 1 : 0;  // [0] is initializer
+  if (s.decl_is_array) {
+    for (std::size_t i = extent_from; i < s.exprs.size(); ++i) {
+      out += "[" + render(*s.exprs[i]) + "]";
+    }
+    if (s.exprs.size() == extent_from) out += "[]";
+  }
+  if (s.for_has_init) out += " = " + render(*s.exprs[0]);
+  return out;
+}
+
+}  // namespace
+
+std::string expr_text(const Expr& expr) { return render(expr); }
+
+std::string stmt_header_text(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::Compound:
+      return "{";
+    case StmtKind::Decl: {
+      std::string out = decl_text(stmt);
+      for (const auto& extra : stmt.children) {
+        out += ", " + decl_text(*extra);
+      }
+      return out;
+    }
+    case StmtKind::ExprStmt:
+      return render(*stmt.exprs[0]);
+    case StmtKind::If:
+      return "if (" + render(*stmt.exprs[0]) + ")";
+    case StmtKind::While:
+      return "while (" + render(*stmt.exprs[0]) + ")";
+    case StmtKind::DoWhile:
+      return "do ... while (" + render(*stmt.exprs[0]) + ")";
+    case StmtKind::Switch:
+      return "switch (" + render(*stmt.exprs[0]) + ")";
+    case StmtKind::Case:
+      return stmt.name == "default" ? "default:" : "case " + stmt.name + ":";
+    case StmtKind::For: {
+      std::string out = "for (";
+      if (stmt.for_has_init && !stmt.children.empty()) {
+        out += stmt_header_text(*stmt.children[0]);
+      }
+      out += "; ";
+      std::size_t expr_idx = 0;
+      if (stmt.for_has_cond) out += render(*stmt.exprs[expr_idx++]);
+      out += "; ";
+      if (stmt.for_has_step) out += render(*stmt.exprs[expr_idx]);
+      out += ")";
+      return out;
+    }
+    case StmtKind::Break:
+      return "break";
+    case StmtKind::Continue:
+      return "continue";
+    case StmtKind::Return:
+      return stmt.exprs.empty() ? "return" : "return " + render(*stmt.exprs[0]);
+    case StmtKind::Goto:
+      return "goto " + stmt.name;
+    case StmtKind::Label:
+      return stmt.name + ":";
+    case StmtKind::Null:
+      return ";";
+  }
+  return "<?>";
+}
+
+std::string stmt_tree_text(const Stmt& stmt, int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string out = pad + stmt_header_text(stmt) + "\n";
+  // Bodies of control statements and compounds.
+  std::size_t child_from = 0;
+  if (stmt.kind == StmtKind::For && stmt.for_has_init) child_from = 1;
+  for (std::size_t i = child_from; i < stmt.children.size(); ++i) {
+    if (stmt.kind == StmtKind::Decl) break;  // children are co-declarators
+    out += stmt_tree_text(*stmt.children[i], indent + 1);
+  }
+  return out;
+}
+
+}  // namespace sevuldet::frontend

@@ -1,0 +1,25 @@
+// Source-like rendering of AST nodes. The slicer emits gadgets as text
+// (one statement per line, as in the paper's Fig. 3), so every statement
+// must render back to a compact, lexically faithful form.
+#pragma once
+
+#include <string>
+
+#include "sevuldet/frontend/ast.hpp"
+
+namespace sevuldet::frontend {
+
+/// Render an expression to compact C text, e.g. "strncpy(dest, data, n)".
+std::string expr_text(const Expr& expr);
+
+/// Render the *header* of a statement — for control statements this is
+/// the predicate line only ("if (n < 100)", "while (size > 0)"), for
+/// simple statements the full text including any initializer. No trailing
+/// semicolon or braces.
+std::string stmt_header_text(const Stmt& stmt);
+
+/// Render a whole statement tree with indentation (used by examples and
+/// golden tests).
+std::string stmt_tree_text(const Stmt& stmt, int indent = 0);
+
+}  // namespace sevuldet::frontend

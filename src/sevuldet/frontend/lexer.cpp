@@ -1,0 +1,269 @@
+#include "sevuldet/frontend/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+namespace sevuldet::frontend {
+
+bool is_c_keyword(std::string_view word) {
+  static const std::unordered_set<std::string_view> kKeywords = {
+      "auto",     "break",   "case",     "char",   "const",    "continue",
+      "default",  "do",      "double",   "else",   "enum",     "extern",
+      "float",    "for",     "goto",     "if",     "inline",   "int",
+      "long",     "register","restrict", "return", "short",    "signed",
+      "sizeof",   "static",  "struct",   "switch", "typedef",  "union",
+      "unsigned", "void",    "volatile", "while",  "_Bool",    "bool",
+  };
+  return kKeywords.contains(word);
+}
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Keyword: return "keyword";
+    case TokenKind::IntLiteral: return "int-literal";
+    case TokenKind::FloatLiteral: return "float-literal";
+    case TokenKind::StringLiteral: return "string-literal";
+    case TokenKind::CharLiteral: return "char-literal";
+    case TokenKind::Punct: return "punct";
+    case TokenKind::EndOfFile: return "eof";
+  }
+  return "?";
+}
+
+namespace {
+
+// Multi-character punctuators, longest first so maximal munch works.
+constexpr std::array<std::string_view, 19> kPuncts3 = {
+    "<<=", ">>=", "...",
+    // two-character fillers below keep the array single-sourced; the
+    // scanner checks 3-char entries first, then 2-char, then 1-char.
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=",
+};
+constexpr std::string_view kPuncts2Extra[] = {"&=", "|=", "^="};
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    LexResult result;
+    for (;;) {
+      skip_trivia(result);
+      if (at_end()) break;
+      result.tokens.push_back(next_token());
+    }
+    Token eof;
+    eof.kind = TokenKind::EndOfFile;
+    eof.line = line_;
+    eof.column = column_;
+    result.tokens.push_back(std::move(eof));
+    return result;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_trivia(LexResult& result) {
+    for (;;) {
+      if (at_end()) return;
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        int start_line = line_, start_col = column_;
+        advance();
+        advance();
+        for (;;) {
+          if (at_end()) throw LexError("unterminated block comment", start_line, start_col);
+          if (peek() == '*' && peek(1) == '/') {
+            advance();
+            advance();
+            break;
+          }
+          advance();
+        }
+      } else if (c == '#' && column_ == 1) {
+        // Preprocessor directive: record the raw line (with continuations).
+        std::string directive;
+        while (!at_end() && peek() != '\n') {
+          if (peek() == '\\' && peek(1) == '\n') {
+            advance();
+            advance();
+            directive += ' ';
+            continue;
+          }
+          directive += advance();
+        }
+        result.directives.push_back(std::move(directive));
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token next_token() {
+    Token tok;
+    tok.line = line_;
+    tok.column = column_;
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+        word += advance();
+      }
+      tok.kind = is_c_keyword(word) ? TokenKind::Keyword : TokenKind::Identifier;
+      tok.text = std::move(word);
+      return tok;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      return lex_number(tok);
+    }
+    if (c == '"') return lex_string(tok);
+    if (c == '\'') return lex_char(tok);
+    return lex_punct(tok);
+  }
+
+  Token lex_number(Token tok) {
+    std::string text;
+    bool is_float = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      text += advance();
+      text += advance();
+      while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek()))) text += advance();
+    } else {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+      if (peek() == '.') {
+        is_float = true;
+        text += advance();
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        char after = peek(1);
+        if (std::isdigit(static_cast<unsigned char>(after)) || after == '+' || after == '-') {
+          is_float = true;
+          text += advance();
+          if (peek() == '+' || peek() == '-') text += advance();
+          while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+        }
+      }
+    }
+    // Integer / float suffixes: u, l, ll, f combinations.
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L' ||
+           peek() == 'f' || peek() == 'F') {
+      if (peek() == 'f' || peek() == 'F') is_float = true;
+      text += advance();
+    }
+    tok.kind = is_float ? TokenKind::FloatLiteral : TokenKind::IntLiteral;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  Token lex_string(Token tok) {
+    std::string text;
+    text += advance();  // opening quote
+    for (;;) {
+      if (at_end() || peek() == '\n') {
+        throw LexError("unterminated string literal", tok.line, tok.column);
+      }
+      char c = advance();
+      text += c;
+      if (c == '\\') {
+        if (at_end()) throw LexError("unterminated escape", tok.line, tok.column);
+        text += advance();
+      } else if (c == '"') {
+        break;
+      }
+    }
+    tok.kind = TokenKind::StringLiteral;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  Token lex_char(Token tok) {
+    std::string text;
+    text += advance();  // opening quote
+    for (;;) {
+      if (at_end() || peek() == '\n') {
+        throw LexError("unterminated char literal", tok.line, tok.column);
+      }
+      char c = advance();
+      text += c;
+      if (c == '\\') {
+        if (at_end()) throw LexError("unterminated escape", tok.line, tok.column);
+        text += advance();
+      } else if (c == '\'') {
+        break;
+      }
+    }
+    tok.kind = TokenKind::CharLiteral;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  Token lex_punct(Token tok) {
+    std::string_view rest = src_.substr(pos_);
+    for (std::string_view p : kPuncts3) {
+      if (rest.substr(0, p.size()) == p) {
+        for (std::size_t i = 0; i < p.size(); ++i) advance();
+        tok.kind = TokenKind::Punct;
+        tok.text = std::string(p);
+        return tok;
+      }
+    }
+    for (std::string_view p : kPuncts2Extra) {
+      if (rest.substr(0, 2) == p) {
+        advance();
+        advance();
+        tok.kind = TokenKind::Punct;
+        tok.text = std::string(p);
+        return tok;
+      }
+    }
+    static constexpr std::string_view kSingles = "+-*/%<>=!&|^~?:;,.()[]{}";
+    char c = peek();
+    if (kSingles.find(c) != std::string_view::npos) {
+      advance();
+      tok.kind = TokenKind::Punct;
+      tok.text = std::string(1, c);
+      return tok;
+    }
+    throw LexError(std::string("unexpected character '") + c + "'", line_, column_);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Scanner(source).run(); }
+
+std::vector<Token> lex_tokens(std::string_view source) {
+  LexResult result = lex(source);
+  result.tokens.pop_back();  // drop EOF
+  return std::move(result.tokens);
+}
+
+}  // namespace sevuldet::frontend

@@ -1,0 +1,40 @@
+// Hand-written lexer for the C subset. Skips // and /* */ comments and
+// whitespace, records preprocessor directive lines separately (the
+// slicing pipeline ignores them but the normalizer keeps macros intact),
+// and reports malformed input with source positions rather than crashing.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sevuldet/frontend/token.hpp"
+
+namespace sevuldet::frontend {
+
+/// Raised on malformed input (unterminated string/comment, stray byte).
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, int line, int column)
+      : std::runtime_error(message + " at " + std::to_string(line) + ":" +
+                           std::to_string(column)),
+        line(line),
+        column(column) {}
+  int line;
+  int column;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;       // ends with an EndOfFile token
+  std::vector<std::string> directives;  // raw '#...' lines, in order
+};
+
+/// Tokenize a whole translation unit.
+LexResult lex(std::string_view source);
+
+/// Tokenize and drop the EndOfFile sentinel — convenient for callers that
+/// only want the token texts (e.g. the gadget tokenizer).
+std::vector<Token> lex_tokens(std::string_view source);
+
+}  // namespace sevuldet::frontend

@@ -1,0 +1,839 @@
+#include "sevuldet/frontend/parser.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sevuldet/frontend/lexer.hpp"
+
+namespace sevuldet::frontend {
+
+namespace {
+
+const std::unordered_set<std::string>& builtin_type_names() {
+  static const std::unordered_set<std::string> kTypes = {
+      // Common typedef-style names treated as types even though the lexer
+      // classifies them as identifiers.
+      "size_t",   "ssize_t",  "ptrdiff_t", "wchar_t",  "FILE",
+      "int8_t",   "int16_t",  "int32_t",   "int64_t",  "uint8_t",
+      "uint16_t", "uint32_t", "uint64_t",  "uintptr_t","intptr_t",
+      "uint",     "ulong",    "ushort",    "byte",     "twoIntsStruct",
+      "hwaddr",   "NetClientState",
+  };
+  return kTypes;
+}
+
+bool is_type_keyword(const Token& tok) {
+  if (tok.kind != TokenKind::Keyword) return false;
+  static const std::unordered_set<std::string> kTypeKw = {
+      "void", "char", "short", "int", "long", "float", "double", "signed",
+      "unsigned", "struct", "union", "enum", "const", "volatile", "static",
+      "extern", "register", "auto", "inline", "_Bool", "bool",
+  };
+  return kTypeKw.contains(tok.text);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) {
+    LexResult lexed = lex(source);
+    tokens_ = std::move(lexed.tokens);
+    directives_ = std::move(lexed.directives);
+    type_names_ = builtin_type_names();
+  }
+
+  TranslationUnit parse_unit() {
+    TranslationUnit unit;
+    unit.directives = directives_;
+    while (!peek().is(TokenKind::EndOfFile)) {
+      parse_top_level(unit);
+    }
+    return unit;
+  }
+
+  StmtPtr parse_single_statement() {
+    StmtPtr stmt = parse_stmt();
+    expect_eof();
+    return stmt;
+  }
+
+  ExprPtr parse_single_expression() {
+    ExprPtr expr = parse_expr();
+    expect_eof();
+    return expr;
+  }
+
+ private:
+  // --- token stream helpers ------------------------------------------------
+
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+
+  const Token& advance() {
+    const Token& tok = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return tok;
+  }
+
+  bool match_punct(std::string_view p) {
+    if (peek().is_punct(p)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool match_keyword(std::string_view k) {
+    if (peek().is_keyword(k)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  const Token& expect_punct(std::string_view p) {
+    if (!peek().is_punct(p)) {
+      throw ParseError("expected '" + std::string(p) + "', got '" + peek().text + "'",
+                       peek().line, peek().column);
+    }
+    return advance();
+  }
+
+  void expect_eof() {
+    if (!peek().is(TokenKind::EndOfFile)) {
+      throw ParseError("trailing input '" + peek().text + "'", peek().line,
+                       peek().column);
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message + " (got '" + peek().text + "')", peek().line,
+                     peek().column);
+  }
+
+  bool is_type_start(std::size_t ahead = 0) const {
+    const Token& tok = peek(ahead);
+    if (is_type_keyword(tok)) return true;
+    return tok.kind == TokenKind::Identifier && type_names_.contains(tok.text);
+  }
+
+  // --- top level -------------------------------------------------------
+
+  void parse_top_level(TranslationUnit& unit) {
+    if (match_keyword("typedef")) {
+      // typedef <anything> NewName ; — record NewName as a type.
+      std::vector<Token> body;
+      int depth = 0;
+      while (!peek().is(TokenKind::EndOfFile)) {
+        if (peek().is_punct("{")) ++depth;
+        if (peek().is_punct("}")) --depth;
+        if (depth == 0 && peek().is_punct(";")) break;
+        body.push_back(advance());
+      }
+      expect_punct(";");
+      if (!body.empty() && body.back().kind == TokenKind::Identifier) {
+        type_names_.insert(body.back().text);
+      }
+      return;
+    }
+
+    if (peek().is_keyword("struct") || peek().is_keyword("union") ||
+        peek().is_keyword("enum")) {
+      // Could be a definition `struct X { ... };` or the start of a
+      // function/global using the tag type. Definition iff '{' appears
+      // before an identifier+'(' pattern.
+      if (peek(1).kind == TokenKind::Identifier && peek(2).is_punct("{")) {
+        GlobalDecl decl;
+        decl.range.begin_line = peek().line;
+        advance();  // struct/union/enum
+        type_names_.insert(peek().text);
+        std::string tag = advance().text;
+        decl.text = "struct " + tag;
+        skip_balanced("{", "}");
+        // optional trailing declarators
+        while (!peek().is_punct(";") && !peek().is(TokenKind::EndOfFile)) advance();
+        decl.range.end_line = peek().line;
+        expect_punct(";");
+        unit.globals.push_back(std::move(decl));
+        return;
+      }
+    }
+
+    // Type-led construct: function definition, prototype, or global
+    // variable.
+    if (!is_type_start()) {
+      fail("expected declaration or function definition");
+    }
+    int start_line = peek().line;
+    std::string type = parse_type_text();
+    bool pointer = false;
+    while (match_punct("*")) pointer = true;
+
+    if (!peek().is(TokenKind::Identifier)) {
+      // e.g. `struct X;` forward declaration
+      GlobalDecl decl;
+      decl.text = type;
+      decl.range = {start_line, peek().line};
+      while (!peek().is_punct(";") && !peek().is(TokenKind::EndOfFile)) advance();
+      expect_punct(";");
+      unit.globals.push_back(std::move(decl));
+      return;
+    }
+    std::string name = advance().text;
+
+    if (peek().is_punct("(")) {
+      FunctionDef fn;
+      fn.return_type = type + (pointer ? " *" : "");
+      fn.name = name;
+      fn.range.begin_line = start_line;
+      parse_params(fn);
+      if (match_punct(";")) {
+        // Prototype — record as a global so the source round-trips.
+        GlobalDecl decl;
+        decl.text = fn.return_type + " " + fn.name + "(...)";
+        decl.range = {start_line, start_line};
+        unit.globals.push_back(std::move(decl));
+        return;
+      }
+      fn.body = parse_compound();
+      fn.range.end_line = fn.body->range.end_line;
+      unit.functions.push_back(std::move(fn));
+      return;
+    }
+
+    // Global variable declaration: capture textually.
+    GlobalDecl decl;
+    decl.text = type + " " + name;
+    decl.range.begin_line = start_line;
+    int depth = 0;
+    while (!peek().is(TokenKind::EndOfFile)) {
+      if (peek().is_punct("{")) ++depth;
+      if (peek().is_punct("}")) --depth;
+      if (depth == 0 && peek().is_punct(";")) break;
+      advance();
+    }
+    decl.range.end_line = peek().line;
+    expect_punct(";");
+    unit.globals.push_back(std::move(decl));
+  }
+
+  void skip_balanced(std::string_view open, std::string_view close) {
+    expect_punct(open);
+    int depth = 1;
+    while (depth > 0) {
+      if (peek().is(TokenKind::EndOfFile)) fail("unbalanced brackets");
+      if (peek().is_punct(open)) ++depth;
+      if (peek().is_punct(close)) --depth;
+      advance();
+    }
+  }
+
+  std::string parse_type_text() {
+    // Consume qualifiers + type words. At least one token is required.
+    std::string text;
+    bool saw_core = false;
+    for (;;) {
+      const Token& tok = peek();
+      bool take = false;
+      if (is_type_keyword(tok)) {
+        take = true;
+        if (tok.text != "const" && tok.text != "volatile" && tok.text != "static" &&
+            tok.text != "extern" && tok.text != "register" && tok.text != "inline" &&
+            tok.text != "auto") {
+          saw_core = true;
+        }
+        if (tok.text == "struct" || tok.text == "union" || tok.text == "enum") {
+          // struct Tag
+          if (!text.empty()) text += ' ';
+          text += advance().text;
+          if (peek().kind == TokenKind::Identifier) {
+            text += ' ';
+            text += advance().text;
+          }
+          continue;
+        }
+      } else if (tok.kind == TokenKind::Identifier && type_names_.contains(tok.text) &&
+                 !saw_core) {
+        take = true;
+        saw_core = true;
+      }
+      if (!take) break;
+      if (!text.empty()) text += ' ';
+      text += advance().text;
+    }
+    if (text.empty()) fail("expected type");
+    return text;
+  }
+
+  void parse_params(FunctionDef& fn) {
+    expect_punct("(");
+    if (match_punct(")")) return;
+    if (peek().is_keyword("void") && peek(1).is_punct(")")) {
+      advance();
+      advance();
+      return;
+    }
+    for (;;) {
+      if (peek().is_punct("...")) {
+        advance();
+        Param p;
+        p.type = "...";
+        fn.params.push_back(std::move(p));
+      } else {
+        Param p;
+        p.type = parse_type_text();
+        while (match_punct("*")) p.is_pointer = true;
+        if (peek().kind == TokenKind::Identifier) p.name = advance().text;
+        while (peek().is_punct("[")) {
+          p.is_array = true;
+          skip_balanced("[", "]");
+        }
+        fn.params.push_back(std::move(p));
+      }
+      if (match_punct(")")) break;
+      expect_punct(",");
+    }
+  }
+
+  // --- statements ------------------------------------------------------
+
+  StmtPtr parse_compound() {
+    auto stmt = std::make_unique<Stmt>(StmtKind::Compound);
+    stmt->range.begin_line = peek().line;
+    expect_punct("{");
+    while (!peek().is_punct("}")) {
+      if (peek().is(TokenKind::EndOfFile)) fail("unterminated block");
+      stmt->children.push_back(parse_stmt());
+    }
+    stmt->range.end_line = peek().line;
+    expect_punct("}");
+    return stmt;
+  }
+
+  StmtPtr parse_stmt() {
+    const Token& tok = peek();
+    if (tok.is_punct("{")) return parse_compound();
+    if (tok.is_punct(";")) {
+      auto s = std::make_unique<Stmt>(StmtKind::Null);
+      s->range = {tok.line, tok.line};
+      advance();
+      return s;
+    }
+    if (tok.is_keyword("if")) return parse_if();
+    if (tok.is_keyword("for")) return parse_for();
+    if (tok.is_keyword("while")) return parse_while();
+    if (tok.is_keyword("do")) return parse_do_while();
+    if (tok.is_keyword("switch")) return parse_switch();
+    if (tok.is_keyword("case") || tok.is_keyword("default")) {
+      fail("case label outside switch");
+    }
+    if (tok.is_keyword("break")) {
+      auto s = std::make_unique<Stmt>(StmtKind::Break);
+      s->range = {tok.line, tok.line};
+      advance();
+      expect_punct(";");
+      return s;
+    }
+    if (tok.is_keyword("continue")) {
+      auto s = std::make_unique<Stmt>(StmtKind::Continue);
+      s->range = {tok.line, tok.line};
+      advance();
+      expect_punct(";");
+      return s;
+    }
+    if (tok.is_keyword("return")) {
+      auto s = std::make_unique<Stmt>(StmtKind::Return);
+      s->range = {tok.line, tok.line};
+      advance();
+      if (!peek().is_punct(";")) s->exprs.push_back(parse_expr());
+      s->range.end_line = peek().line;
+      expect_punct(";");
+      return s;
+    }
+    if (tok.is_keyword("goto")) {
+      auto s = std::make_unique<Stmt>(StmtKind::Goto);
+      s->range = {tok.line, tok.line};
+      advance();
+      if (!peek().is(TokenKind::Identifier)) fail("expected label after goto");
+      s->name = advance().text;
+      expect_punct(";");
+      return s;
+    }
+    // Label: identifier ':' not followed by another ':' (no C++ scope op
+    // in this subset) and not a case label.
+    if (tok.kind == TokenKind::Identifier && peek(1).is_punct(":")) {
+      auto s = std::make_unique<Stmt>(StmtKind::Label);
+      s->range = {tok.line, tok.line};
+      s->name = advance().text;
+      expect_punct(":");
+      if (!peek().is_punct("}")) s->children.push_back(parse_stmt());
+      if (!s->children.empty()) {
+        s->range.end_line = s->children.back()->range.end_line;
+      }
+      return s;
+    }
+    if (is_type_start()) return parse_decl();
+    return parse_expr_stmt();
+  }
+
+  StmtPtr parse_decl() {
+    // One Decl node per declarator; a multi-declarator statement becomes a
+    // Compound-free sibling sequence wrapped in the first node's children?
+    // No — callers expect a single StmtPtr, so multi-declarator lines are
+    // represented as a Decl whose children hold the remaining declarators.
+    int start_line = peek().line;
+    std::string type = parse_type_text();
+
+    auto parse_declarator = [&](Stmt& decl) {
+      while (match_punct("*")) decl.decl_is_pointer = true;
+      if (!peek().is(TokenKind::Identifier)) fail("expected declarator name");
+      decl.name = advance().text;
+      decl.type = type;
+      while (peek().is_punct("[")) {
+        decl.decl_is_array = true;
+        advance();
+        if (!peek().is_punct("]")) decl.exprs.push_back(parse_assign_expr());
+        expect_punct("]");
+      }
+      if (match_punct("=")) {
+        decl.exprs.insert(decl.exprs.begin(), parse_initializer());
+        decl.for_has_init = true;  // reused flag: initializer present
+      }
+    };
+
+    auto first = std::make_unique<Stmt>(StmtKind::Decl);
+    first->range.begin_line = start_line;
+    parse_declarator(*first);
+    while (match_punct(",")) {
+      auto extra = std::make_unique<Stmt>(StmtKind::Decl);
+      extra->range.begin_line = start_line;
+      parse_declarator(*extra);
+      extra->range.end_line = peek().line;
+      first->children.push_back(std::move(extra));
+    }
+    first->range.end_line = peek().line;
+    expect_punct(";");
+    return first;
+  }
+
+  ExprPtr parse_initializer() {
+    if (peek().is_punct("{")) {
+      // Brace initializer — represent as a Comma expr of elements.
+      auto init = std::make_unique<Expr>(ExprKind::Comma);
+      init->line = peek().line;
+      init->op = "{}";
+      advance();
+      if (!peek().is_punct("}")) {
+        for (;;) {
+          init->children.push_back(parse_initializer());
+          if (!match_punct(",")) break;
+          if (peek().is_punct("}")) break;  // trailing comma
+        }
+      }
+      expect_punct("}");
+      return init;
+    }
+    return parse_assign_expr();
+  }
+
+  StmtPtr parse_expr_stmt() {
+    auto s = std::make_unique<Stmt>(StmtKind::ExprStmt);
+    s->range.begin_line = peek().line;
+    s->exprs.push_back(parse_expr());
+    s->range.end_line = peek().line;
+    expect_punct(";");
+    return s;
+  }
+
+  StmtPtr parse_if() {
+    auto s = std::make_unique<Stmt>(StmtKind::If);
+    s->range.begin_line = peek().line;
+    advance();  // if
+    expect_punct("(");
+    s->exprs.push_back(parse_expr());
+    expect_punct(")");
+    s->children.push_back(parse_stmt());
+    s->range.end_line = s->children.back()->range.end_line;
+    if (match_keyword("else")) {
+      s->children.push_back(parse_stmt());
+      s->range.end_line = s->children.back()->range.end_line;
+    }
+    return s;
+  }
+
+  StmtPtr parse_while() {
+    auto s = std::make_unique<Stmt>(StmtKind::While);
+    s->range.begin_line = peek().line;
+    advance();  // while
+    expect_punct("(");
+    s->exprs.push_back(parse_expr());
+    expect_punct(")");
+    s->children.push_back(parse_stmt());
+    s->range.end_line = s->children.back()->range.end_line;
+    return s;
+  }
+
+  StmtPtr parse_do_while() {
+    auto s = std::make_unique<Stmt>(StmtKind::DoWhile);
+    s->range.begin_line = peek().line;
+    advance();  // do
+    s->children.push_back(parse_stmt());
+    if (!match_keyword("while")) fail("expected 'while' after do-body");
+    expect_punct("(");
+    s->exprs.push_back(parse_expr());
+    expect_punct(")");
+    s->range.end_line = peek().line;
+    expect_punct(";");
+    return s;
+  }
+
+  StmtPtr parse_for() {
+    auto s = std::make_unique<Stmt>(StmtKind::For);
+    s->range.begin_line = peek().line;
+    advance();  // for
+    expect_punct("(");
+    if (!peek().is_punct(";")) {
+      s->for_has_init = true;
+      if (is_type_start()) {
+        s->children.push_back(parse_decl());  // consumes ';'
+      } else {
+        auto init = std::make_unique<Stmt>(StmtKind::ExprStmt);
+        init->range = {peek().line, peek().line};
+        init->exprs.push_back(parse_expr());
+        expect_punct(";");
+        s->children.push_back(std::move(init));
+      }
+    } else {
+      expect_punct(";");
+    }
+    if (!peek().is_punct(";")) {
+      s->for_has_cond = true;
+      s->exprs.push_back(parse_expr());
+    }
+    expect_punct(";");
+    if (!peek().is_punct(")")) {
+      s->for_has_step = true;
+      s->exprs.push_back(parse_expr());
+    }
+    expect_punct(")");
+    s->children.push_back(parse_stmt());
+    s->range.end_line = s->children.back()->range.end_line;
+    return s;
+  }
+
+  StmtPtr parse_switch() {
+    auto s = std::make_unique<Stmt>(StmtKind::Switch);
+    s->range.begin_line = peek().line;
+    advance();  // switch
+    expect_punct("(");
+    s->exprs.push_back(parse_expr());
+    expect_punct(")");
+    expect_punct("{");
+    StmtPtr current_case;
+    while (!peek().is_punct("}")) {
+      if (peek().is(TokenKind::EndOfFile)) fail("unterminated switch");
+      if (peek().is_keyword("case") || peek().is_keyword("default")) {
+        if (current_case) s->children.push_back(std::move(current_case));
+        current_case = std::make_unique<Stmt>(StmtKind::Case);
+        current_case->range.begin_line = peek().line;
+        if (match_keyword("case")) {
+          // case expression up to ':'
+          ExprPtr value = parse_ternary_expr();
+          current_case->name = expr_to_text_(*value);
+          current_case->exprs.push_back(std::move(value));
+        } else {
+          advance();  // default
+          current_case->name = "default";
+        }
+        expect_punct(":");
+        current_case->range.end_line = current_case->range.begin_line;
+        continue;
+      }
+      StmtPtr inner = parse_stmt();
+      if (current_case) {
+        current_case->range.end_line = inner->range.end_line;
+        current_case->children.push_back(std::move(inner));
+      } else {
+        s->children.push_back(std::move(inner));  // unlabeled code (rare)
+      }
+    }
+    if (current_case) s->children.push_back(std::move(current_case));
+    s->range.end_line = peek().line;
+    expect_punct("}");
+    return s;
+  }
+
+  // --- expressions -------------------------------------------------------
+
+  ExprPtr parse_expr() {
+    ExprPtr lhs = parse_assign_expr();
+    if (!peek().is_punct(",")) return lhs;
+    auto comma = std::make_unique<Expr>(ExprKind::Comma);
+    comma->line = lhs->line;
+    comma->op = ",";
+    comma->children.push_back(std::move(lhs));
+    while (match_punct(",")) comma->children.push_back(parse_assign_expr());
+    return comma;
+  }
+
+  ExprPtr parse_assign_expr() {
+    ExprPtr lhs = parse_ternary_expr();
+    static const std::unordered_set<std::string> kAssignOps = {
+        "=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^="};
+    if (peek().kind == TokenKind::Punct && kAssignOps.contains(peek().text)) {
+      auto node = std::make_unique<Expr>(ExprKind::Assign);
+      node->line = peek().line;
+      node->op = advance().text;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_assign_expr());
+      return node;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_ternary_expr() {
+    ExprPtr cond = parse_binary_expr(0);
+    if (!match_punct("?")) return cond;
+    auto node = std::make_unique<Expr>(ExprKind::Ternary);
+    node->line = cond->line;
+    node->op = "?:";
+    node->children.push_back(std::move(cond));
+    node->children.push_back(parse_expr());
+    expect_punct(":");
+    node->children.push_back(parse_assign_expr());
+    return node;
+  }
+
+  static int binary_precedence(const Token& tok) {
+    if (tok.kind != TokenKind::Punct) return -1;
+    const std::string& p = tok.text;
+    if (p == "||") return 0;
+    if (p == "&&") return 1;
+    if (p == "|") return 2;
+    if (p == "^") return 3;
+    if (p == "&") return 4;
+    if (p == "==" || p == "!=") return 5;
+    if (p == "<" || p == ">" || p == "<=" || p == ">=") return 6;
+    if (p == "<<" || p == ">>") return 7;
+    if (p == "+" || p == "-") return 8;
+    if (p == "*" || p == "/" || p == "%") return 9;
+    return -1;
+  }
+
+  ExprPtr parse_binary_expr(int min_prec) {
+    ExprPtr lhs = parse_unary_expr();
+    for (;;) {
+      int prec = binary_precedence(peek());
+      if (prec < min_prec) return lhs;
+      auto node = std::make_unique<Expr>(ExprKind::Binary);
+      node->line = peek().line;
+      node->op = advance().text;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(parse_binary_expr(prec + 1));
+      lhs = std::move(node);
+    }
+  }
+
+  bool looks_like_cast() const {
+    if (!peek().is_punct("(")) return false;
+    if (!is_type_start(1)) return false;
+    // Scan forward: type tokens / '*' then ')'.
+    std::size_t i = 1;
+    bool saw_type = false;
+    while (true) {
+      const Token& tok = peek(i);
+      if (is_type_keyword(tok) ||
+          (tok.kind == TokenKind::Identifier && type_names_.contains(tok.text))) {
+        saw_type = true;
+        ++i;
+        continue;
+      }
+      if (tok.is_punct("*")) {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    return saw_type && peek(i).is_punct(")");
+  }
+
+  ExprPtr parse_unary_expr() {
+    const Token& tok = peek();
+    if (tok.kind == TokenKind::Punct) {
+      static const std::unordered_set<std::string> kUnary = {"-", "+", "!", "~",
+                                                             "*", "&", "++", "--"};
+      if (kUnary.contains(tok.text)) {
+        auto node = std::make_unique<Expr>(ExprKind::Unary);
+        node->line = tok.line;
+        node->op = advance().text;
+        node->children.push_back(parse_unary_expr());
+        return node;
+      }
+    }
+    if (tok.is_keyword("sizeof")) {
+      auto node = std::make_unique<Expr>(ExprKind::SizeOf);
+      node->line = tok.line;
+      advance();
+      if (peek().is_punct("(") && is_type_start(1)) {
+        advance();
+        node->text = parse_type_text();
+        while (match_punct("*")) node->text += "*";
+        expect_punct(")");
+      } else {
+        node->children.push_back(parse_unary_expr());
+      }
+      return node;
+    }
+    if (looks_like_cast()) {
+      auto node = std::make_unique<Expr>(ExprKind::Cast);
+      node->line = tok.line;
+      advance();  // (
+      node->text = parse_type_text();
+      while (match_punct("*")) node->text += "*";
+      expect_punct(")");
+      node->children.push_back(parse_unary_expr());
+      return node;
+    }
+    return parse_postfix_expr();
+  }
+
+  ExprPtr parse_postfix_expr() {
+    ExprPtr expr = parse_primary_expr();
+    for (;;) {
+      if (peek().is_punct("(")) {
+        auto call = std::make_unique<Expr>(ExprKind::Call);
+        call->line = peek().line;
+        if (expr->kind == ExprKind::Ident) call->text = expr->text;
+        call->children.push_back(std::move(expr));
+        advance();
+        if (!peek().is_punct(")")) {
+          for (;;) {
+            call->children.push_back(parse_assign_expr());
+            if (!match_punct(",")) break;
+          }
+        }
+        expect_punct(")");
+        expr = std::move(call);
+      } else if (peek().is_punct("[")) {
+        auto index = std::make_unique<Expr>(ExprKind::Index);
+        index->line = peek().line;
+        index->children.push_back(std::move(expr));
+        advance();
+        index->children.push_back(parse_expr());
+        expect_punct("]");
+        expr = std::move(index);
+      } else if (peek().is_punct(".") || peek().is_punct("->")) {
+        auto member = std::make_unique<Expr>(ExprKind::Member);
+        member->line = peek().line;
+        member->op = advance().text;
+        if (!peek().is(TokenKind::Identifier)) fail("expected member name");
+        member->text = advance().text;
+        member->children.push_back(std::move(expr));
+        expr = std::move(member);
+      } else if (peek().is_punct("++") || peek().is_punct("--")) {
+        auto post = std::make_unique<Expr>(ExprKind::PostfixUnary);
+        post->line = peek().line;
+        post->op = advance().text;
+        post->children.push_back(std::move(expr));
+        expr = std::move(post);
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  ExprPtr parse_primary_expr() {
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case TokenKind::Identifier: {
+        auto node = std::make_unique<Expr>(ExprKind::Ident);
+        node->line = tok.line;
+        node->column = tok.column;
+        node->text = advance().text;
+        return node;
+      }
+      case TokenKind::IntLiteral: {
+        auto node = std::make_unique<Expr>(ExprKind::IntLit);
+        node->line = tok.line;
+        node->text = advance().text;
+        return node;
+      }
+      case TokenKind::FloatLiteral: {
+        auto node = std::make_unique<Expr>(ExprKind::FloatLit);
+        node->line = tok.line;
+        node->text = advance().text;
+        return node;
+      }
+      case TokenKind::StringLiteral: {
+        auto node = std::make_unique<Expr>(ExprKind::StringLit);
+        node->line = tok.line;
+        node->text = advance().text;
+        return node;
+      }
+      case TokenKind::CharLiteral: {
+        auto node = std::make_unique<Expr>(ExprKind::CharLit);
+        node->line = tok.line;
+        node->text = advance().text;
+        return node;
+      }
+      default:
+        break;
+    }
+    if (match_punct("(")) {
+      ExprPtr inner = parse_expr();
+      expect_punct(")");
+      return inner;
+    }
+    if (tok.kind == TokenKind::Keyword) {
+      // NULL-ish keywords in expression position, e.g. sizeof handled
+      // above; treat stray type keywords as identifiers so odd macros
+      // don't kill parsing.
+      auto node = std::make_unique<Expr>(ExprKind::Ident);
+      node->line = tok.line;
+      node->text = advance().text;
+      return node;
+    }
+    fail("expected expression");
+  }
+
+  // Light textual rendering of a case-label expression.
+  static std::string expr_to_text_(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::Ident:
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+      case ExprKind::StringLit:
+      case ExprKind::CharLit:
+        return expr.text;
+      case ExprKind::Unary:
+        return expr.op + expr_to_text_(*expr.children[0]);
+      case ExprKind::Binary:
+        return expr_to_text_(*expr.children[0]) + expr.op +
+               expr_to_text_(*expr.children[1]);
+      default:
+        return "<expr>";
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::vector<std::string> directives_;
+  std::unordered_set<std::string> type_names_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TranslationUnit parse(std::string_view source) {
+  return Parser(source).parse_unit();
+}
+
+StmtPtr parse_statement(std::string_view source) {
+  return Parser(source).parse_single_statement();
+}
+
+ExprPtr parse_expression(std::string_view source) {
+  return Parser(source).parse_single_expression();
+}
+
+}  // namespace sevuldet::frontend

@@ -1,0 +1,43 @@
+// Recursive-descent parser for the C subset used by the datasets and the
+// paper's examples. It produces the statement-level AST in ast.hpp.
+//
+// Scope: function definitions, global declarations, struct definitions
+// (fields recorded textually), the eight control statements Algorithm 1
+// cares about (if / else if / else / for / while / do-while / switch /
+// case) plus goto/label/break/continue/return, and the full C expression
+// grammar (assignment through primary, calls, indexing, member access,
+// casts, sizeof). Preprocessor directives are captured by the lexer and
+// surfaced on the TranslationUnit.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sevuldet/frontend/ast.hpp"
+
+namespace sevuldet::frontend {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column)
+      : std::runtime_error(message + " at " + std::to_string(line) + ":" +
+                           std::to_string(column)),
+        line(line),
+        column(column) {}
+  int line;
+  int column;
+};
+
+/// Parse a whole translation unit. Throws LexError / ParseError on
+/// malformed input.
+TranslationUnit parse(std::string_view source);
+
+/// Parse a single statement (used by tests and the gadget walkthrough
+/// example). The statement must be self-contained.
+StmtPtr parse_statement(std::string_view source);
+
+/// Parse a single expression.
+ExprPtr parse_expression(std::string_view source);
+
+}  // namespace sevuldet::frontend

@@ -1,0 +1,48 @@
+// Lexical tokens for the C-subset frontend. The lexer produces a flat
+// token stream with source positions; the parser consumes it and the
+// normalizer (Step III of the paper) re-tokenizes gadget text with the
+// same lexer so both phases agree on token boundaries.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sevuldet::frontend {
+
+enum class TokenKind {
+  Identifier,   // foo, strncpy, var1
+  Keyword,      // if, while, int, return, ...
+  IntLiteral,   // 42, 0x1F, 100UL
+  FloatLiteral, // 3.14, 1e-9f
+  StringLiteral,// "text" (quotes included in text)
+  CharLiteral,  // 'a'
+  Punct,        // operators and separators: + - -> ( ) { } ; ...
+  EndOfFile,
+};
+
+/// One lexical token. `line` and `column` are 1-based positions of the
+/// first character in the original source.
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;
+  int line = 0;
+  int column = 0;
+
+  bool is(TokenKind k) const { return kind == k; }
+  bool is_punct(std::string_view p) const {
+    return kind == TokenKind::Punct && text == p;
+  }
+  bool is_keyword(std::string_view k) const {
+    return kind == TokenKind::Keyword && text == k;
+  }
+  bool is_identifier(std::string_view name) const {
+    return kind == TokenKind::Identifier && text == name;
+  }
+};
+
+/// True for the identifiers the lexer classifies as C keywords.
+bool is_c_keyword(std::string_view word);
+
+const char* token_kind_name(TokenKind kind);
+
+}  // namespace sevuldet::frontend

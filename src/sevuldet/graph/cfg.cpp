@@ -1,0 +1,378 @@
+#include "sevuldet/graph/cfg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace sevuldet::graph {
+
+using frontend::Stmt;
+using frontend::StmtKind;
+
+bool Cfg::has_edge(int from, int to) const {
+  const auto& s = succ[static_cast<std::size_t>(from)];
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+namespace {
+
+/// A partially built sub-graph: `first` is the entry unit (-1 for an
+/// empty fragment) and `ends` are the units whose control falls through
+/// to whatever follows the fragment.
+struct Fragment {
+  int first = -1;
+  std::vector<int> ends;
+};
+
+struct LoopCtx {
+  std::vector<int> break_sources;
+  int continue_target = -1;  // -1 while the target unit is not yet known
+  std::vector<int> pending_continues;
+};
+
+class CfgBuilder {
+ public:
+  CfgBuilder(const frontend::FunctionDef& fn, const std::vector<StmtUnit>& units)
+      : fn_(fn), units_(units) {
+    cfg_.num_units = static_cast<int>(units.size());
+    cfg_.succ.resize(static_cast<std::size_t>(cfg_.num_nodes()));
+    cfg_.pred.resize(static_cast<std::size_t>(cfg_.num_nodes()));
+    for (const auto& unit : units) {
+      unit_of_[key_of(unit)] = unit.id;
+      if (unit.kind == UnitKind::Label) labels_[unit.stmt->name] = unit.id;
+    }
+  }
+
+  Cfg build() {
+    Fragment body = walk(*fn_.body);
+    if (body.first >= 0) {
+      add_edge(cfg_.entry(), body.first);
+    } else {
+      add_edge(cfg_.entry(), cfg_.exit());
+    }
+    for (int end : body.ends) add_edge(end, cfg_.exit());
+    for (const auto& [goto_id, label] : goto_fixups_) {
+      auto it = labels_.find(label);
+      if (it == labels_.end()) {
+        // Unresolved label — treat as function exit so the CFG stays
+        // well-formed on partial code.
+        add_edge(goto_id, cfg_.exit());
+      } else {
+        add_edge(goto_id, it->second);
+      }
+    }
+    // A function whose body never reaches Exit (e.g. infinite loop)
+    // still needs Exit reachable for post-dominance. Repeatedly connect
+    // the first entry-reachable node that cannot reach Exit — for a
+    // `for (;;)` this is the loop predicate, which models "the loop may
+    // terminate" without disturbing control dependence elsewhere.
+    for (;;) {
+      std::vector<char> reaches_exit(static_cast<std::size_t>(cfg_.num_nodes()), 0);
+      std::vector<int> stack{cfg_.exit()};
+      reaches_exit[static_cast<std::size_t>(cfg_.exit())] = 1;
+      while (!stack.empty()) {
+        int n = stack.back();
+        stack.pop_back();
+        for (int p : cfg_.pred[static_cast<std::size_t>(n)]) {
+          if (!reaches_exit[static_cast<std::size_t>(p)]) {
+            reaches_exit[static_cast<std::size_t>(p)] = 1;
+            stack.push_back(p);
+          }
+        }
+      }
+      std::vector<char> from_entry(static_cast<std::size_t>(cfg_.num_nodes()), 0);
+      stack.push_back(cfg_.entry());
+      from_entry[static_cast<std::size_t>(cfg_.entry())] = 1;
+      while (!stack.empty()) {
+        int n = stack.back();
+        stack.pop_back();
+        for (int s : cfg_.succ[static_cast<std::size_t>(n)]) {
+          if (!from_entry[static_cast<std::size_t>(s)]) {
+            from_entry[static_cast<std::size_t>(s)] = 1;
+            stack.push_back(s);
+          }
+        }
+      }
+      int stuck = -1;
+      for (int n = 0; n < cfg_.num_units; ++n) {
+        if (from_entry[static_cast<std::size_t>(n)] &&
+            !reaches_exit[static_cast<std::size_t>(n)]) {
+          stuck = n;
+          break;
+        }
+      }
+      if (stuck < 0) break;
+      add_edge(stuck, cfg_.exit());
+    }
+    return std::move(cfg_);
+  }
+
+ private:
+  // A unit is identified by its Stmt plus a role discriminator: the For
+  // statement owns the ForPred unit while its init child owns ForInit,
+  // and both pointers are distinct, so the Stmt pointer alone suffices.
+  static const void* key_of(const StmtUnit& unit) { return unit.stmt; }
+
+  int unit_id(const Stmt& stmt) const {
+    auto it = unit_of_.find(&stmt);
+    if (it == unit_of_.end()) throw std::logic_error("CFG: unknown statement");
+    return it->second;
+  }
+
+  void add_edge(int from, int to) {
+    if (cfg_.has_edge(from, to)) return;
+    cfg_.succ[static_cast<std::size_t>(from)].push_back(to);
+    cfg_.pred[static_cast<std::size_t>(to)].push_back(from);
+  }
+
+  void connect(const std::vector<int>& ends, int to) {
+    for (int e : ends) add_edge(e, to);
+  }
+
+  /// Sequence a list of child statements.
+  Fragment walk_sequence(const std::vector<frontend::StmtPtr>& children,
+                         std::size_t from = 0) {
+    Fragment out;
+    std::vector<int> dangling;
+    for (std::size_t i = from; i < children.size(); ++i) {
+      Fragment piece = walk(*children[i]);
+      if (piece.first < 0) continue;  // empty statement
+      if (out.first < 0) out.first = piece.first;
+      connect(dangling, piece.first);
+      dangling = std::move(piece.ends);
+    }
+    out.ends = std::move(dangling);
+    return out;
+  }
+
+  Fragment walk(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::Compound:
+        return walk_sequence(stmt.children);
+      case StmtKind::Decl:
+      case StmtKind::ExprStmt: {
+        int id = unit_id(stmt);
+        return {id, {id}};
+      }
+      case StmtKind::If: {
+        int pred = unit_id(stmt);
+        Fragment out{pred, {}};
+        Fragment then_frag = walk(*stmt.children[0]);
+        if (then_frag.first >= 0) {
+          add_edge(pred, then_frag.first);
+          out.ends.insert(out.ends.end(), then_frag.ends.begin(), then_frag.ends.end());
+        } else {
+          out.ends.push_back(pred);
+        }
+        if (stmt.children.size() > 1) {
+          Fragment else_frag = walk(*stmt.children[1]);
+          if (else_frag.first >= 0) {
+            add_edge(pred, else_frag.first);
+            out.ends.insert(out.ends.end(), else_frag.ends.begin(), else_frag.ends.end());
+          } else {
+            out.ends.push_back(pred);
+          }
+        } else {
+          out.ends.push_back(pred);
+        }
+        return out;
+      }
+      case StmtKind::While: {
+        int pred = unit_id(stmt);
+        loops_.push_back({});
+        loops_.back().continue_target = pred;
+        Fragment body = walk(*stmt.children[0]);
+        LoopCtx ctx = std::move(loops_.back());
+        loops_.pop_back();
+        if (body.first >= 0) {
+          add_edge(pred, body.first);
+          connect(body.ends, pred);
+        } else {
+          add_edge(pred, pred);
+        }
+        Fragment out{pred, {pred}};
+        out.ends.insert(out.ends.end(), ctx.break_sources.begin(),
+                        ctx.break_sources.end());
+        return out;
+      }
+      case StmtKind::DoWhile: {
+        int pred = unit_id(stmt);
+        loops_.push_back({});
+        loops_.back().continue_target = pred;
+        Fragment body = walk(*stmt.children[0]);
+        LoopCtx ctx = std::move(loops_.back());
+        loops_.pop_back();
+        int first = body.first >= 0 ? body.first : pred;
+        connect(body.ends, pred);
+        add_edge(pred, first);  // back edge
+        Fragment out{first, {pred}};
+        out.ends.insert(out.ends.end(), ctx.break_sources.begin(),
+                        ctx.break_sources.end());
+        return out;
+      }
+      case StmtKind::For: {
+        int pred = unit_id(stmt);
+        std::size_t body_idx = 0;
+        int first = pred;
+        if (stmt.for_has_init) {
+          int init = unit_id(*stmt.children[0]);
+          add_edge(init, pred);
+          first = init;
+          body_idx = 1;
+        }
+        loops_.push_back({});
+        loops_.back().continue_target = pred;
+        Fragment body = walk(*stmt.children[body_idx]);
+        LoopCtx ctx = std::move(loops_.back());
+        loops_.pop_back();
+        if (body.first >= 0) {
+          add_edge(pred, body.first);
+          connect(body.ends, pred);
+        } else {
+          add_edge(pred, pred);
+        }
+        Fragment out{first, {}};
+        if (stmt.for_has_cond) out.ends.push_back(pred);
+        out.ends.insert(out.ends.end(), ctx.break_sources.begin(),
+                        ctx.break_sources.end());
+        return out;
+      }
+      case StmtKind::Switch: {
+        int pred = unit_id(stmt);
+        loops_.push_back({});  // break context only; continue passes through
+        loops_.back().continue_target =
+            loops_.size() >= 2 ? loops_[loops_.size() - 2].continue_target : -1;
+        bool has_default = false;
+        std::vector<int> fallthrough;  // open ends of the previous case body
+        for (const auto& child : stmt.children) {
+          if (child->kind != StmtKind::Case) {
+            // Loose statement inside the switch (rare) — unreachable
+            // unless fallen into.
+            Fragment frag = walk(*child);
+            if (frag.first >= 0) {
+              connect(fallthrough, frag.first);
+              fallthrough = std::move(frag.ends);
+            }
+            continue;
+          }
+          int label_id = unit_id(*child);
+          add_edge(pred, label_id);
+          connect(fallthrough, label_id);
+          if (child->name == "default") has_default = true;
+          Fragment body = walk_sequence(child->children);
+          if (body.first >= 0) {
+            add_edge(label_id, body.first);
+            fallthrough = std::move(body.ends);
+          } else {
+            fallthrough = {label_id};
+          }
+        }
+        LoopCtx ctx = std::move(loops_.back());
+        loops_.pop_back();
+        // Continues inside a switch belong to the enclosing loop.
+        if (!loops_.empty()) {
+          for (int c : ctx.pending_continues) {
+            add_edge(c, loops_.back().continue_target);
+          }
+        }
+        Fragment out{pred, std::move(fallthrough)};
+        if (!has_default) out.ends.push_back(pred);
+        out.ends.insert(out.ends.end(), ctx.break_sources.begin(),
+                        ctx.break_sources.end());
+        return out;
+      }
+      case StmtKind::Case:
+        throw std::logic_error("CFG: case outside switch walk");
+      case StmtKind::Break: {
+        int id = unit_id(stmt);
+        if (!loops_.empty()) {
+          loops_.back().break_sources.push_back(id);
+        } else {
+          add_edge(id, cfg_.exit());
+        }
+        return {id, {}};
+      }
+      case StmtKind::Continue: {
+        int id = unit_id(stmt);
+        bool handled = false;
+        for (auto it = loops_.rbegin(); it != loops_.rend(); ++it) {
+          if (it->continue_target >= 0) {
+            add_edge(id, it->continue_target);
+            handled = true;
+            break;
+          }
+        }
+        if (!handled && !loops_.empty()) {
+          loops_.back().pending_continues.push_back(id);
+          handled = true;
+        }
+        if (!handled) add_edge(id, cfg_.exit());
+        return {id, {}};
+      }
+      case StmtKind::Return: {
+        int id = unit_id(stmt);
+        add_edge(id, cfg_.exit());
+        return {id, {}};
+      }
+      case StmtKind::Goto: {
+        int id = unit_id(stmt);
+        goto_fixups_.emplace_back(id, stmt.name);
+        return {id, {}};
+      }
+      case StmtKind::Label: {
+        int id = unit_id(stmt);
+        Fragment body = walk_sequence(stmt.children);
+        if (body.first >= 0) {
+          add_edge(id, body.first);
+          return {id, std::move(body.ends)};
+        }
+        return {id, {id}};
+      }
+      case StmtKind::Null:
+        return {};
+    }
+    return {};
+  }
+
+  const frontend::FunctionDef& fn_;
+  const std::vector<StmtUnit>& units_;
+  Cfg cfg_;
+  std::map<const void*, int> unit_of_;
+  std::map<std::string, int> labels_;
+  std::vector<std::pair<int, std::string>> goto_fixups_;
+  std::vector<LoopCtx> loops_;
+};
+
+}  // namespace
+
+Cfg build_cfg(const frontend::FunctionDef& fn, const std::vector<StmtUnit>& units) {
+  return CfgBuilder(fn, units).build();
+}
+
+std::string cfg_to_dot(const Cfg& cfg, const std::vector<StmtUnit>& units) {
+  std::string out = "digraph cfg {\n";
+  out += "  entry [shape=diamond];\n  exit [shape=diamond];\n";
+  auto name_of = [&](int id) {
+    if (id == cfg.entry()) return std::string("entry");
+    if (id == cfg.exit()) return std::string("exit");
+    return "n" + std::to_string(id);
+  };
+  for (const auto& unit : units) {
+    std::string label = std::to_string(unit.line) + ": " + unit.text;
+    std::string escaped;
+    for (char c : label) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    out += "  n" + std::to_string(unit.id) + " [label=\"" + escaped + "\"];\n";
+  }
+  for (int from = 0; from < cfg.num_nodes(); ++from) {
+    for (int to : cfg.succ[static_cast<std::size_t>(from)]) {
+      out += "  " + name_of(from) + " -> " + name_of(to) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sevuldet::graph

@@ -1,0 +1,35 @@
+// Intra-procedural control-flow graph over statement units. Handles the
+// eight control statements of Algorithm 1 plus break/continue/goto/label/
+// return, including switch fall-through. Entry/Exit are synthetic nodes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sevuldet/frontend/ast.hpp"
+#include "sevuldet/graph/stmt_units.hpp"
+
+namespace sevuldet::graph {
+
+struct Cfg {
+  // Node ids: [0, num_units) are the StmtUnits; entry() and exit() are
+  // synthetic.
+  int num_units = 0;
+  std::vector<std::vector<int>> succ;
+  std::vector<std::vector<int>> pred;
+
+  int entry() const { return num_units; }
+  int exit() const { return num_units + 1; }
+  int num_nodes() const { return num_units + 2; }
+
+  bool has_edge(int from, int to) const;
+};
+
+/// Build the CFG for a flattened function. `units` must come from
+/// flatten_function on the same FunctionDef.
+Cfg build_cfg(const frontend::FunctionDef& fn, const std::vector<StmtUnit>& units);
+
+/// Graphviz dump for debugging and the examples.
+std::string cfg_to_dot(const Cfg& cfg, const std::vector<StmtUnit>& units);
+
+}  // namespace sevuldet::graph

@@ -1,0 +1,42 @@
+#include "sevuldet/graph/control_dep.hpp"
+
+#include <algorithm>
+
+namespace sevuldet::graph {
+
+ControlDeps compute_control_deps(const Cfg& cfg) {
+  return compute_control_deps(cfg, compute_post_dominators(cfg));
+}
+
+ControlDeps compute_control_deps(const Cfg& cfg, const DominatorTree& post_dom) {
+  ControlDeps out;
+  out.deps.resize(static_cast<std::size_t>(cfg.num_units));
+  out.dependents.resize(static_cast<std::size_t>(cfg.num_units));
+
+  for (int x = 0; x < cfg.num_nodes(); ++x) {
+    for (int y : cfg.succ[static_cast<std::size_t>(x)]) {
+      if (post_dom.dominates(y, x)) continue;
+      // Walk the post-dominator tree from y toward ipostdom(x).
+      int stop = post_dom.idom[static_cast<std::size_t>(x)];
+      int node = y;
+      while (node >= 0 && node != stop) {
+        if (node < cfg.num_units && x < cfg.num_units && node != x) {
+          out.deps[static_cast<std::size_t>(node)].push_back(x);
+        }
+        int up = post_dom.idom[static_cast<std::size_t>(node)];
+        if (up == node) break;  // reached the root
+        node = up;
+      }
+    }
+  }
+
+  for (std::size_t n = 0; n < out.deps.size(); ++n) {
+    auto& d = out.deps[n];
+    std::sort(d.begin(), d.end());
+    d.erase(std::unique(d.begin(), d.end()), d.end());
+    for (int c : d) out.dependents[static_cast<std::size_t>(c)].push_back(static_cast<int>(n));
+  }
+  return out;
+}
+
+}  // namespace sevuldet::graph

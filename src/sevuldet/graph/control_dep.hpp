@@ -1,0 +1,26 @@
+// Control dependence via the Ferrante-Ottenstein-Warren construction:
+// for each CFG edge (X -> Y) where Y does not post-dominate X, every node
+// on the post-dominator-tree path from Y up to (but excluding)
+// ipostdom(X) is control-dependent on X. This matches Definition 3 of
+// the paper.
+#pragma once
+
+#include <vector>
+
+#include "sevuldet/graph/cfg.hpp"
+#include "sevuldet/graph/dominance.hpp"
+
+namespace sevuldet::graph {
+
+struct ControlDeps {
+  // deps[n] = ids of units n is control-dependent on (deduplicated,
+  // sorted). Only unit nodes are recorded; entry/exit are dropped.
+  std::vector<std::vector<int>> deps;
+  // dependents[c] = units control-dependent on c (inverse map).
+  std::vector<std::vector<int>> dependents;
+};
+
+ControlDeps compute_control_deps(const Cfg& cfg);
+ControlDeps compute_control_deps(const Cfg& cfg, const DominatorTree& post_dom);
+
+}  // namespace sevuldet::graph

@@ -1,0 +1,102 @@
+#include "sevuldet/graph/dominance.hpp"
+
+#include <algorithm>
+
+namespace sevuldet::graph {
+
+bool DominatorTree::dominates(int a, int b) const {
+  if (a < 0 || b < 0) return false;
+  int n = b;
+  for (;;) {
+    if (n == a) return true;
+    if (n < 0 || static_cast<std::size_t>(n) >= idom.size()) return false;
+    int up = idom[static_cast<std::size_t>(n)];
+    if (up == n || up < 0) return n == a;
+    n = up;
+  }
+}
+
+namespace {
+
+/// Cooper-Harvey-Kennedy "engineered" dominator algorithm.
+DominatorTree compute(int num_nodes, int root,
+                      const std::vector<std::vector<int>>& succ,
+                      const std::vector<std::vector<int>>& pred) {
+  // Reverse post-order from root.
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(num_nodes));
+  std::vector<char> visited(static_cast<std::size_t>(num_nodes), 0);
+  // Iterative DFS with explicit stack of (node, next-child-index).
+  std::vector<std::pair<int, std::size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited[static_cast<std::size_t>(root)] = 1;
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    const auto& out = succ[static_cast<std::size_t>(node)];
+    if (idx < out.size()) {
+      int next = out[idx++];
+      if (!visited[static_cast<std::size_t>(next)]) {
+        visited[static_cast<std::size_t>(next)] = 1;
+        stack.emplace_back(next, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());  // now reverse post-order
+
+  std::vector<int> rpo_number(static_cast<std::size_t>(num_nodes), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rpo_number[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+
+  DominatorTree tree;
+  tree.root = root;
+  tree.idom.assign(static_cast<std::size_t>(num_nodes), -1);
+  tree.idom[static_cast<std::size_t>(root)] = root;
+
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpo_number[static_cast<std::size_t>(a)] >
+             rpo_number[static_cast<std::size_t>(b)]) {
+        a = tree.idom[static_cast<std::size_t>(a)];
+      }
+      while (rpo_number[static_cast<std::size_t>(b)] >
+             rpo_number[static_cast<std::size_t>(a)]) {
+        b = tree.idom[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int node : order) {
+      if (node == root) continue;
+      int new_idom = -1;
+      for (int p : pred[static_cast<std::size_t>(node)]) {
+        if (tree.idom[static_cast<std::size_t>(p)] < 0) continue;  // unprocessed
+        new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+      }
+      if (new_idom >= 0 && tree.idom[static_cast<std::size_t>(node)] != new_idom) {
+        tree.idom[static_cast<std::size_t>(node)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+DominatorTree compute_dominators(const Cfg& cfg) {
+  return compute(cfg.num_nodes(), cfg.entry(), cfg.succ, cfg.pred);
+}
+
+DominatorTree compute_post_dominators(const Cfg& cfg) {
+  return compute(cfg.num_nodes(), cfg.exit(), cfg.pred, cfg.succ);
+}
+
+}  // namespace sevuldet::graph

@@ -1,0 +1,29 @@
+// Dominator and post-dominator computation (iterative Cooper-Harvey-
+// Kennedy on a reverse-post-order numbering). Post-dominance drives the
+// Ferrante-Ottenstein-Warren control-dependence construction used by the
+// PDG (Definition 6 of the paper cites FOW [28]).
+#pragma once
+
+#include <vector>
+
+#include "sevuldet/graph/cfg.hpp"
+
+namespace sevuldet::graph {
+
+struct DominatorTree {
+  // idom[n] = immediate dominator node id; the root's idom is itself.
+  // Unreachable nodes get idom -1.
+  std::vector<int> idom;
+  int root = -1;
+
+  /// True if a dominates b (reflexive).
+  bool dominates(int a, int b) const;
+};
+
+/// Dominators from the entry node over `succ` edges.
+DominatorTree compute_dominators(const Cfg& cfg);
+
+/// Post-dominators: dominators of the reverse CFG rooted at exit.
+DominatorTree compute_post_dominators(const Cfg& cfg);
+
+}  // namespace sevuldet::graph

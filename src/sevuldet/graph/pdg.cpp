@@ -1,0 +1,88 @@
+#include "sevuldet/graph/pdg.hpp"
+
+#include "sevuldet/frontend/parser.hpp"
+#include "sevuldet/util/strings.hpp"
+
+namespace sevuldet::graph {
+
+const std::string& ProgramGraph::line_text(int line) const {
+  static const std::string kEmpty;
+  if (line < 1 || static_cast<std::size_t>(line) > source_lines.size()) return kEmpty;
+  return source_lines[static_cast<std::size_t>(line - 1)];
+}
+
+std::vector<int> FunctionPdg::call_sites(const std::string& callee) const {
+  std::vector<int> out;
+  for (const auto& u : units) {
+    for (const auto& c : u.use_def.calls) {
+      if (c == callee) {
+        out.push_back(u.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+int FunctionPdg::unit_at_line(int line) const {
+  for (const auto& u : units) {
+    if (u.line == line) return u.id;
+  }
+  return -1;
+}
+
+const FunctionPdg* ProgramGraph::pdg_of(const std::string& fn_name) const {
+  for (const auto& f : functions) {
+    if (f.fn->name == fn_name) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<const CallEdge*> ProgramGraph::callers_of(const std::string& fn_name) const {
+  std::vector<const CallEdge*> out;
+  for (const auto& edge : calls) {
+    if (edge.callee == fn_name) out.push_back(&edge);
+  }
+  return out;
+}
+
+FunctionPdg build_function_pdg(const frontend::FunctionDef& fn) {
+  FunctionPdg pdg;
+  pdg.fn = &fn;
+  pdg.units = flatten_function(fn);
+  pdg.cfg = build_cfg(fn, pdg.units);
+  pdg.data = compute_data_deps(pdg.cfg, pdg.units);
+  pdg.control = compute_control_deps(pdg.cfg);
+  return pdg;
+}
+
+ProgramGraph build_program_graph(frontend::TranslationUnit unit) {
+  ProgramGraph graph;
+  graph.unit = std::move(unit);
+  graph.functions.reserve(graph.unit.functions.size());
+  for (const auto& fn : graph.unit.functions) {
+    graph.functions.push_back(build_function_pdg(fn));
+  }
+  for (const auto& pdg : graph.functions) {
+    for (const auto& u : pdg.units) {
+      for (const auto& callee : u.use_def.calls) {
+        if (graph.unit.find_function(callee) != nullptr) {
+          graph.calls.push_back({pdg.fn->name, callee, u.id});
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+ProgramGraph build_program_graph(std::string_view source) {
+  ProgramGraph graph = build_program_graph(frontend::parse(source));
+  graph.source = std::string(source);
+  graph.source_lines.clear();
+  for (const auto& raw : util::split_lines(graph.source)) {
+    graph.source_lines.emplace_back(util::trim(raw));
+  }
+  return graph;
+}
+
+}  // namespace sevuldet::graph

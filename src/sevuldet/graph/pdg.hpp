@@ -1,0 +1,67 @@
+// Program Dependence Graph (Definition 6): statement units plus typed
+// dependence edges (data = Definition 2, control = Definition 3), one
+// PDG per function, and a whole-program view with a call graph for
+// inter-procedural slicing (paper Step I.3 crosses function boundaries
+// through call relationships).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sevuldet/frontend/ast.hpp"
+#include "sevuldet/graph/cfg.hpp"
+#include "sevuldet/graph/control_dep.hpp"
+#include "sevuldet/graph/reaching_defs.hpp"
+#include "sevuldet/graph/stmt_units.hpp"
+
+namespace sevuldet::graph {
+
+struct FunctionPdg {
+  const frontend::FunctionDef* fn = nullptr;  // non-owning
+  std::vector<StmtUnit> units;
+  Cfg cfg;
+  DataDeps data;
+  ControlDeps control;
+
+  /// Units whose call list contains `callee`.
+  std::vector<int> call_sites(const std::string& callee) const;
+
+  /// Unit ids by source line (first match), -1 if none.
+  int unit_at_line(int line) const;
+};
+
+struct CallEdge {
+  std::string caller;
+  std::string callee;
+  int caller_unit = -1;  // unit id of the call site in the caller's PDG
+};
+
+/// Whole-program dependence information. Owns the TranslationUnit so the
+/// non-owning Stmt pointers in units stay valid, plus the raw source so
+/// gadgets can quote original lines (the paper's Fig. 3 keeps block
+/// boundary lines like "} else {" that have no statement unit).
+struct ProgramGraph {
+  frontend::TranslationUnit unit;
+  std::vector<FunctionPdg> functions;
+  std::vector<CallEdge> calls;
+  std::string source;
+  std::vector<std::string> source_lines;  // [0] == line 1, trimmed
+
+  /// Trimmed source text of a 1-based line ("" if out of range).
+  const std::string& line_text(int line) const;
+
+  const FunctionPdg* pdg_of(const std::string& fn_name) const;
+  std::vector<const CallEdge*> callers_of(const std::string& fn_name) const;
+};
+
+/// Build the PDG for one function.
+FunctionPdg build_function_pdg(const frontend::FunctionDef& fn);
+
+/// Parse a whole program and build every function's PDG + the call graph.
+ProgramGraph build_program_graph(std::string_view source);
+
+/// Build from an already-parsed unit (takes ownership).
+ProgramGraph build_program_graph(frontend::TranslationUnit unit);
+
+}  // namespace sevuldet::graph

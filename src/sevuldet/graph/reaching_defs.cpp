@@ -1,0 +1,104 @@
+#include "sevuldet/graph/reaching_defs.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace sevuldet::graph {
+
+DataDeps compute_data_deps(const Cfg& cfg, const std::vector<StmtUnit>& units) {
+  // Enumerate definitions: one bit per (unit, var) pair.
+  struct DefSite {
+    int unit;
+    std::string var;
+  };
+  std::vector<DefSite> def_sites;
+  std::map<std::string, std::vector<int>> defs_of_var;  // var -> def indices
+  for (const auto& unit : units) {
+    for (const auto& var : unit.use_def.defs) {
+      defs_of_var[var].push_back(static_cast<int>(def_sites.size()));
+      def_sites.push_back({unit.id, var});
+    }
+  }
+  const std::size_t num_defs = def_sites.size();
+  const std::size_t num_nodes = static_cast<std::size_t>(cfg.num_nodes());
+
+  // Bitset per node, packed in uint64_t words.
+  const std::size_t words = (num_defs + 63) / 64;
+  auto make_set = [&]() { return std::vector<std::uint64_t>(words, 0); };
+  std::vector<std::vector<std::uint64_t>> in(num_nodes), out(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    in[n] = make_set();
+    out[n] = make_set();
+  }
+
+  // gen/kill per unit node.
+  std::vector<std::vector<std::uint64_t>> gen(num_nodes), kill(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    gen[n] = make_set();
+    kill[n] = make_set();
+  }
+  for (std::size_t d = 0; d < num_defs; ++d) {
+    const auto& site = def_sites[d];
+    gen[static_cast<std::size_t>(site.unit)][d / 64] |= (1ULL << (d % 64));
+    // Kill every other definition of the same variable.
+    for (int other : defs_of_var[site.var]) {
+      if (other != static_cast<int>(d)) {
+        kill[static_cast<std::size_t>(site.unit)][static_cast<std::size_t>(other) / 64] |=
+            (1ULL << (static_cast<std::size_t>(other) % 64));
+      }
+    }
+  }
+
+  // Iterate to fixpoint (forward, may union).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      auto new_in = make_set();
+      for (int p : cfg.pred[n]) {
+        const auto& po = out[static_cast<std::size_t>(p)];
+        for (std::size_t w = 0; w < words; ++w) new_in[w] |= po[w];
+      }
+      auto new_out = new_in;
+      for (std::size_t w = 0; w < words; ++w) {
+        new_out[w] = (new_in[w] & ~kill[n][w]) | gen[n][w];
+      }
+      if (new_in != in[n] || new_out != out[n]) {
+        in[n] = std::move(new_in);
+        out[n] = std::move(new_out);
+        changed = true;
+      }
+    }
+  }
+
+  DataDeps result;
+  result.deps.resize(units.size());
+  result.dependents.resize(units.size());
+  std::set<std::pair<int, int>> seen;
+  for (const auto& unit : units) {
+    const auto& reach = in[static_cast<std::size_t>(unit.id)];
+    for (const auto& var : unit.use_def.uses) {
+      auto it = defs_of_var.find(var);
+      if (it == defs_of_var.end()) continue;
+      for (int d : it->second) {
+        if (!(reach[static_cast<std::size_t>(d) / 64] &
+              (1ULL << (static_cast<std::size_t>(d) % 64)))) {
+          continue;
+        }
+        int from = def_sites[static_cast<std::size_t>(d)].unit;
+        if (from == unit.id) continue;  // self-loop (e.g. i++) is not an edge
+        result.edges.push_back({from, unit.id, var});
+        if (seen.insert({from, unit.id}).second) {
+          result.deps[static_cast<std::size_t>(unit.id)].push_back(from);
+          result.dependents[static_cast<std::size_t>(from)].push_back(unit.id);
+        }
+      }
+    }
+  }
+  for (auto& v : result.deps) std::sort(v.begin(), v.end());
+  for (auto& v : result.dependents) std::sort(v.begin(), v.end());
+  return result;
+}
+
+}  // namespace sevuldet::graph

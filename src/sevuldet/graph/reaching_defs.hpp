@@ -1,0 +1,33 @@
+// Reaching-definitions dataflow over the CFG and the data-dependence
+// edges derived from it (Definition 2 of the paper): unit Y is
+// data-dependent on unit X when X defines a variable that Y uses and
+// that definition reaches Y along some CFG path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sevuldet/graph/cfg.hpp"
+#include "sevuldet/graph/stmt_units.hpp"
+
+namespace sevuldet::graph {
+
+struct DataDep {
+  int from = -1;  // defining unit
+  int to = -1;    // using unit
+  std::string var;
+};
+
+struct DataDeps {
+  std::vector<DataDep> edges;
+  // deps[n] = defining units n depends on; dependents[n] = inverse.
+  std::vector<std::vector<int>> deps;
+  std::vector<std::vector<int>> dependents;
+};
+
+/// Worklist reaching-definitions; definitions are (unit, variable) pairs.
+/// Function parameters are modeled as definitions at entry, so a use of
+/// an otherwise-undefined parameter creates no spurious intra-unit edges.
+DataDeps compute_data_deps(const Cfg& cfg, const std::vector<StmtUnit>& units);
+
+}  // namespace sevuldet::graph

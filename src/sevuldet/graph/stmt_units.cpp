@@ -1,0 +1,141 @@
+#include "sevuldet/graph/stmt_units.hpp"
+
+#include "sevuldet/frontend/ast_text.hpp"
+
+namespace sevuldet::graph {
+
+using frontend::Stmt;
+using frontend::StmtKind;
+
+bool is_control_predicate(UnitKind kind) {
+  switch (kind) {
+    case UnitKind::IfPred:
+    case UnitKind::ForPred:
+    case UnitKind::WhilePred:
+    case UnitKind::DoWhilePred:
+    case UnitKind::SwitchPred:
+    case UnitKind::CaseLabel:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* unit_kind_name(UnitKind kind) {
+  switch (kind) {
+    case UnitKind::Decl: return "decl";
+    case UnitKind::Expr: return "expr";
+    case UnitKind::IfPred: return "if";
+    case UnitKind::ForInit: return "for-init";
+    case UnitKind::ForPred: return "for";
+    case UnitKind::WhilePred: return "while";
+    case UnitKind::DoWhilePred: return "do-while";
+    case UnitKind::SwitchPred: return "switch";
+    case UnitKind::CaseLabel: return "case";
+    case UnitKind::Break: return "break";
+    case UnitKind::Continue: return "continue";
+    case UnitKind::Return: return "return";
+    case UnitKind::Goto: return "goto";
+    case UnitKind::Label: return "label";
+  }
+  return "?";
+}
+
+namespace {
+
+class Flattener {
+ public:
+  std::vector<StmtUnit> run(const frontend::FunctionDef& fn) {
+    walk(*fn.body);
+    return std::move(units_);
+  }
+
+ private:
+  StmtUnit& add(UnitKind kind, const Stmt& stmt) {
+    StmtUnit unit;
+    unit.id = static_cast<int>(units_.size());
+    unit.kind = kind;
+    unit.stmt = &stmt;
+    unit.line = stmt.range.begin_line;
+    unit.text = frontend::stmt_header_text(stmt);
+    unit.use_def = frontend::analyze_stmt(stmt);
+    units_.push_back(std::move(unit));
+    return units_.back();
+  }
+
+  void walk(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::Compound:
+        for (const auto& child : stmt.children) walk(*child);
+        return;
+      case StmtKind::Decl:
+        add(UnitKind::Decl, stmt);
+        return;
+      case StmtKind::ExprStmt:
+        add(UnitKind::Expr, stmt);
+        return;
+      case StmtKind::If:
+        add(UnitKind::IfPred, stmt);
+        walk(*stmt.children[0]);
+        if (stmt.children.size() > 1) walk(*stmt.children[1]);
+        return;
+      case StmtKind::While:
+        add(UnitKind::WhilePred, stmt);
+        walk(*stmt.children[0]);
+        return;
+      case StmtKind::DoWhile:
+        // Source order: the body precedes the trailing predicate.
+        walk(*stmt.children[0]);
+        add(UnitKind::DoWhilePred, stmt);
+        return;
+      case StmtKind::For: {
+        std::size_t body_idx = 0;
+        if (stmt.for_has_init) {
+          const Stmt& init = *stmt.children[0];
+          add(init.kind == StmtKind::Decl ? UnitKind::ForInit : UnitKind::ForInit,
+              init);
+          body_idx = 1;
+        }
+        add(UnitKind::ForPred, stmt);
+        walk(*stmt.children[body_idx]);
+        return;
+      }
+      case StmtKind::Switch:
+        add(UnitKind::SwitchPred, stmt);
+        for (const auto& child : stmt.children) walk(*child);
+        return;
+      case StmtKind::Case:
+        add(UnitKind::CaseLabel, stmt);
+        for (const auto& child : stmt.children) walk(*child);
+        return;
+      case StmtKind::Break:
+        add(UnitKind::Break, stmt);
+        return;
+      case StmtKind::Continue:
+        add(UnitKind::Continue, stmt);
+        return;
+      case StmtKind::Return:
+        add(UnitKind::Return, stmt);
+        return;
+      case StmtKind::Goto:
+        add(UnitKind::Goto, stmt);
+        return;
+      case StmtKind::Label:
+        add(UnitKind::Label, stmt);
+        for (const auto& child : stmt.children) walk(*child);
+        return;
+      case StmtKind::Null:
+        return;  // no semantic content
+    }
+  }
+
+  std::vector<StmtUnit> units_;
+};
+
+}  // namespace
+
+std::vector<StmtUnit> flatten_function(const frontend::FunctionDef& fn) {
+  return Flattener().run(fn);
+}
+
+}  // namespace sevuldet::graph

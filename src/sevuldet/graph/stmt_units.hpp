@@ -1,0 +1,51 @@
+// Statement units: the node granularity shared by the CFG, the PDG and
+// the slicer. A unit is a simple statement or a control predicate — the
+// same granularity Joern gives the paper ("we display the statement
+// corresponding to each node with the line number", Fig. 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sevuldet/frontend/ast.hpp"
+#include "sevuldet/frontend/ast_queries.hpp"
+
+namespace sevuldet::graph {
+
+enum class UnitKind {
+  Decl,
+  Expr,
+  IfPred,
+  ForInit,
+  ForPred,     // condition + step of a for
+  WhilePred,
+  DoWhilePred,
+  SwitchPred,
+  CaseLabel,
+  Break,
+  Continue,
+  Return,
+  Goto,
+  Label,
+};
+
+/// True for predicate units that open a control range (the paper's
+/// "key node" syntax characteristics, Algorithm 1 Step a).
+bool is_control_predicate(UnitKind kind);
+
+struct StmtUnit {
+  int id = -1;
+  UnitKind kind = UnitKind::Expr;
+  const frontend::Stmt* stmt = nullptr;  // non-owning; unit outlives by contract
+  int line = 0;
+  std::string text;            // rendered header text
+  frontend::UseDef use_def;    // uses/defs/calls of this unit only
+};
+
+/// Flatten a function body into ordered units. Order is source order
+/// (pre-order walk); ids are dense [0, n).
+std::vector<StmtUnit> flatten_function(const frontend::FunctionDef& fn);
+
+const char* unit_kind_name(UnitKind kind);
+
+}  // namespace sevuldet::graph

@@ -1,0 +1,738 @@
+#include "sevuldet/interp/interp.hpp"
+
+#include "sevuldet/frontend/ast_text.hpp"
+
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+namespace sevuldet::interp {
+
+using frontend::Expr;
+using frontend::ExprKind;
+using frontend::Stmt;
+using frontend::StmtKind;
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::Ok: return "ok";
+    case Outcome::OutOfBounds: return "out-of-bounds";
+    case Outcome::NullDeref: return "null-deref";
+    case Outcome::UseAfterFree: return "use-after-free";
+    case Outcome::DoubleFree: return "double-free";
+    case Outcome::DivByZero: return "div-by-zero";
+    case Outcome::Hang: return "hang";
+    case Outcome::UnsupportedConstruct: return "unsupported";
+  }
+  return "?";
+}
+
+bool is_crash(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::OutOfBounds:
+    case Outcome::NullDeref:
+    case Outcome::UseAfterFree:
+    case Outcome::DoubleFree:
+    case Outcome::DivByZero:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+struct ArrayObj {
+  std::vector<std::int64_t> data;
+  bool freed = false;
+  bool heap = false;
+};
+using ArrayPtr = std::shared_ptr<ArrayObj>;
+
+struct Value {
+  enum class Kind { Int, Pointer } kind = Kind::Int;
+  std::int64_t i = 0;
+  ArrayPtr array;           // null => NULL pointer when kind == Pointer
+  std::int64_t offset = 0;
+
+  static Value integer(std::int64_t v) {
+    Value out;
+    out.i = v;
+    return out;
+  }
+  static Value pointer(ArrayPtr a, std::int64_t off = 0) {
+    Value out;
+    out.kind = Kind::Pointer;
+    out.array = std::move(a);
+    out.offset = off;
+    return out;
+  }
+  bool truthy() const {
+    return kind == Kind::Int ? i != 0 : array != nullptr;
+  }
+};
+
+/// Wrap to 32-bit two's complement (the 9104-style overflow depends on
+/// faithful int semantics).
+std::int64_t wrap32(std::int64_t v) {
+  return static_cast<std::int64_t>(static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(static_cast<std::uint64_t>(v))));
+}
+
+struct Fault {
+  Outcome outcome;
+  int line;
+  std::string detail;
+};
+
+struct Flow {
+  enum class Kind { Normal, Break, Continue, Return } kind = Kind::Normal;
+  Value ret;
+};
+
+}  // namespace
+
+struct Interpreter::Impl {
+  const frontend::TranslationUnit& unit;
+  std::span<const std::uint8_t> input;
+  std::size_t input_pos = 0;
+  long long steps = 0;
+  long long step_limit = 0;
+  ExecResult* result = nullptr;
+  std::vector<std::map<std::string, Value>> scopes;
+
+  explicit Impl(const frontend::TranslationUnit& u) : unit(u) {}
+
+  void tick(int line) {
+    if (++steps > step_limit) throw Fault{Outcome::Hang, line, "step limit"};
+  }
+
+  std::uint8_t next_byte() {
+    return input_pos < input.size() ? input[input_pos++] : 0;
+  }
+
+  Value* find_var(const std::string& name) {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      auto vit = it->find(name);
+      if (vit != it->end()) return &vit->second;
+    }
+    return nullptr;
+  }
+
+  Value& var(const std::string& name, int line) {
+    Value* v = find_var(name);
+    if (v == nullptr) {
+      // Implicitly materialize unknown names as 0 — generated programs
+      // occasionally reference globals the harness does not model.
+      scopes.front()[name] = Value::integer(0);
+      v = &scopes.front()[name];
+      (void)line;
+    }
+    return *v;
+  }
+
+  // --- memory ---------------------------------------------------------
+
+  std::int64_t load(const ArrayPtr& array, std::int64_t off, int line) {
+    if (array == nullptr) throw Fault{Outcome::NullDeref, line, "load NULL"};
+    if (array->freed) throw Fault{Outcome::UseAfterFree, line, "load freed"};
+    if (off < 0 || off >= static_cast<std::int64_t>(array->data.size())) {
+      throw Fault{Outcome::OutOfBounds, line,
+                  "load offset " + std::to_string(off) + " size " +
+                      std::to_string(array->data.size())};
+    }
+    return array->data[static_cast<std::size_t>(off)];
+  }
+
+  void store(const ArrayPtr& array, std::int64_t off, std::int64_t value, int line) {
+    if (array == nullptr) throw Fault{Outcome::NullDeref, line, "store NULL"};
+    if (array->freed) throw Fault{Outcome::UseAfterFree, line, "store freed"};
+    if (off < 0 || off >= static_cast<std::int64_t>(array->data.size())) {
+      throw Fault{Outcome::OutOfBounds, line,
+                  "store offset " + std::to_string(off) + " size " +
+                      std::to_string(array->data.size())};
+    }
+    array->data[static_cast<std::size_t>(off)] = value;
+  }
+
+  // --- lvalues -------------------------------------------------------------
+
+  struct Place {
+    enum class Kind { Var, Element } kind = Kind::Var;
+    Value* variable = nullptr;
+    ArrayPtr array;
+    std::int64_t offset = 0;
+  };
+
+  Place eval_place(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Ident: {
+        Place p;
+        p.variable = &var(e.text, e.line);
+        return p;
+      }
+      case ExprKind::Index: {
+        Value base = eval(*e.children[0]);
+        Value idx = eval(*e.children[1]);
+        if (base.kind != Value::Kind::Pointer) {
+          throw Fault{Outcome::UnsupportedConstruct, e.line, "index non-pointer"};
+        }
+        Place p;
+        p.kind = Place::Kind::Element;
+        p.array = base.array;
+        p.offset = base.offset + idx.i;
+        return p;
+      }
+      case ExprKind::Unary:
+        if (e.op == "*") {
+          Value base = eval(*e.children[0]);
+          if (base.kind != Value::Kind::Pointer) {
+            throw Fault{Outcome::NullDeref, e.line, "deref of non-pointer"};
+          }
+          Place p;
+          p.kind = Place::Kind::Element;
+          p.array = base.array;
+          p.offset = base.offset;
+          return p;
+        }
+        break;
+      case ExprKind::Cast:
+        return eval_place(*e.children[0]);
+      default:
+        break;
+    }
+    throw Fault{Outcome::UnsupportedConstruct, e.line, "unsupported lvalue"};
+  }
+
+  std::int64_t read_place(const Place& p, int line) {
+    if (p.kind == Place::Kind::Var) {
+      return p.variable->kind == Value::Kind::Int ? p.variable->i
+                                                  : (p.variable->array ? 1 : 0);
+    }
+    return load(p.array, p.offset, line);
+  }
+
+  void write_place(const Place& p, const Value& value, int line) {
+    if (p.kind == Place::Kind::Var) {
+      *p.variable = value;
+      if (p.variable->kind == Value::Kind::Int) p.variable->i = wrap32(p.variable->i);
+      return;
+    }
+    store(p.array, p.offset, value.i, line);
+  }
+
+  // --- expressions ------------------------------------------------------
+
+  Value eval(const Expr& e) {
+    tick(e.line);
+    switch (e.kind) {
+      case ExprKind::IntLit: {
+        // Handle decimal and hex literals with suffixes.
+        try {
+          return Value::integer(wrap32(std::stoll(e.text, nullptr, 0)));
+        } catch (const std::exception&) {
+          return Value::integer(0);
+        }
+      }
+      case ExprKind::FloatLit:
+        return Value::integer(0);  // floats degrade to 0 in this subset
+      case ExprKind::CharLit: {
+        if (e.text.size() >= 3 && e.text[1] != '\\') {
+          return Value::integer(static_cast<unsigned char>(e.text[1]));
+        }
+        if (e.text.size() >= 4) {  // '\n' etc.
+          switch (e.text[2]) {
+            case 'n': return Value::integer('\n');
+            case 't': return Value::integer('\t');
+            case '0': return Value::integer(0);
+            default: return Value::integer(static_cast<unsigned char>(e.text[2]));
+          }
+        }
+        return Value::integer(0);
+      }
+      case ExprKind::StringLit: {
+        // Strings become fresh char arrays (NUL-terminated).
+        auto arr = std::make_shared<ArrayObj>();
+        for (std::size_t i = 1; i + 1 < e.text.size(); ++i) {
+          char c = e.text[i];
+          if (c == '\\' && i + 2 < e.text.size()) {
+            ++i;
+            c = e.text[i] == 'n' ? '\n' : e.text[i] == 't' ? '\t' : e.text[i];
+          }
+          arr->data.push_back(static_cast<unsigned char>(c));
+        }
+        arr->data.push_back(0);
+        return Value::pointer(std::move(arr));
+      }
+      case ExprKind::Ident: {
+        if (e.text == "NULL") return Value::pointer(nullptr);
+        if (e.text == "INT_MAX") return Value::integer(2147483647);
+        if (e.text == "INT_MIN") return Value::integer(-2147483648LL);
+        return var(e.text, e.line);
+      }
+      case ExprKind::Unary: {
+        if (e.op == "*" || e.op == "&") {
+          if (e.op == "&") {
+            Place p = eval_place(*e.children[0]);
+            if (p.kind == Place::Kind::Element) {
+              return Value::pointer(p.array, p.offset);
+            }
+            // &scalar: model as a one-element array view (rare in corpus).
+            auto arr = std::make_shared<ArrayObj>();
+            arr->data.push_back(read_place(p, e.line));
+            return Value::pointer(std::move(arr));
+          }
+          Place p = eval_place(e);
+          return Value::integer(read_place(p, e.line));
+        }
+        if (e.op == "++" || e.op == "--") {
+          Place p = eval_place(*e.children[0]);
+          std::int64_t v = read_place(p, e.line) + (e.op == "++" ? 1 : -1);
+          write_place(p, Value::integer(wrap32(v)), e.line);
+          return Value::integer(wrap32(v));
+        }
+        Value v = eval(*e.children[0]);
+        if (e.op == "-") return Value::integer(wrap32(-v.i));
+        if (e.op == "+") return v;
+        if (e.op == "!") return Value::integer(v.truthy() ? 0 : 1);
+        if (e.op == "~") return Value::integer(wrap32(~v.i));
+        throw Fault{Outcome::UnsupportedConstruct, e.line, "unary " + e.op};
+      }
+      case ExprKind::PostfixUnary: {
+        Place p = eval_place(*e.children[0]);
+        std::int64_t old = read_place(p, e.line);
+        write_place(p, Value::integer(wrap32(old + (e.op == "++" ? 1 : -1))), e.line);
+        return Value::integer(old);
+      }
+      case ExprKind::Binary:
+        return eval_binary(e);
+      case ExprKind::Assign:
+        return eval_assign(e);
+      case ExprKind::Ternary:
+        return eval(*e.children[0]).truthy() ? eval(*e.children[1])
+                                             : eval(*e.children[2]);
+      case ExprKind::Call:
+        return eval_call(e);
+      case ExprKind::Index: {
+        Place p = eval_place(e);
+        return Value::integer(load(p.array, p.offset, e.line));
+      }
+      case ExprKind::Member:
+        // Structs are not modeled; members degrade to plain variables
+        // named base_field (the realworld generator avoids them).
+        return var(frontend::expr_text(e), e.line);
+      case ExprKind::Cast:
+        return eval(*e.children[0]);
+      case ExprKind::SizeOf: {
+        if (!e.children.empty()) {
+          // sizeof expr — for pointers report array size (sizeof(buf)).
+          if (e.children[0]->kind == ExprKind::Ident) {
+            Value* v = find_var(e.children[0]->text);
+            if (v != nullptr && v->kind == Value::Kind::Pointer && v->array) {
+              return Value::integer(
+                  static_cast<std::int64_t>(v->array->data.size()));
+            }
+          }
+          return Value::integer(4);
+        }
+        return Value::integer(e.text.find('*') != std::string::npos ? 8 : 4);
+      }
+      case ExprKind::Comma: {
+        Value last = Value::integer(0);
+        for (const auto& child : e.children) last = eval(*child);
+        return last;
+      }
+    }
+    throw Fault{Outcome::UnsupportedConstruct, e.line, "expression"};
+  }
+
+  Value eval_binary(const Expr& e) {
+    // Short-circuit operators first.
+    if (e.op == "&&") {
+      if (!eval(*e.children[0]).truthy()) return Value::integer(0);
+      return Value::integer(eval(*e.children[1]).truthy() ? 1 : 0);
+    }
+    if (e.op == "||") {
+      if (eval(*e.children[0]).truthy()) return Value::integer(1);
+      return Value::integer(eval(*e.children[1]).truthy() ? 1 : 0);
+    }
+    Value a = eval(*e.children[0]);
+    Value b = eval(*e.children[1]);
+    // Pointer arithmetic: ptr +/- int.
+    if (a.kind == Value::Kind::Pointer && b.kind == Value::Kind::Int) {
+      if (e.op == "+") return Value::pointer(a.array, a.offset + b.i);
+      if (e.op == "-") return Value::pointer(a.array, a.offset - b.i);
+    }
+    if (a.kind == Value::Kind::Pointer || b.kind == Value::Kind::Pointer) {
+      // Pointer comparisons (== != with NULL mostly).
+      auto as_flag = [](const Value& v) {
+        return v.kind == Value::Kind::Pointer ? (v.array ? 1 : 0) : (v.i != 0);
+      };
+      if (e.op == "==") return Value::integer(as_flag(a) == as_flag(b));
+      if (e.op == "!=") return Value::integer(as_flag(a) != as_flag(b));
+      throw Fault{Outcome::UnsupportedConstruct, e.line, "pointer op " + e.op};
+    }
+    const std::int64_t x = a.i, y = b.i;
+    if (e.op == "+") return Value::integer(wrap32(x + y));
+    if (e.op == "-") return Value::integer(wrap32(x - y));
+    if (e.op == "*") return Value::integer(wrap32(x * y));
+    if (e.op == "/") {
+      if (y == 0) throw Fault{Outcome::DivByZero, e.line, "division by zero"};
+      return Value::integer(wrap32(x / y));
+    }
+    if (e.op == "%") {
+      if (y == 0) throw Fault{Outcome::DivByZero, e.line, "modulo by zero"};
+      return Value::integer(wrap32(x % y));
+    }
+    if (e.op == "<") return Value::integer(x < y);
+    if (e.op == ">") return Value::integer(x > y);
+    if (e.op == "<=") return Value::integer(x <= y);
+    if (e.op == ">=") return Value::integer(x >= y);
+    if (e.op == "==") return Value::integer(x == y);
+    if (e.op == "!=") return Value::integer(x != y);
+    if (e.op == "&") return Value::integer(wrap32(x & y));
+    if (e.op == "|") return Value::integer(wrap32(x | y));
+    if (e.op == "^") return Value::integer(wrap32(x ^ y));
+    if (e.op == "<<") return Value::integer(wrap32(x << (y & 31)));
+    if (e.op == ">>") return Value::integer(wrap32(x >> (y & 31)));
+    throw Fault{Outcome::UnsupportedConstruct, e.line, "binary " + e.op};
+  }
+
+  Value eval_assign(const Expr& e) {
+    Place p = eval_place(*e.children[0]);
+    Value rhs = eval(*e.children[1]);
+    if (e.op == "=") {
+      write_place(p, rhs, e.line);
+      return rhs;
+    }
+    // Compound assignment on ints.
+    std::int64_t old = read_place(p, e.line);
+    std::int64_t y = rhs.i;
+    std::int64_t result = 0;
+    const std::string op = e.op.substr(0, e.op.size() - 1);
+    if (op == "+") result = old + y;
+    else if (op == "-") result = old - y;
+    else if (op == "*") result = old * y;
+    else if (op == "/") {
+      if (y == 0) throw Fault{Outcome::DivByZero, e.line, "division by zero"};
+      result = old / y;
+    } else if (op == "%") {
+      if (y == 0) throw Fault{Outcome::DivByZero, e.line, "modulo by zero"};
+      result = old % y;
+    } else if (op == "&") result = old & y;
+    else if (op == "|") result = old | y;
+    else if (op == "^") result = old ^ y;
+    else if (op == "<<") result = old << (y & 31);
+    else if (op == ">>") result = old >> (y & 31);
+    else throw Fault{Outcome::UnsupportedConstruct, e.line, "assign " + e.op};
+    Value v = Value::integer(wrap32(result));
+    write_place(p, v, e.line);
+    return v;
+  }
+
+  Value eval_call(const Expr& e) {
+    const std::string& callee = e.text;
+    std::vector<Value> args;
+    for (std::size_t i = 1; i < e.children.size(); ++i) {
+      args.push_back(eval(*e.children[i]));
+    }
+
+    // --- native functions -------------------------------------------------
+    if (callee == "input_byte") return Value::integer(next_byte());
+    if (callee == "input_int") {
+      std::int64_t v = 0;
+      for (int i = 0; i < 4; ++i) v |= static_cast<std::int64_t>(next_byte()) << (8 * i);
+      return Value::integer(wrap32(v));
+    }
+    if (callee == "malloc" || callee == "calloc") {
+      std::int64_t n = callee == "calloc" && args.size() >= 2 ? args[0].i * args[1].i
+                       : !args.empty()                        ? args[0].i
+                                                              : 0;
+      if (n <= 0 || n > (1 << 22)) return Value::pointer(nullptr);
+      auto arr = std::make_shared<ArrayObj>();
+      arr->data.assign(static_cast<std::size_t>(n), 0);
+      arr->heap = true;
+      return Value::pointer(std::move(arr));
+    }
+    if (callee == "free") {
+      if (!args.empty() && args[0].kind == Value::Kind::Pointer && args[0].array) {
+        if (args[0].array->freed) {
+          throw Fault{Outcome::DoubleFree, e.line, "double free"};
+        }
+        args[0].array->freed = true;
+      }
+      return Value::integer(0);
+    }
+    if (callee == "strlen") {
+      if (args.empty() || args[0].kind != Value::Kind::Pointer) {
+        return Value::integer(0);
+      }
+      std::int64_t n = 0;
+      while (load(args[0].array, args[0].offset + n, e.line) != 0) ++n;
+      return Value::integer(n);
+    }
+    if (callee == "memcpy" || callee == "memmove") {
+      if (args.size() >= 3 && args[0].kind == Value::Kind::Pointer &&
+          args[1].kind == Value::Kind::Pointer) {
+        for (std::int64_t i = 0; i < args[2].i; ++i) {
+          store(args[0].array, args[0].offset + i,
+                load(args[1].array, args[1].offset + i, e.line), e.line);
+        }
+      }
+      return args.empty() ? Value::integer(0) : args[0];
+    }
+    if (callee == "memset") {
+      if (args.size() >= 3 && args[0].kind == Value::Kind::Pointer) {
+        for (std::int64_t i = 0; i < args[2].i; ++i) {
+          store(args[0].array, args[0].offset + i, args[1].i, e.line);
+        }
+      }
+      return args.empty() ? Value::integer(0) : args[0];
+    }
+    if (callee == "strcpy" || callee == "strncpy") {
+      if (args.size() >= 2 && args[0].kind == Value::Kind::Pointer &&
+          args[1].kind == Value::Kind::Pointer) {
+        std::int64_t limit = callee == "strncpy" && args.size() >= 3
+                                 ? args[2].i
+                                 : (1LL << 40);
+        for (std::int64_t i = 0; i < limit; ++i) {
+          std::int64_t c = load(args[1].array, args[1].offset + i, e.line);
+          store(args[0].array, args[0].offset + i, c, e.line);
+          if (c == 0) break;
+        }
+      }
+      return args.empty() ? Value::integer(0) : args[0];
+    }
+
+    // Output / logging / device no-ops.
+    static const std::set<std::string> kNoop = {
+        "printf", "puts",  "fprintf",  "report", "log_hit", "dma_write",
+        "use",    "fputs", "snprintf", "sprintf"};
+    if (kNoop.contains(callee)) return Value::integer(0);
+
+    // --- user-defined functions ------------------------------------------
+    const frontend::FunctionDef* fn = unit.find_function(callee);
+    if (fn == nullptr) return Value::integer(0);  // unknown extern: 0
+    return call_user(*fn, args, e.line);
+  }
+
+  Value call_user(const frontend::FunctionDef& fn, const std::vector<Value>& args,
+                  int call_line) {
+    if (scopes.size() > 64) {
+      throw Fault{Outcome::Hang, call_line, "recursion depth"};
+    }
+    std::map<std::string, Value> frame;
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      if (fn.params[i].name.empty()) continue;
+      frame[fn.params[i].name] =
+          i < args.size() ? args[i] : Value::integer(0);
+    }
+    scopes.push_back(std::move(frame));
+    Flow flow = exec(*fn.body);
+    scopes.pop_back();
+    return flow.kind == Flow::Kind::Return ? flow.ret : Value::integer(0);
+  }
+
+  // --- statements ---------------------------------------------------------
+
+  void branch(int line, bool taken) { result->coverage.insert({line, taken}); }
+
+  Flow exec(const Stmt& stmt) {
+    tick(stmt.range.begin_line);
+    switch (stmt.kind) {
+      case StmtKind::Compound: {
+        scopes.push_back({});
+        Flow flow;
+        for (const auto& child : stmt.children) {
+          flow = exec(*child);
+          if (flow.kind != Flow::Kind::Normal) break;
+        }
+        scopes.pop_back();
+        return flow;
+      }
+      case StmtKind::Decl: {
+        exec_decl(stmt);
+        for (const auto& extra : stmt.children) exec_decl(*extra);
+        return {};
+      }
+      case StmtKind::ExprStmt:
+        eval(*stmt.exprs[0]);
+        return {};
+      case StmtKind::If: {
+        const bool taken = eval(*stmt.exprs[0]).truthy();
+        branch(stmt.range.begin_line, taken);
+        if (taken) return exec(*stmt.children[0]);
+        if (stmt.children.size() > 1) return exec(*stmt.children[1]);
+        return {};
+      }
+      case StmtKind::While: {
+        for (;;) {
+          const bool taken = eval(*stmt.exprs[0]).truthy();
+          branch(stmt.range.begin_line, taken);
+          if (!taken) return {};
+          Flow flow = exec(*stmt.children[0]);
+          if (flow.kind == Flow::Kind::Break) return {};
+          if (flow.kind == Flow::Kind::Return) return flow;
+        }
+      }
+      case StmtKind::DoWhile: {
+        for (;;) {
+          Flow flow = exec(*stmt.children[0]);
+          if (flow.kind == Flow::Kind::Break) return {};
+          if (flow.kind == Flow::Kind::Return) return flow;
+          const bool taken = eval(*stmt.exprs[0]).truthy();
+          branch(stmt.range.begin_line, taken);
+          if (!taken) return {};
+        }
+      }
+      case StmtKind::For: {
+        scopes.push_back({});
+        std::size_t body_idx = 0;
+        if (stmt.for_has_init) {
+          exec(*stmt.children[0]);
+          body_idx = 1;
+        }
+        Flow out;
+        for (;;) {
+          bool taken = true;
+          std::size_t expr_idx = 0;
+          if (stmt.for_has_cond) taken = eval(*stmt.exprs[expr_idx++]).truthy();
+          branch(stmt.range.begin_line, taken);
+          if (!taken) break;
+          Flow flow = exec(*stmt.children[body_idx]);
+          if (flow.kind == Flow::Kind::Break) break;
+          if (flow.kind == Flow::Kind::Return) {
+            out = flow;
+            break;
+          }
+          if (stmt.for_has_step) {
+            eval(*stmt.exprs[stmt.for_has_cond ? 1 : 0]);
+          }
+        }
+        scopes.pop_back();
+        return out;
+      }
+      case StmtKind::Switch: {
+        const std::int64_t selector = eval(*stmt.exprs[0]).i;
+        bool matched = false;
+        branch(stmt.range.begin_line, true);
+        for (const auto& child : stmt.children) {
+          if (child->kind != StmtKind::Case) continue;
+          if (!matched) {
+            if (child->name == "default") {
+              matched = true;
+            } else if (!child->exprs.empty() &&
+                       eval(*child->exprs[0]).i == selector) {
+              matched = true;
+            }
+          }
+          if (!matched) continue;
+          for (const auto& inner : child->children) {
+            Flow flow = exec(*inner);
+            if (flow.kind == Flow::Kind::Break) return {};
+            if (flow.kind != Flow::Kind::Normal) return flow;
+          }
+        }
+        return {};
+      }
+      case StmtKind::Case:
+        throw Fault{Outcome::UnsupportedConstruct, stmt.range.begin_line,
+                    "case outside switch"};
+      case StmtKind::Break: {
+        Flow flow;
+        flow.kind = Flow::Kind::Break;
+        return flow;
+      }
+      case StmtKind::Continue: {
+        Flow flow;
+        flow.kind = Flow::Kind::Continue;
+        return flow;
+      }
+      case StmtKind::Return: {
+        Flow flow;
+        flow.kind = Flow::Kind::Return;
+        if (!stmt.exprs.empty()) flow.ret = eval(*stmt.exprs[0]);
+        return flow;
+      }
+      case StmtKind::Goto:
+      case StmtKind::Label:
+        // Goto is rare in the interpretable corpus; labels fall through.
+        if (stmt.kind == StmtKind::Label) {
+          for (const auto& child : stmt.children) {
+            Flow flow = exec(*child);
+            if (flow.kind != Flow::Kind::Normal) return flow;
+          }
+          return {};
+        }
+        throw Fault{Outcome::UnsupportedConstruct, stmt.range.begin_line, "goto"};
+      case StmtKind::Null:
+        return {};
+    }
+    return {};
+  }
+
+  void exec_decl(const Stmt& decl) {
+    Value init = Value::integer(0);
+    if (decl.for_has_init) init = eval(*decl.exprs[0]);
+    if (decl.decl_is_array) {
+      // Evaluate the extent (first extent expression after the optional
+      // initializer; defaults to the initializer length or 1).
+      std::int64_t extent = 0;
+      std::size_t extent_idx = decl.for_has_init ? 1 : 0;
+      if (extent_idx < decl.exprs.size()) {
+        extent = eval(*decl.exprs[extent_idx]).i;
+      }
+      if (extent <= 0) extent = 1;
+      if (extent > (1 << 22)) extent = 1 << 22;
+      auto arr = std::make_shared<ArrayObj>();
+      arr->data.assign(static_cast<std::size_t>(extent), 0);
+      scopes.back()[decl.name] = Value::pointer(std::move(arr));
+      return;
+    }
+    if (decl.decl_is_pointer && !decl.for_has_init) {
+      scopes.back()[decl.name] = Value::pointer(nullptr);
+      return;
+    }
+    if (init.kind == Value::Kind::Int) init.i = wrap32(init.i);
+    scopes.back()[decl.name] = init;
+  }
+};
+
+Interpreter::Interpreter(const frontend::TranslationUnit& unit)
+    : impl_(std::make_unique<Impl>(unit)) {}
+
+Interpreter::~Interpreter() = default;
+
+ExecResult Interpreter::run(std::span<const std::uint8_t> input,
+                            const ExecOptions& options) {
+  ExecResult result;
+  impl_->input = input;
+  impl_->input_pos = 0;
+  impl_->steps = 0;
+  impl_->step_limit = options.step_limit;
+  impl_->result = &result;
+  impl_->scopes.clear();
+  impl_->scopes.push_back({});  // pseudo-globals
+
+  const frontend::FunctionDef* entry = impl_->unit.find_function(options.entry);
+  if (entry == nullptr) {
+    result.outcome = Outcome::UnsupportedConstruct;
+    result.detail = "no entry function " + options.entry;
+    return result;
+  }
+  std::vector<Value> args;
+  for (std::int64_t a : options.entry_args) args.push_back(Value::integer(a));
+
+  try {
+    Value ret = impl_->call_user(*entry, args, entry->range.begin_line);
+    result.return_value = ret.kind == Value::Kind::Int ? ret.i : 0;
+  } catch (const Fault& fault) {
+    result.outcome = fault.outcome;
+    result.fault_line = fault.line;
+    result.detail = fault.detail;
+  }
+  result.steps = impl_->steps;
+  return result;
+}
+
+}  // namespace sevuldet::interp

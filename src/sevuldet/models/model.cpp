@@ -1,0 +1,54 @@
+#include "sevuldet/models/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sevuldet::models {
+
+float Detector::predict(const std::vector<int>& tokens) {
+  nn::NodePtr logit = forward_logit(tokens, /*train=*/false);
+  if (config_.num_classes > 1) {
+    return 1.0f - nn::softmax_row_values(logit->value)[0];
+  }
+  return 1.0f / (1.0f + std::exp(-logit->value.at(0, 0)));
+}
+
+bool Detector::is_vulnerable(const std::vector<int>& tokens) {
+  return predict(tokens) > config_.threshold;
+}
+
+std::pair<int, float> Detector::predict_class(const std::vector<int>& tokens) {
+  nn::NodePtr logit = forward_logit(tokens, /*train=*/false);
+  if (config_.num_classes <= 1) {
+    const float p = 1.0f / (1.0f + std::exp(-logit->value.at(0, 0)));
+    return {p > config_.threshold ? 1 : 0, p};
+  }
+  auto probs = nn::softmax_row_values(logit->value);
+  int best = 0;
+  for (int j = 1; j < config_.num_classes; ++j) {
+    if (probs[static_cast<std::size_t>(j)] > probs[static_cast<std::size_t>(best)]) {
+      best = j;
+    }
+  }
+  return {best, probs[static_cast<std::size_t>(best)]};
+}
+
+void load_pretrained_embeddings(nn::ParamStore& store,
+                                const std::string& param_name,
+                                const nn::Tensor& vectors) {
+  nn::NodePtr embed = store.find(param_name);
+  if (embed == nullptr) {
+    throw std::invalid_argument("no embedding parameter named " + param_name);
+  }
+  if (embed->value.cols() != vectors.cols()) {
+    throw std::invalid_argument("embedding dim mismatch");
+  }
+  const int rows = std::min(embed->value.rows(), vectors.rows());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < vectors.cols(); ++c) {
+      embed->value.at(r, c) = vectors.at(r, c);
+    }
+  }
+}
+
+}  // namespace sevuldet::models

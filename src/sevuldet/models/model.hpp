@@ -1,0 +1,83 @@
+// Common detector interface. Every model maps a token-id sequence to a
+// vulnerability probability; training runs per-sample SGD/Adam on binary
+// cross-entropy. The paper classifies with threshold 0.8 ("if this
+// number is greater than 0.8, the output is flawed").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sevuldet/nn/layers.hpp"
+#include "sevuldet/nn/tensor.hpp"
+
+namespace sevuldet::models {
+
+struct ModelConfig {
+  int vocab_size = 0;     // required
+  int embed_dim = 30;     // Table IV: dimension 30
+  float dropout = 0.2f;   // Table IV
+  float threshold = 0.8f; // Section III-C
+  /// 1 = binary vulnerable/clean (the paper's main setting). >1 enables
+  /// multiclass vulnerability-type output (Fig. 2b "output vulnerability
+  /// type"): class 0 is "benign", classes 1..N-1 are CWE types.
+  int num_classes = 1;
+
+  // SEVulDet CNN trunk
+  int conv_channels = 32;
+  int conv_kernel = 3;
+  std::vector<int> spp_bins = {4, 2, 1};
+  int attn_dim = 32;        // token-attention hidden size
+  int cbam_reduction = 4;
+  int dense1 = 256;         // paper's dense head 256 -> 64 -> 1
+  int dense2 = 64;
+  bool token_attention = true;   // ablation: CNN-TokenATT vs CNN
+  bool multilayer_attention = true;  // ablation: CNN-MultiATT
+  bool cbam_sequential = true;   // ablation: sequential vs parallel CBAM
+
+  // BiRNN baselines
+  int rnn_hidden = 30;
+  int fixed_length = 50;  // time steps; tokens are truncated/padded to this
+
+  std::uint64_t seed = 42;
+};
+
+/// Abstract detector.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Logit for one token-id sequence; `train` enables dropout.
+  virtual nn::NodePtr forward_logit(const std::vector<int>& tokens, bool train) = 0;
+
+  virtual const std::string& name() const = 0;
+  virtual nn::ParamStore& params() = 0;
+  const nn::ParamStore& params() const {
+    return const_cast<Detector*>(this)->params();
+  }
+
+  /// Probability of "vulnerable" (eval mode): sigmoid of the logit for
+  /// binary models, 1 - P(benign) for multiclass models.
+  float predict(const std::vector<int>& tokens);
+
+  /// True if predict() exceeds the configured threshold.
+  bool is_vulnerable(const std::vector<int>& tokens);
+
+  /// Multiclass: (argmax class id, its softmax probability). For binary
+  /// models returns ({0,1}, predict()).
+  std::pair<int, float> predict_class(const std::vector<int>& tokens);
+
+  const ModelConfig& config() const { return config_; }
+
+ protected:
+  explicit Detector(ModelConfig config) : config_(std::move(config)) {}
+  ModelConfig config_;
+};
+
+/// Initialize an embedding-matrix parameter from pre-trained word2vec
+/// vectors (rows beyond the trained vocabulary stay random).
+void load_pretrained_embeddings(nn::ParamStore& store,
+                                const std::string& param_name,
+                                const nn::Tensor& vectors);
+
+}  // namespace sevuldet::models

@@ -1,0 +1,78 @@
+#include "sevuldet/models/sevuldet_net.hpp"
+
+#include <stdexcept>
+
+namespace sevuldet::models {
+
+namespace {
+int spp_total_bins(const std::vector<int>& bins) {
+  int total = 0;
+  for (int b : bins) total += b;
+  return total;
+}
+}  // namespace
+
+SeVulDetNet::SeVulDetNet(ModelConfig config)
+    : Detector(std::move(config)), rng_(config_.seed ^ 0xD1CEULL) {
+  if (config_.vocab_size <= 0) {
+    throw std::invalid_argument("SeVulDetNet: vocab_size must be set");
+  }
+  if (config_.multilayer_attention && !config_.token_attention) {
+    // The paper's CNN-MultiATT includes token attention; keep the
+    // ablation lattice consistent: MultiATT implies TokenATT.
+    config_.token_attention = true;
+  }
+  name_ = config_.multilayer_attention ? "SEVulDet(CNN-MultiATT)"
+          : config_.token_attention    ? "CNN-TokenATT"
+                                       : "CNN";
+
+  util::Rng init_rng(config_.seed);
+  embedding_ = store_.add(
+      "embedding",
+      nn::Tensor::uniform(config_.vocab_size, config_.embed_dim, init_rng, 0.1f));
+  if (config_.token_attention) {
+    token_attention_ = std::make_unique<nn::TokenAttention>(
+        store_, "token_attn", config_.embed_dim, config_.attn_dim, init_rng);
+  }
+  conv1_ = std::make_unique<nn::Conv1d>(store_, "conv1", config_.embed_dim,
+                                        config_.conv_channels, config_.conv_kernel,
+                                        config_.conv_kernel / 2, init_rng);
+  if (config_.multilayer_attention) {
+    cbam_ = std::make_unique<nn::Cbam>(store_, "cbam", config_.conv_channels,
+                                       config_.cbam_reduction, init_rng,
+                                       config_.cbam_sequential);
+  }
+  conv2_ = std::make_unique<nn::Conv1d>(store_, "conv2", config_.conv_channels,
+                                        config_.conv_channels, config_.conv_kernel,
+                                        config_.conv_kernel / 2, init_rng);
+  const int spp_out = spp_total_bins(config_.spp_bins) * config_.conv_channels;
+  fc1_ = std::make_unique<nn::Dense>(store_, "fc1", spp_out, config_.dense1, init_rng);
+  fc2_ = std::make_unique<nn::Dense>(store_, "fc2", config_.dense1, config_.dense2,
+                                     init_rng);
+  fc3_ = std::make_unique<nn::Dense>(store_, "fc3", config_.dense2,
+                                     std::max(1, config_.num_classes), init_rng);
+}
+
+nn::NodePtr SeVulDetNet::forward_logit(const std::vector<int>& tokens, bool train) {
+  // Flexible length: no truncation, no padding — the SPP layer absorbs
+  // any T >= conv kernel; ultra-short inputs are padded up to the kernel.
+  std::vector<int> ids = tokens;
+  while (static_cast<int>(ids.size()) < config_.conv_kernel) ids.push_back(0);
+
+  nn::NodePtr x = nn::embedding(embedding_, ids);           // [T, E]
+  if (token_attention_) x = token_attention_->forward(x);   // Step IV
+  x = nn::relu(conv1_->forward(x));                         // [T, C]
+  if (cbam_) x = cbam_->forward(x);                         // Step V attention
+  x = nn::relu(conv2_->forward(x));
+  x = nn::spp_max(x, config_.spp_bins);                     // [1, 7C]
+  x = nn::relu(fc1_->forward(x));
+  x = nn::dropout(x, config_.dropout, rng_, train);
+  x = nn::relu(fc2_->forward(x));
+  return fc3_->forward(x);                                  // [1, 1] logit
+}
+
+const std::vector<float>& SeVulDetNet::last_token_weights() const {
+  return token_attention_ ? token_attention_->last_weights() : empty_weights_;
+}
+
+}  // namespace sevuldet::models

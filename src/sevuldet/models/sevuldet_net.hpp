@@ -1,0 +1,41 @@
+// The paper's detection network (Fig. 2, Steps IV-V): word2vec-initialized
+// embedding -> token attention (eqs. 1-4) -> Conv1d -> CBAM channel +
+// spatial attention (eqs. 5-8) -> Conv1d -> spatial pyramid pooling
+// ({4,2,1} bins) -> dense 256 -> 64 -> 1 (sigmoid at threshold 0.8).
+// The token-attention and CBAM stages can be disabled to realize the
+// RQ2 ablations (CNN / CNN-TokenATT / CNN-MultiATT).
+#pragma once
+
+#include <memory>
+
+#include "sevuldet/models/model.hpp"
+
+namespace sevuldet::models {
+
+class SeVulDetNet : public Detector {
+ public:
+  explicit SeVulDetNet(ModelConfig config);
+
+  nn::NodePtr forward_logit(const std::vector<int>& tokens, bool train) override;
+  const std::string& name() const override { return name_; }
+  nn::ParamStore& params() override { return store_; }
+
+  /// α weights of the last forward pass (one per input token) — the
+  /// Fig. 6 attention-visualization hook. Empty if token attention is
+  /// disabled.
+  const std::vector<float>& last_token_weights() const;
+
+ private:
+  std::string name_;
+  nn::ParamStore store_;
+  util::Rng rng_;          // dropout randomness
+  nn::NodePtr embedding_;
+  std::unique_ptr<nn::TokenAttention> token_attention_;
+  std::unique_ptr<nn::Conv1d> conv1_;
+  std::unique_ptr<nn::Cbam> cbam_;
+  std::unique_ptr<nn::Conv1d> conv2_;
+  std::unique_ptr<nn::Dense> fc1_, fc2_, fc3_;
+  std::vector<float> empty_weights_;
+};
+
+}  // namespace sevuldet::models

@@ -1,0 +1,826 @@
+#include "sevuldet/nn/autograd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sevuldet::nn {
+
+namespace {
+
+NodePtr make_node(Tensor value, std::vector<NodePtr> parents) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  for (const auto& p : node->parents) {
+    if (p->requires_grad) node->requires_grad = true;
+  }
+  return node;
+}
+
+[[noreturn]] void shape_error(const char* op, const Tensor& a, const Tensor& b) {
+  throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                              a.shape_string() + " vs " + b.shape_string());
+}
+
+}  // namespace
+
+NodePtr constant(Tensor value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return node;
+}
+
+NodePtr param(Tensor value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  node->zero_grad();
+  return node;
+}
+
+void backward(const NodePtr& root) {
+  if (root->value.rows() != 1 || root->value.cols() != 1) {
+    throw std::invalid_argument("backward: root must be scalar [1,1]");
+  }
+  // Topological order via iterative post-order DFS.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      Node* parent = node->parents[idx++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  for (Node* node : order) {
+    if (node != root.get()) node->ensure_grad();
+  }
+  root->ensure_grad();
+  root->grad.fill(0.0f);
+  root->grad.at(0, 0) = 1.0f;
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && node->requires_grad) node->backward_fn();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// arithmetic
+// ---------------------------------------------------------------------------
+
+NodePtr add(const NodePtr& a, const NodePtr& b) {
+  if (!a->value.same_shape(b->value)) shape_error("add", a->value, b->value);
+  Tensor out = a->value;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += b->value[i];
+  auto node = make_node(std::move(out), {a, b});
+  Node* n = node.get();
+  Node *pa = a.get(), *pb = b.get();
+  node->backward_fn = [n, pa, pb]() {
+    if (pa->requires_grad) {
+      pa->ensure_grad();
+      for (std::size_t i = 0; i < n->grad.size(); ++i) pa->grad[i] += n->grad[i];
+    }
+    if (pb->requires_grad) {
+      pb->ensure_grad();
+      for (std::size_t i = 0; i < n->grad.size(); ++i) pb->grad[i] += n->grad[i];
+    }
+  };
+  return node;
+}
+
+NodePtr add_row(const NodePtr& a, const NodePtr& bias) {
+  if (bias->value.rows() != 1 || bias->value.cols() != a->value.cols()) {
+    shape_error("add_row", a->value, bias->value);
+  }
+  Tensor out = a->value;
+  const int rows = out.rows(), cols = out.cols();
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) out.at(r, c) += bias->value.at(0, c);
+  }
+  auto node = make_node(std::move(out), {a, bias});
+  Node* n = node.get();
+  Node *pa = a.get(), *pb = bias.get();
+  node->backward_fn = [n, pa, pb, rows, cols]() {
+    if (pa->requires_grad) {
+      pa->ensure_grad();
+      for (std::size_t i = 0; i < n->grad.size(); ++i) pa->grad[i] += n->grad[i];
+    }
+    if (pb->requires_grad) {
+      pb->ensure_grad();
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) pb->grad.at(0, c) += n->grad.at(r, c);
+      }
+    }
+  };
+  return node;
+}
+
+NodePtr sub(const NodePtr& a, const NodePtr& b) {
+  return add(a, scale(b, -1.0f));
+}
+
+NodePtr mul(const NodePtr& a, const NodePtr& b) {
+  if (!a->value.same_shape(b->value)) shape_error("mul", a->value, b->value);
+  Tensor out = a->value;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= b->value[i];
+  auto node = make_node(std::move(out), {a, b});
+  Node* n = node.get();
+  Node *pa = a.get(), *pb = b.get();
+  node->backward_fn = [n, pa, pb]() {
+    if (pa->requires_grad) {
+      pa->ensure_grad();
+      for (std::size_t i = 0; i < n->grad.size(); ++i) {
+        pa->grad[i] += n->grad[i] * pb->value[i];
+      }
+    }
+    if (pb->requires_grad) {
+      pb->ensure_grad();
+      for (std::size_t i = 0; i < n->grad.size(); ++i) {
+        pb->grad[i] += n->grad[i] * pa->value[i];
+      }
+    }
+  };
+  return node;
+}
+
+NodePtr scale(const NodePtr& a, float k) {
+  Tensor out = a->value;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= k;
+  auto node = make_node(std::move(out), {a});
+  Node* n = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [n, pa, k]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (std::size_t i = 0; i < n->grad.size(); ++i) pa->grad[i] += n->grad[i] * k;
+  };
+  return node;
+}
+
+NodePtr matmul(const NodePtr& a, const NodePtr& b) {
+  if (a->value.cols() != b->value.rows()) shape_error("matmul", a->value, b->value);
+  const int m = a->value.rows(), k = a->value.cols(), n = b->value.cols();
+  Tensor out(m, n);
+  for (int i = 0; i < m; ++i) {
+    const float* arow = &a->value.at(i, 0);
+    float* orow = &out.at(i, 0);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = &b->value.at(p, 0);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  auto node = make_node(std::move(out), {a, b});
+  Node* nn_ = node.get();
+  Node *pa = a.get(), *pb = b.get();
+  node->backward_fn = [nn_, pa, pb, m, k, n]() {
+    // dA = dOut * B^T ; dB = A^T * dOut — both loops ordered for
+    // contiguous row access (this is the training hot path).
+    if (pa->requires_grad) {
+      pa->ensure_grad();
+      for (int i = 0; i < m; ++i) {
+        const float* grow = &nn_->grad.at(i, 0);
+        float* arow = &pa->grad.at(i, 0);
+        for (int p = 0; p < k; ++p) {
+          const float* brow = &pb->value.at(p, 0);
+          float acc = 0.0f;
+          for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
+          arow[p] += acc;
+        }
+      }
+    }
+    if (pb->requires_grad) {
+      pb->ensure_grad();
+      for (int i = 0; i < m; ++i) {
+        const float* arow = &pa->value.at(i, 0);
+        const float* grow = &nn_->grad.at(i, 0);
+        for (int p = 0; p < k; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          float* bgrow = &pb->grad.at(p, 0);
+          for (int j = 0; j < n; ++j) bgrow[j] += av * grow[j];
+        }
+      }
+    }
+  };
+  return node;
+}
+
+NodePtr transpose(const NodePtr& a) {
+  const int m = a->value.rows(), n = a->value.cols();
+  Tensor out(n, m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) out.at(j, i) = a->value.at(i, j);
+  }
+  auto node = make_node(std::move(out), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, m, n]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) pa->grad.at(i, j) += nd->grad.at(j, i);
+    }
+  };
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// nonlinearities
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Fwd, typename Bwd>
+NodePtr unary_op(const NodePtr& a, Fwd fwd, Bwd bwd) {
+  Tensor out = a->value;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fwd(out[i]);
+  auto node = make_node(std::move(out), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, bwd]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (std::size_t i = 0; i < nd->grad.size(); ++i) {
+      pa->grad[i] += nd->grad[i] * bwd(pa->value[i], nd->value[i]);
+    }
+  };
+  return node;
+}
+
+}  // namespace
+
+NodePtr tanh_op(const NodePtr& a) {
+  return unary_op(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+NodePtr sigmoid(const NodePtr& a) {
+  return unary_op(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+NodePtr relu(const NodePtr& a) {
+  return unary_op(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+NodePtr softmax_col(const NodePtr& a) {
+  if (a->value.cols() != 1) {
+    throw std::invalid_argument("softmax_col expects [T,1], got " +
+                                a->value.shape_string());
+  }
+  const int t = a->value.rows();
+  Tensor out(t, 1);
+  float max_v = a->value.at(0, 0);
+  for (int i = 1; i < t; ++i) max_v = std::max(max_v, a->value.at(i, 0));
+  float sum = 0.0f;
+  for (int i = 0; i < t; ++i) {
+    out.at(i, 0) = std::exp(a->value.at(i, 0) - max_v);
+    sum += out.at(i, 0);
+  }
+  for (int i = 0; i < t; ++i) out.at(i, 0) /= sum;
+  auto node = make_node(std::move(out), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, t]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    // dX_i = y_i * (g_i - sum_j g_j y_j)
+    float dot = 0.0f;
+    for (int j = 0; j < t; ++j) dot += nd->grad.at(j, 0) * nd->value.at(j, 0);
+    for (int i = 0; i < t; ++i) {
+      pa->grad.at(i, 0) += nd->value.at(i, 0) * (nd->grad.at(i, 0) - dot);
+    }
+  };
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// shape ops
+// ---------------------------------------------------------------------------
+
+NodePtr concat_cols(const NodePtr& a, const NodePtr& b) {
+  if (a->value.rows() != b->value.rows()) {
+    shape_error("concat_cols", a->value, b->value);
+  }
+  const int m = a->value.rows(), p = a->value.cols(), q = b->value.cols();
+  Tensor out(m, p + q);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < p; ++c) out.at(r, c) = a->value.at(r, c);
+    for (int c = 0; c < q; ++c) out.at(r, p + c) = b->value.at(r, c);
+  }
+  auto node = make_node(std::move(out), {a, b});
+  Node* nd = node.get();
+  Node *pa = a.get(), *pb = b.get();
+  node->backward_fn = [nd, pa, pb, m, p, q]() {
+    if (pa->requires_grad) {
+      pa->ensure_grad();
+      for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < p; ++c) pa->grad.at(r, c) += nd->grad.at(r, c);
+      }
+    }
+    if (pb->requires_grad) {
+      pb->ensure_grad();
+      for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < q; ++c) pb->grad.at(r, c) += nd->grad.at(r, p + c);
+      }
+    }
+  };
+  return node;
+}
+
+NodePtr concat_rows(const std::vector<NodePtr>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_rows: empty");
+  const int cols = parts[0]->value.cols();
+  int rows = 0;
+  for (const auto& p : parts) {
+    if (p->value.cols() != cols) shape_error("concat_rows", parts[0]->value, p->value);
+    rows += p->value.rows();
+  }
+  Tensor out(rows, cols);
+  int offset = 0;
+  for (const auto& p : parts) {
+    for (int r = 0; r < p->value.rows(); ++r) {
+      for (int c = 0; c < cols; ++c) out.at(offset + r, c) = p->value.at(r, c);
+    }
+    offset += p->value.rows();
+  }
+  auto node = make_node(std::move(out), parts);
+  Node* nd = node.get();
+  std::vector<Node*> raw;
+  raw.reserve(parts.size());
+  for (const auto& p : parts) raw.push_back(p.get());
+  node->backward_fn = [nd, raw, cols]() {
+    int offset = 0;
+    for (Node* p : raw) {
+      if (p->requires_grad) {
+        p->ensure_grad();
+        for (int r = 0; r < p->value.rows(); ++r) {
+          for (int c = 0; c < cols; ++c) {
+            p->grad.at(r, c) += nd->grad.at(offset + r, c);
+          }
+        }
+      }
+      offset += p->value.rows();
+    }
+  };
+  return node;
+}
+
+NodePtr slice_cols(const NodePtr& a, int from, int to) {
+  if (from < 0 || to > a->value.cols() || from >= to) {
+    throw std::invalid_argument("slice_cols: bad range");
+  }
+  const int m = a->value.rows(), w = to - from;
+  Tensor out(m, w);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < w; ++c) out.at(r, c) = a->value.at(r, from + c);
+  }
+  auto node = make_node(std::move(out), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, m, w, from]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < w; ++c) pa->grad.at(r, from + c) += nd->grad.at(r, c);
+    }
+  };
+  return node;
+}
+
+NodePtr slice_rows(const NodePtr& a, int from, int to) {
+  if (from < 0 || to > a->value.rows() || from >= to) {
+    throw std::invalid_argument("slice_rows: bad range");
+  }
+  const int h = to - from, n = a->value.cols();
+  Tensor out(h, n);
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < n; ++c) out.at(r, c) = a->value.at(from + r, c);
+  }
+  auto node = make_node(std::move(out), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, h, n, from]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int r = 0; r < h; ++r) {
+      for (int c = 0; c < n; ++c) pa->grad.at(from + r, c) += nd->grad.at(r, c);
+    }
+  };
+  return node;
+}
+
+NodePtr reshape_row(const NodePtr& a) {
+  const int m = a->value.rows(), n = a->value.cols();
+  Tensor out(1, m * n);
+  for (std::size_t i = 0; i < a->value.size(); ++i) out[i] = a->value[i];
+  auto node = make_node(std::move(out), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (std::size_t i = 0; i < nd->grad.size(); ++i) pa->grad[i] += nd->grad[i];
+  };
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// reductions
+// ---------------------------------------------------------------------------
+
+NodePtr sum_all(const NodePtr& a) {
+  float total = 0.0f;
+  for (std::size_t i = 0; i < a->value.size(); ++i) total += a->value[i];
+  auto node = make_node(Tensor::scalar(total), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    const float g = nd->grad.at(0, 0);
+    for (std::size_t i = 0; i < pa->grad.size(); ++i) pa->grad[i] += g;
+  };
+  return node;
+}
+
+NodePtr mean_all(const NodePtr& a) {
+  return scale(sum_all(a), 1.0f / static_cast<float>(a->value.size()));
+}
+
+NodePtr reduce_rows_mean(const NodePtr& a) {
+  const int t = a->value.rows(), c = a->value.cols();
+  Tensor out(1, c);
+  for (int i = 0; i < t; ++i) {
+    for (int j = 0; j < c; ++j) out.at(0, j) += a->value.at(i, j);
+  }
+  for (int j = 0; j < c; ++j) out.at(0, j) /= static_cast<float>(t);
+  auto node = make_node(std::move(out), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, t, c]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int i = 0; i < t; ++i) {
+      for (int j = 0; j < c; ++j) {
+        pa->grad.at(i, j) += nd->grad.at(0, j) / static_cast<float>(t);
+      }
+    }
+  };
+  return node;
+}
+
+NodePtr reduce_rows_max(const NodePtr& a) {
+  const int t = a->value.rows(), c = a->value.cols();
+  Tensor out(1, c);
+  std::vector<int> arg(static_cast<std::size_t>(c), 0);
+  for (int j = 0; j < c; ++j) {
+    float best = a->value.at(0, j);
+    for (int i = 1; i < t; ++i) {
+      if (a->value.at(i, j) > best) {
+        best = a->value.at(i, j);
+        arg[static_cast<std::size_t>(j)] = i;
+      }
+    }
+    out.at(0, j) = best;
+  }
+  auto node = make_node(std::move(out), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, arg, c]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int j = 0; j < c; ++j) {
+      pa->grad.at(arg[static_cast<std::size_t>(j)], j) += nd->grad.at(0, j);
+    }
+  };
+  return node;
+}
+
+NodePtr reduce_cols_mean(const NodePtr& a) {
+  const int t = a->value.rows(), c = a->value.cols();
+  Tensor out(t, 1);
+  for (int i = 0; i < t; ++i) {
+    for (int j = 0; j < c; ++j) out.at(i, 0) += a->value.at(i, j);
+  }
+  for (int i = 0; i < t; ++i) out.at(i, 0) /= static_cast<float>(c);
+  auto node = make_node(std::move(out), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, t, c]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int i = 0; i < t; ++i) {
+      for (int j = 0; j < c; ++j) {
+        pa->grad.at(i, j) += nd->grad.at(i, 0) / static_cast<float>(c);
+      }
+    }
+  };
+  return node;
+}
+
+NodePtr reduce_cols_max(const NodePtr& a) {
+  const int t = a->value.rows(), c = a->value.cols();
+  Tensor out(t, 1);
+  std::vector<int> arg(static_cast<std::size_t>(t), 0);
+  for (int i = 0; i < t; ++i) {
+    float best = a->value.at(i, 0);
+    for (int j = 1; j < c; ++j) {
+      if (a->value.at(i, j) > best) {
+        best = a->value.at(i, j);
+        arg[static_cast<std::size_t>(i)] = j;
+      }
+    }
+    out.at(i, 0) = best;
+  }
+  auto node = make_node(std::move(out), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, arg, t]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int i = 0; i < t; ++i) {
+      pa->grad.at(i, arg[static_cast<std::size_t>(i)]) += nd->grad.at(i, 0);
+    }
+  };
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// broadcast multiplies
+// ---------------------------------------------------------------------------
+
+NodePtr mul_row_broadcast(const NodePtr& a, const NodePtr& row) {
+  if (row->value.rows() != 1 || row->value.cols() != a->value.cols()) {
+    shape_error("mul_row_broadcast", a->value, row->value);
+  }
+  const int t = a->value.rows(), c = a->value.cols();
+  Tensor out(t, c);
+  for (int i = 0; i < t; ++i) {
+    for (int j = 0; j < c; ++j) out.at(i, j) = a->value.at(i, j) * row->value.at(0, j);
+  }
+  auto node = make_node(std::move(out), {a, row});
+  Node* nd = node.get();
+  Node *pa = a.get(), *pr = row.get();
+  node->backward_fn = [nd, pa, pr, t, c]() {
+    if (pa->requires_grad) {
+      pa->ensure_grad();
+      for (int i = 0; i < t; ++i) {
+        for (int j = 0; j < c; ++j) {
+          pa->grad.at(i, j) += nd->grad.at(i, j) * pr->value.at(0, j);
+        }
+      }
+    }
+    if (pr->requires_grad) {
+      pr->ensure_grad();
+      for (int i = 0; i < t; ++i) {
+        for (int j = 0; j < c; ++j) {
+          pr->grad.at(0, j) += nd->grad.at(i, j) * pa->value.at(i, j);
+        }
+      }
+    }
+  };
+  return node;
+}
+
+NodePtr mul_col_broadcast(const NodePtr& a, const NodePtr& col) {
+  if (col->value.cols() != 1 || col->value.rows() != a->value.rows()) {
+    shape_error("mul_col_broadcast", a->value, col->value);
+  }
+  const int t = a->value.rows(), c = a->value.cols();
+  Tensor out(t, c);
+  for (int i = 0; i < t; ++i) {
+    for (int j = 0; j < c; ++j) out.at(i, j) = a->value.at(i, j) * col->value.at(i, 0);
+  }
+  auto node = make_node(std::move(out), {a, col});
+  Node* nd = node.get();
+  Node *pa = a.get(), *pc = col.get();
+  node->backward_fn = [nd, pa, pc, t, c]() {
+    if (pa->requires_grad) {
+      pa->ensure_grad();
+      for (int i = 0; i < t; ++i) {
+        for (int j = 0; j < c; ++j) {
+          pa->grad.at(i, j) += nd->grad.at(i, j) * pc->value.at(i, 0);
+        }
+      }
+    }
+    if (pc->requires_grad) {
+      pc->ensure_grad();
+      for (int i = 0; i < t; ++i) {
+        for (int j = 0; j < c; ++j) {
+          pc->grad.at(i, 0) += nd->grad.at(i, j) * pa->value.at(i, j);
+        }
+      }
+    }
+  };
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// embedding / conv support
+// ---------------------------------------------------------------------------
+
+NodePtr embedding(const NodePtr& weights, const std::vector<int>& ids) {
+  const int v = weights->value.rows(), e = weights->value.cols();
+  const int t = static_cast<int>(ids.size());
+  Tensor out(t, e);
+  for (int i = 0; i < t; ++i) {
+    const int id = ids[static_cast<std::size_t>(i)];
+    if (id < 0 || id >= v) throw std::out_of_range("embedding: id out of range");
+    for (int j = 0; j < e; ++j) out.at(i, j) = weights->value.at(id, j);
+  }
+  auto node = make_node(std::move(out), {weights});
+  Node* nd = node.get();
+  Node* pw = weights.get();
+  node->backward_fn = [nd, pw, ids, e]() {
+    if (!pw->requires_grad) return;
+    pw->ensure_grad();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      for (int j = 0; j < e; ++j) {
+        pw->grad.at(ids[i], j) += nd->grad.at(static_cast<int>(i), j);
+      }
+    }
+  };
+  return node;
+}
+
+NodePtr im2row(const NodePtr& a, int kernel, int pad) {
+  const int t = a->value.rows(), c = a->value.cols();
+  const int t_out = t + 2 * pad - kernel + 1;
+  if (t_out < 1) {
+    throw std::invalid_argument("im2row: sequence shorter than kernel");
+  }
+  Tensor out(t_out, kernel * c);
+  for (int i = 0; i < t_out; ++i) {
+    for (int k = 0; k < kernel; ++k) {
+      const int src = i + k - pad;
+      if (src < 0 || src >= t) continue;  // zero padding
+      for (int j = 0; j < c; ++j) out.at(i, k * c + j) = a->value.at(src, j);
+    }
+  }
+  auto node = make_node(std::move(out), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, t, c, t_out, kernel, pad]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int i = 0; i < t_out; ++i) {
+      for (int k = 0; k < kernel; ++k) {
+        const int src = i + k - pad;
+        if (src < 0 || src >= t) continue;
+        for (int j = 0; j < c; ++j) {
+          pa->grad.at(src, j) += nd->grad.at(i, k * c + j);
+        }
+      }
+    }
+  };
+  return node;
+}
+
+NodePtr spp_max(const NodePtr& a, const std::vector<int>& bins) {
+  const int t = a->value.rows(), c = a->value.cols();
+  if (t < 1) throw std::invalid_argument("spp_max: empty sequence");
+  int total_bins = 0;
+  for (int b : bins) total_bins += b;
+  Tensor out(1, total_bins * c);
+  std::vector<int> arg(static_cast<std::size_t>(total_bins) * static_cast<std::size_t>(c));
+  int bin_offset = 0;
+  for (int nb : bins) {
+    for (int b = 0; b < nb; ++b) {
+      int start = (b * t) / nb;
+      int end = ((b + 1) * t + nb - 1) / nb;  // ceil
+      if (end <= start) end = start + 1;
+      if (start >= t) start = t - 1;
+      if (end > t) end = t;
+      for (int j = 0; j < c; ++j) {
+        float best = a->value.at(start, j);
+        int best_i = start;
+        for (int i = start + 1; i < end; ++i) {
+          if (a->value.at(i, j) > best) {
+            best = a->value.at(i, j);
+            best_i = i;
+          }
+        }
+        out.at(0, (bin_offset + b) * c + j) = best;
+        arg[static_cast<std::size_t>(bin_offset + b) * static_cast<std::size_t>(c) +
+            static_cast<std::size_t>(j)] = best_i;
+      }
+    }
+    bin_offset += nb;
+  }
+  auto node = make_node(std::move(out), {a});
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, arg, total_bins, c]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int b = 0; b < total_bins; ++b) {
+      for (int j = 0; j < c; ++j) {
+        const int src = arg[static_cast<std::size_t>(b) * static_cast<std::size_t>(c) +
+                            static_cast<std::size_t>(j)];
+        pa->grad.at(src, j) += nd->grad.at(0, b * c + j);
+      }
+    }
+  };
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// regularization / loss
+// ---------------------------------------------------------------------------
+
+NodePtr dropout(const NodePtr& a, float p, util::Rng& rng, bool train) {
+  if (!train || p <= 0.0f) return a;
+  const float keep = 1.0f - p;
+  Tensor mask(a->value.rows(), a->value.cols());
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng.bernoulli(keep) ? 1.0f / keep : 0.0f;  // inverted dropout
+  }
+  return mul(a, constant(std::move(mask)));
+}
+
+NodePtr bce_with_logits(const NodePtr& logit, float target) {
+  if (logit->value.rows() != 1 || logit->value.cols() != 1) {
+    throw std::invalid_argument("bce_with_logits expects scalar logit");
+  }
+  const float z = logit->value.at(0, 0);
+  // loss = max(z,0) - z*t + log(1 + exp(-|z|))
+  const float loss =
+      std::max(z, 0.0f) - z * target + std::log1p(std::exp(-std::fabs(z)));
+  auto node = make_node(Tensor::scalar(loss), {logit});
+  Node* nd = node.get();
+  Node* pl = logit.get();
+  node->backward_fn = [nd, pl, target]() {
+    if (!pl->requires_grad) return;
+    pl->ensure_grad();
+    const float z = pl->value.at(0, 0);
+    const float sig = 1.0f / (1.0f + std::exp(-z));
+    pl->grad.at(0, 0) += nd->grad.at(0, 0) * (sig - target);
+  };
+  return node;
+}
+
+NodePtr cross_entropy_with_logits(const NodePtr& logits, int target_class) {
+  if (logits->value.rows() != 1) {
+    throw std::invalid_argument("cross_entropy_with_logits expects [1,C]");
+  }
+  const int c = logits->value.cols();
+  if (target_class < 0 || target_class >= c) {
+    throw std::out_of_range("cross_entropy_with_logits: bad target class");
+  }
+  float max_v = logits->value.at(0, 0);
+  for (int j = 1; j < c; ++j) max_v = std::max(max_v, logits->value.at(0, j));
+  float sum_exp = 0.0f;
+  for (int j = 0; j < c; ++j) sum_exp += std::exp(logits->value.at(0, j) - max_v);
+  const float log_z = max_v + std::log(sum_exp);
+  const float loss = log_z - logits->value.at(0, target_class);
+
+  auto node = make_node(Tensor::scalar(loss), {logits});
+  Node* nd = node.get();
+  Node* pl = logits.get();
+  node->backward_fn = [nd, pl, target_class, c, max_v, sum_exp]() {
+    if (!pl->requires_grad) return;
+    pl->ensure_grad();
+    const float g = nd->grad.at(0, 0);
+    for (int j = 0; j < c; ++j) {
+      const float p = std::exp(pl->value.at(0, j) - max_v) / sum_exp;
+      pl->grad.at(0, j) += g * (p - (j == target_class ? 1.0f : 0.0f));
+    }
+  };
+  return node;
+}
+
+std::vector<float> softmax_row_values(const Tensor& logits) {
+  const int c = logits.cols();
+  std::vector<float> out(static_cast<std::size_t>(c));
+  float max_v = logits.at(0, 0);
+  for (int j = 1; j < c; ++j) max_v = std::max(max_v, logits.at(0, j));
+  float sum = 0.0f;
+  for (int j = 0; j < c; ++j) {
+    out[static_cast<std::size_t>(j)] = std::exp(logits.at(0, j) - max_v);
+    sum += out[static_cast<std::size_t>(j)];
+  }
+  for (float& v : out) v /= sum;
+  return out;
+}
+
+}  // namespace sevuldet::nn

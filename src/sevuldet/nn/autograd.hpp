@@ -1,0 +1,102 @@
+// Tape-based reverse-mode automatic differentiation. A forward pass
+// builds a graph of Nodes (shared_ptr-owned); backward() runs the tape
+// in reverse topological order and accumulates gradients into every node
+// with requires_grad. Long-lived parameter nodes are reused across
+// graphs — activations are created fresh each forward pass and freed
+// when the loss node goes out of scope.
+//
+// Every op validates shapes and carries an explicit backward closure;
+// tests verify each against numeric gradients (see autograd_test.cpp).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sevuldet/nn/tensor.hpp"
+#include "sevuldet/util/rng.hpp"
+
+namespace sevuldet::nn {
+
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated on demand, same shape as value
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void()> backward_fn;  // pushes this->grad into parents
+
+  void ensure_grad() {
+    if (!grad.same_shape(value)) grad = Tensor(value.rows(), value.cols());
+  }
+  void zero_grad() { grad = Tensor(value.rows(), value.cols()); }
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+/// Leaf with no gradient (inputs, labels).
+NodePtr constant(Tensor value);
+/// Leaf with gradient (model parameter).
+NodePtr param(Tensor value);
+
+/// Reverse-mode sweep from a scalar root ([1,1]); seeds d(root)/d(root)=1.
+void backward(const NodePtr& root);
+
+// --- arithmetic -----------------------------------------------------------
+NodePtr add(const NodePtr& a, const NodePtr& b);        // same shape
+NodePtr add_row(const NodePtr& a, const NodePtr& bias); // [m,n] + [1,n]
+NodePtr sub(const NodePtr& a, const NodePtr& b);
+NodePtr mul(const NodePtr& a, const NodePtr& b);        // elementwise
+NodePtr scale(const NodePtr& a, float k);
+NodePtr matmul(const NodePtr& a, const NodePtr& b);
+NodePtr transpose(const NodePtr& a);
+
+// --- nonlinearities ---------------------------------------------------------
+NodePtr tanh_op(const NodePtr& a);
+NodePtr sigmoid(const NodePtr& a);
+NodePtr relu(const NodePtr& a);
+/// Softmax over the rows of a column vector [T,1].
+NodePtr softmax_col(const NodePtr& a);
+
+// --- shape ops --------------------------------------------------------------
+NodePtr concat_cols(const NodePtr& a, const NodePtr& b);    // [m,p]|[m,q] -> [m,p+q]
+NodePtr concat_rows(const std::vector<NodePtr>& parts);     // stack same-width
+NodePtr slice_cols(const NodePtr& a, int from, int to);     // [m, to-from)
+NodePtr slice_rows(const NodePtr& a, int from, int to);     // [to-from, n]
+NodePtr reshape_row(const NodePtr& a);                      // [m,n] -> [1, m*n]
+
+// --- reductions ---------------------------------------------------------
+NodePtr sum_all(const NodePtr& a);        // -> [1,1]
+NodePtr mean_all(const NodePtr& a);       // -> [1,1]
+NodePtr reduce_rows_mean(const NodePtr& a);  // [T,C] -> [1,C]
+NodePtr reduce_rows_max(const NodePtr& a);   // [T,C] -> [1,C]
+NodePtr reduce_cols_mean(const NodePtr& a);  // [T,C] -> [T,1]
+NodePtr reduce_cols_max(const NodePtr& a);   // [T,C] -> [T,1]
+
+// --- broadcast multiplies (attention re-weighting) ------------------------
+NodePtr mul_row_broadcast(const NodePtr& a, const NodePtr& row);  // [T,C]*[1,C]
+NodePtr mul_col_broadcast(const NodePtr& a, const NodePtr& col);  // [T,C]*[T,1]
+
+// --- embedding / convolution support ------------------------------------
+/// Rows of `weights` gathered by token id; backward scatter-adds.
+NodePtr embedding(const NodePtr& weights, const std::vector<int>& ids);
+/// im2row for 1-D convolution over the row (time) axis with zero
+/// padding: [T,C] -> [T+2*pad-k+1, k*C].
+NodePtr im2row(const NodePtr& a, int kernel, int pad);
+/// Spatial pyramid max pooling over rows: for each bin count in `bins`
+/// the rows are partitioned into that many spans and max-pooled; all
+/// levels concatenate to [1, (sum bins) * C]. Works for any T >= 1.
+NodePtr spp_max(const NodePtr& a, const std::vector<int>& bins);
+
+// --- regularization / loss --------------------------------------------------
+NodePtr dropout(const NodePtr& a, float p, util::Rng& rng, bool train);
+/// Numerically stable binary cross-entropy on a logit: target in {0,1}.
+NodePtr bce_with_logits(const NodePtr& logit, float target);
+/// Numerically stable softmax cross-entropy on a logit row [1, C]
+/// against an integer class id (multiclass detection, Fig. 2b's
+/// "output vulnerability type").
+NodePtr cross_entropy_with_logits(const NodePtr& logits, int target_class);
+/// Softmax probabilities of a logit row [1, C] (inference helper; not
+/// differentiable w.r.t. callers — use cross_entropy_with_logits to train).
+std::vector<float> softmax_row_values(const Tensor& logits);
+
+}  // namespace sevuldet::nn

@@ -1,0 +1,238 @@
+#include "sevuldet/nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sevuldet::nn {
+
+NodePtr ParamStore::add(const std::string& name, Tensor init) {
+  for (const auto& [existing, node] : params_) {
+    if (existing == name) {
+      throw std::invalid_argument("duplicate parameter name: " + name);
+    }
+  }
+  NodePtr node = param(std::move(init));
+  params_.emplace_back(name, node);
+  return node;
+}
+
+NodePtr ParamStore::find(const std::string& name) const {
+  for (const auto& [existing, node] : params_) {
+    if (existing == name) return node;
+  }
+  return nullptr;
+}
+
+std::size_t ParamStore::parameter_count() const {
+  std::size_t total = 0;
+  for (const auto& [name, node] : params_) total += node->value.size();
+  return total;
+}
+
+Tensor xavier_uniform(int fan_in, int fan_out, util::Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::uniform(fan_in, fan_out, rng, bound);
+}
+
+// ---------------------------------------------------------------------------
+
+Dense::Dense(ParamStore& store, const std::string& name, int in, int out,
+             util::Rng& rng)
+    : w_(store.add(name + ".w", xavier_uniform(in, out, rng))),
+      b_(store.add(name + ".b", Tensor(1, out))) {}
+
+NodePtr Dense::forward(const NodePtr& x) const {
+  return add_row(matmul(x, w_), b_);
+}
+
+Conv1d::Conv1d(ParamStore& store, const std::string& name, int in, int out,
+               int kernel, int pad, util::Rng& rng)
+    : w_(store.add(name + ".w", xavier_uniform(kernel * in, out, rng))),
+      b_(store.add(name + ".b", Tensor(1, out))),
+      kernel_(kernel),
+      pad_(pad) {}
+
+NodePtr Conv1d::forward(const NodePtr& x) const {
+  return add_row(matmul(im2row(x, kernel_, pad_), w_), b_);
+}
+
+// ---------------------------------------------------------------------------
+
+TokenAttention::TokenAttention(ParamStore& store, const std::string& name,
+                               int embed_dim, int attn_dim, util::Rng& rng)
+    : ww_(store.add(name + ".w", xavier_uniform(embed_dim, attn_dim, rng))),
+      bw_(store.add(name + ".b", Tensor(1, attn_dim))),
+      // u_w starts at zero: α is uniform and (with the T-scaling below)
+      // the layer is exactly the identity at init.
+      uw_(store.add(name + ".u", Tensor(attn_dim, 1))) {}
+
+NodePtr TokenAttention::forward(const NodePtr& x) {
+  // u_i = tanh(W_w x_i + b_w); α = softmax(u_i · u_w); x̂_i = α_i x_i.
+  NodePtr u = tanh_op(add_row(matmul(x, ww_), bw_));  // [T, A]
+  NodePtr scores = matmul(u, uw_);                    // [T, 1]
+  NodePtr alpha = softmax_col(scores);                // [T, 1]
+  last_weights_.assign(alpha->value.data(),
+                       alpha->value.data() + alpha->value.size());
+  // The paper scales tokens by α directly (eq. 4); multiplying by T keeps
+  // activation magnitude independent of sequence length, which matters
+  // for flexible-length input feeding a shared conv trunk.
+  NodePtr scaled =
+      scale(alpha, static_cast<float>(x->value.rows()));
+  return mul_col_broadcast(x, scaled);
+}
+
+// ---------------------------------------------------------------------------
+
+ChannelAttention::ChannelAttention(ParamStore& store, const std::string& name,
+                                   int channels, int reduction, util::Rng& rng) {
+  const int mid = std::max(1, channels / reduction);
+  w0_ = store.add(name + ".w0", xavier_uniform(channels, mid, rng));
+  b0_ = store.add(name + ".b0", Tensor(1, mid));
+  w1_ = store.add(name + ".w1", xavier_uniform(mid, channels, rng));
+  // Gate bias starts positive so σ(gate) ≈ 0.9 at init: the block is a
+  // near-identity and learns to attenuate, instead of halving the signal
+  // from step one (the usual gated-block convergence handicap).
+  Tensor b1(1, channels);
+  b1.fill(2.0f);
+  b1_ = store.add(name + ".b1", std::move(b1));
+}
+
+NodePtr ChannelAttention::forward(const NodePtr& f) const {
+  auto mlp = [this](const NodePtr& v) {
+    return add_row(matmul(relu(add_row(matmul(v, w0_), b0_)), w1_), b1_);
+  };
+  NodePtr avg = reduce_rows_mean(f);  // [1, C]
+  NodePtr max = reduce_rows_max(f);   // [1, C]
+  NodePtr mc = sigmoid(add(mlp(avg), mlp(max)));
+  return mul_row_broadcast(f, mc);  // F' = Mc(F) ⊗ F
+}
+
+SpatialAttention::SpatialAttention(ParamStore& store, const std::string& name,
+                                   util::Rng& rng, int kernel)
+    : conv_(std::make_unique<Conv1d>(store, name + ".conv", 2, 1, kernel,
+                                     kernel / 2, rng)) {
+  // Same identity-at-init trick as the channel gate.
+  NodePtr bias = store.find(name + ".conv.b");
+  if (bias != nullptr) bias->value.fill(2.0f);
+}
+
+NodePtr SpatialAttention::forward(const NodePtr& f) const {
+  NodePtr avg = reduce_cols_mean(f);  // [T, 1]
+  NodePtr max = reduce_cols_max(f);   // [T, 1]
+  NodePtr stacked = concat_cols(avg, max);  // [T, 2]
+  NodePtr ms = sigmoid(conv_->forward(stacked));  // [T, 1]
+  return mul_col_broadcast(f, ms);  // F'' = Ms(F') ⊗ F'
+}
+
+Cbam::Cbam(ParamStore& store, const std::string& name, int channels,
+           int reduction, util::Rng& rng, bool sequential)
+    : channel_(store, name + ".channel", channels, reduction, rng),
+      spatial_(store, name + ".spatial", rng),
+      sequential_(sequential) {}
+
+NodePtr Cbam::forward(const NodePtr& f) const {
+  if (sequential_) {
+    return spatial_.forward(channel_.forward(f));
+  }
+  // Parallel variant for the ablation: average the two refined maps.
+  NodePtr by_channel = channel_.forward(f);
+  NodePtr by_spatial = spatial_.forward(f);
+  return scale(add(by_channel, by_spatial), 0.5f);
+}
+
+// ---------------------------------------------------------------------------
+
+LstmCell::LstmCell(ParamStore& store, const std::string& name, int input,
+                   int hidden, util::Rng& rng)
+    : w_(store.add(name + ".w", xavier_uniform(input + hidden, 4 * hidden, rng))),
+      b_(store.add(name + ".b", Tensor(1, 4 * hidden))),
+      input_(input),
+      hidden_(hidden) {
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (int j = hidden_; j < 2 * hidden_; ++j) b_->value.at(0, j) = 1.0f;
+}
+
+LstmCell::State LstmCell::initial() const {
+  return {constant(Tensor(1, hidden_)), constant(Tensor(1, hidden_))};
+}
+
+LstmCell::State LstmCell::step(const NodePtr& x, const State& prev) const {
+  NodePtr xh = concat_cols(x, prev.h);               // [1, input+hidden]
+  NodePtr gates = add_row(matmul(xh, w_), b_);       // [1, 4H]
+  NodePtr i = sigmoid(slice_cols(gates, 0, hidden_));
+  NodePtr f = sigmoid(slice_cols(gates, hidden_, 2 * hidden_));
+  NodePtr g = tanh_op(slice_cols(gates, 2 * hidden_, 3 * hidden_));
+  NodePtr o = sigmoid(slice_cols(gates, 3 * hidden_, 4 * hidden_));
+  NodePtr c = add(mul(f, prev.c), mul(i, g));
+  NodePtr h = mul(o, tanh_op(c));
+  return {h, c};
+}
+
+GruCell::GruCell(ParamStore& store, const std::string& name, int input,
+                 int hidden, util::Rng& rng)
+    : wz_(store.add(name + ".wz", xavier_uniform(input + hidden, hidden, rng))),
+      wr_(store.add(name + ".wr", xavier_uniform(input + hidden, hidden, rng))),
+      wh_(store.add(name + ".wh", xavier_uniform(input + hidden, hidden, rng))),
+      bz_(store.add(name + ".bz", Tensor(1, hidden))),
+      br_(store.add(name + ".br", Tensor(1, hidden))),
+      bh_(store.add(name + ".bh", Tensor(1, hidden))),
+      input_(input),
+      hidden_(hidden) {}
+
+NodePtr GruCell::initial() const { return constant(Tensor(1, hidden_)); }
+
+NodePtr GruCell::step(const NodePtr& x, const NodePtr& h_prev) const {
+  NodePtr xh = concat_cols(x, h_prev);
+  NodePtr z = sigmoid(add_row(matmul(xh, wz_), bz_));
+  NodePtr r = sigmoid(add_row(matmul(xh, wr_), br_));
+  NodePtr xrh = concat_cols(x, mul(r, h_prev));
+  NodePtr h_cand = tanh_op(add_row(matmul(xrh, wh_), bh_));
+  // h = (1 - z) * h_prev + z * h_cand
+  Tensor ones(1, hidden_);
+  ones.fill(1.0f);
+  NodePtr one_minus_z = sub(constant(std::move(ones)), z);
+  return add(mul(one_minus_z, h_prev), mul(z, h_cand));
+}
+
+// ---------------------------------------------------------------------------
+
+BiRnn::BiRnn(ParamStore& store, const std::string& name, RnnKind kind,
+             int input, int hidden, util::Rng& rng)
+    : kind_(kind), hidden_(hidden) {
+  if (kind == RnnKind::Lstm) {
+    lstm_fwd_ = std::make_unique<LstmCell>(store, name + ".fwd", input, hidden, rng);
+    lstm_bwd_ = std::make_unique<LstmCell>(store, name + ".bwd", input, hidden, rng);
+  } else {
+    gru_fwd_ = std::make_unique<GruCell>(store, name + ".fwd", input, hidden, rng);
+    gru_bwd_ = std::make_unique<GruCell>(store, name + ".bwd", input, hidden, rng);
+  }
+}
+
+NodePtr BiRnn::forward(const NodePtr& x) const {
+  const int t = x->value.rows();
+  std::vector<NodePtr> steps;
+  steps.reserve(static_cast<std::size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    steps.push_back(slice_rows(x, i, i + 1));
+  }
+  // forward direction
+  NodePtr h_fwd, h_bwd;
+  if (kind_ == RnnKind::Lstm) {
+    auto state = lstm_fwd_->initial();
+    for (int i = 0; i < t; ++i) state = lstm_fwd_->step(steps[static_cast<std::size_t>(i)], state);
+    h_fwd = state.h;
+    state = lstm_bwd_->initial();
+    for (int i = t - 1; i >= 0; --i) state = lstm_bwd_->step(steps[static_cast<std::size_t>(i)], state);
+    h_bwd = state.h;
+  } else {
+    NodePtr h = gru_fwd_->initial();
+    for (int i = 0; i < t; ++i) h = gru_fwd_->step(steps[static_cast<std::size_t>(i)], h);
+    h_fwd = h;
+    h = gru_bwd_->initial();
+    for (int i = t - 1; i >= 0; --i) h = gru_bwd_->step(steps[static_cast<std::size_t>(i)], h);
+    h_bwd = h;
+  }
+  return concat_cols(h_fwd, h_bwd);
+}
+
+}  // namespace sevuldet::nn

@@ -1,0 +1,167 @@
+// Neural-network layers built on the autograd ops. Each layer registers
+// its parameters in a ParamStore (named, for the optimizer and for
+// serialization) and exposes a forward() that threads NodePtrs.
+//
+// The layers implement exactly the blocks of the paper's Fig. 2/4:
+//   - TokenAttention: eqs. (1)-(4), exposing the α weights (Fig. 6 hook)
+//   - ChannelAttention / SpatialAttention / Cbam: eqs. (5)-(8)
+//   - Conv1d + spp_max: the SPP-CNN trunk for flexible-length input
+//   - LstmCell / GruCell / BiRnn: the BLSTM / BGRU baselines (RQ1)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sevuldet/nn/autograd.hpp"
+
+namespace sevuldet::nn {
+
+/// Named parameter registry. Layers add parameters at construction; the
+/// optimizer and the serializer walk the registry.
+class ParamStore {
+ public:
+  NodePtr add(const std::string& name, Tensor init);
+  const std::vector<std::pair<std::string, NodePtr>>& all() const { return params_; }
+  NodePtr find(const std::string& name) const;
+  std::size_t parameter_count() const;
+
+ private:
+  std::vector<std::pair<std::string, NodePtr>> params_;
+};
+
+/// Xavier-uniform initialization bound for a [fan_in, fan_out] weight.
+Tensor xavier_uniform(int fan_in, int fan_out, util::Rng& rng);
+
+// ---------------------------------------------------------------------------
+
+class Dense {
+ public:
+  Dense(ParamStore& store, const std::string& name, int in, int out,
+        util::Rng& rng);
+  /// x [m, in] -> [m, out]
+  NodePtr forward(const NodePtr& x) const;
+
+ private:
+  NodePtr w_, b_;
+};
+
+class Conv1d {
+ public:
+  /// 1-D convolution over the row axis: x [T, in] -> [T_out, out].
+  Conv1d(ParamStore& store, const std::string& name, int in, int out,
+         int kernel, int pad, util::Rng& rng);
+  NodePtr forward(const NodePtr& x) const;
+  int kernel() const { return kernel_; }
+  int pad() const { return pad_; }
+
+ private:
+  NodePtr w_, b_;
+  int kernel_;
+  int pad_;
+};
+
+/// Token attention (Step IV, eqs. 1-4): re-weights each embedded token by
+/// a learned importance. Keeps the latest α for visualization (Fig. 6).
+class TokenAttention {
+ public:
+  TokenAttention(ParamStore& store, const std::string& name, int embed_dim,
+                 int attn_dim, util::Rng& rng);
+  /// x [T, E] -> x̂ [T, E]; fills last_weights() with α (length T).
+  NodePtr forward(const NodePtr& x);
+  const std::vector<float>& last_weights() const { return last_weights_; }
+
+ private:
+  NodePtr ww_, bw_, uw_;
+  std::vector<float> last_weights_;
+};
+
+/// CBAM channel attention (eq. 5): Mc = σ(MLP(avg) + MLP(max)), applied
+/// as F' = F ⊗ Mc.
+class ChannelAttention {
+ public:
+  ChannelAttention(ParamStore& store, const std::string& name, int channels,
+                   int reduction, util::Rng& rng);
+  NodePtr forward(const NodePtr& f) const;
+
+ private:
+  NodePtr w0_, b0_, w1_, b1_;
+};
+
+/// CBAM spatial attention (eq. 6): Ms = σ(conv7([avg;max])), applied as
+/// F'' = F' ⊗ Ms.
+class SpatialAttention {
+ public:
+  SpatialAttention(ParamStore& store, const std::string& name, util::Rng& rng,
+                   int kernel = 7);
+  NodePtr forward(const NodePtr& f) const;
+
+ private:
+  std::unique_ptr<Conv1d> conv_;
+};
+
+/// Full CBAM block (eqs. 7-8). `sequential` = channel then spatial (the
+/// paper notes sequential beats parallel; the ablation bench flips this).
+class Cbam {
+ public:
+  Cbam(ParamStore& store, const std::string& name, int channels, int reduction,
+       util::Rng& rng, bool sequential = true);
+  NodePtr forward(const NodePtr& f) const;
+
+ private:
+  ChannelAttention channel_;
+  SpatialAttention spatial_;
+  bool sequential_;
+};
+
+// ---------------------------------------------------------------------------
+
+class LstmCell {
+ public:
+  LstmCell(ParamStore& store, const std::string& name, int input, int hidden,
+           util::Rng& rng);
+  struct State {
+    NodePtr h;
+    NodePtr c;
+  };
+  State initial() const;
+  State step(const NodePtr& x, const State& prev) const;  // x [1, input]
+  int hidden() const { return hidden_; }
+
+ private:
+  NodePtr w_, b_;  // [input+hidden, 4*hidden], [1, 4*hidden]; gate order i,f,g,o
+  int input_, hidden_;
+};
+
+class GruCell {
+ public:
+  GruCell(ParamStore& store, const std::string& name, int input, int hidden,
+          util::Rng& rng);
+  NodePtr initial() const;
+  NodePtr step(const NodePtr& x, const NodePtr& h_prev) const;
+  int hidden() const { return hidden_; }
+
+ private:
+  NodePtr wz_, wr_, wh_, bz_, br_, bh_;  // each [input+hidden, hidden]
+  int input_, hidden_;
+};
+
+enum class RnnKind { Lstm, Gru };
+
+/// Bidirectional RNN encoder: runs the sequence forward and backward and
+/// returns the concatenated final hidden states [1, 2*hidden].
+class BiRnn {
+ public:
+  BiRnn(ParamStore& store, const std::string& name, RnnKind kind, int input,
+        int hidden, util::Rng& rng);
+  NodePtr forward(const NodePtr& x) const;  // x [T, input]
+  int output_dim() const { return 2 * hidden_; }
+
+ private:
+  RnnKind kind_;
+  int hidden_;
+  std::unique_ptr<LstmCell> lstm_fwd_, lstm_bwd_;
+  std::unique_ptr<GruCell> gru_fwd_, gru_bwd_;
+};
+
+}  // namespace sevuldet::nn

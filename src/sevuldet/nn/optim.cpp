@@ -1,0 +1,86 @@
+#include "sevuldet/nn/optim.hpp"
+
+#include <cmath>
+
+namespace sevuldet::nn {
+
+void Optimizer::zero_grad() {
+  for (const auto& [name, node] : store_->all()) node->zero_grad();
+}
+
+float Optimizer::clip_grad_norm(float max_norm) {
+  double total = 0.0;
+  for (const auto& [name, node] : store_->all()) {
+    node->ensure_grad();
+    for (std::size_t i = 0; i < node->grad.size(); ++i) {
+      total += static_cast<double>(node->grad[i]) * node->grad[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float k = max_norm / norm;
+    for (const auto& [name, node] : store_->all()) {
+      for (std::size_t i = 0; i < node->grad.size(); ++i) node->grad[i] *= k;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(ParamStore& store, float lr, float momentum)
+    : Optimizer(store), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    for (const auto& [name, node] : store.all()) {
+      velocity_.emplace_back(node->value.rows(), node->value.cols());
+    }
+  }
+}
+
+void Sgd::step() {
+  const auto& params = store_->all();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Node& node = *params[p].second;
+    node.ensure_grad();
+    if (momentum_ > 0.0f) {
+      Tensor& vel = velocity_[p];
+      for (std::size_t i = 0; i < node.value.size(); ++i) {
+        vel[i] = momentum_ * vel[i] + node.grad[i];
+        node.value[i] -= lr_ * vel[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < node.value.size(); ++i) {
+        node.value[i] -= lr_ * node.grad[i];
+      }
+    }
+  }
+}
+
+Adam::Adam(ParamStore& store, float lr, float beta1, float beta2, float eps)
+    : Optimizer(store), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  for (const auto& [name, node] : store.all()) {
+    m_.emplace_back(node->value.rows(), node->value.cols());
+    v_.emplace_back(node->value.rows(), node->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const auto& params = store_->all();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Node& node = *params[p].second;
+    node.ensure_grad();
+    Tensor& m = m_[p];
+    Tensor& v = v_[p];
+    for (std::size_t i = 0; i < node.value.size(); ++i) {
+      const float g = node.grad[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      node.value[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace sevuldet::nn

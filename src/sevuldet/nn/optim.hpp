@@ -1,0 +1,56 @@
+// Optimizers over a ParamStore: plain SGD (with optional momentum) and
+// Adam. step() consumes the gradients accumulated since the last
+// zero_grad(); gradient clipping guards the RNN baselines against
+// exploding gradients on long sequences.
+#pragma once
+
+#include <vector>
+
+#include "sevuldet/nn/layers.hpp"
+
+namespace sevuldet::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(ParamStore& store) : store_(&store) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+  /// Scale all gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  float clip_grad_norm(float max_norm);
+
+ protected:
+  ParamStore* store_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(ParamStore& store, float lr, float momentum = 0.0f);
+  void step() override;
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(ParamStore& store, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f);
+  void step() override;
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  long long t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace sevuldet::nn

@@ -1,0 +1,23 @@
+// Model parameter serialization: a simple self-describing text format
+// ("name rows cols\n" followed by whitespace-separated floats) so trained
+// detectors can be saved and reloaded across processes. Values round-trip
+// through max_digits10 so reload is bit-faithful.
+#pragma once
+
+#include <string>
+
+#include "sevuldet/nn/layers.hpp"
+
+namespace sevuldet::nn {
+
+std::string serialize_params(const ParamStore& store);
+
+/// Load values into an existing store (shapes must match by name).
+/// Throws std::runtime_error on missing names or shape mismatches.
+void deserialize_params(ParamStore& store, const std::string& text);
+
+/// File helpers.
+void save_params(const ParamStore& store, const std::string& path);
+void load_params(ParamStore& store, const std::string& path);
+
+}  // namespace sevuldet::nn

@@ -1,0 +1,19 @@
+#include "sevuldet/nn/tensor.hpp"
+
+namespace sevuldet::nn {
+
+Tensor Tensor::randn(int rows, int cols, util::Rng& rng, float stddev) {
+  Tensor t(rows, cols);
+  for (auto& x : t.data_) x = static_cast<float>(rng.normal()) * stddev;
+  return t;
+}
+
+Tensor Tensor::uniform(int rows, int cols, util::Rng& rng, float bound) {
+  Tensor t(rows, cols);
+  for (auto& x : t.data_) {
+    x = static_cast<float>(rng.uniform_real(-bound, bound));
+  }
+  return t;
+}
+
+}  // namespace sevuldet::nn

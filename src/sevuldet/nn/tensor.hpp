@@ -1,0 +1,77 @@
+// Dense 2-D float tensor (row-major). The whole network stack works in
+// 2-D: a token sequence is [T, C], a vector is [1, n], a scalar is
+// [1, 1]. Kept deliberately small — shape checks throw, storage is a
+// flat std::vector<float>.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sevuldet/util/rng.hpp"
+
+namespace sevuldet::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0f) {
+    if (rows < 0 || cols < 0) throw std::invalid_argument("negative tensor shape");
+  }
+  Tensor(int rows, int cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    if (data_.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+      throw std::invalid_argument("tensor data size mismatch");
+    }
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int r, int c) { return data_[index(r, c)]; }
+  float at(int r, int c) const { return data_[index(r, c)]; }
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  bool same_shape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void fill(float value) {
+    for (auto& x : data_) x = value;
+  }
+
+  /// Gaussian init, N(0, stddev^2).
+  static Tensor randn(int rows, int cols, util::Rng& rng, float stddev = 1.0f);
+  /// Uniform init in [-bound, bound].
+  static Tensor uniform(int rows, int cols, util::Rng& rng, float bound);
+  static Tensor zeros(int rows, int cols) { return Tensor(rows, cols); }
+  static Tensor scalar(float v) {
+    Tensor t(1, 1);
+    t.at(0, 0) = v;
+    return t;
+  }
+
+  std::string shape_string() const {
+    return "[" + std::to_string(rows_) + "," + std::to_string(cols_) + "]";
+  }
+
+ private:
+  std::size_t index(int r, int c) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(c);
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace sevuldet::nn

@@ -1,0 +1,141 @@
+#include "sevuldet/nn/word2vec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sevuldet::nn {
+
+Word2Vec::Word2Vec(const normalize::Vocabulary& vocab, const Word2VecConfig& config)
+    : vocab_(vocab),
+      config_(config),
+      in_(vocab.size(), config.dim),
+      out_(vocab.size(), config.dim),
+      rng_(config.seed) {
+  // Standard init: input vectors uniform in [-0.5/dim, 0.5/dim], output
+  // vectors zero.
+  const float bound = 0.5f / static_cast<float>(config_.dim);
+  for (int v = normalize::Vocabulary::kUnk; v < vocab.size(); ++v) {
+    for (int d = 0; d < config_.dim; ++d) {
+      in_.at(v, d) = static_cast<float>(rng_.uniform_real(-bound, bound));
+    }
+  }
+  // Unigram^0.75 table for negative sampling.
+  unigram_cdf_.resize(static_cast<std::size_t>(vocab.size()), 0.0);
+  double acc = 0.0;
+  for (int v = 2; v < vocab.size(); ++v) {  // skip pad/unk
+    acc += std::pow(static_cast<double>(vocab.frequency(v)), 0.75);
+    unigram_cdf_[static_cast<std::size_t>(v)] = acc;
+    total_tokens_ += vocab.frequency(v);
+  }
+}
+
+int Word2Vec::sample_negative() {
+  if (unigram_cdf_.empty() || unigram_cdf_.back() <= 0.0) {
+    return normalize::Vocabulary::kUnk;
+  }
+  const double target = rng_.uniform_real() * unigram_cdf_.back();
+  auto it = std::lower_bound(unigram_cdf_.begin(), unigram_cdf_.end(), target);
+  return static_cast<int>(it - unigram_cdf_.begin());
+}
+
+void Word2Vec::train(const std::vector<std::vector<int>>& sentences) {
+  long long corpus_tokens = 0;
+  for (const auto& s : sentences) corpus_tokens += static_cast<long long>(s.size());
+  const long long total_steps =
+      std::max<long long>(1, corpus_tokens * config_.epochs);
+  long long step = 0;
+
+  std::vector<float> grad_center(static_cast<std::size_t>(config_.dim));
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const auto& sentence : sentences) {
+      for (std::size_t pos = 0; pos < sentence.size(); ++pos) {
+        ++step;
+        const int center = sentence[pos];
+        if (center <= normalize::Vocabulary::kUnk) continue;
+        // Frequent-token subsampling.
+        if (config_.subsample > 0.0 && total_tokens_ > 0) {
+          const double freq = static_cast<double>(vocab_.frequency(center)) /
+                              static_cast<double>(total_tokens_);
+          if (freq > config_.subsample) {
+            const double keep = std::sqrt(config_.subsample / freq);
+            if (rng_.uniform_real() > keep) continue;
+          }
+        }
+        const float lr = std::max(
+            config_.min_lr,
+            config_.lr * (1.0f - static_cast<float>(step) /
+                                     static_cast<float>(total_steps)));
+        const int window =
+            1 + static_cast<int>(rng_.uniform(static_cast<std::uint64_t>(config_.window)));
+        const std::size_t lo = pos >= static_cast<std::size_t>(window)
+                                   ? pos - static_cast<std::size_t>(window)
+                                   : 0;
+        const std::size_t hi =
+            std::min(sentence.size(), pos + static_cast<std::size_t>(window) + 1);
+        for (std::size_t ctx_pos = lo; ctx_pos < hi; ++ctx_pos) {
+          if (ctx_pos == pos) continue;
+          const int context = sentence[ctx_pos];
+          if (context <= normalize::Vocabulary::kUnk) continue;
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+          // One positive + k negative examples.
+          for (int k = 0; k <= config_.negatives; ++k) {
+            int target_id;
+            float label;
+            if (k == 0) {
+              target_id = context;
+              label = 1.0f;
+            } else {
+              target_id = sample_negative();
+              if (target_id == context || target_id <= normalize::Vocabulary::kUnk) {
+                continue;
+              }
+              label = 0.0f;
+            }
+            float dot = 0.0f;
+            for (int d = 0; d < config_.dim; ++d) {
+              dot += in_.at(center, d) * out_.at(target_id, d);
+            }
+            const float pred = 1.0f / (1.0f + std::exp(-dot));
+            const float g = (pred - label) * lr;
+            for (int d = 0; d < config_.dim; ++d) {
+              grad_center[static_cast<std::size_t>(d)] += g * out_.at(target_id, d);
+              out_.at(target_id, d) -= g * in_.at(center, d);
+            }
+          }
+          for (int d = 0; d < config_.dim; ++d) {
+            in_.at(center, d) -= grad_center[static_cast<std::size_t>(d)];
+          }
+        }
+      }
+    }
+  }
+}
+
+float Word2Vec::similarity(int a, int b) const {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int d = 0; d < config_.dim; ++d) {
+    dot += static_cast<double>(in_.at(a, d)) * in_.at(b, d);
+    na += static_cast<double>(in_.at(a, d)) * in_.at(a, d);
+    nb += static_cast<double>(in_.at(b, d)) * in_.at(b, d);
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+std::vector<int> Word2Vec::nearest(int id, int k) const {
+  std::vector<std::pair<float, int>> scored;
+  for (int v = 2; v < vocab_.size(); ++v) {
+    if (v == id) continue;
+    scored.emplace_back(similarity(id, v), v);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<int> out;
+  for (int i = 0; i < k && i < static_cast<int>(scored.size()); ++i) {
+    out.push_back(scored[static_cast<std::size_t>(i)].second);
+  }
+  return out;
+}
+
+}  // namespace sevuldet::nn

@@ -1,0 +1,57 @@
+// word2vec skip-gram with negative sampling (Mikolov et al.), trained
+// from scratch on the normalized gadget corpus — the paper uses a
+// pre-trained gensim word2vec for Step IV; this is the same algorithm at
+// smaller scale. Manual gradient updates (the standard trick) keep it
+// fast; the result is an embedding matrix [vocab, dim] consumed by every
+// detection model.
+#pragma once
+
+#include <vector>
+
+#include "sevuldet/normalize/vocab.hpp"
+#include "sevuldet/nn/tensor.hpp"
+#include "sevuldet/util/rng.hpp"
+
+namespace sevuldet::nn {
+
+struct Word2VecConfig {
+  int dim = 30;        // the paper's Table IV uses dimension 30
+  int window = 4;
+  int negatives = 5;
+  int epochs = 3;
+  float lr = 0.025f;
+  float min_lr = 0.0001f;
+  double subsample = 1e-3;  // frequent-token subsampling threshold
+  std::uint64_t seed = 1234;
+};
+
+class Word2Vec {
+ public:
+  Word2Vec(const normalize::Vocabulary& vocab, const Word2VecConfig& config);
+
+  /// Train on encoded sentences (token-id sequences).
+  void train(const std::vector<std::vector<int>>& sentences);
+
+  /// Input-embedding matrix [vocab, dim]; <pad> row stays zero.
+  const Tensor& embeddings() const { return in_; }
+  int dim() const { return config_.dim; }
+
+  /// Cosine similarity between two token ids.
+  float similarity(int a, int b) const;
+
+  /// Ids of the k nearest tokens to `id` by cosine similarity.
+  std::vector<int> nearest(int id, int k) const;
+
+ private:
+  int sample_negative();
+
+  const normalize::Vocabulary& vocab_;
+  Word2VecConfig config_;
+  Tensor in_;   // input vectors
+  Tensor out_;  // output (context) vectors
+  std::vector<double> unigram_cdf_;  // f^0.75 cumulative for negative sampling
+  util::Rng rng_;
+  long long total_tokens_ = 0;
+};
+
+}  // namespace sevuldet::nn

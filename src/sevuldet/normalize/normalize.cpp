@@ -1,0 +1,93 @@
+#include "sevuldet/normalize/normalize.hpp"
+
+#include <unordered_set>
+
+#include "sevuldet/frontend/lexer.hpp"
+#include "sevuldet/slicer/special_tokens.hpp"
+#include "sevuldet/util/strings.hpp"
+
+namespace sevuldet::normalize {
+
+namespace {
+
+/// Identifiers that are not renamed even though they are not keywords:
+/// common typedef names and well-known macros.
+bool is_preserved_identifier(const std::string& name) {
+  static const std::unordered_set<std::string> kPreserved = {
+      "size_t", "ssize_t", "ptrdiff_t", "wchar_t",  "FILE",     "NULL",
+      "int8_t", "int16_t", "int32_t",   "int64_t",  "uint8_t",  "uint16_t",
+      "uint32_t","uint64_t","uintptr_t","intptr_t", "EOF",      "stdin",
+      "stdout", "stderr",  "INT_MAX",   "INT_MIN",  "UINT_MAX", "SIZE_MAX",
+      "CHAR_BIT","true",   "false",     "errno",    "hwaddr",
+  };
+  return kPreserved.contains(name);
+}
+
+}  // namespace
+
+std::string NormalizedGadget::text() const {
+  return util::join(tokens, " ");
+}
+
+std::vector<std::string> tokenize_text(const std::string& text) {
+  std::vector<std::string> out;
+  std::string ascii = util::strip_non_ascii(text);
+  for (const auto& tok : frontend::lex_tokens(ascii)) {
+    out.push_back(tok.text);
+  }
+  return out;
+}
+
+NormalizedGadget normalize_text(const std::string& gadget_text) {
+  NormalizedGadget out;
+  std::string ascii = util::strip_non_ascii(gadget_text);
+
+  std::vector<frontend::Token> tokens;
+  try {
+    tokens = frontend::lex_tokens(ascii);
+  } catch (const frontend::LexError&) {
+    // Malformed fragment (e.g. sliced mid-string) — degrade to
+    // whitespace tokens rather than fail the whole pipeline.
+    for (const auto& word : util::split_ws(ascii)) {
+      out.tokens.push_back(word);
+    }
+    return out;
+  }
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const frontend::Token& tok = tokens[i];
+    if (tok.kind != frontend::TokenKind::Identifier) {
+      out.tokens.push_back(tok.text);
+      continue;
+    }
+    if (is_preserved_identifier(tok.text) ||
+        slicer::is_library_function(tok.text)) {
+      out.tokens.push_back(tok.text);
+      continue;
+    }
+    const bool is_call = i + 1 < tokens.size() && tokens[i + 1].is_punct("(");
+    if (is_call) {
+      auto [it, inserted] = out.fun_map.try_emplace(
+          tok.text, "fun" + std::to_string(out.fun_map.size() + 1));
+      out.tokens.push_back(it->second);
+    } else {
+      // A name already mapped as a function keeps its fun alias when it
+      // appears without parentheses (function pointers).
+      auto fit = out.fun_map.find(tok.text);
+      if (fit != out.fun_map.end()) {
+        out.tokens.push_back(fit->second);
+        continue;
+      }
+      auto [it, inserted] = out.var_map.try_emplace(
+          tok.text, "var" + std::to_string(out.var_map.size() + 1));
+      out.tokens.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+NormalizedGadget normalize_gadget(const slicer::CodeGadget& gadget) {
+  return normalize_text(gadget.text());
+}
+
+}  // namespace sevuldet::normalize

@@ -1,0 +1,34 @@
+// Step III of the paper: normalize code gadgets. User-defined variable
+// and function names are mapped to ordered placeholder sets ("var1",
+// "var2", ... / "fun1", "fun2", ...) in first-appearance order; keywords,
+// macros, library/API function names, and constants stay intact;
+// non-ASCII bytes are dropped. The output token stream is what Step IV
+// embeds.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sevuldet/slicer/gadget.hpp"
+
+namespace sevuldet::normalize {
+
+struct NormalizedGadget {
+  std::vector<std::string> tokens;           // normalized token stream
+  std::map<std::string, std::string> var_map;  // original -> varK
+  std::map<std::string, std::string> fun_map;  // original -> funK
+
+  std::string text() const;  // tokens joined by spaces
+};
+
+/// Normalize raw gadget text (one statement per line).
+NormalizedGadget normalize_text(const std::string& gadget_text);
+
+/// Normalize a slicer gadget.
+NormalizedGadget normalize_gadget(const slicer::CodeGadget& gadget);
+
+/// Tokenize without renaming (used by the VUDDY-like baseline and tests).
+std::vector<std::string> tokenize_text(const std::string& text);
+
+}  // namespace sevuldet::normalize

@@ -1,0 +1,85 @@
+#include "sevuldet/normalize/vocab.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sevuldet/util/strings.hpp"
+
+namespace sevuldet::normalize {
+
+Vocabulary::Vocabulary() {
+  id_to_token_ = {"<pad>", "<unk>"};
+  id_freq_ = {0, 0};
+}
+
+void Vocabulary::count(const std::string& token) {
+  if (frozen_) throw std::logic_error("Vocabulary is frozen");
+  ++counts_[token];
+}
+
+void Vocabulary::count_all(const std::vector<std::string>& tokens) {
+  for (const auto& t : tokens) count(t);
+}
+
+void Vocabulary::freeze(int min_count) {
+  if (frozen_) return;
+  std::vector<std::pair<std::string, long long>> entries(counts_.begin(),
+                                                         counts_.end());
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  for (auto& [token, freq] : entries) {
+    if (freq < min_count) continue;
+    token_to_id_[token] = static_cast<int>(id_to_token_.size());
+    id_to_token_.push_back(token);
+    id_freq_.push_back(freq);
+  }
+  frozen_ = true;
+}
+
+int Vocabulary::id(const std::string& token) const {
+  auto it = token_to_id_.find(token);
+  return it == token_to_id_.end() ? kUnk : it->second;
+}
+
+std::vector<int> Vocabulary::encode(const std::vector<std::string>& tokens) const {
+  std::vector<int> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) out.push_back(id(t));
+  return out;
+}
+
+const std::string& Vocabulary::token(int token_id) const {
+  return id_to_token_.at(static_cast<std::size_t>(token_id));
+}
+
+long long Vocabulary::frequency(int token_id) const {
+  return id_freq_.at(static_cast<std::size_t>(token_id));
+}
+
+std::string Vocabulary::serialize() const {
+  std::string out;
+  for (std::size_t i = 2; i < id_to_token_.size(); ++i) {
+    out += id_to_token_[i];
+    out += '\t';
+    out += std::to_string(id_freq_[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+Vocabulary Vocabulary::deserialize(const std::string& text) {
+  Vocabulary vocab;
+  for (const auto& line : util::split_lines(text)) {
+    auto fields = util::split(line, '\t');
+    if (fields.size() != 2) continue;
+    vocab.token_to_id_[fields[0]] = static_cast<int>(vocab.id_to_token_.size());
+    vocab.id_to_token_.push_back(fields[0]);
+    vocab.id_freq_.push_back(std::stoll(fields[1]));
+  }
+  vocab.frozen_ = true;
+  return vocab;
+}
+
+}  // namespace sevuldet::normalize

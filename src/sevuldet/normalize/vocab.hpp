@@ -1,0 +1,54 @@
+// Token vocabulary shared by word2vec and the detection models. Ids are
+// dense; id 0 is <pad> (used by the fixed-length RNN baselines), id 1 is
+// <unk> for tokens unseen at training time.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sevuldet::normalize {
+
+class Vocabulary {
+ public:
+  static constexpr int kPad = 0;
+  static constexpr int kUnk = 1;
+
+  Vocabulary();
+
+  /// Count one occurrence during corpus scanning.
+  void count(const std::string& token);
+  void count_all(const std::vector<std::string>& tokens);
+
+  /// Freeze the vocabulary: tokens with at least `min_count` occurrences
+  /// get ids in descending frequency order. Counting further tokens
+  /// after freezing throws.
+  void freeze(int min_count = 1);
+  bool frozen() const { return frozen_; }
+
+  /// Token -> id (<unk> when absent). Valid after freeze().
+  int id(const std::string& token) const;
+  std::vector<int> encode(const std::vector<std::string>& tokens) const;
+
+  /// id -> token spelling.
+  const std::string& token(int id) const;
+
+  /// Number of ids including <pad>/<unk>.
+  int size() const { return static_cast<int>(id_to_token_.size()); }
+
+  /// Total occurrences counted for an id (0 for pad/unk).
+  long long frequency(int id) const;
+
+  /// Plain-text round trip: "token<TAB>count" per line.
+  std::string serialize() const;
+  static Vocabulary deserialize(const std::string& text);
+
+ private:
+  bool frozen_ = false;
+  std::unordered_map<std::string, long long> counts_;
+  std::unordered_map<std::string, int> token_to_id_;
+  std::vector<std::string> id_to_token_;
+  std::vector<long long> id_freq_;
+};
+
+}  // namespace sevuldet::normalize

@@ -1,0 +1,202 @@
+#include "sevuldet/slicer/control_ranges.hpp"
+
+#include <algorithm>
+
+namespace sevuldet::slicer {
+
+using frontend::Stmt;
+using frontend::StmtKind;
+
+const char* range_kind_name(RangeKind kind) {
+  switch (kind) {
+    case RangeKind::If: return "if";
+    case RangeKind::ElseIf: return "else-if";
+    case RangeKind::Else: return "else";
+    case RangeKind::For: return "for";
+    case RangeKind::While: return "while";
+    case RangeKind::DoWhile: return "do-while";
+    case RangeKind::Switch: return "switch";
+    case RangeKind::Case: return "case";
+  }
+  return "?";
+}
+
+std::map<int, int> match_braces(const std::vector<std::string>& source_lines) {
+  std::map<int, int> out;
+  std::vector<int> stack;  // line numbers of unmatched '{'
+  bool in_string = false, in_char = false, in_block_comment = false;
+  for (std::size_t idx = 0; idx < source_lines.size(); ++idx) {
+    const std::string& line = source_lines[idx];
+    const int line_no = static_cast<int>(idx) + 1;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      if (in_block_comment) {
+        if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (in_char) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          in_char = false;
+        }
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+        continue;
+      }
+      if (c == '\'') {
+        in_char = true;
+        continue;
+      }
+      if (c == '{') {
+        stack.push_back(line_no);
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          int open = stack.back();
+          stack.pop_back();
+          // Keep the outermost pair opened on that line.
+          auto it = out.find(open);
+          if (it == out.end() || it->second < line_no) out[open] = line_no;
+        }
+      }
+    }
+    in_string = in_char = false;  // strings/chars do not span lines in C
+  }
+  return out;
+}
+
+namespace {
+
+class RangeCollector {
+ public:
+  explicit RangeCollector(const std::map<int, int>& braces) : braces_(braces) {}
+
+  std::vector<ControlRange> run(const Stmt& body) {
+    walk(body);
+    std::sort(ranges_.begin(), ranges_.end(),
+              [](const ControlRange& a, const ControlRange& b) {
+                if (a.begin_line != b.begin_line) return a.begin_line < b.begin_line;
+                return a.end_line > b.end_line;
+              });
+    return std::move(ranges_);
+  }
+
+ private:
+  int new_group() { return next_group_++; }
+
+  void add_range(RangeKind kind, int key_line, int begin, int end, int group) {
+    // Algorithm 1 lines 15-18: correct the end with the brace stack —
+    // if a '{' opens at the key line (or the line after, Allman style),
+    // extend the range to the matching '}'.
+    for (int probe = key_line; probe <= key_line + 1; ++probe) {
+      auto it = braces_.find(probe);
+      if (it != braces_.end()) end = std::max(end, it->second);
+    }
+    ranges_.push_back({kind, key_line, begin, end, group});
+  }
+
+  /// Handle an if / else-if / else chain, binding all branches into one
+  /// group (Algorithm 1 lines 9-11).
+  void walk_if_chain(const Stmt& stmt, int group) {
+    const Stmt& then_body = *stmt.children[0];
+    add_range(group_has_members_ ? RangeKind::ElseIf : RangeKind::If,
+              stmt.range.begin_line, stmt.range.begin_line,
+              then_body.range.end_line, group);
+    group_has_members_ = true;
+    walk(then_body);
+    if (stmt.children.size() > 1) {
+      const Stmt& else_body = *stmt.children[1];
+      if (else_body.kind == StmtKind::If) {
+        walk_if_chain(else_body, group);  // "else if"
+      } else {
+        add_range(RangeKind::Else, else_body.range.begin_line,
+                  else_body.range.begin_line, else_body.range.end_line, group);
+        walk(else_body);
+      }
+    }
+  }
+
+  void walk(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::Compound:
+      case StmtKind::Label:
+        for (const auto& child : stmt.children) walk(*child);
+        return;
+      case StmtKind::If: {
+        bool saved = group_has_members_;
+        group_has_members_ = false;
+        walk_if_chain(stmt, new_group());
+        group_has_members_ = saved;
+        return;
+      }
+      case StmtKind::For: {
+        add_range(RangeKind::For, stmt.range.begin_line, stmt.range.begin_line,
+                  stmt.range.end_line, new_group());
+        walk(*stmt.children[stmt.for_has_init ? 1 : 0]);
+        return;
+      }
+      case StmtKind::While:
+        add_range(RangeKind::While, stmt.range.begin_line, stmt.range.begin_line,
+                  stmt.range.end_line, new_group());
+        walk(*stmt.children[0]);
+        return;
+      case StmtKind::DoWhile:
+        add_range(RangeKind::DoWhile, stmt.range.begin_line, stmt.range.begin_line,
+                  stmt.range.end_line, new_group());
+        walk(*stmt.children[0]);
+        return;
+      case StmtKind::Switch: {
+        int group = new_group();
+        add_range(RangeKind::Switch, stmt.range.begin_line, stmt.range.begin_line,
+                  stmt.range.end_line, group);
+        for (const auto& child : stmt.children) {
+          if (child->kind == StmtKind::Case) {
+            add_range(RangeKind::Case, child->range.begin_line,
+                      child->range.begin_line, child->range.end_line, group);
+            for (const auto& inner : child->children) walk(*inner);
+          } else {
+            walk(*child);
+          }
+        }
+        return;
+      }
+      default:
+        return;  // simple statements carry no control range
+    }
+  }
+
+  const std::map<int, int>& braces_;
+  std::vector<ControlRange> ranges_;
+  int next_group_ = 0;
+  bool group_has_members_ = false;
+};
+
+}  // namespace
+
+std::vector<ControlRange> compute_control_ranges(
+    const frontend::FunctionDef& fn, const std::vector<std::string>& source_lines) {
+  std::map<int, int> braces =
+      source_lines.empty() ? std::map<int, int>{} : match_braces(source_lines);
+  return RangeCollector(braces).run(*fn.body);
+}
+
+}  // namespace sevuldet::slicer

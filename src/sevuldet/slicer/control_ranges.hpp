@@ -1,0 +1,43 @@
+// Control-range analysis for Algorithm 1 (steps a-d): identify *key
+// nodes* — the eight control statements if / else if / else / for /
+// while / do-while / switch / case — compute the source-line range each
+// controls from its AST subtree, bind adjacent ranges with semantic
+// relevance (if + else-if + else chains, switch + case), and fix the
+// range end lines with a brace-matching stack over the raw source
+// (Algorithm 1 lines 15-18).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sevuldet/frontend/ast.hpp"
+
+namespace sevuldet::slicer {
+
+enum class RangeKind { If, ElseIf, Else, For, While, DoWhile, Switch, Case };
+
+const char* range_kind_name(RangeKind kind);
+
+struct ControlRange {
+  RangeKind kind = RangeKind::If;
+  int key_line = 0;    // line of the key node header ("if (...)", "} else {")
+  int begin_line = 0;  // first line controlled (== key_line)
+  int end_line = 0;    // last line controlled (closing brace / last stmt)
+  int group = -1;      // bound-group id: chains share one group
+
+  bool contains(int line) const { return line >= begin_line && line <= end_line; }
+};
+
+/// All control ranges of one function, in source order. `source_lines`
+/// (1-based via index+1, trimmed) feeds the brace-stack end-line fix;
+/// pass an empty vector to skip the fix (AST ranges only).
+std::vector<ControlRange> compute_control_ranges(
+    const frontend::FunctionDef& fn, const std::vector<std::string>& source_lines);
+
+/// Stack-based symbolic brace matching over raw source: maps each line
+/// that opens a '{' to the line of its matching '}'. Later opens on the
+/// same line win (the map holds the outermost pair per line).
+std::map<int, int> match_braces(const std::vector<std::string>& source_lines);
+
+}  // namespace sevuldet::slicer

@@ -1,0 +1,161 @@
+#include "sevuldet/slicer/gadget.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace sevuldet::slicer {
+
+std::string CodeGadget::text() const {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line.text;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// Order sliced functions so callers precede callees, starting from the
+/// criterion's function (Algorithm 1 lines 32-36 order the gadget by the
+/// call relationship).
+std::vector<std::string> order_functions(const graph::ProgramGraph& program,
+                                         const Slice& slice,
+                                         const std::string& criterion_fn) {
+  std::vector<std::string> sliced = slice.fn_order;
+  if (sliced.empty()) return sliced;
+
+  // Repeatedly hoist callers above their callees (small n, simple and
+  // deterministic); ties keep discovery order.
+  auto calls = [&](const std::string& a, const std::string& b) {
+    for (const auto& edge : program.calls) {
+      if (edge.caller == a && edge.callee == b) return true;
+    }
+    return false;
+  };
+  std::vector<std::string> ordered;
+  std::set<std::string> remaining(sliced.begin(), sliced.end());
+  while (!remaining.empty()) {
+    // Pick a function with no un-emitted caller; prefer the criterion's
+    // own component by scanning discovery order.
+    std::string pick;
+    for (const auto& fn : sliced) {
+      if (!remaining.contains(fn)) continue;
+      bool has_caller = false;
+      for (const auto& other : remaining) {
+        if (other != fn && calls(other, fn)) {
+          has_caller = true;
+          break;
+        }
+      }
+      if (!has_caller) {
+        pick = fn;
+        break;
+      }
+    }
+    if (pick.empty()) pick = *remaining.begin();  // cycle fallback
+    ordered.push_back(pick);
+    remaining.erase(pick);
+  }
+  (void)criterion_fn;
+  return ordered;
+}
+
+}  // namespace
+
+CodeGadget generate_gadget(const graph::ProgramGraph& program,
+                           const SpecialToken& token,
+                           const GadgetOptions& options) {
+  CodeGadget gadget;
+  gadget.token = token;
+  gadget.path_sensitive = options.path_sensitive;
+
+  Slice slice = compute_slice(program, token.function, token.unit, options.slice);
+  if (slice.units_by_fn.empty()) return gadget;
+
+  std::vector<std::string> fn_order = order_functions(program, slice, token.function);
+
+  for (const auto& fn_name : fn_order) {
+    const graph::FunctionPdg* pdg = program.pdg_of(fn_name);
+    if (pdg == nullptr) continue;
+    const auto& unit_ids = slice.units_by_fn.at(fn_name);
+
+    // Sliced statement lines.
+    std::set<int> stmt_lines;
+    for (int id : unit_ids) {
+      stmt_lines.insert(pdg->units[static_cast<std::size_t>(id)].line);
+    }
+
+    // Algorithm 1 steps e-f: pick every bound control-range group a
+    // sliced statement passes through and add its boundary lines.
+    std::set<int> boundary_lines;
+    if (options.path_sensitive) {
+      auto ranges = compute_control_ranges(*pdg->fn, program.source_lines);
+      std::set<int> selected_groups;
+      for (const auto& range : ranges) {
+        for (int line : stmt_lines) {
+          if (range.contains(line)) {
+            selected_groups.insert(range.group);
+            break;
+          }
+        }
+      }
+      for (const auto& range : ranges) {
+        if (!selected_groups.contains(range.group)) continue;
+        if (!stmt_lines.contains(range.key_line)) {
+          boundary_lines.insert(range.key_line);
+        }
+        if (!stmt_lines.contains(range.end_line)) {
+          boundary_lines.insert(range.end_line);
+        }
+      }
+    }
+
+    std::set<int> all_lines = stmt_lines;
+    all_lines.insert(boundary_lines.begin(), boundary_lines.end());
+    for (int line : all_lines) {
+      GadgetLine gl;
+      gl.function = fn_name;
+      gl.line = line;
+      gl.text = program.line_text(line);
+      gl.is_boundary = boundary_lines.contains(line);
+      if (gl.text.empty()) {
+        // Source text unavailable (e.g. PDG built without source):
+        // fall back to the rendered unit text.
+        for (int id : unit_ids) {
+          const auto& unit = pdg->units[static_cast<std::size_t>(id)];
+          if (unit.line == line) {
+            gl.text = unit.text;
+            break;
+          }
+        }
+      }
+      if (!gl.text.empty()) gadget.lines.push_back(std::move(gl));
+    }
+  }
+  return gadget;
+}
+
+std::vector<CodeGadget> generate_gadgets(const graph::ProgramGraph& program,
+                                         const GadgetOptions& options) {
+  std::vector<CodeGadget> out;
+  for (const auto& token : find_special_tokens(program)) {
+    CodeGadget gadget = generate_gadget(program, token, options);
+    if (!gadget.lines.empty()) out.push_back(std::move(gadget));
+  }
+  return out;
+}
+
+std::vector<CodeGadget> generate_gadgets(const graph::ProgramGraph& program,
+                                         TokenCategory category,
+                                         const GadgetOptions& options) {
+  std::vector<CodeGadget> out;
+  for (const auto& token : find_special_tokens(program, category)) {
+    CodeGadget gadget = generate_gadget(program, token, options);
+    if (!gadget.lines.empty()) out.push_back(std::move(gadget));
+  }
+  return out;
+}
+
+}  // namespace sevuldet::slicer

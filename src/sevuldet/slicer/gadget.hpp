@@ -1,0 +1,58 @@
+// Code-gadget assembly. Two flavours:
+//  - CG  (Definition 5): the sliced statements stacked in line order per
+//    function, functions ordered by call relationship — the baseline used
+//    by VulDeePecker/SySeVR and by the paper's "CG" rows in Table II.
+//  - PS-CG (Definition 7, Algorithm 1 steps e-f): additionally selects
+//    every bound control-range group a sliced statement passes through
+//    and inserts the range header lines ("} else {") and endpoint lines
+//    ("}") so the path to the special token is unambiguous (Fig. 3's
+//    nodes 4/13/16/17/21/23).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/slicer/control_ranges.hpp"
+#include "sevuldet/slicer/slice.hpp"
+#include "sevuldet/slicer/special_tokens.hpp"
+
+namespace sevuldet::slicer {
+
+struct GadgetLine {
+  std::string function;
+  int line = 0;          // source line number
+  std::string text;      // trimmed source text of that line
+  bool is_boundary = false;  // inserted by Algorithm 1 (range header/endpoint)
+};
+
+struct CodeGadget {
+  SpecialToken token;
+  bool path_sensitive = false;
+  std::vector<GadgetLine> lines;
+  int label = -1;  // 1 vulnerable / 0 clean / -1 unknown (Step II fills it)
+
+  /// One line of text per gadget line, '\n'-joined — the unit the
+  /// normalizer (Step III) and the embedding (Step IV) consume.
+  std::string text() const;
+};
+
+struct GadgetOptions {
+  SliceOptions slice;
+  bool path_sensitive = true;
+};
+
+/// Generate the gadget for one special token.
+CodeGadget generate_gadget(const graph::ProgramGraph& program,
+                           const SpecialToken& token,
+                           const GadgetOptions& options = {});
+
+/// Generate gadgets for every special token of the program (optionally
+/// restricted to one category).
+std::vector<CodeGadget> generate_gadgets(const graph::ProgramGraph& program,
+                                         const GadgetOptions& options = {});
+std::vector<CodeGadget> generate_gadgets(const graph::ProgramGraph& program,
+                                         TokenCategory category,
+                                         const GadgetOptions& options = {});
+
+}  // namespace sevuldet::slicer

@@ -1,0 +1,153 @@
+#include "sevuldet/slicer/slice.hpp"
+
+#include <deque>
+
+namespace sevuldet::slicer {
+
+namespace {
+
+enum class Direction { Backward, Forward, Both };
+
+struct WorkItem {
+  const graph::FunctionPdg* pdg;
+  int unit;
+  Direction dir;
+  int depth;  // remaining call-crossing budget
+};
+
+class Slicer {
+ public:
+  Slicer(const graph::ProgramGraph& program, const SliceOptions& options)
+      : program_(program), options_(options) {}
+
+  Slice run(const std::string& fn, int unit, Direction dir) {
+    const graph::FunctionPdg* pdg = program_.pdg_of(fn);
+    if (pdg == nullptr || unit < 0 ||
+        static_cast<std::size_t>(unit) >= pdg->units.size()) {
+      return {};
+    }
+    push(pdg, unit, dir, options_.max_call_depth);
+    while (!work_.empty()) {
+      WorkItem item = work_.front();
+      work_.pop_front();
+      expand(item);
+    }
+    return std::move(slice_);
+  }
+
+ private:
+  void push(const graph::FunctionPdg* pdg, int unit, Direction dir, int depth) {
+    auto key = std::make_tuple(pdg, unit, dir);
+    if (!visited_.insert(key).second) return;
+    auto& units = slice_.units_by_fn[pdg->fn->name];
+    if (units.empty()) slice_.fn_order.push_back(pdg->fn->name);
+    units.insert(unit);
+    work_.push_back({pdg, unit, dir, depth});
+  }
+
+  void expand(const WorkItem& item) {
+    const auto& pdg = *item.pdg;
+    const std::size_t u = static_cast<std::size_t>(item.unit);
+
+    if (item.dir == Direction::Backward || item.dir == Direction::Both) {
+      for (int d : pdg.data.deps[u]) {
+        push(item.pdg, d, Direction::Backward, item.depth);
+      }
+      if (options_.use_control_dep) {
+        for (int c : pdg.control.deps[u]) {
+          push(item.pdg, c, Direction::Backward, item.depth);
+        }
+      }
+    }
+    if (item.dir == Direction::Forward || item.dir == Direction::Both) {
+      for (int d : pdg.data.dependents[u]) {
+        push(item.pdg, d, Direction::Forward, item.depth);
+      }
+    }
+
+    if (options_.interprocedural && item.depth > 0) {
+      cross_calls(item);
+    }
+  }
+
+  void cross_calls(const WorkItem& item) {
+    const auto& pdg = *item.pdg;
+    const auto& unit = pdg.units[static_cast<std::size_t>(item.unit)];
+
+    // Into callees: the sliced statement calls a function defined here.
+    for (const auto& callee_name : unit.use_def.calls) {
+      const graph::FunctionPdg* callee = program_.pdg_of(callee_name);
+      if (callee == nullptr) continue;
+      for (const auto& cu : callee->units) {
+        bool uses_param = false;
+        for (const auto& p : callee->fn->params) {
+          if (!p.name.empty() && cu.use_def.uses.contains(p.name)) {
+            uses_param = true;
+            break;
+          }
+        }
+        // Forward: statements consuming the arguments (parameters).
+        if (uses_param) {
+          push(callee, cu.id, Direction::Forward, item.depth - 1);
+          // The callee may guard/transform the data before using it;
+          // pull in its backward context too so the gadget is coherent.
+          push(callee, cu.id, Direction::Backward, item.depth - 1);
+        }
+        // Backward: statements feeding the return value.
+        if (cu.kind == graph::UnitKind::Return &&
+            (item.dir == Direction::Backward || item.dir == Direction::Both)) {
+          push(callee, cu.id, Direction::Backward, item.depth - 1);
+        }
+      }
+    }
+
+    // Into callers: the criterion depends on parameters -> extend through
+    // every call site's arguments.
+    bool touches_param = false;
+    for (const auto& p : pdg.fn->params) {
+      if (p.name.empty()) continue;
+      if (unit.use_def.uses.contains(p.name) || unit.use_def.defs.contains(p.name)) {
+        touches_param = true;
+        break;
+      }
+    }
+    if (touches_param) {
+      for (const auto& edge : program_.calls) {
+        if (edge.callee != pdg.fn->name) continue;
+        const graph::FunctionPdg* caller = program_.pdg_of(edge.caller);
+        if (caller == nullptr) continue;
+        push(caller, edge.caller_unit, Direction::Backward, item.depth - 1);
+        if (item.dir == Direction::Forward || item.dir == Direction::Both) {
+          push(caller, edge.caller_unit, Direction::Forward, item.depth - 1);
+        }
+      }
+    }
+  }
+
+  const graph::ProgramGraph& program_;
+  const SliceOptions& options_;
+  Slice slice_;
+  std::set<std::tuple<const graph::FunctionPdg*, int, Direction>> visited_;
+  std::deque<WorkItem> work_;
+};
+
+}  // namespace
+
+Slice compute_slice(const graph::ProgramGraph& program, const std::string& fn,
+                    int unit, const SliceOptions& options) {
+  return Slicer(program, options).run(fn, unit, Direction::Both);
+}
+
+Slice compute_backward_slice(const graph::ProgramGraph& program,
+                             const std::string& fn, int unit,
+                             const SliceOptions& options) {
+  return Slicer(program, options).run(fn, unit, Direction::Backward);
+}
+
+Slice compute_forward_slice(const graph::ProgramGraph& program,
+                            const std::string& fn, int unit,
+                            const SliceOptions& options) {
+  return Slicer(program, options).run(fn, unit, Direction::Forward);
+}
+
+}  // namespace sevuldet::slicer

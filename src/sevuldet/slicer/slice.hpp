@@ -1,0 +1,55 @@
+// Step I.3: forward and backward program slices over the PDG from a
+// special token's statement, crossing function boundaries along call
+// edges (the paper's slices span the calling relationship in Fig. 1
+// Step II). Backward slicing follows data- and control-dependence
+// predecessors; forward slicing follows data-dependence successors —
+// the VulDeePecker/SySeVR convention the paper builds on.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sevuldet/graph/pdg.hpp"
+
+namespace sevuldet::slicer {
+
+struct SliceOptions {
+  bool use_control_dep = true;   // false = VulDeePecker-style data-only
+  bool interprocedural = true;
+  int max_call_depth = 3;        // bound on caller/callee expansion
+};
+
+/// A program slice: per-function sets of unit ids plus the order in
+/// which functions were reached (criterion's function first, then
+/// callees/callers in discovery order — used for gadget assembly).
+struct Slice {
+  std::map<std::string, std::set<int>> units_by_fn;
+  std::vector<std::string> fn_order;
+
+  bool contains(const std::string& fn, int unit) const {
+    auto it = units_by_fn.find(fn);
+    return it != units_by_fn.end() && it->second.contains(unit);
+  }
+  std::size_t total_units() const {
+    std::size_t n = 0;
+    for (const auto& [fn, units] : units_by_fn) n += units.size();
+    return n;
+  }
+};
+
+/// Union of forward and backward slices from `unit` of function `fn`.
+Slice compute_slice(const graph::ProgramGraph& program, const std::string& fn,
+                    int unit, const SliceOptions& options = {});
+
+/// Backward-only / forward-only variants (exposed for tests and for the
+/// baseline detectors).
+Slice compute_backward_slice(const graph::ProgramGraph& program,
+                             const std::string& fn, int unit,
+                             const SliceOptions& options = {});
+Slice compute_forward_slice(const graph::ProgramGraph& program,
+                            const std::string& fn, int unit,
+                            const SliceOptions& options = {});
+
+}  // namespace sevuldet::slicer

@@ -1,0 +1,179 @@
+#include "sevuldet/slicer/special_tokens.hpp"
+
+#include <unordered_set>
+
+#include "sevuldet/frontend/ast_text.hpp"
+
+namespace sevuldet::slicer {
+
+using frontend::Expr;
+using frontend::ExprKind;
+
+const char* category_name(TokenCategory c) {
+  switch (c) {
+    case TokenCategory::FunctionCall: return "FC";
+    case TokenCategory::ArrayUsage: return "AU";
+    case TokenCategory::PointerUsage: return "PU";
+    case TokenCategory::ArithExpr: return "AE";
+  }
+  return "?";
+}
+
+const char* category_long_name(TokenCategory c) {
+  switch (c) {
+    case TokenCategory::FunctionCall: return "Library/API function call";
+    case TokenCategory::ArrayUsage: return "Array usage";
+    case TokenCategory::PointerUsage: return "Pointer usage";
+    case TokenCategory::ArithExpr: return "Arithmetic expression";
+  }
+  return "?";
+}
+
+bool is_library_function(const std::string& callee) {
+  static const std::unordered_set<std::string> kLibrary = {
+      "strcpy",  "strncpy", "strcat",  "strncat", "strlen",  "strcmp",
+      "strncmp", "strchr",  "strrchr", "strstr",  "strtok",  "strdup",
+      "memcpy",  "memmove", "memset",  "memcmp",  "memchr",  "malloc",
+      "calloc",  "realloc", "free",    "alloca",  "printf",  "fprintf",
+      "sprintf", "snprintf","vsprintf","scanf",   "sscanf",  "fscanf",
+      "gets",    "fgets",   "puts",    "fputs",   "getchar", "putchar",
+      "fopen",   "fclose",  "fread",   "fwrite",  "fseek",   "ftell",
+      "read",    "write",   "open",    "close",   "recv",    "send",
+      "recvfrom","sendto",  "socket",  "bind",    "listen",  "accept",
+      "atoi",    "atol",    "strtol",  "strtoul", "abs",     "exit",
+      "abort",   "system",  "popen",   "execl",   "execv",   "getenv",
+      "setenv",  "rand",    "srand",   "time",    "getcwd",  "realpath",
+      "wcscpy",  "wcsncpy", "swprintf","wcslen",  "wcscat",  "wcsncat",
+      "qemu_get_buffer", "cpu_physical_memory_read", "dma_memory_read",
+  };
+  return kLibrary.contains(callee);
+}
+
+bool is_risky_library_function(const std::string& callee) {
+  static const std::unordered_set<std::string> kRisky = {
+      "strcpy", "strcat", "sprintf", "vsprintf", "gets",  "scanf",
+      "sscanf", "strncpy","strncat", "memcpy",   "memmove","memset",
+      "alloca", "system", "popen",   "execl",    "execv", "realpath",
+      "getcwd", "snprintf","read",   "recv",     "wcscpy","wcsncpy",
+  };
+  return kRisky.contains(callee);
+}
+
+namespace {
+
+struct Finder {
+  const graph::ProgramGraph& program;
+  std::vector<SpecialToken> out;
+
+  // Per-unit flags so each (unit, category) produces at most one token.
+  bool saw_fc = false, saw_au = false, saw_pu = false, saw_ae = false;
+  std::string fc_text, au_text, pu_text, ae_text;
+
+  void scan_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Call:
+        if (!e.text.empty() &&
+            (is_library_function(e.text) ||
+             program.unit.find_function(e.text) == nullptr)) {
+          if (!saw_fc) {
+            saw_fc = true;
+            fc_text = e.text;
+          }
+        }
+        break;
+      case ExprKind::Index:
+        if (!saw_au) {
+          saw_au = true;
+          const Expr* base = e.children[0].get();
+          au_text = base->kind == ExprKind::Ident ? base->text
+                                                  : frontend::expr_text(*base);
+        }
+        break;
+      case ExprKind::Unary:
+        if (e.op == "*" && !saw_pu) {
+          saw_pu = true;
+          pu_text = frontend::expr_text(*e.children[0]);
+        }
+        break;
+      case ExprKind::Member:
+        if (e.op == "->" && !saw_pu) {
+          saw_pu = true;
+          pu_text = frontend::expr_text(*e.children[0]);
+        }
+        break;
+      case ExprKind::Binary:
+        if ((e.op == "+" || e.op == "-" || e.op == "*" || e.op == "/" ||
+             e.op == "%" || e.op == "<<" || e.op == ">>") &&
+            !saw_ae) {
+          saw_ae = true;
+          ae_text = frontend::expr_text(e);
+        }
+        break;
+      case ExprKind::Assign:
+        if (e.op.size() > 1 && e.op != "==" && !saw_ae) {  // += -= *= ...
+          saw_ae = true;
+          ae_text = frontend::expr_text(e);
+        }
+        break;
+      default:
+        break;
+    }
+    for (const auto& child : e.children) scan_expr(*child);
+  }
+
+  void scan_unit(const graph::FunctionPdg& pdg, const graph::StmtUnit& unit) {
+    saw_fc = saw_au = saw_pu = saw_ae = false;
+    const frontend::Stmt& stmt = *unit.stmt;
+    // Only the statement's own expressions — children are other units.
+    if (stmt.kind == frontend::StmtKind::Decl) {
+      auto scan_decl = [this](const frontend::Stmt& d) {
+        // Pointer declarations with initializers count as pointer usage.
+        if (d.decl_is_pointer && d.for_has_init && !saw_pu) {
+          saw_pu = true;
+          pu_text = d.name;
+        }
+        std::size_t from = 0;
+        if (d.for_has_init) {
+          scan_expr(*d.exprs[0]);
+          from = 1;
+        }
+        for (std::size_t i = from; i < d.exprs.size(); ++i) scan_expr(*d.exprs[i]);
+      };
+      scan_decl(stmt);
+      for (const auto& extra : stmt.children) {
+        if (extra->kind == frontend::StmtKind::Decl) scan_decl(*extra);
+      }
+    } else {
+      for (const auto& e : stmt.exprs) scan_expr(*e);
+    }
+
+    auto emit = [&](TokenCategory cat, const std::string& text) {
+      out.push_back({cat, pdg.fn->name, unit.id, unit.line, text});
+    };
+    if (saw_fc) emit(TokenCategory::FunctionCall, fc_text);
+    if (saw_au) emit(TokenCategory::ArrayUsage, au_text);
+    if (saw_pu) emit(TokenCategory::PointerUsage, pu_text);
+    if (saw_ae) emit(TokenCategory::ArithExpr, ae_text);
+  }
+};
+
+}  // namespace
+
+std::vector<SpecialToken> find_special_tokens(const graph::ProgramGraph& program) {
+  Finder finder{program, {}};
+  for (const auto& pdg : program.functions) {
+    for (const auto& unit : pdg.units) finder.scan_unit(pdg, unit);
+  }
+  return std::move(finder.out);
+}
+
+std::vector<SpecialToken> find_special_tokens(const graph::ProgramGraph& program,
+                                              TokenCategory category) {
+  std::vector<SpecialToken> out;
+  for (auto& tok : find_special_tokens(program)) {
+    if (tok.category == category) out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+}  // namespace sevuldet::slicer

@@ -1,0 +1,45 @@
+// Step I.2 of the paper: identify the four kinds of *special tokens*
+// (Definition 4) that seed slicing — library/API function calls (FC),
+// array usage (AU), pointer usage (PU), and arithmetic expressions (AE),
+// following the SySeVR syntax characteristics the paper adopts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sevuldet/graph/pdg.hpp"
+
+namespace sevuldet::slicer {
+
+enum class TokenCategory { FunctionCall, ArrayUsage, PointerUsage, ArithExpr };
+
+const char* category_name(TokenCategory c);       // "FC", "AU", "PU", "AE"
+const char* category_long_name(TokenCategory c);  // "Library/API function call"...
+
+struct SpecialToken {
+  TokenCategory category = TokenCategory::FunctionCall;
+  std::string function;  // enclosing function name
+  int unit = -1;         // unit id within that function's PDG
+  int line = 0;
+  std::string text;      // the token itself, e.g. "strncpy", "buf", "n + m"
+};
+
+/// True if `callee` is treated as a library/API function (C standard
+/// library and common POSIX names, or any function not defined in the
+/// translation unit when `unit` is given).
+bool is_library_function(const std::string& callee);
+
+/// True if the callee is on the "risky" sublist classical lexical tools
+/// flag (strcpy, gets, sprintf, ...). Used by the baseline scanners too.
+bool is_risky_library_function(const std::string& callee);
+
+/// All special tokens of a program, in (function, unit, category) order.
+/// At most one token per (unit, category) pair, mirroring how the paper
+/// generates one gadget per special token occurrence statement.
+std::vector<SpecialToken> find_special_tokens(const graph::ProgramGraph& program);
+
+/// Restrict to one category.
+std::vector<SpecialToken> find_special_tokens(const graph::ProgramGraph& program,
+                                              TokenCategory category);
+
+}  // namespace sevuldet::slicer

@@ -1,0 +1,24 @@
+// Minimal leveled logger. Benches run with Info; tests silence it by
+// setting the level to Error. Not thread-safe by design — the project is
+// single-threaded per experiment; concurrent experiments each own a
+// process.
+#pragma once
+
+#include <string_view>
+
+namespace sevuldet::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, std::string_view message);
+
+inline void log_debug(std::string_view m) { log(LogLevel::Debug, m); }
+inline void log_info(std::string_view m) { log(LogLevel::Info, m); }
+inline void log_warn(std::string_view m) { log(LogLevel::Warn, m); }
+inline void log_error(std::string_view m) { log(LogLevel::Error, m); }
+
+}  // namespace sevuldet::util

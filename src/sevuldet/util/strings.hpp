@@ -1,0 +1,47 @@
+// Small string utilities shared across the project: splitting, trimming,
+// joining, predicates, and simple formatting. All functions are pure and
+// allocation-conscious (string_view in, owned strings out only where the
+// caller needs ownership).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sevuldet::util {
+
+/// Split on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split on any whitespace run; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Split into lines ('\n' separated; a trailing newline does not produce
+/// an extra empty line).
+std::vector<std::string> split_lines(std::string_view text);
+
+/// Remove leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+bool contains(std::string_view text, std::string_view needle);
+
+/// True if every byte is printable ASCII, tab, or newline.
+bool is_ascii(std::string_view text);
+
+/// Drop all bytes outside printable ASCII / tab / newline.
+std::string strip_non_ascii(std::string_view text);
+
+/// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+/// printf-style double formatting with fixed decimals, e.g. fmt(3.14159, 1)
+/// == "3.1".
+std::string fmt(double value, int decimals);
+
+}  // namespace sevuldet::util

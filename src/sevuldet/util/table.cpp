@@ -1,0 +1,51 @@
+#include "sevuldet/util/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sevuldet::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table row arity mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string rule = "|";
+  for (std::size_t w : widths) {
+    rule.append(w + 2, '-');
+    rule += '|';
+  }
+  rule += '\n';
+
+  std::string out = render_row(header_);
+  out += rule;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace sevuldet::util

@@ -1,0 +1,29 @@
+// Plain-text table rendering used by the benchmark harness to print the
+// paper's tables (Table I .. Table VII) in an aligned, diff-friendly way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sevuldet::util {
+
+/// Column-aligned ASCII table. Rows are free-form strings; the renderer
+/// pads every column to its widest cell and draws a header rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with single-space-padded, pipe-separated columns.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sevuldet::util

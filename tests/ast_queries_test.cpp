@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "sevuldet/frontend/ast_queries.hpp"
+#include "sevuldet/frontend/parser.hpp"
+
+namespace sf = sevuldet::frontend;
+
+namespace {
+sf::UseDef ud_of_stmt(const char* src) {
+  auto stmt = sf::parse_statement(src);
+  return sf::analyze_stmt(*stmt);
+}
+}  // namespace
+
+TEST(AstQueries, SimpleAssignment) {
+  auto ud = ud_of_stmt("x = a + b;");
+  EXPECT_TRUE(ud.defs.contains("x"));
+  EXPECT_TRUE(ud.uses.contains("a"));
+  EXPECT_TRUE(ud.uses.contains("b"));
+  EXPECT_FALSE(ud.uses.contains("x"));
+}
+
+TEST(AstQueries, CompoundAssignmentUsesLhs) {
+  auto ud = ud_of_stmt("x += y;");
+  EXPECT_TRUE(ud.defs.contains("x"));
+  EXPECT_TRUE(ud.uses.contains("x"));
+  EXPECT_TRUE(ud.uses.contains("y"));
+}
+
+TEST(AstQueries, ArrayWriteDefsBaseUsesIndex) {
+  auto ud = ud_of_stmt("buf[i] = v;");
+  EXPECT_TRUE(ud.defs.contains("buf"));
+  EXPECT_TRUE(ud.uses.contains("buf"));  // address computation
+  EXPECT_TRUE(ud.uses.contains("i"));
+  EXPECT_TRUE(ud.uses.contains("v"));
+}
+
+TEST(AstQueries, PointerDeref) {
+  auto ud = ud_of_stmt("*p = q;");
+  EXPECT_TRUE(ud.defs.contains("p"));
+  EXPECT_TRUE(ud.uses.contains("q"));
+}
+
+TEST(AstQueries, MemberWrite) {
+  auto ud = ud_of_stmt("s->len = n;");
+  EXPECT_TRUE(ud.defs.contains("s"));
+  EXPECT_TRUE(ud.uses.contains("n"));
+}
+
+TEST(AstQueries, IncrementDecrements) {
+  auto pre = ud_of_stmt("++i;");
+  EXPECT_TRUE(pre.defs.contains("i"));
+  EXPECT_TRUE(pre.uses.contains("i"));
+  auto post = ud_of_stmt("n--;");
+  EXPECT_TRUE(post.defs.contains("n"));
+  EXPECT_TRUE(post.uses.contains("n"));
+}
+
+TEST(AstQueries, DeclWithInit) {
+  auto ud = ud_of_stmt("int n = strlen(src);");
+  EXPECT_TRUE(ud.defs.contains("n"));
+  EXPECT_TRUE(ud.uses.contains("src"));
+  ASSERT_EQ(ud.calls.size(), 1u);
+  EXPECT_EQ(ud.calls[0], "strlen");
+}
+
+TEST(AstQueries, MultiDeclarator) {
+  auto ud = ud_of_stmt("int a = x, b = y;");
+  EXPECT_TRUE(ud.defs.contains("a"));
+  EXPECT_TRUE(ud.defs.contains("b"));
+  EXPECT_TRUE(ud.uses.contains("x"));
+  EXPECT_TRUE(ud.uses.contains("y"));
+}
+
+TEST(AstQueries, LibraryOutParamDefsDest) {
+  auto ud = ud_of_stmt("strncpy(dest, data, n);");
+  EXPECT_TRUE(ud.defs.contains("dest"));
+  EXPECT_TRUE(ud.uses.contains("data"));
+  EXPECT_TRUE(ud.uses.contains("n"));
+  ASSERT_EQ(ud.calls.size(), 1u);
+  EXPECT_EQ(ud.calls[0], "strncpy");
+}
+
+TEST(AstQueries, MemsetDefsPointer) {
+  auto ud = ud_of_stmt("memset(buf, 0, sizeof(buf));");
+  EXPECT_TRUE(ud.defs.contains("buf"));
+}
+
+TEST(AstQueries, ScanfDefsAddressedArgs) {
+  auto ud = ud_of_stmt("scanf(\"%d\", &value);");
+  EXPECT_TRUE(ud.defs.contains("value"));
+}
+
+TEST(AstQueries, UnknownCallOnlyUses) {
+  auto ud = ud_of_stmt("helper(a, b);");
+  EXPECT_TRUE(ud.defs.empty());
+  EXPECT_TRUE(ud.uses.contains("a"));
+  EXPECT_TRUE(ud.uses.contains("b"));
+  ASSERT_EQ(ud.calls.size(), 1u);
+}
+
+TEST(AstQueries, NestedCalls) {
+  auto ud = ud_of_stmt("x = f(g(y), z);");
+  EXPECT_EQ(ud.calls.size(), 2u);
+  EXPECT_TRUE(ud.uses.contains("y"));
+  EXPECT_TRUE(ud.uses.contains("z"));
+}
+
+TEST(AstQueries, ControlPredicates) {
+  auto if_ud = ud_of_stmt("if (n < limit) { x = 1; }");
+  EXPECT_TRUE(if_ud.uses.contains("n"));
+  EXPECT_TRUE(if_ud.uses.contains("limit"));
+  // Child statements are separate units: the body's defs must NOT leak.
+  EXPECT_FALSE(if_ud.defs.contains("x"));
+
+  auto for_stmt = sf::parse_statement("for (i = 0; i < n; i++) { s += i; }");
+  auto for_ud = sf::analyze_stmt(*for_stmt);
+  EXPECT_TRUE(for_ud.uses.contains("n"));
+  EXPECT_TRUE(for_ud.defs.contains("i"));  // step i++
+  EXPECT_FALSE(for_ud.defs.contains("s"));
+}
+
+TEST(AstQueries, AddressOfIsUse) {
+  auto ud = ud_of_stmt("p = &x;");
+  EXPECT_TRUE(ud.defs.contains("p"));
+  EXPECT_TRUE(ud.uses.contains("x"));
+}
+
+TEST(AstQueries, TernaryUsesAllArms) {
+  auto ud = ud_of_stmt("m = a > b ? a : c;");
+  EXPECT_TRUE(ud.uses.contains("a"));
+  EXPECT_TRUE(ud.uses.contains("b"));
+  EXPECT_TRUE(ud.uses.contains("c"));
+}

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "sevuldet/nn/autograd.hpp"
+
+namespace nn = sevuldet::nn;
+namespace su = sevuldet::util;
+
+namespace {
+
+/// Compare analytic gradients against central finite differences for a
+/// scalar-valued graph built from a single parameter tensor.
+void check_gradients(nn::Tensor init,
+                     const std::function<nn::NodePtr(const nn::NodePtr&)>& fn,
+                     float tol = 2e-2f) {
+  nn::NodePtr p = nn::param(init);
+  nn::NodePtr loss = fn(p);
+  ASSERT_EQ(loss->value.rows(), 1);
+  ASSERT_EQ(loss->value.cols(), 1);
+  nn::backward(loss);
+
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < p->value.size(); ++i) {
+    const float saved = p->value[i];
+    p->value[i] = saved + eps;
+    const float up = fn(nn::constant(p->value))->value.at(0, 0);
+    p->value[i] = saved - eps;
+    const float down = fn(nn::constant(p->value))->value.at(0, 0);
+    p->value[i] = saved;
+    const float numeric = (up - down) / (2.0f * eps);
+    const float analytic = p->grad[i];
+    const float scale = std::max({1.0f, std::fabs(numeric), std::fabs(analytic)});
+    EXPECT_NEAR(analytic, numeric, tol * scale)
+        << "element " << i << " analytic=" << analytic << " numeric=" << numeric;
+  }
+}
+
+nn::Tensor make_tensor(int rows, int cols, std::uint64_t seed = 7) {
+  su::Rng rng(seed);
+  return nn::Tensor::randn(rows, cols, rng, 0.5f);
+}
+
+}  // namespace
+
+TEST(Autograd, AddGradient) {
+  nn::Tensor other = make_tensor(3, 4, 11);
+  check_gradients(make_tensor(3, 4), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::add(p, nn::constant(other)));
+  });
+}
+
+TEST(Autograd, AddRowGradientBothSides) {
+  nn::Tensor a = make_tensor(4, 3, 21);
+  check_gradients(make_tensor(1, 3), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::add_row(nn::constant(a), p));
+  });
+  nn::Tensor bias = make_tensor(1, 3, 22);
+  check_gradients(make_tensor(4, 3), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::add_row(p, nn::constant(bias)));
+  });
+}
+
+TEST(Autograd, MulAndScaleGradient) {
+  nn::Tensor other = make_tensor(2, 5, 31);
+  check_gradients(make_tensor(2, 5), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::scale(nn::mul(p, nn::constant(other)), 1.7f));
+  });
+}
+
+TEST(Autograd, SubGradient) {
+  nn::Tensor other = make_tensor(2, 2, 33);
+  check_gradients(make_tensor(2, 2), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::sub(p, nn::constant(other)));
+  });
+}
+
+TEST(Autograd, MatmulGradientLeftAndRight) {
+  nn::Tensor right = make_tensor(3, 2, 41);
+  check_gradients(make_tensor(4, 3), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::matmul(p, nn::constant(right)));
+  });
+  nn::Tensor left = make_tensor(4, 3, 42);
+  check_gradients(make_tensor(3, 2), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::matmul(nn::constant(left), p));
+  });
+}
+
+TEST(Autograd, TransposeGradient) {
+  check_gradients(make_tensor(3, 5), [&](const nn::NodePtr& p) {
+    // Weighted sum so the gradient is not uniform.
+    nn::Tensor w = make_tensor(5, 3, 43);
+    return nn::sum_all(nn::mul(nn::transpose(p), nn::constant(w)));
+  });
+}
+
+TEST(Autograd, NonlinearityGradients) {
+  check_gradients(make_tensor(2, 3), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::tanh_op(p));
+  });
+  check_gradients(make_tensor(2, 3), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::sigmoid(p));
+  });
+  check_gradients(make_tensor(2, 3), [&](const nn::NodePtr& p) {
+    // Shift away from 0 so finite differences don't straddle the kink.
+    return nn::sum_all(nn::relu(nn::add(p, nn::constant(make_tensor(2, 3, 44)))));
+  });
+}
+
+TEST(Autograd, SoftmaxColGradient) {
+  nn::Tensor w = make_tensor(5, 1, 45);
+  check_gradients(make_tensor(5, 1), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::mul(nn::softmax_col(p), nn::constant(w)));
+  });
+}
+
+TEST(Autograd, SoftmaxColNormalizes) {
+  auto x = nn::constant(make_tensor(7, 1));
+  auto s = nn::softmax_col(x);
+  float sum = 0.0f;
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_GT(s->value.at(i, 0), 0.0f);
+    sum += s->value.at(i, 0);
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Autograd, ConcatAndSliceGradients) {
+  nn::Tensor b = make_tensor(3, 2, 51);
+  check_gradients(make_tensor(3, 4), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(3, 6, 52);
+    return nn::sum_all(nn::mul(nn::concat_cols(p, nn::constant(b)), nn::constant(w)));
+  });
+  check_gradients(make_tensor(4, 6), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(4, 3, 53);
+    return nn::sum_all(nn::mul(nn::slice_cols(p, 1, 4), nn::constant(w)));
+  });
+  check_gradients(make_tensor(6, 3), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(2, 3, 54);
+    return nn::sum_all(nn::mul(nn::slice_rows(p, 2, 4), nn::constant(w)));
+  });
+}
+
+TEST(Autograd, ConcatRowsGradient) {
+  nn::Tensor b = make_tensor(2, 3, 55);
+  check_gradients(make_tensor(3, 3), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(5, 3, 56);
+    return nn::sum_all(
+        nn::mul(nn::concat_rows({p, nn::constant(b)}), nn::constant(w)));
+  });
+}
+
+TEST(Autograd, ReshapeRowGradient) {
+  check_gradients(make_tensor(2, 3), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(1, 6, 57);
+    return nn::sum_all(nn::mul(nn::reshape_row(p), nn::constant(w)));
+  });
+}
+
+TEST(Autograd, ReductionGradients) {
+  check_gradients(make_tensor(3, 4), [&](const nn::NodePtr& p) {
+    return nn::mean_all(p);
+  });
+  check_gradients(make_tensor(4, 3), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(1, 3, 61);
+    return nn::sum_all(nn::mul(nn::reduce_rows_mean(p), nn::constant(w)));
+  });
+  check_gradients(make_tensor(4, 3), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(1, 3, 62);
+    return nn::sum_all(nn::mul(nn::reduce_rows_max(p), nn::constant(w)));
+  });
+  check_gradients(make_tensor(3, 4), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(3, 1, 63);
+    return nn::sum_all(nn::mul(nn::reduce_cols_mean(p), nn::constant(w)));
+  });
+  check_gradients(make_tensor(3, 4), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(3, 1, 64);
+    return nn::sum_all(nn::mul(nn::reduce_cols_max(p), nn::constant(w)));
+  });
+}
+
+TEST(Autograd, BroadcastMulGradients) {
+  nn::Tensor row = make_tensor(1, 4, 71);
+  check_gradients(make_tensor(3, 4), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::mul_row_broadcast(p, nn::constant(row)));
+  });
+  nn::Tensor mat = make_tensor(3, 4, 72);
+  check_gradients(make_tensor(1, 4), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::mul_row_broadcast(nn::constant(mat), p));
+  });
+  nn::Tensor col = make_tensor(3, 1, 73);
+  check_gradients(make_tensor(3, 4), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::mul_col_broadcast(p, nn::constant(col)));
+  });
+  check_gradients(make_tensor(3, 1), [&](const nn::NodePtr& p) {
+    return nn::sum_all(nn::mul_col_broadcast(nn::constant(mat), p));
+  });
+}
+
+TEST(Autograd, EmbeddingGradientScatters) {
+  std::vector<int> ids = {2, 0, 2, 1};
+  check_gradients(make_tensor(3, 4), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(4, 4, 81);
+    return nn::sum_all(nn::mul(nn::embedding(p, ids), nn::constant(w)));
+  });
+}
+
+TEST(Autograd, EmbeddingRejectsBadIds) {
+  auto w = nn::param(make_tensor(3, 4));
+  EXPECT_THROW(nn::embedding(w, {0, 3}), std::out_of_range);
+  EXPECT_THROW(nn::embedding(w, {-1}), std::out_of_range);
+}
+
+TEST(Autograd, Im2RowGradient) {
+  check_gradients(make_tensor(5, 2), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(5, 6, 91);  // T_out = 5+2-3+1 = 5 with pad 1
+    return nn::sum_all(nn::mul(nn::im2row(p, 3, 1), nn::constant(w)));
+  });
+  check_gradients(make_tensor(6, 2), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(4, 6, 92);  // no padding: 6-3+1 = 4
+    return nn::sum_all(nn::mul(nn::im2row(p, 3, 0), nn::constant(w)));
+  });
+}
+
+TEST(Autograd, SppMaxGradient) {
+  check_gradients(make_tensor(9, 2), [&](const nn::NodePtr& p) {
+    nn::Tensor w = make_tensor(1, 14, 93);  // (4+2+1)*2
+    return nn::sum_all(nn::mul(nn::spp_max(p, {4, 2, 1}), nn::constant(w)));
+  });
+}
+
+TEST(Autograd, SppOutputShapeIndependentOfLength) {
+  for (int t : {1, 2, 3, 5, 17, 101, 500}) {
+    auto x = nn::constant(make_tensor(t, 6, static_cast<std::uint64_t>(t)));
+    auto out = nn::spp_max(x, {4, 2, 1});
+    EXPECT_EQ(out->value.rows(), 1);
+    EXPECT_EQ(out->value.cols(), 7 * 6) << "T=" << t;
+  }
+}
+
+TEST(Autograd, SppShortSequenceCoversAllBins) {
+  // T=1: every bin must read the single row.
+  nn::Tensor x(1, 2);
+  x.at(0, 0) = 3.0f;
+  x.at(0, 1) = -1.0f;
+  auto out = nn::spp_max(nn::constant(x), {4, 2, 1});
+  for (int b = 0; b < 7; ++b) {
+    EXPECT_FLOAT_EQ(out->value.at(0, b * 2), 3.0f);
+    EXPECT_FLOAT_EQ(out->value.at(0, b * 2 + 1), -1.0f);
+  }
+}
+
+TEST(Autograd, BceWithLogitsGradient) {
+  for (float target : {0.0f, 1.0f}) {
+    check_gradients(make_tensor(1, 1), [&](const nn::NodePtr& p) {
+      return nn::bce_with_logits(p, target);
+    });
+  }
+}
+
+TEST(Autograd, BceWithLogitsValue) {
+  auto z = nn::constant(nn::Tensor::scalar(0.0f));
+  auto loss = nn::bce_with_logits(z, 1.0f);
+  EXPECT_NEAR(loss->value.at(0, 0), std::log(2.0f), 1e-5f);
+  // Large positive logit, target 1 -> near-zero loss.
+  auto z2 = nn::constant(nn::Tensor::scalar(20.0f));
+  EXPECT_LT(nn::bce_with_logits(z2, 1.0f)->value.at(0, 0), 1e-6f);
+}
+
+TEST(Autograd, DropoutTrainVsEval) {
+  su::Rng rng(5);
+  auto x = nn::constant(make_tensor(10, 10));
+  auto eval_out = nn::dropout(x, 0.5f, rng, /*train=*/false);
+  EXPECT_EQ(eval_out.get(), x.get());  // pass-through at eval
+  auto train_out = nn::dropout(x, 0.5f, rng, /*train=*/true);
+  int zeros = 0;
+  for (std::size_t i = 0; i < train_out->value.size(); ++i) {
+    if (train_out->value[i] == 0.0f) ++zeros;
+  }
+  EXPECT_GT(zeros, 20);
+  EXPECT_LT(zeros, 80);
+}
+
+TEST(Autograd, GradAccumulatesAcrossBackwardCalls) {
+  auto p = nn::param(nn::Tensor::scalar(2.0f));
+  auto loss1 = nn::sum_all(nn::scale(p, 3.0f));
+  nn::backward(loss1);
+  EXPECT_FLOAT_EQ(p->grad.at(0, 0), 3.0f);
+  auto loss2 = nn::sum_all(nn::scale(p, 3.0f));
+  nn::backward(loss2);
+  EXPECT_FLOAT_EQ(p->grad.at(0, 0), 6.0f);  // accumulated
+  p->zero_grad();
+  EXPECT_FLOAT_EQ(p->grad.at(0, 0), 0.0f);
+}
+
+TEST(Autograd, DiamondGraphAccumulates) {
+  auto p = nn::param(nn::Tensor::scalar(3.0f));
+  auto a = nn::scale(p, 2.0f);
+  auto b = nn::scale(p, 5.0f);
+  auto loss = nn::sum_all(nn::add(a, b));
+  nn::backward(loss);
+  EXPECT_FLOAT_EQ(p->grad.at(0, 0), 7.0f);
+}
+
+TEST(Autograd, ShapeMismatchThrows) {
+  auto a = nn::constant(make_tensor(2, 3));
+  auto b = nn::constant(make_tensor(3, 2));
+  EXPECT_THROW(nn::add(a, b), std::invalid_argument);
+  EXPECT_THROW(nn::mul(a, b), std::invalid_argument);
+  EXPECT_THROW(nn::matmul(a, a), std::invalid_argument);
+  EXPECT_THROW(nn::softmax_col(a), std::invalid_argument);
+  EXPECT_THROW(nn::backward(a), std::invalid_argument);
+}

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "sevuldet/baselines/fuzzer.hpp"
+#include "sevuldet/baselines/static_tool.hpp"
+#include "sevuldet/dataset/realworld.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+#include "sevuldet/frontend/parser.hpp"
+
+namespace sb = sevuldet::baselines;
+namespace sd = sevuldet::dataset;
+namespace sf = sevuldet::frontend;
+namespace ss = sevuldet::slicer;
+
+TEST(FlawfinderLike, FlagsRiskyCallsGuardBlind) {
+  sb::FlawfinderLike tool;
+  // Both a guarded (safe) and an unguarded strcpy get flagged — the
+  // lexical tool cannot tell them apart, which is where its FPR comes from.
+  auto guarded = tool.scan(R"(
+void f(char *s) {
+  char d[64];
+  if (strlen(s) < 64) {
+    strcpy(d, s);
+  }
+}
+)");
+  ASSERT_FALSE(guarded.empty());
+  EXPECT_EQ(guarded[0].rule, "strcpy");  // flagged although guarded (FPR source)
+}
+
+TEST(FlawfinderLike, RuleHitLinesAreAccurate) {
+  sb::FlawfinderLike tool;
+  auto findings = tool.scan("void f(char *s) {\n  char d[8];\n  strcpy(d, s);\n}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "strcpy");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_GE(findings[0].risk, 4);
+}
+
+TEST(FlawfinderLike, MissesNonCallFlaws) {
+  sb::FlawfinderLike tool;
+  // An obvious out-of-bounds write with no risky call: lexical tools are
+  // blind to it (their FNR source).
+  EXPECT_TRUE(tool.scan(R"(
+void f(int i) {
+  int a[4];
+  a[i] = 1;
+}
+)").empty());
+}
+
+TEST(RatsLike, DifferentRuleMix) {
+  sb::RatsLike rats;
+  sb::FlawfinderLike flawfinder;
+  const char* src = "void f() { srand(1); int x = rand(); }\n";
+  EXPECT_FALSE(rats.scan(src).empty());       // RATS flags rand/srand
+  EXPECT_TRUE(flawfinder.scan(src).empty());  // Flawfinder list doesn't
+}
+
+TEST(CheckmarxLike, GuardAwareness) {
+  sb::CheckmarxLike tool;
+  // Unguarded variable index -> finding.
+  auto unguarded = tool.scan(R"(
+void f(int i) {
+  int a[4];
+  a[i] = 1;
+}
+)");
+  EXPECT_FALSE(unguarded.empty());
+  // Guarded index -> clean.
+  auto guarded = tool.scan(R"(
+void f(int i) {
+  int a[4];
+  if (i >= 0 && i < 4) {
+    a[i] = 1;
+  }
+}
+)");
+  EXPECT_TRUE(guarded.empty());
+}
+
+TEST(CheckmarxLike, PathInsensitiveOnFig1Pairs) {
+  // The flaw sits in the ELSE branch but the guard mentions the index, so
+  // the path-insensitive rule engine passes it — the paper's core critique.
+  sb::CheckmarxLike tool;
+  auto findings = tool.scan(R"(
+void f(int i, int v) {
+  int a[64];
+  if (i < 64) {
+    report(i);
+  } else {
+    a[i] = v;
+  }
+}
+)");
+  EXPECT_TRUE(findings.empty()) << "path-insensitive engine should miss this";
+}
+
+TEST(CheckmarxLike, DetectsLineOrderUaf) {
+  sb::CheckmarxLike tool;
+  auto findings = tool.scan(R"(
+void f(int v) {
+  char *p = (char *)malloc(8);
+  free(p);
+  *p = (char)v;
+}
+)");
+  bool has_uaf = false;
+  for (const auto& f : findings) {
+    if (f.rule.find("use-after-free") != std::string::npos) has_uaf = true;
+  }
+  EXPECT_TRUE(has_uaf);
+}
+
+TEST(VuddyLike, DetectsExactClones) {
+  sd::TemplateSpec spec;
+  spec.category = ss::TokenCategory::FunctionCall;
+  spec.vulnerable = true;
+  spec.seed = 42;
+  auto known = sd::generate_case(spec);
+
+  sb::VuddyLike tool;
+  tool.train({known});
+  EXPECT_GT(tool.fingerprint_count(), 0u);
+  // Scanning the same source finds the clone.
+  EXPECT_FALSE(tool.scan(known.source).empty());
+}
+
+TEST(VuddyLike, MissesModifiedCode) {
+  sd::TemplateSpec spec;
+  spec.category = ss::TokenCategory::FunctionCall;
+  spec.vulnerable = true;
+  spec.seed = 42;
+  auto known = sd::generate_case(spec);
+  spec.seed = 43;  // different names/constants
+  auto variant = sd::generate_case(spec);
+
+  sb::VuddyLike tool;
+  tool.train({known});
+  EXPECT_TRUE(tool.scan(variant.source).empty())
+      << "clone detection must not generalize beyond abstraction";
+}
+
+TEST(VuddyLike, AbstractionIgnoresIdentifierNames) {
+  auto a = sb::VuddyLike::fingerprint("void f(int alpha) { int beta = alpha + 1; }");
+  auto b = sb::VuddyLike::fingerprint("void g(int x) { int y = x + 1; }");
+  EXPECT_EQ(a, b);
+  auto c = sb::VuddyLike::fingerprint("void g(int x) { int y = x + 2; }");
+  EXPECT_NE(a, c);  // constants are part of the fingerprint
+}
+
+TEST(RealWorld, CorpusParsesAndHasThreePlanted) {
+  auto corpus = sd::generate_realworld({});
+  ASSERT_EQ(corpus.planted.size(), 3u);
+  for (const auto& tc : corpus.cases) {
+    EXPECT_NO_THROW(sf::parse(tc.source)) << tc.id;
+  }
+  for (const auto& bug : corpus.planted) {
+    EXPECT_FALSE(bug.testcase.vulnerable_lines.empty()) << bug.cve;
+    auto unit = sf::parse(bug.testcase.source);
+    EXPECT_NE(unit.find_function("harness_main"), nullptr) << bug.cve;
+  }
+}
+
+TEST(Fuzzer, FindsBroadTriggerHangs) {
+  auto corpus = sd::generate_realworld({});
+  sb::FuzzConfig config;
+  config.executions = 4000;
+  config.step_limit = 50000;
+
+  // 9776-like (zero register) and 4453-like (huge count) are broad.
+  for (const auto& bug : corpus.planted) {
+    if (bug.cve == "CVE-2016-9104") continue;
+    auto unit = sf::parse(bug.testcase.source);
+    auto report = sb::fuzz_program(unit, config);
+    EXPECT_TRUE(report.found) << bug.cve;
+    EXPECT_EQ(report.outcome, sevuldet::interp::Outcome::Hang) << bug.cve;
+  }
+}
+
+TEST(Fuzzer, MissesMagicGatedBug) {
+  auto corpus = sd::generate_realworld({});
+  const auto* xattr = &corpus.planted[1];
+  ASSERT_EQ(xattr->cve, "CVE-2016-9104");
+  auto unit = sf::parse(xattr->testcase.source);
+  sb::FuzzConfig config;
+  config.executions = 4000;
+  config.step_limit = 50000;
+  auto report = sb::fuzz_program(unit, config);
+  EXPECT_FALSE(report.found)
+      << "the 32-bit protocol magic must defeat mutation within budget";
+}
+
+TEST(Fuzzer, PatchedVersionsSurviveFuzzing) {
+  // The patched fec variant must not hang.
+  auto corpus = sd::generate_realworld({});
+  for (const auto& tc : corpus.cases) {
+    if (tc.vulnerable || tc.id.find("rw-fec") == std::string::npos) continue;
+    auto unit = sf::parse(tc.source);
+    if (unit.find_function("harness_main") == nullptr) continue;
+    sb::FuzzConfig config;
+    config.executions = 500;
+    config.step_limit = 200000;
+    auto report = sb::fuzz_program(unit, config);
+    EXPECT_FALSE(report.found) << tc.id << " outcome "
+                               << sevuldet::interp::outcome_name(report.outcome)
+                               << " line " << report.fault_line;
+    break;  // one representative is enough for the suite's time budget
+  }
+}
+
+TEST(Fuzzer, CoverageGrowsAndQueueRetainsInputs) {
+  auto corpus = sd::generate_realworld({});
+  auto unit = sf::parse(corpus.planted[1].testcase.source);  // magic-gated
+  sb::FuzzConfig config;
+  config.executions = 300;
+  auto report = sb::fuzz_program(unit, config);
+  EXPECT_GT(report.coverage_edges, 0u);
+  EXPECT_GE(report.queue_size, 1u);
+}

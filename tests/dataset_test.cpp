@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sevuldet/dataset/corpus.hpp"
+#include "sevuldet/dataset/kfold.hpp"
+#include "sevuldet/dataset/metrics.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+#include "sevuldet/frontend/parser.hpp"
+#include "sevuldet/util/strings.hpp"
+
+namespace sd = sevuldet::dataset;
+namespace sf = sevuldet::frontend;
+namespace ss = sevuldet::slicer;
+
+TEST(Metrics, BasicCounts) {
+  sd::Confusion c;
+  c.record(true, true);    // tp
+  c.record(true, false);   // fp
+  c.record(false, true);   // fn
+  c.record(false, false);  // tn
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.fpr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.fnr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.5);
+}
+
+TEST(Metrics, PerfectDetector) {
+  sd::Confusion c;
+  for (int i = 0; i < 10; ++i) c.record(true, true);
+  for (int i = 0; i < 90; ++i) c.record(false, false);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(c.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.fnr(), 0.0);
+}
+
+TEST(Metrics, PaperF1FormulaMatchesHarmonicMean) {
+  // F1 = 2 P (1-FNR) / (P + (1-FNR)) — check against explicit counts.
+  sd::Confusion c;
+  c.tp = 80;
+  c.fn = 20;
+  c.fp = 10;
+  c.tn = 90;
+  const double p = 80.0 / 90.0;
+  const double r = 1.0 - 20.0 / 100.0;
+  EXPECT_NEAR(c.f1(), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(Metrics, EmptyDenominatorsAreZero) {
+  sd::Confusion c;
+  EXPECT_DOUBLE_EQ(c.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(Metrics, Accumulate) {
+  sd::Confusion a, b;
+  a.tp = 3;
+  b.tp = 4;
+  b.fp = 1;
+  a += b;
+  EXPECT_EQ(a.tp, 7);
+  EXPECT_EQ(a.fp, 1);
+}
+
+TEST(KFold, PartitionProperties) {
+  auto splits = sd::k_fold_splits(103, 5, 99);
+  ASSERT_EQ(splits.size(), 5u);
+  std::set<std::size_t> all_test;
+  for (const auto& split : splits) {
+    EXPECT_EQ(split.train.size() + split.test.size(), 103u);
+    std::set<std::size_t> train(split.train.begin(), split.train.end());
+    for (std::size_t t : split.test) {
+      EXPECT_FALSE(train.contains(t));
+      EXPECT_TRUE(all_test.insert(t).second) << "test index reused across folds";
+    }
+  }
+  EXPECT_EQ(all_test.size(), 103u);  // every sample tested exactly once
+}
+
+TEST(KFold, Deterministic) {
+  auto a = sd::k_fold_splits(50, 5, 7);
+  auto b = sd::k_fold_splits(50, 5, 7);
+  EXPECT_EQ(a[2].test, b[2].test);
+  auto c = sd::k_fold_splits(50, 5, 8);
+  EXPECT_NE(a[2].test, c[2].test);
+}
+
+TEST(KFold, RejectsBadK) {
+  EXPECT_THROW(sd::k_fold_splits(10, 1, 0), std::invalid_argument);
+}
+
+TEST(SardGenerator, AllCasesParse) {
+  sd::SardConfig config;
+  config.pairs_per_category = 12;
+  config.seed = 5;
+  auto cases = sd::generate_sard_like(config);
+  EXPECT_EQ(cases.size(), 4u * 12u * 2u);
+  for (const auto& tc : cases) {
+    EXPECT_NO_THROW(sf::parse(tc.source)) << tc.id << "\n" << tc.source;
+  }
+}
+
+TEST(SardGenerator, VulnerableCasesHaveFlaggedLines) {
+  sd::SardConfig config;
+  config.pairs_per_category = 10;
+  auto cases = sd::generate_sard_like(config);
+  for (const auto& tc : cases) {
+    if (tc.vulnerable) {
+      EXPECT_FALSE(tc.vulnerable_lines.empty()) << tc.id;
+      // Flagged lines must exist in the source.
+      auto lines = sevuldet::util::split_lines(tc.source);
+      for (int line : tc.vulnerable_lines) {
+        ASSERT_GE(line, 1);
+        ASSERT_LE(line, static_cast<int>(lines.size())) << tc.id;
+      }
+    } else {
+      EXPECT_TRUE(tc.vulnerable_lines.empty()) << tc.id;
+    }
+  }
+}
+
+TEST(SardGenerator, GoodBadPairsShareShape) {
+  sd::SardConfig config;
+  config.pairs_per_category = 6;
+  auto cases = sd::generate_sard_like(config);
+  // Cases come in (good, bad) adjacent pairs with the same serial.
+  for (std::size_t i = 0; i + 1 < cases.size(); i += 2) {
+    EXPECT_FALSE(cases[i].vulnerable);
+    EXPECT_TRUE(cases[i + 1].vulnerable);
+    EXPECT_EQ(cases[i].category, cases[i + 1].category);
+  }
+}
+
+TEST(SardGenerator, Deterministic) {
+  sd::SardConfig config;
+  config.pairs_per_category = 5;
+  auto a = sd::generate_sard_like(config);
+  auto b = sd::generate_sard_like(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+  }
+}
+
+TEST(SardGenerator, LongVariantsAreLong) {
+  sd::TemplateSpec spec;
+  spec.category = ss::TokenCategory::FunctionCall;
+  spec.vulnerable = true;
+  spec.long_variant = true;
+  spec.filler = 30;
+  auto tc = sd::generate_case(spec);
+  EXPECT_GT(sevuldet::util::split_lines(tc.source).size(), 30u);
+}
+
+TEST(Corpus, BuildsLabeledSamples) {
+  sd::SardConfig config;
+  config.pairs_per_category = 10;
+  auto cases = sd::generate_sard_like(config);
+  auto corpus = sd::build_corpus(cases);
+  EXPECT_EQ(corpus.stats.parse_failures, 0);
+  EXPECT_GT(corpus.samples.size(), cases.size());  // several gadgets per case
+  EXPECT_GT(corpus.stats.vulnerable(), 0);
+  EXPECT_LT(corpus.stats.vulnerable(), corpus.stats.total());
+  // All four categories present.
+  EXPECT_EQ(corpus.stats.by_category.size(), 4u);
+}
+
+TEST(Corpus, VulnerableRatioIsMinority) {
+  sd::SardConfig config;
+  config.pairs_per_category = 20;
+  auto corpus = sd::build_corpus(sd::generate_sard_like(config));
+  const double ratio = static_cast<double>(corpus.stats.vulnerable()) /
+                       static_cast<double>(corpus.stats.total());
+  // Paper Table I: 5.5% - 10.2% vulnerable per category. Ours is in the
+  // same "strong minority" regime.
+  EXPECT_GT(ratio, 0.02);
+  EXPECT_LT(ratio, 0.40);
+}
+
+TEST(Corpus, EncodeFillsIds) {
+  sd::SardConfig config;
+  config.pairs_per_category = 4;
+  auto corpus = sd::build_corpus(sd::generate_sard_like(config));
+  sd::encode_corpus(corpus);
+  for (const auto& s : corpus.samples) {
+    EXPECT_EQ(s.ids.size(), s.tokens.size());
+    for (int id : s.ids) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, corpus.vocab.size());
+    }
+  }
+}
+
+TEST(Corpus, AmbiguousPairsCollideUnderCGButNotPSCG) {
+  // The central dataset property behind Table II: for path-ambiguous
+  // pairs, plain-CG samples have identical token streams with opposite
+  // labels, while PS-CG streams differ.
+  sd::TemplateSpec spec;
+  spec.category = ss::TokenCategory::FunctionCall;
+  spec.ambiguous = true;
+  spec.seed = 77;
+
+  spec.vulnerable = false;
+  auto good = sd::generate_case(spec);
+  spec.vulnerable = true;
+  auto bad = sd::generate_case(spec);
+
+  auto collect = [](const sd::TestCase& tc, bool path_sensitive) {
+    sd::CorpusOptions opt;
+    opt.gadget.path_sensitive = path_sensitive;
+    auto corpus = sd::build_corpus({tc}, opt);
+    std::map<int, std::vector<std::vector<std::string>>> by_label;
+    for (auto& s : corpus.samples) by_label[s.label].push_back(s.tokens);
+    return by_label;
+  };
+
+  // Plain CG: the bad case must contain a label-1 sample whose tokens
+  // equal some label-0 sample of the good case.
+  auto good_cg = collect(good, false);
+  auto bad_cg = collect(bad, false);
+  ASSERT_FALSE(bad_cg[1].empty());
+  bool collision = false;
+  for (const auto& bad_tokens : bad_cg[1]) {
+    for (const auto& good_tokens : good_cg[0]) {
+      if (bad_tokens == good_tokens) collision = true;
+    }
+  }
+  EXPECT_TRUE(collision) << "CG gadgets of the ambiguous pair should collide";
+
+  // PS-CG: no vulnerable bad sample may textually equal a clean good one.
+  auto good_ps = collect(good, true);
+  auto bad_ps = collect(bad, true);
+  ASSERT_FALSE(bad_ps[1].empty());
+  for (const auto& bad_tokens : bad_ps[1]) {
+    for (const auto& good_tokens : good_ps[0]) {
+      EXPECT_NE(bad_tokens, good_tokens)
+          << "PS-CG must disambiguate the pair";
+    }
+  }
+}
+
+TEST(Corpus, LongVariantGadgetsExceedRnnTimeSteps) {
+  sd::TemplateSpec spec;
+  spec.category = ss::TokenCategory::FunctionCall;
+  spec.vulnerable = true;
+  spec.long_variant = true;
+  spec.filler = 30;
+  spec.seed = 3;
+  auto corpus = sd::build_corpus({sd::generate_case(spec)});
+  std::size_t longest = 0;
+  for (const auto& s : corpus.samples) longest = std::max(longest, s.tokens.size());
+  EXPECT_GT(longest, 200u);  // well past a 100-token RNN window
+}
+
+TEST(Corpus, DeduplicateDropsExactDuplicates) {
+  sd::SardConfig config;
+  config.pairs_per_category = 8;
+  auto cases = sd::generate_sard_like(config);
+  auto plain = sd::build_corpus(cases);
+  sd::CorpusOptions dedup_opt;
+  dedup_opt.deduplicate = true;
+  auto dedup = sd::build_corpus(cases, dedup_opt);
+  EXPECT_LT(dedup.samples.size(), plain.samples.size());
+}
+
+TEST(Corpus, GracefulOnUnparsableSource) {
+  sd::TestCase broken;
+  broken.id = "broken";
+  broken.source = "void f( {{{";
+  auto corpus = sd::build_corpus({broken});
+  EXPECT_EQ(corpus.stats.parse_failures, 1);
+  EXPECT_TRUE(corpus.samples.empty());
+}

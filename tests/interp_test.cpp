@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "sevuldet/frontend/parser.hpp"
+#include "sevuldet/interp/interp.hpp"
+
+namespace si = sevuldet::interp;
+namespace sf = sevuldet::frontend;
+
+namespace {
+
+si::ExecResult run_src(const char* src, std::vector<std::uint8_t> input = {},
+                       long long step_limit = 100000) {
+  static sf::TranslationUnit unit;  // keep alive past Interpreter
+  unit = sf::parse(src);
+  si::Interpreter interp(unit);
+  si::ExecOptions options;
+  options.step_limit = step_limit;
+  return interp.run(input, options);
+}
+
+}  // namespace
+
+TEST(Interp, ArithmeticAndReturn) {
+  auto r = run_src("int harness_main() { int a = 6; int b = 7; return a * b; }");
+  EXPECT_EQ(r.outcome, si::Outcome::Ok);
+  EXPECT_EQ(r.return_value, 42);
+}
+
+TEST(Interp, Int32Wraparound) {
+  auto r = run_src(R"(int harness_main() {
+    int big = 2147483647;
+    int wrapped = big + 1;
+    if (wrapped < 0) { return 1; }
+    return 0;
+  })");
+  EXPECT_EQ(r.return_value, 1) << "int must wrap at 32 bits";
+}
+
+TEST(Interp, ControlFlow) {
+  auto r = run_src(R"(int harness_main() {
+    int acc = 0;
+    for (int i = 0; i < 5; i++) {
+      if (i == 2) { continue; }
+      if (i == 4) { break; }
+      acc = acc + i;
+    }
+    int j = 0;
+    do { j++; } while (j < 3);
+    switch (j) {
+      case 3: acc = acc + 100; break;
+      default: acc = 0;
+    }
+    while (j > 0) { j--; }
+    return acc + j;
+  })");
+  EXPECT_EQ(r.outcome, si::Outcome::Ok);
+  EXPECT_EQ(r.return_value, 0 + 1 + 3 + 100);
+}
+
+TEST(Interp, FunctionCallsAndRecursionGuard) {
+  auto r = run_src(R"(
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int harness_main() { return fib(10); }
+)");
+  EXPECT_EQ(r.return_value, 55);
+  auto r2 = run_src(R"(
+int loop(int n) { return loop(n + 1); }
+int harness_main() { return loop(0); }
+)");
+  EXPECT_EQ(r2.outcome, si::Outcome::Hang);  // recursion depth / steps
+}
+
+TEST(Interp, ArrayBoundsChecked) {
+  auto ok = run_src("int harness_main() { int a[4]; a[3] = 9; return a[3]; }");
+  EXPECT_EQ(ok.outcome, si::Outcome::Ok);
+  EXPECT_EQ(ok.return_value, 9);
+
+  auto oob = run_src("int harness_main() { int a[4]; a[4] = 1; return 0; }");
+  EXPECT_EQ(oob.outcome, si::Outcome::OutOfBounds);
+  EXPECT_GT(oob.fault_line, 0);
+
+  auto neg = run_src("int harness_main() { int a[4]; int i = -1; return a[i]; }");
+  EXPECT_EQ(neg.outcome, si::Outcome::OutOfBounds);
+}
+
+TEST(Interp, MallocFreeAndUaf) {
+  auto ok = run_src(R"(int harness_main() {
+    char *p = (char *)malloc(8);
+    if (p == NULL) { return -1; }
+    *p = 65;
+    int v = *p;
+    free(p);
+    return v;
+  })");
+  EXPECT_EQ(ok.outcome, si::Outcome::Ok);
+  EXPECT_EQ(ok.return_value, 65);
+
+  auto uaf = run_src(R"(int harness_main() {
+    char *p = (char *)malloc(8);
+    free(p);
+    *p = 1;
+    return 0;
+  })");
+  EXPECT_EQ(uaf.outcome, si::Outcome::UseAfterFree);
+
+  auto df = run_src(R"(int harness_main() {
+    char *p = (char *)malloc(8);
+    free(p);
+    free(p);
+    return 0;
+  })");
+  EXPECT_EQ(df.outcome, si::Outcome::DoubleFree);
+
+  auto null = run_src("int harness_main() { char *p; *p = 1; return 0; }");
+  EXPECT_EQ(null.outcome, si::Outcome::NullDeref);
+}
+
+TEST(Interp, DivByZero) {
+  auto r = run_src("int harness_main() { int z = 0; return 5 / z; }");
+  EXPECT_EQ(r.outcome, si::Outcome::DivByZero);
+  auto m = run_src("int harness_main() { int z = 0; return 5 % z; }");
+  EXPECT_EQ(m.outcome, si::Outcome::DivByZero);
+}
+
+TEST(Interp, HangOnInfiniteLoop) {
+  auto r = run_src("int harness_main() { int x = 1; while (x) { x = 1; } return 0; }",
+                   {}, 5000);
+  EXPECT_EQ(r.outcome, si::Outcome::Hang);
+  EXPECT_GE(r.steps, 5000);
+}
+
+TEST(Interp, InputBytesAndInts) {
+  auto r = run_src(R"(int harness_main() {
+    int a = input_byte();
+    int b = input_int();
+    return a + b;
+  })",
+                   {5, 1, 1, 0, 0});  // byte 5, int 0x00000101 = 257
+  EXPECT_EQ(r.return_value, 5 + 257);
+  // Exhausted input reads zeros.
+  auto r2 = run_src("int harness_main() { return input_int(); }", {});
+  EXPECT_EQ(r2.return_value, 0);
+}
+
+TEST(Interp, LibraryStringFunctions) {
+  auto r = run_src(R"(int harness_main() {
+    char buf[16];
+    strcpy(buf, "hello");
+    return (int)strlen(buf);
+  })");
+  EXPECT_EQ(r.outcome, si::Outcome::Ok);
+  EXPECT_EQ(r.return_value, 5);
+
+  auto overflow = run_src(R"(int harness_main() {
+    char buf[4];
+    strcpy(buf, "toolongforthis");
+    return 0;
+  })");
+  EXPECT_EQ(overflow.outcome, si::Outcome::OutOfBounds);
+}
+
+TEST(Interp, MemcpyWithPointerArithmetic) {
+  auto r = run_src(R"(int harness_main() {
+    char a[8];
+    char b[8];
+    memset(b, 7, 8);
+    memcpy(a + 2, b, 4);
+    return a[2] + a[5];
+  })");
+  EXPECT_EQ(r.outcome, si::Outcome::Ok);
+  EXPECT_EQ(r.return_value, 14);
+
+  auto oob = run_src(R"(int harness_main() {
+    char a[8];
+    char b[8];
+    memcpy(a + 6, b, 4);
+    return 0;
+  })");
+  EXPECT_EQ(oob.outcome, si::Outcome::OutOfBounds);
+}
+
+TEST(Interp, BranchCoverageRecorded) {
+  auto r = run_src(R"(int harness_main() {
+    int x = 3;
+    if (x > 0) { x = 1; }
+    if (x > 5) { x = 2; }
+    return x;
+  })");
+  // Two if statements: one taken, one not.
+  bool saw_taken = false, saw_not_taken = false;
+  for (const auto& [line, taken] : r.coverage) {
+    if (taken) saw_taken = true;
+    if (!taken) saw_not_taken = true;
+  }
+  EXPECT_TRUE(saw_taken);
+  EXPECT_TRUE(saw_not_taken);
+}
+
+TEST(Interp, MissingEntryReported) {
+  auto r = run_src("int other() { return 1; }");
+  EXPECT_EQ(r.outcome, si::Outcome::UnsupportedConstruct);
+}
+
+TEST(Interp, ShortCircuitEvaluation) {
+  // The RHS of && must not run when LHS is false (would div-by-zero).
+  auto r = run_src(R"(int harness_main() {
+    int z = 0;
+    if (z != 0 && 10 / z > 1) { return 1; }
+    return 2;
+  })");
+  EXPECT_EQ(r.outcome, si::Outcome::Ok);
+  EXPECT_EQ(r.return_value, 2);
+}

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "sevuldet/frontend/lexer.hpp"
+
+namespace sf = sevuldet::frontend;
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  auto toks = sf::lex_tokens("int foo _bar if whileX");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, sf::TokenKind::Keyword);
+  EXPECT_EQ(toks[1].kind, sf::TokenKind::Identifier);
+  EXPECT_EQ(toks[2].text, "_bar");
+  EXPECT_EQ(toks[3].kind, sf::TokenKind::Keyword);
+  EXPECT_EQ(toks[4].kind, sf::TokenKind::Identifier);
+}
+
+TEST(Lexer, IntLiterals) {
+  auto toks = sf::lex_tokens("0 42 0x1F 100UL 7u");
+  ASSERT_EQ(toks.size(), 5u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, sf::TokenKind::IntLiteral);
+  EXPECT_EQ(toks[2].text, "0x1F");
+  EXPECT_EQ(toks[3].text, "100UL");
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto toks = sf::lex_tokens("3.14 1e-9 2.5f .5");
+  ASSERT_EQ(toks.size(), 4u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, sf::TokenKind::FloatLiteral);
+}
+
+TEST(Lexer, StringAndCharLiterals) {
+  auto toks = sf::lex_tokens(R"("hello \"x\"" 'a' '\n')");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, sf::TokenKind::StringLiteral);
+  EXPECT_EQ(toks[0].text, R"("hello \"x\"")");
+  EXPECT_EQ(toks[1].kind, sf::TokenKind::CharLiteral);
+  EXPECT_EQ(toks[2].text, "'\\n'");
+}
+
+TEST(Lexer, MaximalMunchPunctuators) {
+  auto toks = sf::lex_tokens("a->b <<= >> <= == ... ++ --x");
+  std::vector<std::string> puncts;
+  for (const auto& t : toks) {
+    if (t.kind == sf::TokenKind::Punct) puncts.push_back(t.text);
+  }
+  EXPECT_EQ(puncts, (std::vector<std::string>{"->", "<<=", ">>", "<=", "==",
+                                              "...", "++", "--"}));
+}
+
+TEST(Lexer, Comments) {
+  auto toks = sf::lex_tokens("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+  EXPECT_EQ(toks[2].line, 3);
+}
+
+TEST(Lexer, Directives) {
+  auto result = sf::lex("#include <stdio.h>\nint x;\n#define N 10\n");
+  ASSERT_EQ(result.directives.size(), 2u);
+  EXPECT_EQ(result.directives[0], "#include <stdio.h>");
+  EXPECT_EQ(result.directives[1], "#define N 10");
+  // Tokens: int x ; EOF
+  ASSERT_EQ(result.tokens.size(), 4u);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  auto toks = sf::lex_tokens("ab\n  cd");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(sf::lex_tokens("\"abc"), sf::LexError);
+  EXPECT_THROW(sf::lex_tokens("'a"), sf::LexError);
+  EXPECT_THROW(sf::lex_tokens("/* never closed"), sf::LexError);
+}
+
+TEST(Lexer, StrayByteThrows) {
+  EXPECT_THROW(sf::lex_tokens("a $ b"), sf::LexError);
+}
+
+TEST(Lexer, EmptyInput) {
+  auto result = sf::lex("");
+  ASSERT_EQ(result.tokens.size(), 1u);
+  EXPECT_EQ(result.tokens[0].kind, sf::TokenKind::EndOfFile);
+}

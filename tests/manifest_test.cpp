@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sevuldet/dataset/manifest.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+
+namespace sd = sevuldet::dataset;
+namespace fs = std::filesystem;
+
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("sevuldet_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+void write_file(const fs::path& path, const std::string& content) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path);
+  out << content;
+}
+
+}  // namespace
+
+TEST(Manifest, ParsesRows) {
+  auto manifest = sd::parse_manifest(
+      "# comment\n"
+      "a.c\t4\tCWE-121\n"
+      "a.c\t9\tCWE-121\n"
+      "b.c\n"
+      "\n"
+      "sub/c.c\t2\n");
+  ASSERT_EQ(manifest.size(), 3u);
+  EXPECT_EQ(manifest.at("a.c").lines, (std::set<int>{4, 9}));
+  EXPECT_EQ(manifest.at("a.c").cwe, "CWE-121");
+  EXPECT_TRUE(manifest.at("b.c").lines.empty());
+  EXPECT_EQ(manifest.at("sub/c.c").cwe, "");
+}
+
+TEST(Manifest, RejectsMalformedRows) {
+  EXPECT_THROW(sd::parse_manifest("a.c\tnotanumber\n"), std::runtime_error);
+  EXPECT_THROW(sd::parse_manifest("a.c\t0\n"), std::runtime_error);
+  EXPECT_THROW(sd::parse_manifest("\tmissing\n"), std::runtime_error);
+}
+
+TEST(Manifest, LoadLabeledDirectory) {
+  TempDir dir;
+  write_file(dir.path() / "good.c", "void f() { int a = 1; }\n");
+  write_file(dir.path() / "bad.c",
+             "void g(char *s) {\n  char d[4];\n  strcpy(d, s);\n}\n");
+  write_file(dir.path() / "sub" / "nested.c", "void h() { }\n");
+  write_file(dir.path() / "ignored.txt", "not C\n");
+  write_file(dir.path() / "manifest.tsv", "bad.c\t3\tCWE-121\n");
+
+  auto cases = sd::load_labeled_directory(
+      dir.path().string(), (dir.path() / "manifest.tsv").string());
+  ASSERT_EQ(cases.size(), 3u);  // .txt skipped, order deterministic
+  const sd::TestCase* bad = nullptr;
+  for (const auto& tc : cases) {
+    if (tc.id == "bad.c") bad = &tc;
+    if (tc.id == "good.c" || tc.id == "sub/nested.c") {
+      EXPECT_FALSE(tc.vulnerable);
+    }
+  }
+  ASSERT_NE(bad, nullptr);
+  EXPECT_TRUE(bad->vulnerable);
+  EXPECT_EQ(bad->vulnerable_lines, (std::set<int>{3}));
+  EXPECT_EQ(bad->cwe, "CWE-121");
+}
+
+TEST(Manifest, MissingManifestMeansAllClean) {
+  TempDir dir;
+  write_file(dir.path() / "x.c", "void f() { }\n");
+  auto cases = sd::load_labeled_directory(dir.path().string(), "");
+  ASSERT_EQ(cases.size(), 1u);
+  EXPECT_FALSE(cases[0].vulnerable);
+}
+
+TEST(Manifest, MissingDirectoryThrows) {
+  EXPECT_THROW(sd::load_labeled_directory("/nonexistent/sevuldet", ""),
+               std::runtime_error);
+}
+
+TEST(Manifest, ExportRoundTrip) {
+  TempDir dir;
+  sd::SardConfig config;
+  config.pairs_per_category = 2;
+  auto cases = sd::generate_sard_like(config);
+  sd::export_corpus(cases, dir.path().string());
+
+  auto loaded = sd::load_labeled_directory(
+      dir.path().string(), (dir.path() / "manifest.tsv").string());
+  ASSERT_EQ(loaded.size(), cases.size());
+  // Match by id and compare ground truth.
+  for (const auto& original : cases) {
+    bool found = false;
+    for (const auto& restored : loaded) {
+      if (restored.id != original.id + ".c") continue;
+      found = true;
+      EXPECT_EQ(restored.source, original.source);
+      EXPECT_EQ(restored.vulnerable, original.vulnerable);
+      EXPECT_EQ(restored.vulnerable_lines, original.vulnerable_lines);
+      if (original.vulnerable) {
+        EXPECT_EQ(restored.cwe, original.cwe);
+      }
+    }
+    EXPECT_TRUE(found) << original.id;
+  }
+}

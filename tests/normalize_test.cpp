@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sevuldet/normalize/normalize.hpp"
+#include "sevuldet/normalize/vocab.hpp"
+
+namespace sn = sevuldet::normalize;
+
+TEST(Normalize, RenamesUserVariables) {
+  auto out = sn::normalize_text("int counter = limit + 1;");
+  EXPECT_EQ(out.text(), "int var1 = var2 + 1 ;");
+  EXPECT_EQ(out.var_map.at("counter"), "var1");
+  EXPECT_EQ(out.var_map.at("limit"), "var2");
+}
+
+TEST(Normalize, FirstAppearanceOrderIsStable) {
+  auto a = sn::normalize_text("x = y; y = x;");
+  auto b = sn::normalize_text("y = x; x = y;");
+  // Different originals, but both normalize to the same shape.
+  EXPECT_EQ(a.text(), b.text());
+}
+
+TEST(Normalize, KeepsLibraryFunctions) {
+  auto out = sn::normalize_text("strncpy(dest, data, n);");
+  EXPECT_EQ(out.text(), "strncpy ( var1 , var2 , var3 ) ;");
+  EXPECT_TRUE(out.fun_map.empty());
+}
+
+TEST(Normalize, RenamesUserFunctions) {
+  auto out = sn::normalize_text("process(buffer); process(other); cleanup();");
+  EXPECT_EQ(out.fun_map.at("process"), "fun1");
+  EXPECT_EQ(out.fun_map.at("cleanup"), "fun2");
+  EXPECT_EQ(out.text(), "fun1 ( var1 ) ; fun1 ( var2 ) ; fun2 ( ) ;");
+}
+
+TEST(Normalize, KeepsKeywordsAndConstants) {
+  auto out = sn::normalize_text("if (n < 100) { return 0x1F; }");
+  EXPECT_EQ(out.text(), "if ( var1 < 100 ) { return 0x1F ; }");
+}
+
+TEST(Normalize, KeepsPreservedIdentifiers) {
+  auto out = sn::normalize_text("size_t n = sizeof(buf); p = NULL;");
+  EXPECT_NE(out.text().find("size_t"), std::string::npos);
+  EXPECT_NE(out.text().find("NULL"), std::string::npos);
+  EXPECT_EQ(out.var_map.count("size_t"), 0u);
+}
+
+TEST(Normalize, StripsNonAscii) {
+  auto out = sn::normalize_text("int caf\xC3\xA9 = 1;");
+  EXPECT_EQ(out.text(), "int var1 = 1 ;");
+}
+
+TEST(Normalize, FunctionPointerKeepsFunAlias) {
+  auto out = sn::normalize_text("handler(x); cb = handler;");
+  EXPECT_EQ(out.text(), "fun1 ( var1 ) ; var2 = fun1 ;");
+}
+
+TEST(Normalize, StringLiteralsKeptIntact) {
+  auto out = sn::normalize_text("printf(\"%d\", value);");
+  EXPECT_EQ(out.text(), "printf ( \"%d\" , var1 ) ;");
+}
+
+TEST(Normalize, DegradesGracefullyOnMalformedInput) {
+  auto out = sn::normalize_text("char c = 'a");  // unterminated char literal
+  EXPECT_FALSE(out.tokens.empty());
+}
+
+TEST(Normalize, Idempotent) {
+  auto once = sn::normalize_text("foo(bar, baz);");
+  auto twice = sn::normalize_text(once.text());
+  EXPECT_EQ(once.text(), twice.text());
+}
+
+TEST(Tokenize, PlainTokens) {
+  auto toks = sn::tokenize_text("a = b[i] + 1;");
+  EXPECT_EQ(toks, (std::vector<std::string>{"a", "=", "b", "[", "i", "]", "+",
+                                            "1", ";"}));
+}
+
+TEST(Vocab, FreezeAssignsByFrequency) {
+  sn::Vocabulary v;
+  for (int i = 0; i < 5; ++i) v.count("common");
+  for (int i = 0; i < 2; ++i) v.count("rare");
+  v.count("once");
+  v.freeze(2);
+  EXPECT_EQ(v.id("common"), 2);
+  EXPECT_EQ(v.id("rare"), 3);
+  EXPECT_EQ(v.id("once"), sn::Vocabulary::kUnk);  // below min_count
+  EXPECT_EQ(v.size(), 4);
+  EXPECT_EQ(v.frequency(2), 5);
+}
+
+TEST(Vocab, EncodeMapsUnknowns) {
+  sn::Vocabulary v;
+  v.count("a");
+  v.count("b");
+  v.freeze();
+  auto ids = v.encode({"a", "zzz", "b"});
+  EXPECT_EQ(ids[1], sn::Vocabulary::kUnk);
+  EXPECT_EQ(v.token(ids[0]), "a");
+}
+
+TEST(Vocab, CountAfterFreezeThrows) {
+  sn::Vocabulary v;
+  v.count("a");
+  v.freeze();
+  EXPECT_THROW(v.count("b"), std::logic_error);
+}
+
+TEST(Vocab, SerializeRoundTrip) {
+  sn::Vocabulary v;
+  for (int i = 0; i < 3; ++i) v.count("alpha");
+  v.count("beta");
+  v.freeze();
+  auto restored = sn::Vocabulary::deserialize(v.serialize());
+  EXPECT_EQ(restored.size(), v.size());
+  EXPECT_EQ(restored.id("alpha"), v.id("alpha"));
+  EXPECT_EQ(restored.frequency(restored.id("alpha")), 3);
+  EXPECT_EQ(restored.id("missing"), sn::Vocabulary::kUnk);
+}
+
+TEST(Vocab, DeterministicTieBreak) {
+  sn::Vocabulary v1, v2;
+  v1.count("b");
+  v1.count("a");
+  v2.count("a");
+  v2.count("b");
+  v1.freeze();
+  v2.freeze();
+  EXPECT_EQ(v1.id("a"), v2.id("a"));
+  EXPECT_EQ(v1.id("b"), v2.id("b"));
+}

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "sevuldet/frontend/ast_text.hpp"
+#include "sevuldet/frontend/parser.hpp"
+
+namespace sf = sevuldet::frontend;
+
+TEST(Parser, SimpleFunction) {
+  auto unit = sf::parse(R"(
+int add(int a, int b) {
+  return a + b;
+}
+)");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  const auto& fn = unit.functions[0];
+  EXPECT_EQ(fn.name, "add");
+  EXPECT_EQ(fn.return_type, "int");
+  ASSERT_EQ(fn.params.size(), 2u);
+  EXPECT_EQ(fn.params[0].name, "a");
+  ASSERT_EQ(fn.body->children.size(), 1u);
+  EXPECT_EQ(fn.body->children[0]->kind, sf::StmtKind::Return);
+}
+
+TEST(Parser, PointerAndArrayParams) {
+  auto unit = sf::parse("void f(char *dest, int n, char buf[16]) { }");
+  const auto& fn = unit.functions[0];
+  ASSERT_EQ(fn.params.size(), 3u);
+  EXPECT_TRUE(fn.params[0].is_pointer);
+  EXPECT_FALSE(fn.params[1].is_pointer);
+  EXPECT_TRUE(fn.params[2].is_array);
+}
+
+TEST(Parser, VoidParamList) {
+  auto unit = sf::parse("int main(void) { return 0; }");
+  EXPECT_TRUE(unit.functions[0].params.empty());
+}
+
+TEST(Parser, Declarations) {
+  auto stmt = sf::parse_statement("int x = 5;");
+  EXPECT_EQ(stmt->kind, sf::StmtKind::Decl);
+  EXPECT_EQ(stmt->name, "x");
+  EXPECT_EQ(stmt->type, "int");
+  EXPECT_TRUE(stmt->for_has_init);
+
+  auto arr = sf::parse_statement("char dest[100];");
+  EXPECT_TRUE(arr->decl_is_array);
+  EXPECT_FALSE(arr->for_has_init);
+
+  auto ptr = sf::parse_statement("char *p = buf;");
+  EXPECT_TRUE(ptr->decl_is_pointer);
+}
+
+TEST(Parser, MultiDeclarator) {
+  auto stmt = sf::parse_statement("int a = 1, b, c = 3;");
+  EXPECT_EQ(stmt->name, "a");
+  ASSERT_EQ(stmt->children.size(), 2u);
+  EXPECT_EQ(stmt->children[0]->name, "b");
+  EXPECT_EQ(stmt->children[1]->name, "c");
+  EXPECT_TRUE(stmt->children[1]->for_has_init);
+}
+
+TEST(Parser, IfElseIfElseChain) {
+  auto stmt = sf::parse_statement(R"(
+if (a > 0) {
+  x = 1;
+} else if (a < 0) {
+  x = 2;
+} else {
+  x = 3;
+}
+)");
+  ASSERT_EQ(stmt->kind, sf::StmtKind::If);
+  ASSERT_EQ(stmt->children.size(), 2u);
+  const auto& else_body = *stmt->children[1];
+  ASSERT_EQ(else_body.kind, sf::StmtKind::If);  // "else if"
+  ASSERT_EQ(else_body.children.size(), 2u);
+  EXPECT_EQ(else_body.children[1]->kind, sf::StmtKind::Compound);
+}
+
+TEST(Parser, Loops) {
+  auto f = sf::parse_statement("for (int i = 0; i < n; i++) { sum += i; }");
+  ASSERT_EQ(f->kind, sf::StmtKind::For);
+  EXPECT_TRUE(f->for_has_init);
+  EXPECT_TRUE(f->for_has_cond);
+  EXPECT_TRUE(f->for_has_step);
+  ASSERT_EQ(f->children.size(), 2u);  // init + body
+  EXPECT_EQ(f->children[0]->kind, sf::StmtKind::Decl);
+
+  auto w = sf::parse_statement("while (x > 0) x--;");
+  EXPECT_EQ(w->kind, sf::StmtKind::While);
+
+  auto dw = sf::parse_statement("do { x--; } while (x > 0);");
+  EXPECT_EQ(dw->kind, sf::StmtKind::DoWhile);
+
+  auto empty_for = sf::parse_statement("for (;;) { break; }");
+  EXPECT_FALSE(empty_for->for_has_init);
+  EXPECT_FALSE(empty_for->for_has_cond);
+  EXPECT_FALSE(empty_for->for_has_step);
+}
+
+TEST(Parser, SwitchCases) {
+  auto stmt = sf::parse_statement(R"(
+switch (mode) {
+  case 1:
+    x = 1;
+    break;
+  case 2:
+  case 3:
+    x = 2;
+    break;
+  default:
+    x = 0;
+}
+)");
+  ASSERT_EQ(stmt->kind, sf::StmtKind::Switch);
+  ASSERT_EQ(stmt->children.size(), 4u);
+  EXPECT_EQ(stmt->children[0]->name, "1");
+  EXPECT_EQ(stmt->children[0]->children.size(), 2u);
+  EXPECT_EQ(stmt->children[1]->name, "2");
+  EXPECT_TRUE(stmt->children[1]->children.empty());  // falls through
+  EXPECT_EQ(stmt->children[3]->name, "default");
+}
+
+TEST(Parser, GotoAndLabel) {
+  auto unit = sf::parse(R"(
+void f(int x) {
+  if (x < 0) goto fail;
+  x = x + 1;
+fail:
+  x = 0;
+}
+)");
+  const auto& body = *unit.functions[0].body;
+  ASSERT_EQ(body.children.size(), 3u);
+  EXPECT_EQ(body.children[2]->kind, sf::StmtKind::Label);
+  EXPECT_EQ(body.children[2]->name, "fail");
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto e = sf::parse_expression("a + b * c");
+  EXPECT_EQ(sf::expr_text(*e), "a + b * c");
+  ASSERT_EQ(e->kind, sf::ExprKind::Binary);
+  EXPECT_EQ(e->op, "+");
+  EXPECT_EQ(e->children[1]->op, "*");
+
+  auto e2 = sf::parse_expression("a || b && c == d");
+  EXPECT_EQ(e2->op, "||");
+}
+
+TEST(Parser, AssignmentRightAssociative) {
+  auto e = sf::parse_expression("a = b = c");
+  ASSERT_EQ(e->kind, sf::ExprKind::Assign);
+  EXPECT_EQ(e->children[1]->kind, sf::ExprKind::Assign);
+}
+
+TEST(Parser, CallsIndexMember) {
+  auto e = sf::parse_expression("strncpy(dest, data, n)");
+  ASSERT_EQ(e->kind, sf::ExprKind::Call);
+  EXPECT_EQ(e->text, "strncpy");
+  EXPECT_EQ(e->children.size(), 4u);  // callee + 3 args
+
+  auto idx = sf::parse_expression("buf[i + 1]");
+  EXPECT_EQ(idx->kind, sf::ExprKind::Index);
+
+  auto mem = sf::parse_expression("s->emrbr");
+  EXPECT_EQ(mem->kind, sf::ExprKind::Member);
+  EXPECT_EQ(mem->op, "->");
+  EXPECT_EQ(mem->text, "emrbr");
+}
+
+TEST(Parser, CastVsParen) {
+  auto cast = sf::parse_expression("(int)x");
+  EXPECT_EQ(cast->kind, sf::ExprKind::Cast);
+  EXPECT_EQ(cast->text, "int");
+
+  auto paren = sf::parse_expression("(x) + 1");
+  EXPECT_EQ(paren->kind, sf::ExprKind::Binary);
+
+  auto ptr_cast = sf::parse_expression("(char *)malloc(10)");
+  EXPECT_EQ(ptr_cast->kind, sf::ExprKind::Cast);
+  EXPECT_EQ(ptr_cast->text, "char*");
+}
+
+TEST(Parser, SizeOf) {
+  auto st = sf::parse_expression("sizeof(int)");
+  EXPECT_EQ(st->kind, sf::ExprKind::SizeOf);
+  EXPECT_EQ(st->text, "int");
+
+  auto se = sf::parse_expression("sizeof buf");
+  EXPECT_EQ(se->kind, sf::ExprKind::SizeOf);
+  ASSERT_EQ(se->children.size(), 1u);
+}
+
+TEST(Parser, Ternary) {
+  auto e = sf::parse_expression("a > b ? a : b");
+  EXPECT_EQ(e->kind, sf::ExprKind::Ternary);
+  EXPECT_EQ(e->children.size(), 3u);
+}
+
+TEST(Parser, LineRanges) {
+  auto unit = sf::parse(R"(void f(int n) {
+  int a;
+  if (n > 0) {
+    a = 1;
+  }
+})");
+  const auto& fn = unit.functions[0];
+  EXPECT_EQ(fn.range.begin_line, 1);
+  const auto& if_stmt = *fn.body->children[1];
+  EXPECT_EQ(if_stmt.kind, sf::StmtKind::If);
+  EXPECT_EQ(if_stmt.range.begin_line, 3);
+  EXPECT_EQ(if_stmt.range.end_line, 5);
+}
+
+TEST(Parser, GlobalsAndTypedefsAndStructs) {
+  auto unit = sf::parse(R"(
+typedef unsigned long mysize;
+struct Packet { int len; char data[64]; };
+int g_count = 0;
+void f(mysize n) { g_count = (int)n; }
+)");
+  EXPECT_EQ(unit.functions.size(), 1u);
+  EXPECT_GE(unit.globals.size(), 2u);
+  EXPECT_EQ(unit.functions[0].params[0].type, "mysize");
+}
+
+TEST(Parser, Prototype) {
+  auto unit = sf::parse("int helper(int x);\nint main() { return helper(1); }");
+  EXPECT_EQ(unit.functions.size(), 1u);
+  EXPECT_EQ(unit.functions[0].name, "main");
+}
+
+TEST(Parser, MalformedThrows) {
+  EXPECT_THROW(sf::parse("int f( {"), sf::ParseError);
+  EXPECT_THROW(sf::parse_statement("if (x"), sf::ParseError);
+  EXPECT_THROW(sf::parse_expression("a +"), sf::ParseError);
+}
+
+TEST(Parser, StmtHeaderText) {
+  auto s = sf::parse_statement("if (n < 100) { x = 1; }");
+  EXPECT_EQ(sf::stmt_header_text(*s), "if (n < 100)");
+  auto f = sf::parse_statement("for (i = 0; i < n; i++) ;");
+  EXPECT_EQ(sf::stmt_header_text(*f), "for (i = 0; i < n; i++)");
+  auto d = sf::parse_statement("char dest[10 + 1];");
+  EXPECT_EQ(sf::stmt_header_text(*d), "char dest[10 + 1]");
+}

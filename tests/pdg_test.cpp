@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sevuldet/graph/dominance.hpp"
+#include "sevuldet/graph/pdg.hpp"
+
+namespace sg = sevuldet::graph;
+
+namespace {
+
+int unit_by_text(const sg::FunctionPdg& pdg, std::string_view text) {
+  for (const auto& u : pdg.units) {
+    if (u.text == text) return u.id;
+  }
+  return -1;
+}
+
+bool has_data_dep(const sg::FunctionPdg& pdg, int from, int to) {
+  const auto& d = pdg.data.deps[static_cast<std::size_t>(to)];
+  return std::find(d.begin(), d.end(), from) != d.end();
+}
+
+bool has_control_dep(const sg::FunctionPdg& pdg, int on, int node) {
+  const auto& d = pdg.control.deps[static_cast<std::size_t>(node)];
+  return std::find(d.begin(), d.end(), on) != d.end();
+}
+
+}  // namespace
+
+TEST(Dominance, LinearChain) {
+  auto graph = sg::build_program_graph("void f() { int a = 1; int c = a; int d = c; }");
+  const auto& pdg = graph.functions[0];
+  auto dom = sg::compute_dominators(pdg.cfg);
+  EXPECT_TRUE(dom.dominates(0, 2));
+  EXPECT_TRUE(dom.dominates(pdg.cfg.entry(), 0));
+  EXPECT_FALSE(dom.dominates(2, 0));
+}
+
+TEST(Dominance, PostDominators) {
+  auto graph = sg::build_program_graph(
+      "void f(int n) { if (n) { n = 1; } else { n = 2; } n = 3; }");
+  const auto& pdg = graph.functions[0];
+  auto pdom = sg::compute_post_dominators(pdg.cfg);
+  int join = unit_by_text(pdg, "n = 3");
+  int pred = unit_by_text(pdg, "if (n)");
+  int then_s = unit_by_text(pdg, "n = 1");
+  EXPECT_TRUE(pdom.dominates(join, pred));
+  EXPECT_TRUE(pdom.dominates(join, then_s));
+  EXPECT_FALSE(pdom.dominates(then_s, pred));
+}
+
+TEST(DataDeps, DefUseChain) {
+  auto graph = sg::build_program_graph(
+      "void f() { int a = 1; int b = a + 2; int c = b; }");
+  const auto& pdg = graph.functions[0];
+  EXPECT_TRUE(has_data_dep(pdg, 0, 1));
+  EXPECT_TRUE(has_data_dep(pdg, 1, 2));
+  EXPECT_FALSE(has_data_dep(pdg, 0, 2));  // a not used by c = b
+}
+
+TEST(DataDeps, KillStopsReach) {
+  auto graph = sg::build_program_graph(
+      "void f() { int a = 1; a = 2; int b = a; }");
+  const auto& pdg = graph.functions[0];
+  EXPECT_TRUE(has_data_dep(pdg, 1, 2));
+  EXPECT_FALSE(has_data_dep(pdg, 0, 2));  // first def killed by a = 2
+}
+
+TEST(DataDeps, BranchesMergeBothDefsReach) {
+  auto graph = sg::build_program_graph(
+      "void f(int n) { int a = 0; if (n) { a = 1; } int b = a; }");
+  const auto& pdg = graph.functions[0];
+  int d0 = unit_by_text(pdg, "int a = 0");
+  int d1 = unit_by_text(pdg, "a = 1");
+  int use = unit_by_text(pdg, "int b = a");
+  EXPECT_TRUE(has_data_dep(pdg, d0, use));  // reaches via the false edge
+  EXPECT_TRUE(has_data_dep(pdg, d1, use));
+}
+
+TEST(DataDeps, LoopCarriedDependence) {
+  auto graph = sg::build_program_graph(
+      "void f(int n) { int s = 0; while (n > 0) { s = s + n; n--; } int r = s; }");
+  const auto& pdg = graph.functions[0];
+  int acc = unit_by_text(pdg, "s = s + n");
+  int use = unit_by_text(pdg, "int r = s");
+  EXPECT_TRUE(has_data_dep(pdg, acc, use));
+  // Loop-carried: the accumulator depends on its own previous iteration —
+  // self edges are intentionally dropped, but the n-- def feeds back.
+  int dec = unit_by_text(pdg, "n--");
+  int pred = unit_by_text(pdg, "while (n > 0)");
+  EXPECT_TRUE(has_data_dep(pdg, dec, pred));
+  EXPECT_TRUE(has_data_dep(pdg, dec, acc));
+}
+
+TEST(DataDeps, LibraryOutParamCreatesDef) {
+  auto graph = sg::build_program_graph(R"(
+void f(char *src) {
+  char dest[100];
+  strncpy(dest, src, 10);
+  int len = strlen(dest);
+}
+)");
+  const auto& pdg = graph.functions[0];
+  int copy = unit_by_text(pdg, "strncpy(dest, src, 10)");
+  int use = unit_by_text(pdg, "int len = strlen(dest)");
+  EXPECT_TRUE(has_data_dep(pdg, copy, use));
+}
+
+TEST(ControlDeps, ThenBranchDependsOnIf) {
+  auto graph = sg::build_program_graph(
+      "void f(int n) { if (n > 0) { n = 1; } n = 3; }");
+  const auto& pdg = graph.functions[0];
+  int pred = unit_by_text(pdg, "if (n > 0)");
+  int then_s = unit_by_text(pdg, "n = 1");
+  int after = unit_by_text(pdg, "n = 3");
+  EXPECT_TRUE(has_control_dep(pdg, pred, then_s));
+  EXPECT_FALSE(has_control_dep(pdg, pred, after));
+}
+
+TEST(ControlDeps, ElseBranchDependsOnIf) {
+  auto graph = sg::build_program_graph(
+      "void f(int n) { if (n) { n = 1; } else { n = 2; } }");
+  const auto& pdg = graph.functions[0];
+  int pred = unit_by_text(pdg, "if (n)");
+  EXPECT_TRUE(has_control_dep(pdg, pred, unit_by_text(pdg, "n = 1")));
+  EXPECT_TRUE(has_control_dep(pdg, pred, unit_by_text(pdg, "n = 2")));
+}
+
+TEST(ControlDeps, LoopBodyDependsOnLoopPredicate) {
+  auto graph = sg::build_program_graph(
+      "void f(int n) { while (n > 0) { n--; } }");
+  const auto& pdg = graph.functions[0];
+  int pred = unit_by_text(pdg, "while (n > 0)");
+  int body = unit_by_text(pdg, "n--");
+  EXPECT_TRUE(has_control_dep(pdg, pred, body));
+  // A while predicate is control-dependent on itself in FOW; our deps
+  // exclude self edges, so just check the body is there.
+}
+
+TEST(ControlDeps, NestedIfChain) {
+  auto graph = sg::build_program_graph(R"(
+void f(int n, int x) {
+  if (n > 0) {
+    if (x > 0) {
+      x = 1;
+    }
+  }
+}
+)");
+  const auto& pdg = graph.functions[0];
+  int outer = unit_by_text(pdg, "if (n > 0)");
+  int inner = unit_by_text(pdg, "if (x > 0)");
+  int stmt = unit_by_text(pdg, "x = 1");
+  EXPECT_TRUE(has_control_dep(pdg, outer, inner));
+  EXPECT_TRUE(has_control_dep(pdg, inner, stmt));
+  EXPECT_FALSE(has_control_dep(pdg, outer, stmt));  // only transitive
+}
+
+TEST(ControlDeps, SwitchCasesDependOnSwitch) {
+  auto graph = sg::build_program_graph(R"(
+void f(int m, int x) {
+  switch (m) {
+    case 1:
+      x = 1;
+      break;
+    default:
+      x = 0;
+  }
+}
+)");
+  const auto& pdg = graph.functions[0];
+  int pred = unit_by_text(pdg, "switch (m)");
+  EXPECT_TRUE(has_control_dep(pdg, pred, unit_by_text(pdg, "x = 1")));
+  EXPECT_TRUE(has_control_dep(pdg, pred, unit_by_text(pdg, "x = 0")));
+}
+
+TEST(Pdg, CallGraphAndCallSites) {
+  auto graph = sg::build_program_graph(R"(
+void callee(int v) { int w = v; }
+void caller(int n) {
+  callee(n);
+  callee(n + 1);
+}
+)");
+  ASSERT_EQ(graph.functions.size(), 2u);
+  EXPECT_EQ(graph.calls.size(), 2u);
+  EXPECT_EQ(graph.calls[0].caller, "caller");
+  EXPECT_EQ(graph.calls[0].callee, "callee");
+  auto callers = graph.callers_of("callee");
+  EXPECT_EQ(callers.size(), 2u);
+  const auto* pdg = graph.pdg_of("caller");
+  ASSERT_NE(pdg, nullptr);
+  EXPECT_EQ(pdg->call_sites("callee").size(), 2u);
+}
+
+TEST(Pdg, UnitAtLine) {
+  auto graph = sg::build_program_graph("void f() {\n  int a = 1;\n  int b = a;\n}");
+  const auto& pdg = graph.functions[0];
+  EXPECT_EQ(pdg.unit_at_line(2), 0);
+  EXPECT_EQ(pdg.unit_at_line(3), 1);
+  EXPECT_EQ(pdg.unit_at_line(99), -1);
+}
+
+TEST(Pdg, GracefulOnEmptyFunction) {
+  auto graph = sg::build_program_graph("void f() { }");
+  const auto& pdg = graph.functions[0];
+  EXPECT_TRUE(pdg.units.empty());
+  EXPECT_TRUE(pdg.cfg.has_edge(pdg.cfg.entry(), pdg.cfg.exit()));
+}

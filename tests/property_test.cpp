@@ -1,0 +1,221 @@
+// Property-based tests: invariants that must hold for EVERY generated
+// program across the whole template lattice (category x vulnerable x
+// ambiguous x long), checked with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sevuldet/dataset/corpus.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+#include "sevuldet/frontend/token.hpp"
+#include "sevuldet/graph/dominance.hpp"
+#include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/normalize/normalize.hpp"
+#include "sevuldet/slicer/gadget.hpp"
+#include "sevuldet/util/strings.hpp"
+
+namespace sd = sevuldet::dataset;
+namespace sg = sevuldet::graph;
+namespace sn = sevuldet::normalize;
+namespace ss = sevuldet::slicer;
+namespace su = sevuldet::util;
+
+struct CaseParam {
+  ss::TokenCategory category;
+  bool vulnerable;
+  bool ambiguous;
+  bool long_variant;
+  std::uint64_t seed;
+};
+
+static std::string param_name(const testing::TestParamInfo<CaseParam>& info) {
+  const auto& p = info.param;
+  std::string name = ss::category_name(p.category);
+  name += p.vulnerable ? "_bad" : "_good";
+  if (p.ambiguous) name += "_amb";
+  if (p.long_variant) name += "_long";
+  name += "_s" + std::to_string(p.seed);
+  return name;
+}
+
+class GeneratedCaseProperties : public testing::TestWithParam<CaseParam> {
+ protected:
+  sd::TestCase make_case() const {
+    const auto& p = GetParam();
+    sd::TemplateSpec spec;
+    spec.category = p.category;
+    spec.vulnerable = p.vulnerable;
+    spec.ambiguous = p.ambiguous;
+    spec.long_variant = p.long_variant;
+    spec.filler = p.long_variant ? 25 : 0;
+    spec.seed = p.seed;
+    return sd::generate_case(spec);
+  }
+};
+
+TEST_P(GeneratedCaseProperties, SourceParsesAndFlagsAreConsistent) {
+  auto tc = make_case();
+  sg::ProgramGraph program;
+  ASSERT_NO_THROW(program = sg::build_program_graph(tc.source)) << tc.source;
+  EXPECT_FALSE(program.functions.empty());
+  EXPECT_EQ(tc.vulnerable, !tc.vulnerable_lines.empty());
+}
+
+TEST_P(GeneratedCaseProperties, GadgetInvariants) {
+  auto tc = make_case();
+  auto program = sg::build_program_graph(tc.source);
+  auto source_lines = su::split_lines(tc.source);
+
+  for (const auto& token : ss::find_special_tokens(program)) {
+    auto gadget = ss::generate_gadget(program, token);
+    ASSERT_FALSE(gadget.lines.empty());
+
+    // 1. The criterion's line is in the gadget.
+    bool has_criterion = false;
+    std::set<std::string> fns_seen;
+    for (const auto& line : gadget.lines) {
+      if (line.function == token.function && line.line == token.line) {
+        has_criterion = true;
+      }
+      fns_seen.insert(line.function);
+      // 2. Every gadget line quotes the actual source line.
+      ASSERT_GE(line.line, 1);
+      ASSERT_LE(line.line, static_cast<int>(source_lines.size()));
+      EXPECT_EQ(line.text,
+                su::trim(source_lines[static_cast<std::size_t>(line.line - 1)]));
+    }
+    EXPECT_TRUE(has_criterion) << token.text;
+
+    // 3. Lines are strictly increasing within each function block.
+    for (std::size_t i = 1; i < gadget.lines.size(); ++i) {
+      if (gadget.lines[i].function == gadget.lines[i - 1].function) {
+        EXPECT_GT(gadget.lines[i].line, gadget.lines[i - 1].line);
+      }
+    }
+
+    // 4. PS-CG is a superset of the plain CG lines.
+    ss::GadgetOptions plain;
+    plain.path_sensitive = false;
+    auto cg = ss::generate_gadget(program, token, plain);
+    std::set<std::pair<std::string, int>> ps_lines;
+    for (const auto& line : gadget.lines) ps_lines.insert({line.function, line.line});
+    for (const auto& line : cg.lines) {
+      EXPECT_TRUE(ps_lines.contains({line.function, line.line}))
+          << "CG line " << line.line << " missing from PS-CG";
+    }
+  }
+}
+
+TEST_P(GeneratedCaseProperties, SlicesAreClosedUnderSelection) {
+  // Every unit in a backward slice must be reachable from the criterion
+  // through dependence edges — no free-floating statements.
+  auto tc = make_case();
+  auto program = sg::build_program_graph(tc.source);
+  auto tokens = ss::find_special_tokens(program);
+  if (tokens.empty()) GTEST_SKIP();
+  const auto& token = tokens.front();
+
+  ss::SliceOptions options;
+  options.interprocedural = false;  // closure within one function
+  auto slice = ss::compute_backward_slice(program, token.function, token.unit,
+                                          options);
+  const auto* pdg = program.pdg_of(token.function);
+  ASSERT_NE(pdg, nullptr);
+  const auto& units = slice.units_by_fn.at(token.function);
+  // Fixpoint check: deps of every sliced unit are also sliced.
+  for (int id : units) {
+    for (int dep : pdg->data.deps[static_cast<std::size_t>(id)]) {
+      EXPECT_TRUE(units.contains(dep)) << "data dep " << dep << " escaped";
+    }
+    for (int dep : pdg->control.deps[static_cast<std::size_t>(id)]) {
+      EXPECT_TRUE(units.contains(dep)) << "control dep " << dep << " escaped";
+    }
+  }
+}
+
+TEST_P(GeneratedCaseProperties, NormalizationIsIdempotentAndComplete) {
+  auto tc = make_case();
+  auto program = sg::build_program_graph(tc.source);
+  for (const auto& token : ss::find_special_tokens(program)) {
+    auto gadget = ss::generate_gadget(program, token);
+    auto once = sn::normalize_gadget(gadget);
+    auto twice = sn::normalize_text(once.text());
+    EXPECT_EQ(once.text(), twice.text());
+    // No raw user identifiers survive: every identifier token is a
+    // keyword, preserved name, library function, or varK/funK.
+    for (const auto& tok : once.tokens) {
+      if (tok.empty() || !(std::isalpha(static_cast<unsigned char>(tok[0])) ||
+                           tok[0] == '_')) {
+        continue;
+      }
+      const bool is_placeholder = su::starts_with(tok, "var") ||
+                                  su::starts_with(tok, "fun");
+      const bool is_known = sevuldet::frontend::is_c_keyword(tok) ||
+                            ss::is_library_function(tok) || tok == "NULL" ||
+                            tok == "size_t" || tok == "INT_MAX";
+      EXPECT_TRUE(is_placeholder || is_known) << "leaked identifier: " << tok;
+    }
+  }
+}
+
+TEST_P(GeneratedCaseProperties, ControlRangesNestOrDisjoint) {
+  // Ranges of a function either nest or are disjoint — never partially
+  // overlap (brace discipline).
+  auto tc = make_case();
+  auto program = sg::build_program_graph(tc.source);
+  for (const auto& pdg : program.functions) {
+    auto ranges = ss::compute_control_ranges(*pdg.fn, program.source_lines);
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+        const auto& a = ranges[i];
+        const auto& b = ranges[j];
+        const bool disjoint = a.end_line < b.begin_line || b.end_line < a.begin_line;
+        const bool a_in_b = a.begin_line >= b.begin_line && a.end_line <= b.end_line;
+        const bool b_in_a = b.begin_line >= a.begin_line && b.end_line <= a.end_line;
+        // Bound chains share boundary lines ("} else {"), so allow
+        // single-line overlap at the seams within a group.
+        const bool seam = a.group == b.group &&
+                          (a.end_line == b.begin_line || b.end_line == a.begin_line);
+        EXPECT_TRUE(disjoint || a_in_b || b_in_a || seam)
+            << pdg.fn->name << ": [" << a.begin_line << "," << a.end_line
+            << "] vs [" << b.begin_line << "," << b.end_line << "]";
+      }
+    }
+  }
+}
+
+TEST_P(GeneratedCaseProperties, PostDominanceWellFormed) {
+  auto tc = make_case();
+  auto program = sg::build_program_graph(tc.source);
+  for (const auto& pdg : program.functions) {
+    auto post = sg::compute_post_dominators(pdg.cfg);
+    // Exit post-dominates every reachable node.
+    for (const auto& unit : pdg.units) {
+      if (post.idom[static_cast<std::size_t>(unit.id)] >= 0) {
+        EXPECT_TRUE(post.dominates(pdg.cfg.exit(), unit.id));
+      }
+    }
+  }
+}
+
+namespace {
+
+std::vector<CaseParam> all_params() {
+  std::vector<CaseParam> params;
+  for (auto category :
+       {ss::TokenCategory::FunctionCall, ss::TokenCategory::ArrayUsage,
+        ss::TokenCategory::PointerUsage, ss::TokenCategory::ArithExpr}) {
+    for (bool vulnerable : {false, true}) {
+      params.push_back({category, vulnerable, false, false, 1});
+      params.push_back({category, vulnerable, true, false, 2});
+      params.push_back({category, vulnerable, false, true, 3});
+    }
+  }
+  return params;
+}
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(TemplateLattice, GeneratedCaseProperties,
+                         testing::ValuesIn(all_params()), param_name);

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "sevuldet/dataset/corpus.hpp"
+#include "sevuldet/dataset/realworld.hpp"
+#include "sevuldet/frontend/parser.hpp"
+#include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/interp/interp.hpp"
+#include "sevuldet/normalize/normalize.hpp"
+#include "sevuldet/slicer/gadget.hpp"
+
+namespace sd = sevuldet::dataset;
+namespace sf = sevuldet::frontend;
+namespace sg = sevuldet::graph;
+namespace si = sevuldet::interp;
+namespace ss = sevuldet::slicer;
+
+TEST(RealWorldCorpus, PairStructureAndLabels) {
+  auto corpus = sd::generate_realworld({});
+  int vulnerable = 0, clean = 0;
+  for (const auto& tc : corpus.cases) {
+    if (tc.vulnerable) {
+      ++vulnerable;
+      EXPECT_FALSE(tc.vulnerable_lines.empty()) << tc.id;
+    } else {
+      ++clean;
+      EXPECT_TRUE(tc.vulnerable_lines.empty()) << tc.id;
+    }
+  }
+  EXPECT_GT(vulnerable, 0);
+  EXPECT_GT(clean, vulnerable);  // vulnerable is the minority, like Xen
+}
+
+TEST(RealWorldCorpus, GadgetsExtractAndLabel) {
+  sd::RealWorldConfig config;
+  config.variant_pairs = 3;
+  config.clean_functions = 6;
+  auto realworld = sd::generate_realworld(config);
+  auto corpus = sd::build_corpus(realworld.cases);
+  EXPECT_EQ(corpus.stats.parse_failures, 0);
+  EXPECT_GT(corpus.stats.vulnerable(), 0);
+  EXPECT_LT(corpus.stats.vulnerable(), corpus.stats.total());
+}
+
+TEST(RealWorldCorpus, FecGadgetIsLongAndCoversLoop) {
+  // The 9776-like gadget must exceed typical RNN windows (the mechanism
+  // for SySeVR missing it in Table VII) and cover the flagged loop lines.
+  auto realworld = sd::generate_realworld({});
+  const auto& fec = realworld.planted[0];
+  ASSERT_EQ(fec.cve, "CVE-2016-9776");
+
+  auto program = sg::build_program_graph(fec.testcase.source);
+  std::size_t longest_covering = 0;
+  for (const auto& token : ss::find_special_tokens(program)) {
+    auto gadget = ss::generate_gadget(program, token);
+    bool covers = false;
+    for (const auto& line : gadget.lines) {
+      if (fec.testcase.vulnerable_lines.contains(line.line)) covers = true;
+    }
+    if (!covers) continue;
+    auto norm = sevuldet::normalize::normalize_gadget(gadget);
+    longest_covering = std::max(longest_covering, norm.tokens.size());
+  }
+  EXPECT_GT(longest_covering, 150u);
+}
+
+TEST(RealWorldCorpus, XattrBugIsFunctionCallCategory) {
+  auto realworld = sd::generate_realworld({});
+  const auto& xattr = realworld.planted[1];
+  ASSERT_EQ(xattr.cve, "CVE-2016-9104");
+  EXPECT_EQ(xattr.category, ss::TokenCategory::FunctionCall);
+
+  // A memcpy-criterion gadget covers the flagged line -> VulDeePecker's
+  // FC-only pipeline can see this bug at all.
+  auto program = sg::build_program_graph(xattr.testcase.source);
+  bool fc_covers = false;
+  for (const auto& token :
+       ss::find_special_tokens(program, ss::TokenCategory::FunctionCall)) {
+    auto gadget = ss::generate_gadget(program, token);
+    for (const auto& line : gadget.lines) {
+      if (xattr.testcase.vulnerable_lines.contains(line.line)) fc_covers = true;
+    }
+  }
+  EXPECT_TRUE(fc_covers);
+}
+
+TEST(RealWorldCorpus, PlantedBugsActuallyFire) {
+  // Ground truth sanity: directly triggering inputs make the vulnerable
+  // versions crash/hang, and the patched variants survive the same input.
+  auto realworld = sd::generate_realworld({});
+
+  // 9776-like: emrbr register = 0 (first 4 input bytes) hangs.
+  {
+    auto unit = sf::parse(realworld.planted[0].testcase.source);
+    si::Interpreter interp(unit);
+    si::ExecOptions options;
+    options.step_limit = 50000;
+    std::vector<std::uint8_t> zero_reg = {0, 0, 0, 0, 64, 0, 0, 0};
+    EXPECT_EQ(interp.run(zero_reg, options).outcome, si::Outcome::Hang);
+  }
+
+  // 4453-like: huge cursor count hangs.
+  {
+    auto unit = sf::parse(realworld.planted[2].testcase.source);
+    si::Interpreter interp(unit);
+    si::ExecOptions options;
+    options.step_limit = 50000;
+    std::vector<std::uint8_t> huge = {0xFF, 0xFF, 0xFF, 0x7F};
+    EXPECT_EQ(interp.run(huge, options).outcome, si::Outcome::Hang);
+  }
+
+  // 9104-like: magic + huge offset crashes OOB. The magic differs per
+  // seed; recover it from the source.
+  {
+    const auto& tc = realworld.planted[1].testcase;
+    auto pos = tc.source.find("tag != ");
+    ASSERT_NE(pos, std::string::npos);
+    const long magic = std::stol(tc.source.substr(pos + 7));
+    auto unit = sf::parse(tc.source);
+    si::Interpreter interp(unit);
+    si::ExecOptions options;
+    options.step_limit = 50000;
+    std::vector<std::uint8_t> input;
+    auto push_int = [&input](long v) {
+      for (int i = 0; i < 4; ++i) {
+        input.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+      }
+    };
+    push_int(magic);
+    push_int(2147483640L);  // off + count exceeds INT_MAX -> wraps negative
+    push_int(40);           // count
+    auto result = interp.run(input, options);
+    EXPECT_EQ(result.outcome, si::Outcome::OutOfBounds)
+        << si::outcome_name(result.outcome);
+
+    // Wrong magic: clean exit.
+    input[0] ^= 0xFF;
+    EXPECT_EQ(interp.run(input, options).outcome, si::Outcome::Ok);
+  }
+}
+
+TEST(RealWorldCorpus, PatchedVariantsSurviveTriggers) {
+  sd::RealWorldConfig config;
+  config.variant_pairs = 1;
+  auto realworld = sd::generate_realworld(config);
+  for (const auto& tc : realworld.cases) {
+    if (tc.vulnerable) continue;
+    auto unit = sf::parse(tc.source);
+    if (unit.find_function("harness_main") == nullptr) continue;
+    si::Interpreter interp(unit);
+    si::ExecOptions options;
+    options.step_limit = 200000;
+    // The broad triggers of the vulnerable versions.
+    for (std::vector<std::uint8_t> input :
+         {std::vector<std::uint8_t>{0, 0, 0, 0, 64, 0, 0, 0},
+          std::vector<std::uint8_t>{0xFF, 0xFF, 0xFF, 0x7F}}) {
+      auto result = interp.run(input, options);
+      EXPECT_EQ(result.outcome, si::Outcome::Ok)
+          << tc.id << ": " << si::outcome_name(result.outcome) << " line "
+          << result.fault_line;
+    }
+  }
+}

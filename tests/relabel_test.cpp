@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sevuldet/core/relabel.hpp"
+#include "sevuldet/dataset/corpus.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+#include "sevuldet/models/sevuldet_net.hpp"
+
+namespace sc = sevuldet::core;
+namespace sd = sevuldet::dataset;
+namespace sm = sevuldet::models;
+
+namespace {
+
+sc::DetectorFactory tiny_factory() {
+  return [](int vocab_size) -> std::unique_ptr<sm::Detector> {
+    sm::ModelConfig config;
+    config.vocab_size = vocab_size;
+    config.embed_dim = 12;
+    config.conv_channels = 8;
+    config.attn_dim = 8;
+    config.dense1 = 24;
+    config.dense2 = 12;
+    return std::make_unique<sm::SeVulDetNet>(config);
+  };
+}
+
+}  // namespace
+
+TEST(Relabel, FlagsDeliberatelyFlippedLabels) {
+  sd::SardConfig gen_config;
+  gen_config.pairs_per_category = 10;
+  gen_config.long_fraction = 0.0;
+  gen_config.ambiguous_fraction = 0.0;  // keep only learnable samples
+  auto corpus = sd::build_corpus(sd::generate_sard_like(gen_config));
+  sd::encode_corpus(corpus);
+
+  // Flip a handful of clean samples to "vulnerable" — injected label noise.
+  std::vector<std::size_t> flipped;
+  for (std::size_t i = 0; i < corpus.samples.size() && flipped.size() < 8; i += 97) {
+    if (corpus.samples[i].label == 0) {
+      corpus.samples[i].label = 1;
+      flipped.push_back(i);
+    }
+  }
+  ASSERT_GE(flipped.size(), 5u);
+
+  sc::RelabelConfig config;
+  config.folds = 3;
+  config.confidence = 0.8f;
+  config.train.epochs = 4;
+  config.train.lr = 0.003f;
+  auto suspects = sc::find_suspect_labels(corpus, tiny_factory(), config);
+
+  // The flipped samples should be heavily represented among the suspects.
+  std::size_t caught = 0;
+  for (std::size_t idx : flipped) {
+    for (const auto& suspect : suspects) {
+      if (suspect.sample_index == idx) {
+        ++caught;
+        EXPECT_EQ(suspect.label, 1);
+        EXPECT_LT(suspect.probability, 0.2f);
+        break;
+      }
+    }
+  }
+  EXPECT_GE(caught, flipped.size() / 2)
+      << "caught " << caught << " of " << flipped.size() << " planted flips ("
+      << suspects.size() << " suspects total)";
+  // Narrowing: the review list must be much smaller than the corpus.
+  EXPECT_LT(suspects.size(), corpus.samples.size() / 5);
+}
+
+TEST(Relabel, SortedByDisagreement) {
+  sd::SardConfig gen_config;
+  gen_config.pairs_per_category = 4;
+  gen_config.long_fraction = 0.0;
+  auto corpus = sd::build_corpus(sd::generate_sard_like(gen_config));
+  sd::encode_corpus(corpus);
+  sc::RelabelConfig config;
+  config.folds = 2;
+  config.confidence = 0.5f;
+  config.train.epochs = 2;
+  auto suspects = sc::find_suspect_labels(corpus, tiny_factory(), config);
+  for (std::size_t i = 1; i < suspects.size(); ++i) {
+    const float prev = std::fabs(suspects[i - 1].probability -
+                                 static_cast<float>(suspects[i - 1].label));
+    const float cur = std::fabs(suspects[i].probability -
+                                static_cast<float>(suspects[i].label));
+    EXPECT_GE(prev, cur);
+  }
+}

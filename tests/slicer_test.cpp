@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/slicer/control_ranges.hpp"
+#include "sevuldet/slicer/gadget.hpp"
+#include "sevuldet/slicer/slice.hpp"
+#include "sevuldet/slicer/special_tokens.hpp"
+
+namespace sg = sevuldet::graph;
+namespace ss = sevuldet::slicer;
+
+namespace {
+
+const char* kStrncpyProgram = R"(void copy_data(char *data, int n) {
+  char dest[100];
+  if (n < 100) {
+    strncpy(dest, data, n);
+  } else {
+    report(n);
+  }
+})";
+
+ss::SpecialToken token_for_call(const sg::ProgramGraph& program,
+                                const std::string& callee) {
+  for (const auto& tok : ss::find_special_tokens(program)) {
+    if (tok.category == ss::TokenCategory::FunctionCall && tok.text == callee) {
+      return tok;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+TEST(SpecialTokens, FindsAllFourCategories) {
+  auto program = sg::build_program_graph(R"(
+void f(char *p, int n) {
+  int buf[10];
+  int x = n + 1;
+  buf[x] = *p;
+  memcpy(buf, p, n);
+}
+)");
+  auto tokens = ss::find_special_tokens(program);
+  auto count = [&](ss::TokenCategory c) {
+    return std::count_if(tokens.begin(), tokens.end(),
+                         [c](const auto& t) { return t.category == c; });
+  };
+  EXPECT_GE(count(ss::TokenCategory::FunctionCall), 1);
+  EXPECT_GE(count(ss::TokenCategory::ArrayUsage), 1);  // buf[x]
+  EXPECT_GE(count(ss::TokenCategory::PointerUsage), 1);
+  EXPECT_GE(count(ss::TokenCategory::ArithExpr), 1);
+}
+
+TEST(SpecialTokens, LibraryVsDefinedFunctions) {
+  EXPECT_TRUE(ss::is_library_function("strcpy"));
+  EXPECT_TRUE(ss::is_risky_library_function("gets"));
+  EXPECT_FALSE(ss::is_risky_library_function("strlen"));
+  auto program = sg::build_program_graph(R"(
+void helper(int v) { int w = v; }
+void f(int n) { helper(n); strlen("x"); }
+)");
+  auto tokens = ss::find_special_tokens(program, ss::TokenCategory::FunctionCall);
+  // helper is defined in the unit -> not a library call criterion;
+  // strlen is.
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "strlen");
+}
+
+TEST(SpecialTokens, OnePerUnitPerCategory) {
+  auto program = sg::build_program_graph("void f(int a, int b) { int c = a + b - a * b; }");
+  auto tokens = ss::find_special_tokens(program, ss::TokenCategory::ArithExpr);
+  EXPECT_EQ(tokens.size(), 1u);
+}
+
+TEST(Slice, BackwardIncludesDefsAndGuards) {
+  auto program = sg::build_program_graph(kStrncpyProgram);
+  auto tok = token_for_call(program, "strncpy");
+  ASSERT_EQ(tok.text, "strncpy");
+  auto slice = ss::compute_backward_slice(program, tok.function, tok.unit);
+  const auto& pdg = *program.pdg_of("copy_data");
+  bool has_if = false, has_decl = false;
+  for (int id : slice.units_by_fn.at("copy_data")) {
+    const auto& u = pdg.units[static_cast<std::size_t>(id)];
+    if (u.kind == sg::UnitKind::IfPred) has_if = true;
+    if (u.kind == sg::UnitKind::Decl) has_decl = true;
+  }
+  EXPECT_TRUE(has_if);    // control dependence
+  EXPECT_TRUE(has_decl);  // data dependence on dest
+}
+
+TEST(Slice, DataOnlyOptionDropsControlDeps) {
+  auto program = sg::build_program_graph(kStrncpyProgram);
+  auto tok = token_for_call(program, "strncpy");
+  ss::SliceOptions opt;
+  opt.use_control_dep = false;
+  auto slice = ss::compute_backward_slice(program, tok.function, tok.unit, opt);
+  const auto& pdg = *program.pdg_of("copy_data");
+  for (int id : slice.units_by_fn.at("copy_data")) {
+    EXPECT_NE(pdg.units[static_cast<std::size_t>(id)].kind, sg::UnitKind::IfPred);
+  }
+}
+
+TEST(Slice, ForwardFollowsUses) {
+  auto program = sg::build_program_graph(R"(
+void f(char *src) {
+  char buf[64];
+  strcpy(buf, src);
+  int len = strlen(buf);
+  use(len);
+}
+)");
+  auto tok = token_for_call(program, "strcpy");
+  auto slice = ss::compute_forward_slice(program, tok.function, tok.unit);
+  const auto& pdg = *program.pdg_of("f");
+  bool has_strlen = false, has_use = false;
+  for (int id : slice.units_by_fn.at("f")) {
+    const auto& text = pdg.units[static_cast<std::size_t>(id)].text;
+    if (text.find("strlen") != std::string::npos) has_strlen = true;
+    if (text.find("use(") != std::string::npos) has_use = true;
+  }
+  EXPECT_TRUE(has_strlen);
+  EXPECT_TRUE(has_use);
+}
+
+TEST(Slice, CrossesIntoCallee) {
+  auto program = sg::build_program_graph(R"(
+void sink(char *q, int m) {
+  char inner[50];
+  strncpy(inner, q, m);
+}
+void driver(char *data) {
+  int n = strlen(data);
+  sink(data, n);
+}
+)");
+  // Criterion inside driver at the call; forward expansion should pull in
+  // sink's parameter-using statements.
+  const auto& pdg = *program.pdg_of("driver");
+  int call_unit = -1;
+  for (const auto& u : pdg.units) {
+    if (u.text.find("sink(") != std::string::npos) call_unit = u.id;
+  }
+  ASSERT_GE(call_unit, 0);
+  auto slice = ss::compute_slice(program, "driver", call_unit);
+  EXPECT_TRUE(slice.units_by_fn.contains("sink"));
+}
+
+TEST(Slice, CrossesIntoCallerWhenParamInvolved) {
+  auto program = sg::build_program_graph(R"(
+void sink(char *q, int m) {
+  char inner[50];
+  strncpy(inner, q, m);
+}
+void driver(char *data) {
+  int n = strlen(data);
+  sink(data, n);
+}
+)");
+  auto tok = token_for_call(program, "strncpy");
+  ASSERT_EQ(tok.function, "sink");
+  auto slice = ss::compute_slice(program, tok.function, tok.unit);
+  ASSERT_TRUE(slice.units_by_fn.contains("driver"));
+  // The caller's argument computation should be in the slice.
+  const auto& driver = *program.pdg_of("driver");
+  bool has_strlen = false;
+  for (int id : slice.units_by_fn.at("driver")) {
+    if (driver.units[static_cast<std::size_t>(id)].text.find("strlen") !=
+        std::string::npos) {
+      has_strlen = true;
+    }
+  }
+  EXPECT_TRUE(has_strlen);
+}
+
+TEST(ControlRanges, BraceMatching) {
+  std::vector<std::string> lines = {
+      "void f() {",      // 1
+      "if (x) {",        // 2
+      "y = 1;",          // 3
+      "} else {",        // 4
+      "y = 2;",          // 5
+      "}",               // 6
+      "}",               // 7
+  };
+  auto braces = ss::match_braces(lines);
+  EXPECT_EQ(braces.at(1), 7);
+  EXPECT_EQ(braces.at(2), 4);
+  EXPECT_EQ(braces.at(4), 6);
+}
+
+TEST(ControlRanges, BraceMatchingIgnoresStringsAndComments) {
+  std::vector<std::string> lines = {
+      "f() {",                       // 1
+      "puts(\"}{\"); // } stray",    // 2
+      "/* { */",                     // 3
+      "}",                           // 4
+  };
+  auto braces = ss::match_braces(lines);
+  EXPECT_EQ(braces.at(1), 4);
+  EXPECT_EQ(braces.size(), 1u);
+}
+
+TEST(ControlRanges, IfElseChainSharesGroup) {
+  auto program = sg::build_program_graph(R"(void f(int n) {
+  if (n < 0) {
+    n = 0;
+  } else if (n < 10) {
+    n = 1;
+  } else {
+    n = 2;
+  }
+})");
+  auto ranges = ss::compute_control_ranges(*program.pdg_of("f")->fn,
+                                           program.source_lines);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0].kind, ss::RangeKind::If);
+  EXPECT_EQ(ranges[1].kind, ss::RangeKind::ElseIf);
+  EXPECT_EQ(ranges[2].kind, ss::RangeKind::Else);
+  EXPECT_EQ(ranges[0].group, ranges[1].group);
+  EXPECT_EQ(ranges[1].group, ranges[2].group);
+}
+
+TEST(ControlRanges, SeparateIfsGetSeparateGroups) {
+  auto program = sg::build_program_graph(R"(void f(int n) {
+  if (n < 0) {
+    n = 0;
+  }
+  if (n > 10) {
+    n = 10;
+  }
+})");
+  auto ranges = ss::compute_control_ranges(*program.pdg_of("f")->fn,
+                                           program.source_lines);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_NE(ranges[0].group, ranges[1].group);
+}
+
+TEST(ControlRanges, LoopsAndSwitch) {
+  auto program = sg::build_program_graph(R"(void f(int n) {
+  for (int i = 0; i < n; i++) {
+    n--;
+  }
+  while (n) {
+    n--;
+  }
+  switch (n) {
+    case 1:
+      n = 0;
+      break;
+    default:
+      n = 2;
+  }
+})");
+  auto ranges = ss::compute_control_ranges(*program.pdg_of("f")->fn,
+                                           program.source_lines);
+  int fors = 0, whiles = 0, switches = 0, cases = 0;
+  int switch_group = -1;
+  for (const auto& r : ranges) {
+    if (r.kind == ss::RangeKind::For) ++fors;
+    if (r.kind == ss::RangeKind::While) ++whiles;
+    if (r.kind == ss::RangeKind::Switch) {
+      ++switches;
+      switch_group = r.group;
+    }
+    if (r.kind == ss::RangeKind::Case) {
+      ++cases;
+      EXPECT_EQ(r.group, switch_group);
+    }
+  }
+  EXPECT_EQ(fors, 1);
+  EXPECT_EQ(whiles, 1);
+  EXPECT_EQ(switches, 1);
+  EXPECT_EQ(cases, 2);
+}
+
+TEST(Gadget, ContainsCriterionAndDependencies) {
+  auto program = sg::build_program_graph(kStrncpyProgram);
+  auto tok = token_for_call(program, "strncpy");
+  auto gadget = ss::generate_gadget(program, tok);
+  std::string text = gadget.text();
+  EXPECT_NE(text.find("strncpy(dest, data, n)"), std::string::npos);
+  EXPECT_NE(text.find("char dest[100]"), std::string::npos);
+  EXPECT_NE(text.find("if (n < 100)"), std::string::npos);
+}
+
+TEST(Gadget, PathSensitiveInsertsBoundaries) {
+  auto program = sg::build_program_graph(kStrncpyProgram);
+  auto tok = token_for_call(program, "strncpy");
+  auto ps = ss::generate_gadget(program, tok);
+  bool has_boundary = false;
+  for (const auto& line : ps.lines) {
+    if (line.is_boundary) has_boundary = true;
+  }
+  EXPECT_TRUE(has_boundary);
+  EXPECT_NE(ps.text().find("} else {"), std::string::npos);
+
+  ss::GadgetOptions plain;
+  plain.path_sensitive = false;
+  auto cg = ss::generate_gadget(program, tok, plain);
+  EXPECT_EQ(cg.text().find("} else {"), std::string::npos);
+  EXPECT_LT(cg.lines.size(), ps.lines.size());
+}
+
+// The paper's Fig. 1 property: a good/bad pair whose plain code gadgets
+// are textually identical but whose path-sensitive gadgets differ.
+TEST(Gadget, Fig1AmbiguityResolvedByPathSensitivity) {
+  const char* good = R"(void copy_data(char *data, int n) {
+  char dest[100];
+  if (n < 100) {
+    strncpy(dest, data, n);
+  } else {
+    report(n);
+  }
+})";
+  const char* bad = R"(void copy_data(char *data, int n) {
+  char dest[100];
+  if (n < 100) {
+    report(n);
+  } else {
+    strncpy(dest, data, n);
+  }
+})";
+  auto good_program = sg::build_program_graph(good);
+  auto bad_program = sg::build_program_graph(bad);
+  auto good_tok = token_for_call(good_program, "strncpy");
+  auto bad_tok = token_for_call(bad_program, "strncpy");
+
+  ss::GadgetOptions plain;
+  plain.path_sensitive = false;
+  auto good_cg = ss::generate_gadget(good_program, good_tok, plain);
+  auto bad_cg = ss::generate_gadget(bad_program, bad_tok, plain);
+  EXPECT_EQ(good_cg.text(), bad_cg.text())
+      << "plain gadgets should be identical (the paper's motivating flaw)";
+
+  auto good_ps = ss::generate_gadget(good_program, good_tok);
+  auto bad_ps = ss::generate_gadget(bad_program, bad_tok);
+  EXPECT_NE(good_ps.text(), bad_ps.text())
+      << "path-sensitive gadgets must differ";
+}
+
+TEST(Gadget, InterproceduralOrdersCallerFirst) {
+  auto program = sg::build_program_graph(R"(
+void sink(char *q, int m) {
+  char inner[50];
+  strncpy(inner, q, m);
+}
+void driver(char *data) {
+  int n = strlen(data);
+  sink(data, n);
+}
+)");
+  auto tok = token_for_call(program, "strncpy");
+  auto gadget = ss::generate_gadget(program, tok);
+  // Find positions: driver lines must precede sink lines.
+  int first_sink = -1, last_driver = -1;
+  for (std::size_t i = 0; i < gadget.lines.size(); ++i) {
+    if (gadget.lines[i].function == "sink" && first_sink < 0) {
+      first_sink = static_cast<int>(i);
+    }
+    if (gadget.lines[i].function == "driver") last_driver = static_cast<int>(i);
+  }
+  ASSERT_GE(first_sink, 0);
+  ASSERT_GE(last_driver, 0);
+  EXPECT_LT(last_driver, first_sink);
+}
+
+TEST(Gadget, GenerateAllProducesOnePerToken) {
+  auto program = sg::build_program_graph(kStrncpyProgram);
+  auto all = ss::generate_gadgets(program);
+  auto tokens = ss::find_special_tokens(program);
+  EXPECT_EQ(all.size(), tokens.size());
+  auto fc_only =
+      ss::generate_gadgets(program, ss::TokenCategory::FunctionCall);
+  for (const auto& g : fc_only) {
+    EXPECT_EQ(g.token.category, ss::TokenCategory::FunctionCall);
+  }
+}
+
+TEST(Gadget, LinesWithinFunctionSortedByLineNumber) {
+  auto program = sg::build_program_graph(kStrncpyProgram);
+  auto tok = token_for_call(program, "strncpy");
+  auto gadget = ss::generate_gadget(program, tok);
+  for (std::size_t i = 1; i < gadget.lines.size(); ++i) {
+    if (gadget.lines[i].function == gadget.lines[i - 1].function) {
+      EXPECT_GT(gadget.lines[i].line, gadget.lines[i - 1].line);
+    }
+  }
+}

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sevuldet/util/rng.hpp"
+#include "sevuldet/util/strings.hpp"
+#include "sevuldet/util/table.hpp"
+
+namespace su = sevuldet::util;
+
+TEST(Rng, Deterministic) {
+  su::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  su::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInBounds) {
+  su::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(13), 13u);
+    auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double r = rng.uniform_real();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  su::Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NormalMoments) {
+  su::Rng rng(11);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  su::Rng rng(5);
+  const double weights[] = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  su::Rng rng(9);
+  auto p = rng.permutation(50);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Strings, Split) {
+  auto parts = su::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitWs) {
+  auto parts = su::split_ws("  foo\t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, SplitLines) {
+  auto lines = su::split_lines("a\nb\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(su::split_lines("x").size(), 1u);
+  EXPECT_TRUE(su::split_lines("").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(su::trim("  hi \t"), "hi");
+  EXPECT_EQ(su::trim(""), "");
+  EXPECT_EQ(su::trim(" \n "), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(su::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(su::join({}, ","), "");
+}
+
+TEST(Strings, Predicates) {
+  EXPECT_TRUE(su::starts_with("strncpy", "str"));
+  EXPECT_FALSE(su::starts_with("st", "str"));
+  EXPECT_TRUE(su::ends_with("file.c", ".c"));
+  EXPECT_TRUE(su::contains("abcdef", "cde"));
+}
+
+TEST(Strings, Ascii) {
+  EXPECT_TRUE(su::is_ascii("hello\n\tworld"));
+  EXPECT_FALSE(su::is_ascii("caf\xC3\xA9"));
+  EXPECT_EQ(su::strip_non_ascii("caf\xC3\xA9!"), "caf!");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(su::replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(su::replace_all("xyz", "q", "r"), "xyz");
+}
+
+TEST(Strings, Fmt) {
+  EXPECT_EQ(su::fmt(3.14159, 1), "3.1");
+  EXPECT_EQ(su::fmt(2.0, 2), "2.00");
+}
+
+TEST(Table, RendersAligned) {
+  su::Table t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::string out = t.to_string();
+  EXPECT_NE(out.find("| Name  | Value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  su::Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}

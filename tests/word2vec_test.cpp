@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "sevuldet/nn/word2vec.hpp"
+
+namespace nn = sevuldet::nn;
+namespace sn = sevuldet::normalize;
+
+namespace {
+
+/// Corpus with two disjoint "topics": tokens a* co-occur only with a*,
+/// b* only with b*. Skip-gram should place same-topic tokens closer.
+struct TopicCorpus {
+  sn::Vocabulary vocab;
+  std::vector<std::vector<int>> sentences;
+
+  TopicCorpus() {
+    std::vector<std::vector<std::string>> raw;
+    for (int i = 0; i < 200; ++i) {
+      raw.push_back({"a1", "a2", "a3", "a1", "a2"});
+      raw.push_back({"b1", "b2", "b3", "b1", "b2"});
+    }
+    for (const auto& s : raw) vocab.count_all(s);
+    vocab.freeze();
+    for (const auto& s : raw) sentences.push_back(vocab.encode(s));
+  }
+};
+
+}  // namespace
+
+TEST(Word2Vec, LearnsTopicStructure) {
+  TopicCorpus corpus;
+  nn::Word2VecConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 5;
+  cfg.subsample = 0;  // tiny vocab: keep every token
+  nn::Word2Vec w2v(corpus.vocab, cfg);
+  w2v.train(corpus.sentences);
+
+  int a1 = corpus.vocab.id("a1"), a2 = corpus.vocab.id("a2");
+  int b1 = corpus.vocab.id("b1");
+  EXPECT_GT(w2v.similarity(a1, a2), w2v.similarity(a1, b1));
+}
+
+TEST(Word2Vec, NearestReturnsSameTopic) {
+  TopicCorpus corpus;
+  nn::Word2VecConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 5;
+  cfg.subsample = 0;
+  nn::Word2Vec w2v(corpus.vocab, cfg);
+  w2v.train(corpus.sentences);
+
+  int a1 = corpus.vocab.id("a1");
+  auto near = w2v.nearest(a1, 2);
+  ASSERT_EQ(near.size(), 2u);
+  for (int id : near) {
+    EXPECT_EQ(corpus.vocab.token(id)[0], 'a') << corpus.vocab.token(id);
+  }
+}
+
+TEST(Word2Vec, PadRowStaysZero) {
+  TopicCorpus corpus;
+  nn::Word2VecConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 1;
+  nn::Word2Vec w2v(corpus.vocab, cfg);
+  w2v.train(corpus.sentences);
+  for (int d = 0; d < cfg.dim; ++d) {
+    EXPECT_FLOAT_EQ(w2v.embeddings().at(sn::Vocabulary::kPad, d), 0.0f);
+  }
+}
+
+TEST(Word2Vec, DeterministicAcrossRuns) {
+  TopicCorpus corpus;
+  nn::Word2VecConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 2;
+  nn::Word2Vec a(corpus.vocab, cfg), b(corpus.vocab, cfg);
+  a.train(corpus.sentences);
+  b.train(corpus.sentences);
+  for (std::size_t i = 0; i < a.embeddings().size(); ++i) {
+    EXPECT_FLOAT_EQ(a.embeddings()[i], b.embeddings()[i]);
+  }
+}
+
+TEST(Word2Vec, EmbeddingShapeMatchesVocab) {
+  TopicCorpus corpus;
+  nn::Word2VecConfig cfg;
+  cfg.dim = 12;
+  nn::Word2Vec w2v(corpus.vocab, cfg);
+  EXPECT_EQ(w2v.embeddings().rows(), corpus.vocab.size());
+  EXPECT_EQ(w2v.embeddings().cols(), 12);
+}
