@@ -3,7 +3,8 @@
 // modules gives better results than parallel alignment."
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   print_header("Ablation — CBAM sequential vs parallel", "Section III-C a)");
 

@@ -4,7 +4,8 @@
 // ones; the flexible-length SEVulDet network is the reference line.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   print_header("Ablation — RNN time-step sweep vs flexible length",
                "Section II-D / Definition 8");

@@ -3,7 +3,8 @@
 // global max-pool {1}, the paper's pyramid, and a deeper pyramid.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   print_header("Ablation — SPP bin structure", "Section III-C (SPP design)");
 

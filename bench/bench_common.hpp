@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -46,6 +47,27 @@ inline int bench_epochs() { return env_int("SEVULDET_BENCH_EPOCHS", 6); }
 /// Cap on training-set size per model (keeps RNN baselines tractable).
 inline int bench_train_cap() { return env_int("SEVULDET_BENCH_TRAIN_CAP", 2500); }
 
+/// Worker threads for corpus construction and evaluation (1 = serial;
+/// 0 = all cores). Settable via --threads (see parse_bench_flags) or
+/// SEVULDET_BENCH_THREADS. Every bench stays deterministic regardless:
+/// only preprocessing and eval-mode inference parallelize, never
+/// training or word2vec.
+inline int& bench_threads_ref() {
+  static int threads = env_int("SEVULDET_BENCH_THREADS", 1);
+  return threads;
+}
+inline int bench_threads() { return bench_threads_ref(); }
+
+/// Parse flags shared by every experiment bench (currently --threads N);
+/// call first thing in main().
+inline void parse_bench_flags(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      bench_threads_ref() = std::atoi(argv[i + 1]);
+    }
+  }
+}
+
 /// Training set for the real-world experiments (Tables VI, VII): the
 /// SARD-like corpus plus a small NVD-like slice of device-flavored
 /// vulnerable/patched pairs, mirroring the paper's merged SARD + NVD
@@ -79,6 +101,7 @@ inline const char* representation_name(Representation r) {
 
 inline sd::CorpusOptions corpus_options(Representation r) {
   sd::CorpusOptions options;
+  options.threads = bench_threads();
   switch (r) {
     case Representation::PathSensitive:
       options.gadget.path_sensitive = true;
@@ -161,7 +184,7 @@ inline sd::Confusion train_and_eval(sm::Detector& detector, const sd::Corpus& co
   config.lr = lr;
   config.verbose = verbose;
   sc::train_detector(detector, refs.train, config);
-  return sc::evaluate_detector(detector, refs.test);
+  return sc::evaluate_detector(detector, refs.test, bench_threads());
 }
 
 /// Model factory helpers with bench-scale hyper-parameters. The paper's

@@ -6,7 +6,8 @@
 
 #include "sevuldet/core/multiclass.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   print_header("Extension — multiclass vulnerability-type detection",
                "Fig. 2b (type output) / μVulDeePecker direction");

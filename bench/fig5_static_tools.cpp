@@ -6,7 +6,8 @@
 
 #include "sevuldet/baselines/static_tool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   namespace sb = sevuldet::baselines;
   print_header("Fig. 5 — classical static tools vs SEVulDet", "Fig. 5");

@@ -9,7 +9,8 @@
 #include "sevuldet/dataset/realworld.hpp"
 #include "sevuldet/normalize/normalize.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   print_header("Fig. 6 — attention visualization on the 9776-like gadget",
                "Fig. 6");

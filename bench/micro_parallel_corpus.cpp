@@ -1,0 +1,108 @@
+// Serial vs parallel corpus construction on the standard SARD-generated
+// workload: times dataset::build_corpus at 1/2/4/--threads workers,
+// reports the speedup over the serial path, and verifies that every
+// parallel corpus is byte-identical to the serial one (samples, labels,
+// stats) — the determinism contract of util::ThreadPool.
+//
+//   micro_parallel_corpus [--threads N] [--reps R]
+//
+// Scale follows SEVULDET_BENCH_PAIRS like every other bench. Exits
+// nonzero if any parallel corpus differs from the serial corpus, so CI
+// can run it as a determinism check; the speedup itself depends on the
+// machine (a single-core runner cannot show one).
+#include <chrono>
+#include <set>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sevuldet/util/thread_pool.hpp"
+
+namespace {
+
+namespace sd = sevuldet::dataset;
+
+bool same_sample(const sd::GadgetSample& a, const sd::GadgetSample& b) {
+  return a.tokens == b.tokens && a.ids == b.ids && a.label == b.label &&
+         a.cwe == b.cwe && a.category == b.category && a.case_id == b.case_id &&
+         a.from_ambiguous == b.from_ambiguous && a.from_long == b.from_long;
+}
+
+bool same_corpus(const sd::Corpus& a, const sd::Corpus& b) {
+  if (a.samples.size() != b.samples.size()) return false;
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    if (!same_sample(a.samples[i], b.samples[i])) return false;
+  }
+  return a.stats.by_category == b.stats.by_category &&
+         a.stats.parse_failures == b.stats.parse_failures;
+}
+
+double time_build(const std::vector<sd::TestCase>& cases,
+                  const sd::CorpusOptions& options, int reps, sd::Corpus& out) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    sd::Corpus corpus = sd::build_corpus(cases, options);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (r == 0 || seconds < best) best = seconds;
+    out = std::move(corpus);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
+  int reps = bench::env_int("SEVULDET_BENCH_REPS", 3);
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
+  }
+
+  sd::SardConfig config;
+  config.pairs_per_category = bench::bench_pairs();
+  const auto cases = sd::generate_sard_like(config);
+
+  sd::CorpusOptions options;
+  options.gadget.path_sensitive = true;
+  options.gadget.slice.use_control_dep = true;
+  options.deduplicate = true;  // exercises the ordered-merge dedup path
+
+  std::printf("parallel corpus construction — %zu test cases, %d hardware thread(s), "
+              "best of %d rep(s)\n\n",
+              cases.size(), sevuldet::util::hardware_threads(), reps);
+
+  options.threads = 1;
+  sd::Corpus serial;
+  const double serial_seconds = time_build(cases, options, reps, serial);
+
+  std::set<int> thread_counts = {2, 4};
+  if (bench::bench_threads() > 1) thread_counts.insert(bench::bench_threads());
+
+  sevuldet::util::Table table({"threads", "seconds", "speedup", "identical"});
+  table.add_row({"1", sevuldet::util::fmt(serial_seconds, 3), "1.00x", "baseline"});
+
+  bool all_identical = true;
+  for (int threads : thread_counts) {
+    options.threads = threads;
+    sd::Corpus parallel;
+    const double seconds = time_build(cases, options, reps, parallel);
+    const bool identical = same_corpus(serial, parallel);
+    all_identical = all_identical && identical;
+    table.add_row({std::to_string(threads), sevuldet::util::fmt(seconds, 3),
+                   sevuldet::util::fmt(serial_seconds / seconds, 2) + "x",
+                   identical ? "yes" : "NO"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\n%zu samples, %lld vulnerable, %lld parse failures\n",
+              serial.samples.size(), serial.stats.vulnerable(),
+              serial.stats.parse_failures);
+  if (!all_identical) {
+    std::printf("FAIL: parallel corpus differs from serial corpus\n");
+    return 1;
+  }
+  std::printf("all parallel corpora byte-identical to serial\n");
+  return 0;
+}

@@ -2,7 +2,8 @@
 // vulnerable vs non-vulnerable, over the full synthetic corpus.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   print_header("Table I — path-sensitive code gadgets by category",
                "Table I of the paper");

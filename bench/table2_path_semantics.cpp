@@ -3,7 +3,8 @@
 // Six training runs: {BLSTM, BGRU, SEVulDet network} x {CG, PS-CG}.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   print_header("Table II — path semantics + flexible length", "Table II");
 

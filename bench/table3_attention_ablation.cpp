@@ -4,7 +4,8 @@
 // hyper-parameters.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   print_header("Table III — multilayer-attention ablation", "Table III");
 

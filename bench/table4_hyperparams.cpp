@@ -3,7 +3,8 @@
 // reproduction trains with (the mapping is part of the experiment record).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   print_header("Table IV — hyper-parameters", "Table IV");
 

@@ -5,7 +5,8 @@
 // gadgets. All trained on the same underlying programs.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   print_header("Table V — deep-learning framework comparison", "Table V");
 

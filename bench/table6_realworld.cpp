@@ -6,7 +6,8 @@
 
 #include "sevuldet/dataset/realworld.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   print_header("Table VI — real-world (Xen-like) evaluation", "Table VI");
 

@@ -10,7 +10,8 @@
 #include "sevuldet/frontend/parser.hpp"
 #include "sevuldet/normalize/normalize.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
   using namespace bench;
   namespace sb = sevuldet::baselines;
   print_header("Table VII — planted real-world CVE discovery", "Table VII");

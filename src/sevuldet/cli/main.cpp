@@ -40,7 +40,13 @@ int usage() {
                "  sevuldet gadgets FILE.c [--plain]\n"
                "  sevuldet fuzz FILE.c [--execs N]\n"
                "  sevuldet train --dir DIR [--manifest TSV] --out MODEL\n"
-               "  sevuldet export-corpus --dir DIR [--pairs N]\n");
+               "  sevuldet export-corpus --dir DIR [--pairs N]\n"
+               "\n"
+               "  selftrain/train/scan accept --threads N (0 = all cores) to\n"
+               "  parallelize preprocessing and detection; results are\n"
+               "  identical to --threads 1. --w2v-threads N additionally\n"
+               "  parallelizes word2vec pre-training (Hogwild, result is then\n"
+               "  nondeterministic; default 1).\n");
   return 2;
 }
 
@@ -66,6 +72,16 @@ bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// Shared --threads/--w2v-threads handling for the training/scan commands.
+void apply_thread_flags(int argc, char** argv, core::PipelineConfig& config) {
+  if (const char* threads = arg_value(argc, argv, "--threads")) {
+    config.corpus.threads = std::atoi(threads);
+  }
+  if (const char* w2v = arg_value(argc, argv, "--w2v-threads")) {
+    config.word2vec.threads = std::atoi(w2v);
+  }
+}
+
 int cmd_selftrain(int argc, char** argv) {
   const char* out = arg_value(argc, argv, "--out");
   if (out == nullptr) return usage();
@@ -83,6 +99,7 @@ int cmd_selftrain(int argc, char** argv) {
   }
   config.train.lr = 0.002f;
   config.train.verbose = true;
+  apply_thread_flags(argc, argv, config);
 
   core::SeVulDet detector(config);
   std::printf("training on %d pairs/category...\n",
@@ -104,6 +121,7 @@ int cmd_scan(int argc, char** argv) {
   core::PipelineConfig config;
   config.model.embed_dim = 24;
   config.model.conv_channels = 16;
+  apply_thread_flags(argc, argv, config);
   core::SeVulDet detector(config);
   detector.load(model_path);
 
@@ -191,6 +209,7 @@ int cmd_train(int argc, char** argv) {
   config.train.epochs = 6;
   config.train.lr = 0.002f;
   config.train.verbose = true;
+  apply_thread_flags(argc, argv, config);
   core::SeVulDet detector(config);
   auto result = detector.train(cases);
   std::printf("trained on %zu gadgets in %.1fs\n", result.samples, result.seconds);

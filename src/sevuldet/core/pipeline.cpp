@@ -9,6 +9,7 @@
 #include "sevuldet/nn/serialize.hpp"
 #include "sevuldet/normalize/normalize.hpp"
 #include "sevuldet/util/log.hpp"
+#include "sevuldet/util/thread_pool.hpp"
 
 namespace sevuldet::core {
 
@@ -48,8 +49,8 @@ TrainResult SeVulDet::train_on_corpus(const dataset::Corpus& corpus,
 }
 
 std::vector<std::pair<std::string, float>> SeVulDet::top_attention_tokens(
-    const std::vector<std::string>& tokens, int top_k) {
-  const auto& weights = model_->last_token_weights();
+    const std::vector<float>& weights, const std::vector<std::string>& tokens,
+    int top_k) {
   std::vector<std::pair<std::string, float>> out;
   if (weights.empty()) return out;
   const std::size_t n = std::min(tokens.size(), weights.size());
@@ -67,18 +68,24 @@ std::vector<std::pair<std::string, float>> SeVulDet::top_attention_tokens(
 
 std::vector<Finding> SeVulDet::detect(const std::string& source, int top_k) {
   if (!trained()) throw std::logic_error("SeVulDet::detect before train/load");
-  std::vector<Finding> findings;
 
   graph::ProgramGraph program = graph::build_program_graph(source);
-  for (const auto& token : slicer::find_special_tokens(program)) {
+  const std::vector<slicer::SpecialToken> tokens =
+      slicer::find_special_tokens(program);
+
+  // Slice + normalize + classify one special token. Eval-mode forward
+  // passes are deterministic, so which model instance runs them does not
+  // change the result — only which thread it runs on.
+  auto process = [&](models::SeVulDetNet& model,
+                     const slicer::SpecialToken& token) -> std::optional<Finding> {
     slicer::CodeGadget gadget =
         slicer::generate_gadget(program, token, config_.corpus.gadget);
-    if (gadget.lines.empty()) continue;
+    if (gadget.lines.empty()) return std::nullopt;
     normalize::NormalizedGadget norm = normalize::normalize_gadget(gadget);
-    if (norm.tokens.empty()) continue;
+    if (norm.tokens.empty()) return std::nullopt;
     std::vector<int> ids = vocab_.encode(norm.tokens);
-    const float probability = model_->predict(ids);
-    if (probability <= config_.model.threshold) continue;
+    const float probability = model.predict(ids);
+    if (probability <= config_.model.threshold) return std::nullopt;
 
     Finding finding;
     finding.function = token.function;
@@ -86,8 +93,32 @@ std::vector<Finding> SeVulDet::detect(const std::string& source, int top_k) {
     finding.category = token.category;
     finding.token = token.text;
     finding.probability = probability;
-    finding.top_tokens = top_attention_tokens(norm.tokens, top_k);
-    findings.push_back(std::move(finding));
+    finding.top_tokens =
+        top_attention_tokens(model.last_token_weights(), norm.tokens, top_k);
+    return finding;
+  };
+
+  const int threads = util::resolve_threads(config_.corpus.threads);
+  std::vector<std::optional<Finding>> slots(tokens.size());
+  if (threads > 1 && tokens.size() > 1) {
+    util::ThreadPool pool(threads);
+    std::vector<std::unique_ptr<models::SeVulDetNet>> clones(
+        static_cast<std::size_t>(pool.size()));
+    for (auto& clone : clones) clone = model_->clone_net();
+    pool.parallel_chunks(tokens.size(), [&](int worker, std::size_t begin,
+                                            std::size_t end) {
+      models::SeVulDetNet& model = *clones[static_cast<std::size_t>(worker)];
+      for (std::size_t i = begin; i < end; ++i) slots[i] = process(model, tokens[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      slots[i] = process(*model_, tokens[i]);
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (auto& slot : slots) {
+    if (slot.has_value()) findings.push_back(std::move(*slot));
   }
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     return a.probability > b.probability;

@@ -53,7 +53,10 @@ class SeVulDet {
   TrainResult train_on_corpus(const dataset::Corpus& corpus,
                               const SampleRefs& train_set);
 
-  /// Detection phase on raw source. `top_k` attention tokens per finding.
+  /// Detection phase on raw source. `top_k` attention tokens per
+  /// finding. Honors `config().corpus.threads`: gadgets are sliced,
+  /// normalized and classified in parallel chunks on per-worker model
+  /// clones, and the findings are identical to a serial scan.
   std::vector<Finding> detect(const std::string& source, int top_k = 10);
 
   /// Probability for a single pre-encoded gadget (used by evaluation).
@@ -70,8 +73,9 @@ class SeVulDet {
 
  private:
   void build_model();
-  std::vector<std::pair<std::string, float>> top_attention_tokens(
-      const std::vector<std::string>& tokens, int top_k);
+  static std::vector<std::pair<std::string, float>> top_attention_tokens(
+      const std::vector<float>& weights, const std::vector<std::string>& tokens,
+      int top_k);
 
   PipelineConfig config_;
   normalize::Vocabulary vocab_;

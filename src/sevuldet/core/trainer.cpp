@@ -6,6 +6,7 @@
 #include "sevuldet/nn/optim.hpp"
 #include "sevuldet/util/log.hpp"
 #include "sevuldet/util/strings.hpp"
+#include "sevuldet/util/thread_pool.hpp"
 
 namespace sevuldet::core {
 
@@ -88,13 +89,35 @@ TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
 }
 
 dataset::Confusion evaluate_detector(models::Detector& detector,
-                                     const SampleRefs& test) {
-  dataset::Confusion confusion;
-  for (const auto* sample : test) {
-    if (sample->ids.empty()) continue;
-    const bool predicted = detector.is_vulnerable(sample->ids);
-    confusion.record(predicted, sample->label == 1);
+                                     const SampleRefs& test, int threads) {
+  const int workers = util::resolve_threads(threads);
+  if (workers <= 1 || test.size() < 2) {
+    dataset::Confusion confusion;
+    for (const auto* sample : test) {
+      if (sample->ids.empty()) continue;
+      const bool predicted = detector.is_vulnerable(sample->ids);
+      confusion.record(predicted, sample->label == 1);
+    }
+    return confusion;
   }
+
+  util::ThreadPool pool(workers);
+  std::vector<std::unique_ptr<models::Detector>> clones(
+      static_cast<std::size_t>(pool.size()));
+  std::vector<dataset::Confusion> partial(static_cast<std::size_t>(pool.size()));
+  for (auto& clone : clones) clone = detector.clone();
+  pool.parallel_chunks(test.size(), [&](int worker, std::size_t begin,
+                                        std::size_t end) {
+    models::Detector& model = *clones[static_cast<std::size_t>(worker)];
+    dataset::Confusion& confusion = partial[static_cast<std::size_t>(worker)];
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto* sample = test[i];
+      if (sample->ids.empty()) continue;
+      confusion.record(model.is_vulnerable(sample->ids), sample->label == 1);
+    }
+  });
+  dataset::Confusion confusion;
+  for (const auto& p : partial) confusion += p;
   return confusion;
 }
 

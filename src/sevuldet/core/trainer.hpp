@@ -43,8 +43,12 @@ SampleRefs filter_category(const SampleRefs& refs, slicer::TokenCategory categor
 TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
                            const TrainConfig& config);
 
-/// Confusion at the detector's configured threshold.
+/// Confusion at the detector's configured threshold. With threads > 1
+/// (0 = all hardware threads) the test set is split into contiguous
+/// chunks classified on per-worker model clones; since evaluation runs
+/// the deterministic eval-mode forward pass and Confusion only sums
+/// counts, the result is identical to the serial path.
 dataset::Confusion evaluate_detector(models::Detector& detector,
-                                     const SampleRefs& test);
+                                     const SampleRefs& test, int threads = 1);
 
 }  // namespace sevuldet::core

@@ -8,6 +8,7 @@
 #include "sevuldet/graph/pdg.hpp"
 #include "sevuldet/normalize/normalize.hpp"
 #include "sevuldet/util/log.hpp"
+#include "sevuldet/util/thread_pool.hpp"
 
 namespace sevuldet::dataset {
 
@@ -23,59 +24,106 @@ long long CorpusStats::total() const {
   return n;
 }
 
+std::string dedup_key(const std::vector<std::string>& tokens) {
+  std::size_t total = 0;
+  for (const auto& t : tokens) total += t.size() + 1;
+  std::string key;
+  key.reserve(total);
+  for (const auto& t : tokens) {
+    key += t;
+    key += '\0';  // cannot occur inside a normalized token => injective
+  }
+  return key;
+}
+
+namespace {
+
+/// Everything one test case contributes, produced independently of every
+/// other case so the cases can be processed on worker threads. Global,
+/// order-dependent state (dedup, stats) is applied at merge time.
+struct CaseOutput {
+  std::vector<GadgetSample> samples;
+  std::vector<std::string> keys;  // dedup key per sample (when enabled)
+  bool parse_failed = false;
+};
+
+CaseOutput process_case(const TestCase& tc, const CorpusOptions& options) {
+  CaseOutput out;
+  graph::ProgramGraph program;
+  try {
+    program = graph::build_program_graph(tc.source);
+  } catch (const frontend::LexError&) {
+    out.parse_failed = true;
+    return out;
+  } catch (const frontend::ParseError&) {
+    out.parse_failed = true;
+    return out;
+  }
+
+  for (const auto& token : slicer::find_special_tokens(program)) {
+    slicer::CodeGadget gadget =
+        slicer::generate_gadget(program, token, options.gadget);
+    if (gadget.lines.empty()) continue;
+
+    // Step II: label from the manifest's flagged lines.
+    int label = 0;
+    for (const auto& line : gadget.lines) {
+      if (tc.vulnerable_lines.contains(line.line)) label = 1;
+    }
+
+    normalize::NormalizedGadget norm = normalize::normalize_gadget(gadget);
+    if (norm.tokens.empty()) continue;
+
+    if (options.deduplicate) out.keys.push_back(dedup_key(norm.tokens));
+
+    GadgetSample sample;
+    sample.tokens = std::move(norm.tokens);
+    sample.label = label;
+    if (label == 1) sample.cwe = tc.cwe;
+    sample.category = token.category;
+    sample.case_id = tc.id;
+    sample.from_ambiguous = tc.ambiguous_pair;
+    sample.from_long = tc.long_variant;
+    out.samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace
+
 Corpus build_corpus(const std::vector<TestCase>& cases,
                     const CorpusOptions& options) {
+  // Per-case extraction is pure, so it parallelizes; the merge below is
+  // sequential in input order, which keeps the result byte-identical to
+  // a serial build regardless of thread count.
+  const int threads = util::resolve_threads(options.threads);
+  std::vector<CaseOutput> outputs;
+  if (threads > 1 && cases.size() > 1) {
+    util::ThreadPool pool(threads);
+    outputs = pool.parallel_map(
+        cases.size(), [&](std::size_t i) { return process_case(cases[i], options); });
+  } else {
+    outputs.reserve(cases.size());
+    for (const TestCase& tc : cases) outputs.push_back(process_case(tc, options));
+  }
+
   Corpus corpus;
   std::set<std::pair<std::string, int>> seen;  // for optional dedup
-
-  for (const TestCase& tc : cases) {
-    graph::ProgramGraph program;
-    try {
-      program = graph::build_program_graph(tc.source);
-    } catch (const frontend::LexError&) {
-      ++corpus.stats.parse_failures;
-      continue;
-    } catch (const frontend::ParseError&) {
+  for (CaseOutput& out : outputs) {
+    if (out.parse_failed) {
       ++corpus.stats.parse_failures;
       continue;
     }
-
-    for (const auto& token : slicer::find_special_tokens(program)) {
-      slicer::CodeGadget gadget =
-          slicer::generate_gadget(program, token, options.gadget);
-      if (gadget.lines.empty()) continue;
-
-      // Step II: label from the manifest's flagged lines.
-      int label = 0;
-      for (const auto& line : gadget.lines) {
-        if (tc.vulnerable_lines.contains(line.line)) label = 1;
+    for (std::size_t i = 0; i < out.samples.size(); ++i) {
+      GadgetSample& sample = out.samples[i];
+      if (options.deduplicate &&
+          !seen.insert({std::move(out.keys[i]), sample.label}).second) {
+        continue;
       }
-
-      normalize::NormalizedGadget norm = normalize::normalize_gadget(gadget);
-      if (norm.tokens.empty()) continue;
-
-      if (options.deduplicate) {
-        std::string key;
-        for (const auto& t : norm.tokens) {
-          key += t;
-          key += ' ';
-        }
-        if (!seen.insert({key, label}).second) continue;
-      }
-
-      GadgetSample sample;
-      sample.tokens = std::move(norm.tokens);
-      sample.label = label;
-      if (label == 1) sample.cwe = tc.cwe;
-      sample.category = token.category;
-      sample.case_id = tc.id;
-      sample.from_ambiguous = tc.ambiguous_pair;
-      sample.from_long = tc.long_variant;
-      corpus.samples.push_back(std::move(sample));
-
-      auto& counts = corpus.stats.by_category[token.category];
-      counts.first += label;
+      auto& counts = corpus.stats.by_category[sample.category];
+      counts.first += sample.label;
       ++counts.second;
+      corpus.samples.push_back(std::move(sample));
     }
   }
   return corpus;

@@ -30,6 +30,10 @@ struct CorpusOptions {
   slicer::GadgetOptions gadget;     // path_sensitive + slice options
   bool deduplicate = false;         // drop exact (tokens, label) duplicates
   int min_token_count = 1;          // vocabulary frequency floor
+  /// Worker threads for build_corpus. 1 = serial (the default), 0 = all
+  /// hardware threads. Parallel output is byte-identical to serial:
+  /// per-case work runs concurrently, the merge is ordered.
+  int threads = 1;
 };
 
 struct CorpusStats {
@@ -50,6 +54,11 @@ struct Corpus {
 /// (real pipelines do the same with Joern failures).
 Corpus build_corpus(const std::vector<TestCase>& cases,
                     const CorpusOptions& options = {});
+
+/// Injective dedup key for a token stream: '\0'-separated, so distinct
+/// streams can never alias (a ' '-joined key would collide for e.g.
+/// {"a b", "c"} vs {"a", "b c"} once multi-word constants appear).
+std::string dedup_key(const std::vector<std::string>& tokens);
 
 /// Build the vocabulary from a subset of samples (the training fold) and
 /// encode every sample with it.

@@ -48,7 +48,14 @@ std::string render(const Expr& e) {
       if (e.children.empty()) return "sizeof(" + e.text + ")";
       return "sizeof " + render(*e.children[0]);
     case ExprKind::Comma:
-      if (e.op == "{}") return "{" + render_children_list(e, 0) + "}";
+      if (e.op == "{}") {
+        // Built up in place: GCC 12 mis-fires -Wrestrict on the
+        // `const char* + std::string&&` overload (libstdc++ PR105329).
+        std::string out = "{";
+        out += render_children_list(e, 0);
+        out += '}';
+        return out;
+      }
       return render_children_list(e, 0);
   }
   return "<?>";
@@ -61,7 +68,9 @@ std::string decl_text(const Stmt& s) {
   std::size_t extent_from = s.for_has_init ? 1 : 0;  // [0] is initializer
   if (s.decl_is_array) {
     for (std::size_t i = extent_from; i < s.exprs.size(); ++i) {
-      out += "[" + render(*s.exprs[i]) + "]";
+      out += '[';
+      out += render(*s.exprs[i]);
+      out += ']';
     }
     if (s.exprs.size() == extent_from) out += "[]";
   }

@@ -355,7 +355,11 @@ std::string cfg_to_dot(const Cfg& cfg, const std::vector<StmtUnit>& units) {
   auto name_of = [&](int id) {
     if (id == cfg.entry()) return std::string("entry");
     if (id == cfg.exit()) return std::string("exit");
-    return "n" + std::to_string(id);
+    // Built up in place: GCC 12 mis-fires -Wrestrict on the
+    // `const char* + std::string&&` overload (libstdc++ PR105329).
+    std::string name = "n";
+    name += std::to_string(id);
+    return name;
   };
   for (const auto& unit : units) {
     std::string label = std::to_string(unit.line) + ": " + unit.text;

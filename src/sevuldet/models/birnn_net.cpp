@@ -21,6 +21,12 @@ BiRnnNet::BiRnnNet(ModelConfig config, nn::RnnKind kind, std::string name)
   fc_ = std::make_unique<nn::Dense>(store_, "fc", rnn_->output_dim(), 1, init_rng);
 }
 
+std::unique_ptr<Detector> BiRnnNet::clone() const {
+  auto copy = std::make_unique<BiRnnNet>(config_, kind_, name_);
+  copy_parameters(store_, copy->store_);
+  return copy;
+}
+
 std::vector<int> BiRnnNet::fix_length(const std::vector<int>& tokens) const {
   std::vector<int> ids = tokens;
   const std::size_t target = static_cast<std::size_t>(config_.fixed_length);

@@ -22,6 +22,8 @@ class BiRnnNet : public Detector {
   /// Fixed-length preprocessing (Definition 8): truncate or zero-pad.
   std::vector<int> fix_length(const std::vector<int>& tokens) const;
 
+  std::unique_ptr<Detector> clone() const override;
+
  private:
   std::string name_;
   nn::ParamStore store_;

@@ -33,6 +33,19 @@ std::pair<int, float> Detector::predict_class(const std::vector<int>& tokens) {
   return {best, probs[static_cast<std::size_t>(best)]};
 }
 
+void copy_parameters(const nn::ParamStore& from, nn::ParamStore& to) {
+  for (const auto& [name, node] : from.all()) {
+    nn::NodePtr target = to.find(name);
+    if (target == nullptr) {
+      throw std::invalid_argument("copy_parameters: missing parameter " + name);
+    }
+    if (!target->value.same_shape(node->value)) {
+      throw std::invalid_argument("copy_parameters: shape mismatch for " + name);
+    }
+    target->value = node->value;
+  }
+}
+
 void load_pretrained_embeddings(nn::ParamStore& store,
                                 const std::string& param_name,
                                 const nn::Tensor& vectors) {

@@ -67,6 +67,12 @@ class Detector {
   /// models returns ({0,1}, predict()).
   std::pair<int, float> predict_class(const std::vector<int>& tokens);
 
+  /// Deep copy with identical parameter values (and a fresh dropout
+  /// RNG). A clone shares no mutable state with the original, so clones
+  /// can run forward passes concurrently on different threads — the
+  /// parallel evaluation/detection paths clone one model per worker.
+  virtual std::unique_ptr<Detector> clone() const = 0;
+
   const ModelConfig& config() const { return config_; }
 
  protected:
@@ -79,5 +85,10 @@ class Detector {
 void load_pretrained_embeddings(nn::ParamStore& store,
                                 const std::string& param_name,
                                 const nn::Tensor& vectors);
+
+/// Copy every parameter tensor of `from` into the same-named parameter
+/// of `to`. Throws if a name is missing or shapes differ (i.e. the
+/// stores were built from different configs).
+void copy_parameters(const nn::ParamStore& from, nn::ParamStore& to);
 
 }  // namespace sevuldet::models

@@ -75,4 +75,10 @@ const std::vector<float>& SeVulDetNet::last_token_weights() const {
   return token_attention_ ? token_attention_->last_weights() : empty_weights_;
 }
 
+std::unique_ptr<SeVulDetNet> SeVulDetNet::clone_net() const {
+  auto copy = std::make_unique<SeVulDetNet>(config_);
+  copy_parameters(store_, copy->store_);
+  return copy;
+}
+
 }  // namespace sevuldet::models

@@ -25,6 +25,10 @@ class SeVulDetNet : public Detector {
   /// disabled.
   const std::vector<float>& last_token_weights() const;
 
+  /// Concrete deep copy (keeps access to last_token_weights()).
+  std::unique_ptr<SeVulDetNet> clone_net() const;
+  std::unique_ptr<Detector> clone() const override { return clone_net(); }
+
  private:
   std::string name_;
   nn::ParamStore store_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
+
+#include "sevuldet/util/thread_pool.hpp"
 
 namespace sevuldet::nn {
 
@@ -29,28 +32,26 @@ Word2Vec::Word2Vec(const normalize::Vocabulary& vocab, const Word2VecConfig& con
   }
 }
 
-int Word2Vec::sample_negative() {
+int Word2Vec::sample_negative(util::Rng& rng) {
   if (unigram_cdf_.empty() || unigram_cdf_.back() <= 0.0) {
     return normalize::Vocabulary::kUnk;
   }
-  const double target = rng_.uniform_real() * unigram_cdf_.back();
+  const double target = rng.uniform_real() * unigram_cdf_.back();
   auto it = std::lower_bound(unigram_cdf_.begin(), unigram_cdf_.end(), target);
   return static_cast<int>(it - unigram_cdf_.begin());
 }
 
-void Word2Vec::train(const std::vector<std::vector<int>>& sentences) {
-  long long corpus_tokens = 0;
-  for (const auto& s : sentences) corpus_tokens += static_cast<long long>(s.size());
-  const long long total_steps =
-      std::max<long long>(1, corpus_tokens * config_.epochs);
-  long long step = 0;
-
+void Word2Vec::train_worker(const std::vector<std::vector<int>>& sentences,
+                            std::size_t offset, std::size_t stride,
+                            long long total_steps, std::atomic<long long>& step,
+                            util::Rng& rng) {
   std::vector<float> grad_center(static_cast<std::size_t>(config_.dim));
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    for (const auto& sentence : sentences) {
+    for (std::size_t si = offset; si < sentences.size(); si += stride) {
+      const auto& sentence = sentences[si];
       for (std::size_t pos = 0; pos < sentence.size(); ++pos) {
-        ++step;
+        const long long now = step.fetch_add(1, std::memory_order_relaxed) + 1;
         const int center = sentence[pos];
         if (center <= normalize::Vocabulary::kUnk) continue;
         // Frequent-token subsampling.
@@ -59,15 +60,15 @@ void Word2Vec::train(const std::vector<std::vector<int>>& sentences) {
                               static_cast<double>(total_tokens_);
           if (freq > config_.subsample) {
             const double keep = std::sqrt(config_.subsample / freq);
-            if (rng_.uniform_real() > keep) continue;
+            if (rng.uniform_real() > keep) continue;
           }
         }
         const float lr = std::max(
             config_.min_lr,
-            config_.lr * (1.0f - static_cast<float>(step) /
+            config_.lr * (1.0f - static_cast<float>(now) /
                                      static_cast<float>(total_steps)));
         const int window =
-            1 + static_cast<int>(rng_.uniform(static_cast<std::uint64_t>(config_.window)));
+            1 + static_cast<int>(rng.uniform(static_cast<std::uint64_t>(config_.window)));
         const std::size_t lo = pos >= static_cast<std::size_t>(window)
                                    ? pos - static_cast<std::size_t>(window)
                                    : 0;
@@ -86,7 +87,7 @@ void Word2Vec::train(const std::vector<std::vector<int>>& sentences) {
               target_id = context;
               label = 1.0f;
             } else {
-              target_id = sample_negative();
+              target_id = sample_negative(rng);
               if (target_id == context || target_id <= normalize::Vocabulary::kUnk) {
                 continue;
               }
@@ -110,6 +111,42 @@ void Word2Vec::train(const std::vector<std::vector<int>>& sentences) {
       }
     }
   }
+}
+
+void Word2Vec::train(const std::vector<std::vector<int>>& sentences) {
+  long long corpus_tokens = 0;
+  for (const auto& s : sentences) corpus_tokens += static_cast<long long>(s.size());
+  const long long total_steps =
+      std::max<long long>(1, corpus_tokens * config_.epochs);
+  std::atomic<long long> step{0};
+
+  const int threads = util::resolve_threads(config_.threads);
+  if (threads <= 1 || sentences.size() < 2) {
+    // Serial path: same RNG, same visit order as ever — bit-exact.
+    train_worker(sentences, 0, 1, total_steps, step, rng_);
+    return;
+  }
+
+  // Hogwild (Niu et al.): workers stripe the sentences and update the
+  // shared in_/out_ matrices without locks. Sparse updates rarely
+  // collide, so the occasional lost write costs a little accuracy noise
+  // but no correctness; the price is bit-level nondeterminism, which is
+  // why threads defaults to 1.
+  const std::size_t stride =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), sentences.size());
+  std::vector<util::Rng> rngs;
+  rngs.reserve(stride);
+  for (std::size_t t = 0; t < stride; ++t) {
+    rngs.emplace_back(config_.seed + 0x9E3779B97F4A7C15ULL * (t + 1));
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(stride);
+  for (std::size_t t = 0; t < stride; ++t) {
+    workers.emplace_back([&, t] {
+      train_worker(sentences, t, stride, total_steps, step, rngs[t]);
+    });
+  }
+  for (auto& worker : workers) worker.join();
 }
 
 float Word2Vec::similarity(int a, int b) const {

@@ -6,6 +6,7 @@
 // detection model.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "sevuldet/normalize/vocab.hpp"
@@ -23,6 +24,12 @@ struct Word2VecConfig {
   float min_lr = 0.0001f;
   double subsample = 1e-3;  // frequent-token subsampling threshold
   std::uint64_t seed = 1234;
+  /// Training threads. 1 (default) is the serial, bit-exact path; >1 (or
+  /// 0 = all hardware threads) trains Hogwild-style — workers stripe the
+  /// sentences and update the shared embedding matrices lock-free, like
+  /// the original word2vec.c. Embedding quality is equivalent, but the
+  /// result is NOT bit-reproducible across runs or thread counts.
+  int threads = 1;
 };
 
 class Word2Vec {
@@ -43,7 +50,13 @@ class Word2Vec {
   std::vector<int> nearest(int id, int k) const;
 
  private:
-  int sample_negative();
+  int sample_negative(util::Rng& rng);
+  /// Train every `stride`-th sentence starting at `offset`, for all
+  /// epochs. `step` is the shared global step counter driving the
+  /// learning-rate decay. Serial training is train_worker(0, 1, rng_).
+  void train_worker(const std::vector<std::vector<int>>& sentences,
+                    std::size_t offset, std::size_t stride, long long total_steps,
+                    std::atomic<long long>& step, util::Rng& rng);
 
   const normalize::Vocabulary& vocab_;
   Word2VecConfig config_;

@@ -63,11 +63,11 @@ namespace {
 
 struct Finder {
   const graph::ProgramGraph& program;
-  std::vector<SpecialToken> out;
+  std::vector<SpecialToken> out{};
 
   // Per-unit flags so each (unit, category) produces at most one token.
   bool saw_fc = false, saw_au = false, saw_pu = false, saw_ae = false;
-  std::string fc_text, au_text, pu_text, ae_text;
+  std::string fc_text{}, au_text{}, pu_text{}, ae_text{};
 
   void scan_expr(const Expr& e) {
     switch (e.kind) {
@@ -160,7 +160,7 @@ struct Finder {
 }  // namespace
 
 std::vector<SpecialToken> find_special_tokens(const graph::ProgramGraph& program) {
-  Finder finder{program, {}};
+  Finder finder{program};
   for (const auto& pdg : program.functions) {
     for (const auto& unit : pdg.units) finder.scan_unit(pdg, unit);
   }

@@ -1,0 +1,148 @@
+#include "sevuldet/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+
+namespace sevuldet::util {
+
+namespace {
+thread_local int tl_parallel_depth = 0;
+
+/// RAII marker for "this thread is currently inside a parallel region".
+struct RegionGuard {
+  RegionGuard() { ++tl_parallel_depth; }
+  ~RegionGuard() { --tl_parallel_depth; }
+};
+}  // namespace
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int resolve_threads(int requested) {
+  return requested <= 0 ? hardware_threads() : requested;
+}
+
+bool ThreadPool::in_parallel_region() { return tl_parallel_depth > 0; }
+
+/// Shared state of one parallel_for call. Runners (helpers + the
+/// calling thread) pull contiguous index blocks from `next`; the last
+/// runner to finish wakes the caller.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  std::size_t block = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> aborted{false};
+  int remaining = 0;  // runners still active, guarded by m
+  std::mutex m;
+  std::condition_variable done;
+  std::exception_ptr error;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+
+  void run() {
+    RegionGuard in_region;
+    for (;;) {
+      const std::size_t begin = next.fetch_add(block, std::memory_order_relaxed);
+      if (begin >= n || aborted.load(std::memory_order_relaxed)) break;
+      const std::size_t end = std::min(begin + block, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (aborted.load(std::memory_order_relaxed)) break;
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(m);
+          if (i < error_index) {
+            error = std::current_exception();
+            error_index = i;
+          }
+          aborted.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(m);
+    if (--remaining == 0) done.notify_all();
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : size_(resolve_threads(threads)) {
+  for (int t = 1; t < size_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ set and queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (size_ <= 1 || n == 1 || in_parallel_region()) {
+    RegionGuard in_region;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  // Several blocks per runner so uneven per-index cost still balances
+  // without work stealing.
+  const std::size_t runners = std::min<std::size_t>(static_cast<std::size_t>(size_), n);
+  batch->block = std::max<std::size_t>(1, n / (runners * 4));
+  batch->remaining = static_cast<int>(runners);
+
+  for (std::size_t t = 1; t < runners; ++t) {
+    enqueue([batch] { batch->run(); });
+  }
+  batch->run();  // the caller is runner 0
+
+  std::unique_lock<std::mutex> lock(batch->m);
+  batch->done.wait(lock, [&] { return batch->remaining == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t n,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min<std::size_t>(static_cast<std::size_t>(size_), n);
+  parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = n * c / chunks;
+    const std::size_t end = n * (c + 1) / chunks;
+    fn(static_cast<int>(c), begin, end);
+  });
+}
+
+}  // namespace sevuldet::util

@@ -1,0 +1,86 @@
+// Deterministic fixed-size thread pool for the preprocessing and
+// evaluation hot paths. No work stealing: a parallel_for hands out
+// contiguous index blocks from a shared atomic cursor, and every helper
+// writes only to its own output slot, so results are independent of
+// scheduling — parallel_map returns exactly what a serial loop would
+// return, in input order. Nested parallel regions (a task that itself
+// calls parallel_for) execute inline on the calling thread, which makes
+// composition deadlock-free by construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sevuldet::util {
+
+/// std::thread::hardware_concurrency(), clamped to at least 1.
+int hardware_threads();
+
+/// Resolve a user-facing thread-count knob: <= 0 means "all hardware
+/// threads", anything else is taken literally.
+int resolve_threads(int requested);
+
+class ThreadPool {
+ public:
+  /// threads <= 0 selects hardware_threads(). A pool of size 1 starts no
+  /// worker threads and runs every parallel region inline.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Fixed worker count chosen at construction.
+  int size() const { return size_; }
+
+  /// True while the current thread is executing inside a parallel
+  /// region (worker task or participating caller).
+  static bool in_parallel_region();
+
+  /// Run fn(i) for every i in [0, n); blocks until all indices complete.
+  /// The calling thread participates. If any fn(i) throws, the exception
+  /// thrown at the smallest observed index is rethrown here after all
+  /// runners stop (remaining indices are then skipped best-effort).
+  /// Called from inside a parallel region, it degrades to a plain serial
+  /// loop so nested submission can never deadlock.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Split [0, n) into size() contiguous ranges and run
+  /// fn(worker, begin, end) — at most one concurrent call per worker
+  /// index, so callers can keep per-worker scratch state (for example a
+  /// cloned model) without locking. Ranges preserve input order:
+  /// worker w always gets a range that starts before worker w+1's.
+  void parallel_chunks(
+      std::size_t n,
+      const std::function<void(int worker, std::size_t begin, std::size_t end)>& fn);
+
+  /// Order-preserving map: out[i] = fn(i), computed concurrently.
+  template <typename Fn>
+  auto parallel_map(std::size_t n, Fn&& fn)
+      -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+    using R = std::decay_t<decltype(fn(std::size_t{0}))>;
+    std::vector<R> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  struct Batch;
+  void worker_loop();
+  void enqueue(std::function<void()> job);
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+}  // namespace sevuldet::util

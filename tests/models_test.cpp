@@ -104,7 +104,7 @@ TEST(SeVulDetNet, LearnsSimplePattern) {
     const bool positive = i % 2 == 0;
     std::vector<int> ids(8, 3);
     if (positive) ids[4] = 5;
-    if (net.predict(ids) > 0.5f == positive) ++correct;
+    if ((net.predict(ids) > 0.5f) == positive) ++correct;
   }
   EXPECT_GE(correct, 90) << "model failed to learn a trivial pattern";
 }

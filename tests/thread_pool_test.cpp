@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sevuldet/util/thread_pool.hpp"
+
+namespace su = sevuldet::util;
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(su::hardware_threads(), 1);
+  EXPECT_EQ(su::resolve_threads(0), su::hardware_threads());
+  EXPECT_EQ(su::resolve_threads(-3), su::hardware_threads());
+  EXPECT_EQ(su::resolve_threads(5), 5);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  su::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelMapPreservesInputOrder) {
+  su::ThreadPool pool(4);
+  // Early indices sleep so they finish after late ones; the result must
+  // still come back in input order.
+  auto out = pool.parallel_map(64, [](std::size_t i) {
+    if (i < 8) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return static_cast<long>(i) * static_cast<long>(i);
+  });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<long>(i) * static_cast<long>(i));
+  }
+}
+
+TEST(ThreadPool, MatchesSerialExecution) {
+  auto work = [](std::size_t i) { return static_cast<int>(i % 17) - 3; };
+  std::vector<int> serial(257);
+  for (std::size_t i = 0; i < serial.size(); ++i) serial[i] = work(i);
+  su::ThreadPool pool(3);
+  EXPECT_EQ(pool.parallel_map(serial.size(), work), serial);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  su::ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                          ++completed;
+                        }),
+      std::runtime_error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  su::ThreadPool pool(4);
+  EXPECT_FALSE(su::ThreadPool::in_parallel_region());
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    EXPECT_TRUE(su::ThreadPool::in_parallel_region());
+    // Nested region: must degrade to a serial loop, not deadlock.
+    pool.parallel_for(8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+  EXPECT_FALSE(su::ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, SizeOneRunsInlineOnCaller) {
+  su::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(16, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp) {
+  su::ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelChunksPartitionInOrder) {
+  su::ThreadPool pool(4);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(pool.size(),
+                                                          {std::size_t{0}, std::size_t{0}});
+  std::atomic<int> calls{0};
+  pool.parallel_chunks(103, [&](int worker, std::size_t begin, std::size_t end) {
+    ranges[static_cast<std::size_t>(worker)] = {begin, end};
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 4);
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LT(begin, end);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 103u);
+}
+
+TEST(ThreadPool, ParallelChunksWithFewerItemsThanWorkers) {
+  su::ThreadPool pool(8);
+  std::atomic<int> covered{0};
+  pool.parallel_chunks(3, [&](int /*worker*/, std::size_t begin, std::size_t end) {
+    covered += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 3);
+}
+
+TEST(ThreadPool, OversubscriptionIsSafe) {
+  // More workers than cores (this repo's CI runs on small machines).
+  su::ThreadPool pool(16);
+  std::vector<long> slot(2048, 0);
+  pool.parallel_for(slot.size(), [&](std::size_t i) {
+    slot[i] = static_cast<long>(i) + 1;
+  });
+  const long sum = std::accumulate(slot.begin(), slot.end(), 0L);
+  EXPECT_EQ(sum, 2048L * 2049L / 2L);
+}

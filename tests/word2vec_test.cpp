@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sevuldet/nn/word2vec.hpp"
 
 namespace nn = sevuldet::nn;
@@ -90,4 +92,24 @@ TEST(Word2Vec, EmbeddingShapeMatchesVocab) {
   nn::Word2Vec w2v(corpus.vocab, cfg);
   EXPECT_EQ(w2v.embeddings().rows(), corpus.vocab.size());
   EXPECT_EQ(w2v.embeddings().cols(), 12);
+}
+
+TEST(Word2Vec, HogwildThreadsStillLearnTopicStructure) {
+  // threads > 1 trains Hogwild-style: lock-free, nondeterministic at the
+  // bit level, but embedding quality must hold up (see EXPERIMENTS.md).
+  TopicCorpus corpus;
+  nn::Word2VecConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 5;
+  cfg.subsample = 0;
+  cfg.threads = 2;
+  nn::Word2Vec w2v(corpus.vocab, cfg);
+  w2v.train(corpus.sentences);
+
+  for (std::size_t i = 0; i < w2v.embeddings().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(w2v.embeddings()[i]));
+  }
+  int a1 = corpus.vocab.id("a1"), a2 = corpus.vocab.id("a2");
+  int b1 = corpus.vocab.id("b1");
+  EXPECT_GT(w2v.similarity(a1, a2), w2v.similarity(a1, b1));
 }
