@@ -4,6 +4,7 @@
 // the paper's interpretability analysis (RQ4).
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "sevuldet/dataset/realworld.hpp"

@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "sevuldet/nn/autograd.hpp"
 #include "sevuldet/nn/optim.hpp"
 #include "sevuldet/util/log.hpp"
 #include "sevuldet/util/strings.hpp"
@@ -67,6 +68,7 @@ TrainResult train_multiclass(models::Detector& detector, const SampleRefs& train
   std::vector<std::size_t> order(train.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  nn::Graph graph;  // arena-backed autograd storage, reused per sample
   const auto start = std::chrono::steady_clock::now();
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     shuffle_rng.shuffle(order);
@@ -74,6 +76,7 @@ TrainResult train_multiclass(models::Detector& detector, const SampleRefs& train
     for (std::size_t i : order) {
       const auto& sample = *train[i];
       if (sample.ids.empty()) continue;
+      nn::GraphScope scope(graph);
       nn::NodePtr logits = detector.forward_logit(sample.ids, /*train=*/true);
       const int target = classes.class_of(sample);
       nn::NodePtr loss = nn::cross_entropy_with_logits(logits, target);
@@ -108,8 +111,10 @@ MulticlassEval evaluate_multiclass(models::Detector& detector,
   eval.confusion.assign(static_cast<std::size_t>(n),
                         std::vector<long long>(static_cast<std::size_t>(n), 0));
   long long correct = 0, total = 0;
+  nn::Graph graph;
   for (const auto* sample : test) {
     if (sample->ids.empty()) continue;
+    nn::GraphScope scope(graph);
     const int truth = classes.class_of(*sample);
     const auto [predicted, prob] = detector.predict_class(sample->ids);
     (void)prob;

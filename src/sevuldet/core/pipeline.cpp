@@ -76,7 +76,7 @@ std::vector<Finding> SeVulDet::detect(const std::string& source, int top_k) {
   // Slice + normalize + classify one special token. Eval-mode forward
   // passes are deterministic, so which model instance runs them does not
   // change the result — only which thread it runs on.
-  auto process = [&](models::SeVulDetNet& model,
+  auto process = [&](models::SeVulDetNet& model, nn::Graph& graph,
                      const slicer::SpecialToken& token) -> std::optional<Finding> {
     slicer::CodeGadget gadget =
         slicer::generate_gadget(program, token, config_.corpus.gadget);
@@ -84,6 +84,7 @@ std::vector<Finding> SeVulDet::detect(const std::string& source, int top_k) {
     normalize::NormalizedGadget norm = normalize::normalize_gadget(gadget);
     if (norm.tokens.empty()) return std::nullopt;
     std::vector<int> ids = vocab_.encode(norm.tokens);
+    nn::GraphScope scope(graph);
     const float probability = model.predict(ids);
     if (probability <= config_.model.threshold) return std::nullopt;
 
@@ -108,11 +109,15 @@ std::vector<Finding> SeVulDet::detect(const std::string& source, int top_k) {
     pool.parallel_chunks(tokens.size(), [&](int worker, std::size_t begin,
                                             std::size_t end) {
       models::SeVulDetNet& model = *clones[static_cast<std::size_t>(worker)];
-      for (std::size_t i = begin; i < end; ++i) slots[i] = process(model, tokens[i]);
+      nn::Graph graph;
+      for (std::size_t i = begin; i < end; ++i) {
+        slots[i] = process(model, graph, tokens[i]);
+      }
     });
   } else {
+    nn::Graph graph;
     for (std::size_t i = 0; i < tokens.size(); ++i) {
-      slots[i] = process(*model_, tokens[i]);
+      slots[i] = process(*model_, graph, tokens[i]);
     }
   }
 

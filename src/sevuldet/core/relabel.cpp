@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sevuldet/dataset/kfold.hpp"
+#include "sevuldet/nn/autograd.hpp"
 
 namespace sevuldet::core {
 
@@ -16,9 +17,11 @@ std::vector<SuspectLabel> find_suspect_labels(const dataset::Corpus& corpus,
   for (const auto& split : splits) {
     auto detector = factory(corpus.vocab.size());
     train_detector(*detector, sample_refs(corpus, split.train), config.train);
+    nn::Graph graph;
     for (std::size_t idx : split.test) {
       const auto& sample = corpus.samples[idx];
       if (sample.ids.empty()) continue;
+      nn::GraphScope scope(graph);
       const float probability = detector->predict(sample.ids);
       const float disagreement =
           std::fabs(probability - static_cast<float>(sample.label));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "sevuldet/nn/autograd.hpp"
 #include "sevuldet/nn/optim.hpp"
 #include "sevuldet/util/log.hpp"
 #include "sevuldet/util/strings.hpp"
@@ -54,6 +55,9 @@ TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
   std::vector<std::size_t> order(train.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  // One arena-backed graph reused for every sample: after the first pass
+  // over the largest gadget, a train step performs no heap allocation.
+  nn::Graph graph;
   const auto start = std::chrono::steady_clock::now();
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     shuffle_rng.shuffle(order);
@@ -61,6 +65,7 @@ TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
     for (std::size_t i : order) {
       const auto& sample = *train[i];
       if (sample.ids.empty()) continue;
+      nn::GraphScope scope(graph);
       nn::NodePtr logit = detector.forward_logit(sample.ids, /*train=*/true);
       nn::NodePtr loss =
           nn::bce_with_logits(logit, static_cast<float>(sample.label));
@@ -93,8 +98,10 @@ dataset::Confusion evaluate_detector(models::Detector& detector,
   const int workers = util::resolve_threads(threads);
   if (workers <= 1 || test.size() < 2) {
     dataset::Confusion confusion;
+    nn::Graph graph;
     for (const auto* sample : test) {
       if (sample->ids.empty()) continue;
+      nn::GraphScope scope(graph);
       const bool predicted = detector.is_vulnerable(sample->ids);
       confusion.record(predicted, sample->label == 1);
     }
@@ -110,9 +117,11 @@ dataset::Confusion evaluate_detector(models::Detector& detector,
                                         std::size_t end) {
     models::Detector& model = *clones[static_cast<std::size_t>(worker)];
     dataset::Confusion& confusion = partial[static_cast<std::size_t>(worker)];
+    nn::Graph graph;  // per-worker: GraphScope is thread-local
     for (std::size_t i = begin; i < end; ++i) {
       const auto* sample = test[i];
       if (sample->ids.empty()) continue;
+      nn::GraphScope scope(graph);
       confusion.record(model.is_vulnerable(sample->ids), sample->label == 1);
     }
   });

@@ -39,7 +39,14 @@ std::vector<int> BiRnnNet::fix_length(const std::vector<int>& tokens) const {
 }
 
 nn::NodePtr BiRnnNet::forward_logit(const std::vector<int>& tokens, bool train) {
-  std::vector<int> ids = fix_length(tokens);
+  std::vector<int>& ids = ids_scratch_;
+  ids.assign(tokens.begin(), tokens.end());
+  const std::size_t target = static_cast<std::size_t>(config_.fixed_length);
+  if (ids.size() > target) {
+    ids.resize(target);
+  } else {
+    ids.resize(target, 0);
+  }
   nn::NodePtr x = nn::embedding(embedding_, ids);
   x = nn::dropout(x, config_.dropout, rng_, train);
   nn::NodePtr h = rnn_->forward(x);

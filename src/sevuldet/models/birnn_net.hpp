@@ -32,6 +32,7 @@ class BiRnnNet : public Detector {
   nn::NodePtr embedding_;
   std::unique_ptr<nn::BiRnn> rnn_;
   std::unique_ptr<nn::Dense> fc_;
+  std::vector<int> ids_scratch_;  // fixed-length ids, reused per forward
 };
 
 /// Factory helpers matching the paper's baseline names.

@@ -56,7 +56,8 @@ SeVulDetNet::SeVulDetNet(ModelConfig config)
 nn::NodePtr SeVulDetNet::forward_logit(const std::vector<int>& tokens, bool train) {
   // Flexible length: no truncation, no padding — the SPP layer absorbs
   // any T >= conv kernel; ultra-short inputs are padded up to the kernel.
-  std::vector<int> ids = tokens;
+  std::vector<int>& ids = ids_scratch_;
+  ids.assign(tokens.begin(), tokens.end());
   while (static_cast<int>(ids.size()) < config_.conv_kernel) ids.push_back(0);
 
   nn::NodePtr x = nn::embedding(embedding_, ids);           // [T, E]

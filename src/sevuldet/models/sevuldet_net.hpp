@@ -40,6 +40,7 @@ class SeVulDetNet : public Detector {
   std::unique_ptr<nn::Conv1d> conv2_;
   std::unique_ptr<nn::Dense> fc1_, fc2_, fc3_;
   std::vector<float> empty_weights_;
+  std::vector<int> ids_scratch_;  // padded token ids, reused per forward
 };
 
 }  // namespace sevuldet::models

@@ -3,18 +3,58 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_set>
+
+#include "sevuldet/nn/kernels.hpp"
 
 namespace sevuldet::nn {
 
 namespace {
 
-NodePtr make_node(Tensor value, std::vector<NodePtr> parents) {
-  auto node = std::make_shared<Node>();
+thread_local Graph* tls_graph = nullptr;
+// Monotone DFS epoch; marking nodes replaces a per-backward hash set.
+thread_local std::uint64_t tls_epoch = 0;
+
+/// Pooled node under an active GraphScope, heap node otherwise.
+NodePtr fresh_node() {
+  Graph* graph = Graph::current();
+  return graph ? graph->acquire_node() : std::make_shared<Node>();
+}
+
+/// Zeroed activation tensor: arena-backed in graph mode, heap otherwise.
+Tensor ctx_alloc(int rows, int cols) {
+  Graph* graph = Graph::current();
+  return graph ? graph->alloc(rows, cols) : Tensor(rows, cols);
+}
+
+Tensor ctx_scalar(float v) {
+  Tensor t = ctx_alloc(1, 1);
+  t.at(0, 0) = v;
+  return t;
+}
+
+/// Copy of `src` in activation storage.
+Tensor ctx_clone(const Tensor& src) {
+  Tensor out = ctx_alloc(src.rows(), src.cols());
+  kernels::copy(src.size(), src.data(), out.data());
+  return out;
+}
+
+NodePtr make_node(Tensor value, std::initializer_list<NodePtr> parents) {
+  NodePtr node = fresh_node();
   node->value = std::move(value);
-  node->parents = std::move(parents);
-  for (const auto& p : node->parents) {
+  for (const auto& p : parents) {
     if (p->requires_grad) node->requires_grad = true;
+    node->parents.push_back(p);
+  }
+  return node;
+}
+
+NodePtr make_node(Tensor value, const std::vector<NodePtr>& parents) {
+  NodePtr node = fresh_node();
+  node->value = std::move(value);
+  for (const auto& p : parents) {
+    if (p->requires_grad) node->requires_grad = true;
+    node->parents.push_back(p);
   }
   return node;
 }
@@ -26,14 +66,75 @@ NodePtr make_node(Tensor value, std::vector<NodePtr> parents) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Node / Graph / GraphScope
+// ---------------------------------------------------------------------------
+
+void Node::ensure_grad() {
+  if (grad.same_shape(value) && (grad.data() != nullptr || value.empty())) {
+    return;
+  }
+  grad = home != nullptr ? home->alloc(value.rows(), value.cols())
+                         : Tensor(value.rows(), value.cols());
+}
+
+void Node::zero_grad() {
+  if (grad.same_shape(value) && (grad.data() != nullptr || value.empty())) {
+    grad.fill(0.0f);
+    return;
+  }
+  grad = home != nullptr ? home->alloc(value.rows(), value.cols())
+                         : Tensor(value.rows(), value.cols());
+}
+
+Graph* Graph::current() { return tls_graph; }
+
+void Graph::reset() {
+  for (std::size_t i = 0; i < used_; ++i) {
+    Node& node = *pool_[i];
+    node.value = Tensor();
+    node.grad = Tensor();
+    node.requires_grad = false;
+    node.backward_fn = BackwardFn();
+    node.parents.clear();    // keeps capacity
+    // iscratch keeps capacity AND contents; every op that reads it
+    // rewrites it first.
+  }
+  used_ = 0;
+  arena_.reset();
+}
+
+Tensor Graph::alloc(int rows, int cols) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("negative tensor shape");
+  const std::size_t n =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  return Tensor::borrowed(rows, cols, arena_.allocate(n));
+}
+
+NodePtr Graph::acquire_node() {
+  if (used_ == pool_.size()) pool_.push_back(std::make_shared<Node>());
+  NodePtr node = pool_[used_++];
+  node->home = this;
+  return node;
+}
+
+GraphScope::GraphScope(Graph& graph) : prev_(tls_graph) {
+  graph.reset();
+  tls_graph = &graph;
+}
+
+GraphScope::~GraphScope() { tls_graph = prev_; }
+
+Tensor make_activation(int rows, int cols) { return ctx_alloc(rows, cols); }
+
 NodePtr constant(Tensor value) {
-  auto node = std::make_shared<Node>();
+  NodePtr node = fresh_node();
   node->value = std::move(value);
-  node->requires_grad = false;
   return node;
 }
 
 NodePtr param(Tensor value) {
+  // Parameters are long-lived and shared across graphs: always heap.
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
   node->requires_grad = true;
@@ -45,17 +146,22 @@ void backward(const NodePtr& root) {
   if (root->value.rows() != 1 || root->value.cols() != 1) {
     throw std::invalid_argument("backward: root must be scalar [1,1]");
   }
-  // Topological order via iterative post-order DFS.
-  std::vector<Node*> order;
-  std::unordered_set<Node*> visited;
-  std::vector<std::pair<Node*, std::size_t>> stack;
+  // Topological order via iterative post-order DFS. The scratch vectors
+  // are thread-local and the visited set is an epoch stamp on the nodes,
+  // so a steady-state sweep allocates nothing.
+  static thread_local std::vector<Node*> order;
+  static thread_local std::vector<std::pair<Node*, std::size_t>> stack;
+  order.clear();
+  stack.clear();
+  const std::uint64_t epoch = ++tls_epoch;
   stack.emplace_back(root.get(), 0);
-  visited.insert(root.get());
+  root->visit_epoch = epoch;
   while (!stack.empty()) {
     auto& [node, idx] = stack.back();
     if (idx < node->parents.size()) {
       Node* parent = node->parents[idx++].get();
-      if (parent->requires_grad && visited.insert(parent).second) {
+      if (parent->requires_grad && parent->visit_epoch != epoch) {
+        parent->visit_epoch = epoch;
         stack.emplace_back(parent, 0);
       }
     } else {
@@ -83,19 +189,19 @@ void backward(const NodePtr& root) {
 
 NodePtr add(const NodePtr& a, const NodePtr& b) {
   if (!a->value.same_shape(b->value)) shape_error("add", a->value, b->value);
-  Tensor out = a->value;
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] += b->value[i];
+  Tensor out = ctx_clone(a->value);
+  kernels::add_inplace(out.size(), b->value.data(), out.data());
   auto node = make_node(std::move(out), {a, b});
   Node* n = node.get();
   Node *pa = a.get(), *pb = b.get();
   node->backward_fn = [n, pa, pb]() {
     if (pa->requires_grad) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < n->grad.size(); ++i) pa->grad[i] += n->grad[i];
+      kernels::add_inplace(n->grad.size(), n->grad.data(), pa->grad.data());
     }
     if (pb->requires_grad) {
       pb->ensure_grad();
-      for (std::size_t i = 0; i < n->grad.size(); ++i) pb->grad[i] += n->grad[i];
+      kernels::add_inplace(n->grad.size(), n->grad.data(), pb->grad.data());
     }
   };
   return node;
@@ -105,10 +211,11 @@ NodePtr add_row(const NodePtr& a, const NodePtr& bias) {
   if (bias->value.rows() != 1 || bias->value.cols() != a->value.cols()) {
     shape_error("add_row", a->value, bias->value);
   }
-  Tensor out = a->value;
-  const int rows = out.rows(), cols = out.cols();
+  const int rows = a->value.rows(), cols = a->value.cols();
+  Tensor out = ctx_clone(a->value);
   for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) out.at(r, c) += bias->value.at(0, c);
+    kernels::add_inplace(static_cast<std::size_t>(cols), bias->value.data(),
+                         &out.at(r, 0));
   }
   auto node = make_node(std::move(out), {a, bias});
   Node* n = node.get();
@@ -116,13 +223,11 @@ NodePtr add_row(const NodePtr& a, const NodePtr& bias) {
   node->backward_fn = [n, pa, pb, rows, cols]() {
     if (pa->requires_grad) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < n->grad.size(); ++i) pa->grad[i] += n->grad[i];
+      kernels::add_inplace(n->grad.size(), n->grad.data(), pa->grad.data());
     }
     if (pb->requires_grad) {
       pb->ensure_grad();
-      for (int r = 0; r < rows; ++r) {
-        for (int c = 0; c < cols; ++c) pb->grad.at(0, c) += n->grad.at(r, c);
-      }
+      kernels::col_sum_add(rows, cols, n->grad.data(), pb->grad.data());
     }
   };
   return node;
@@ -134,38 +239,38 @@ NodePtr sub(const NodePtr& a, const NodePtr& b) {
 
 NodePtr mul(const NodePtr& a, const NodePtr& b) {
   if (!a->value.same_shape(b->value)) shape_error("mul", a->value, b->value);
-  Tensor out = a->value;
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= b->value[i];
+  Tensor out = ctx_alloc(a->value.rows(), a->value.cols());
+  const std::size_t n_elems = out.size();
+  for (std::size_t i = 0; i < n_elems; ++i) out[i] = a->value[i] * b->value[i];
   auto node = make_node(std::move(out), {a, b});
   Node* n = node.get();
   Node *pa = a.get(), *pb = b.get();
   node->backward_fn = [n, pa, pb]() {
     if (pa->requires_grad) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < n->grad.size(); ++i) {
-        pa->grad[i] += n->grad[i] * pb->value[i];
-      }
+      kernels::mul_accumulate(n->grad.size(), n->grad.data(), pb->value.data(),
+                              pa->grad.data());
     }
     if (pb->requires_grad) {
       pb->ensure_grad();
-      for (std::size_t i = 0; i < n->grad.size(); ++i) {
-        pb->grad[i] += n->grad[i] * pa->value[i];
-      }
+      kernels::mul_accumulate(n->grad.size(), n->grad.data(), pa->value.data(),
+                              pb->grad.data());
     }
   };
   return node;
 }
 
 NodePtr scale(const NodePtr& a, float k) {
-  Tensor out = a->value;
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= k;
+  Tensor out = ctx_alloc(a->value.rows(), a->value.cols());
+  const std::size_t n_elems = out.size();
+  for (std::size_t i = 0; i < n_elems; ++i) out[i] = a->value[i] * k;
   auto node = make_node(std::move(out), {a});
   Node* n = node.get();
   Node* pa = a.get();
   node->backward_fn = [n, pa, k]() {
     if (!pa->requires_grad) return;
     pa->ensure_grad();
-    for (std::size_t i = 0; i < n->grad.size(); ++i) pa->grad[i] += n->grad[i] * k;
+    kernels::axpy(n->grad.size(), k, n->grad.data(), pa->grad.data());
   };
   return node;
 }
@@ -173,48 +278,23 @@ NodePtr scale(const NodePtr& a, float k) {
 NodePtr matmul(const NodePtr& a, const NodePtr& b) {
   if (a->value.cols() != b->value.rows()) shape_error("matmul", a->value, b->value);
   const int m = a->value.rows(), k = a->value.cols(), n = b->value.cols();
-  Tensor out(m, n);
-  for (int i = 0; i < m; ++i) {
-    const float* arow = &a->value.at(i, 0);
-    float* orow = &out.at(i, 0);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = &b->value.at(p, 0);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  Tensor out = ctx_alloc(m, n);
+  kernels::gemm(m, n, k, a->value.data(), b->value.data(), out.data());
   auto node = make_node(std::move(out), {a, b});
   Node* nn_ = node.get();
   Node *pa = a.get(), *pb = b.get();
   node->backward_fn = [nn_, pa, pb, m, k, n]() {
-    // dA = dOut * B^T ; dB = A^T * dOut — both loops ordered for
-    // contiguous row access (this is the training hot path).
+    // dA = dOut * B^T ; dB = A^T * dOut — both transposes fused into the
+    // kernel's access pattern (this is the training hot path).
     if (pa->requires_grad) {
       pa->ensure_grad();
-      for (int i = 0; i < m; ++i) {
-        const float* grow = &nn_->grad.at(i, 0);
-        float* arow = &pa->grad.at(i, 0);
-        for (int p = 0; p < k; ++p) {
-          const float* brow = &pb->value.at(p, 0);
-          float acc = 0.0f;
-          for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
-          arow[p] += acc;
-        }
-      }
+      kernels::gemm_a_bt(m, k, n, nn_->grad.data(), pb->value.data(),
+                         pa->grad.data());
     }
     if (pb->requires_grad) {
       pb->ensure_grad();
-      for (int i = 0; i < m; ++i) {
-        const float* arow = &pa->value.at(i, 0);
-        const float* grow = &nn_->grad.at(i, 0);
-        for (int p = 0; p < k; ++p) {
-          const float av = arow[p];
-          if (av == 0.0f) continue;
-          float* bgrow = &pb->grad.at(p, 0);
-          for (int j = 0; j < n; ++j) bgrow[j] += av * grow[j];
-        }
-      }
+      kernels::gemm_at_b(k, n, m, pa->value.data(), nn_->grad.data(),
+                         pb->grad.data());
     }
   };
   return node;
@@ -222,19 +302,17 @@ NodePtr matmul(const NodePtr& a, const NodePtr& b) {
 
 NodePtr transpose(const NodePtr& a) {
   const int m = a->value.rows(), n = a->value.cols();
-  Tensor out(n, m);
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) out.at(j, i) = a->value.at(i, j);
-  }
+  Tensor out = ctx_alloc(n, m);
+  kernels::transpose_copy(m, n, a->value.data(), out.data());
   auto node = make_node(std::move(out), {a});
   Node* nd = node.get();
   Node* pa = a.get();
   node->backward_fn = [nd, pa, m, n]() {
     if (!pa->requires_grad) return;
     pa->ensure_grad();
-    for (int i = 0; i < m; ++i) {
-      for (int j = 0; j < n; ++j) pa->grad.at(i, j) += nd->grad.at(j, i);
-    }
+    // grad is [n,m]; accumulate its transpose into the [m,n] parent with
+    // unit-stride writes.
+    kernels::transpose_add(n, m, nd->grad.data(), pa->grad.data());
   };
   return node;
 }
@@ -247,8 +325,9 @@ namespace {
 
 template <typename Fwd, typename Bwd>
 NodePtr unary_op(const NodePtr& a, Fwd fwd, Bwd bwd) {
-  Tensor out = a->value;
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fwd(out[i]);
+  Tensor out = ctx_alloc(a->value.rows(), a->value.cols());
+  const std::size_t n_elems = out.size();
+  for (std::size_t i = 0; i < n_elems; ++i) out[i] = fwd(a->value[i]);
   auto node = make_node(std::move(out), {a});
   Node* nd = node.get();
   Node* pa = a.get();
@@ -288,7 +367,7 @@ NodePtr softmax_col(const NodePtr& a) {
                                 a->value.shape_string());
   }
   const int t = a->value.rows();
-  Tensor out(t, 1);
+  Tensor out = ctx_alloc(t, 1);
   float max_v = a->value.at(0, 0);
   for (int i = 1; i < t; ++i) max_v = std::max(max_v, a->value.at(i, 0));
   float sum = 0.0f;
@@ -304,8 +383,8 @@ NodePtr softmax_col(const NodePtr& a) {
     if (!pa->requires_grad) return;
     pa->ensure_grad();
     // dX_i = y_i * (g_i - sum_j g_j y_j)
-    float dot = 0.0f;
-    for (int j = 0; j < t; ++j) dot += nd->grad.at(j, 0) * nd->value.at(j, 0);
+    const float dot =
+        kernels::dot(static_cast<std::size_t>(t), nd->grad.data(), nd->value.data());
     for (int i = 0; i < t; ++i) {
       pa->grad.at(i, 0) += nd->value.at(i, 0) * (nd->grad.at(i, 0) - dot);
     }
@@ -322,10 +401,10 @@ NodePtr concat_cols(const NodePtr& a, const NodePtr& b) {
     shape_error("concat_cols", a->value, b->value);
   }
   const int m = a->value.rows(), p = a->value.cols(), q = b->value.cols();
-  Tensor out(m, p + q);
+  Tensor out = ctx_alloc(m, p + q);
   for (int r = 0; r < m; ++r) {
-    for (int c = 0; c < p; ++c) out.at(r, c) = a->value.at(r, c);
-    for (int c = 0; c < q; ++c) out.at(r, p + c) = b->value.at(r, c);
+    kernels::copy(static_cast<std::size_t>(p), &a->value.at(r, 0), &out.at(r, 0));
+    kernels::copy(static_cast<std::size_t>(q), &b->value.at(r, 0), &out.at(r, p));
   }
   auto node = make_node(std::move(out), {a, b});
   Node* nd = node.get();
@@ -334,13 +413,15 @@ NodePtr concat_cols(const NodePtr& a, const NodePtr& b) {
     if (pa->requires_grad) {
       pa->ensure_grad();
       for (int r = 0; r < m; ++r) {
-        for (int c = 0; c < p; ++c) pa->grad.at(r, c) += nd->grad.at(r, c);
+        kernels::add_inplace(static_cast<std::size_t>(p), &nd->grad.at(r, 0),
+                             &pa->grad.at(r, 0));
       }
     }
     if (pb->requires_grad) {
       pb->ensure_grad();
       for (int r = 0; r < m; ++r) {
-        for (int c = 0; c < q; ++c) pb->grad.at(r, c) += nd->grad.at(r, p + c);
+        kernels::add_inplace(static_cast<std::size_t>(q), &nd->grad.at(r, p),
+                             &pb->grad.at(r, 0));
       }
     }
   };
@@ -355,29 +436,21 @@ NodePtr concat_rows(const std::vector<NodePtr>& parts) {
     if (p->value.cols() != cols) shape_error("concat_rows", parts[0]->value, p->value);
     rows += p->value.rows();
   }
-  Tensor out(rows, cols);
+  Tensor out = ctx_alloc(rows, cols);
   int offset = 0;
   for (const auto& p : parts) {
-    for (int r = 0; r < p->value.rows(); ++r) {
-      for (int c = 0; c < cols; ++c) out.at(offset + r, c) = p->value.at(r, c);
-    }
+    kernels::copy(p->value.size(), p->value.data(), &out.at(offset, 0));
     offset += p->value.rows();
   }
   auto node = make_node(std::move(out), parts);
   Node* nd = node.get();
-  std::vector<Node*> raw;
-  raw.reserve(parts.size());
-  for (const auto& p : parts) raw.push_back(p.get());
-  node->backward_fn = [nd, raw, cols]() {
+  node->backward_fn = [nd]() {
     int offset = 0;
-    for (Node* p : raw) {
+    for (const auto& p : nd->parents) {
       if (p->requires_grad) {
         p->ensure_grad();
-        for (int r = 0; r < p->value.rows(); ++r) {
-          for (int c = 0; c < cols; ++c) {
-            p->grad.at(r, c) += nd->grad.at(offset + r, c);
-          }
-        }
+        kernels::add_inplace(p->value.size(), &nd->grad.at(offset, 0),
+                             p->grad.data());
       }
       offset += p->value.rows();
     }
@@ -390,9 +463,10 @@ NodePtr slice_cols(const NodePtr& a, int from, int to) {
     throw std::invalid_argument("slice_cols: bad range");
   }
   const int m = a->value.rows(), w = to - from;
-  Tensor out(m, w);
+  Tensor out = ctx_alloc(m, w);
   for (int r = 0; r < m; ++r) {
-    for (int c = 0; c < w; ++c) out.at(r, c) = a->value.at(r, from + c);
+    kernels::copy(static_cast<std::size_t>(w), &a->value.at(r, from),
+                  &out.at(r, 0));
   }
   auto node = make_node(std::move(out), {a});
   Node* nd = node.get();
@@ -401,7 +475,8 @@ NodePtr slice_cols(const NodePtr& a, int from, int to) {
     if (!pa->requires_grad) return;
     pa->ensure_grad();
     for (int r = 0; r < m; ++r) {
-      for (int c = 0; c < w; ++c) pa->grad.at(r, from + c) += nd->grad.at(r, c);
+      kernels::add_inplace(static_cast<std::size_t>(w), &nd->grad.at(r, 0),
+                           &pa->grad.at(r, from));
     }
   };
   return node;
@@ -412,34 +487,31 @@ NodePtr slice_rows(const NodePtr& a, int from, int to) {
     throw std::invalid_argument("slice_rows: bad range");
   }
   const int h = to - from, n = a->value.cols();
-  Tensor out(h, n);
-  for (int r = 0; r < h; ++r) {
-    for (int c = 0; c < n; ++c) out.at(r, c) = a->value.at(from + r, c);
-  }
+  Tensor out = ctx_alloc(h, n);
+  kernels::copy(out.size(), &a->value.at(from, 0), out.data());
   auto node = make_node(std::move(out), {a});
   Node* nd = node.get();
   Node* pa = a.get();
-  node->backward_fn = [nd, pa, h, n, from]() {
+  node->backward_fn = [nd, pa, from]() {
     if (!pa->requires_grad) return;
     pa->ensure_grad();
-    for (int r = 0; r < h; ++r) {
-      for (int c = 0; c < n; ++c) pa->grad.at(from + r, c) += nd->grad.at(r, c);
-    }
+    kernels::add_inplace(nd->grad.size(), nd->grad.data(),
+                         &pa->grad.at(from, 0));
   };
   return node;
 }
 
 NodePtr reshape_row(const NodePtr& a) {
   const int m = a->value.rows(), n = a->value.cols();
-  Tensor out(1, m * n);
-  for (std::size_t i = 0; i < a->value.size(); ++i) out[i] = a->value[i];
+  Tensor out = ctx_alloc(1, m * n);
+  kernels::copy(a->value.size(), a->value.data(), out.data());
   auto node = make_node(std::move(out), {a});
   Node* nd = node.get();
   Node* pa = a.get();
   node->backward_fn = [nd, pa]() {
     if (!pa->requires_grad) return;
     pa->ensure_grad();
-    for (std::size_t i = 0; i < nd->grad.size(); ++i) pa->grad[i] += nd->grad[i];
+    kernels::add_inplace(nd->grad.size(), nd->grad.data(), pa->grad.data());
   };
   return node;
 }
@@ -451,7 +523,7 @@ NodePtr reshape_row(const NodePtr& a) {
 NodePtr sum_all(const NodePtr& a) {
   float total = 0.0f;
   for (std::size_t i = 0; i < a->value.size(); ++i) total += a->value[i];
-  auto node = make_node(Tensor::scalar(total), {a});
+  auto node = make_node(ctx_scalar(total), {a});
   Node* nd = node.get();
   Node* pa = a.get();
   node->backward_fn = [nd, pa]() {
@@ -469,10 +541,8 @@ NodePtr mean_all(const NodePtr& a) {
 
 NodePtr reduce_rows_mean(const NodePtr& a) {
   const int t = a->value.rows(), c = a->value.cols();
-  Tensor out(1, c);
-  for (int i = 0; i < t; ++i) {
-    for (int j = 0; j < c; ++j) out.at(0, j) += a->value.at(i, j);
-  }
+  Tensor out = ctx_alloc(1, c);
+  kernels::col_sum_add(t, c, a->value.data(), out.data());
   for (int j = 0; j < c; ++j) out.at(0, j) /= static_cast<float>(t);
   auto node = make_node(std::move(out), {a});
   Node* nd = node.get();
@@ -491,26 +561,28 @@ NodePtr reduce_rows_mean(const NodePtr& a) {
 
 NodePtr reduce_rows_max(const NodePtr& a) {
   const int t = a->value.rows(), c = a->value.cols();
-  Tensor out(1, c);
-  std::vector<int> arg(static_cast<std::size_t>(c), 0);
+  auto node = make_node(ctx_alloc(1, c), {a});
+  node->iscratch.resize(static_cast<std::size_t>(c));
   for (int j = 0; j < c; ++j) {
     float best = a->value.at(0, j);
+    int arg = 0;
     for (int i = 1; i < t; ++i) {
       if (a->value.at(i, j) > best) {
         best = a->value.at(i, j);
-        arg[static_cast<std::size_t>(j)] = i;
+        arg = i;
       }
     }
-    out.at(0, j) = best;
+    node->value.at(0, j) = best;
+    node->iscratch[static_cast<std::size_t>(j)] = arg;
   }
-  auto node = make_node(std::move(out), {a});
   Node* nd = node.get();
   Node* pa = a.get();
-  node->backward_fn = [nd, pa, arg, c]() {
+  node->backward_fn = [nd, pa, c]() {
     if (!pa->requires_grad) return;
     pa->ensure_grad();
     for (int j = 0; j < c; ++j) {
-      pa->grad.at(arg[static_cast<std::size_t>(j)], j) += nd->grad.at(0, j);
+      pa->grad.at(nd->iscratch[static_cast<std::size_t>(j)], j) +=
+          nd->grad.at(0, j);
     }
   };
   return node;
@@ -518,10 +590,8 @@ NodePtr reduce_rows_max(const NodePtr& a) {
 
 NodePtr reduce_cols_mean(const NodePtr& a) {
   const int t = a->value.rows(), c = a->value.cols();
-  Tensor out(t, 1);
-  for (int i = 0; i < t; ++i) {
-    for (int j = 0; j < c; ++j) out.at(i, 0) += a->value.at(i, j);
-  }
+  Tensor out = ctx_alloc(t, 1);
+  kernels::row_sum_add(t, c, a->value.data(), out.data());
   for (int i = 0; i < t; ++i) out.at(i, 0) /= static_cast<float>(c);
   auto node = make_node(std::move(out), {a});
   Node* nd = node.get();
@@ -540,26 +610,28 @@ NodePtr reduce_cols_mean(const NodePtr& a) {
 
 NodePtr reduce_cols_max(const NodePtr& a) {
   const int t = a->value.rows(), c = a->value.cols();
-  Tensor out(t, 1);
-  std::vector<int> arg(static_cast<std::size_t>(t), 0);
+  auto node = make_node(ctx_alloc(t, 1), {a});
+  node->iscratch.resize(static_cast<std::size_t>(t));
   for (int i = 0; i < t; ++i) {
     float best = a->value.at(i, 0);
+    int arg = 0;
     for (int j = 1; j < c; ++j) {
       if (a->value.at(i, j) > best) {
         best = a->value.at(i, j);
-        arg[static_cast<std::size_t>(i)] = j;
+        arg = j;
       }
     }
-    out.at(i, 0) = best;
+    node->value.at(i, 0) = best;
+    node->iscratch[static_cast<std::size_t>(i)] = arg;
   }
-  auto node = make_node(std::move(out), {a});
   Node* nd = node.get();
   Node* pa = a.get();
-  node->backward_fn = [nd, pa, arg, t]() {
+  node->backward_fn = [nd, pa, t]() {
     if (!pa->requires_grad) return;
     pa->ensure_grad();
     for (int i = 0; i < t; ++i) {
-      pa->grad.at(i, arg[static_cast<std::size_t>(i)]) += nd->grad.at(i, 0);
+      pa->grad.at(i, nd->iscratch[static_cast<std::size_t>(i)]) +=
+          nd->grad.at(i, 0);
     }
   };
   return node;
@@ -574,7 +646,7 @@ NodePtr mul_row_broadcast(const NodePtr& a, const NodePtr& row) {
     shape_error("mul_row_broadcast", a->value, row->value);
   }
   const int t = a->value.rows(), c = a->value.cols();
-  Tensor out(t, c);
+  Tensor out = ctx_alloc(t, c);
   for (int i = 0; i < t; ++i) {
     for (int j = 0; j < c; ++j) out.at(i, j) = a->value.at(i, j) * row->value.at(0, j);
   }
@@ -585,17 +657,15 @@ NodePtr mul_row_broadcast(const NodePtr& a, const NodePtr& row) {
     if (pa->requires_grad) {
       pa->ensure_grad();
       for (int i = 0; i < t; ++i) {
-        for (int j = 0; j < c; ++j) {
-          pa->grad.at(i, j) += nd->grad.at(i, j) * pr->value.at(0, j);
-        }
+        kernels::mul_accumulate(static_cast<std::size_t>(c), &nd->grad.at(i, 0),
+                                pr->value.data(), &pa->grad.at(i, 0));
       }
     }
     if (pr->requires_grad) {
       pr->ensure_grad();
       for (int i = 0; i < t; ++i) {
-        for (int j = 0; j < c; ++j) {
-          pr->grad.at(0, j) += nd->grad.at(i, j) * pa->value.at(i, j);
-        }
+        kernels::mul_accumulate(static_cast<std::size_t>(c), &nd->grad.at(i, 0),
+                                &pa->value.at(i, 0), pr->grad.data());
       }
     }
   };
@@ -607,7 +677,7 @@ NodePtr mul_col_broadcast(const NodePtr& a, const NodePtr& col) {
     shape_error("mul_col_broadcast", a->value, col->value);
   }
   const int t = a->value.rows(), c = a->value.cols();
-  Tensor out(t, c);
+  Tensor out = ctx_alloc(t, c);
   for (int i = 0; i < t; ++i) {
     for (int j = 0; j < c; ++j) out.at(i, j) = a->value.at(i, j) * col->value.at(i, 0);
   }
@@ -618,17 +688,15 @@ NodePtr mul_col_broadcast(const NodePtr& a, const NodePtr& col) {
     if (pa->requires_grad) {
       pa->ensure_grad();
       for (int i = 0; i < t; ++i) {
-        for (int j = 0; j < c; ++j) {
-          pa->grad.at(i, j) += nd->grad.at(i, j) * pc->value.at(i, 0);
-        }
+        kernels::axpy(static_cast<std::size_t>(c), pc->value.at(i, 0),
+                      &nd->grad.at(i, 0), &pa->grad.at(i, 0));
       }
     }
     if (pc->requires_grad) {
       pc->ensure_grad();
       for (int i = 0; i < t; ++i) {
-        for (int j = 0; j < c; ++j) {
-          pc->grad.at(i, 0) += nd->grad.at(i, j) * pa->value.at(i, j);
-        }
+        pc->grad.at(i, 0) += kernels::dot(static_cast<std::size_t>(c),
+                                          &nd->grad.at(i, 0), &pa->value.at(i, 0));
       }
     }
   };
@@ -642,22 +710,23 @@ NodePtr mul_col_broadcast(const NodePtr& a, const NodePtr& col) {
 NodePtr embedding(const NodePtr& weights, const std::vector<int>& ids) {
   const int v = weights->value.rows(), e = weights->value.cols();
   const int t = static_cast<int>(ids.size());
-  Tensor out(t, e);
+  auto node = make_node(ctx_alloc(t, e), {weights});
+  node->iscratch.assign(ids.begin(), ids.end());
   for (int i = 0; i < t; ++i) {
     const int id = ids[static_cast<std::size_t>(i)];
     if (id < 0 || id >= v) throw std::out_of_range("embedding: id out of range");
-    for (int j = 0; j < e; ++j) out.at(i, j) = weights->value.at(id, j);
+    kernels::copy(static_cast<std::size_t>(e), &weights->value.at(id, 0),
+                  &node->value.at(i, 0));
   }
-  auto node = make_node(std::move(out), {weights});
   Node* nd = node.get();
   Node* pw = weights.get();
-  node->backward_fn = [nd, pw, ids, e]() {
+  node->backward_fn = [nd, pw, e]() {
     if (!pw->requires_grad) return;
     pw->ensure_grad();
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      for (int j = 0; j < e; ++j) {
-        pw->grad.at(ids[i], j) += nd->grad.at(static_cast<int>(i), j);
-      }
+    for (std::size_t i = 0; i < nd->iscratch.size(); ++i) {
+      kernels::add_inplace(static_cast<std::size_t>(e),
+                           &nd->grad.at(static_cast<int>(i), 0),
+                           &pw->grad.at(nd->iscratch[i], 0));
     }
   };
   return node;
@@ -669,12 +738,13 @@ NodePtr im2row(const NodePtr& a, int kernel, int pad) {
   if (t_out < 1) {
     throw std::invalid_argument("im2row: sequence shorter than kernel");
   }
-  Tensor out(t_out, kernel * c);
+  Tensor out = ctx_alloc(t_out, kernel * c);
   for (int i = 0; i < t_out; ++i) {
     for (int k = 0; k < kernel; ++k) {
       const int src = i + k - pad;
       if (src < 0 || src >= t) continue;  // zero padding
-      for (int j = 0; j < c; ++j) out.at(i, k * c + j) = a->value.at(src, j);
+      kernels::copy(static_cast<std::size_t>(c), &a->value.at(src, 0),
+                    &out.at(i, k * c));
     }
   }
   auto node = make_node(std::move(out), {a});
@@ -687,9 +757,8 @@ NodePtr im2row(const NodePtr& a, int kernel, int pad) {
       for (int k = 0; k < kernel; ++k) {
         const int src = i + k - pad;
         if (src < 0 || src >= t) continue;
-        for (int j = 0; j < c; ++j) {
-          pa->grad.at(src, j) += nd->grad.at(i, k * c + j);
-        }
+        kernels::add_inplace(static_cast<std::size_t>(c), &nd->grad.at(i, k * c),
+                             &pa->grad.at(src, 0));
       }
     }
   };
@@ -701,8 +770,9 @@ NodePtr spp_max(const NodePtr& a, const std::vector<int>& bins) {
   if (t < 1) throw std::invalid_argument("spp_max: empty sequence");
   int total_bins = 0;
   for (int b : bins) total_bins += b;
-  Tensor out(1, total_bins * c);
-  std::vector<int> arg(static_cast<std::size_t>(total_bins) * static_cast<std::size_t>(c));
+  auto node = make_node(ctx_alloc(1, total_bins * c), {a});
+  node->iscratch.resize(static_cast<std::size_t>(total_bins) *
+                        static_cast<std::size_t>(c));
   int bin_offset = 0;
   for (int nb : bins) {
     for (int b = 0; b < nb; ++b) {
@@ -720,23 +790,24 @@ NodePtr spp_max(const NodePtr& a, const std::vector<int>& bins) {
             best_i = i;
           }
         }
-        out.at(0, (bin_offset + b) * c + j) = best;
-        arg[static_cast<std::size_t>(bin_offset + b) * static_cast<std::size_t>(c) +
-            static_cast<std::size_t>(j)] = best_i;
+        node->value.at(0, (bin_offset + b) * c + j) = best;
+        node->iscratch[static_cast<std::size_t>(bin_offset + b) *
+                           static_cast<std::size_t>(c) +
+                       static_cast<std::size_t>(j)] = best_i;
       }
     }
     bin_offset += nb;
   }
-  auto node = make_node(std::move(out), {a});
   Node* nd = node.get();
   Node* pa = a.get();
-  node->backward_fn = [nd, pa, arg, total_bins, c]() {
+  node->backward_fn = [nd, pa, total_bins, c]() {
     if (!pa->requires_grad) return;
     pa->ensure_grad();
     for (int b = 0; b < total_bins; ++b) {
       for (int j = 0; j < c; ++j) {
-        const int src = arg[static_cast<std::size_t>(b) * static_cast<std::size_t>(c) +
-                            static_cast<std::size_t>(j)];
+        const int src = nd->iscratch[static_cast<std::size_t>(b) *
+                                         static_cast<std::size_t>(c) +
+                                     static_cast<std::size_t>(j)];
         pa->grad.at(src, j) += nd->grad.at(0, b * c + j);
       }
     }
@@ -751,7 +822,7 @@ NodePtr spp_max(const NodePtr& a, const std::vector<int>& bins) {
 NodePtr dropout(const NodePtr& a, float p, util::Rng& rng, bool train) {
   if (!train || p <= 0.0f) return a;
   const float keep = 1.0f - p;
-  Tensor mask(a->value.rows(), a->value.cols());
+  Tensor mask = ctx_alloc(a->value.rows(), a->value.cols());
   for (std::size_t i = 0; i < mask.size(); ++i) {
     mask[i] = rng.bernoulli(keep) ? 1.0f / keep : 0.0f;  // inverted dropout
   }
@@ -766,7 +837,7 @@ NodePtr bce_with_logits(const NodePtr& logit, float target) {
   // loss = max(z,0) - z*t + log(1 + exp(-|z|))
   const float loss =
       std::max(z, 0.0f) - z * target + std::log1p(std::exp(-std::fabs(z)));
-  auto node = make_node(Tensor::scalar(loss), {logit});
+  auto node = make_node(ctx_scalar(loss), {logit});
   Node* nd = node.get();
   Node* pl = logit.get();
   node->backward_fn = [nd, pl, target]() {
@@ -794,7 +865,7 @@ NodePtr cross_entropy_with_logits(const NodePtr& logits, int target_class) {
   const float log_z = max_v + std::log(sum_exp);
   const float loss = log_z - logits->value.at(0, target_class);
 
-  auto node = make_node(Tensor::scalar(loss), {logits});
+  auto node = make_node(ctx_scalar(loss), {logits});
   Node* nd = node.get();
   Node* pl = logits.get();
   node->backward_fn = [nd, pl, target_class, c, max_v, sum_exp]() {

@@ -2,15 +2,26 @@
 // builds a graph of Nodes (shared_ptr-owned); backward() runs the tape
 // in reverse topological order and accumulates gradients into every node
 // with requires_grad. Long-lived parameter nodes are reused across
-// graphs — activations are created fresh each forward pass and freed
-// when the loss node goes out of scope.
+// graphs.
+//
+// Activations have two allocation modes:
+//   - heap mode (no Graph active): every node and tensor is a fresh
+//     heap allocation, exactly like the original implementation;
+//   - graph mode (a GraphScope is open): nodes come from the Graph's
+//     recycling pool and tensors from its TensorArena, so a steady-state
+//     forward/backward over one sample performs zero heap allocation.
+// The two modes are byte-identical in results — the arena only changes
+// where the floats live, never the arithmetic (kernels_test asserts
+// this bitwise).
 //
 // Every op validates shapes and carries an explicit backward closure;
 // tests verify each against numeric gradients (see autograd_test.cpp).
 #pragma once
 
-#include <functional>
+#include <cstdint>
+#include <cstring>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "sevuldet/nn/tensor.hpp"
@@ -18,24 +29,118 @@
 
 namespace sevuldet::nn {
 
+class Graph;
+
+/// Fixed-capacity, non-allocating stand-in for std::function<void()>.
+/// Backward closures capture only raw pointers and scalars (per-op
+/// integer scratch lives on the Node), so they always fit inline —
+/// std::function would heap-allocate most of them and defeat the
+/// zero-malloc train step.
+class BackwardFn {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  BackwardFn() = default;
+  template <typename F>
+  BackwardFn(F fn) {  // NOLINT(google-explicit-constructor) — mirrors std::function
+    static_assert(sizeof(F) <= kCapacity, "backward closure too large");
+    static_assert(std::is_trivially_copyable_v<F> &&
+                      std::is_trivially_destructible_v<F>,
+                  "backward closures must capture only trivial data");
+    std::memcpy(buf_, &fn, sizeof(F));
+    invoke_ = [](const void* p) { (*static_cast<const F*>(p))(); };
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  void operator()() const { invoke_(buf_); }
+
+ private:
+  void (*invoke_)(const void*) = nullptr;
+  alignas(16) unsigned char buf_[kCapacity];
+};
+
 struct Node {
   Tensor value;
   Tensor grad;  // allocated on demand, same shape as value
   bool requires_grad = false;
+  std::uint64_t visit_epoch = 0;  // backward() DFS marker (replaces a set)
+  Graph* home = nullptr;          // owning graph; nullptr = heap mode
   std::vector<std::shared_ptr<Node>> parents;
-  std::function<void()> backward_fn;  // pushes this->grad into parents
+  std::vector<int> iscratch;      // per-op integer scratch (argmax, token ids)
+  BackwardFn backward_fn;         // pushes this->grad into parents
 
-  void ensure_grad() {
-    if (!grad.same_shape(value)) grad = Tensor(value.rows(), value.cols());
-  }
-  void zero_grad() { grad = Tensor(value.rows(), value.cols()); }
+  /// Allocate grad (zeroed, same shape as value) if absent; from the
+  /// home graph's arena when the node is graph-owned.
+  void ensure_grad();
+  /// Zero the gradient, reusing existing storage when shapes match.
+  void zero_grad();
 };
 
 using NodePtr = std::shared_ptr<Node>;
 
+/// Owns the per-sample autograd storage: a node recycling pool and a
+/// TensorArena for activation values/gradients. reset() rewinds both —
+/// after the first pass over the largest sample, building and
+/// differentiating a graph allocates nothing.
+///
+/// A Graph is made active with GraphScope (thread-local, so per-worker
+/// clones never share one). Parameters (param()) are always heap-owned
+/// and survive resets; activation NodePtrs are invalidated by the next
+/// reset() and must not be dereferenced across it.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// The graph installed by the innermost live GraphScope on this
+  /// thread, or nullptr (heap mode).
+  static Graph* current();
+
+  /// Recycle all nodes and rewind the arena. Invalidates every
+  /// activation NodePtr handed out since the previous reset.
+  void reset();
+
+  /// Zeroed arena-backed activation tensor.
+  Tensor alloc(int rows, int cols);
+  /// A cleared node from the pool (grows the pool on first use).
+  NodePtr acquire_node();
+
+  // Warmup observability (tests assert these stop growing).
+  std::size_t nodes_in_use() const { return used_; }
+  std::size_t node_capacity() const { return pool_.size(); }
+  const TensorArena& arena() const { return arena_; }
+
+ private:
+  TensorArena arena_;
+  std::vector<NodePtr> pool_;
+  std::size_t used_ = 0;
+};
+
+/// RAII: resets `graph` and installs it as Graph::current() for the
+/// scope's lifetime (restoring the previous graph on exit). Open one
+/// scope per sample: everything from forward through backward must run
+/// inside it, and values read out must be copied before the next scope.
+class GraphScope {
+ public:
+  explicit GraphScope(Graph& graph);
+  ~GraphScope();
+  GraphScope(const GraphScope&) = delete;
+  GraphScope& operator=(const GraphScope&) = delete;
+
+ private:
+  Graph* prev_;
+};
+
+/// Activation-storage tensor: arena-backed under an active GraphScope,
+/// plain heap tensor otherwise. For layer scratch (dropout masks, GRU
+/// constants) that feeds constant().
+Tensor make_activation(int rows, int cols);
+
 /// Leaf with no gradient (inputs, labels).
 NodePtr constant(Tensor value);
-/// Leaf with gradient (model parameter).
+/// Leaf with gradient (model parameter). Always heap-owned, never
+/// recycled by a Graph.
 NodePtr param(Tensor value);
 
 /// Reverse-mode sweep from a scalar root ([1,1]); seeds d(root)/d(root)=1.

@@ -153,7 +153,8 @@ LstmCell::LstmCell(ParamStore& store, const std::string& name, int input,
 }
 
 LstmCell::State LstmCell::initial() const {
-  return {constant(Tensor(1, hidden_)), constant(Tensor(1, hidden_))};
+  return {constant(make_activation(1, hidden_)),
+          constant(make_activation(1, hidden_))};
 }
 
 LstmCell::State LstmCell::step(const NodePtr& x, const State& prev) const {
@@ -179,7 +180,9 @@ GruCell::GruCell(ParamStore& store, const std::string& name, int input,
       input_(input),
       hidden_(hidden) {}
 
-NodePtr GruCell::initial() const { return constant(Tensor(1, hidden_)); }
+NodePtr GruCell::initial() const {
+  return constant(make_activation(1, hidden_));
+}
 
 NodePtr GruCell::step(const NodePtr& x, const NodePtr& h_prev) const {
   NodePtr xh = concat_cols(x, h_prev);
@@ -188,7 +191,7 @@ NodePtr GruCell::step(const NodePtr& x, const NodePtr& h_prev) const {
   NodePtr xrh = concat_cols(x, mul(r, h_prev));
   NodePtr h_cand = tanh_op(add_row(matmul(xrh, wh_), bh_));
   // h = (1 - z) * h_prev + z * h_cand
-  Tensor ones(1, hidden_);
+  Tensor ones = make_activation(1, hidden_);
   ones.fill(1.0f);
   NodePtr one_minus_z = sub(constant(std::move(ones)), z);
   return add(mul(one_minus_z, h_prev), mul(z, h_cand));
@@ -210,8 +213,8 @@ BiRnn::BiRnn(ParamStore& store, const std::string& name, RnnKind kind,
 
 NodePtr BiRnn::forward(const NodePtr& x) const {
   const int t = x->value.rows();
-  std::vector<NodePtr> steps;
-  steps.reserve(static_cast<std::size_t>(t));
+  std::vector<NodePtr>& steps = steps_;
+  steps.clear();  // keeps capacity across forwards
   for (int i = 0; i < t; ++i) {
     steps.push_back(slice_rows(x, i, i + 1));
   }

@@ -162,6 +162,9 @@ class BiRnn {
   int hidden_;
   std::unique_ptr<LstmCell> lstm_fwd_, lstm_bwd_;
   std::unique_ptr<GruCell> gru_fwd_, gru_bwd_;
+  // Per-forward row-slice handles; member so steady-state forwards reuse
+  // its capacity instead of reallocating (each model clone owns its own).
+  mutable std::vector<NodePtr> steps_;
 };
 
 }  // namespace sevuldet::nn

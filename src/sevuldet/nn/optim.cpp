@@ -40,15 +40,18 @@ void Sgd::step() {
   for (std::size_t p = 0; p < params.size(); ++p) {
     Node& node = *params[p].second;
     node.ensure_grad();
+    const std::size_t size = node.value.size();
+    float* __restrict__ w = node.value.data();
+    const float* __restrict__ g = node.grad.data();
     if (momentum_ > 0.0f) {
-      Tensor& vel = velocity_[p];
-      for (std::size_t i = 0; i < node.value.size(); ++i) {
-        vel[i] = momentum_ * vel[i] + node.grad[i];
-        node.value[i] -= lr_ * vel[i];
+      float* __restrict__ vel = velocity_[p].data();
+      for (std::size_t i = 0; i < size; ++i) {
+        vel[i] = momentum_ * vel[i] + g[i];
+        w[i] -= lr_ * vel[i];
       }
     } else {
-      for (std::size_t i = 0; i < node.value.size(); ++i) {
-        node.value[i] -= lr_ * node.grad[i];
+      for (std::size_t i = 0; i < size; ++i) {
+        w[i] -= lr_ * g[i];
       }
     }
   }
@@ -67,18 +70,25 @@ void Adam::step() {
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
   const auto& params = store_->all();
+  // The restrict-qualified raw pointers let the update vectorize (the
+  // per-element formula is untouched — packed divide/sqrt round each
+  // lane exactly like their scalar forms, so the update stays bitwise
+  // identical; only the aliasing proof changes).
   for (std::size_t p = 0; p < params.size(); ++p) {
     Node& node = *params[p].second;
     node.ensure_grad();
-    Tensor& m = m_[p];
-    Tensor& v = v_[p];
-    for (std::size_t i = 0; i < node.value.size(); ++i) {
-      const float g = node.grad[i];
+    const std::size_t size = node.value.size();
+    float* __restrict__ w = node.value.data();
+    const float* __restrict__ grad = node.grad.data();
+    float* __restrict__ m = m_[p].data();
+    float* __restrict__ v = v_[p].data();
+    for (std::size_t i = 0; i < size; ++i) {
+      const float g = grad[i];
       m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
       v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
       const float m_hat = m[i] / bc1;
       const float v_hat = v[i] / bc2;
-      node.value[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+      w[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
     }
   }
 }

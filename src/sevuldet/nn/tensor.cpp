@@ -1,19 +1,56 @@
 #include "sevuldet/nn/tensor.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 namespace sevuldet::nn {
 
 Tensor Tensor::randn(int rows, int cols, util::Rng& rng, float stddev) {
   Tensor t(rows, cols);
-  for (auto& x : t.data_) x = static_cast<float>(rng.normal()) * stddev;
+  for (auto& x : t.store_) x = static_cast<float>(rng.normal()) * stddev;
   return t;
 }
 
 Tensor Tensor::uniform(int rows, int cols, util::Rng& rng, float bound) {
   Tensor t(rows, cols);
-  for (auto& x : t.data_) {
+  for (auto& x : t.store_) {
     x = static_cast<float>(rng.uniform_real(-bound, bound));
   }
   return t;
+}
+
+float* TensorArena::allocate(std::size_t n) {
+  // Round every slot to the alignment quantum so consecutive tensors
+  // start on cache-line boundaries.
+  const std::size_t want = (std::max<std::size_t>(n, 1) + kAlign - 1) &
+                           ~(kAlign - 1);
+  while (active_ < chunks_.size() && offset_ + want > chunks_[active_].cap) {
+    ++active_;
+    offset_ = 0;
+  }
+  if (active_ == chunks_.size()) {
+    const std::size_t last = chunks_.empty() ? 0 : chunks_.back().cap;
+    const std::size_t cap = std::max({want, last * 2, kMinChunk});
+    chunks_.push_back(Chunk{std::make_unique<float[]>(cap), cap});
+  }
+  float* out = chunks_[active_].data.get() + offset_;
+  std::memset(out, 0, want * sizeof(float));
+  offset_ += want;
+  used_ += want;
+  high_water_ = std::max(high_water_, used_);
+  return out;
+}
+
+void TensorArena::reset() {
+  active_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+std::size_t TensorArena::capacity() const {
+  std::size_t total = 0;
+  for (const auto& chunk : chunks_) total += chunk.cap;
+  return total;
 }
 
 }  // namespace sevuldet::nn

@@ -1,9 +1,18 @@
 // Dense 2-D float tensor (row-major). The whole network stack works in
 // 2-D: a token sequence is [T, C], a vector is [1, n], a scalar is
 // [1, 1]. Kept deliberately small — shape checks throw, storage is a
-// flat std::vector<float>.
+// flat float buffer.
+//
+// A tensor either OWNS its storage (heap vector — parameters, user
+// tensors) or BORROWS it from a TensorArena (activations inside an
+// autograd Graph). Borrowed tensors are plain views: moving them moves
+// the pointer, copying them deep-copies into owned storage, destroying
+// them frees nothing. The arena rewinds between samples, which is what
+// makes a steady-state train step malloc-free.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -17,35 +26,89 @@ class Tensor {
   Tensor() = default;
   Tensor(int rows, int cols)
       : rows_(rows), cols_(cols),
-        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0f) {
+        store_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+               0.0f),
+        data_(store_.data()) {
     if (rows < 0 || cols < 0) throw std::invalid_argument("negative tensor shape");
   }
   Tensor(int rows, int cols, std::vector<float> data)
-      : rows_(rows), cols_(cols), data_(std::move(data)) {
-    if (data_.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+      : rows_(rows), cols_(cols), store_(std::move(data)), data_(store_.data()) {
+    if (store_.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
       throw std::invalid_argument("tensor data size mismatch");
     }
   }
 
+  /// View over external storage (a TensorArena slot). The caller
+  /// guarantees `data` holds rows*cols zero-initialized floats and
+  /// outlives every read through this tensor.
+  static Tensor borrowed(int rows, int cols, float* data) {
+    Tensor t;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.data_ = data;
+    return t;
+  }
+
+  // Copies deep-copy into owned storage; moves transfer the buffer (or
+  // the borrowed pointer) without touching the floats.
+  Tensor(const Tensor& other)
+      : rows_(other.rows_), cols_(other.cols_),
+        store_(other.data_, other.data_ + other.size()), data_(store_.data()) {}
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      store_.assign(other.data_, other.data_ + other.size());
+      data_ = store_.data();
+    }
+    return *this;
+  }
+  Tensor(Tensor&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_), store_(std::move(other.store_)),
+        data_(other.data_) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_ = nullptr;
+    other.store_.clear();
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      store_ = std::move(other.store_);
+      data_ = other.data_;
+      other.rows_ = 0;
+      other.cols_ = 0;
+      other.data_ = nullptr;
+      other.store_.clear();
+    }
+    return *this;
+  }
+
   int rows() const { return rows_; }
   int cols() const { return cols_; }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t size() const {
+    return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  }
+  bool empty() const { return size() == 0; }
+  /// True when storage lives in a TensorArena rather than on this tensor.
+  bool borrowed_storage() const { return data_ != nullptr && store_.empty(); }
 
   float& at(int r, int c) { return data_[index(r, c)]; }
   float at(int r, int c) const { return data_[index(r, c)]; }
   float& operator[](std::size_t i) { return data_[i]; }
   float operator[](std::size_t i) const { return data_[i]; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
 
   bool same_shape(const Tensor& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
   void fill(float value) {
-    for (auto& x : data_) x = value;
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) data_[i] = value;
   }
 
   /// Gaussian init, N(0, stddev^2).
@@ -60,7 +123,12 @@ class Tensor {
   }
 
   std::string shape_string() const {
-    return "[" + std::to_string(rows_) + "," + std::to_string(cols_) + "]";
+    std::string s = "[";
+    s += std::to_string(rows_);
+    s += ',';
+    s += std::to_string(cols_);
+    s += ']';
+    return s;
   }
 
  private:
@@ -71,7 +139,41 @@ class Tensor {
 
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> data_;
+  std::vector<float> store_;      // empty when storage is borrowed
+  float* data_ = nullptr;         // always the live element pointer
+};
+
+/// Chunked bump allocator backing activation tensors. allocate() hands
+/// out zeroed float slots quantized to 64-byte strides; reset() rewinds to empty
+/// while keeping every chunk, so after the first pass over the largest
+/// sample (warmup) no further heap allocation happens. Chunk capacities
+/// double, so even pathological growth costs O(log n) mallocs total.
+class TensorArena {
+ public:
+  float* allocate(std::size_t n);
+  void reset();
+
+  /// Floats handed out since the last reset().
+  std::size_t used() const { return used_; }
+  /// Peak used() across the arena's lifetime.
+  std::size_t high_water() const { return high_water_; }
+  /// Total float capacity across all chunks.
+  std::size_t capacity() const;
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<float[]> data;
+    std::size_t cap = 0;
+  };
+  static constexpr std::size_t kAlign = 16;          // floats (64 bytes)
+  static constexpr std::size_t kMinChunk = 1 << 16;  // 256 KiB
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;   // chunk currently bumping
+  std::size_t offset_ = 0;   // floats used in the active chunk
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace sevuldet::nn

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <thread>
 
+#include "sevuldet/nn/kernels.hpp"
 #include "sevuldet/util/thread_pool.hpp"
 
 namespace sevuldet::nn {
@@ -93,20 +94,19 @@ void Word2Vec::train_worker(const std::vector<std::vector<int>>& sentences,
               }
               label = 0.0f;
             }
-            float dot = 0.0f;
-            for (int d = 0; d < config_.dim; ++d) {
-              dot += in_.at(center, d) * out_.at(target_id, d);
-            }
+            const std::size_t dim = static_cast<std::size_t>(config_.dim);
+            float* in_row = &in_.at(center, 0);
+            float* out_row = &out_.at(target_id, 0);
+            const float dot = kernels::dot(dim, in_row, out_row);
             const float pred = 1.0f / (1.0f + std::exp(-dot));
             const float g = (pred - label) * lr;
-            for (int d = 0; d < config_.dim; ++d) {
-              grad_center[static_cast<std::size_t>(d)] += g * out_.at(target_id, d);
-              out_.at(target_id, d) -= g * in_.at(center, d);
-            }
+            // grad_center reads out_row before out_row moves, exactly as
+            // the fused scalar loop did.
+            kernels::axpy(dim, g, out_row, grad_center.data());
+            kernels::axpy(dim, -g, in_row, out_row);
           }
-          for (int d = 0; d < config_.dim; ++d) {
-            in_.at(center, d) -= grad_center[static_cast<std::size_t>(d)];
-          }
+          kernels::axpy(static_cast<std::size_t>(config_.dim), -1.0f,
+                        grad_center.data(), &in_.at(center, 0));
         }
       }
     }
