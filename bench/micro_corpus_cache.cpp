@@ -1,0 +1,204 @@
+// Cold-vs-warm corpus construction through the content-addressed
+// preprocessing cache (dataset/cache.hpp), on the standard SARD-generated
+// workload:
+//   - no-cache baseline build (what every run cost before the cache);
+//   - cold build into an empty cache (pays Steps I-III plus the writes);
+//   - warm serial rebuild (every case served from the cache);
+//   - warm parallel rebuild (cache hits + threaded merge).
+// Verifies the equivalence contract — every build's corpus fingerprint
+// (dataset/corpus_io.hpp) must be identical, and a warm build must hit on
+// 100% of cases — and exits nonzero otherwise, so CI runs this binary as
+// the cache-equivalence check. Timings and hit rates are printed as a
+// table and optionally recorded as JSON:
+//   ./bench/micro_corpus_cache --json bench/BENCH_corpus_cache.json
+//
+//   micro_corpus_cache [--threads N] [--reps R] [--cache-dir DIR]
+//                      [--json PATH] [--expect-prepopulated]
+//
+// --cache-dir persists the cache across invocations (CI reuses it to
+// prove cross-process reuse); the default is a throwaway directory under
+// std::filesystem::temp_directory_path(), removed on exit.
+// --expect-prepopulated additionally requires the FIRST build to be
+// all-hits — pass it on a second invocation against the same --cache-dir.
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "sevuldet/dataset/corpus_io.hpp"
+#include "sevuldet/util/binary_io.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+namespace sd = sevuldet::dataset;
+namespace su = sevuldet::util;
+
+struct BuildResult {
+  double seconds = 0.0;
+  sd::Corpus corpus;
+  double hit_rate() const {
+    const long long probes = corpus.stats.cache_hits + corpus.stats.cache_misses;
+    return probes == 0
+               ? 0.0
+               : static_cast<double>(corpus.stats.cache_hits) /
+                     static_cast<double>(probes);
+  }
+};
+
+/// Best-of-reps build. Reps > 1 only make sense for already-warm or
+/// no-cache configurations; the cold build always runs once (a second
+/// "cold" rep would hit the cache the first rep populated).
+BuildResult time_build(const std::vector<sd::TestCase>& cases,
+                       const sd::CorpusOptions& options, int reps) {
+  BuildResult result;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    sd::Corpus corpus = sd::build_corpus(cases, options);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (r == 0 || seconds < result.seconds) result.seconds = seconds;
+    result.corpus = std::move(corpus);
+  }
+  return result;
+}
+
+std::string json_escape_path(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
+  int reps = bench::env_int("SEVULDET_BENCH_REPS", 3);
+  std::string cache_dir;
+  std::string json_path;
+  bool expect_prepopulated = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
+      cache_dir = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--expect-prepopulated") == 0) {
+      expect_prepopulated = true;
+    }
+  }
+
+  const bool throwaway_dir = cache_dir.empty();
+  if (throwaway_dir) {
+    cache_dir = (fs::temp_directory_path() /
+                 ("sevuldet-corpus-cache-bench." + std::to_string(::getpid())))
+                    .string();
+    fs::remove_all(cache_dir);
+  }
+
+  sd::SardConfig config;
+  config.pairs_per_category = bench::bench_pairs();
+  const auto cases = sd::generate_sard_like(config);
+
+  sd::CorpusOptions options;
+  options.gadget.path_sensitive = true;
+  options.gadget.slice.use_control_dep = true;
+
+  std::printf("corpus cache cold/warm — %zu test cases, cache at %s\n\n",
+              cases.size(), cache_dir.c_str());
+
+  // Reference: no cache at all.
+  const BuildResult uncached = time_build(cases, options, reps);
+
+  // Cold: empty (or prepopulated, under --expect-prepopulated) cache.
+  options.cache_dir = cache_dir;
+  const BuildResult cold = time_build(cases, options, 1);
+
+  // Warm serial and warm parallel.
+  const BuildResult warm = time_build(cases, options, reps);
+  sd::CorpusOptions parallel_options = options;
+  parallel_options.threads = bench::bench_threads() > 1 ? bench::bench_threads() : 4;
+  const BuildResult warm_parallel = time_build(cases, parallel_options, reps);
+
+  const std::uint64_t reference = sd::corpus_fingerprint(uncached.corpus);
+  auto fingerprint_row = [&](const BuildResult& r) {
+    return sd::corpus_fingerprint(r.corpus) == reference ? "yes" : "NO";
+  };
+
+  su::Table table({"build", "seconds", "speedup", "hit rate", "identical"});
+  auto add = [&](const char* name, const BuildResult& r, bool cached) {
+    table.add_row({name, su::fmt(r.seconds, 4),
+                   su::fmt(uncached.seconds / r.seconds, 2) + "x",
+                   cached ? su::fmt(r.hit_rate() * 100.0, 1) + "%" : "-",
+                   fingerprint_row(r)});
+  };
+  add("no cache", uncached, false);
+  add("cold", cold, true);
+  add("warm serial", warm, true);
+  add(("warm x" + std::to_string(parallel_options.threads)).c_str(),
+      warm_parallel, true);
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\n%zu samples, fingerprint %s\n", uncached.corpus.samples.size(),
+              su::hex64(reference).c_str());
+
+  bool ok = true;
+  for (const BuildResult* r : {&cold, &warm, &warm_parallel}) {
+    if (sd::corpus_fingerprint(r->corpus) != reference) {
+      std::printf("FAIL: cached corpus fingerprint differs from uncached build\n");
+      ok = false;
+      break;
+    }
+  }
+  if (warm.hit_rate() < 1.0 || warm_parallel.hit_rate() < 1.0) {
+    std::printf("FAIL: warm build missed the cache (hit rate %.1f%% / %.1f%%)\n",
+                warm.hit_rate() * 100.0, warm_parallel.hit_rate() * 100.0);
+    ok = false;
+  }
+  if (expect_prepopulated && cold.hit_rate() < 1.0) {
+    std::printf("FAIL: --expect-prepopulated but first build hit rate was %.1f%%\n",
+                cold.hit_rate() * 100.0);
+    ok = false;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"workload\": {\"cases\": " << cases.size()
+        << ", \"samples\": " << uncached.corpus.samples.size()
+        << ", \"pairs_per_category\": " << config.pairs_per_category << "},\n"
+        << "  \"cache_dir\": \"" << json_escape_path(cache_dir) << "\",\n"
+        << "  \"no_cache_seconds\": " << uncached.seconds << ",\n"
+        << "  \"cold_seconds\": " << cold.seconds << ",\n"
+        << "  \"warm_seconds\": " << warm.seconds << ",\n"
+        << "  \"warm_parallel_seconds\": " << warm_parallel.seconds << ",\n"
+        << "  \"warm_parallel_threads\": " << parallel_options.threads << ",\n"
+        << "  \"warm_speedup_vs_no_cache\": " << uncached.seconds / warm.seconds
+        << ",\n"
+        << "  \"cold_hit_rate\": " << cold.hit_rate() << ",\n"
+        << "  \"warm_hit_rate\": " << warm.hit_rate() << ",\n"
+        << "  \"fingerprint\": \"" << su::hex64(reference) << "\",\n"
+        << "  \"all_identical\": " << (ok ? "true" : "false") << "\n"
+        << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (throwaway_dir) {
+    std::error_code ec;
+    fs::remove_all(cache_dir, ec);
+  }
+  if (!ok) return 1;
+  std::printf("cold, warm, and warm-parallel corpora all fingerprint-identical\n");
+  return 0;
+}

@@ -1,9 +1,20 @@
 // Microbenchmarks (google-benchmark) for the preprocessing pipeline and
 // network stages: lexing, parsing, PDG construction, path-sensitive
 // slicing, normalization, and the SPP-CNN forward pass across sequence
-// lengths. These measure library throughput, not paper tables.
+// lengths — plus the end-to-end phase split (preprocess cold/warm
+// through the corpus cache, train, evaluate, model save/load v1 vs v2)
+// that tracks the pipeline's perf trajectory. Record a machine's
+// baseline with:
+//   ./bench/micro_pipeline --benchmark_format=json > bench/BENCH_pipeline.json
+// These measure library throughput, not paper tables.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
+#include <filesystem>
+
+#include "sevuldet/core/pipeline.hpp"
+#include "sevuldet/core/trainer.hpp"
+#include "sevuldet/dataset/corpus.hpp"
 #include "sevuldet/dataset/sard_generator.hpp"
 #include "sevuldet/frontend/lexer.hpp"
 #include "sevuldet/frontend/parser.hpp"
@@ -93,6 +104,144 @@ void BM_SeVulDetForward(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_SeVulDetForward)->Arg(30)->Arg(100)->Arg(300)->Arg(1000);
+
+// --- end-to-end phase split ------------------------------------------------
+// One small fixed workload (generated once) timed phase by phase:
+// preprocessing with a cold vs warm corpus cache, detector training per
+// epoch, evaluation, and model persistence in both formats. Together the
+// rows give the preprocess / train / eval wall-clock split a full run
+// pays.
+
+const std::vector<dataset::TestCase>& phase_cases() {
+  static const std::vector<dataset::TestCase> cases = [] {
+    dataset::SardConfig config;
+    config.pairs_per_category = 6;
+    return dataset::generate_sard_like(config);
+  }();
+  return cases;
+}
+
+std::filesystem::path bench_tmp(const char* name) {
+  return std::filesystem::temp_directory_path() /
+         ("sevuldet-micro-pipeline." + std::to_string(::getpid()) + "." + name);
+}
+
+void BM_BuildCorpusCold(benchmark::State& state) {
+  const auto& cases = phase_cases();
+  dataset::CorpusOptions options;  // no cache: every iteration re-slices
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    dataset::Corpus corpus = dataset::build_corpus(cases, options);
+    samples = corpus.samples.size();
+    benchmark::DoNotOptimize(corpus.samples.data());
+  }
+  state.counters["samples"] = static_cast<double>(samples);
+}
+BENCHMARK(BM_BuildCorpusCold)->Unit(benchmark::kMillisecond);
+
+void BM_BuildCorpusWarm(benchmark::State& state) {
+  const auto& cases = phase_cases();
+  const auto dir = bench_tmp("warm-cache");
+  std::filesystem::remove_all(dir);
+  dataset::CorpusOptions options;
+  options.cache_dir = dir.string();
+  dataset::build_corpus(cases, options);  // populate
+  double hit_rate = 0.0;
+  for (auto _ : state) {
+    dataset::Corpus corpus = dataset::build_corpus(cases, options);
+    const long long probes = corpus.stats.cache_hits + corpus.stats.cache_misses;
+    hit_rate = probes == 0 ? 0.0
+                           : static_cast<double>(corpus.stats.cache_hits) /
+                                 static_cast<double>(probes);
+    benchmark::DoNotOptimize(corpus.samples.data());
+  }
+  state.counters["hit_rate"] = hit_rate;
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_BuildCorpusWarm)->Unit(benchmark::kMillisecond);
+
+core::PipelineConfig phase_pipeline_config() {
+  core::PipelineConfig config;
+  config.model.embed_dim = 24;
+  config.model.conv_channels = 16;
+  config.train.epochs = 1;
+  config.pretrain_embeddings = false;
+  return config;
+}
+
+const dataset::Corpus& phase_corpus() {
+  static const dataset::Corpus corpus = [] {
+    dataset::Corpus c = dataset::build_corpus(phase_cases());
+    dataset::encode_corpus(c);
+    return c;
+  }();
+  return corpus;
+}
+
+void BM_TrainEpoch(benchmark::State& state) {
+  const dataset::Corpus& corpus = phase_corpus();
+  const core::SampleRefs refs = core::all_sample_refs(corpus);
+  for (auto _ : state) {
+    core::SeVulDet detector(phase_pipeline_config());
+    auto result = detector.train_on_corpus(corpus, refs);
+    benchmark::DoNotOptimize(result.epoch_losses.data());
+  }
+  state.counters["gadgets"] = static_cast<double>(phase_corpus().samples.size());
+}
+BENCHMARK(BM_TrainEpoch)->Unit(benchmark::kMillisecond);
+
+core::SeVulDet& phase_detector() {
+  static core::SeVulDet detector = [] {
+    core::SeVulDet d(phase_pipeline_config());
+    d.train_on_corpus(phase_corpus(), core::all_sample_refs(phase_corpus()));
+    return d;
+  }();
+  return detector;
+}
+
+void BM_Evaluate(benchmark::State& state) {
+  core::SeVulDet& detector = phase_detector();
+  const core::SampleRefs refs = core::all_sample_refs(phase_corpus());
+  for (auto _ : state) {
+    auto confusion = core::evaluate_detector(detector.model(), refs);
+    benchmark::DoNotOptimize(confusion.tp);
+  }
+}
+BENCHMARK(BM_Evaluate)->Unit(benchmark::kMillisecond);
+
+// Model persistence: v1 self-describing text vs the v2 checksummed
+// binary fast path (same trained detector, same temp file).
+void BM_ModelSaveV1(benchmark::State& state) {
+  const auto path = bench_tmp("model-v1").string();
+  for (auto _ : state) phase_detector().save_text_v1(path);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_ModelSaveV1)->Unit(benchmark::kMillisecond);
+
+void BM_ModelSaveV2(benchmark::State& state) {
+  const auto path = bench_tmp("model-v2").string();
+  for (auto _ : state) phase_detector().save(path);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_ModelSaveV2)->Unit(benchmark::kMillisecond);
+
+void BM_ModelLoadV1(benchmark::State& state) {
+  const auto path = bench_tmp("model-v1-load").string();
+  phase_detector().save_text_v1(path);
+  core::SeVulDet restored(phase_pipeline_config());
+  for (auto _ : state) restored.load(path);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_ModelLoadV1)->Unit(benchmark::kMillisecond);
+
+void BM_ModelLoadV2(benchmark::State& state) {
+  const auto path = bench_tmp("model-v2-load").string();
+  phase_detector().save(path);
+  core::SeVulDet restored(phase_pipeline_config());
+  for (auto _ : state) restored.load(path);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_ModelLoadV2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

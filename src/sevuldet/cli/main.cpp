@@ -36,6 +36,7 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  sevuldet selftrain --out MODEL [--pairs N] [--epochs N]\n"
+               "                     [--corpus-cache DIR]\n"
                "  sevuldet scan FILE.c --model MODEL\n"
                "  sevuldet gadgets FILE.c [--plain]\n"
                "  sevuldet fuzz FILE.c [--execs N]\n"
@@ -46,7 +47,12 @@ int usage() {
                "  parallelize preprocessing and detection; results are\n"
                "  identical to --threads 1. --w2v-threads N additionally\n"
                "  parallelizes word2vec pre-training (Hogwild, result is then\n"
-               "  nondeterministic; default 1).\n");
+               "  nondeterministic; default 1).\n"
+               "\n"
+               "  selftrain/train accept --corpus-cache DIR: memoize per-file\n"
+               "  preprocessing (Steps I-III) in a content-addressed cache, so\n"
+               "  repeat runs only re-slice changed files. Results are\n"
+               "  identical with or without the cache.\n");
   return 2;
 }
 
@@ -72,13 +78,17 @@ bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
-/// Shared --threads/--w2v-threads handling for the training/scan commands.
+/// Shared --threads/--w2v-threads/--corpus-cache handling for the
+/// training/scan commands.
 void apply_thread_flags(int argc, char** argv, core::PipelineConfig& config) {
   if (const char* threads = arg_value(argc, argv, "--threads")) {
     config.corpus.threads = std::atoi(threads);
   }
   if (const char* w2v = arg_value(argc, argv, "--w2v-threads")) {
     config.word2vec.threads = std::atoi(w2v);
+  }
+  if (const char* cache = arg_value(argc, argv, "--corpus-cache")) {
+    config.corpus.cache_dir = cache;
   }
 }
 

@@ -8,6 +8,7 @@
 #include "sevuldet/graph/pdg.hpp"
 #include "sevuldet/nn/serialize.hpp"
 #include "sevuldet/normalize/normalize.hpp"
+#include "sevuldet/util/binary_io.hpp"
 #include "sevuldet/util/log.hpp"
 #include "sevuldet/util/thread_pool.hpp"
 
@@ -131,25 +132,62 @@ std::vector<Finding> SeVulDet::detect(const std::string& source, int top_k) {
   return findings;
 }
 
+namespace {
+
+// v2 layout: the text header line (so a v1 reader fails with a clear
+// message), then a framed binary payload — magic + format version + size
+// + payload + FNV-1a checksum, the same framing as compiled-corpus files.
+constexpr std::string_view kModelHeaderV1 = "SEVULDET-MODEL v1\n";
+constexpr std::string_view kModelHeaderV2 = "SEVULDET-MODEL v2\n";
+constexpr std::string_view kModelMagic = "SVDMODL\n";
+constexpr std::uint32_t kModelFormatVersion = 2;
+
+}  // namespace
+
 void SeVulDet::save(const std::string& path) const {
+  if (!trained()) throw std::logic_error("SeVulDet::save before train");
+  util::ByteWriter payload;
+  payload.str(vocab_.serialize());
+  nn::serialize_params_binary(model_->params(), payload);
+  std::string bytes(kModelHeaderV2);
+  bytes += util::frame_payload(kModelMagic, kModelFormatVersion, payload.data());
+  util::write_binary_file(path, bytes);
+}
+
+void SeVulDet::save_text_v1(const std::string& path) const {
   if (!trained()) throw std::logic_error("SeVulDet::save before train");
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open for write: " + path);
   const std::string vocab_blob = vocab_.serialize();
-  out << "SEVULDET-MODEL v1\n";
+  out << kModelHeaderV1;
   out << "vocab " << vocab_blob.size() << '\n';
   out << vocab_blob;
   out << nn::serialize_params(model_->params());
 }
 
 void SeVulDet::load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
-  std::string header;
-  std::getline(in, header);
-  if (header != "SEVULDET-MODEL v1") {
-    throw std::runtime_error("bad model file header: " + header);
+  const std::string bytes = util::read_binary_file(path);
+  if (bytes.compare(0, kModelHeaderV2.size(), kModelHeaderV2) == 0) {
+    const std::string payload = util::unframe_payload(
+        kModelMagic, kModelFormatVersion,
+        std::string_view(bytes).substr(kModelHeaderV2.size()), "model file");
+    util::ByteReader in(payload);
+    vocab_ = normalize::Vocabulary::deserialize(in.str());
+    build_model();
+    nn::deserialize_params_binary(model_->params(), in);
+    if (!in.done()) {
+      throw std::runtime_error("model file: trailing bytes in payload");
+    }
+    return;
   }
+  if (bytes.compare(0, kModelHeaderV1.size(), kModelHeaderV1) != 0) {
+    throw std::runtime_error("bad model file header: " +
+                             bytes.substr(0, bytes.find('\n')));
+  }
+
+  // Legacy v1 text format, with explicit bounds checks: a truncated file
+  // must throw, never yield a silently NUL-padded vocabulary.
+  std::istringstream in(bytes.substr(kModelHeaderV1.size()));
   std::string tag;
   std::size_t vocab_size = 0;
   in >> tag >> vocab_size;
@@ -157,6 +195,11 @@ void SeVulDet::load(const std::string& path) {
   in.ignore(1);  // newline
   std::string vocab_blob(vocab_size, '\0');
   in.read(vocab_blob.data(), static_cast<std::streamsize>(vocab_size));
+  if (static_cast<std::size_t>(in.gcount()) != vocab_size) {
+    throw std::runtime_error("model file: truncated vocabulary (expected " +
+                             std::to_string(vocab_size) + " bytes, got " +
+                             std::to_string(in.gcount()) + ")");
+  }
   vocab_ = normalize::Vocabulary::deserialize(vocab_blob);
   build_model();
   std::ostringstream rest;

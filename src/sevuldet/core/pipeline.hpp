@@ -68,8 +68,15 @@ class SeVulDet {
   bool trained() const { return model_ != nullptr; }
 
   /// Persist / restore the trained detector (vocabulary + parameters).
+  /// save() writes the v2 checksummed binary format (same writer as the
+  /// compiled-corpus files); load() reads v2 and the legacy v1 text
+  /// format, and throws std::runtime_error on truncated or corrupt files
+  /// of either version.
   void save(const std::string& path) const;
   void load(const std::string& path);
+  /// Legacy v1 text writer, kept so back-compat loading stays testable
+  /// (and to measure the v2 speedup in bench/micro_pipeline).
+  void save_text_v1(const std::string& path) const;
 
  private:
   void build_model();

@@ -1,0 +1,141 @@
+#include "sevuldet/dataset/cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+
+#include "sevuldet/dataset/corpus_io.hpp"
+#include "sevuldet/util/binary_io.hpp"
+
+namespace fs = std::filesystem;
+
+namespace sevuldet::dataset {
+
+namespace {
+
+constexpr std::string_view kCaseMagic = "SVDCASE\n";
+
+/// Tagged, length-delimited field hashing: every field contributes its
+/// tag, its length (for variable-size data), and its bytes, so no two
+/// distinct field sequences can produce the same hash input.
+void hash_field(util::Fnv1a& h, std::string_view tag, std::string_view bytes) {
+  h.update(tag);
+  h.update_value<std::uint64_t>(bytes.size());
+  h.update(bytes);
+}
+
+template <typename T>
+void hash_value(util::Fnv1a& h, std::string_view tag, T value) {
+  h.update(tag);
+  h.update_value(value);
+}
+
+void hash_key_material(util::Fnv1a& h, const TestCase& tc,
+                       const slicer::GadgetOptions& options,
+                       std::uint32_t version) {
+  hash_field(h, "sevuldet-case-cache", "");
+  hash_value(h, "version", version);
+  // Source bytes — the dominant input.
+  hash_field(h, "source", tc.source);
+  // Label manifest: everything Step II copies into samples.
+  hash_field(h, "id", tc.id);
+  hash_field(h, "cwe", tc.cwe);
+  hash_value(h, "vulnerable", static_cast<std::uint8_t>(tc.vulnerable));
+  hash_value(h, "category", static_cast<std::uint8_t>(tc.category));
+  hash_value(h, "ambiguous", static_cast<std::uint8_t>(tc.ambiguous_pair));
+  hash_value(h, "long", static_cast<std::uint8_t>(tc.long_variant));
+  hash_value(h, "lines", static_cast<std::uint64_t>(tc.vulnerable_lines.size()));
+  for (int line : tc.vulnerable_lines) {
+    hash_value(h, "line", static_cast<std::int64_t>(line));
+  }
+  // Every GadgetOptions field; add a tagged line here for every field
+  // added to GadgetOptions/SliceOptions, or cached entries go stale
+  // silently.
+  hash_value(h, "path_sensitive",
+             static_cast<std::uint8_t>(options.path_sensitive));
+  hash_value(h, "use_control_dep",
+             static_cast<std::uint8_t>(options.slice.use_control_dep));
+  hash_value(h, "interprocedural",
+             static_cast<std::uint8_t>(options.slice.interprocedural));
+  hash_value(h, "max_call_depth",
+             static_cast<std::int64_t>(options.slice.max_call_depth));
+}
+
+}  // namespace
+
+std::string case_cache_key(const TestCase& tc,
+                           const slicer::GadgetOptions& options,
+                           std::uint32_t version) {
+  // Two independent 64-bit streams -> 128-bit key; at corpus scale a
+  // single 64-bit hash would make birthday collisions conceivable.
+  util::Fnv1a lo;
+  util::Fnv1a hi(0x9e3779b97f4a7c15ull);
+  hash_key_material(lo, tc, options, version);
+  hash_key_material(hi, tc, options, version);
+  return util::hex64(lo.digest()) + util::hex64(hi.digest());
+}
+
+CorpusCache::CorpusCache(std::string dir) : dir_(std::move(dir)) {
+  const fs::path path(dir_);
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (!fs::is_directory(path)) {
+    throw std::runtime_error("corpus cache: not a directory: " + dir_);
+  }
+}
+
+std::string CorpusCache::entry_path(const std::string& key) const {
+  return (fs::path(dir_) / (key + ".svdcase")).string();
+}
+
+std::optional<CachedCase> CorpusCache::load(const std::string& key) const {
+  std::string bytes;
+  try {
+    bytes = util::read_binary_file(entry_path(key));
+  } catch (const std::runtime_error&) {
+    return std::nullopt;  // absent — the common miss
+  }
+  try {
+    const std::string payload = util::unframe_payload(
+        kCaseMagic, kCaseCacheFormatVersion, bytes, "cache entry");
+    util::ByteReader in(payload);
+    CachedCase value;
+    value.parse_failed = in.u8() != 0;
+    const std::uint32_t samples = in.u32();
+    value.samples.reserve(samples);
+    for (std::uint32_t i = 0; i < samples; ++i) {
+      value.samples.push_back(read_sample(in));
+    }
+    if (!in.done()) {
+      throw std::runtime_error("cache entry: trailing bytes");
+    }
+    return value;
+  } catch (const std::runtime_error&) {
+    return std::nullopt;  // truncated/corrupt/old version => recompute
+  }
+}
+
+void CorpusCache::store(const std::string& key, const CachedCase& value) const {
+  util::ByteWriter payload;
+  payload.u8(value.parse_failed ? 1 : 0);
+  payload.u32(static_cast<std::uint32_t>(value.samples.size()));
+  for (const auto& sample : value.samples) write_sample(payload, sample);
+
+  // Unique temp name per write, then an atomic rename: concurrent
+  // writers of the same key both succeed, last rename wins, and readers
+  // only ever see complete entries.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp =
+      entry_path(key) + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  util::write_binary_file(
+      tmp, util::frame_payload(kCaseMagic, kCaseCacheFormatVersion,
+                               payload.data()));
+  std::error_code ec;
+  fs::rename(tmp, entry_path(key), ec);
+  if (ec) fs::remove(tmp, ec);  // cache store is best-effort; never fail a build
+}
+
+}  // namespace sevuldet::dataset

@@ -1,0 +1,74 @@
+// Per-testcase content-addressed preprocessing cache. build_corpus's
+// per-case work (parse -> PDG -> special tokens -> slices -> gadgets ->
+// normalize, Steps I-III) is a pure function of the test case's content
+// and the GadgetOptions, so its output can be memoized on disk: the key
+// is a 128-bit FNV-1a hash over the source bytes, the case's label
+// manifest (id, CWE, flagged lines, category, variant flags), every
+// GadgetOptions field, and kCaseCacheFormatVersion. A warm build loads
+// cached outputs and skips Steps I-III entirely; only changed cases
+// recompute. The ordered merge in build_corpus is untouched, so a warm
+// parallel build stays byte-identical to a cold serial build.
+//
+// Invalidation rules (each produces a fresh key, leaving stale entries
+// to age out on disk):
+//  - any change to the case's source bytes or label manifest;
+//  - any change to any GadgetOptions field (slicing depth, control
+//    dependence, interprocedurality, path sensitivity);
+//  - bumping kCaseCacheFormatVersion — required whenever the frontend,
+//    graph, slicer, or normalizer changes behavior, since their output
+//    is what the cache stores.
+// Entries that fail to load (truncated, corrupt, wrong version) are
+// treated as misses and rewritten; the cache is self-healing and safe to
+// delete wholesale at any time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sevuldet/dataset/corpus.hpp"
+#include "sevuldet/dataset/testcase.hpp"
+
+namespace sevuldet::dataset {
+
+/// Version of the cached per-case payload AND of the preprocessing
+/// algorithms that produce it. Part of every cache key.
+inline constexpr std::uint32_t kCaseCacheFormatVersion = 1;
+
+/// What build_corpus computes for one test case before the ordered
+/// merge: the case's gadget samples (pre-dedup, pre-encode) or the fact
+/// that it failed to parse.
+struct CachedCase {
+  std::vector<GadgetSample> samples;
+  bool parse_failed = false;
+};
+
+/// Content-addressed key (32 hex chars). `version` is overridable so
+/// tests can prove a version bump re-keys; production callers use the
+/// default.
+std::string case_cache_key(const TestCase& tc,
+                           const slicer::GadgetOptions& options,
+                           std::uint32_t version = kCaseCacheFormatVersion);
+
+/// One directory of "<key>.svdcase" files. Writes go through a unique
+/// temp file + rename, so concurrent builders (threads or processes)
+/// sharing a cache directory never observe half-written entries.
+class CorpusCache {
+ public:
+  /// Creates `dir` (and parents) if missing; throws std::runtime_error
+  /// when the path exists but is not a directory.
+  explicit CorpusCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string entry_path(const std::string& key) const;
+
+  /// nullopt on absent or unreadable/corrupt/mismatched entries (a miss).
+  std::optional<CachedCase> load(const std::string& key) const;
+  void store(const std::string& key, const CachedCase& value) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace sevuldet::dataset

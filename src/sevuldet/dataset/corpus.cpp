@@ -1,8 +1,10 @@
 #include "sevuldet/dataset/corpus.hpp"
 
 #include <numeric>
+#include <optional>
 #include <set>
 
+#include "sevuldet/dataset/cache.hpp"
 #include "sevuldet/frontend/lexer.hpp"
 #include "sevuldet/frontend/parser.hpp"
 #include "sevuldet/graph/pdg.hpp"
@@ -43,8 +45,8 @@ namespace {
 /// order-dependent state (dedup, stats) is applied at merge time.
 struct CaseOutput {
   std::vector<GadgetSample> samples;
-  std::vector<std::string> keys;  // dedup key per sample (when enabled)
   bool parse_failed = false;
+  bool from_cache = false;
 };
 
 CaseOutput process_case(const TestCase& tc, const CorpusOptions& options) {
@@ -74,8 +76,6 @@ CaseOutput process_case(const TestCase& tc, const CorpusOptions& options) {
     normalize::NormalizedGadget norm = normalize::normalize_gadget(gadget);
     if (norm.tokens.empty()) continue;
 
-    if (options.deduplicate) out.keys.push_back(dedup_key(norm.tokens));
-
     GadgetSample sample;
     sample.tokens = std::move(norm.tokens);
     sample.label = label;
@@ -89,35 +89,63 @@ CaseOutput process_case(const TestCase& tc, const CorpusOptions& options) {
   return out;
 }
 
+/// Cache-aware per-case step: serve from the content-addressed cache
+/// when the key matches, otherwise run Steps I-III and store the result.
+/// Pure per case (each key maps to one distinct file), so it is safe on
+/// worker threads.
+CaseOutput produce_case(const TestCase& tc, const CorpusOptions& options,
+                        const CorpusCache* cache) {
+  if (cache == nullptr) return process_case(tc, options);
+  const std::string key = case_cache_key(tc, options.gadget);
+  if (std::optional<CachedCase> hit = cache->load(key)) {
+    CaseOutput out;
+    out.samples = std::move(hit->samples);
+    out.parse_failed = hit->parse_failed;
+    out.from_cache = true;
+    return out;
+  }
+  CaseOutput out = process_case(tc, options);
+  cache->store(key, CachedCase{out.samples, out.parse_failed});
+  return out;
+}
+
 }  // namespace
 
 Corpus build_corpus(const std::vector<TestCase>& cases,
                     const CorpusOptions& options) {
   // Per-case extraction is pure, so it parallelizes; the merge below is
   // sequential in input order, which keeps the result byte-identical to
-  // a serial build regardless of thread count.
+  // a serial build regardless of thread count — and, with cache_dir set,
+  // regardless of which cases hit the cache.
+  std::optional<CorpusCache> cache;
+  if (!options.cache_dir.empty()) cache.emplace(options.cache_dir);
+  const CorpusCache* cache_ptr = cache ? &*cache : nullptr;
+
   const int threads = util::resolve_threads(options.threads);
   std::vector<CaseOutput> outputs;
   if (threads > 1 && cases.size() > 1) {
     util::ThreadPool pool(threads);
-    outputs = pool.parallel_map(
-        cases.size(), [&](std::size_t i) { return process_case(cases[i], options); });
+    outputs = pool.parallel_map(cases.size(), [&](std::size_t i) {
+      return produce_case(cases[i], options, cache_ptr);
+    });
   } else {
     outputs.reserve(cases.size());
-    for (const TestCase& tc : cases) outputs.push_back(process_case(tc, options));
+    for (const TestCase& tc : cases) {
+      outputs.push_back(produce_case(tc, options, cache_ptr));
+    }
   }
 
   Corpus corpus;
   std::set<std::pair<std::string, int>> seen;  // for optional dedup
   for (CaseOutput& out : outputs) {
+    if (cache) ++(out.from_cache ? corpus.stats.cache_hits : corpus.stats.cache_misses);
     if (out.parse_failed) {
       ++corpus.stats.parse_failures;
       continue;
     }
-    for (std::size_t i = 0; i < out.samples.size(); ++i) {
-      GadgetSample& sample = out.samples[i];
+    for (GadgetSample& sample : out.samples) {
       if (options.deduplicate &&
-          !seen.insert({std::move(out.keys[i]), sample.label}).second) {
+          !seen.insert({dedup_key(sample.tokens), sample.label}).second) {
         continue;
       }
       auto& counts = corpus.stats.by_category[sample.category];

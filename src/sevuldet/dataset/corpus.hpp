@@ -34,12 +34,23 @@ struct CorpusOptions {
   /// hardware threads. Parallel output is byte-identical to serial:
   /// per-case work runs concurrently, the merge is ordered.
   int threads = 1;
+  /// Content-addressed preprocessing cache directory ("" = disabled).
+  /// Cache hits skip Steps I-III for unchanged cases; the result is
+  /// byte-identical to an uncached build (see dataset/cache.hpp for the
+  /// key and invalidation rules). Created on first use.
+  std::string cache_dir;
 };
 
 struct CorpusStats {
   // [category] -> {vulnerable, total}
   std::map<slicer::TokenCategory, std::pair<long long, long long>> by_category;
   long long parse_failures = 0;
+  /// Transient build counters (cache_dir only): how many cases were
+  /// served from the cache vs recomputed. NOT corpus content — excluded
+  /// from corpus_fingerprint() and serialize_corpus(), and always 0
+  /// after load_corpus().
+  long long cache_hits = 0;
+  long long cache_misses = 0;
   long long vulnerable() const;
   long long total() const;
 };

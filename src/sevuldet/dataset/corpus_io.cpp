@@ -1,0 +1,112 @@
+#include "sevuldet/dataset/corpus_io.hpp"
+
+#include <stdexcept>
+
+namespace sevuldet::dataset {
+
+namespace {
+
+constexpr std::string_view kCorpusMagic = "SVDCORP\n";
+
+void write_stats(util::ByteWriter& out, const CorpusStats& stats) {
+  out.u32(static_cast<std::uint32_t>(stats.by_category.size()));
+  for (const auto& [category, counts] : stats.by_category) {
+    out.u8(static_cast<std::uint8_t>(category));
+    out.i64(counts.first);
+    out.i64(counts.second);
+  }
+  out.i64(stats.parse_failures);
+}
+
+CorpusStats read_stats(util::ByteReader& in) {
+  CorpusStats stats;
+  const std::uint32_t categories = in.u32();
+  for (std::uint32_t i = 0; i < categories; ++i) {
+    const auto category = static_cast<slicer::TokenCategory>(in.u8());
+    const long long vulnerable = in.i64();
+    const long long total = in.i64();
+    stats.by_category[category] = {vulnerable, total};
+  }
+  stats.parse_failures = in.i64();
+  return stats;
+}
+
+/// Everything the fingerprint and the file share: samples, vocabulary,
+/// stats — but not the transient cache-hit counters.
+std::string corpus_payload(const Corpus& corpus) {
+  util::ByteWriter out;
+  out.u64(corpus.samples.size());
+  for (const auto& sample : corpus.samples) write_sample(out, sample);
+  out.str(corpus.vocab.serialize());
+  write_stats(out, corpus.stats);
+  return out.data();
+}
+
+}  // namespace
+
+void write_sample(util::ByteWriter& out, const GadgetSample& sample) {
+  out.u32(static_cast<std::uint32_t>(sample.tokens.size()));
+  for (const auto& token : sample.tokens) out.str(token);
+  out.u32(static_cast<std::uint32_t>(sample.ids.size()));
+  for (int id : sample.ids) out.i32(id);
+  out.i32(sample.label);
+  out.str(sample.cwe);
+  out.u8(static_cast<std::uint8_t>(sample.category));
+  out.str(sample.case_id);
+  out.u8(sample.from_ambiguous ? 1 : 0);
+  out.u8(sample.from_long ? 1 : 0);
+}
+
+GadgetSample read_sample(util::ByteReader& in) {
+  GadgetSample sample;
+  const std::uint32_t tokens = in.u32();
+  sample.tokens.reserve(tokens);
+  for (std::uint32_t i = 0; i < tokens; ++i) sample.tokens.push_back(in.str());
+  const std::uint32_t ids = in.u32();
+  sample.ids.reserve(ids);
+  for (std::uint32_t i = 0; i < ids; ++i) sample.ids.push_back(in.i32());
+  sample.label = in.i32();
+  sample.cwe = in.str();
+  sample.category = static_cast<slicer::TokenCategory>(in.u8());
+  sample.case_id = in.str();
+  sample.from_ambiguous = in.u8() != 0;
+  sample.from_long = in.u8() != 0;
+  return sample;
+}
+
+std::string serialize_corpus(const Corpus& corpus) {
+  return util::frame_payload(kCorpusMagic, kCorpusFormatVersion,
+                             corpus_payload(corpus));
+}
+
+Corpus deserialize_corpus(std::string_view bytes) {
+  const std::string payload =
+      util::unframe_payload(kCorpusMagic, kCorpusFormatVersion, bytes, "corpus file");
+  util::ByteReader in(payload);
+  Corpus corpus;
+  const std::uint64_t samples = in.u64();
+  corpus.samples.reserve(static_cast<std::size_t>(samples));
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    corpus.samples.push_back(read_sample(in));
+  }
+  corpus.vocab = normalize::Vocabulary::deserialize(in.str());
+  corpus.stats = read_stats(in);
+  if (!in.done()) {
+    throw std::runtime_error("corpus file: trailing bytes in payload");
+  }
+  return corpus;
+}
+
+void save_corpus(const Corpus& corpus, const std::string& path) {
+  util::write_binary_file(path, serialize_corpus(corpus));
+}
+
+Corpus load_corpus(const std::string& path) {
+  return deserialize_corpus(util::read_binary_file(path));
+}
+
+std::uint64_t corpus_fingerprint(const Corpus& corpus) {
+  return util::fnv1a(corpus_payload(corpus));
+}
+
+}  // namespace sevuldet::dataset

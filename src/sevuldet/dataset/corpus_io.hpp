@@ -1,0 +1,46 @@
+// Compiled-corpus serialization: a versioned, checksummed little-endian
+// binary format for Corpus (samples, vocabulary, stats) so a preprocessed
+// corpus can be written once and reloaded in milliseconds instead of
+// re-running Steps I-III. save/load round-trip byte-identically
+// (save(load(save(c))) produces the same file bytes) and loading rejects
+// truncated, corrupt, or version-mismatched files with a thrown
+// std::runtime_error — never silently-partial data.
+//
+// corpus_fingerprint() hashes exactly the serialized content, so two
+// corpora have equal fingerprints iff their samples, vocabulary, and
+// stats are identical. The cache-equivalence tests and CI job compare
+// cold-vs-warm builds through it. Transient build counters
+// (CorpusStats::cache_hits/cache_misses) are deliberately excluded from
+// both the serialization and the fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sevuldet/dataset/corpus.hpp"
+#include "sevuldet/util/binary_io.hpp"
+
+namespace sevuldet::dataset {
+
+/// Bump whenever the on-disk corpus layout changes; old files are then
+/// rejected (and the per-case cache re-keys itself — see cache.hpp).
+inline constexpr std::uint32_t kCorpusFormatVersion = 1;
+
+/// One GadgetSample, shared by the corpus format and the per-case cache.
+void write_sample(util::ByteWriter& out, const GadgetSample& sample);
+GadgetSample read_sample(util::ByteReader& in);
+
+/// Corpus <-> framed bytes (magic + version + size + payload + checksum).
+std::string serialize_corpus(const Corpus& corpus);
+Corpus deserialize_corpus(std::string_view bytes);
+
+/// File helpers around serialize/deserialize.
+void save_corpus(const Corpus& corpus, const std::string& path);
+Corpus load_corpus(const std::string& path);
+
+/// Content hash of the corpus (samples + vocab + stats, excluding cache
+/// counters). Equal fingerprints <=> byte-identical serialization.
+std::uint64_t corpus_fingerprint(const Corpus& corpus);
+
+}  // namespace sevuldet::dataset

@@ -1,0 +1,120 @@
+#include "sevuldet/util/binary_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace sevuldet::util {
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
+  Fnv1a hasher(seed);
+  hasher.update(bytes);
+  return hasher.digest();
+}
+
+std::string hex64(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+void ByteWriter::f32_array(const float* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) f32(data[i]);
+}
+
+std::uint8_t ByteReader::u8() {
+  return static_cast<std::uint8_t>(bytes(1)[0]);
+}
+
+float ByteReader::f32() {
+  const std::uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void ByteReader::f32_array(float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = f32();
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  if (n > remaining()) throw std::runtime_error("truncated binary data: string");
+  return std::string(bytes(static_cast<std::size_t>(n)));
+}
+
+std::string_view ByteReader::bytes(std::size_t n) {
+  if (n > remaining()) throw std::runtime_error("truncated binary data");
+  std::string_view out = bytes_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string frame_payload(std::string_view magic, std::uint32_t version,
+                          std::string_view payload) {
+  ByteWriter out;
+  out.bytes(magic);
+  out.u32(version);
+  out.u64(payload.size());
+  out.bytes(payload);
+  out.u64(fnv1a(payload));
+  return out.data();
+}
+
+std::string unframe_payload(std::string_view magic, std::uint32_t version,
+                            std::string_view file_bytes, std::string_view what) {
+  const std::string name(what);
+  ByteReader in(file_bytes);
+  try {
+    if (in.bytes(magic.size()) != magic) {
+      throw std::runtime_error(name + ": bad magic (not a " + name + " file)");
+    }
+    const std::uint32_t file_version = in.u32();
+    if (file_version != version) {
+      throw std::runtime_error(name + ": unsupported format version " +
+                               std::to_string(file_version) + " (expected " +
+                               std::to_string(version) + ")");
+    }
+    const std::uint64_t payload_size = in.u64();
+    if (payload_size > in.remaining()) {
+      throw std::runtime_error(name + ": truncated (payload short)");
+    }
+    std::string payload(in.bytes(static_cast<std::size_t>(payload_size)));
+    const std::uint64_t checksum = in.u64();
+    if (!in.done()) {
+      throw std::runtime_error(name + ": trailing bytes after checksum");
+    }
+    if (checksum != fnv1a(payload)) {
+      throw std::runtime_error(name + ": checksum mismatch (corrupt file)");
+    }
+    return payload;
+  } catch (const std::runtime_error& e) {
+    // ByteReader's generic truncation errors get the file kind prepended
+    // so "corpus file: truncated binary data" names the culprit.
+    const std::string message = e.what();
+    if (message.rfind(name, 0) == 0) throw;
+    throw std::runtime_error(name + ": " + message);
+  }
+}
+
+std::string read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("read failed: " + path);
+  return bytes;
+}
+
+void write_binary_file(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace sevuldet::util

@@ -1,0 +1,143 @@
+// Little-endian binary serialization primitives shared by the compiled
+// corpus format, the per-testcase preprocessing cache, and the v2 model
+// format: a growable ByteWriter, a bounds-checked ByteReader that throws
+// on any read past the end (so truncated files fail loudly instead of
+// yielding zero-padded data), and a streaming 64-bit FNV-1a hasher used
+// both for payload checksums and for content-addressed cache keys.
+//
+// All integers are written as fixed-width little-endian regardless of
+// host byte order, so files are portable and byte-identical across
+// machines.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace sevuldet::util {
+
+/// Streaming FNV-1a (64-bit). The seed parameter lets callers derive
+/// independent hash streams from the same bytes (the cache key uses two
+/// seeds for a 128-bit key).
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x00000100000001b3ull;
+
+  explicit Fnv1a(std::uint64_t seed = kOffsetBasis) : state_(seed) {}
+
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = state_;
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= kPrime;
+    }
+    state_ = h;
+  }
+  void update(std::string_view bytes) { update(bytes.data(), bytes.size()); }
+  template <typename T>
+  void update_value(T value) {
+    static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>);
+    update(&value, sizeof(value));
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot convenience over Fnv1a.
+std::uint64_t fnv1a(std::string_view bytes,
+                    std::uint64_t seed = Fnv1a::kOffsetBasis);
+
+/// Fixed-width hex spelling of a 64-bit hash (16 lowercase digits).
+std::string hex64(std::uint64_t value);
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    append_le(bits);
+  }
+  void f32_array(const float* data, std::size_t n);
+  /// Length-prefixed (u64) byte string.
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s);
+  }
+  /// Raw bytes, no length prefix.
+  void bytes(std::string_view s) { buffer_.append(s.data(), s.size()); }
+
+  const std::string& data() const { return buffer_; }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  std::string buffer_;
+};
+
+/// Reads the formats ByteWriter produces. Every accessor throws
+/// std::runtime_error("truncated binary data...") when fewer bytes remain
+/// than requested — callers never see silently short reads.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  float f32();
+  void f32_array(float* out, std::size_t n);
+  std::string str();
+  std::string_view bytes(std::size_t n);
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  template <typename T>
+  T read_le() {
+    std::string_view raw = bytes(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<unsigned char>(raw[i])) << (8 * i);
+    }
+    return v;
+  }
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Frame a payload for disk: magic (raw bytes) + u32 version + u64 payload
+/// size + payload + u64 FNV-1a checksum of the payload. The matching
+/// reader verifies all four and throws std::runtime_error naming `what`
+/// on a wrong magic, an unsupported version, a truncated file, or a
+/// checksum mismatch.
+std::string frame_payload(std::string_view magic, std::uint32_t version,
+                          std::string_view payload);
+std::string unframe_payload(std::string_view magic, std::uint32_t version,
+                            std::string_view file_bytes, std::string_view what);
+
+/// Whole-file helpers (binary mode). read_file/write_file throw
+/// std::runtime_error when the file cannot be opened or fully written.
+std::string read_binary_file(const std::string& path);
+void write_binary_file(const std::string& path, std::string_view bytes);
+
+}  // namespace sevuldet::util

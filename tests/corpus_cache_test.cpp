@@ -1,0 +1,321 @@
+// Content-addressed preprocessing cache semantics: a second build over
+// unchanged inputs hits on every case and reproduces the cold corpus
+// fingerprint (including warm+threaded == cold+serial, the determinism
+// contract the CI equivalence job enforces); any change to the source
+// bytes, the label manifest, any GadgetOptions field, or the format
+// version produces a fresh key; corrupt entries degrade to misses.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sevuldet/dataset/cache.hpp"
+#include "sevuldet/dataset/corpus_io.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+
+namespace fs = std::filesystem;
+namespace sd = sevuldet::dataset;
+namespace ss = sevuldet::slicer;
+
+namespace {
+
+/// Fresh cache directory per test, removed on destruction.
+struct TempCacheDir {
+  fs::path path;
+  explicit TempCacheDir(const std::string& name)
+      : path(fs::path(::testing::TempDir()) / name) {
+    fs::remove_all(path);
+  }
+  ~TempCacheDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+std::vector<sd::TestCase> sard_cases(int pairs, std::uint64_t seed = 31) {
+  sd::SardConfig config;
+  config.pairs_per_category = pairs;
+  config.seed = seed;
+  return sd::generate_sard_like(config);
+}
+
+sd::TestCase probe_case() {
+  sd::TestCase tc;
+  tc.id = "probe-1";
+  tc.source =
+      "void f(char* p, int n) {\n"
+      "  char buf[8];\n"
+      "  if (n > 0) {\n"
+      "    strcpy(buf, p);\n"
+      "  }\n"
+      "}\n";
+  tc.vulnerable_lines = {4};
+  tc.vulnerable = true;
+  tc.cwe = "CWE-121";
+  return tc;
+}
+
+}  // namespace
+
+TEST(CacheKey, StableForIdenticalInputs) {
+  const ss::GadgetOptions options;
+  EXPECT_EQ(sd::case_cache_key(probe_case(), options),
+            sd::case_cache_key(probe_case(), options));
+  EXPECT_EQ(sd::case_cache_key(probe_case(), options).size(), 32u);
+}
+
+TEST(CacheKey, SourceBytesChangeKey) {
+  const ss::GadgetOptions options;
+  sd::TestCase changed = probe_case();
+  changed.source += " ";  // one byte
+  EXPECT_NE(sd::case_cache_key(probe_case(), options),
+            sd::case_cache_key(changed, options));
+}
+
+TEST(CacheKey, LabelManifestChangesKey) {
+  const ss::GadgetOptions options;
+  const std::string base = sd::case_cache_key(probe_case(), options);
+
+  sd::TestCase lines = probe_case();
+  lines.vulnerable_lines = {5};
+  EXPECT_NE(sd::case_cache_key(lines, options), base);
+
+  sd::TestCase cleared = probe_case();
+  cleared.vulnerable_lines.clear();
+  cleared.vulnerable = false;
+  EXPECT_NE(sd::case_cache_key(cleared, options), base);
+
+  sd::TestCase cwe = probe_case();
+  cwe.cwe = "CWE-122";
+  EXPECT_NE(sd::case_cache_key(cwe, options), base);
+
+  sd::TestCase renamed = probe_case();
+  renamed.id = "probe-2";
+  EXPECT_NE(sd::case_cache_key(renamed, options), base);
+
+  sd::TestCase flags = probe_case();
+  flags.long_variant = true;
+  EXPECT_NE(sd::case_cache_key(flags, options), base);
+}
+
+TEST(CacheKey, EveryGadgetOptionFieldChangesKey) {
+  const sd::TestCase tc = probe_case();
+  const ss::GadgetOptions base;
+  const std::string base_key = sd::case_cache_key(tc, base);
+
+  ss::GadgetOptions path = base;
+  path.path_sensitive = !base.path_sensitive;
+  EXPECT_NE(sd::case_cache_key(tc, path), base_key);
+
+  ss::GadgetOptions control = base;
+  control.slice.use_control_dep = !base.slice.use_control_dep;
+  EXPECT_NE(sd::case_cache_key(tc, control), base_key);
+
+  ss::GadgetOptions inter = base;
+  inter.slice.interprocedural = !base.slice.interprocedural;
+  EXPECT_NE(sd::case_cache_key(tc, inter), base_key);
+
+  ss::GadgetOptions depth = base;
+  depth.slice.max_call_depth = base.slice.max_call_depth + 1;
+  EXPECT_NE(sd::case_cache_key(tc, depth), base_key);
+}
+
+TEST(CacheKey, FormatVersionChangesKey) {
+  const ss::GadgetOptions options;
+  EXPECT_NE(sd::case_cache_key(probe_case(), options, sd::kCaseCacheFormatVersion),
+            sd::case_cache_key(probe_case(), options,
+                               sd::kCaseCacheFormatVersion + 1));
+}
+
+TEST(CorpusCache, MissThenHit) {
+  TempCacheDir dir("corpus_cache_miss_then_hit");
+  const auto cases = sard_cases(3);
+
+  sd::CorpusOptions options;
+  options.cache_dir = dir.str();
+  const sd::Corpus cold = sd::build_corpus(cases, options);
+  EXPECT_EQ(cold.stats.cache_hits, 0);
+  EXPECT_EQ(cold.stats.cache_misses, static_cast<long long>(cases.size()));
+
+  const sd::Corpus warm = sd::build_corpus(cases, options);
+  EXPECT_EQ(warm.stats.cache_hits, static_cast<long long>(cases.size()));
+  EXPECT_EQ(warm.stats.cache_misses, 0);
+  EXPECT_EQ(sd::corpus_fingerprint(warm), sd::corpus_fingerprint(cold));
+}
+
+TEST(CorpusCache, UncachedBuildFingerprintMatches) {
+  TempCacheDir dir("corpus_cache_vs_uncached");
+  const auto cases = sard_cases(3);
+  const sd::Corpus uncached = sd::build_corpus(cases);
+
+  sd::CorpusOptions options;
+  options.cache_dir = dir.str();
+  const sd::Corpus cold = sd::build_corpus(cases, options);
+  const sd::Corpus warm = sd::build_corpus(cases, options);
+  EXPECT_EQ(sd::corpus_fingerprint(cold), sd::corpus_fingerprint(uncached));
+  EXPECT_EQ(sd::corpus_fingerprint(warm), sd::corpus_fingerprint(uncached));
+  EXPECT_EQ(uncached.stats.cache_hits, 0);  // counters untouched without a dir
+  EXPECT_EQ(uncached.stats.cache_misses, 0);
+}
+
+TEST(CorpusCache, WarmThreadedEqualsColdSerial) {
+  // The acceptance contract: warm + parallel must be byte-identical to
+  // cold + serial, fingerprint-verified.
+  TempCacheDir dir("corpus_cache_warm_threaded");
+  const auto cases = sard_cases(4);
+
+  sd::CorpusOptions cold_serial;
+  cold_serial.cache_dir = dir.str();
+  cold_serial.threads = 1;
+  const sd::Corpus cold = sd::build_corpus(cases, cold_serial);
+
+  sd::CorpusOptions warm_threaded = cold_serial;
+  warm_threaded.threads = 4;
+  const sd::Corpus warm = sd::build_corpus(cases, warm_threaded);
+  EXPECT_EQ(warm.stats.cache_hits, static_cast<long long>(cases.size()));
+  EXPECT_EQ(sd::corpus_fingerprint(warm), sd::corpus_fingerprint(cold));
+  EXPECT_EQ(sd::serialize_corpus(warm), sd::serialize_corpus(cold));
+}
+
+TEST(CorpusCache, ColdThreadedPopulatesAndMatches) {
+  TempCacheDir dir("corpus_cache_cold_threaded");
+  const auto cases = sard_cases(4);
+  const sd::Corpus reference = sd::build_corpus(cases);
+
+  sd::CorpusOptions options;
+  options.cache_dir = dir.str();
+  options.threads = 4;  // concurrent writers into one cache directory
+  const sd::Corpus cold = sd::build_corpus(cases, options);
+  EXPECT_EQ(cold.stats.cache_misses, static_cast<long long>(cases.size()));
+  EXPECT_EQ(sd::corpus_fingerprint(cold), sd::corpus_fingerprint(reference));
+
+  options.threads = 1;
+  const sd::Corpus warm = sd::build_corpus(cases, options);
+  EXPECT_EQ(warm.stats.cache_hits, static_cast<long long>(cases.size()));
+  EXPECT_EQ(sd::corpus_fingerprint(warm), sd::corpus_fingerprint(reference));
+}
+
+TEST(CorpusCache, DedupAndEncodeWorkOnCachedSamples) {
+  // Dedup keys are recomputed at merge time, so the dedup setting is
+  // orthogonal to the cache: a warm deduplicated build equals a cold one.
+  TempCacheDir dir("corpus_cache_dedup");
+  const auto cases = sard_cases(4);
+
+  sd::CorpusOptions dedup;
+  dedup.deduplicate = true;
+  const sd::Corpus reference = sd::build_corpus(cases, dedup);
+
+  sd::CorpusOptions cached = dedup;
+  cached.cache_dir = dir.str();
+  sd::build_corpus(cases, cached);  // populate
+  sd::Corpus warm = sd::build_corpus(cases, cached);
+  EXPECT_EQ(sd::corpus_fingerprint(warm), sd::corpus_fingerprint(reference));
+
+  sd::encode_corpus(warm);
+  EXPECT_GT(warm.vocab.size(), 2);
+  EXPECT_EQ(warm.samples[0].ids.size(), warm.samples[0].tokens.size());
+}
+
+TEST(CorpusCache, ChangedCaseOnlyMissesThatCase) {
+  TempCacheDir dir("corpus_cache_staleness");
+  auto cases = sard_cases(3);
+
+  sd::CorpusOptions options;
+  options.cache_dir = dir.str();
+  sd::build_corpus(cases, options);  // populate
+
+  cases[0].source += "\n";  // touch exactly one case
+  const sd::Corpus rebuilt = sd::build_corpus(cases, options);
+  EXPECT_EQ(rebuilt.stats.cache_misses, 1);
+  EXPECT_EQ(rebuilt.stats.cache_hits, static_cast<long long>(cases.size()) - 1);
+}
+
+TEST(CorpusCache, OptionChangeMissesEverything) {
+  TempCacheDir dir("corpus_cache_option_staleness");
+  const auto cases = sard_cases(2);
+
+  sd::CorpusOptions options;
+  options.cache_dir = dir.str();
+  sd::build_corpus(cases, options);  // populate (path-sensitive default)
+
+  sd::CorpusOptions plain = options;
+  plain.gadget.path_sensitive = false;
+  const sd::Corpus rebuilt = sd::build_corpus(cases, plain);
+  EXPECT_EQ(rebuilt.stats.cache_hits, 0);
+  EXPECT_EQ(rebuilt.stats.cache_misses, static_cast<long long>(cases.size()));
+  // The original keys are still intact: the old options hit again.
+  EXPECT_EQ(sd::build_corpus(cases, options).stats.cache_hits,
+            static_cast<long long>(cases.size()));
+}
+
+TEST(CorpusCache, ParseFailuresAreCachedToo) {
+  TempCacheDir dir("corpus_cache_parse_failure");
+  std::vector<sd::TestCase> cases = sard_cases(1);
+  sd::TestCase broken;
+  broken.id = "broken";
+  broken.source = "void f( {{{";
+  cases.push_back(broken);
+
+  sd::CorpusOptions options;
+  options.cache_dir = dir.str();
+  const sd::Corpus cold = sd::build_corpus(cases, options);
+  EXPECT_EQ(cold.stats.parse_failures, 1);
+
+  const sd::Corpus warm = sd::build_corpus(cases, options);
+  EXPECT_EQ(warm.stats.cache_hits, static_cast<long long>(cases.size()));
+  EXPECT_EQ(warm.stats.parse_failures, 1);
+  EXPECT_EQ(sd::corpus_fingerprint(warm), sd::corpus_fingerprint(cold));
+}
+
+TEST(CorpusCache, CorruptEntryDegradesToMiss) {
+  TempCacheDir dir("corpus_cache_corrupt_entry");
+  const sd::TestCase tc = probe_case();
+  const ss::GadgetOptions gadget;
+  const std::string key = sd::case_cache_key(tc, gadget);
+
+  sd::CorpusOptions options;
+  options.cache_dir = dir.str();
+  const sd::Corpus reference = sd::build_corpus({tc}, options);
+  ASSERT_EQ(reference.stats.cache_misses, 1);
+
+  // Truncate the entry on disk; the next build must recompute (and
+  // produce the same corpus), then repair the entry.
+  const sd::CorpusCache cache(dir.str());
+  const std::string entry = cache.entry_path(key);
+  {
+    std::ifstream in(entry, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "expected cache entry at " << entry;
+  }
+  std::ofstream(entry, std::ios::binary | std::ios::trunc) << "garbage";
+
+  const sd::Corpus rebuilt = sd::build_corpus({tc}, options);
+  EXPECT_EQ(rebuilt.stats.cache_misses, 1);
+  EXPECT_EQ(sd::corpus_fingerprint(rebuilt), sd::corpus_fingerprint(reference));
+  EXPECT_EQ(sd::build_corpus({tc}, options).stats.cache_hits, 1);  // repaired
+}
+
+TEST(CorpusCache, LoadStoreRoundTrip) {
+  TempCacheDir dir("corpus_cache_load_store");
+  const sd::CorpusCache cache(dir.str());
+  EXPECT_FALSE(cache.load("0123456789abcdef0123456789abcdef").has_value());
+
+  sd::CachedCase value;
+  value.parse_failed = false;
+  sd::GadgetSample sample;
+  sample.tokens = {"VAR1", "=", "VAR2"};
+  sample.label = 1;
+  sample.cwe = "CWE-121";
+  sample.case_id = "case-7";
+  sample.from_long = true;
+  value.samples.push_back(sample);
+
+  cache.store("0123456789abcdef0123456789abcdef", value);
+  const auto loaded = cache.load("0123456789abcdef0123456789abcdef");
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->samples.size(), 1u);
+  EXPECT_EQ(loaded->samples[0].tokens, sample.tokens);
+  EXPECT_EQ(loaded->samples[0].label, 1);
+  EXPECT_EQ(loaded->samples[0].cwe, "CWE-121");
+  EXPECT_EQ(loaded->samples[0].case_id, "case-7");
+  EXPECT_TRUE(loaded->samples[0].from_long);
+  EXPECT_FALSE(loaded->parse_failed);
+}

@@ -1,0 +1,138 @@
+// Compiled-corpus serialization contract: save/load round-trips
+// byte-identically (samples, vocabulary, stats, and the file bytes
+// themselves), fingerprints track content exactly, and truncated,
+// corrupt, or version-mismatched files are rejected with a thrown error
+// rather than yielding partial data.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sevuldet/dataset/corpus_io.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+
+namespace sd = sevuldet::dataset;
+
+namespace {
+
+sd::Corpus small_corpus(bool encoded = true) {
+  sd::SardConfig config;
+  config.pairs_per_category = 3;
+  config.seed = 21;
+  sd::Corpus corpus = sd::build_corpus(sd::generate_sard_like(config));
+  if (encoded) sd::encode_corpus(corpus);
+  return corpus;
+}
+
+void expect_same_corpus(const sd::Corpus& a, const sd::Corpus& b) {
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].tokens, b.samples[i].tokens) << "sample " << i;
+    EXPECT_EQ(a.samples[i].ids, b.samples[i].ids) << "sample " << i;
+    EXPECT_EQ(a.samples[i].label, b.samples[i].label) << "sample " << i;
+    EXPECT_EQ(a.samples[i].cwe, b.samples[i].cwe) << "sample " << i;
+    EXPECT_EQ(a.samples[i].category, b.samples[i].category) << "sample " << i;
+    EXPECT_EQ(a.samples[i].case_id, b.samples[i].case_id) << "sample " << i;
+    EXPECT_EQ(a.samples[i].from_ambiguous, b.samples[i].from_ambiguous);
+    EXPECT_EQ(a.samples[i].from_long, b.samples[i].from_long);
+  }
+  EXPECT_EQ(a.vocab.size(), b.vocab.size());
+  EXPECT_EQ(a.vocab.serialize(), b.vocab.serialize());
+  EXPECT_EQ(a.stats.by_category, b.stats.by_category);
+  EXPECT_EQ(a.stats.parse_failures, b.stats.parse_failures);
+}
+
+}  // namespace
+
+TEST(CorpusIo, RoundTripsByteIdentically) {
+  const sd::Corpus corpus = small_corpus();
+  ASSERT_FALSE(corpus.samples.empty());
+  const std::string bytes = sd::serialize_corpus(corpus);
+  const sd::Corpus restored = sd::deserialize_corpus(bytes);
+  expect_same_corpus(corpus, restored);
+  // Byte-identical: serializing the loaded corpus reproduces the file.
+  EXPECT_EQ(sd::serialize_corpus(restored), bytes);
+  EXPECT_EQ(sd::corpus_fingerprint(restored), sd::corpus_fingerprint(corpus));
+}
+
+TEST(CorpusIo, RoundTripsUnencodedCorpus) {
+  const sd::Corpus corpus = small_corpus(/*encoded=*/false);
+  const std::string bytes = sd::serialize_corpus(corpus);
+  const sd::Corpus restored = sd::deserialize_corpus(bytes);
+  expect_same_corpus(corpus, restored);
+  EXPECT_TRUE(restored.samples[0].ids.empty());
+}
+
+TEST(CorpusIo, SaveLoadFileRoundTrip) {
+  const sd::Corpus corpus = small_corpus();
+  const std::string path = ::testing::TempDir() + "corpus_io_roundtrip.svdcorp";
+  sd::save_corpus(corpus, path);
+  const sd::Corpus restored = sd::load_corpus(path);
+  std::remove(path.c_str());
+  expect_same_corpus(corpus, restored);
+}
+
+TEST(CorpusIo, FingerprintTracksContent) {
+  sd::Corpus corpus = small_corpus();
+  const std::uint64_t original = sd::corpus_fingerprint(corpus);
+  EXPECT_EQ(sd::corpus_fingerprint(corpus), original);  // deterministic
+
+  sd::Corpus label_flip = corpus;
+  label_flip.samples[0].label ^= 1;
+  EXPECT_NE(sd::corpus_fingerprint(label_flip), original);
+
+  sd::Corpus token_edit = corpus;
+  token_edit.samples[0].tokens[0] += "x";
+  EXPECT_NE(sd::corpus_fingerprint(token_edit), original);
+
+  sd::Corpus stat_edit = corpus;
+  ++stat_edit.stats.parse_failures;
+  EXPECT_NE(sd::corpus_fingerprint(stat_edit), original);
+}
+
+TEST(CorpusIo, FingerprintIgnoresCacheCounters) {
+  sd::Corpus corpus = small_corpus();
+  const std::uint64_t original = sd::corpus_fingerprint(corpus);
+  corpus.stats.cache_hits = 7;
+  corpus.stats.cache_misses = 3;
+  EXPECT_EQ(sd::corpus_fingerprint(corpus), original);
+  // ...and they are not persisted either.
+  EXPECT_EQ(sd::deserialize_corpus(sd::serialize_corpus(corpus)).stats.cache_hits,
+            0);
+}
+
+TEST(CorpusIo, RejectsTruncatedFile) {
+  const std::string bytes = sd::serialize_corpus(small_corpus());
+  for (std::size_t keep : {std::size_t{0}, std::size_t{4}, std::size_t{20},
+                           bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_THROW(sd::deserialize_corpus(bytes.substr(0, keep)),
+                 std::runtime_error)
+        << "kept " << keep << " of " << bytes.size() << " bytes";
+  }
+}
+
+TEST(CorpusIo, RejectsCorruptPayload) {
+  std::string bytes = sd::serialize_corpus(small_corpus());
+  bytes[bytes.size() / 2] ^= 0x5a;  // flip bits mid-payload => checksum fails
+  EXPECT_THROW(sd::deserialize_corpus(bytes), std::runtime_error);
+}
+
+TEST(CorpusIo, RejectsBadMagicAndTrailingGarbage) {
+  std::string bytes = sd::serialize_corpus(small_corpus());
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_THROW(sd::deserialize_corpus(wrong_magic), std::runtime_error);
+  EXPECT_THROW(sd::deserialize_corpus(bytes + "extra"), std::runtime_error);
+}
+
+TEST(CorpusIo, RejectsVersionMismatch) {
+  std::string bytes = sd::serialize_corpus(small_corpus());
+  // The u32 version sits right after the 8-byte magic (little-endian).
+  bytes[8] = static_cast<char>(sd::kCorpusFormatVersion + 1);
+  EXPECT_THROW(sd::deserialize_corpus(bytes), std::runtime_error);
+}
+
+TEST(CorpusIo, LoadMissingFileThrows) {
+  EXPECT_THROW(sd::load_corpus(::testing::TempDir() + "does_not_exist.svdcorp"),
+               std::runtime_error);
+}

@@ -93,6 +93,62 @@ TEST(Pipeline, SaveLoadRoundTrip) {
   EXPECT_EQ(detector.vocab().size(), restored.vocab().size());
 }
 
+// A reloaded detector must reproduce the original's detection findings
+// exactly — lines, probabilities, and attention explanations.
+TEST(Pipeline, FindingsIdenticalAfterReload) {
+  auto cases = tiny_cases();
+  sc::PipelineConfig config = tiny_pipeline_config();
+  config.model.threshold = 0.3f;  // low bar so the scan yields findings
+  sc::SeVulDet detector(config);
+  detector.train(cases);
+
+  std::string source;
+  std::vector<sc::Finding> expected;
+  for (const auto& tc : cases) {
+    if (!tc.vulnerable) continue;
+    expected = detector.detect(tc.source);
+    if (!expected.empty()) {
+      source = tc.source;
+      break;
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+
+  const std::string path = ::testing::TempDir() + "reload_findings_model.bin";
+  detector.save(path);
+  sc::SeVulDet restored(config);
+  restored.load(path);
+  std::remove(path.c_str());
+
+  const auto actual = restored.detect(source);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].function, expected[i].function);
+    EXPECT_EQ(actual[i].line, expected[i].line);
+    EXPECT_EQ(actual[i].category, expected[i].category);
+    EXPECT_EQ(actual[i].token, expected[i].token);
+    EXPECT_FLOAT_EQ(actual[i].probability, expected[i].probability);
+    EXPECT_EQ(actual[i].top_tokens, expected[i].top_tokens);
+  }
+}
+
+// The legacy v1 text format must stay loadable, and load identically.
+TEST(Pipeline, LoadsLegacyV1TextFormat) {
+  auto cases = tiny_cases();
+  sc::SeVulDet detector(tiny_pipeline_config());
+  detector.train(cases);
+
+  const std::string path = ::testing::TempDir() + "legacy_v1_model.txt";
+  detector.save_text_v1(path);
+  sc::SeVulDet restored(tiny_pipeline_config());
+  restored.load(path);
+  std::remove(path.c_str());
+
+  std::vector<int> probe = {2, 3, 4, 5, 6, 7, 8};
+  EXPECT_FLOAT_EQ(detector.predict(probe), restored.predict(probe));
+  EXPECT_EQ(detector.vocab().size(), restored.vocab().size());
+}
+
 TEST(Pipeline, LoadRejectsGarbage) {
   const std::string path = "/tmp/sevuldet_test_garbage.txt";
   {
@@ -103,6 +159,72 @@ TEST(Pipeline, LoadRejectsGarbage) {
   sc::SeVulDet detector(tiny_pipeline_config());
   EXPECT_THROW(detector.load(path), std::runtime_error);
   std::remove(path.c_str());
+}
+
+// Truncated or bit-flipped model files of either format must throw, not
+// load a silently NUL-padded vocabulary or half-written weights.
+TEST(Pipeline, LoadRejectsTruncatedAndCorruptFiles) {
+  auto cases = tiny_cases();
+  sc::SeVulDet detector(tiny_pipeline_config());
+  detector.train(cases);
+
+  const std::string v2_path = ::testing::TempDir() + "trunc_model.bin";
+  const std::string v1_path = ::testing::TempDir() + "trunc_model.txt";
+  detector.save(v2_path);
+  detector.save_text_v1(v1_path);
+
+  auto read_all = [](const std::string& path) {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string bytes;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+    return bytes;
+  };
+  auto write_all = [](const std::string& path, const std::string& bytes) {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  };
+
+  const std::string v2_bytes = read_all(v2_path);
+  const std::string v1_bytes = read_all(v1_path);
+  const std::string probe_path = ::testing::TempDir() + "probe_model.bin";
+
+  // v2: cut at several depths (header, mid-payload, missing checksum).
+  for (std::size_t keep :
+       {std::size_t{10}, v2_bytes.size() / 2, v2_bytes.size() - 4}) {
+    write_all(probe_path, v2_bytes.substr(0, keep));
+    sc::SeVulDet probe(tiny_pipeline_config());
+    EXPECT_THROW(probe.load(probe_path), std::runtime_error) << "kept " << keep;
+  }
+  // v2: single corrupt byte mid-payload fails the checksum.
+  {
+    std::string corrupt = v2_bytes;
+    corrupt[corrupt.size() / 2] ^= 0x40;
+    write_all(probe_path, corrupt);
+    sc::SeVulDet probe(tiny_pipeline_config());
+    EXPECT_THROW(probe.load(probe_path), std::runtime_error);
+  }
+  // v1: truncating inside the vocabulary blob must throw (this was the
+  // silent-NUL-padding bug), as must truncating the parameter floats.
+  {
+    const std::size_t vocab_cut = v1_bytes.find('\n', v1_bytes.find("vocab")) + 8;
+    ASSERT_LT(vocab_cut, v1_bytes.size());
+    write_all(probe_path, v1_bytes.substr(0, vocab_cut));
+    sc::SeVulDet probe(tiny_pipeline_config());
+    EXPECT_THROW(probe.load(probe_path), std::runtime_error);
+
+    write_all(probe_path, v1_bytes.substr(0, v1_bytes.size() / 2));
+    sc::SeVulDet probe2(tiny_pipeline_config());
+    EXPECT_THROW(probe2.load(probe_path), std::runtime_error);
+  }
+
+  std::remove(v2_path.c_str());
+  std::remove(v1_path.c_str());
+  std::remove(probe_path.c_str());
 }
 
 TEST(Trainer, CategoryFilter) {
