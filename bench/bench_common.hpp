@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "bench_observability.hpp"
 #include "sevuldet/core/pipeline.hpp"
 #include "sevuldet/core/trainer.hpp"
 #include "sevuldet/dataset/corpus.hpp"
@@ -73,7 +74,10 @@ inline std::string& bench_corpus_cache_ref() {
 inline const std::string& bench_corpus_cache() { return bench_corpus_cache_ref(); }
 
 /// Parse flags shared by every experiment bench (--threads N,
-/// --corpus-cache DIR); call first thing in main().
+/// --corpus-cache DIR, --metrics-out FILE, --trace-out FILE); call first
+/// thing in main(). The observability flags enable the process-wide
+/// metrics/trace registries and flush them to the named files at exit
+/// (bench_observability.hpp).
 inline void parse_bench_flags(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
@@ -83,6 +87,7 @@ inline void parse_bench_flags(int argc, char** argv) {
       bench_corpus_cache_ref() = argv[i + 1];
     }
   }
+  handle_observability_flags(argc, argv);
 }
 
 /// Training set for the real-world experiments (Tables VI, VII): the

@@ -1,0 +1,86 @@
+// Shared --metrics-out/--trace-out handling for every bench binary.
+//
+// Both flags enable the corresponding subsystem (util/metrics.hpp,
+// util/trace.hpp) for the whole process and register an atexit writer,
+// so the output file is flushed on every exit path — including the
+// nonzero-exit equivalence failures CI cares about. Instrumentation
+// stays off (one relaxed atomic load per record call) when neither flag
+// is given.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/trace.hpp"
+
+namespace bench {
+
+inline std::string& metrics_out_ref() {
+  static std::string path;
+  return path;
+}
+inline std::string& trace_out_ref() {
+  static std::string path;
+  return path;
+}
+
+inline void write_observability_outputs() {
+  try {
+    if (!metrics_out_ref().empty()) {
+      sevuldet::util::metrics::write_json(metrics_out_ref());
+    }
+    if (!trace_out_ref().empty()) {
+      sevuldet::util::trace::write_json(trace_out_ref());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error writing observability output: %s\n", e.what());
+  }
+}
+
+/// Scan argv for --metrics-out FILE / --trace-out FILE, enable the
+/// subsystems, and arrange for the files to be written at exit. Safe to
+/// call more than once.
+inline void handle_observability_flags(int argc, char** argv) {
+  bool any = false;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out_ref() = argv[i + 1];
+      sevuldet::util::metrics::set_enabled(true);
+      any = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out_ref() = argv[i + 1];
+      sevuldet::util::trace::set_enabled(true);
+      any = true;
+    }
+  }
+  if (any) {
+    static bool registered = false;
+    if (!registered) {
+      registered = true;
+      std::atexit(write_observability_outputs);
+    }
+  }
+}
+
+/// For google-benchmark mains: handle the flags, then remove them from
+/// argv so benchmark::Initialize does not reject them as unrecognized.
+inline void strip_observability_flags(int* argc, char** argv) {
+  handle_observability_flags(*argc, argv);
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if ((std::strcmp(argv[i], "--metrics-out") == 0 ||
+         std::strcmp(argv[i], "--trace-out") == 0) &&
+        i + 1 < *argc) {
+      ++i;  // skip the value too
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+}
+
+}  // namespace bench

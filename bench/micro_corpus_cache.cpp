@@ -9,7 +9,9 @@
 // (dataset/corpus_io.hpp) must be identical, and a warm build must hit on
 // 100% of cases — and exits nonzero otherwise, so CI runs this binary as
 // the cache-equivalence check. Timings and hit rates are printed as a
-// table and optionally recorded as JSON:
+// table and optionally recorded as JSON in the metrics-registry schema
+// (util/metrics.hpp: gauges "bench.*", label "corpus.fingerprint",
+// plus every pipeline counter/histogram the builds produced):
 //   ./bench/micro_corpus_cache --json bench/BENCH_corpus_cache.json
 //
 //   micro_corpus_cache [--threads N] [--reps R] [--cache-dir DIR]
@@ -24,12 +26,12 @@
 
 #include <chrono>
 #include <filesystem>
-#include <fstream>
 #include <string>
 
 #include "bench_common.hpp"
 #include "sevuldet/dataset/corpus_io.hpp"
 #include "sevuldet/util/binary_io.hpp"
+#include "sevuldet/util/metrics.hpp"
 
 namespace fs = std::filesystem;
 
@@ -68,15 +70,6 @@ BuildResult time_build(const std::vector<sd::TestCase>& cases,
   return result;
 }
 
-std::string json_escape_path(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,6 +92,10 @@ int main(int argc, char** argv) {
       expect_prepopulated = true;
     }
   }
+  // The JSON report is a metrics-registry snapshot, so the registry has
+  // to be live while the builds run to capture the cache counters.
+  namespace sum = sevuldet::util::metrics;
+  if (!json_path.empty()) sum::set_enabled(true);
 
   const bool throwaway_dir = cache_dir.empty();
   if (throwaway_dir) {
@@ -173,24 +170,24 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n"
-        << "  \"workload\": {\"cases\": " << cases.size()
-        << ", \"samples\": " << uncached.corpus.samples.size()
-        << ", \"pairs_per_category\": " << config.pairs_per_category << "},\n"
-        << "  \"cache_dir\": \"" << json_escape_path(cache_dir) << "\",\n"
-        << "  \"no_cache_seconds\": " << uncached.seconds << ",\n"
-        << "  \"cold_seconds\": " << cold.seconds << ",\n"
-        << "  \"warm_seconds\": " << warm.seconds << ",\n"
-        << "  \"warm_parallel_seconds\": " << warm_parallel.seconds << ",\n"
-        << "  \"warm_parallel_threads\": " << parallel_options.threads << ",\n"
-        << "  \"warm_speedup_vs_no_cache\": " << uncached.seconds / warm.seconds
-        << ",\n"
-        << "  \"cold_hit_rate\": " << cold.hit_rate() << ",\n"
-        << "  \"warm_hit_rate\": " << warm.hit_rate() << ",\n"
-        << "  \"fingerprint\": \"" << su::hex64(reference) << "\",\n"
-        << "  \"all_identical\": " << (ok ? "true" : "false") << "\n"
-        << "}\n";
+    sum::gauge_set("bench.cases", static_cast<double>(cases.size()));
+    sum::gauge_set("bench.samples",
+                   static_cast<double>(uncached.corpus.samples.size()));
+    sum::gauge_set("bench.pairs_per_category",
+                   static_cast<double>(config.pairs_per_category));
+    sum::gauge_set("bench.no_cache_seconds", uncached.seconds);
+    sum::gauge_set("bench.cold_seconds", cold.seconds);
+    sum::gauge_set("bench.warm_seconds", warm.seconds);
+    sum::gauge_set("bench.warm_parallel_seconds", warm_parallel.seconds);
+    sum::gauge_set("bench.warm_parallel_threads",
+                   static_cast<double>(parallel_options.threads));
+    sum::gauge_set("bench.warm_speedup_vs_no_cache",
+                   uncached.seconds / warm.seconds);
+    sum::gauge_set("bench.cold_hit_rate", cold.hit_rate());
+    sum::gauge_set("bench.warm_hit_rate", warm.hit_rate());
+    sum::label_set("corpus.fingerprint", su::hex64(reference));
+    sum::label_set("bench.all_identical", ok ? "true" : "false");
+    sum::write_json(json_path);
     std::printf("wrote %s\n", json_path.c_str());
   }
 

@@ -15,6 +15,7 @@
 #include <new>
 #include <vector>
 
+#include "bench_observability.hpp"
 #include "sevuldet/models/sevuldet_net.hpp"
 #include "sevuldet/nn/autograd.hpp"
 #include "sevuldet/nn/kernels.hpp"
@@ -216,4 +217,14 @@ BENCHMARK(BM_PredictArena)->Arg(200)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() with observability in front: strip
+// --metrics-out/--trace-out (enabling the registries and arranging the
+// atexit write) before benchmark::Initialize sees argv.
+int main(int argc, char** argv) {
+  bench::strip_observability_flags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 
 #include <filesystem>
 
+#include "bench_observability.hpp"
 #include "sevuldet/core/pipeline.hpp"
 #include "sevuldet/core/trainer.hpp"
 #include "sevuldet/dataset/corpus.hpp"
@@ -20,6 +21,7 @@
 #include "sevuldet/frontend/parser.hpp"
 #include "sevuldet/graph/pdg.hpp"
 #include "sevuldet/models/sevuldet_net.hpp"
+#include "sevuldet/nn/word2vec.hpp"
 #include "sevuldet/normalize/normalize.hpp"
 #include "sevuldet/slicer/gadget.hpp"
 
@@ -178,6 +180,23 @@ const dataset::Corpus& phase_corpus() {
   return corpus;
 }
 
+void BM_Word2Vec(benchmark::State& state) {
+  const dataset::Corpus& corpus = phase_corpus();
+  std::vector<std::vector<int>> sentences;
+  sentences.reserve(corpus.samples.size());
+  for (const auto& s : corpus.samples) sentences.push_back(s.ids);
+  nn::Word2VecConfig config;
+  config.dim = 24;
+  config.epochs = 1;
+  for (auto _ : state) {
+    nn::Word2Vec w2v(corpus.vocab, config);
+    w2v.train(sentences);
+    benchmark::DoNotOptimize(&w2v.embeddings());
+  }
+  state.counters["sentences"] = static_cast<double>(sentences.size());
+}
+BENCHMARK(BM_Word2Vec)->Unit(benchmark::kMillisecond);
+
 void BM_TrainEpoch(benchmark::State& state) {
   const dataset::Corpus& corpus = phase_corpus();
   const core::SampleRefs refs = core::all_sample_refs(corpus);
@@ -245,4 +264,14 @@ BENCHMARK(BM_ModelLoadV2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() with observability in front: strip
+// --metrics-out/--trace-out (enabling the registries and arranging the
+// atexit write) before benchmark::Initialize sees argv.
+int main(int argc, char** argv) {
+  bench::strip_observability_flags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -27,6 +27,8 @@
 #include "sevuldet/frontend/parser.hpp"
 #include "sevuldet/graph/pdg.hpp"
 #include "sevuldet/slicer/gadget.hpp"
+#include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/trace.hpp"
 
 using namespace sevuldet;
 
@@ -52,7 +54,13 @@ int usage() {
                "  selftrain/train accept --corpus-cache DIR: memoize per-file\n"
                "  preprocessing (Steps I-III) in a content-addressed cache, so\n"
                "  repeat runs only re-slice changed files. Results are\n"
-               "  identical with or without the cache.\n");
+               "  identical with or without the cache.\n"
+               "\n"
+               "  every command accepts --metrics-out FILE.json (counters +\n"
+               "  latency histograms, see util/metrics.hpp for the schema) and\n"
+               "  --trace-out FILE.json (Chrome trace_event phase spans; open\n"
+               "  in chrome://tracing or Perfetto). Instrumentation is off\n"
+               "  unless one of these flags is given.\n");
   return 2;
 }
 
@@ -241,11 +249,42 @@ int cmd_export_corpus(int argc, char** argv) {
   return 0;
 }
 
+/// Enables the observability subsystems when --metrics-out/--trace-out
+/// are present and flushes the output files at end of scope — including
+/// the error-return paths, so a failing run still leaves its partial
+/// metrics behind for diagnosis.
+class ObservabilityWriter {
+ public:
+  ObservabilityWriter(int argc, char** argv) {
+    if (const char* path = arg_value(argc, argv, "--metrics-out")) {
+      metrics_path_ = path;
+      util::metrics::set_enabled(true);
+    }
+    if (const char* path = arg_value(argc, argv, "--trace-out")) {
+      trace_path_ = path;
+      util::trace::set_enabled(true);
+    }
+  }
+  ~ObservabilityWriter() {
+    try {
+      if (!metrics_path_.empty()) util::metrics::write_json(metrics_path_);
+      if (!trace_path_.empty()) util::trace::write_json(trace_path_);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error writing observability output: %s\n", e.what());
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  ObservabilityWriter observability(argc - 2, argv + 2);
   try {
     if (command == "selftrain") return cmd_selftrain(argc - 2, argv + 2);
     if (command == "scan") return cmd_scan(argc - 2, argv + 2);

@@ -10,7 +10,9 @@
 #include "sevuldet/normalize/normalize.hpp"
 #include "sevuldet/util/binary_io.hpp"
 #include "sevuldet/util/log.hpp"
+#include "sevuldet/util/metrics.hpp"
 #include "sevuldet/util/thread_pool.hpp"
+#include "sevuldet/util/trace.hpp"
 
 namespace sevuldet::core {
 
@@ -69,6 +71,7 @@ std::vector<std::pair<std::string, float>> SeVulDet::top_attention_tokens(
 
 std::vector<Finding> SeVulDet::detect(const std::string& source, int top_k) {
   if (!trained()) throw std::logic_error("SeVulDet::detect before train/load");
+  util::trace::ScopedSpan span("detect");
 
   graph::ProgramGraph program = graph::build_program_graph(source);
   const std::vector<slicer::SpecialToken> tokens =
@@ -126,6 +129,9 @@ std::vector<Finding> SeVulDet::detect(const std::string& source, int top_k) {
   for (auto& slot : slots) {
     if (slot.has_value()) findings.push_back(std::move(*slot));
   }
+  util::metrics::counter_add("detect.calls");
+  util::metrics::counter_add("detect.findings",
+                             static_cast<long long>(findings.size()));
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     return a.probability > b.probability;
   });
@@ -146,6 +152,8 @@ constexpr std::uint32_t kModelFormatVersion = 2;
 
 void SeVulDet::save(const std::string& path) const {
   if (!trained()) throw std::logic_error("SeVulDet::save before train");
+  util::trace::ScopedSpan span("model.save");
+  util::metrics::counter_add("model.saves");
   util::ByteWriter payload;
   payload.str(vocab_.serialize());
   nn::serialize_params_binary(model_->params(), payload);
@@ -156,6 +164,8 @@ void SeVulDet::save(const std::string& path) const {
 
 void SeVulDet::save_text_v1(const std::string& path) const {
   if (!trained()) throw std::logic_error("SeVulDet::save before train");
+  util::trace::ScopedSpan span("model.save");
+  util::metrics::counter_add("model.saves");
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open for write: " + path);
   const std::string vocab_blob = vocab_.serialize();
@@ -166,6 +176,8 @@ void SeVulDet::save_text_v1(const std::string& path) const {
 }
 
 void SeVulDet::load(const std::string& path) {
+  util::trace::ScopedSpan span("model.load");
+  util::metrics::counter_add("model.loads");
   const std::string bytes = util::read_binary_file(path);
   if (bytes.compare(0, kModelHeaderV2.size(), kModelHeaderV2) == 0) {
     const std::string payload = util::unframe_payload(

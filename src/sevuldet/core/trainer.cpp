@@ -6,8 +6,10 @@
 #include "sevuldet/nn/autograd.hpp"
 #include "sevuldet/nn/optim.hpp"
 #include "sevuldet/util/log.hpp"
+#include "sevuldet/util/metrics.hpp"
 #include "sevuldet/util/strings.hpp"
 #include "sevuldet/util/thread_pool.hpp"
+#include "sevuldet/util/trace.hpp"
 
 namespace sevuldet::core {
 
@@ -36,6 +38,7 @@ SampleRefs filter_category(const SampleRefs& refs, slicer::TokenCategory categor
 
 TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
                            const TrainConfig& config) {
+  util::trace::ScopedSpan train_span("train");
   TrainResult result;
   result.samples = train.size();
   if (train.empty()) return result;
@@ -60,11 +63,13 @@ TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
   nn::Graph graph;
   const auto start = std::chrono::steady_clock::now();
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    util::trace::ScopedSpan epoch_span("train.epoch");
     shuffle_rng.shuffle(order);
     double loss_sum = 0.0;
     for (std::size_t i : order) {
       const auto& sample = *train[i];
       if (sample.ids.empty()) continue;
+      util::metrics::counter_add("train.steps");
       nn::GraphScope scope(graph);
       nn::NodePtr logit = detector.forward_logit(sample.ids, /*train=*/true);
       nn::NodePtr loss =
@@ -81,6 +86,7 @@ TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
     const float mean_loss =
         static_cast<float>(loss_sum / static_cast<double>(train.size()));
     result.epoch_losses.push_back(mean_loss);
+    util::metrics::counter_add("train.epochs");
     if (config.verbose) {
       util::log_info(detector.name() + " epoch " + std::to_string(epoch + 1) +
                      "/" + std::to_string(config.epochs) + " loss=" +
@@ -95,6 +101,9 @@ TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
 
 dataset::Confusion evaluate_detector(models::Detector& detector,
                                      const SampleRefs& test, int threads) {
+  util::trace::ScopedSpan span("eval");
+  util::metrics::counter_add("eval.samples",
+                             static_cast<long long>(test.size()));
   const int workers = util::resolve_threads(threads);
   if (workers <= 1 || test.size() < 2) {
     dataset::Confusion confusion;

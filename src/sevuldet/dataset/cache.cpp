@@ -8,6 +8,8 @@
 
 #include "sevuldet/dataset/corpus_io.hpp"
 #include "sevuldet/util/binary_io.hpp"
+#include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/trace.hpp"
 
 namespace fs = std::filesystem;
 
@@ -91,6 +93,7 @@ std::string CorpusCache::entry_path(const std::string& key) const {
 }
 
 std::optional<CachedCase> CorpusCache::load(const std::string& key) const {
+  util::trace::ScopedSpan span("cache.load");
   std::string bytes;
   try {
     bytes = util::read_binary_file(entry_path(key));
@@ -113,11 +116,13 @@ std::optional<CachedCase> CorpusCache::load(const std::string& key) const {
     }
     return value;
   } catch (const std::runtime_error&) {
+    util::metrics::counter_add("cache.corrupt_entries");
     return std::nullopt;  // truncated/corrupt/old version => recompute
   }
 }
 
 void CorpusCache::store(const std::string& key, const CachedCase& value) const {
+  util::trace::ScopedSpan span("cache.store");
   util::ByteWriter payload;
   payload.u8(value.parse_failed ? 1 : 0);
   payload.u32(static_cast<std::uint32_t>(value.samples.size()));

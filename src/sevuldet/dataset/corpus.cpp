@@ -10,7 +10,9 @@
 #include "sevuldet/graph/pdg.hpp"
 #include "sevuldet/normalize/normalize.hpp"
 #include "sevuldet/util/log.hpp"
+#include "sevuldet/util/metrics.hpp"
 #include "sevuldet/util/thread_pool.hpp"
+#include "sevuldet/util/trace.hpp"
 
 namespace sevuldet::dataset {
 
@@ -113,6 +115,7 @@ CaseOutput produce_case(const TestCase& tc, const CorpusOptions& options,
 
 Corpus build_corpus(const std::vector<TestCase>& cases,
                     const CorpusOptions& options) {
+  util::trace::ScopedSpan span("corpus.build");
   // Per-case extraction is pure, so it parallelizes; the merge below is
   // sequential in input order, which keeps the result byte-identical to
   // a serial build regardless of thread count — and, with cache_dir set,
@@ -153,6 +156,21 @@ Corpus build_corpus(const std::vector<TestCase>& cases,
       ++counts.second;
       corpus.samples.push_back(std::move(sample));
     }
+  }
+  // Domain counters flow to the metrics registry; the CorpusStats fields
+  // stay as this build's snapshot view of the same counts (callers and
+  // the corpus fingerprint keep reading the struct, unchanged).
+  util::metrics::counter_add("corpus.builds");
+  util::metrics::counter_add("corpus.cases",
+                             static_cast<long long>(cases.size()));
+  util::metrics::counter_add("corpus.samples",
+                             static_cast<long long>(corpus.samples.size()));
+  util::metrics::counter_add("corpus.parse_failures",
+                             corpus.stats.parse_failures);
+  if (cache) {
+    util::metrics::counter_add("corpus.cache_hits", corpus.stats.cache_hits);
+    util::metrics::counter_add("corpus.cache_misses",
+                               corpus.stats.cache_misses);
   }
   return corpus;
 }

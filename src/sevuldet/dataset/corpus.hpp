@@ -48,7 +48,9 @@ struct CorpusStats {
   /// Transient build counters (cache_dir only): how many cases were
   /// served from the cache vs recomputed. NOT corpus content — excluded
   /// from corpus_fingerprint() and serialize_corpus(), and always 0
-  /// after load_corpus().
+  /// after load_corpus(). These are a per-build snapshot view; the
+  /// process-wide totals accumulate on the metrics registry as
+  /// "corpus.cache_hits"/"corpus.cache_misses" (util/metrics.hpp).
   long long cache_hits = 0;
   long long cache_misses = 0;
   long long vulnerable() const;

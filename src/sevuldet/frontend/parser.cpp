@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "sevuldet/frontend/lexer.hpp"
+#include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/trace.hpp"
 
 namespace sevuldet::frontend {
 
@@ -825,7 +827,12 @@ class Parser {
 }  // namespace
 
 TranslationUnit parse(std::string_view source) {
-  return Parser(source).parse_unit();
+  util::trace::ScopedSpan span("parse");
+  TranslationUnit unit = Parser(source).parse_unit();
+  util::metrics::counter_add("frontend.parse_calls");
+  util::metrics::counter_add("frontend.functions_parsed",
+                             static_cast<long long>(unit.functions.size()));
+  return unit;
 }
 
 StmtPtr parse_statement(std::string_view source) {

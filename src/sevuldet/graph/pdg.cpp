@@ -1,7 +1,9 @@
 #include "sevuldet/graph/pdg.hpp"
 
 #include "sevuldet/frontend/parser.hpp"
+#include "sevuldet/util/metrics.hpp"
 #include "sevuldet/util/strings.hpp"
+#include "sevuldet/util/trace.hpp"
 
 namespace sevuldet::graph {
 
@@ -57,6 +59,7 @@ FunctionPdg build_function_pdg(const frontend::FunctionDef& fn) {
 }
 
 ProgramGraph build_program_graph(frontend::TranslationUnit unit) {
+  util::trace::ScopedSpan span("pdg");
   ProgramGraph graph;
   graph.unit = std::move(unit);
   graph.functions.reserve(graph.unit.functions.size());
@@ -72,6 +75,9 @@ ProgramGraph build_program_graph(frontend::TranslationUnit unit) {
       }
     }
   }
+  util::metrics::counter_add("pdg.graphs_built");
+  util::metrics::counter_add("pdg.functions",
+                             static_cast<long long>(graph.functions.size()));
   return graph;
 }
 

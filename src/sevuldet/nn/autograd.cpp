@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sevuldet/nn/kernels.hpp"
+#include "sevuldet/util/metrics.hpp"
 
 namespace sevuldet::nn {
 
@@ -100,6 +101,11 @@ void Graph::reset() {
     // iscratch keeps capacity AND contents; every op that reads it
     // rewrites it first.
   }
+  util::metrics::counter_add("nn.graph_resets");
+  util::metrics::counter_add("nn.nodes_recycled",
+                             static_cast<long long>(used_));
+  util::metrics::counter_add("nn.arena_floats_recycled",
+                             static_cast<long long>(arena_.used()));
   used_ = 0;
   arena_.reset();
 }

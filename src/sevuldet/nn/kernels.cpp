@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "sevuldet/util/metrics.hpp"
+
 namespace sevuldet::nn::kernels {
 
 namespace {
@@ -197,14 +199,23 @@ constexpr int TS = 32;  // transpose tile (floats); 2 * 4KB per tile pair
 }  // namespace
 
 void gemm(int m, int n, int k, const float* a, const float* b, float* c) {
+  // GEMM is the NN hot path; the counter costs one relaxed load when
+  // metrics are off, and the FLOP tally lets --metrics-out report
+  // throughput without instrumenting any caller.
+  util::metrics::counter_add("nn.gemm_calls");
+  util::metrics::counter_add("nn.gemm_flops", 2LL * m * n * k);
   gemm_blocked<false>(m, n, k, a, /*lda=*/k, b, c);
 }
 
 void gemm_at_b(int m, int n, int k, const float* a, const float* b, float* c) {
+  util::metrics::counter_add("nn.gemm_calls");
+  util::metrics::counter_add("nn.gemm_flops", 2LL * m * n * k);
   gemm_blocked<true>(m, n, k, a, /*lda=*/m, b, c);
 }
 
 void gemm_a_bt(int m, int n, int k, const float* a, const float* b, float* c) {
+  util::metrics::counter_add("nn.gemm_calls");
+  util::metrics::counter_add("nn.gemm_flops", 2LL * m * n * k);
   const int n_main = n - n % NR;
   if (n_main > 0) {
     // Pack the leading n_main rows of B ([n, k] row major) as B^T

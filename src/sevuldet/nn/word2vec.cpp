@@ -5,7 +5,9 @@
 #include <thread>
 
 #include "sevuldet/nn/kernels.hpp"
+#include "sevuldet/util/metrics.hpp"
 #include "sevuldet/util/thread_pool.hpp"
+#include "sevuldet/util/trace.hpp"
 
 namespace sevuldet::nn {
 
@@ -114,11 +116,16 @@ void Word2Vec::train_worker(const std::vector<std::vector<int>>& sentences,
 }
 
 void Word2Vec::train(const std::vector<std::vector<int>>& sentences) {
+  util::trace::ScopedSpan span("word2vec.train");
   long long corpus_tokens = 0;
   for (const auto& s : sentences) corpus_tokens += static_cast<long long>(s.size());
   const long long total_steps =
       std::max<long long>(1, corpus_tokens * config_.epochs);
   std::atomic<long long> step{0};
+  util::metrics::counter_add("word2vec.sentences",
+                             static_cast<long long>(sentences.size()));
+  util::metrics::counter_add("word2vec.tokens",
+                             corpus_tokens * config_.epochs);
 
   const int threads = util::resolve_threads(config_.threads);
   if (threads <= 1 || sentences.size() < 2) {

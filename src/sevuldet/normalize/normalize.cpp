@@ -4,7 +4,9 @@
 
 #include "sevuldet/frontend/lexer.hpp"
 #include "sevuldet/slicer/special_tokens.hpp"
+#include "sevuldet/util/metrics.hpp"
 #include "sevuldet/util/strings.hpp"
+#include "sevuldet/util/trace.hpp"
 
 namespace sevuldet::normalize {
 
@@ -87,7 +89,12 @@ NormalizedGadget normalize_text(const std::string& gadget_text) {
 }
 
 NormalizedGadget normalize_gadget(const slicer::CodeGadget& gadget) {
-  return normalize_text(gadget.text());
+  util::trace::ScopedSpan span("normalize");
+  NormalizedGadget norm = normalize_text(gadget.text());
+  util::metrics::counter_add("normalize.gadgets");
+  util::metrics::counter_add("normalize.tokens",
+                             static_cast<long long>(norm.tokens.size()));
+  return norm;
 }
 
 }  // namespace sevuldet::normalize

@@ -4,6 +4,9 @@
 #include <map>
 #include <set>
 
+#include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/trace.hpp"
+
 namespace sevuldet::slicer {
 
 std::string CodeGadget::text() const {
@@ -67,6 +70,7 @@ std::vector<std::string> order_functions(const graph::ProgramGraph& program,
 CodeGadget generate_gadget(const graph::ProgramGraph& program,
                            const SpecialToken& token,
                            const GadgetOptions& options) {
+  util::trace::ScopedSpan span("slice");
   CodeGadget gadget;
   gadget.token = token;
   gadget.path_sensitive = options.path_sensitive;
@@ -92,6 +96,8 @@ CodeGadget generate_gadget(const graph::ProgramGraph& program,
     std::set<int> boundary_lines;
     if (options.path_sensitive) {
       auto ranges = compute_control_ranges(*pdg->fn, program.source_lines);
+      util::metrics::counter_add("slicer.control_ranges",
+                                 static_cast<long long>(ranges.size()));
       std::set<int> selected_groups;
       for (const auto& range : ranges) {
         for (int line : stmt_lines) {
@@ -133,6 +139,11 @@ CodeGadget generate_gadget(const graph::ProgramGraph& program,
       }
       if (!gl.text.empty()) gadget.lines.push_back(std::move(gl));
     }
+  }
+  if (!gadget.lines.empty()) {
+    util::metrics::counter_add("slicer.gadgets_emitted");
+    util::metrics::counter_add("slicer.gadget_lines",
+                               static_cast<long long>(gadget.lines.size()));
   }
   return gadget;
 }

@@ -1,11 +1,14 @@
 #include "sevuldet/util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace sevuldet::util {
 
 namespace {
-LogLevel g_level = LogLevel::Info;
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_sink_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,11 +22,21 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, std::string_view message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
+    return;
+  }
+  // One fprintf per message is atomic enough on POSIX, but the mutex
+  // also keeps messages whole if the sink ever becomes line-buffered or
+  // multi-write; it is uncontended in the common single-logger case.
+  std::lock_guard lock(g_sink_mutex);
   std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
                static_cast<int>(message.size()), message.data());
 }

@@ -1,7 +1,9 @@
 // Minimal leveled logger. Benches run with Info; tests silence it by
-// setting the level to Error. Not thread-safe by design — the project is
-// single-threaded per experiment; concurrent experiments each own a
-// process.
+// setting the level to Error. Thread-safe: the level is atomic and the
+// stderr sink is serialized by a mutex, so parallel corpus builds and
+// Hogwild word2vec workers can log without interleaving lines (the
+// original "single-threaded per experiment" assumption died with the
+// PR 1 thread pool).
 #pragma once
 
 #include <string_view>
@@ -10,7 +12,8 @@ namespace sevuldet::util {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Process-wide minimum level; messages below it are dropped.
+/// Process-wide minimum level; messages below it are dropped. Safe to
+/// call from any thread at any time.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

@@ -1,0 +1,384 @@
+#include "sevuldet/util/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sevuldet::util::metrics {
+
+namespace {
+
+// Heterogeneous string maps: record calls look up by string_view and
+// only materialize a std::string on first insertion of a name.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+template <typename V>
+using NameMap =
+    std::unordered_map<std::string, V, StringHash, std::equal_to<>>;
+
+template <typename V, typename U>
+V& named(NameMap<V>& map, std::string_view name, U&& init) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::forward<U>(init)).first;
+  }
+  return it->second;
+}
+
+const std::array<double, kHistogramBuckets>& bucket_bounds() {
+  static const std::array<double, kHistogramBuckets> bounds = [] {
+    std::array<double, kHistogramBuckets> b{};
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      // 100ns * sqrt(2)^i, in ms: bucket 0 ends at 1e-4 ms, bucket 63
+      // at ~3e5 ms (~5 minutes) — anything slower clamps.
+      b[static_cast<std::size_t>(i)] =
+          1e-4 * std::pow(2.0, static_cast<double>(i) / 2.0);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+struct Histogram {
+  std::array<long long, kHistogramBuckets> counts{};
+  long long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void observe(double ms) {
+    const auto& bounds = bucket_bounds();
+    auto it = std::lower_bound(bounds.begin(), bounds.end(), ms);
+    const std::size_t bucket =
+        it == bounds.end() ? static_cast<std::size_t>(kHistogramBuckets - 1)
+                           : static_cast<std::size_t>(it - bounds.begin());
+    ++counts[bucket];
+    if (count == 0 || ms < min) min = ms;
+    if (count == 0 || ms > max) max = ms;
+    ++count;
+    sum += ms;
+  }
+
+  void merge(const Histogram& other) {
+    if (other.count == 0) return;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      counts[static_cast<std::size_t>(i)] +=
+          other.counts[static_cast<std::size_t>(i)];
+    }
+    if (count == 0 || other.min < min) min = other.min;
+    if (count == 0 || other.max > max) max = other.max;
+    count += other.count;
+    sum += other.sum;
+  }
+};
+
+/// One thread's private store. The mutex is held for nanoseconds by the
+/// owning thread per record; only snapshot() and reset() ever contend.
+struct Shard {
+  std::mutex mu;
+  NameMap<long long> counters;
+  NameMap<Histogram> histograms;
+
+  void clear() {
+    counters.clear();
+    histograms.clear();
+  }
+};
+
+struct Registry {
+  std::atomic<bool> enabled{false};
+  std::mutex mu;  // guards everything below
+  std::vector<Shard*> live;
+  Shard retired;  // merged shards of exited threads
+  NameMap<double> gauges;
+  NameMap<std::string> labels;
+};
+
+// Leaked singleton: must outlive thread-local shard destructors of late
+// threads and any atexit JSON writers, so it is never destroyed.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+void merge_shard_into(Shard& dst, Shard& src) {
+  for (const auto& [name, value] : src.counters) {
+    named(dst.counters, name, 0LL) += value;
+  }
+  for (const auto& [name, hist] : src.histograms) {
+    named(dst.histograms, name, Histogram{}).merge(hist);
+  }
+}
+
+/// Registers with the registry on construction (first record on this
+/// thread) and folds its contents into the retired accumulator on
+/// thread exit.
+struct ThreadShard {
+  Shard shard;
+
+  ThreadShard() {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mu);
+    reg.live.push_back(&shard);
+  }
+
+  ~ThreadShard() {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mu);
+    merge_shard_into(reg.retired, shard);
+    reg.live.erase(std::find(reg.live.begin(), reg.live.end(), &shard));
+  }
+};
+
+Shard& local_shard() {
+  thread_local ThreadShard ts;
+  return ts.shard;
+}
+
+void append_json_number(std::string& out, double value) {
+  char buf[64];
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+double bucket_bound_ms(int bucket) {
+  return bucket_bounds()[static_cast<std::size_t>(
+      std::clamp(bucket, 0, kHistogramBuckets - 1))];
+}
+
+void set_enabled(bool enabled) {
+  registry().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool enabled() {
+  return registry().enabled.load(std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (Shard* shard : reg.live) {
+    std::lock_guard shard_lock(shard->mu);
+    shard->clear();
+  }
+  reg.retired.clear();
+  reg.gauges.clear();
+  reg.labels.clear();
+}
+
+void counter_add(std::string_view name, long long delta) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  std::lock_guard lock(shard.mu);
+  named(shard.counters, name, 0LL) += delta;
+}
+
+void gauge_set(std::string_view name, double value) {
+  if (!enabled()) return;
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  named(reg.gauges, name, 0.0) = value;
+}
+
+void label_set(std::string_view name, std::string_view value) {
+  if (!enabled()) return;
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  named(reg.labels, name, std::string()) = std::string(value);
+}
+
+void observe_ms(std::string_view name, double ms) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  std::lock_guard lock(shard.mu);
+  named(shard.histograms, name, Histogram{}).observe(ms);
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count <= 0) return 0.0;
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(count);
+  long long cumulative = 0;
+  for (const auto& [bound, n] : buckets) {
+    if (static_cast<double>(cumulative + n) >= rank) {
+      // Interpolate inside this bucket between its lower and upper
+      // bound. The lower bound is the previous fixed bucket's bound
+      // (not the previous *non-empty* one), found from the fixed scale.
+      double lower = 0.0;
+      for (int i = 0; i < kHistogramBuckets; ++i) {
+        if (bucket_bound_ms(i) == bound) {
+          lower = i == 0 ? 0.0 : bucket_bound_ms(i - 1);
+          break;
+        }
+      }
+      const double fraction =
+          n == 0 ? 0.0
+                 : (rank - static_cast<double>(cumulative)) /
+                       static_cast<double>(n);
+      const double estimate = lower + fraction * (bound - lower);
+      return std::clamp(estimate, min, max);
+    }
+    cumulative += n;
+  }
+  return max;
+}
+
+Snapshot snapshot() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+
+  Shard merged;
+  merge_shard_into(merged, reg.retired);
+  for (Shard* shard : reg.live) {
+    std::lock_guard shard_lock(shard->mu);
+    merge_shard_into(merged, *shard);
+  }
+
+  Snapshot snap;
+  for (const auto& [name, value] : merged.counters) snap.counters[name] = value;
+  for (const auto& [name, value] : reg.gauges) snap.gauges[name] = value;
+  for (const auto& [name, value] : reg.labels) snap.labels[name] = value;
+  for (const auto& [name, hist] : merged.histograms) {
+    HistogramSnapshot h;
+    h.count = hist.count;
+    h.sum = hist.sum;
+    h.min = hist.min;
+    h.max = hist.max;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      const long long n = hist.counts[static_cast<std::size_t>(i)];
+      if (n > 0) h.buckets.emplace_back(bucket_bound_ms(i), n);
+    }
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out;
+  out += "{\n  \"schema_version\": 1,\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": ";
+    append_json_number(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"labels\": {";
+  first = true;
+  for (const auto& [name, value] : labels) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": ";
+    append_json_string(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": {\"unit\": \"ms\", \"count\": ";
+    append_json_number(out, static_cast<double>(h.count));
+    out += ", \"sum\": ";
+    append_json_number(out, h.sum);
+    out += ", \"min\": ";
+    append_json_number(out, h.min);
+    out += ", \"max\": ";
+    append_json_number(out, h.max);
+    out += ", \"p50\": ";
+    append_json_number(out, h.percentile(50.0));
+    out += ", \"p95\": ";
+    append_json_number(out, h.percentile(95.0));
+    out += ", \"p99\": ";
+    append_json_number(out, h.percentile(99.0));
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [bound, n] : h.buckets) {
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += '[';
+      append_json_number(out, bound);
+      out += ", ";
+      append_json_number(out, static_cast<double>(n));
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string to_json() { return snapshot().to_json(); }
+
+void write_json(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("metrics: cannot open for write: " + path);
+  const std::string json = to_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) throw std::runtime_error("metrics: short write: " + path);
+}
+
+}  // namespace sevuldet::util::metrics

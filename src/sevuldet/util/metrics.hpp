@@ -1,0 +1,110 @@
+// Process-wide metrics registry: named monotonic counters, last-write
+// gauges, string labels, and fixed-bucket latency histograms with
+// p50/p95/p99. Designed for the pipeline hot paths:
+//
+//  - Zero-cost when disabled (the default): every record call is a
+//    single relaxed atomic load and an early return — no allocation, no
+//    lock, no thread-local construction. Instrumentation can therefore
+//    live inside per-gadget and per-GEMM code without a build flag.
+//  - Contention-free when enabled: counters and histogram observations
+//    go to a per-thread shard (its mutex is only ever contended by a
+//    concurrent snapshot), so the PR 1 thread pool records freely.
+//    Shards of exited threads are folded into a retired accumulator, so
+//    nothing is lost when a ThreadPool is destroyed before snapshot().
+//  - Deterministic merge: snapshot() sums counters and histogram
+//    buckets across shards, which is order-independent, so a threaded
+//    run reports exactly what the equivalent serial run would.
+//
+// The JSON snapshot (to_json / write_json) is the stable schema every
+// bench and the CLI emit under --metrics-out, and what
+// tools/check_bench.py compares against the recorded BENCH_*.json
+// baselines:
+//
+//   { "schema_version": 1,
+//     "counters":   { "name": int, ... },
+//     "gauges":     { "name": double, ... },
+//     "labels":     { "name": "string", ... },
+//     "histograms": { "name": { "unit": "ms", "count": n, "sum": s,
+//                               "min": m, "max": M,
+//                               "p50": p, "p95": p, "p99": p,
+//                               "buckets": [[le_ms, count], ...] } } }
+//
+// Buckets are fixed and log-spaced (sqrt(2) ratio from 100ns to ~300s),
+// so histograms from different shards, runs, and machines always merge
+// and compare bucket-for-bucket; only non-empty buckets are emitted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sevuldet::util::metrics {
+
+/// Number of fixed histogram buckets; bucket_bound_ms(i) gives the
+/// inclusive upper bound of bucket i in milliseconds. Values above the
+/// last bound clamp into the last bucket.
+inline constexpr int kHistogramBuckets = 64;
+double bucket_bound_ms(int bucket);
+
+/// Master switch. Off by default; record calls are no-ops (and perform
+/// no allocation) while off. Values recorded while enabled stay in the
+/// registry until reset().
+void set_enabled(bool enabled);
+bool enabled();
+
+/// Drop every recorded value (counters, gauges, labels, histograms) and
+/// the retired-thread accumulator. Does not change enabled().
+void reset();
+
+/// Monotonic counter: add `delta` (may be any sign, but conventionally
+/// positive) to the named counter.
+void counter_add(std::string_view name, long long delta = 1);
+
+/// Gauge: last write wins.
+void gauge_set(std::string_view name, double value);
+
+/// String label: last write wins. Used for run identity values a gauge
+/// cannot carry (fingerprints, format versions).
+void label_set(std::string_view name, std::string_view value);
+
+/// Record one latency observation, in milliseconds, into the named
+/// fixed-bucket histogram.
+void observe_ms(std::string_view name, double ms);
+
+/// Merged view of one histogram. `buckets` holds (upper_bound_ms,
+/// count) pairs for non-empty buckets only, in ascending bound order.
+struct HistogramSnapshot {
+  long long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::pair<double, long long>> buckets;
+
+  /// Percentile estimate (p in [0,100]) by linear interpolation inside
+  /// the owning bucket, clamped to [min, max]. Returns 0 when empty.
+  double percentile(double p) const;
+};
+
+/// Deterministic merged snapshot of the whole registry (sorted maps, so
+/// two identical runs produce byte-identical JSON).
+struct Snapshot {
+  std::map<std::string, long long> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::string> labels;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  std::string to_json() const;
+};
+
+Snapshot snapshot();
+
+/// snapshot().to_json() convenience.
+std::string to_json();
+
+/// Write the snapshot JSON to `path`; throws std::runtime_error when the
+/// file cannot be written.
+void write_json(const std::string& path);
+
+}  // namespace sevuldet::util::metrics

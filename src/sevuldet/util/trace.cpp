@@ -1,0 +1,216 @@
+#include "sevuldet/util/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "sevuldet/util/metrics.hpp"
+
+namespace sevuldet::util::trace {
+
+namespace {
+
+struct RawEvent {
+  const char* name;
+  double ts_us;
+  double dur_us;
+};
+
+struct ThreadBuffer {
+  std::mutex mu;
+  int tid = 0;
+  std::vector<RawEvent> events;
+};
+
+struct Registry {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::size_t> stored{0};
+  std::atomic<std::size_t> dropped{0};
+  std::atomic<std::size_t> capacity{std::size_t{1} << 17};
+  std::atomic<int> next_tid{0};
+  std::mutex mu;  // guards live/retired lists and the epoch origin
+  std::vector<ThreadBuffer*> live;
+  std::vector<ThreadBuffer*> retired;  // buffers of exited threads
+  bool have_origin = false;
+  std::chrono::steady_clock::time_point origin;
+};
+
+// Leaked: outlives thread-local buffer destructors and atexit writers.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+/// Microseconds since the first recorded span after the last reset().
+double since_origin_us(std::chrono::steady_clock::time_point t) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  if (!reg.have_origin) {
+    reg.have_origin = true;
+    reg.origin = t;
+  }
+  return std::chrono::duration<double, std::micro>(t - reg.origin).count();
+}
+
+struct LocalBuffer {
+  ThreadBuffer* buffer;
+
+  LocalBuffer() : buffer(new ThreadBuffer()) {
+    Registry& reg = registry();
+    buffer->tid = reg.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(reg.mu);
+    reg.live.push_back(buffer);
+  }
+
+  ~LocalBuffer() {
+    // Keep the buffer's events readable after the thread exits: move the
+    // pointer to the retired list (the registry now owns it).
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mu);
+    reg.live.erase(std::find(reg.live.begin(), reg.live.end(), buffer));
+    reg.retired.push_back(buffer);
+  }
+};
+
+ThreadBuffer& local_buffer() {
+  thread_local LocalBuffer local;
+  return *local.buffer;
+}
+
+void record_event(const char* name,
+                  std::chrono::steady_clock::time_point start, double dur_us) {
+  Registry& reg = registry();
+  // Reserve a slot under the cap; back out on overflow.
+  if (reg.stored.fetch_add(1, std::memory_order_relaxed) >=
+      reg.capacity.load(std::memory_order_relaxed)) {
+    reg.stored.fetch_sub(1, std::memory_order_relaxed);
+    reg.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const double ts_us = since_origin_us(start);
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard lock(buffer.mu);
+  buffer.events.push_back(RawEvent{name, ts_us, dur_us});
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+void set_enabled(bool enabled) {
+  registry().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool enabled() {
+  return registry().enabled.load(std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (ThreadBuffer* buffer : reg.live) {
+    std::lock_guard buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  for (ThreadBuffer* buffer : reg.retired) delete buffer;
+  reg.retired.clear();
+  reg.stored.store(0, std::memory_order_relaxed);
+  reg.dropped.store(0, std::memory_order_relaxed);
+  reg.have_origin = false;
+}
+
+void set_capacity(std::size_t max_events) {
+  registry().capacity.store(max_events, std::memory_order_relaxed);
+}
+
+std::size_t capacity() {
+  return registry().capacity.load(std::memory_order_relaxed);
+}
+
+std::size_t dropped() {
+  return registry().dropped.load(std::memory_order_relaxed);
+}
+
+std::vector<Event> events() {
+  Registry& reg = registry();
+  std::vector<Event> out;
+  {
+    std::lock_guard lock(reg.mu);
+    auto collect = [&](ThreadBuffer* buffer) {
+      std::lock_guard buffer_lock(buffer->mu);
+      for (const RawEvent& e : buffer->events) {
+        out.push_back(Event{e.name, buffer->tid, e.ts_us, e.dur_us});
+      }
+    };
+    for (ThreadBuffer* buffer : reg.retired) collect(buffer);
+    for (ThreadBuffer* buffer : reg.live) collect(buffer);
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return b.dur_us < a.dur_us;  // parents (longer) before children
+  });
+  return out;
+}
+
+std::string to_json() {
+  const std::vector<Event> merged = events();
+  std::string out;
+  out += "{\n  \"schema_version\": 1,\n  \"displayTimeUnit\": \"ms\",\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  \"dropped_events\": %zu,\n", dropped());
+  out += buf;
+  out += "  \"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : merged) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"";
+    append_json_escaped(out, e.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\", \"cat\": \"sevuldet\", \"ph\": \"X\", \"pid\": 1, "
+                  "\"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+                  e.tid, e.ts_us, e.dur_us);
+    out += buf;
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void write_json(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace: cannot open for write: " + path);
+  const std::string json = to_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) throw std::runtime_error("trace: short write: " + path);
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  to_trace_ = enabled();
+  to_metrics_ = metrics::enabled();
+  if (!to_trace_ && !to_metrics_) return;
+  name_ = name;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  const double dur_us =
+      std::chrono::duration<double, std::micro>(end - start_).count();
+  if (to_trace_) record_event(name_, start_, dur_us);
+  if (to_metrics_) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "span.%s", name_);
+    metrics::observe_ms(buf, dur_us / 1000.0);
+  }
+}
+
+}  // namespace sevuldet::util::trace

@@ -1,0 +1,82 @@
+// Phase tracing: RAII ScopedSpan timers that record a Chrome
+// trace_event-compatible JSON timeline ("X" complete events), viewable
+// in chrome://tracing or https://ui.perfetto.dev. Spans are recorded
+// into per-thread buffers (no contention on the hot path) and merged at
+// write_json() time; buffers of exited threads are retained, so spans
+// emitted from ThreadPool workers survive the pool's destruction.
+//
+// Zero-cost when disabled (the default): a ScopedSpan whose subsystems
+// are all off performs no clock read, no allocation, and no locking.
+// When metrics are enabled (util/metrics.hpp), every span additionally
+// feeds the "span.<name>" latency histogram, so --metrics-out gets
+// per-phase p50/p95/p99 even without a trace file.
+//
+// The event store is bounded (set_capacity, default 1<<17 events): once
+// full, new spans are counted in dropped() and skipped, so tracing a
+// long benchmark loop cannot exhaust memory. Timestamps are
+// microseconds since the first enabled span in the process.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sevuldet::util::trace {
+
+/// Master switch for the timeline. Off by default.
+void set_enabled(bool enabled);
+bool enabled();
+
+/// Drop all recorded events and the dropped-event count; resets the
+/// per-process timestamp origin. Does not change enabled() or capacity.
+void reset();
+
+/// Cap on stored events across all threads (default 1 << 17). Spans
+/// recorded beyond the cap are dropped and counted.
+void set_capacity(std::size_t max_events);
+std::size_t capacity();
+
+/// Events dropped since the last reset() because the store was full.
+std::size_t dropped();
+
+/// One merged, completed span. `tid` is a small per-thread ordinal
+/// (assigned in first-span order), `ts_us`/`dur_us` are microseconds.
+struct Event {
+  const char* name = "";
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Merged snapshot of all per-thread buffers, sorted by start time.
+std::vector<Event> events();
+
+/// Chrome trace_event JSON: {"schema_version":1, "displayTimeUnit":"ms",
+/// "dropped_events":n, "traceEvents":[{"name","cat","ph":"X","pid",
+/// "tid","ts","dur"},...]}.
+std::string to_json();
+
+/// Write to_json() to `path`; throws std::runtime_error on I/O failure.
+void write_json(const std::string& path);
+
+/// RAII phase timer. `name` must outlive the tracing subsystem — pass a
+/// string literal. Records a trace event when tracing is enabled and a
+/// "span.<name>" histogram observation when metrics are enabled; does
+/// nothing (and allocates nothing) when both are off.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr => disarmed
+  bool to_trace_ = false;
+  bool to_metrics_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sevuldet::util::trace

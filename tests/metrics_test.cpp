@@ -1,0 +1,220 @@
+// Metrics registry (util/metrics.hpp): counter/gauge/label/histogram
+// correctness, percentile edge cases, deterministic shard merge under
+// the thread pool, the no-allocation contract of the disabled fast
+// path, and JSON snapshots that survive a parser round-trip.
+#include "sevuldet/util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "mini_json.hpp"
+#include "sevuldet/util/thread_pool.hpp"
+
+// Global allocation counter for the disabled-fast-path test. Relaxed is
+// fine: the measured section is single-threaded.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+namespace {
+std::atomic<long long> g_allocs{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+namespace {
+
+namespace metrics = sevuldet::util::metrics;
+
+// The registry is process-global state; every test starts from a clean,
+// enabled registry and leaves it disabled and empty.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::reset();
+    metrics::set_enabled(true);
+  }
+  void TearDown() override {
+    metrics::set_enabled(false);
+    metrics::reset();
+  }
+};
+
+TEST_F(MetricsTest, CountersAccumulate) {
+  metrics::counter_add("a");
+  metrics::counter_add("a", 4);
+  metrics::counter_add("b", -2);
+  const auto snap = metrics::snapshot();
+  EXPECT_EQ(snap.counters.at("a"), 5);
+  EXPECT_EQ(snap.counters.at("b"), -2);
+}
+
+TEST_F(MetricsTest, GaugesLastWriteWinsAndLabels) {
+  metrics::gauge_set("g", 1.5);
+  metrics::gauge_set("g", 2.5);
+  metrics::label_set("fingerprint", "deadbeef");
+  const auto snap = metrics::snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 2.5);
+  EXPECT_EQ(snap.labels.at("fingerprint"), "deadbeef");
+}
+
+TEST_F(MetricsTest, DisabledRecordsNothing) {
+  metrics::set_enabled(false);
+  metrics::counter_add("a");
+  metrics::observe_ms("h", 1.0);
+  metrics::gauge_set("g", 1.0);
+  const auto snap = metrics::snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST_F(MetricsTest, DisabledFastPathDoesNotAllocate) {
+  metrics::set_enabled(false);
+  // Warm nothing: the whole point is that the disabled path touches no
+  // thread-local state and allocates nothing.
+  const long long before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    metrics::counter_add("never.recorded", i);
+    metrics::observe_ms("never.observed", 0.5);
+  }
+  const long long after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0);
+}
+
+TEST_F(MetricsTest, HistogramSingleObservationPercentiles) {
+  metrics::observe_ms("h", 3.25);
+  const auto snap = metrics::snapshot();
+  const auto& h = snap.histograms.at("h");
+  EXPECT_EQ(h.count, 1);
+  EXPECT_DOUBLE_EQ(h.min, 3.25);
+  EXPECT_DOUBLE_EQ(h.max, 3.25);
+  // One observation: every percentile clamps to the single value.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 3.25);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 3.25);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 3.25);
+}
+
+TEST_F(MetricsTest, HistogramPercentilesAreOrderedAndBounded) {
+  for (int i = 1; i <= 1000; ++i) {
+    metrics::observe_ms("h", static_cast<double>(i) * 0.1);
+  }
+  const auto snap = metrics::snapshot();
+  const auto& h = snap.histograms.at("h");
+  EXPECT_EQ(h.count, 1000);
+  const double p50 = h.percentile(50);
+  const double p95 = h.percentile(95);
+  const double p99 = h.percentile(99);
+  EXPECT_LE(h.min, p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max);
+  // Log-spaced buckets have sqrt(2) resolution; the p50 estimate must
+  // land within one bucket ratio of the true median (50ms).
+  EXPECT_GT(p50, 50.0 / 1.5);
+  EXPECT_LT(p50, 50.0 * 1.5);
+}
+
+TEST_F(MetricsTest, EmptyHistogramPercentileIsZero) {
+  metrics::HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(99), 0.0);
+}
+
+TEST_F(MetricsTest, ValuesAboveLastBucketClampButKeepExactMax) {
+  const double huge = metrics::bucket_bound_ms(metrics::kHistogramBuckets - 1) * 10;
+  metrics::observe_ms("h", huge);
+  const auto snap = metrics::snapshot();
+  const auto& h = snap.histograms.at("h");
+  EXPECT_DOUBLE_EQ(h.max, huge);
+  EXPECT_EQ(h.buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), huge);  // clamped to [min, max]
+}
+
+TEST_F(MetricsTest, BucketBoundsAreStrictlyIncreasing) {
+  for (int i = 1; i < metrics::kHistogramBuckets; ++i) {
+    EXPECT_LT(metrics::bucket_bound_ms(i - 1), metrics::bucket_bound_ms(i));
+  }
+}
+
+TEST_F(MetricsTest, ShardMergeIsDeterministicAcrossThreadedRuns) {
+  auto run_once = [] {
+    metrics::reset();
+    sevuldet::util::ThreadPool pool(4);
+    pool.parallel_chunks(400, [](int, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        metrics::counter_add("work.items");
+        metrics::observe_ms("work.latency",
+                            0.01 * static_cast<double>(i % 50 + 1));
+      }
+    });
+    return metrics::to_json();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  // Counter sums and bucket-count sums are order-independent, so two
+  // identical threaded runs serialize byte-identically.
+  EXPECT_EQ(first, second);
+  const auto snap = metrics::snapshot();
+  EXPECT_EQ(snap.counters.at("work.items"), 400);
+  EXPECT_EQ(snap.histograms.at("work.latency").count, 400);
+}
+
+TEST_F(MetricsTest, RetiredThreadShardsSurviveThreadExit) {
+  std::thread worker([] { metrics::counter_add("from.worker", 7); });
+  worker.join();
+  EXPECT_EQ(metrics::snapshot().counters.at("from.worker"), 7);
+}
+
+TEST_F(MetricsTest, JsonRoundTripsThroughParser) {
+  metrics::counter_add("corpus.cases", 42);
+  metrics::gauge_set("bench.warm_seconds", 0.125);
+  metrics::label_set("corpus.fingerprint", "0123abcd");
+  metrics::label_set("needs\"escape\\", "line\nbreak");
+  for (int i = 0; i < 10; ++i) metrics::observe_ms("span.parse", 1.0 + i);
+
+  const mini_json::Value doc = mini_json::parse(metrics::to_json());
+  EXPECT_DOUBLE_EQ(doc.at("schema_version").number, 1.0);
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("corpus.cases").number, 42.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("bench.warm_seconds").number, 0.125);
+  EXPECT_EQ(doc.at("labels").at("corpus.fingerprint").str, "0123abcd");
+  EXPECT_EQ(doc.at("labels").at("needs\"escape\\").str, "line\nbreak");
+  const auto& h = doc.at("histograms").at("span.parse");
+  EXPECT_EQ(h.at("unit").str, "ms");
+  EXPECT_DOUBLE_EQ(h.at("count").number, 10.0);
+  EXPECT_GT(h.at("p95").number, 0.0);
+  EXPECT_GE(h.at("buckets").array.size(), 1u);
+  // Each bucket is a [upper_bound_ms, count] pair.
+  EXPECT_EQ(h.at("buckets").at(0).array.size(), 2u);
+}
+
+TEST_F(MetricsTest, WriteJsonCreatesFileAndThrowsOnBadPath) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "sevuldet-metrics-test-snapshot.json";
+  metrics::counter_add("x");
+  metrics::write_json(path.string());
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  fs::remove(path);
+  EXPECT_THROW(metrics::write_json("/nonexistent-dir/metrics.json"),
+               std::runtime_error);
+}
+
+}  // namespace

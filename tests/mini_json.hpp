@@ -1,0 +1,206 @@
+// Minimal recursive-descent JSON parser for tests: just enough to prove
+// that the observability JSON emitters (util/metrics.hpp,
+// util/trace.hpp) produce well-formed documents and to read values back
+// out of them. Throws std::runtime_error on malformed input. Not a
+// production parser — tests only.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mini_json {
+
+struct Value {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool has(const std::string& key) const {
+    return type == Type::Object && object.count(key) > 0;
+  }
+  const Value& at(const std::string& key) const {
+    if (type != Type::Object) throw std::runtime_error("not an object");
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  const Value& at(std::size_t index) const {
+    if (type != Type::Array) throw std::runtime_error("not an array");
+    if (index >= array.size()) throw std::runtime_error("index out of range");
+    return array[index];
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at offset " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': return parse_literal("true", [](Value& v) {
+        v.type = Value::Type::Bool;
+        v.boolean = true;
+      });
+      case 'f': return parse_literal("false", [](Value& v) {
+        v.type = Value::Type::Bool;
+        v.boolean = false;
+      });
+      case 'n':
+        return parse_literal("null", [](Value& v) { v.type = Value::Type::Null; });
+      default: return parse_number();
+    }
+  }
+
+  template <typename Fill>
+  Value parse_literal(const char* word, Fill fill) {
+    skip_ws();
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) {
+      throw std::runtime_error(std::string("bad literal, expected ") + word);
+    }
+    pos_ += len;
+    Value v;
+    fill(v);
+    return v;
+  }
+
+  Value parse_number() {
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double n = std::strtod(begin, &end);
+    if (end == begin || !std::isfinite(n)) {
+      throw std::runtime_error("bad number at offset " + std::to_string(pos_));
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    Value v;
+    v.type = Value::Type::Number;
+    v.number = n;
+    return v;
+  }
+
+  Value parse_string() {
+    expect('"');
+    Value v;
+    v.type = Value::Type::String;
+    while (true) {
+      if (pos_ >= text_.size()) throw std::runtime_error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'b': v.str += '\b'; break;
+          case 'f': v.str += '\f'; break;
+          case 'n': v.str += '\n'; break;
+          case 'r': v.str += '\r'; break;
+          case 't': v.str += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            // Tests only need round-tripping of control characters, so
+            // decode the code unit as a single byte (all emitters here
+            // escape only ASCII).
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            v.str += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+            break;
+          }
+          default: throw std::runtime_error("bad escape");
+        }
+        continue;
+      }
+      v.str += c;
+    }
+    return v;
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.type = Value::Type::Array;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') throw std::runtime_error("expected ',' or ']'");
+    }
+    return v;
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.type = Value::Type::Object;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      const Value key = parse_string();
+      expect(':');
+      v.object[key.str] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') throw std::runtime_error("expected ',' or '}'");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace mini_json

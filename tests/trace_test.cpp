@@ -1,0 +1,169 @@
+// Phase tracing (util/trace.hpp): ScopedSpan event recording, nesting,
+// the bounded event store, per-thread buffers surviving thread exit,
+// the coupling into the "span.<name>" metrics histograms, and Chrome
+// trace_event JSON validity.
+#include "sevuldet/util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "mini_json.hpp"
+#include "sevuldet/util/metrics.hpp"
+
+namespace {
+
+namespace trace = sevuldet::util::trace;
+namespace metrics = sevuldet::util::metrics;
+
+void spin_briefly() {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(50);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+// Tracing is process-global state; each test starts clean and restores
+// the disabled default.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::reset();
+    metrics::reset();
+    trace::set_capacity(1 << 17);
+    trace::set_enabled(true);
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    metrics::set_enabled(false);
+    trace::reset();
+    metrics::reset();
+  }
+};
+
+TEST_F(TraceTest, SpanRecordsOneCompleteEvent) {
+  {
+    trace::ScopedSpan span("phase");
+    spin_briefly();
+  }
+  const auto events = trace::events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "phase");
+  EXPECT_GE(events[0].ts_us, 0.0);
+  EXPECT_GT(events[0].dur_us, 0.0);
+}
+
+TEST_F(TraceTest, NestedSpansAreContained) {
+  {
+    trace::ScopedSpan outer("outer");
+    spin_briefly();
+    {
+      trace::ScopedSpan inner("inner");
+      spin_briefly();
+    }
+    spin_briefly();
+  }
+  const auto events = trace::events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time, ties broken longer-duration-first: outer leads.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+}
+
+TEST_F(TraceTest, DisabledSpanRecordsNothing) {
+  trace::set_enabled(false);
+  {
+    trace::ScopedSpan span("invisible");
+  }
+  EXPECT_TRUE(trace::events().empty());
+}
+
+TEST_F(TraceTest, CapacityBoundsTheStoreAndCountsDrops) {
+  trace::set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    trace::ScopedSpan span("s");
+  }
+  EXPECT_EQ(trace::events().size(), 4u);
+  EXPECT_EQ(trace::dropped(), 6u);
+  trace::reset();
+  EXPECT_EQ(trace::dropped(), 0u);
+}
+
+TEST_F(TraceTest, WorkerSpansSurviveThreadExit) {
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 3; ++t) {
+      workers.emplace_back([] {
+        for (int i = 0; i < 10; ++i) {
+          trace::ScopedSpan span("work");
+          spin_briefly();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }  // worker threads (and their thread-local buffers) are gone here
+  const auto events = trace::events();
+  EXPECT_EQ(events.size(), 30u);
+  std::set<int> tids;
+  for (const auto& e : events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), 3u);  // one buffer (and tid) per worker thread
+  // Merged timeline stays sorted by start time.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+}
+
+TEST_F(TraceTest, SpanFeedsMetricsHistogramWhenMetricsEnabled) {
+  metrics::set_enabled(true);
+  {
+    trace::ScopedSpan span("pdg");
+    spin_briefly();
+  }
+  const auto snap = metrics::snapshot();
+  ASSERT_EQ(snap.histograms.count("span.pdg"), 1u);
+  EXPECT_EQ(snap.histograms.at("span.pdg").count, 1);
+  EXPECT_GT(snap.histograms.at("span.pdg").sum, 0.0);
+}
+
+TEST_F(TraceTest, MetricsOnlySpanNeedsNoTraceStore) {
+  trace::set_enabled(false);
+  metrics::set_enabled(true);
+  {
+    trace::ScopedSpan span("slice");
+  }
+  EXPECT_TRUE(trace::events().empty());
+  EXPECT_EQ(metrics::snapshot().histograms.at("span.slice").count, 1);
+}
+
+TEST_F(TraceTest, JsonIsChromeTraceEventFormat) {
+  {
+    trace::ScopedSpan span("parse");
+    spin_briefly();
+  }
+  {
+    trace::ScopedSpan span("needs\\escape\"");
+  }
+  const mini_json::Value doc = mini_json::parse(trace::to_json());
+  EXPECT_DOUBLE_EQ(doc.at("schema_version").number, 1.0);
+  EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+  EXPECT_DOUBLE_EQ(doc.at("dropped_events").number, 0.0);
+  const auto& events = doc.at("traceEvents").array;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("name").str, "parse");
+  EXPECT_EQ(events[1].at("name").str, "needs\\escape\"");
+  for (const auto& e : events) {
+    EXPECT_EQ(e.at("ph").str, "X");
+    EXPECT_EQ(e.at("cat").str, "sevuldet");
+    EXPECT_DOUBLE_EQ(e.at("pid").number, 1.0);
+    EXPECT_GE(e.at("ts").number, 0.0);
+    EXPECT_GE(e.at("dur").number, 0.0);
+  }
+}
+
+}  // namespace
