@@ -228,6 +228,58 @@ void BM_Evaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_Evaluate)->Unit(benchmark::kMillisecond);
 
+// Detection with and without attention provenance on one vulnerable
+// program. The pair keeps the explain read-out honest: capture is a copy
+// of already-computed weights, so the explain variant must track the
+// plain one (and both feed the detect/detect.explain phase spans the CI
+// span manifest requires).
+const std::string& detect_source() {
+  static const std::string source = [] {
+    for (const auto& tc : phase_cases()) {
+      if (tc.vulnerable) return tc.source;
+    }
+    return phase_cases().front().source;
+  }();
+  return source;
+}
+
+void BM_Detect(benchmark::State& state) {
+  core::SeVulDet& detector = phase_detector();
+  for (auto _ : state) {
+    auto findings = detector.detect(detect_source());
+    benchmark::DoNotOptimize(findings.data());
+  }
+}
+BENCHMARK(BM_Detect)->Unit(benchmark::kMillisecond);
+
+void BM_DetectExplain(benchmark::State& state) {
+  // Threshold 0 so every gadget becomes a finding: the benchmark then
+  // measures the attribution path itself (and reliably feeds the
+  // detect.explain span) instead of depending on what the quickly
+  // trained phase model happens to flag.
+  static core::SeVulDet& detector = []() -> core::SeVulDet& {
+    static core::PipelineConfig config = phase_pipeline_config();
+    config.model.threshold = 0.0f;
+    static core::SeVulDet d(config);
+    d.train_on_corpus(phase_corpus(), core::all_sample_refs(phase_corpus()));
+    return d;
+  }();
+  core::DetectOptions options;
+  options.explain = true;
+  std::size_t attributions = 0;
+  for (auto _ : state) {
+    auto findings = detector.detect(detect_source(), options);
+    attributions = 0;
+    for (const auto& f : findings) attributions += f.attributions.size();
+    benchmark::DoNotOptimize(findings.data());
+  }
+  state.counters["attributions"] = static_cast<double>(attributions);
+  if (attributions == 0) {
+    state.SkipWithError("explain produced no attributions");
+  }
+}
+BENCHMARK(BM_DetectExplain)->Unit(benchmark::kMillisecond);
+
 // Model persistence: v1 self-describing text vs the v2 checksummed
 // binary fast path (same trained detector, same temp file).
 void BM_ModelSaveV1(benchmark::State& state) {

@@ -14,6 +14,14 @@
 //       (file<TAB>line<TAB>cwe per flagged line).
 //   sevuldet export-corpus --dir DIR [--pairs N]
 //       Write the synthetic SARD-like corpus to disk (+ manifest.tsv).
+//   sevuldet explain <file.c> --model model.txt [--json FILE] [--top N]
+//       Detection with attention provenance (paper Fig. 6): each finding
+//       is traced token-by-token back to original identifiers and source
+//       lines through the normalizer's invertible placeholder maps.
+//   sevuldet report [--json FILE] [--pairs N] [--epochs N]
+//       Train + evaluate on the synthetic corpus and print the quality
+//       report (confusion, per-CWE/per-length F1, calibration, drops);
+//       --json writes the machine-readable form for check_quality.py.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +29,7 @@
 #include <string>
 
 #include "sevuldet/baselines/fuzzer.hpp"
+#include "sevuldet/core/introspect.hpp"
 #include "sevuldet/core/pipeline.hpp"
 #include "sevuldet/dataset/manifest.hpp"
 #include "sevuldet/dataset/sard_generator.hpp"
@@ -28,6 +37,8 @@
 #include "sevuldet/graph/pdg.hpp"
 #include "sevuldet/slicer/gadget.hpp"
 #include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/strings.hpp"
+#include "sevuldet/util/table.hpp"
 #include "sevuldet/util/trace.hpp"
 
 using namespace sevuldet;
@@ -44,6 +55,9 @@ int usage() {
                "  sevuldet fuzz FILE.c [--execs N]\n"
                "  sevuldet train --dir DIR [--manifest TSV] --out MODEL\n"
                "  sevuldet export-corpus --dir DIR [--pairs N]\n"
+               "  sevuldet explain FILE.c --model MODEL [--json FILE]\n"
+               "                  [--top N]\n"
+               "  sevuldet report [--json FILE] [--pairs N] [--epochs N]\n"
                "\n"
                "  selftrain/train/scan accept --threads N (0 = all cores) to\n"
                "  parallelize preprocessing and detection; results are\n"
@@ -249,6 +263,81 @@ int cmd_export_corpus(int argc, char** argv) {
   return 0;
 }
 
+int cmd_explain(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const char* model_path = arg_value(argc, argv, "--model");
+  if (model_path == nullptr) return usage();
+  const std::string source = read_file(argv[0]);
+
+  core::PipelineConfig config;
+  config.model.embed_dim = 24;
+  config.model.conv_channels = 16;
+  apply_thread_flags(argc, argv, config);
+  core::SeVulDet detector(config);
+  detector.load(model_path);
+
+  core::DetectOptions options;
+  options.explain = true;
+  if (const char* top = arg_value(argc, argv, "--top")) {
+    options.top_k = std::atoi(top);
+  }
+  auto findings = detector.detect(source, options);
+
+  if (const char* json_path = arg_value(argc, argv, "--json")) {
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error(std::string("cannot write ") + json_path);
+    out << core::explanations_to_json(argv[0], findings);
+    std::printf("explanations written to %s\n", json_path);
+  }
+
+  if (findings.empty()) {
+    std::printf("%s: no findings\n", argv[0]);
+    return 0;
+  }
+  for (const auto& finding : findings) {
+    std::printf("%s:%d: [%s] suspicious '%s' (p=%.3f)\n", argv[0], finding.line,
+                slicer::category_name(finding.category), finding.token.c_str(),
+                finding.probability);
+    util::Table table({"line", "original", "token", "function", "weight"});
+    for (const auto& a : finding.attributions) {
+      table.add_row({std::to_string(a.line), a.original, a.token, a.function,
+                     util::fmt(a.weight, 4)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  return 1;  // findings found => nonzero, CI-friendly (same as scan)
+}
+
+int cmd_report(int argc, char** argv) {
+  core::ReportConfig config;
+  // Defaults sized for the example corpus the CI quality gate trains on;
+  // keep in sync with bench/QUALITY_baseline.json. Dedup is on so the
+  // drop accounting reflects what a real evaluation discards.
+  config.corpus.pairs_per_category = 60;
+  config.pipeline.corpus.deduplicate = true;
+  config.pipeline.model.embed_dim = 24;
+  config.pipeline.model.conv_channels = 16;
+  config.pipeline.train.epochs = 12;
+  config.pipeline.train.lr = 0.002f;
+  if (const char* pairs = arg_value(argc, argv, "--pairs")) {
+    config.corpus.pairs_per_category = std::atoi(pairs);
+  }
+  if (const char* epochs = arg_value(argc, argv, "--epochs")) {
+    config.pipeline.train.epochs = std::atoi(epochs);
+  }
+  apply_thread_flags(argc, argv, config.pipeline);
+
+  auto report = core::run_quality_report(config);
+  if (const char* json_path = arg_value(argc, argv, "--json")) {
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error(std::string("cannot write ") + json_path);
+    out << core::report_to_json(report);
+    std::printf("report written to %s\n", json_path);
+  }
+  std::printf("%s", core::report_summary(report).c_str());
+  return 0;
+}
+
 /// Enables the observability subsystems when --metrics-out/--trace-out
 /// are present and flushes the output files at end of scope — including
 /// the error-return paths, so a failing run still leaves its partial
@@ -292,6 +381,8 @@ int main(int argc, char** argv) {
     if (command == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
     if (command == "train") return cmd_train(argc - 2, argv + 2);
     if (command == "export-corpus") return cmd_export_corpus(argc - 2, argv + 2);
+    if (command == "explain") return cmd_explain(argc - 2, argv + 2);
+    if (command == "report") return cmd_report(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;

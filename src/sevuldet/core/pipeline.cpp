@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -70,6 +71,54 @@ std::vector<std::pair<std::string, float>> SeVulDet::top_attention_tokens(
 }
 
 std::vector<Finding> SeVulDet::detect(const std::string& source, int top_k) {
+  DetectOptions options;
+  options.top_k = top_k;
+  return detect(source, options);
+}
+
+namespace {
+
+/// Trace the top-weighted tokens back to their source lines (Fig. 6
+/// provenance). Rank order matches top_attention_tokens (ties broken by
+/// position), so the two views of a finding always agree.
+std::vector<TokenAttribution> attention_attributions(
+    const std::vector<float>& weights, const normalize::NormalizedGadget& norm,
+    const slicer::CodeGadget& gadget, int top_k) {
+  std::vector<TokenAttribution> out;
+  if (weights.empty()) return out;
+  const std::size_t n = std::min(norm.tokens.size(), weights.size());
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+  const std::map<std::string, std::string> originals =
+      norm.placeholder_to_original();
+  for (std::size_t i = 0; i < n && static_cast<int>(i) < top_k; ++i) {
+    const std::size_t idx = order[i];
+    TokenAttribution attr;
+    attr.token = norm.tokens[idx];
+    auto it = originals.find(attr.token);
+    attr.original = it != originals.end() ? it->second : attr.token;
+    attr.weight = weights[idx];
+    const int gadget_line = idx < norm.lines.size() ? norm.lines[idx] : 0;
+    if (gadget_line >= 1 &&
+        gadget_line <= static_cast<int>(gadget.lines.size())) {
+      const slicer::GadgetLine& gl =
+          gadget.lines[static_cast<std::size_t>(gadget_line - 1)];
+      attr.function = gl.function;
+      attr.line = gl.line;
+    }
+    out.push_back(std::move(attr));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> SeVulDet::detect(const std::string& source,
+                                      const DetectOptions& options) {
   if (!trained()) throw std::logic_error("SeVulDet::detect before train/load");
   util::trace::ScopedSpan span("detect");
 
@@ -84,13 +133,22 @@ std::vector<Finding> SeVulDet::detect(const std::string& source, int top_k) {
                      const slicer::SpecialToken& token) -> std::optional<Finding> {
     slicer::CodeGadget gadget =
         slicer::generate_gadget(program, token, config_.corpus.gadget);
-    if (gadget.lines.empty()) return std::nullopt;
+    if (gadget.lines.empty()) {
+      util::metrics::counter_add("detect.drop.empty_gadget");
+      return std::nullopt;
+    }
     normalize::NormalizedGadget norm = normalize::normalize_gadget(gadget);
-    if (norm.tokens.empty()) return std::nullopt;
+    if (norm.tokens.empty()) {
+      util::metrics::counter_add("detect.drop.empty_tokens");
+      return std::nullopt;
+    }
     std::vector<int> ids = vocab_.encode(norm.tokens);
     nn::GraphScope scope(graph);
     const float probability = model.predict(ids);
-    if (probability <= config_.model.threshold) return std::nullopt;
+    if (probability <= config_.model.threshold) {
+      util::metrics::counter_add("detect.drop.below_threshold");
+      return std::nullopt;
+    }
 
     Finding finding;
     finding.function = token.function;
@@ -98,8 +156,15 @@ std::vector<Finding> SeVulDet::detect(const std::string& source, int top_k) {
     finding.category = token.category;
     finding.token = token.text;
     finding.probability = probability;
-    finding.top_tokens =
-        top_attention_tokens(model.last_token_weights(), norm.tokens, top_k);
+    finding.top_tokens = top_attention_tokens(model.last_token_weights(),
+                                              norm.tokens, options.top_k);
+    if (options.explain) {
+      util::trace::ScopedSpan explain_span("detect.explain");
+      finding.attributions = attention_attributions(
+          model.last_token_weights(), norm, gadget, options.top_k);
+      finding.spatial_attention = model.last_spatial_weights();
+      util::metrics::counter_add("detect.explained");
+    }
     return finding;
   };
 

@@ -29,6 +29,18 @@ struct PipelineConfig {
   bool pretrain_embeddings = true;
 };
 
+/// One ranked attention attribution (Fig. 6 provenance): a normalized
+/// token of the gadget traced back to its original spelling and source
+/// location through the slicer's line records and the normalizer's
+/// invertible var/fun placeholder maps.
+struct TokenAttribution {
+  std::string token;     // normalized spelling, e.g. "var2"
+  std::string original;  // original spelling, e.g. "data"
+  std::string function;  // enclosing function of the source line
+  int line = 0;          // 1-based original source line (0 if unknown)
+  float weight = 0.0f;   // raw α_i (softmax over the gadget, sums to ~1)
+};
+
 /// One detection-phase result: a gadget classified as vulnerable.
 struct Finding {
   std::string function;
@@ -39,6 +51,19 @@ struct Finding {
   /// Top-weighted tokens of this gadget by attention (Fig. 6), pairs of
   /// (token spelling, weight normalized to the max weight).
   std::vector<std::pair<std::string, float>> top_tokens;
+  /// Ranked source-line attributions, filled only when
+  /// DetectOptions::explain is set. Capture is a pure read-out of the
+  /// already-computed attention weights: every other field (and the
+  /// model) is byte-identical with or without it.
+  std::vector<TokenAttribution> attributions;
+  /// CBAM spatial map over the gadget's (padded) token positions,
+  /// explain-only; empty when multilayer attention is ablated.
+  std::vector<float> spatial_attention;
+};
+
+struct DetectOptions {
+  int top_k = 10;       // attention tokens / attributions per finding
+  bool explain = false; // fill Finding::attributions/spatial_attention
 };
 
 class SeVulDet {
@@ -58,6 +83,14 @@ class SeVulDet {
   /// normalized and classified in parallel chunks on per-worker model
   /// clones, and the findings are identical to a serial scan.
   std::vector<Finding> detect(const std::string& source, int top_k = 10);
+
+  /// Detection with attention provenance: with `options.explain` each
+  /// Finding additionally carries ranked (function, line, token, weight)
+  /// attributions and the CBAM spatial map. Inference is unchanged —
+  /// probabilities, top_tokens, and the model are byte-identical to a
+  /// plain detect().
+  std::vector<Finding> detect(const std::string& source,
+                              const DetectOptions& options);
 
   /// Probability for a single pre-encoded gadget (used by evaluation).
   float predict(const std::vector<int>& ids) { return model_->predict(ids); }

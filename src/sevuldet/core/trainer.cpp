@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "sevuldet/nn/autograd.hpp"
 #include "sevuldet/nn/optim.hpp"
@@ -60,18 +61,27 @@ TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
 
   // One arena-backed graph reused for every sample: after the first pass
   // over the largest gadget, a train step performs no heap allocation.
+  // Classification threshold in logit space: sigmoid(z) > t <=> z > ln(t/(1-t)).
+  const float threshold = detector.config().threshold;
+  const float logit_threshold =
+      std::log(threshold / std::max(1e-7f, 1.0f - threshold));
+
   nn::Graph graph;
   const auto start = std::chrono::steady_clock::now();
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     util::trace::ScopedSpan epoch_span("train.epoch");
     shuffle_rng.shuffle(order);
     double loss_sum = 0.0;
+    long long correct = 0, counted = 0;
     for (std::size_t i : order) {
       const auto& sample = *train[i];
       if (sample.ids.empty()) continue;
       util::metrics::counter_add("train.steps");
       nn::GraphScope scope(graph);
       nn::NodePtr logit = detector.forward_logit(sample.ids, /*train=*/true);
+      const bool predicted = logit->value.at(0, 0) > logit_threshold;
+      correct += predicted == (sample.label == 1) ? 1 : 0;
+      ++counted;
       nn::NodePtr loss =
           nn::bce_with_logits(logit, static_cast<float>(sample.label));
       if (sample.label == 1 && pos_weight != 1.0f) {
@@ -86,6 +96,9 @@ TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
     const float mean_loss =
         static_cast<float>(loss_sum / static_cast<double>(train.size()));
     result.epoch_losses.push_back(mean_loss);
+    result.epoch_accuracies.push_back(
+        counted == 0 ? 0.0f
+                     : static_cast<float>(correct) / static_cast<float>(counted));
     util::metrics::counter_add("train.epochs");
     if (config.verbose) {
       util::log_info(detector.name() + " epoch " + std::to_string(epoch + 1) +

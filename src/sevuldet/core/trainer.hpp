@@ -26,6 +26,11 @@ struct TrainConfig {
 
 struct TrainResult {
   std::vector<float> epoch_losses;  // mean loss per epoch
+  /// Fraction of training samples classified correctly at the model's
+  /// threshold, per epoch — read off the logits the train step already
+  /// computes (train-mode forward, so dropout noise is included; no
+  /// extra passes, and the optimization trajectory is unchanged).
+  std::vector<float> epoch_accuracies;
   double seconds = 0.0;
   std::size_t samples = 0;
 };

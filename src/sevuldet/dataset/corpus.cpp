@@ -149,6 +149,7 @@ Corpus build_corpus(const std::vector<TestCase>& cases,
     for (GadgetSample& sample : out.samples) {
       if (options.deduplicate &&
           !seen.insert({dedup_key(sample.tokens), sample.label}).second) {
+        util::metrics::counter_add("corpus.drop.duplicate");
         continue;
       }
       auto& counts = corpus.stats.by_category[sample.category];

@@ -1,5 +1,8 @@
 #include "sevuldet/dataset/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "sevuldet/util/strings.hpp"
 
 namespace sevuldet::dataset {
@@ -43,6 +46,74 @@ Confusion& Confusion::operator+=(const Confusion& other) {
   tn += other.tn;
   fn += other.fn;
   return *this;
+}
+
+double roc_auc(const std::vector<ScoredPrediction>& predictions) {
+  // Rank statistic with average ranks for ties:
+  // AUC = (Σ ranks of positives − P(P+1)/2) / (P·N).
+  std::vector<std::size_t> order(predictions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return predictions[a].probability < predictions[b].probability;
+  });
+
+  double positive_rank_sum = 0.0;
+  long long positives = 0, negatives = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && predictions[order[j]].probability ==
+                                   predictions[order[i]].probability) {
+      ++j;
+    }
+    // Tied block [i, j): every member gets the average rank.
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) +
+                                   static_cast<double>(j));
+    for (std::size_t k = i; k < j; ++k) {
+      if (predictions[order[k]].label == 1) {
+        positive_rank_sum += avg_rank;
+        ++positives;
+      } else {
+        ++negatives;
+      }
+    }
+    i = j;
+  }
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double p = static_cast<double>(positives);
+  const double n = static_cast<double>(negatives);
+  return (positive_rank_sum - p * (p + 1.0) / 2.0) / (p * n);
+}
+
+Calibration calibrate(const std::vector<ScoredPrediction>& predictions,
+                      int bins) {
+  Calibration out;
+  out.bins.resize(static_cast<std::size_t>(std::max(1, bins)));
+  const double width = 1.0 / static_cast<double>(out.bins.size());
+  for (std::size_t b = 0; b < out.bins.size(); ++b) {
+    out.bins[b].lower = width * static_cast<double>(b);
+    out.bins[b].upper = width * static_cast<double>(b + 1);
+  }
+  std::vector<double> prob_sum(out.bins.size(), 0.0);
+  std::vector<long long> pos(out.bins.size(), 0);
+  for (const auto& pred : predictions) {
+    const double p = std::clamp(static_cast<double>(pred.probability), 0.0, 1.0);
+    std::size_t b = std::min(out.bins.size() - 1,
+                             static_cast<std::size_t>(p / width));
+    ++out.bins[b].count;
+    prob_sum[b] += p;
+    pos[b] += pred.label == 1 ? 1 : 0;
+  }
+  const double total = static_cast<double>(predictions.size());
+  for (std::size_t b = 0; b < out.bins.size(); ++b) {
+    if (out.bins[b].count == 0) continue;
+    const double count = static_cast<double>(out.bins[b].count);
+    out.bins[b].mean_probability = prob_sum[b] / count;
+    out.bins[b].frac_positive = static_cast<double>(pos[b]) / count;
+    out.ece += (count / total) *
+               std::abs(out.bins[b].frac_positive - out.bins[b].mean_probability);
+  }
+  return out;
 }
 
 }  // namespace sevuldet::dataset

@@ -1,9 +1,13 @@
 // Evaluation metrics (Section IV-A of the paper): FPR, FNR, Accuracy,
 // Precision, and the paper's F1 form F1 = 2·P·(1-FNR) / (P + (1-FNR)),
-// which equals the standard harmonic mean of precision and recall.
+// which equals the standard harmonic mean of precision and recall —
+// plus the threshold-free quality metrics the evaluation breakdown
+// reports add: rank-based ROC AUC and a reliability table with expected
+// calibration error (ECE).
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace sevuldet::dataset {
 
@@ -34,5 +38,39 @@ struct Confusion {
 
   Confusion& operator+=(const Confusion& other);
 };
+
+/// One scored prediction, the input to the threshold-free metrics.
+struct ScoredPrediction {
+  float probability = 0.0f;
+  int label = 0;  // 1 vulnerable / 0 clean
+};
+
+/// Area under the ROC curve via the rank statistic (Mann-Whitney U):
+/// the probability a random vulnerable sample scores above a random
+/// clean one, ties counted half. Returns 0.5 when either class is
+/// absent (no ranking information).
+double roc_auc(const std::vector<ScoredPrediction>& predictions);
+
+/// One row of the reliability table: predictions whose probability fell
+/// into [lower, upper).
+struct CalibrationBin {
+  double lower = 0.0;
+  double upper = 0.0;
+  long long count = 0;
+  double mean_probability = 0.0;  // average predicted probability (confidence)
+  double frac_positive = 0.0;     // empirical vulnerable fraction (accuracy)
+};
+
+/// Equal-width reliability table + expected calibration error
+/// ECE = Σ_b (n_b / N) · |frac_positive_b − mean_probability_b|.
+struct Calibration {
+  std::vector<CalibrationBin> bins;
+  double ece = 0.0;
+};
+
+inline constexpr int kCalibrationBins = 10;
+
+Calibration calibrate(const std::vector<ScoredPrediction>& predictions,
+                      int bins = kCalibrationBins);
 
 }  // namespace sevuldet::dataset

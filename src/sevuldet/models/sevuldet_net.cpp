@@ -76,6 +76,10 @@ const std::vector<float>& SeVulDetNet::last_token_weights() const {
   return token_attention_ ? token_attention_->last_weights() : empty_weights_;
 }
 
+const std::vector<float>& SeVulDetNet::last_spatial_weights() const {
+  return cbam_ ? cbam_->last_spatial_weights() : empty_weights_;
+}
+
 std::unique_ptr<SeVulDetNet> SeVulDetNet::clone_net() const {
   auto copy = std::make_unique<SeVulDetNet>(config_);
   copy_parameters(store_, copy->store_);

@@ -25,6 +25,11 @@ class SeVulDetNet : public Detector {
   /// disabled.
   const std::vector<float>& last_token_weights() const;
 
+  /// CBAM spatial map Ms of the last forward pass (one weight per conv
+  /// row; rows align with the padded token sequence). Empty if
+  /// multilayer attention is disabled.
+  const std::vector<float>& last_spatial_weights() const;
+
   /// Concrete deep copy (keeps access to last_token_weights()).
   std::unique_ptr<SeVulDetNet> clone_net() const;
   std::unique_ptr<Detector> clone() const override { return clone_net(); }

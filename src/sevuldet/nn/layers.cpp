@@ -116,11 +116,12 @@ SpatialAttention::SpatialAttention(ParamStore& store, const std::string& name,
   if (bias != nullptr) bias->value.fill(2.0f);
 }
 
-NodePtr SpatialAttention::forward(const NodePtr& f) const {
+NodePtr SpatialAttention::forward(const NodePtr& f) {
   NodePtr avg = reduce_cols_mean(f);  // [T, 1]
   NodePtr max = reduce_cols_max(f);   // [T, 1]
   NodePtr stacked = concat_cols(avg, max);  // [T, 2]
   NodePtr ms = sigmoid(conv_->forward(stacked));  // [T, 1]
+  last_weights_.assign(ms->value.data(), ms->value.data() + ms->value.size());
   return mul_col_broadcast(f, ms);  // F'' = Ms(F') ⊗ F'
 }
 
@@ -130,7 +131,7 @@ Cbam::Cbam(ParamStore& store, const std::string& name, int channels,
       spatial_(store, name + ".spatial", rng),
       sequential_(sequential) {}
 
-NodePtr Cbam::forward(const NodePtr& f) const {
+NodePtr Cbam::forward(const NodePtr& f) {
   if (sequential_) {
     return spatial_.forward(channel_.forward(f));
   }

@@ -89,15 +89,18 @@ class ChannelAttention {
 };
 
 /// CBAM spatial attention (eq. 6): Ms = σ(conv7([avg;max])), applied as
-/// F'' = F' ⊗ Ms.
+/// F'' = F' ⊗ Ms. Keeps the latest Ms for visualization (Fig. 6), like
+/// TokenAttention keeps α.
 class SpatialAttention {
  public:
   SpatialAttention(ParamStore& store, const std::string& name, util::Rng& rng,
                    int kernel = 7);
-  NodePtr forward(const NodePtr& f) const;
+  NodePtr forward(const NodePtr& f);
+  const std::vector<float>& last_weights() const { return last_weights_; }
 
  private:
   std::unique_ptr<Conv1d> conv_;
+  std::vector<float> last_weights_;
 };
 
 /// Full CBAM block (eqs. 7-8). `sequential` = channel then spatial (the
@@ -106,7 +109,12 @@ class Cbam {
  public:
   Cbam(ParamStore& store, const std::string& name, int channels, int reduction,
        util::Rng& rng, bool sequential = true);
-  NodePtr forward(const NodePtr& f) const;
+  NodePtr forward(const NodePtr& f);
+  /// Spatial map Ms of the last forward pass, one weight per row (conv
+  /// position), in (0, 1).
+  const std::vector<float>& last_spatial_weights() const {
+    return spatial_.last_weights();
+  }
 
  private:
   ChannelAttention channel_;

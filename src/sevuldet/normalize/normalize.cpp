@@ -31,6 +31,28 @@ std::string NormalizedGadget::text() const {
   return util::join(tokens, " ");
 }
 
+std::map<std::string, std::string> NormalizedGadget::placeholder_to_original()
+    const {
+  std::map<std::string, std::string> inverse;
+  for (const auto& [original, placeholder] : var_map) {
+    inverse.emplace(placeholder, original);
+  }
+  for (const auto& [original, placeholder] : fun_map) {
+    inverse.emplace(placeholder, original);
+  }
+  return inverse;
+}
+
+std::string NormalizedGadget::original_token(const std::string& token) const {
+  for (const auto& [original, placeholder] : var_map) {
+    if (placeholder == token) return original;
+  }
+  for (const auto& [original, placeholder] : fun_map) {
+    if (placeholder == token) return original;
+  }
+  return token;
+}
+
 std::vector<std::string> tokenize_text(const std::string& text) {
   std::vector<std::string> out;
   std::string ascii = util::strip_non_ascii(text);
@@ -49,9 +71,21 @@ NormalizedGadget normalize_text(const std::string& gadget_text) {
     tokens = frontend::lex_tokens(ascii);
   } catch (const frontend::LexError&) {
     // Malformed fragment (e.g. sliced mid-string) — degrade to
-    // whitespace tokens rather than fail the whole pipeline.
-    for (const auto& word : util::split_ws(ascii)) {
-      out.tokens.push_back(word);
+    // whitespace tokens rather than fail the whole pipeline, keeping the
+    // per-line provenance by splitting line by line.
+    util::metrics::counter_add("normalize.drop.lex_fallback");
+    int line = 1;
+    std::size_t begin = 0;
+    while (begin <= ascii.size()) {
+      std::size_t end = ascii.find('\n', begin);
+      if (end == std::string::npos) end = ascii.size();
+      for (const auto& word :
+           util::split_ws(std::string_view(ascii).substr(begin, end - begin))) {
+        out.tokens.push_back(word);
+        out.lines.push_back(line);
+      }
+      begin = end + 1;
+      ++line;
     }
     return out;
   }
@@ -60,11 +94,13 @@ NormalizedGadget normalize_text(const std::string& gadget_text) {
     const frontend::Token& tok = tokens[i];
     if (tok.kind != frontend::TokenKind::Identifier) {
       out.tokens.push_back(tok.text);
+      out.lines.push_back(tok.line);
       continue;
     }
     if (is_preserved_identifier(tok.text) ||
         slicer::is_library_function(tok.text)) {
       out.tokens.push_back(tok.text);
+      out.lines.push_back(tok.line);
       continue;
     }
     const bool is_call = i + 1 < tokens.size() && tokens[i + 1].is_punct("(");
@@ -78,12 +114,14 @@ NormalizedGadget normalize_text(const std::string& gadget_text) {
       auto fit = out.fun_map.find(tok.text);
       if (fit != out.fun_map.end()) {
         out.tokens.push_back(fit->second);
+        out.lines.push_back(tok.line);
         continue;
       }
       auto [it, inserted] = out.var_map.try_emplace(
           tok.text, "var" + std::to_string(out.var_map.size() + 1));
       out.tokens.push_back(it->second);
     }
+    out.lines.push_back(tok.line);
   }
   return out;
 }
@@ -94,6 +132,9 @@ NormalizedGadget normalize_gadget(const slicer::CodeGadget& gadget) {
   util::metrics::counter_add("normalize.gadgets");
   util::metrics::counter_add("normalize.tokens",
                              static_cast<long long>(norm.tokens.size()));
+  if (norm.tokens.empty()) {
+    util::metrics::counter_add("normalize.drop.empty_token_stream");
+  }
   return norm;
 }
 

@@ -16,10 +16,24 @@ namespace sevuldet::normalize {
 
 struct NormalizedGadget {
   std::vector<std::string> tokens;           // normalized token stream
+  /// Provenance: 1-based line of token i within the normalized text
+  /// (for a gadget, its index into CodeGadget::lines + 1). Always the
+  /// same length as `tokens`; 0 when the position is unknown.
+  std::vector<int> lines;
   std::map<std::string, std::string> var_map;  // original -> varK
   std::map<std::string, std::string> fun_map;  // original -> funK
 
   std::string text() const;  // tokens joined by spaces
+
+  /// Inverse of var_map ∪ fun_map: "var3" -> original spelling. The
+  /// forward maps are injective per gadget (placeholders are assigned
+  /// sequentially), so this inversion is lossless — the basis of the
+  /// attention-provenance round trip.
+  std::map<std::string, std::string> placeholder_to_original() const;
+
+  /// Original spelling of one normalized token (the token itself when it
+  /// is not a placeholder — keywords, literals, library functions).
+  std::string original_token(const std::string& token) const;
 };
 
 /// Normalize raw gadget text (one statement per line).

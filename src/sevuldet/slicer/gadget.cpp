@@ -76,13 +76,19 @@ CodeGadget generate_gadget(const graph::ProgramGraph& program,
   gadget.path_sensitive = options.path_sensitive;
 
   Slice slice = compute_slice(program, token.function, token.unit, options.slice);
-  if (slice.units_by_fn.empty()) return gadget;
+  if (slice.units_by_fn.empty()) {
+    util::metrics::counter_add("slicer.drop.empty_slice");
+    return gadget;
+  }
 
   std::vector<std::string> fn_order = order_functions(program, slice, token.function);
 
   for (const auto& fn_name : fn_order) {
     const graph::FunctionPdg* pdg = program.pdg_of(fn_name);
-    if (pdg == nullptr) continue;
+    if (pdg == nullptr) {
+      util::metrics::counter_add("slicer.drop.missing_pdg");
+      continue;
+    }
     const auto& unit_ids = slice.units_by_fn.at(fn_name);
 
     // Sliced statement lines.
@@ -137,13 +143,19 @@ CodeGadget generate_gadget(const graph::ProgramGraph& program,
           }
         }
       }
-      if (!gl.text.empty()) gadget.lines.push_back(std::move(gl));
+      if (!gl.text.empty()) {
+        gadget.lines.push_back(std::move(gl));
+      } else {
+        util::metrics::counter_add("slicer.drop.missing_line_text");
+      }
     }
   }
   if (!gadget.lines.empty()) {
     util::metrics::counter_add("slicer.gadgets_emitted");
     util::metrics::counter_add("slicer.gadget_lines",
                                static_cast<long long>(gadget.lines.size()));
+  } else {
+    util::metrics::counter_add("slicer.drop.empty_gadget");
   }
   return gadget;
 }

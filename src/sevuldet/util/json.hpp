@@ -1,0 +1,22 @@
+// Shared JSON emission helpers for the repo's hand-written emitters
+// (util/metrics, util/trace, core/introspect). Numbers print as the
+// shortest exact form (integers without a decimal point, otherwise
+// %.17g so doubles round-trip); strings get ASCII escaping. The
+// documents these helpers build are readable back with
+// util/mini_json.hpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sevuldet::util::json {
+
+/// Append `value` as a JSON number: integral values without a decimal
+/// point, others as %.17g (round-trip exact for doubles).
+void append_number(std::string& out, double value);
+
+/// Append `s` as a quoted JSON string with ", \, control characters and
+/// non-printable bytes escaped.
+void append_string(std::string& out, std::string_view s);
+
+}  // namespace sevuldet::util::json

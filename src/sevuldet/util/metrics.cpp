@@ -1,5 +1,7 @@
 #include "sevuldet/util/metrics.hpp"
 
+#include "sevuldet/util/json.hpp"
+
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -146,38 +148,8 @@ Shard& local_shard() {
   return ts.shard;
 }
 
-void append_json_number(std::string& out, double value) {
-  char buf[64];
-  if (value == static_cast<double>(static_cast<long long>(value)) &&
-      std::abs(value) < 1e15) {
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-  }
-  out += buf;
-}
-
-void append_json_string(std::string& out, std::string_view s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
+using json::append_number;
+using json::append_string;
 
 }  // namespace
 
@@ -301,7 +273,7 @@ std::string Snapshot::to_json() const {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    ";
-    append_json_string(out, name);
+    append_string(out, name);
     out += ": ";
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", value);
@@ -315,9 +287,9 @@ std::string Snapshot::to_json() const {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    ";
-    append_json_string(out, name);
+    append_string(out, name);
     out += ": ";
-    append_json_number(out, value);
+    append_number(out, value);
   }
   out += first ? "},\n" : "\n  },\n";
 
@@ -327,9 +299,9 @@ std::string Snapshot::to_json() const {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    ";
-    append_json_string(out, name);
+    append_string(out, name);
     out += ": ";
-    append_json_string(out, value);
+    append_string(out, value);
   }
   out += first ? "},\n" : "\n  },\n";
 
@@ -339,30 +311,30 @@ std::string Snapshot::to_json() const {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    ";
-    append_json_string(out, name);
+    append_string(out, name);
     out += ": {\"unit\": \"ms\", \"count\": ";
-    append_json_number(out, static_cast<double>(h.count));
+    append_number(out, static_cast<double>(h.count));
     out += ", \"sum\": ";
-    append_json_number(out, h.sum);
+    append_number(out, h.sum);
     out += ", \"min\": ";
-    append_json_number(out, h.min);
+    append_number(out, h.min);
     out += ", \"max\": ";
-    append_json_number(out, h.max);
+    append_number(out, h.max);
     out += ", \"p50\": ";
-    append_json_number(out, h.percentile(50.0));
+    append_number(out, h.percentile(50.0));
     out += ", \"p95\": ";
-    append_json_number(out, h.percentile(95.0));
+    append_number(out, h.percentile(95.0));
     out += ", \"p99\": ";
-    append_json_number(out, h.percentile(99.0));
+    append_number(out, h.percentile(99.0));
     out += ", \"buckets\": [";
     bool first_bucket = true;
     for (const auto& [bound, n] : h.buckets) {
       if (!first_bucket) out += ", ";
       first_bucket = false;
       out += '[';
-      append_json_number(out, bound);
+      append_number(out, bound);
       out += ", ";
-      append_json_number(out, static_cast<double>(n));
+      append_number(out, static_cast<double>(n));
       out += ']';
     }
     out += "]}";

@@ -1,8 +1,11 @@
-// Minimal recursive-descent JSON parser for tests: just enough to prove
-// that the observability JSON emitters (util/metrics.hpp,
-// util/trace.hpp) produce well-formed documents and to read values back
-// out of them. Throws std::runtime_error on malformed input. Not a
-// production parser — tests only.
+// Minimal recursive-descent JSON parser shared by the introspection
+// report renderer (core/introspect.hpp consumes its own quality-report
+// JSON through this parser, so the committed schema is provably
+// machine-readable), the observability test suites, and anything else
+// that needs to read the repo's hand-emitted JSON documents back.
+// Throws std::runtime_error on malformed input. Handles the subset of
+// JSON our emitters produce (ASCII escapes, finite numbers) — not a
+// general-purpose parser.
 #pragma once
 
 #include <cctype>
@@ -13,7 +16,7 @@
 #include <string>
 #include <vector>
 
-namespace mini_json {
+namespace sevuldet::util::mini_json {
 
 struct Value {
   enum class Type { Null, Bool, Number, String, Array, Object };
@@ -203,4 +206,4 @@ class Parser {
 
 inline Value parse(const std::string& text) { return Parser(text).parse(); }
 
-}  // namespace mini_json
+}  // namespace sevuldet::util::mini_json

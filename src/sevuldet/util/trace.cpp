@@ -7,6 +7,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "sevuldet/util/json.hpp"
 #include "sevuldet/util/metrics.hpp"
 
 namespace sevuldet::util::trace {
@@ -96,13 +97,6 @@ void record_event(const char* name,
   buffer.events.push_back(RawEvent{name, ts_us, dur_us});
 }
 
-void append_json_escaped(std::string& out, std::string_view s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-}
-
 }  // namespace
 
 void set_enabled(bool enabled) {
@@ -172,10 +166,10 @@ std::string to_json() {
   for (const Event& e : merged) {
     out += first ? "\n" : ",\n";
     first = false;
-    out += "    {\"name\": \"";
-    append_json_escaped(out, e.name);
+    out += "    {\"name\": ";
+    json::append_string(out, e.name);
     std::snprintf(buf, sizeof(buf),
-                  "\", \"cat\": \"sevuldet\", \"ph\": \"X\", \"pid\": 1, "
+                  ", \"cat\": \"sevuldet\", \"ph\": \"X\", \"pid\": 1, "
                   "\"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
                   e.tid, e.ts_us, e.dur_us);
     out += buf;

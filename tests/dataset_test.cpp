@@ -279,3 +279,75 @@ TEST(Corpus, GracefulOnUnparsableSource) {
   EXPECT_EQ(corpus.stats.parse_failures, 1);
   EXPECT_TRUE(corpus.samples.empty());
 }
+
+// --- Threshold-free metrics for the evaluation breakdown reports.
+
+TEST(RocAuc, PerfectSeparationIsOne) {
+  std::vector<sd::ScoredPrediction> p = {
+      {0.9f, 1}, {0.8f, 1}, {0.2f, 0}, {0.1f, 0}};
+  EXPECT_DOUBLE_EQ(sd::roc_auc(p), 1.0);
+}
+
+TEST(RocAuc, ReversedRankingIsZero) {
+  std::vector<sd::ScoredPrediction> p = {
+      {0.1f, 1}, {0.2f, 1}, {0.8f, 0}, {0.9f, 0}};
+  EXPECT_DOUBLE_EQ(sd::roc_auc(p), 0.0);
+}
+
+TEST(RocAuc, TiesCountHalf) {
+  // All scores equal: AUC must be exactly chance.
+  std::vector<sd::ScoredPrediction> p = {
+      {0.5f, 1}, {0.5f, 0}, {0.5f, 1}, {0.5f, 0}};
+  EXPECT_DOUBLE_EQ(sd::roc_auc(p), 0.5);
+}
+
+TEST(RocAuc, SingleClassIsChance) {
+  std::vector<sd::ScoredPrediction> all_pos = {{0.9f, 1}, {0.8f, 1}};
+  std::vector<sd::ScoredPrediction> all_neg = {{0.9f, 0}, {0.8f, 0}};
+  EXPECT_DOUBLE_EQ(sd::roc_auc(all_pos), 0.5);
+  EXPECT_DOUBLE_EQ(sd::roc_auc(all_neg), 0.5);
+  EXPECT_DOUBLE_EQ(sd::roc_auc({}), 0.5);
+}
+
+TEST(RocAuc, PartialOverlap) {
+  // One inversion among 2x2 pairs: AUC = 3/4.
+  std::vector<sd::ScoredPrediction> p = {
+      {0.9f, 1}, {0.4f, 1}, {0.6f, 0}, {0.1f, 0}};
+  EXPECT_DOUBLE_EQ(sd::roc_auc(p), 0.75);
+}
+
+TEST(Calibration, BinsPartitionAndEceMatchesHandComputation) {
+  // Two occupied bins: [0.0,0.5) holds two negatives at 0.2 (perfectly
+  // calibrated would be 20% positive; actual 0%), [0.5,1.0) holds one
+  // of each at 0.8.
+  std::vector<sd::ScoredPrediction> p = {
+      {0.2f, 0}, {0.2f, 0}, {0.8f, 1}, {0.8f, 0}};
+  auto cal = sd::calibrate(p, 2);
+  ASSERT_EQ(cal.bins.size(), 2u);
+  EXPECT_EQ(cal.bins[0].count, 2);
+  EXPECT_NEAR(cal.bins[0].mean_probability, 0.2, 1e-6);
+  EXPECT_DOUBLE_EQ(cal.bins[0].frac_positive, 0.0);
+  EXPECT_EQ(cal.bins[1].count, 2);
+  EXPECT_NEAR(cal.bins[1].mean_probability, 0.8, 1e-6);
+  EXPECT_DOUBLE_EQ(cal.bins[1].frac_positive, 0.5);
+  // ECE = (2/4)*|0 - 0.2| + (2/4)*|0.5 - 0.8| = 0.1 + 0.15 = 0.25.
+  EXPECT_NEAR(cal.ece, 0.25, 1e-6);
+}
+
+TEST(Calibration, ProbabilityOneLandsInTopBin) {
+  std::vector<sd::ScoredPrediction> p = {{1.0f, 1}, {0.0f, 0}};
+  auto cal = sd::calibrate(p, 10);
+  ASSERT_EQ(cal.bins.size(), 10u);
+  EXPECT_EQ(cal.bins.front().count, 1);
+  EXPECT_EQ(cal.bins.back().count, 1);  // 1.0 clamps into [0.9, 1.0]
+  long long total = 0;
+  for (const auto& bin : cal.bins) total += bin.count;
+  EXPECT_EQ(total, 2);
+}
+
+TEST(Calibration, EmptyInputYieldsEmptyBinsZeroEce) {
+  auto cal = sd::calibrate({}, 10);
+  EXPECT_EQ(cal.bins.size(), 10u);
+  for (const auto& bin : cal.bins) EXPECT_EQ(bin.count, 0);
+  EXPECT_DOUBLE_EQ(cal.ece, 0.0);
+}

@@ -1,0 +1,331 @@
+// Attention provenance (paper Fig. 6) and the quality report behind
+// `sevuldet report`: the explain read-out must not perturb inference,
+// every attribution must trace to an original source location through
+// the normalizer's invertible placeholder maps, and the report JSON is
+// the contract with tools/check_quality.py.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "sevuldet/core/introspect.hpp"
+#include "sevuldet/core/pipeline.hpp"
+#include "sevuldet/dataset/corpus.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+#include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/normalize/normalize.hpp"
+#include "sevuldet/slicer/gadget.hpp"
+#include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/mini_json.hpp"
+
+namespace sc = sevuldet::core;
+namespace sd = sevuldet::dataset;
+namespace sn = sevuldet::normalize;
+namespace mini_json = sevuldet::util::mini_json;
+
+namespace {
+
+sc::PipelineConfig tiny_pipeline_config() {
+  sc::PipelineConfig config;
+  config.model.embed_dim = 12;
+  config.model.conv_channels = 8;
+  config.model.attn_dim = 8;
+  config.model.dense1 = 24;
+  config.model.dense2 = 8;
+  config.train.epochs = 3;
+  config.train.lr = 0.002f;
+  config.word2vec.epochs = 2;
+  return config;
+}
+
+std::vector<sd::TestCase> tiny_cases() {
+  sd::SardConfig config;
+  config.pairs_per_category = 6;
+  config.long_fraction = 0.0;
+  config.seed = 23;
+  return sd::generate_sard_like(config);
+}
+
+/// A trained detector plus one vulnerable source it flags; shared across
+/// the explain tests (training once keeps the suite fast).
+struct TrainedFixture {
+  sc::SeVulDet detector;
+  std::string vulnerable_source;
+
+  TrainedFixture() : detector(tiny_pipeline_config()) {
+    auto cases = tiny_cases();
+    detector.train(cases);
+    for (const auto& tc : cases) {
+      if (!tc.vulnerable) continue;
+      if (!detector.detect(tc.source).empty()) {
+        vulnerable_source = tc.source;
+        break;
+      }
+    }
+  }
+};
+
+TrainedFixture& fixture() {
+  static TrainedFixture f;
+  return f;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+// Every gadget in the example corpus round-trips: each normalized token
+// maps back to exactly one original spelling, and each token's line
+// record indexes a real gadget line (the provenance chain `sevuldet
+// explain` walks).
+TEST(Provenance, EveryCorpusGadgetRoundTrips) {
+  for (const auto& tc : tiny_cases()) {
+    auto program = sevuldet::graph::build_program_graph(tc.source);
+    for (const auto& gadget :
+         sevuldet::slicer::generate_gadgets(program, {})) {
+      auto norm = sn::normalize_gadget(gadget);
+      ASSERT_EQ(norm.lines.size(), norm.tokens.size());
+      const auto inverse = norm.placeholder_to_original();
+      for (const auto& [original, placeholder] : norm.var_map) {
+        EXPECT_EQ(inverse.at(placeholder), original) << tc.id;
+      }
+      for (const auto& [original, placeholder] : norm.fun_map) {
+        EXPECT_EQ(inverse.at(placeholder), original) << tc.id;
+      }
+      // Placeholder sets never collide: every inverse entry comes from
+      // exactly one forward entry.
+      EXPECT_EQ(inverse.size(), norm.var_map.size() + norm.fun_map.size())
+          << tc.id;
+      for (std::size_t i = 0; i < norm.lines.size(); ++i) {
+        EXPECT_GE(norm.lines[i], 0) << tc.id;
+        EXPECT_LE(norm.lines[i], static_cast<int>(gadget.lines.size()))
+            << tc.id;
+      }
+    }
+  }
+}
+
+TEST(Explain, AttentionWeightsSumToOneWhenEnabled) {
+  auto& f = fixture();
+  ASSERT_FALSE(f.vulnerable_source.empty());
+  sc::DetectOptions options;
+  options.explain = true;
+  auto findings = f.detector.detect(f.vulnerable_source, options);
+  ASSERT_FALSE(findings.empty());
+  const auto& weights = f.detector.model().last_token_weights();
+  ASSERT_FALSE(weights.empty());
+  float sum = 0.0f;
+  for (float w : weights) {
+    EXPECT_GE(w, 0.0f);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+TEST(Explain, AttributionsCarrySourceProvenance) {
+  auto& f = fixture();
+  ASSERT_FALSE(f.vulnerable_source.empty());
+  sc::DetectOptions options;
+  options.explain = true;
+  options.top_k = 5;
+  auto findings = f.detector.detect(f.vulnerable_source, options);
+  ASSERT_FALSE(findings.empty());
+  for (const auto& finding : findings) {
+    ASSERT_FALSE(finding.attributions.empty());
+    EXPECT_LE(finding.attributions.size(), 5u);
+    // Ranked by weight, each with a resolvable original spelling; at
+    // least one maps to a concrete (function, line).
+    bool has_location = false;
+    for (std::size_t i = 0; i < finding.attributions.size(); ++i) {
+      const auto& a = finding.attributions[i];
+      EXPECT_FALSE(a.token.empty());
+      EXPECT_FALSE(a.original.empty());
+      EXPECT_GT(a.weight, 0.0f);
+      if (i > 0) {
+        EXPECT_LE(a.weight, finding.attributions[i - 1].weight);
+      }
+      if (a.line > 0 && !a.function.empty()) has_location = true;
+    }
+    EXPECT_TRUE(has_location);
+    // CBAM spatial map rides along when multilayer attention is on.
+    EXPECT_FALSE(finding.spatial_attention.empty());
+  }
+}
+
+// The explain read-out is a pure copy of already-computed activations:
+// findings and the serialized model must be byte-identical with capture
+// on vs off.
+TEST(Explain, CaptureDoesNotPerturbInference) {
+  auto& f = fixture();
+  ASSERT_FALSE(f.vulnerable_source.empty());
+  const std::string plain_model = "introspect-test-plain.bin";
+  const std::string explain_model = "introspect-test-explain.bin";
+
+  auto plain = f.detector.detect(f.vulnerable_source);
+  f.detector.save(plain_model);
+  sc::DetectOptions options;
+  options.explain = true;
+  auto explained = f.detector.detect(f.vulnerable_source, options);
+  f.detector.save(explain_model);
+
+  ASSERT_EQ(plain.size(), explained.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].probability, explained[i].probability);  // bitwise
+    EXPECT_EQ(plain[i].line, explained[i].line);
+    EXPECT_EQ(plain[i].token, explained[i].token);
+    EXPECT_EQ(plain[i].top_tokens, explained[i].top_tokens);
+    EXPECT_TRUE(plain[i].attributions.empty());
+    EXPECT_TRUE(plain[i].spatial_attention.empty());
+    EXPECT_FALSE(explained[i].attributions.empty());
+  }
+  EXPECT_EQ(file_bytes(plain_model), file_bytes(explain_model));
+  std::remove(plain_model.c_str());
+  std::remove(explain_model.c_str());
+}
+
+TEST(Explain, AblatedAttentionYieldsNoAttributions) {
+  auto config = tiny_pipeline_config();
+  config.model.token_attention = false;      // RQ1 ablation: CNN only
+  config.model.multilayer_attention = false; // no CBAM either
+  config.train.epochs = 2;
+  sc::SeVulDet detector(config);
+  auto cases = tiny_cases();
+  detector.train(cases);
+  sc::DetectOptions options;
+  options.explain = true;
+  for (const auto& tc : cases) {
+    if (!tc.vulnerable) continue;
+    for (const auto& finding : detector.detect(tc.source, options)) {
+      EXPECT_TRUE(finding.attributions.empty());
+      EXPECT_TRUE(finding.spatial_attention.empty());
+    }
+  }
+  EXPECT_TRUE(detector.model().last_token_weights().empty());
+  EXPECT_TRUE(detector.model().last_spatial_weights().empty());
+}
+
+TEST(Explain, ExplanationsJsonRoundTrips) {
+  auto& f = fixture();
+  ASSERT_FALSE(f.vulnerable_source.empty());
+  sc::DetectOptions options;
+  options.explain = true;
+  auto findings = f.detector.detect(f.vulnerable_source, options);
+  ASSERT_FALSE(findings.empty());
+
+  const auto doc =
+      mini_json::parse(sc::explanations_to_json("case.c", findings));
+  EXPECT_DOUBLE_EQ(doc.at("schema_version").number, 1.0);
+  EXPECT_EQ(doc.at("file").str, "case.c");
+  const auto& parsed = doc.at("findings").array;
+  ASSERT_EQ(parsed.size(), findings.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].at("token").str, findings[i].token);
+    EXPECT_NEAR(parsed[i].at("probability").number, findings[i].probability,
+                1e-6);
+    const auto& attributions = parsed[i].at("attributions").array;
+    ASSERT_EQ(attributions.size(), findings[i].attributions.size());
+    EXPECT_EQ(attributions.at(0).at("original").str,
+              findings[i].attributions[0].original);
+    EXPECT_EQ(parsed[i].at("spatial_attention").array.size(),
+              findings[i].spatial_attention.size());
+  }
+}
+
+TEST(Report, QualityReportIsCompleteAndConsistent) {
+  sc::ReportConfig config;
+  config.corpus.pairs_per_category = 6;
+  config.corpus.long_fraction = 0.0;
+  config.corpus.seed = 23;
+  config.pipeline = tiny_pipeline_config();
+  auto report = sc::run_quality_report(config);
+
+  EXPECT_EQ(report.corpus_fingerprint.size(), 16u);
+  EXPECT_EQ(report.train_samples + report.test_samples, report.total_samples);
+  EXPECT_EQ(static_cast<int>(report.epoch_losses.size()),
+            config.pipeline.train.epochs);
+  EXPECT_EQ(report.epoch_accuracies.size(), report.epoch_losses.size());
+  for (float acc : report.epoch_accuracies) {
+    EXPECT_GE(acc, 0.0f);
+    EXPECT_LE(acc, 1.0f);
+  }
+  EXPECT_EQ(report.confusion.total(), report.test_samples);
+
+  // Length buckets partition the test fold; CWE rows share the clean
+  // background, so each row's negatives equal the overall negatives.
+  long long bucketed = 0;
+  for (const auto& row : report.by_length) bucketed += row.confusion.total();
+  EXPECT_EQ(bucketed, report.test_samples);
+  const long long clean = report.confusion.tn + report.confusion.fp;
+  long long cwe_positives = 0;
+  for (const auto& row : report.by_cwe) {
+    EXPECT_FALSE(row.key.empty());
+    EXPECT_EQ(row.confusion.tn + row.confusion.fp, clean);
+    cwe_positives += row.confusion.tp + row.confusion.fn;
+  }
+  EXPECT_EQ(cwe_positives, report.confusion.tp + report.confusion.fn);
+
+  EXPECT_GE(report.auc, 0.0);
+  EXPECT_LE(report.auc, 1.0);
+  long long calibrated = 0;
+  for (const auto& bin : report.calibration.bins) calibrated += bin.count;
+  EXPECT_EQ(calibrated, report.test_samples);
+
+  // The JSON side of the check_quality.py contract.
+  const auto doc = mini_json::parse(sc::report_to_json(report));
+  EXPECT_DOUBLE_EQ(doc.at("schema_version").number, 1.0);
+  EXPECT_EQ(doc.at("corpus").at("fingerprint").str, report.corpus_fingerprint);
+  EXPECT_DOUBLE_EQ(doc.at("corpus").at("test_samples").number,
+                   static_cast<double>(report.test_samples));
+  EXPECT_DOUBLE_EQ(doc.at("evaluation").at("confusion").at("tp").number,
+                   static_cast<double>(report.confusion.tp));
+  EXPECT_EQ(doc.at("evaluation").at("by_cwe").array.size(),
+            report.by_cwe.size());
+  EXPECT_EQ(doc.at("evaluation").at("by_length").array.size(),
+            report.by_length.size());
+  EXPECT_EQ(doc.at("calibration").at("bins").array.size(),
+            report.calibration.bins.size());
+  EXPECT_DOUBLE_EQ(doc.at("calibration").at("ece").number,
+                   report.calibration.ece);
+
+  // The human rendering mentions the headline numbers.
+  const std::string summary = sc::report_summary(report);
+  EXPECT_NE(summary.find(report.corpus_fingerprint), std::string::npos);
+  EXPECT_NE(summary.find("AUC="), std::string::npos);
+}
+
+TEST(Report, LengthBucketsAreStable) {
+  EXPECT_EQ(sc::length_bucket(1), "1-20");
+  EXPECT_EQ(sc::length_bucket(20), "1-20");
+  EXPECT_EQ(sc::length_bucket(21), "21-40");
+  EXPECT_EQ(sc::length_bucket(40), "21-40");
+  EXPECT_EQ(sc::length_bucket(41), "41-80");
+  EXPECT_EQ(sc::length_bucket(80), "41-80");
+  EXPECT_EQ(sc::length_bucket(81), ">80");
+}
+
+// The gadget-pipeline drop accounting: every truncate/skip reason
+// increments a named "*.drop.*" counter the report can diff.
+TEST(Report, DropCountersAccumulateOnDegenerateInput) {
+  namespace metrics = sevuldet::util::metrics;
+  metrics::reset();
+  metrics::set_enabled(true);
+  sn::normalize_text("char s = @;");  // unlexable -> whitespace fallback
+  sd::TestCase duplicate_a, duplicate_b;
+  duplicate_a.id = "dup-a";
+  duplicate_b.id = "dup-b";
+  duplicate_a.source = duplicate_b.source =
+      "void f() {\n  char buf[8];\n  strcpy(buf, \"x\");\n}\n";
+  sd::CorpusOptions options;
+  options.deduplicate = true;
+  sd::build_corpus({duplicate_a, duplicate_b}, options);
+  const auto snap = metrics::snapshot();
+  metrics::set_enabled(false);
+  metrics::reset();
+  EXPECT_EQ(snap.counters.at("normalize.drop.lex_fallback"), 1);
+  EXPECT_GE(snap.counters.at("corpus.drop.duplicate"), 1);
+}

@@ -14,7 +14,7 @@
 #include <thread>
 #include <vector>
 
-#include "mini_json.hpp"
+#include "sevuldet/util/mini_json.hpp"
 #include "sevuldet/util/thread_pool.hpp"
 
 // Global allocation counter for the disabled-fast-path test. Relaxed is
@@ -40,6 +40,7 @@ void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
 namespace {
 
 namespace metrics = sevuldet::util::metrics;
+namespace mini_json = sevuldet::util::mini_json;
 
 // The registry is process-global state; every test starts from a clean,
 // enabled registry and leaves it disabled and empty.

@@ -129,3 +129,65 @@ TEST(Vocab, DeterministicTieBreak) {
   EXPECT_EQ(v1.id("a"), v2.id("a"));
   EXPECT_EQ(v1.id("b"), v2.id("b"));
 }
+
+// --- Attention-provenance support: per-token line records and the
+// --- invertible placeholder maps (Step III round trip).
+
+TEST(Normalize, LinesRunParallelToTokens) {
+  auto out = sn::normalize_text("int a = 1;\nb = a + 2;\nreturn b;");
+  ASSERT_EQ(out.lines.size(), out.tokens.size());
+  // First token of line 1, last token of line 3; never decreasing.
+  EXPECT_EQ(out.lines.front(), 1);
+  EXPECT_EQ(out.lines.back(), 3);
+  for (std::size_t i = 1; i < out.lines.size(); ++i) {
+    EXPECT_LE(out.lines[i - 1], out.lines[i]);
+  }
+  // Spot check: "return" sits on line 3.
+  for (std::size_t i = 0; i < out.tokens.size(); ++i) {
+    if (out.tokens[i] == "return") {
+      EXPECT_EQ(out.lines[i], 3);
+    }
+  }
+}
+
+TEST(Normalize, PlaceholderRoundTripIsLossless) {
+  auto out = sn::normalize_text("process(buffer); process(other); cleanup();");
+  auto inverse = out.placeholder_to_original();
+  EXPECT_EQ(inverse.at("fun1"), "process");
+  EXPECT_EQ(inverse.at("fun2"), "cleanup");
+  EXPECT_EQ(inverse.at("var1"), "buffer");
+  EXPECT_EQ(inverse.at("var2"), "other");
+  for (const auto& [original, placeholder] : out.var_map) {
+    EXPECT_EQ(out.original_token(placeholder), original);
+  }
+  for (const auto& [original, placeholder] : out.fun_map) {
+    EXPECT_EQ(out.original_token(placeholder), original);
+  }
+  // Non-placeholders map to themselves.
+  EXPECT_EQ(out.original_token("strncpy"), "strncpy");
+  EXPECT_EQ(out.original_token("("), "(");
+}
+
+TEST(Normalize, SameNameAsVariableAndFunctionStaysInvertible) {
+  // "x" is first a variable use, then a call target: it legitimately
+  // lands in BOTH maps, with distinct placeholders. The inverse is still
+  // a function (two placeholders may share one original).
+  auto out = sn::normalize_text("x = 1; x();");
+  EXPECT_EQ(out.var_map.at("x"), "var1");
+  EXPECT_EQ(out.fun_map.at("x"), "fun1");
+  auto inverse = out.placeholder_to_original();
+  EXPECT_EQ(inverse.at("var1"), "x");
+  EXPECT_EQ(inverse.at("fun1"), "x");
+  EXPECT_EQ(out.original_token("var1"), "x");
+  EXPECT_EQ(out.original_token("fun1"), "x");
+}
+
+TEST(Normalize, LexFallbackKeepsLineProvenance) {
+  // '@' throws LexError; the whitespace fallback must still produce a
+  // parallel per-line record.
+  auto out = sn::normalize_text("int a = 1;\nchar s = @;\nreturn 0;");
+  ASSERT_FALSE(out.tokens.empty());
+  ASSERT_EQ(out.lines.size(), out.tokens.size());
+  EXPECT_EQ(out.lines.front(), 1);
+  EXPECT_EQ(out.lines.back(), 3);
+}

@@ -11,12 +11,13 @@
 #include <thread>
 #include <vector>
 
-#include "mini_json.hpp"
+#include "sevuldet/util/mini_json.hpp"
 #include "sevuldet/util/metrics.hpp"
 
 namespace {
 
 namespace trace = sevuldet::util::trace;
+namespace mini_json = sevuldet::util::mini_json;
 namespace metrics = sevuldet::util::metrics;
 
 void spin_briefly() {

@@ -24,9 +24,14 @@ Two subcommands:
       appended to --summary when given (CI points this at
       $GITHUB_STEP_SUMMARY).
 
-  validate FILE [--require-spans a,b,c]
+  validate FILE [--require-spans a,b,c] [--spans-manifest FILE]
       Check that FILE is a schema-valid metrics snapshot and that each
-      required span has a "span.<name>" histogram with count > 0.
+      required span has a "span.<name>" histogram with count > 0. The
+      span list comes from --require-spans (comma-separated, ad-hoc
+      runs) and/or --spans-manifest (a committed JSON file with a
+      "spans" array, e.g. bench/SPANS_manifest.json — the single source
+      of truth for CI, so adding a pipeline phase means updating the
+      manifest instead of a workflow command line).
 
 Benchmarks present on only one side are reported but never fail the
 gate, so adding a benchmark does not require touching the baseline in
@@ -195,8 +200,23 @@ def cmd_compare(args):
     return 0
 
 
+def required_spans(args):
+    """Union of --require-spans and the --spans-manifest file, in order."""
+    spans = [s for s in (args.require_spans or "").split(",") if s]
+    if args.spans_manifest:
+        manifest = load(args.spans_manifest)
+        listed = manifest.get("spans")
+        if not isinstance(listed, list) or not all(
+                isinstance(s, str) for s in listed):
+            raise SystemExit(
+                f"FAIL: {args.spans_manifest}: 'spans' must be a string array")
+        spans.extend(s for s in listed if s not in spans)
+    return spans
+
+
 def cmd_validate(args):
     doc = load(args.file)
+    spans = required_spans(args)
     errors = []
     if doc.get("schema_version") != 1:
         errors.append(f"schema_version is {doc.get('schema_version')!r}, want 1")
@@ -204,7 +224,7 @@ def cmd_validate(args):
         if not isinstance(doc.get(section), dict):
             errors.append(f"missing section {section!r}")
     histograms = doc.get("histograms", {})
-    for span in [s for s in (args.require_spans or "").split(",") if s]:
+    for span in spans:
         h = histograms.get(f"span.{span}")
         if h is None:
             errors.append(f"no span.{span} histogram")
@@ -217,7 +237,7 @@ def cmd_validate(args):
             print(f"FAIL: {args.file}: {e}", file=sys.stderr)
         return 1
     print(f"{args.file}: valid metrics snapshot"
-          + (f", spans ok ({args.require_spans})" if args.require_spans else ""))
+          + (f", spans ok ({','.join(spans)})" if spans else ""))
     return 0
 
 
@@ -236,6 +256,8 @@ def main():
     validate.add_argument("file")
     validate.add_argument("--require-spans", default="",
                           help="comma-separated span names that must have data")
+    validate.add_argument("--spans-manifest", default="",
+                          help="JSON file with a 'spans' array of required span names")
     validate.set_defaults(func=cmd_validate)
     args = parser.parse_args()
     return args.func(args)

@@ -1,0 +1,354 @@
+#!/usr/bin/env python3
+"""Model-quality gate and report renderer over `sevuldet report` JSON.
+
+Two subcommands:
+
+  gate BASELINE CURRENT [--f1-slack 0.05] [--auc-slack 0.05] [--summary FILE]
+      Compare a freshly measured quality report against the committed
+      baseline (bench/QUALITY_baseline.json) and exit 1 on degradation.
+      Two kinds of rules, matching what is and is not deterministic
+      across machines:
+        - exact: the corpus fingerprint (content-addressed, identical on
+          every machine for the same config) and the sample counts. Any
+          mismatch means the gate measured a different corpus than the
+          baseline, which would make the float comparison meaningless.
+        - floors: held-out F1 and ROC AUC must stay within the slack of
+          the baseline (training is deterministic per machine but libm
+          differences drift the floats across toolchains, so equality
+          would be flaky). Improvements never fail the gate; re-record
+          the baseline to ratchet.
+      ECE and the per-breakdown rows are reported as informational.
+
+  render REPORT [--out FILE.md] [--html FILE.html]
+      Render the JSON report as GitHub-flavored markdown (stdout or
+      --out) and/or a self-contained HTML page (inline CSS + SVG charts,
+      no external assets) for CI artifact upload.
+
+The JSON contract is core/introspect.hpp (kReportSchemaVersion).
+"""
+
+import argparse
+import html
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise SystemExit(
+            f"FAIL: {path}: schema_version {doc.get('schema_version')!r}, "
+            f"want {SCHEMA_VERSION}")
+    return doc
+
+
+def pct(x):
+    return f"{100.0 * x:.1f}%"
+
+
+class Gate:
+    """Accumulates comparison rows and the overall pass/fail verdict."""
+
+    def __init__(self):
+        self.rows = []
+        self.failed = False
+
+    def check(self, name, baseline, current, rule, ok):
+        if not ok:
+            self.failed = True
+        self.rows.append((name, baseline, current, rule, "ok" if ok else "FAIL"))
+
+    def note(self, name, baseline, current, rule):
+        self.rows.append((name, baseline, current, rule, "info"))
+
+    def table(self):
+        lines = [
+            "| metric | baseline | current | rule | verdict |",
+            "|---|---|---|---|---|",
+        ]
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        return "\n".join(lines)
+
+
+def cmd_gate(args):
+    base, cur = load(args.baseline), load(args.current)
+    gate = Gate()
+
+    # Exact rules: same corpus or the comparison is meaningless.
+    for key in ("fingerprint", "total_samples", "vulnerable_samples",
+                "train_samples", "test_samples"):
+        bval = base["corpus"].get(key)
+        cval = cur["corpus"].get(key)
+        gate.check(f"corpus.{key}", bval, cval, "exact match", bval == cval)
+
+    # Floors with slack: quality must not degrade.
+    bf1 = base["evaluation"]["confusion"]["f1"]
+    cf1 = cur["evaluation"]["confusion"]["f1"]
+    gate.check("f1", f"{bf1:.4f}", f"{cf1:.4f}",
+               f"f1 >= base - {args.f1_slack}", cf1 >= bf1 - args.f1_slack)
+    bauc = base["evaluation"]["auc"]
+    cauc = cur["evaluation"]["auc"]
+    gate.check("auc", f"{bauc:.4f}", f"{cauc:.4f}",
+               f"auc >= base - {args.auc_slack}", cauc >= bauc - args.auc_slack)
+
+    # Informational: calibration and the drop accounting. Drops are
+    # deterministic but legitimately change when the pipeline changes;
+    # surfacing them in the table makes an accidental change visible in
+    # review without blocking it.
+    gate.note("ece", f"{base['calibration']['ece']:.4f}",
+              f"{cur['calibration']['ece']:.4f}", "informational")
+    for name in sorted(set(base.get("drops", {})) | set(cur.get("drops", {}))):
+        gate.note(f"drops.{name}", base.get("drops", {}).get(name, 0),
+                  cur.get("drops", {}).get(name, 0), "informational")
+
+    table = f"### quality gate: {args.baseline} vs {args.current}\n\n{gate.table()}\n"
+    print(table)
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as f:
+            f.write(table + "\n")
+    if gate.failed:
+        print("FAIL: quality gate: degradation against baseline", file=sys.stderr)
+        return 1
+    print("quality gate: ok")
+    return 0
+
+
+# ---------------------------------------------------------------- render
+
+def confusion_row(c):
+    return [c["tp"], c["fp"], c["tn"], c["fn"],
+            pct(c["precision"]), pct(c["recall"]), pct(c["f1"])]
+
+
+def md_table(header, rows):
+    lines = ["| " + " | ".join(str(h) for h in header) + " |",
+             "|" + "---|" * len(header)]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown(doc):
+    corpus = doc["corpus"]
+    training = doc["training"]
+    evaluation = doc["evaluation"]
+    confusion = evaluation["confusion"]
+    calibration = doc["calibration"]
+
+    out = ["# SEVulDet quality report", ""]
+    out.append(f"Corpus `{corpus['fingerprint']}`: "
+               f"{corpus['total_samples']} gadgets "
+               f"({corpus['vulnerable_samples']} vulnerable), "
+               f"{corpus['train_samples']} train / "
+               f"{corpus['test_samples']} test "
+               f"(trained in {training['seconds']:.1f}s).")
+    out.append("")
+
+    out.append("## Training curve")
+    out.append("")
+    epochs = range(1, len(training["epoch_losses"]) + 1)
+    out.append(md_table(
+        ["epoch", "loss", "accuracy"],
+        [[e, f"{loss:.4f}", pct(acc)] for e, loss, acc in
+         zip(epochs, training["epoch_losses"], training["epoch_accuracies"])]))
+    out.append("")
+
+    out.append("## Held-out fold")
+    out.append("")
+    out.append(md_table(["TP", "FP", "TN", "FN", "P", "R", "F1"],
+                        [confusion_row(confusion)]))
+    out.append("")
+    out.append(f"Accuracy {pct(confusion['accuracy'])}, "
+               f"FPR {pct(evaluation['fpr'])}, "
+               f"FNR {pct(evaluation['fnr'])}, "
+               f"ROC AUC {evaluation['auc']:.3f}, "
+               f"ECE {calibration['ece']:.3f}.")
+    out.append("")
+
+    out.append("## Per-CWE breakdown")
+    out.append("")
+    out.append("Each row scores one flaw class against the shared clean "
+               "background, so TN/FP repeat across rows.")
+    out.append("")
+    out.append(md_table(["CWE", "TP", "FP", "TN", "FN", "P", "R", "F1"],
+                        [[r["key"]] + confusion_row(r)
+                         for r in evaluation["by_cwe"]]))
+    out.append("")
+
+    out.append("## Per-gadget-length breakdown")
+    out.append("")
+    out.append(md_table(["tokens", "TP", "FP", "TN", "FN", "P", "R", "F1"],
+                        [[r["key"]] + confusion_row(r)
+                         for r in evaluation["by_length"]]))
+    out.append("")
+
+    out.append("## Calibration (reliability table)")
+    out.append("")
+    out.append(md_table(
+        ["bin", "count", "confidence", "vulnerable"],
+        [[f"{b['lower']:.1f}-{b['upper']:.1f}", b["count"],
+          pct(b["mean_probability"]), pct(b["frac_positive"])]
+         for b in calibration["bins"]]))
+    out.append("")
+
+    out.append("## Pipeline drop accounting")
+    out.append("")
+    drops = doc.get("drops", {})
+    if drops:
+        out.append(md_table(["counter", "count"], sorted(drops.items())))
+    else:
+        out.append("No gadgets were dropped or truncated during this run.")
+    out.append("")
+    return "\n".join(out)
+
+
+def svg_bars(pairs, width=560, height=160, color="#4c78a8"):
+    """Inline SVG bar chart for (label, value-in-[0,1]) pairs."""
+    if not pairs:
+        return ""
+    n = len(pairs)
+    pad, label_h = 4, 18
+    bar_w = (width - pad * (n + 1)) / n
+    parts = [f'<svg width="{width}" height="{height + label_h}" '
+             f'xmlns="http://www.w3.org/2000/svg">']
+    for i, (label, value) in enumerate(pairs):
+        v = max(0.0, min(1.0, float(value)))
+        x = pad + i * (bar_w + pad)
+        h = v * (height - 20)
+        parts.append(f'<rect x="{x:.1f}" y="{height - h:.1f}" '
+                     f'width="{bar_w:.1f}" height="{h:.1f}" fill="{color}"/>')
+        parts.append(f'<text x="{x + bar_w / 2:.1f}" y="{height + 12}" '
+                     f'font-size="9" text-anchor="middle">'
+                     f'{html.escape(str(label))}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+HTML_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
+       max-width: 52em; color: #24292f; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #d0d7de; padding: 4px 10px; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { background: #f6f8fa; }
+code { background: #f6f8fa; padding: 1px 4px; border-radius: 4px; }
+h1, h2 { border-bottom: 1px solid #d0d7de; padding-bottom: 0.2em; }
+p.note { color: #57606a; font-size: 0.9em; }
+"""
+
+
+def html_table(header, rows):
+    out = ["<table><tr>" + "".join(f"<th>{html.escape(str(h))}</th>"
+                                   for h in header) + "</tr>"]
+    for row in rows:
+        out.append("<tr>" + "".join(f"<td>{html.escape(str(c))}</td>"
+                                    for c in row) + "</tr>")
+    out.append("</table>")
+    return "\n".join(out)
+
+
+def render_html(doc):
+    corpus = doc["corpus"]
+    training = doc["training"]
+    evaluation = doc["evaluation"]
+    confusion = evaluation["confusion"]
+    calibration = doc["calibration"]
+
+    epochs = range(1, len(training["epoch_losses"]) + 1)
+    max_loss = max(training["epoch_losses"], default=1.0) or 1.0
+    out = ["<!DOCTYPE html><html><head><meta charset='utf-8'>",
+           "<title>SEVulDet quality report</title>",
+           f"<style>{HTML_CSS}</style></head><body>",
+           "<h1>SEVulDet quality report</h1>",
+           f"<p>Corpus <code>{html.escape(corpus['fingerprint'])}</code>: "
+           f"{corpus['total_samples']} gadgets "
+           f"({corpus['vulnerable_samples']} vulnerable), "
+           f"{corpus['train_samples']} train / {corpus['test_samples']} test "
+           f"(trained in {training['seconds']:.1f}s).</p>",
+           "<h2>Training curve</h2>",
+           html_table(["epoch", "loss", "accuracy"],
+                      [[e, f"{loss:.4f}", pct(acc)] for e, loss, acc in
+                       zip(epochs, training["epoch_losses"],
+                           training["epoch_accuracies"])]),
+           "<p class='note'>Loss per epoch (scaled to the first epoch):</p>",
+           svg_bars([(e, loss / max_loss) for e, loss in
+                     zip(epochs, training["epoch_losses"])], width=280),
+           "<h2>Held-out fold</h2>",
+           html_table(["TP", "FP", "TN", "FN", "P", "R", "F1"],
+                      [confusion_row(confusion)]),
+           f"<p>Accuracy {pct(confusion['accuracy'])}, "
+           f"FPR {pct(evaluation['fpr'])}, FNR {pct(evaluation['fnr'])}, "
+           f"ROC AUC {evaluation['auc']:.3f}, "
+           f"ECE {calibration['ece']:.3f}.</p>",
+           "<h2>Per-CWE breakdown</h2>",
+           "<p class='note'>Each row scores one flaw class against the "
+           "shared clean background, so TN/FP repeat across rows.</p>",
+           html_table(["CWE", "TP", "FP", "TN", "FN", "P", "R", "F1"],
+                      [[r["key"]] + confusion_row(r)
+                       for r in evaluation["by_cwe"]]),
+           "<h2>Per-gadget-length breakdown</h2>",
+           html_table(["tokens", "TP", "FP", "TN", "FN", "P", "R", "F1"],
+                      [[r["key"]] + confusion_row(r)
+                       for r in evaluation["by_length"]]),
+           "<h2>Calibration</h2>",
+           html_table(["bin", "count", "confidence", "vulnerable"],
+                      [[f"{b['lower']:.1f}-{b['upper']:.1f}", b["count"],
+                        pct(b["mean_probability"]), pct(b["frac_positive"])]
+                       for b in calibration["bins"]]),
+           "<p class='note'>Empirical vulnerable fraction per confidence "
+           "bin (a calibrated model climbs the diagonal):</p>",
+           svg_bars([(f"{b['lower']:.1f}", b["frac_positive"])
+                     for b in calibration["bins"]]),
+           "<h2>Pipeline drop accounting</h2>"]
+    drops = doc.get("drops", {})
+    if drops:
+        out.append(html_table(["counter", "count"], sorted(drops.items())))
+    else:
+        out.append("<p>No gadgets were dropped or truncated during this "
+                   "run.</p>")
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def cmd_render(args):
+    doc = load(args.report)
+    markdown = render_markdown(doc)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(markdown + "\n")
+    else:
+        print(markdown)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as f:
+            f.write(render_html(doc) + "\n")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    gate = sub.add_parser("gate", help="gate CURRENT against BASELINE")
+    gate.add_argument("baseline")
+    gate.add_argument("current")
+    gate.add_argument("--f1-slack", type=float, default=0.05,
+                      help="allowed F1 drop below baseline (default 0.05)")
+    gate.add_argument("--auc-slack", type=float, default=0.05,
+                      help="allowed AUC drop below baseline (default 0.05)")
+    gate.add_argument("--summary", default="",
+                      help="append the markdown table to this file")
+    gate.set_defaults(func=cmd_gate)
+    render = sub.add_parser("render", help="render a report as markdown/HTML")
+    render.add_argument("report")
+    render.add_argument("--out", default="", help="write markdown here")
+    render.add_argument("--html", default="", help="write standalone HTML here")
+    render.set_defaults(func=cmd_render)
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
