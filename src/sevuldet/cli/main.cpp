@@ -22,11 +22,19 @@
 //       Train + evaluate on the synthetic corpus and print the quality
 //       report (confusion, per-CWE/per-length F1, calibration, drops);
 //       --json writes the machine-readable form for check_quality.py.
+//   sevuldet serve --model model.bin --socket /tmp/sevuldet.sock
+//       Long-lived scan daemon: loads the model once and serves scan /
+//       explain / report-status / shutdown requests over a Unix socket,
+//       micro-batching gadgets across concurrent requests.
+//   sevuldet shutdown --socket /tmp/sevuldet.sock
+//       Drain and stop a running daemon.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "sevuldet/baselines/fuzzer.hpp"
 #include "sevuldet/core/introspect.hpp"
@@ -35,6 +43,8 @@
 #include "sevuldet/dataset/sard_generator.hpp"
 #include "sevuldet/frontend/parser.hpp"
 #include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/serve/client.hpp"
+#include "sevuldet/serve/server.hpp"
 #include "sevuldet/slicer/gadget.hpp"
 #include "sevuldet/util/metrics.hpp"
 #include "sevuldet/util/strings.hpp"
@@ -50,7 +60,7 @@ int usage() {
                "usage:\n"
                "  sevuldet selftrain --out MODEL [--pairs N] [--epochs N]\n"
                "                     [--corpus-cache DIR]\n"
-               "  sevuldet scan FILE.c --model MODEL\n"
+               "  sevuldet scan FILE.c --model MODEL [--daemon SOCK]\n"
                "  sevuldet gadgets FILE.c [--plain]\n"
                "  sevuldet fuzz FILE.c [--execs N]\n"
                "  sevuldet train --dir DIR [--manifest TSV] --out MODEL\n"
@@ -58,6 +68,14 @@ int usage() {
                "  sevuldet explain FILE.c --model MODEL [--json FILE]\n"
                "                  [--top N]\n"
                "  sevuldet report [--json FILE] [--pairs N] [--epochs N]\n"
+               "  sevuldet serve --model MODEL --socket SOCK [--threads N]\n"
+               "                 [--queue-depth N] [--batch N]\n"
+               "                 [--batch-window MS] [--deadline MS]\n"
+               "  sevuldet shutdown --socket SOCK\n"
+               "\n"
+               "  scan --daemon SOCK sends the file to a running serve\n"
+               "  daemon (same findings, model stays loaded); when no daemon\n"
+               "  is listening the scan silently falls back to in-process.\n"
                "\n"
                "  selftrain/train/scan accept --threads N (0 = all cores) to\n"
                "  parallelize preprocessing and detection; results are\n"
@@ -144,27 +162,14 @@ int cmd_selftrain(int argc, char** argv) {
   return 0;
 }
 
-int cmd_scan(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const char* model_path = arg_value(argc, argv, "--model");
-  if (model_path == nullptr) return usage();
-  const std::string source = read_file(argv[0]);
-
-  core::PipelineConfig config;
-  config.model.embed_dim = 24;
-  config.model.conv_channels = 16;
-  apply_thread_flags(argc, argv, config);
-  core::SeVulDet detector(config);
-  detector.load(model_path);
-
-  auto findings = detector.detect(source);
+int print_findings(const char* path, const std::vector<core::Finding>& findings) {
   if (findings.empty()) {
-    std::printf("%s: no findings\n", argv[0]);
+    std::printf("%s: no findings\n", path);
     return 0;
   }
   for (const auto& finding : findings) {
-    std::printf("%s:%d: [%s] suspicious %s '%s' (p=%.3f)\n", argv[0],
-                finding.line, slicer::category_name(finding.category),
+    std::printf("%s:%d: [%s] suspicious %s '%s' (p=%.3f)\n", path, finding.line,
+                slicer::category_name(finding.category),
                 finding.category == slicer::TokenCategory::FunctionCall
                     ? "call to"
                     : "use of",
@@ -176,6 +181,92 @@ int cmd_scan(int argc, char** argv) {
     std::printf("\n");
   }
   return 1;  // findings found => nonzero, CI-friendly
+}
+
+int cmd_scan(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string source = read_file(argv[0]);
+
+  // Daemon mode: ship the file to a running `sevuldet serve` (the model
+  // stays loaded there — no per-scan load cost). Falls back to the
+  // in-process path below when nobody is listening on the socket.
+  if (const char* sock = arg_value(argc, argv, "--daemon")) {
+    auto client = serve::Client::connect(sock);
+    if (client.has_value()) {
+      return print_findings(argv[0], client->scan(source));
+    }
+    std::fprintf(stderr, "no daemon at %s; scanning in-process\n", sock);
+  }
+
+  const char* model_path = arg_value(argc, argv, "--model");
+  if (model_path == nullptr) return usage();
+  core::PipelineConfig config;
+  config.model.embed_dim = 24;
+  config.model.conv_channels = 16;
+  apply_thread_flags(argc, argv, config);
+  core::SeVulDet detector(config);
+  detector.load(model_path);
+
+  return print_findings(argv[0], detector.detect(source));
+}
+
+int cmd_serve(int argc, char** argv) {
+  const char* model_path = arg_value(argc, argv, "--model");
+  const char* socket_path = arg_value(argc, argv, "--socket");
+  if (model_path == nullptr || socket_path == nullptr) return usage();
+
+  core::PipelineConfig config;
+  config.model.embed_dim = 24;
+  config.model.conv_channels = 16;
+  apply_thread_flags(argc, argv, config);
+  core::SeVulDet detector(config);
+  detector.load(model_path);
+
+  serve::ServeOptions options;
+  options.socket_path = socket_path;
+  if (const char* threads = arg_value(argc, argv, "--threads")) {
+    options.threads = std::atoi(threads);
+    if (options.threads <= 0) {  // 0 = all cores, same as the other commands
+      options.threads =
+          std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    }
+  }
+  if (const char* depth = arg_value(argc, argv, "--queue-depth")) {
+    options.queue_depth = std::atoi(depth);
+  }
+  if (const char* batch = arg_value(argc, argv, "--batch")) {
+    options.max_batch = std::atoi(batch);
+  }
+  if (const char* window = arg_value(argc, argv, "--batch-window")) {
+    options.batch_window_ms = std::atof(window);
+  }
+  if (const char* deadline = arg_value(argc, argv, "--deadline")) {
+    options.default_deadline_ms = std::atof(deadline);
+  }
+
+  serve::Server server(detector, options);
+  std::printf("serving on %s (%d worker(s), queue depth %d, batch %d/%.1fms)\n",
+              socket_path, options.threads, options.queue_depth,
+              options.max_batch, options.batch_window_ms);
+  std::fflush(stdout);
+  server.run();
+  std::printf("shutdown complete: %s\n", server.status_json().c_str());
+  return 0;
+}
+
+/// Ask a running daemon to drain and exit (the clean stop CI uses, so
+/// the daemon's own --metrics-out/--trace-out snapshots get written).
+int cmd_shutdown(int argc, char** argv) {
+  const char* socket_path = arg_value(argc, argv, "--socket");
+  if (socket_path == nullptr) return usage();
+  auto client = serve::Client::connect(socket_path);
+  if (!client.has_value()) {
+    std::fprintf(stderr, "no daemon at %s\n", socket_path);
+    return 1;
+  }
+  client->shutdown();
+  std::printf("daemon at %s is shutting down\n", socket_path);
+  return 0;
 }
 
 int cmd_gadgets(int argc, char** argv) {
@@ -383,6 +474,8 @@ int main(int argc, char** argv) {
     if (command == "export-corpus") return cmd_export_corpus(argc - 2, argv + 2);
     if (command == "explain") return cmd_explain(argc - 2, argv + 2);
     if (command == "report") return cmd_report(argc - 2, argv + 2);
+    if (command == "serve") return cmd_serve(argc - 2, argv + 2);
+    if (command == "shutdown") return cmd_shutdown(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;

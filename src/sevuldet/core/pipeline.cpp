@@ -115,7 +115,76 @@ std::vector<TokenAttribution> attention_attributions(
   return out;
 }
 
+/// Steps I-III + encoding for one special token; nullopt (with the
+/// matching detect.drop.* counter) when the gadget is empty.
+std::optional<PreparedGadget> prepare_token(
+    const graph::ProgramGraph& program, const slicer::SpecialToken& token,
+    const slicer::GadgetOptions& gadget_options,
+    const normalize::Vocabulary& vocab) {
+  PreparedGadget prepared;
+  prepared.token = token;
+  prepared.gadget = slicer::generate_gadget(program, token, gadget_options);
+  if (prepared.gadget.lines.empty()) {
+    util::metrics::counter_add("detect.drop.empty_gadget");
+    return std::nullopt;
+  }
+  prepared.norm = normalize::normalize_gadget(prepared.gadget);
+  if (prepared.norm.tokens.empty()) {
+    util::metrics::counter_add("detect.drop.empty_tokens");
+    return std::nullopt;
+  }
+  prepared.ids = vocab.encode(prepared.norm.tokens);
+  return prepared;
+}
+
 }  // namespace
+
+std::vector<PreparedGadget> SeVulDet::prepare(const std::string& source) const {
+  if (!trained()) throw std::logic_error("SeVulDet::prepare before train/load");
+  graph::ProgramGraph program = graph::build_program_graph(source);
+  const std::vector<slicer::SpecialToken> tokens =
+      slicer::find_special_tokens(program);
+  std::vector<PreparedGadget> prepared;
+  prepared.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    if (auto p = prepare_token(program, token, config_.corpus.gadget, vocab_)) {
+      prepared.push_back(std::move(*p));
+    }
+  }
+  return prepared;
+}
+
+std::optional<Finding> SeVulDet::finding_from_prediction(
+    const PreparedGadget& prepared, const models::Prediction& prediction,
+    const DetectOptions& options) const {
+  if (prediction.probability <= config_.model.threshold) {
+    util::metrics::counter_add("detect.drop.below_threshold");
+    return std::nullopt;
+  }
+  Finding finding;
+  finding.function = prepared.token.function;
+  finding.line = prepared.token.line;
+  finding.category = prepared.token.category;
+  finding.token = prepared.token.text;
+  finding.probability = prediction.probability;
+  finding.top_tokens = top_attention_tokens(prediction.token_weights,
+                                            prepared.norm.tokens, options.top_k);
+  if (options.explain) {
+    util::trace::ScopedSpan explain_span("detect.explain");
+    finding.attributions = attention_attributions(
+        prediction.token_weights, prepared.norm, prepared.gadget, options.top_k);
+    finding.spatial_attention = prediction.spatial_weights;
+    util::metrics::counter_add("detect.explained");
+  }
+  return finding;
+}
+
+void SeVulDet::sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.probability > b.probability;
+            });
+}
 
 std::vector<Finding> SeVulDet::detect(const std::string& source,
                                       const DetectOptions& options) {
@@ -131,41 +200,13 @@ std::vector<Finding> SeVulDet::detect(const std::string& source,
   // change the result — only which thread it runs on.
   auto process = [&](models::SeVulDetNet& model, nn::Graph& graph,
                      const slicer::SpecialToken& token) -> std::optional<Finding> {
-    slicer::CodeGadget gadget =
-        slicer::generate_gadget(program, token, config_.corpus.gadget);
-    if (gadget.lines.empty()) {
-      util::metrics::counter_add("detect.drop.empty_gadget");
-      return std::nullopt;
-    }
-    normalize::NormalizedGadget norm = normalize::normalize_gadget(gadget);
-    if (norm.tokens.empty()) {
-      util::metrics::counter_add("detect.drop.empty_tokens");
-      return std::nullopt;
-    }
-    std::vector<int> ids = vocab_.encode(norm.tokens);
+    std::optional<PreparedGadget> prepared =
+        prepare_token(program, token, config_.corpus.gadget, vocab_);
+    if (!prepared.has_value()) return std::nullopt;
     nn::GraphScope scope(graph);
-    const float probability = model.predict(ids);
-    if (probability <= config_.model.threshold) {
-      util::metrics::counter_add("detect.drop.below_threshold");
-      return std::nullopt;
-    }
-
-    Finding finding;
-    finding.function = token.function;
-    finding.line = token.line;
-    finding.category = token.category;
-    finding.token = token.text;
-    finding.probability = probability;
-    finding.top_tokens = top_attention_tokens(model.last_token_weights(),
-                                              norm.tokens, options.top_k);
-    if (options.explain) {
-      util::trace::ScopedSpan explain_span("detect.explain");
-      finding.attributions = attention_attributions(
-          model.last_token_weights(), norm, gadget, options.top_k);
-      finding.spatial_attention = model.last_spatial_weights();
-      util::metrics::counter_add("detect.explained");
-    }
-    return finding;
+    const models::Prediction prediction =
+        model.predict_captured(prepared->ids, options.explain);
+    return finding_from_prediction(*prepared, prediction, options);
   };
 
   const int threads = util::resolve_threads(config_.corpus.threads);
@@ -197,9 +238,7 @@ std::vector<Finding> SeVulDet::detect(const std::string& source,
   util::metrics::counter_add("detect.calls");
   util::metrics::counter_add("detect.findings",
                              static_cast<long long>(findings.size()));
-  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
-    return a.probability > b.probability;
-  });
+  sort_findings(findings);
   return findings;
 }
 

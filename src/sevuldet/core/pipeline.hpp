@@ -18,6 +18,7 @@
 #include "sevuldet/dataset/testcase.hpp"
 #include "sevuldet/models/sevuldet_net.hpp"
 #include "sevuldet/nn/word2vec.hpp"
+#include "sevuldet/normalize/normalize.hpp"
 
 namespace sevuldet::core {
 
@@ -66,6 +67,19 @@ struct DetectOptions {
   bool explain = false; // fill Finding::attributions/spatial_attention
 };
 
+/// One sliced + normalized + encoded gadget of a scan, ready for
+/// (possibly micro-batched) inference. The serve daemon prepares
+/// gadgets on its request workers, ships `ids` through the cross-request
+/// batcher, and assembles Findings from the returned predictions with
+/// finding_from_prediction() — the exact helpers detect() itself runs,
+/// so a daemon scan is byte-identical to an in-process one.
+struct PreparedGadget {
+  slicer::SpecialToken token;
+  slicer::CodeGadget gadget;
+  normalize::NormalizedGadget norm;
+  std::vector<int> ids;
+};
+
 class SeVulDet {
  public:
   explicit SeVulDet(PipelineConfig config);
@@ -94,6 +108,27 @@ class SeVulDet {
 
   /// Probability for a single pre-encoded gadget (used by evaluation).
   float predict(const std::vector<int>& ids) { return model_->predict(ids); }
+
+  /// Detection-phase preprocessing only (Steps I-III + encoding): slice
+  /// every special token of `source`, normalize, and encode against the
+  /// loaded vocabulary. Gadgets that detect() would drop (empty gadget /
+  /// empty token stream) are dropped here too, with the same
+  /// `detect.drop.*` counters. Serial; the serve daemon gets its
+  /// parallelism across requests instead of within one.
+  std::vector<PreparedGadget> prepare(const std::string& source) const;
+
+  /// Second half of detect() for one prepared gadget: threshold check
+  /// (with the detect.drop.below_threshold counter), attention top-k,
+  /// and — when `options.explain` — line-level attributions and the
+  /// CBAM spatial map out of the captured prediction. Returns nullopt
+  /// below threshold. Used by detect() and the serve daemon alike.
+  std::optional<Finding> finding_from_prediction(
+      const PreparedGadget& prepared, const models::Prediction& prediction,
+      const DetectOptions& options) const;
+
+  /// detect()'s final ordering: probability-descending. Exposed so the
+  /// daemon sorts its per-request findings identically.
+  static void sort_findings(std::vector<Finding>& findings);
 
   models::SeVulDetNet& model() { return *model_; }
   const normalize::Vocabulary& vocab() const { return vocab_; }

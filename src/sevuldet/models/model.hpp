@@ -42,6 +42,18 @@ struct ModelConfig {
   std::uint64_t seed = 42;
 };
 
+/// One eval-mode forward pass with its attention read-outs captured at
+/// forward time. This is the unit the serve-daemon micro-batcher ships
+/// between threads: the model's last_*_weights() accessors are only
+/// valid until the next forward pass on that instance, so batched
+/// inference must copy them out per item (a pure read-out — scores are
+/// identical to calling predict()).
+struct Prediction {
+  float probability = 0.0f;
+  std::vector<float> token_weights;    // α_i per input token (may be empty)
+  std::vector<float> spatial_weights;  // CBAM Ms, filled only on request
+};
+
 /// Abstract detector.
 class Detector {
  public:

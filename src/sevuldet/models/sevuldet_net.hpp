@@ -30,6 +30,16 @@ class SeVulDetNet : public Detector {
   /// multilayer attention is disabled.
   const std::vector<float>& last_spatial_weights() const;
 
+  /// predict() plus a copy of the attention read-outs taken immediately
+  /// after the forward pass. The batched serve path scores gadgets on a
+  /// different thread than the one assembling findings, so the weights
+  /// must travel with the probability instead of being read back later
+  /// through last_*_weights(). `capture_spatial` additionally copies the
+  /// CBAM map (explain requests only — it is the largest of the three).
+  /// The probability is bit-identical to predict(tokens).
+  Prediction predict_captured(const std::vector<int>& tokens,
+                              bool capture_spatial = false);
+
   /// Concrete deep copy (keeps access to last_token_weights()).
   std::unique_ptr<SeVulDetNet> clone_net() const;
   std::unique_ptr<Detector> clone() const override { return clone_net(); }

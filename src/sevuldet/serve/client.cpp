@@ -1,0 +1,59 @@
+#include "sevuldet/serve/client.hpp"
+
+#include <utility>
+
+namespace sevuldet::serve {
+
+std::optional<Client> Client::connect(const std::string& socket_path) {
+  std::optional<util::UnixStream> stream = util::UnixStream::connect(socket_path);
+  if (!stream.has_value()) return std::nullopt;
+  return Client(std::move(*stream));
+}
+
+Response Client::roundtrip(Request request, int timeout_ms) {
+  if (request.id == 0) request.id = next_id_++;
+  stream_.send_frame(request_to_json(request));
+  std::optional<std::string> payload =
+      stream_.recv_frame(util::kDefaultMaxFrameBytes, timeout_ms);
+  if (!payload.has_value()) {
+    throw std::runtime_error("daemon closed the connection without replying");
+  }
+  return parse_response(*payload);
+}
+
+std::vector<core::Finding> Client::scan(const std::string& source, int top_k,
+                                        bool explain, double deadline_ms,
+                                        int timeout_ms) {
+  Request request;
+  request.op = explain ? Op::Explain : Op::Scan;
+  request.source = source;
+  request.top_k = top_k;
+  request.deadline_ms = deadline_ms;
+  Response response = roundtrip(std::move(request), timeout_ms);
+  if (response.error.has_value()) {
+    throw DaemonError(response.error->code, response.error->message);
+  }
+  if (!response.ok) throw std::runtime_error("daemon replied ok=false");
+  return std::move(response.findings);
+}
+
+std::string Client::report_status(int timeout_ms) {
+  Request request;
+  request.op = Op::ReportStatus;
+  Response response = roundtrip(std::move(request), timeout_ms);
+  if (response.error.has_value()) {
+    throw DaemonError(response.error->code, response.error->message);
+  }
+  return std::move(response.status_json);
+}
+
+void Client::shutdown(int timeout_ms) {
+  Request request;
+  request.op = Op::Shutdown;
+  Response response = roundtrip(std::move(request), timeout_ms);
+  if (response.error.has_value()) {
+    throw DaemonError(response.error->code, response.error->message);
+  }
+}
+
+}  // namespace sevuldet::serve

@@ -1,0 +1,72 @@
+// Client side of the serve protocol: connect to a daemon's socket,
+// exchange one framed JSON request for one framed JSON response. Used
+// by `sevuldet scan --daemon`, the serve tests, and bench/micro_serve.
+//
+// connect() returns nullopt when nobody is listening (stale socket file
+// or no daemon), which is the client-mode probe: the CLI falls back to
+// an in-process scan instead of failing. A typed error response
+// (queue_full, deadline_exceeded, ...) is surfaced as a DaemonError
+// carrying the ErrorCode, so callers can distinguish backpressure from
+// hard failures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sevuldet/serve/protocol.hpp"
+#include "sevuldet/util/socket.hpp"
+
+namespace sevuldet::serve {
+
+/// A daemon replied with a typed error response.
+class DaemonError : public std::runtime_error {
+ public:
+  DaemonError(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " + message),
+        code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class Client {
+ public:
+  /// Connect to a daemon at `socket_path`. Returns nullopt when no
+  /// daemon is listening there; throws SocketError on other failures.
+  static std::optional<Client> connect(const std::string& socket_path);
+
+  /// One request -> one response over the connection. Throws
+  /// FrameError/SocketError on transport failure and runtime_error when
+  /// the daemon closes without replying. Does NOT throw on a typed
+  /// error response — callers that want findings use scan().
+  Response roundtrip(Request request, int timeout_ms = 60000);
+
+  /// Scan (or explain) `source`; returns the daemon's findings — byte-
+  /// identical to an in-process detect() with the same options. Throws
+  /// DaemonError on a typed error response. `deadline_ms` < 0 uses the
+  /// server default.
+  std::vector<core::Finding> scan(const std::string& source, int top_k = 10,
+                                  bool explain = false,
+                                  double deadline_ms = -1.0,
+                                  int timeout_ms = 60000);
+
+  /// The daemon's status object as raw JSON.
+  std::string report_status(int timeout_ms = 60000);
+
+  /// Ask the daemon to drain and exit; returns once the ack arrives.
+  void shutdown(int timeout_ms = 60000);
+
+  void close() { stream_.close(); }
+
+ private:
+  explicit Client(util::UnixStream stream) : stream_(std::move(stream)) {}
+
+  util::UnixStream stream_;
+  std::int64_t next_id_ = 1;
+};
+
+}  // namespace sevuldet::serve

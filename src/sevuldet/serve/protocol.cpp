@@ -1,0 +1,324 @@
+#include "sevuldet/serve/protocol.hpp"
+
+#include <stdexcept>
+
+#include "sevuldet/slicer/special_tokens.hpp"
+#include "sevuldet/util/json.hpp"
+#include "sevuldet/util/mini_json.hpp"
+
+namespace sevuldet::serve {
+
+namespace json = util::json;
+using util::mini_json::Parser;
+using util::mini_json::Value;
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Scan: return "scan";
+    case Op::Explain: return "explain";
+    case Op::ReportStatus: return "report-status";
+    case Op::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::BadRequest: return "bad_request";
+    case ErrorCode::QueueFull: return "queue_full";
+    case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::ShuttingDown: return "shutting_down";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "?";
+}
+
+std::optional<ErrorCode> error_code_from_name(const std::string& name) {
+  if (name == "bad_request") return ErrorCode::BadRequest;
+  if (name == "queue_full") return ErrorCode::QueueFull;
+  if (name == "deadline_exceeded") return ErrorCode::DeadlineExceeded;
+  if (name == "shutting_down") return ErrorCode::ShuttingDown;
+  if (name == "internal") return ErrorCode::Internal;
+  return std::nullopt;
+}
+
+namespace {
+
+std::optional<Op> op_from_name(const std::string& name) {
+  if (name == "scan") return Op::Scan;
+  if (name == "explain") return Op::Explain;
+  if (name == "report-status") return Op::ReportStatus;
+  if (name == "shutdown") return Op::Shutdown;
+  return std::nullopt;
+}
+
+void append_float_array(std::string& out, const std::vector<float>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    json::append_number(out, static_cast<double>(values[i]));
+  }
+  out += ']';
+}
+
+std::vector<float> parse_float_array(const Value& value) {
+  std::vector<float> out;
+  out.reserve(value.array.size());
+  for (const Value& v : value.array) out.push_back(static_cast<float>(v.number));
+  return out;
+}
+
+void append_finding(std::string& out, const core::Finding& finding) {
+  out += "{\"function\":";
+  json::append_string(out, finding.function);
+  out += ",\"line\":";
+  json::append_number(out, finding.line);
+  out += ",\"category\":";
+  json::append_string(out, slicer::category_name(finding.category));
+  out += ",\"token\":";
+  json::append_string(out, finding.token);
+  out += ",\"probability\":";
+  json::append_number(out, static_cast<double>(finding.probability));
+  out += ",\"top_tokens\":[";
+  for (std::size_t i = 0; i < finding.top_tokens.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '[';
+    json::append_string(out, finding.top_tokens[i].first);
+    out += ',';
+    json::append_number(out, static_cast<double>(finding.top_tokens[i].second));
+    out += ']';
+  }
+  out += "],\"attributions\":[";
+  for (std::size_t i = 0; i < finding.attributions.size(); ++i) {
+    const core::TokenAttribution& a = finding.attributions[i];
+    if (i != 0) out += ',';
+    out += "{\"token\":";
+    json::append_string(out, a.token);
+    out += ",\"original\":";
+    json::append_string(out, a.original);
+    out += ",\"function\":";
+    json::append_string(out, a.function);
+    out += ",\"line\":";
+    json::append_number(out, a.line);
+    out += ",\"weight\":";
+    json::append_number(out, static_cast<double>(a.weight));
+    out += '}';
+  }
+  out += "],\"spatial_attention\":";
+  append_float_array(out, finding.spatial_attention);
+  out += '}';
+}
+
+core::Finding parse_finding(const Value& value) {
+  core::Finding finding;
+  finding.function = value.at("function").str;
+  finding.line = static_cast<int>(value.at("line").number);
+  finding.category = slicer::category_from_name(value.at("category").str);
+  finding.token = value.at("token").str;
+  finding.probability = static_cast<float>(value.at("probability").number);
+  for (const Value& pair : value.at("top_tokens").array) {
+    finding.top_tokens.emplace_back(pair.at(0).str,
+                                    static_cast<float>(pair.at(1).number));
+  }
+  for (const Value& attr : value.at("attributions").array) {
+    core::TokenAttribution a;
+    a.token = attr.at("token").str;
+    a.original = attr.at("original").str;
+    a.function = attr.at("function").str;
+    a.line = static_cast<int>(attr.at("line").number);
+    a.weight = static_cast<float>(attr.at("weight").number);
+    finding.attributions.push_back(std::move(a));
+  }
+  finding.spatial_attention = parse_float_array(value.at("spatial_attention"));
+  return finding;
+}
+
+// Re-emit a parsed Value as JSON (keys sorted — mini_json objects are
+// std::map). Used to carry the report-status object through
+// parse_response without a raw-text slice of the input.
+void append_value(std::string& out, const Value& value) {
+  switch (value.type) {
+    case Value::Type::Null: out += "null"; break;
+    case Value::Type::Bool: out += value.boolean ? "true" : "false"; break;
+    case Value::Type::Number: json::append_number(out, value.number); break;
+    case Value::Type::String: json::append_string(out, value.str); break;
+    case Value::Type::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        if (i != 0) out += ',';
+        append_value(out, value.array[i]);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Type::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.object) {
+        if (!first) out += ',';
+        first = false;
+        json::append_string(out, key);
+        out += ':';
+        append_value(out, member);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string findings_to_json(const std::vector<core::Finding>& findings) {
+  std::string out;
+  out.reserve(256 * findings.size() + 2);
+  out += '[';
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (i != 0) out += ',';
+    append_finding(out, findings[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::vector<core::Finding> findings_from_json_array(const std::string& text) {
+  Value doc = Parser(text).parse();
+  if (doc.type != Value::Type::Array) {
+    throw std::runtime_error("findings: expected a JSON array");
+  }
+  std::vector<core::Finding> findings;
+  findings.reserve(doc.array.size());
+  for (const Value& v : doc.array) findings.push_back(parse_finding(v));
+  return findings;
+}
+
+std::string request_to_json(const Request& request) {
+  std::string out;
+  out += "{\"op\":";
+  json::append_string(out, op_name(request.op));
+  out += ",\"id\":";
+  json::append_number(out, static_cast<double>(request.id));
+  if (request.op == Op::Scan || request.op == Op::Explain) {
+    out += ",\"source\":";
+    json::append_string(out, request.source);
+    out += ",\"top_k\":";
+    json::append_number(out, request.top_k);
+  }
+  if (request.deadline_ms >= 0.0) {
+    out += ",\"deadline_ms\":";
+    json::append_number(out, request.deadline_ms);
+  }
+  out += '}';
+  return out;
+}
+
+Request parse_request(const std::string& text) {
+  Value doc = Parser(text).parse();
+  Request request;
+  std::optional<Op> op = op_from_name(doc.at("op").str);
+  if (!op.has_value()) {
+    throw std::runtime_error("unknown op: " + doc.at("op").str);
+  }
+  request.op = *op;
+  if (doc.has("id")) request.id = static_cast<std::int64_t>(doc.at("id").number);
+  if (request.op == Op::Scan || request.op == Op::Explain) {
+    request.source = doc.at("source").str;  // throws when missing
+    if (doc.has("top_k")) {
+      request.top_k = static_cast<int>(doc.at("top_k").number);
+      if (request.top_k < 0) throw std::runtime_error("top_k must be >= 0");
+    }
+  }
+  if (doc.has("deadline_ms")) {
+    request.deadline_ms = doc.at("deadline_ms").number;
+    if (request.deadline_ms < 0.0) {
+      throw std::runtime_error("deadline_ms must be >= 0");
+    }
+  }
+  return request;
+}
+
+std::string response_to_json(const Response& response) {
+  std::string out;
+  out += "{\"id\":";
+  json::append_number(out, static_cast<double>(response.id));
+  out += ",\"ok\":";
+  out += response.ok ? "true" : "false";
+  if (response.error.has_value()) {
+    out += ",\"error\":{\"code\":";
+    json::append_string(out, error_code_name(response.error->code));
+    out += ",\"message\":";
+    json::append_string(out, response.error->message);
+    out += '}';
+  } else if (!response.status_json.empty()) {
+    out += ",\"status\":";
+    out += response.status_json;
+  } else if (response.ok) {
+    out += ",\"findings\":";
+    out += findings_to_json(response.findings);
+  }
+  out += '}';
+  return out;
+}
+
+Response parse_response(const std::string& text) {
+  Value doc = Parser(text).parse();
+  Response response;
+  response.id = static_cast<std::int64_t>(doc.at("id").number);
+  response.ok = doc.at("ok").boolean;
+  if (doc.has("error")) {
+    const Value& err = doc.at("error");
+    ErrorInfo info;
+    std::optional<ErrorCode> code = error_code_from_name(err.at("code").str);
+    if (!code.has_value()) {
+      throw std::runtime_error("unknown error code: " + err.at("code").str);
+    }
+    info.code = *code;
+    info.message = err.at("message").str;
+    response.error = std::move(info);
+  }
+  if (doc.has("findings")) {
+    for (const Value& v : doc.at("findings").array) {
+      response.findings.push_back(parse_finding(v));
+    }
+  }
+  if (doc.has("status")) {
+    append_value(response.status_json, doc.at("status"));
+  }
+  return response;
+}
+
+Response ok_response(std::int64_t id) {
+  Response response;
+  response.id = id;
+  response.ok = true;
+  // An empty findings array would serialize for a shutdown ack too;
+  // harmless, but keep the ack minimal.
+  response.status_json = "{}";
+  return response;
+}
+
+Response findings_response(std::int64_t id, std::vector<core::Finding> findings) {
+  Response response;
+  response.id = id;
+  response.ok = true;
+  response.findings = std::move(findings);
+  return response;
+}
+
+Response status_response(std::int64_t id, std::string status_json) {
+  Response response;
+  response.id = id;
+  response.ok = true;
+  response.status_json = std::move(status_json);
+  return response;
+}
+
+Response error_response(std::int64_t id, ErrorCode code, std::string message) {
+  Response response;
+  response.id = id;
+  response.ok = false;
+  response.error = ErrorInfo{code, std::move(message)};
+  return response;
+}
+
+}  // namespace sevuldet::serve

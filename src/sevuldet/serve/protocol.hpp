@@ -1,0 +1,100 @@
+// Wire protocol of the `sevuldet serve` daemon: length-prefixed frames
+// (util/socket.hpp) carrying one JSON document each, one request frame
+// answered by exactly one response frame, in order, per connection.
+//
+// Request:
+//   { "op": "scan" | "explain" | "report-status" | "shutdown",
+//     "id": <client-chosen number, echoed back>,
+//     "source": "<C translation unit>",        // scan/explain
+//     "top_k": 10,                             // optional
+//     "deadline_ms": 10000 }                   // optional, 0 = already due
+//
+// Success response:
+//   { "id": n, "ok": true, "findings": [...] }          // scan/explain
+//   { "id": n, "ok": true, "status": {...} }            // report-status
+//   { "id": n, "ok": true }                             // shutdown
+//
+// Error response (typed):
+//   { "id": n, "ok": false,
+//     "error": { "code": "deadline_exceeded", "message": "..." } }
+//
+// Findings serialize through findings_to_json(); parsing one back with
+// findings_from_json() is lossless (floats are emitted with %.17g), so
+// `findings_to_json(findings_from_json(x)) == x` — the property the
+// byte-identical daemon-vs-in-process tests and the serve-gate CI job
+// are built on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sevuldet/core/pipeline.hpp"
+
+namespace sevuldet::serve {
+
+enum class Op { Scan, Explain, ReportStatus, Shutdown };
+
+const char* op_name(Op op);
+
+/// Typed error codes a response can carry. Stable wire spellings
+/// (error_code_name) — clients dispatch on these, not on messages.
+enum class ErrorCode {
+  BadRequest,       // unparseable JSON / missing fields / unknown op
+  QueueFull,        // admission queue at configured depth
+  DeadlineExceeded, // request deadline passed before completion
+  ShuttingDown,     // daemon is draining; no new work accepted
+  Internal,         // unexpected exception while serving
+};
+
+const char* error_code_name(ErrorCode code);
+std::optional<ErrorCode> error_code_from_name(const std::string& name);
+
+struct Request {
+  Op op = Op::Scan;
+  std::int64_t id = 0;
+  std::string source;        // scan/explain payload
+  int top_k = 10;
+  /// Budget for the whole request, measured from the daemon's receipt.
+  /// <0 selects the server default; 0 is "already due" (rejected at
+  /// admission — the deterministic deadline test relies on this).
+  double deadline_ms = -1.0;
+};
+
+struct ErrorInfo {
+  ErrorCode code = ErrorCode::Internal;
+  std::string message;
+};
+
+struct Response {
+  std::int64_t id = 0;
+  bool ok = false;
+  std::vector<core::Finding> findings;  // scan/explain
+  std::string status_json;              // report-status: raw "status" object
+  std::optional<ErrorInfo> error;
+};
+
+/// Request <-> JSON. parse_request throws std::runtime_error on
+/// malformed JSON or a semantically invalid document (unknown op,
+/// missing source) — the server maps that to a BadRequest response.
+std::string request_to_json(const Request& request);
+Request parse_request(const std::string& json);
+
+/// Findings <-> JSON array. The serializer is the canonical spelling of
+/// a scan result: every Finding field (including top_tokens and the
+/// explain-only attributions/spatial map) round-trips exactly.
+std::string findings_to_json(const std::vector<core::Finding>& findings);
+std::vector<core::Finding> findings_from_json_array(const std::string& json);
+
+/// Response <-> JSON.
+std::string response_to_json(const Response& response);
+Response parse_response(const std::string& json);
+
+/// Convenience builders.
+Response ok_response(std::int64_t id);
+Response findings_response(std::int64_t id, std::vector<core::Finding> findings);
+Response status_response(std::int64_t id, std::string status_json);
+Response error_response(std::int64_t id, ErrorCode code, std::string message);
+
+}  // namespace sevuldet::serve

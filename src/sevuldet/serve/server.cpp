@@ -1,0 +1,306 @@
+#include "sevuldet/serve/server.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "sevuldet/util/json.hpp"
+#include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/trace.hpp"
+
+namespace sevuldet::serve {
+
+namespace {
+
+std::chrono::steady_clock::duration ms_duration(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Server::Server(core::SeVulDet& detector, ServeOptions options)
+    : detector_(detector),
+      options_(std::move(options)),
+      batcher_(detector.model(),
+               BatcherOptions{std::max(1, options_.max_batch),
+                              std::max(0.0, options_.batch_window_ms),
+                              std::max(1, options_.threads)}) {
+  options_.threads = std::max(1, options_.threads);
+  options_.queue_depth = std::max(1, options_.queue_depth);
+}
+
+Server::~Server() { batcher_.stop(); }
+
+void Server::request_shutdown() {
+  accepting_ = false;
+  stop_ = true;
+}
+
+void Server::run() {
+  if (!detector_.trained()) {
+    throw std::runtime_error("serve: detector has no model loaded");
+  }
+  util::UnixListener listener = util::UnixListener::bind(options_.socket_path);
+  workers_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  while (!stop_) {
+    std::optional<util::UnixStream> peer =
+        listener.accept(options_.accept_timeout_ms);
+    if (!peer.has_value()) continue;
+    ++connections_total_;
+    ++connections_active_;
+    util::metrics::counter_add("serve.connections");
+    std::lock_guard lock(conns_mu_);
+    conns_.emplace_back([this, stream = std::move(*peer)]() mutable {
+      handle_connection(std::move(stream));
+    });
+  }
+  // Drain, in dependency order: stop accepting connections (and unlink
+  // the socket file), let the workers finish every admitted request,
+  // then release the connection threads (each blocked reply future has
+  // resolved by now), then the batcher's flusher. Joining everything
+  // here is what makes the post-run() metrics snapshot complete: every
+  // per-thread shard retires before the caller writes --metrics-out.
+  listener.close();
+  {
+    std::lock_guard lock(queue_mu_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  conn_stop_ = true;
+  {
+    std::lock_guard lock(conns_mu_);
+    for (std::thread& conn : conns_) conn.join();
+    conns_.clear();
+  }
+  batcher_.stop();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    util::trace::record_span("serve.queue", job.enqueued,
+                             std::chrono::steady_clock::now());
+    job.promise.set_value(process(job));
+  }
+}
+
+Response Server::process(Job& job) {
+  if (std::chrono::steady_clock::now() >= job.deadline) {
+    return error_response(job.request.id, ErrorCode::DeadlineExceeded,
+                          "deadline exceeded while queued");
+  }
+  try {
+    util::trace::ScopedSpan span("serve.infer");
+    const bool explain = job.request.op == Op::Explain;
+    core::DetectOptions detect_options;
+    detect_options.top_k = job.request.top_k;
+    detect_options.explain = explain;
+    std::vector<core::PreparedGadget> prepared =
+        detector_.prepare(job.request.source);
+    std::vector<const std::vector<int>*> ids;
+    ids.reserve(prepared.size());
+    for (const core::PreparedGadget& gadget : prepared) {
+      ids.push_back(&gadget.ids);
+    }
+    std::vector<models::Prediction> predictions =
+        batcher_.predict_many(ids, explain);
+    std::vector<core::Finding> findings;
+    for (std::size_t i = 0; i < prepared.size(); ++i) {
+      std::optional<core::Finding> finding = detector_.finding_from_prediction(
+          prepared[i], predictions[i], detect_options);
+      if (finding.has_value()) findings.push_back(std::move(*finding));
+    }
+    core::SeVulDet::sort_findings(findings);
+    if (std::chrono::steady_clock::now() >= job.deadline) {
+      return error_response(job.request.id, ErrorCode::DeadlineExceeded,
+                            "deadline exceeded during inference");
+    }
+    return findings_response(job.request.id, std::move(findings));
+  } catch (const std::exception& e) {
+    return error_response(job.request.id, ErrorCode::Internal, e.what());
+  }
+}
+
+void Server::handle_connection(util::UnixStream stream) {
+  while (!conn_stop_) {
+    if (!stream.wait_readable(options_.accept_timeout_ms)) continue;
+    std::optional<std::string> payload;
+    try {
+      payload = stream.recv_frame(options_.max_frame_bytes,
+                                  options_.recv_timeout_ms);
+    } catch (const util::FrameError& e) {
+      // A malformed frame means the stream is desynchronized: name the
+      // defect in a typed error, then close — never resynchronize by
+      // guessing.
+      util::metrics::counter_add("serve.errors.bad_frame");
+      ++errors_;
+      try {
+        stream.send_frame(response_to_json(error_response(
+                              0, ErrorCode::BadRequest,
+                              std::string("bad frame: ") + e.what())),
+                          options_.max_frame_bytes);
+      } catch (...) {
+        // Peer already gone; nothing to report to.
+      }
+      break;
+    } catch (const util::SocketError&) {
+      break;
+    }
+    if (!payload.has_value()) break;  // clean EOF: client hung up
+
+    const auto received = std::chrono::steady_clock::now();
+    Response response;
+    std::future<Response> pending;
+    bool queued = false;
+    bool shutdown_after_reply = false;
+    {
+      util::trace::ScopedSpan span("serve.accept");
+      std::optional<Request> request;
+      try {
+        request = parse_request(*payload);
+      } catch (const std::exception& e) {
+        response = error_response(0, ErrorCode::BadRequest, e.what());
+      }
+      if (request.has_value()) {
+        switch (request->op) {
+          case Op::ReportStatus:
+            ++requests_status_;
+            response = status_response(request->id, status_json());
+            break;
+          case Op::Shutdown:
+            ++requests_shutdown_;
+            response = ok_response(request->id);
+            shutdown_after_reply = true;
+            break;
+          case Op::Scan:
+          case Op::Explain: {
+            (request->op == Op::Scan ? requests_scan_ : requests_explain_)++;
+            if (!accepting_) {
+              response = error_response(request->id, ErrorCode::ShuttingDown,
+                                        "daemon is shutting down");
+              break;
+            }
+            Job job;
+            job.request = std::move(*request);
+            job.enqueued = received;
+            const double budget = job.request.deadline_ms >= 0.0
+                                      ? job.request.deadline_ms
+                                      : options_.default_deadline_ms;
+            job.deadline = received + ms_duration(budget);
+            pending = job.promise.get_future();
+            const std::int64_t id = job.request.id;
+            bool admitted = false;
+            {
+              std::lock_guard lock(queue_mu_);
+              if (!draining_ &&
+                  static_cast<int>(queue_.size()) < options_.queue_depth) {
+                queue_.push_back(std::move(job));
+                const int depth = static_cast<int>(queue_.size());
+                if (depth > queue_peak_.load()) queue_peak_.store(depth);
+                admitted = true;
+              }
+            }
+            if (admitted) {
+              queue_cv_.notify_one();
+              queued = true;
+            } else {
+              response = error_response(
+                  id, ErrorCode::QueueFull,
+                  "admission queue full (depth " +
+                      std::to_string(options_.queue_depth) + ")");
+            }
+            break;
+          }
+        }
+      }
+    }
+    if (queued) response = pending.get();
+    util::metrics::counter_add("serve.requests");
+    if (response.error.has_value()) {
+      ++errors_;
+      util::metrics::counter_add(std::string("serve.errors.") +
+                                 error_code_name(response.error->code));
+    }
+    try {
+      util::trace::ScopedSpan span("serve.reply");
+      stream.send_frame(response_to_json(response), options_.max_frame_bytes);
+    } catch (...) {
+      break;  // peer vanished mid-reply
+    }
+    util::metrics::observe_ms("serve.request_ms", ms_since(received));
+    if (shutdown_after_reply) {
+      request_shutdown();
+      break;
+    }
+  }
+  stream.close();
+  --connections_active_;
+}
+
+std::string Server::status_json() const {
+  namespace json = util::json;
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(queue_mu_);
+    depth = queue_.size();
+  }
+  std::string out;
+  out += "{\"requests\":{\"scan\":";
+  json::append_number(out, static_cast<double>(requests_scan_.load()));
+  out += ",\"explain\":";
+  json::append_number(out, static_cast<double>(requests_explain_.load()));
+  out += ",\"report-status\":";
+  json::append_number(out, static_cast<double>(requests_status_.load()));
+  out += ",\"shutdown\":";
+  json::append_number(out, static_cast<double>(requests_shutdown_.load()));
+  out += "},\"errors\":";
+  json::append_number(out, static_cast<double>(errors_.load()));
+  out += ",\"queue\":{\"depth\":";
+  json::append_number(out, static_cast<double>(depth));
+  out += ",\"limit\":";
+  json::append_number(out, options_.queue_depth);
+  out += ",\"peak\":";
+  json::append_number(out, queue_peak_.load());
+  out += "},\"batcher\":{\"batches\":";
+  json::append_number(out, static_cast<double>(batcher_.batches_flushed()));
+  out += ",\"gadgets\":";
+  json::append_number(out, static_cast<double>(batcher_.gadgets_scored()));
+  out += ",\"full_flushes\":";
+  json::append_number(out, static_cast<double>(batcher_.full_flushes()));
+  out += ",\"arena_high_water_bytes\":";
+  json::append_number(out,
+                      static_cast<double>(batcher_.arena_high_water_bytes()));
+  out += "},\"threads\":";
+  json::append_number(out, options_.threads);
+  out += ",\"connections\":{\"active\":";
+  json::append_number(out, connections_active_.load());
+  out += ",\"total\":";
+  json::append_number(out, static_cast<double>(connections_total_.load()));
+  out += "}}";
+  return out;
+}
+
+}  // namespace sevuldet::serve

@@ -1,0 +1,136 @@
+// The `sevuldet serve` daemon core: a Unix-domain-socket server that
+// loads the model once and answers scan / explain / report-status /
+// shutdown requests (serve/protocol.hpp) over checksummed frames
+// (util/socket.hpp).
+//
+// Threading model:
+//
+//   acceptor (run())          one per-connection thread per client
+//   ─ accept loop ──────────▶ ─ recv frame ─ parse ─ admit ─┐
+//                                                           ▼
+//                             bounded admission queue (queue_depth)
+//                                                           │
+//   worker threads (threads)  ◀─ dequeue ── deadline check ─┘
+//   ─ prepare() ─ MicroBatcher::predict_many() ─ findings ─▶ promise
+//                                                           │
+//   connection thread         ◀─ future ── send reply ──────┘
+//
+// Gadget scoring funnels through one MicroBatcher, so concurrent
+// requests' gadgets coalesce into shared CNN batches. Admission is
+// bounded: a full queue yields a typed queue_full error instead of
+// unbounded buffering. Every request carries a deadline (its own
+// deadline_ms or the server default), checked at dequeue and again
+// after inference — exceeding it yields a typed deadline_exceeded
+// error, never a silent slow reply.
+//
+// Shutdown (the `shutdown` op or request_shutdown()) is a drain, not an
+// abort: the ack is sent, the listener closes (socket file unlinked),
+// already-admitted requests complete and their replies are delivered,
+// and only then are workers, connection threads, and the batcher's
+// flusher joined — so run() returns with every per-thread metrics shard
+// retired and the final --metrics-out snapshot complete.
+//
+// Request lifecycle spans: serve.accept (parse + admission),
+// serve.queue (admission -> dequeue, recorded cross-thread),
+// serve.infer (prepare + batched scoring), serve.batch (one CNN batch
+// flush, in the batcher), serve.reply (serialize + send).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sevuldet/core/pipeline.hpp"
+#include "sevuldet/serve/batcher.hpp"
+#include "sevuldet/serve/protocol.hpp"
+#include "sevuldet/util/socket.hpp"
+
+namespace sevuldet::serve {
+
+struct ServeOptions {
+  std::string socket_path;
+  int threads = 1;          // request workers == batch scoring threads
+  int queue_depth = 64;     // admission queue bound -> queue_full beyond
+  int max_batch = 32;       // MicroBatcher flush size
+  double batch_window_ms = 2.0;
+  double default_deadline_ms = 30000.0;  // for requests without one
+  std::size_t max_frame_bytes = util::kDefaultMaxFrameBytes;
+  int accept_timeout_ms = 100;  // accept/readability poll granularity —
+                                // bounds shutdown latency
+  int recv_timeout_ms = 30000;  // mid-frame stall bound per connection
+};
+
+class Server {
+ public:
+  /// The detector must be trained (model loaded); the reference must
+  /// outlive the server.
+  Server(core::SeVulDet& detector, ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket and serve until a shutdown request (or
+  /// request_shutdown()). Returns only after the admission queue has
+  /// drained and every thread this server started has been joined.
+  /// Throws SocketError if the socket cannot be bound.
+  void run();
+
+  /// Ask a running run() to stop (thread-safe; idempotent). New scans
+  /// are rejected with shutting_down immediately; run() returns after
+  /// the drain.
+  void request_shutdown();
+
+  /// The report-status payload: request/error counts, queue and batcher
+  /// stats, thread and connection counts.
+  std::string status_json() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    Request request;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;
+    std::promise<Response> promise;
+  };
+
+  void worker_loop();
+  void handle_connection(util::UnixStream stream);
+  Response process(Job& job);
+
+  core::SeVulDet& detector_;
+  ServeOptions options_;
+  MicroBatcher batcher_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool draining_ = false;  // workers: finish the queue, then exit
+
+  std::atomic<bool> accepting_{true};   // admission gate for new scans
+  std::atomic<bool> stop_{false};       // acceptor exit
+  std::atomic<bool> conn_stop_{false};  // connection threads exit
+
+  std::vector<std::thread> workers_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conns_;
+
+  std::atomic<long long> requests_scan_{0};
+  std::atomic<long long> requests_explain_{0};
+  std::atomic<long long> requests_status_{0};
+  std::atomic<long long> requests_shutdown_{0};
+  std::atomic<long long> errors_{0};
+  std::atomic<long long> connections_total_{0};
+  std::atomic<int> connections_active_{0};
+  std::atomic<int> queue_peak_{0};
+};
+
+}  // namespace sevuldet::serve

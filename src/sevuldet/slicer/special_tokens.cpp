@@ -1,5 +1,6 @@
 #include "sevuldet/slicer/special_tokens.hpp"
 
+#include <stdexcept>
 #include <unordered_set>
 
 #include "sevuldet/frontend/ast_text.hpp"
@@ -17,6 +18,14 @@ const char* category_name(TokenCategory c) {
     case TokenCategory::ArithExpr: return "AE";
   }
   return "?";
+}
+
+TokenCategory category_from_name(const std::string& name) {
+  if (name == "FC") return TokenCategory::FunctionCall;
+  if (name == "AU") return TokenCategory::ArrayUsage;
+  if (name == "PU") return TokenCategory::PointerUsage;
+  if (name == "AE") return TokenCategory::ArithExpr;
+  throw std::invalid_argument("unknown token category: " + name);
 }
 
 const char* category_long_name(TokenCategory c) {

@@ -16,6 +16,11 @@ enum class TokenCategory { FunctionCall, ArrayUsage, PointerUsage, ArithExpr };
 const char* category_name(TokenCategory c);       // "FC", "AU", "PU", "AE"
 const char* category_long_name(TokenCategory c);  // "Library/API function call"...
 
+/// Inverse of category_name ("FC" -> FunctionCall, ...); throws
+/// std::invalid_argument on an unknown spelling. Used by the serve
+/// protocol to parse findings back off the wire.
+TokenCategory category_from_name(const std::string& name);
+
 struct SpecialToken {
   TokenCategory category = TokenCategory::FunctionCall;
   std::string function;  // enclosing function name

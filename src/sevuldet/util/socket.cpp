@@ -1,0 +1,206 @@
+#include "sevuldet/util/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "sevuldet/util/binary_io.hpp"
+
+namespace sevuldet::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+/// Wait for readability/writability; returns false on timeout.
+bool wait_fd(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw SocketError("socket path too long (" + std::to_string(path.size()) +
+                      " bytes, max " + std::to_string(sizeof(addr.sun_path) - 1) +
+                      "): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+FdHandle& FdHandle::operator=(FdHandle&& other) noexcept {
+  if (this != &other) reset(other.release());
+  return *this;
+}
+
+int FdHandle::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void FdHandle::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+std::optional<UnixStream> UnixStream::connect(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno == ECONNREFUSED || errno == ENOENT) return std::nullopt;
+    throw_errno("connect " + path);
+  }
+  return UnixStream(std::move(fd));
+}
+
+bool UnixStream::wait_readable(int timeout_ms) {
+  return wait_fd(fd_.get(), POLLIN, timeout_ms);
+}
+
+void UnixStream::write_all(const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE (thrown as
+    // SocketError) instead of killing the daemon with SIGPIPE.
+    const ssize_t rc =
+        ::send(fd_.get(), data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!wait_fd(fd_.get(), POLLOUT, 30000)) {
+          throw SocketError("send: timed out");
+        }
+        continue;
+      }
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+}
+
+std::size_t UnixStream::read_exact(char* out, std::size_t n, int timeout_ms) {
+  std::size_t got = 0;
+  while (got < n) {
+    if (!wait_fd(fd_.get(), POLLIN, timeout_ms)) {
+      throw SocketError("recv: timed out waiting for peer");
+    }
+    const ssize_t rc = ::recv(fd_.get(), out + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (rc == 0) break;  // EOF
+    got += static_cast<std::size_t>(rc);
+  }
+  return got;
+}
+
+void UnixStream::send_frame(std::string_view payload, std::size_t max_frame) {
+  if (payload.size() > max_frame) {
+    throw FrameError("frame payload too large (" +
+                     std::to_string(payload.size()) + " > " +
+                     std::to_string(max_frame) + " bytes)");
+  }
+  ByteWriter frame;
+  frame.bytes(kFrameMagic);
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.bytes(payload);
+  frame.u64(fnv1a(payload));
+  write_all(frame.data().data(), frame.size());
+}
+
+std::optional<std::string> UnixStream::recv_frame(std::size_t max_frame,
+                                                  int timeout_ms) {
+  // Header: magic + u32 size.
+  char header[8];
+  const std::size_t header_got = read_exact(header, sizeof(header), timeout_ms);
+  if (header_got == 0) return std::nullopt;  // clean EOF between frames
+  if (header_got < sizeof(header)) {
+    throw FrameError("truncated frame header (" + std::to_string(header_got) +
+                     " of 8 bytes)");
+  }
+  if (std::string_view(header, kFrameMagic.size()) != kFrameMagic) {
+    throw FrameError("bad frame magic");
+  }
+  ByteReader size_reader(std::string_view(header + 4, 4));
+  const std::uint32_t size = size_reader.u32();
+  if (size > max_frame) {
+    throw FrameError("oversized frame (" + std::to_string(size) + " > " +
+                     std::to_string(max_frame) + " bytes)");
+  }
+  std::string payload(size, '\0');
+  if (read_exact(payload.data(), size, timeout_ms) != size) {
+    throw FrameError("truncated frame payload");
+  }
+  char trailer[8];
+  if (read_exact(trailer, sizeof(trailer), timeout_ms) != sizeof(trailer)) {
+    throw FrameError("truncated frame checksum");
+  }
+  ByteReader checksum_reader(std::string_view(trailer, sizeof(trailer)));
+  if (checksum_reader.u64() != fnv1a(payload)) {
+    throw FrameError("frame checksum mismatch");
+  }
+  return payload;
+}
+
+UnixListener::~UnixListener() { close(); }
+
+UnixListener UnixListener::bind(const std::string& path, int backlog) {
+  const sockaddr_un addr = make_addr(path);
+  FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  ::unlink(path.c_str());  // a crashed daemon leaves a stale socket file
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind " + path);
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen " + path);
+  UnixListener listener;
+  listener.fd_ = std::move(fd);
+  listener.path_ = path;
+  return listener;
+}
+
+std::optional<UnixStream> UnixListener::accept(int timeout_ms) {
+  if (!wait_fd(fd_.get(), POLLIN, timeout_ms)) return std::nullopt;
+  const int peer = ::accept(fd_.get(), nullptr, nullptr);
+  if (peer < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return std::nullopt;
+    }
+    throw_errno("accept");
+  }
+  return UnixStream(FdHandle(peer));
+}
+
+void UnixListener::close() {
+  if (fd_.valid()) {
+    fd_.reset();
+    if (!path_.empty()) ::unlink(path_.c_str());
+  }
+}
+
+}  // namespace sevuldet::util

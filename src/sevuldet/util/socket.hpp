@@ -1,0 +1,135 @@
+// Unix-domain stream sockets with checksummed length-prefixed framing —
+// the transport under `sevuldet serve`. Built on the binary_io
+// primitives: a frame is
+//
+//   "SVDF" magic (4 bytes) | u32 payload size (LE) | payload bytes |
+//   u64 FNV-1a checksum of the payload (LE)
+//
+// so a reader can never mistake a truncated, corrupt, or oversized
+// frame for a short message: recv_frame() throws FrameError naming the
+// defect (bad magic / oversized / checksum mismatch / mid-frame EOF)
+// and returns nullopt only on a clean EOF at a frame boundary.
+//
+// All blocking operations take a timeout (poll-based), so a hung peer
+// can never stall a caller forever — the serve tests and CI watchdogs
+// rely on this. File descriptors are RAII-owned (FdHandle); there is no
+// path that leaks an fd on error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sevuldet::util {
+
+/// Frame-level protocol violation (distinct from SocketError so callers
+/// can reply with a typed "bad frame" error before closing).
+class FrameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// OS-level socket failure (connect refused, send on closed peer, ...).
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Owning file-descriptor handle; closes on destruction, move-only.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { reset(); }
+  FdHandle(FdHandle&& other) noexcept : fd_(other.release()) {}
+  FdHandle& operator=(FdHandle&& other) noexcept;
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Magic prefix of every frame on the wire.
+inline constexpr std::string_view kFrameMagic = "SVDF";
+/// Default cap on a single frame's payload (16 MiB) — a source file to
+/// scan plus JSON envelope fits comfortably; anything larger is a
+/// protocol violation, not a bigger buffer.
+inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{16} << 20;
+
+/// Connected Unix-domain stream (client side or an accepted peer).
+class UnixStream {
+ public:
+  UnixStream() = default;
+  explicit UnixStream(FdHandle fd) : fd_(std::move(fd)) {}
+
+  /// Connect to a listening socket at `path`. Returns nullopt when
+  /// nobody is listening (ECONNREFUSED / ENOENT — the client-mode
+  /// fallback probe); throws SocketError on any other failure.
+  static std::optional<UnixStream> connect(const std::string& path);
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+  void close() { fd_.reset(); }
+
+  /// Wait up to timeout_ms for the stream to become readable (data or
+  /// EOF). Returns false on timeout. Lets a server poll a connection in
+  /// short slices so it can notice shutdown between frames.
+  bool wait_readable(int timeout_ms);
+
+  /// Write one framed payload. Throws FrameError if the payload exceeds
+  /// `max_frame` and SocketError on I/O failure.
+  void send_frame(std::string_view payload,
+                  std::size_t max_frame = kDefaultMaxFrameBytes);
+
+  /// Read one framed payload. Returns nullopt on clean EOF before the
+  /// first header byte; throws FrameError on a malformed frame (bad
+  /// magic, oversized length, checksum mismatch, EOF mid-frame) and
+  /// SocketError when the poll timeout expires or the read fails.
+  std::optional<std::string> recv_frame(
+      std::size_t max_frame = kDefaultMaxFrameBytes, int timeout_ms = 30000);
+
+ private:
+  void write_all(const char* data, std::size_t n);
+  /// Reads exactly n bytes; returns bytes actually read before EOF.
+  std::size_t read_exact(char* out, std::size_t n, int timeout_ms);
+
+  FdHandle fd_;
+};
+
+/// Listening Unix-domain socket. bind() unlinks a stale socket file at
+/// `path` first (daemons that crashed leave one behind) and unlinks it
+/// again on destruction.
+class UnixListener {
+ public:
+  UnixListener() = default;
+  ~UnixListener();
+  UnixListener(UnixListener&&) noexcept = default;
+  UnixListener& operator=(UnixListener&&) noexcept = default;
+
+  /// Bind + listen. Throws SocketError on failure (path too long for
+  /// sun_path, permission denied, ...).
+  static UnixListener bind(const std::string& path, int backlog = 64);
+
+  bool valid() const { return fd_.valid(); }
+  const std::string& path() const { return path_; }
+
+  /// Wait up to timeout_ms for a connection. Returns nullopt on
+  /// timeout; throws SocketError on failure.
+  std::optional<UnixStream> accept(int timeout_ms);
+
+  void close();
+
+ private:
+  FdHandle fd_;
+  std::string path_;
+};
+
+}  // namespace sevuldet::util

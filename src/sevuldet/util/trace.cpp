@@ -186,6 +186,21 @@ void write_json(const std::string& path) {
   if (!out) throw std::runtime_error("trace: short write: " + path);
 }
 
+void record_span(const char* name, std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end) {
+  const bool to_trace = enabled();
+  const bool to_metrics = metrics::enabled();
+  if (!to_trace && !to_metrics) return;
+  const double dur_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  if (to_trace) record_event(name, start, dur_us);
+  if (to_metrics) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "span.%s", name);
+    metrics::observe_ms(buf, dur_us / 1000.0);
+  }
+}
+
 ScopedSpan::ScopedSpan(const char* name) {
   to_trace_ = enabled();
   to_metrics_ = metrics::enabled();

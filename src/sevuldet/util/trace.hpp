@@ -60,6 +60,17 @@ std::string to_json();
 /// Write to_json() to `path`; throws std::runtime_error on I/O failure.
 void write_json(const std::string& path);
 
+/// Record an explicit [start, end) span on the calling thread. This is
+/// the non-RAII escape hatch for durations whose endpoints live on
+/// different threads (e.g. a queue wait measured from enqueue on a
+/// connection thread to dequeue on a worker): the thread that observes
+/// the end calls record_span with the start timestamp it was handed.
+/// Same behavior as ScopedSpan — a trace event when tracing is enabled,
+/// a "span.<name>" histogram observation when metrics are enabled,
+/// nothing when both are off. `name` must be a string literal.
+void record_span(const char* name, std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end);
+
 /// RAII phase timer. `name` must outlive the tracing subsystem — pass a
 /// string literal. Records a trace event when tracing is enabled and a
 /// "span.<name>" histogram observation when metrics are enabled; does

@@ -1,0 +1,565 @@
+// The serve daemon stack, bottom-up: frame robustness (truncated /
+// corrupt / oversized frames rejected loudly, never misread), protocol
+// JSON round-trips, the cross-request MicroBatcher's batched==unbatched
+// contract, and end-to-end daemon scans that must be byte-identical to
+// in-process detect() — the property the serve-gate CI job enforces.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sevuldet/core/pipeline.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+#include "sevuldet/nn/autograd.hpp"
+#include "sevuldet/serve/batcher.hpp"
+#include "sevuldet/serve/client.hpp"
+#include "sevuldet/serve/protocol.hpp"
+#include "sevuldet/serve/server.hpp"
+#include "sevuldet/util/binary_io.hpp"
+#include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/mini_json.hpp"
+#include "sevuldet/util/socket.hpp"
+
+namespace sc = sevuldet::core;
+namespace sd = sevuldet::dataset;
+namespace serve = sevuldet::serve;
+namespace su = sevuldet::util;
+namespace mini_json = sevuldet::util::mini_json;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Framing over a socketpair (no listener needed).
+
+struct StreamPair {
+  su::UnixStream a;
+  su::UnixStream b;
+
+  StreamPair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      throw std::runtime_error("socketpair failed");
+    }
+    a = su::UnixStream(su::FdHandle(fds[0]));
+    b = su::UnixStream(su::FdHandle(fds[1]));
+  }
+};
+
+TEST(ServeFraming, RoundTripsPayloads) {
+  StreamPair pair;
+  const std::string payloads[] = {"", "x", std::string(100000, 'q'),
+                                  std::string("\0\x01\xff binary", 10)};
+  for (const std::string& payload : payloads) {
+    pair.a.send_frame(payload);
+    auto got = pair.b.recv_frame();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(payload, *got);
+  }
+}
+
+TEST(ServeFraming, CleanEofIsNullopt) {
+  StreamPair pair;
+  pair.a.close();
+  EXPECT_EQ(std::nullopt, pair.b.recv_frame());
+}
+
+TEST(ServeFraming, RejectsBadMagic) {
+  StreamPair pair;
+  su::ByteWriter junk;
+  junk.bytes("JUNK");
+  junk.u32(4);
+  junk.bytes("abcd");
+  junk.u64(0);
+  ::send(pair.a.fd(), junk.data().data(), junk.size(), 0);
+  EXPECT_THROW(pair.b.recv_frame(), su::FrameError);
+}
+
+TEST(ServeFraming, RejectsOversizedFrame) {
+  StreamPair pair;
+  su::ByteWriter header;
+  header.bytes(su::kFrameMagic);
+  header.u32(1 << 20);  // claims 1 MiB against a 1 KiB cap
+  ::send(pair.a.fd(), header.data().data(), header.size(), 0);
+  EXPECT_THROW(pair.b.recv_frame(/*max_frame=*/1024), su::FrameError);
+}
+
+TEST(ServeFraming, RejectsTruncatedHeader) {
+  StreamPair pair;
+  ::send(pair.a.fd(), "SVD", 3, 0);  // 3 of 8 header bytes, then EOF
+  pair.a.close();
+  EXPECT_THROW(pair.b.recv_frame(), su::FrameError);
+}
+
+TEST(ServeFraming, RejectsTruncatedPayload) {
+  StreamPair pair;
+  su::ByteWriter frame;
+  frame.bytes(su::kFrameMagic);
+  frame.u32(100);  // promises 100 payload bytes...
+  frame.bytes("short");
+  ::send(pair.a.fd(), frame.data().data(), frame.size(), 0);
+  pair.a.close();  // ...but hangs up after 5
+  EXPECT_THROW(pair.b.recv_frame(), su::FrameError);
+}
+
+TEST(ServeFraming, RejectsChecksumMismatch) {
+  StreamPair pair;
+  su::ByteWriter frame;
+  frame.bytes(su::kFrameMagic);
+  frame.u32(4);
+  frame.bytes("data");
+  frame.u64(su::fnv1a("data") ^ 1);  // one bit off
+  ::send(pair.a.fd(), frame.data().data(), frame.size(), 0);
+  EXPECT_THROW(pair.b.recv_frame(), su::FrameError);
+}
+
+TEST(ServeFraming, RejectsCorruptPayloadByte) {
+  StreamPair pair;
+  su::ByteWriter frame;
+  frame.bytes(su::kFrameMagic);
+  frame.u32(4);
+  frame.bytes("dXta");  // checksum is for "data"
+  frame.u64(su::fnv1a("data"));
+  ::send(pair.a.fd(), frame.data().data(), frame.size(), 0);
+  EXPECT_THROW(pair.b.recv_frame(), su::FrameError);
+}
+
+TEST(ServeFraming, SendRejectsPayloadOverCap) {
+  StreamPair pair;
+  EXPECT_THROW(pair.a.send_frame(std::string(2048, 'x'), /*max_frame=*/1024),
+               su::FrameError);
+}
+
+// ---------------------------------------------------------------------
+// Protocol JSON.
+
+TEST(ServeProtocol, RequestRoundTrips) {
+  serve::Request request;
+  request.op = serve::Op::Explain;
+  request.id = 42;
+  request.source = "int main() { return 0; }\n\"quoted\"\t";
+  request.top_k = 7;
+  request.deadline_ms = 1234.5;
+  serve::Request parsed = serve::parse_request(serve::request_to_json(request));
+  EXPECT_EQ(request.op, parsed.op);
+  EXPECT_EQ(request.id, parsed.id);
+  EXPECT_EQ(request.source, parsed.source);
+  EXPECT_EQ(request.top_k, parsed.top_k);
+  EXPECT_EQ(request.deadline_ms, parsed.deadline_ms);
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  EXPECT_THROW(serve::parse_request("not json"), std::exception);
+  EXPECT_THROW(serve::parse_request("{\"op\":\"fly\",\"id\":1}"), std::exception);
+  EXPECT_THROW(serve::parse_request("{\"op\":\"scan\",\"id\":1}"),
+               std::exception);  // missing source
+  EXPECT_THROW(serve::parse_request(
+                   "{\"op\":\"scan\",\"id\":1,\"source\":\"\",\"top_k\":-1}"),
+               std::exception);
+  EXPECT_THROW(
+      serve::parse_request(
+          "{\"op\":\"scan\",\"id\":1,\"source\":\"\",\"deadline_ms\":-5}"),
+      std::exception);
+}
+
+TEST(ServeProtocol, ErrorCodesRoundTrip) {
+  for (serve::ErrorCode code :
+       {serve::ErrorCode::BadRequest, serve::ErrorCode::QueueFull,
+        serve::ErrorCode::DeadlineExceeded, serve::ErrorCode::ShuttingDown,
+        serve::ErrorCode::Internal}) {
+    auto back = serve::error_code_from_name(serve::error_code_name(code));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(code, *back);
+  }
+  EXPECT_EQ(std::nullopt, serve::error_code_from_name("teapot"));
+}
+
+TEST(ServeProtocol, ErrorResponseRoundTrips) {
+  serve::Response response = serve::error_response(
+      9, serve::ErrorCode::DeadlineExceeded, "budget of 5ms exhausted");
+  serve::Response parsed =
+      serve::parse_response(serve::response_to_json(response));
+  EXPECT_EQ(9, parsed.id);
+  EXPECT_FALSE(parsed.ok);
+  ASSERT_TRUE(parsed.error.has_value());
+  EXPECT_EQ(serve::ErrorCode::DeadlineExceeded, parsed.error->code);
+  EXPECT_EQ("budget of 5ms exhausted", parsed.error->message);
+}
+
+/// Findings with awkward floats and every optional field populated must
+/// survive JSON exactly: serialize(parse(serialize(x))) == serialize(x).
+TEST(ServeProtocol, FindingsRoundTripByteExact) {
+  sc::Finding finding;
+  finding.function = "process";
+  finding.line = 17;
+  finding.category = sevuldet::slicer::TokenCategory::PointerUsage;
+  finding.token = "buf";
+  finding.probability = 0.123456789f;
+  finding.top_tokens = {{"var0", 1.0f}, {"strcpy", 0.33333334f}};
+  finding.attributions.push_back({"var0", "data", "process", 12, 0.0625f});
+  finding.attributions.push_back({"fun1", "helper", "process", 3, 1e-7f});
+  finding.spatial_attention = {0.1f, 0.9f, 0.0001f};
+  sc::Finding plain;
+  plain.function = "main";
+  plain.line = 1;
+  plain.category = sevuldet::slicer::TokenCategory::FunctionCall;
+  plain.token = "gets";
+  plain.probability = 0.75f;
+
+  const std::string json = serve::findings_to_json({finding, plain});
+  const std::vector<sc::Finding> parsed = serve::findings_from_json_array(json);
+  ASSERT_EQ(2u, parsed.size());
+  EXPECT_EQ(json, serve::findings_to_json(parsed));
+}
+
+TEST(ServeProtocol, StatusResponseCarriesRawObject) {
+  serve::Response response =
+      serve::status_response(3, "{\"queue\":{\"depth\":0}}");
+  serve::Response parsed =
+      serve::parse_response(serve::response_to_json(response));
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ("{\"queue\":{\"depth\":0}}", parsed.status_json);
+}
+
+// ---------------------------------------------------------------------
+// Trained fixture shared by the batcher and daemon suites.
+
+sc::PipelineConfig tiny_pipeline_config() {
+  sc::PipelineConfig config;
+  config.model.embed_dim = 12;
+  config.model.conv_channels = 8;
+  config.model.attn_dim = 8;
+  config.model.dense1 = 24;
+  config.model.dense2 = 8;
+  config.train.epochs = 3;
+  config.train.lr = 0.002f;
+  config.word2vec.epochs = 2;
+  return config;
+}
+
+struct TrainedFixture {
+  sc::SeVulDet detector;
+  std::string vulnerable_source;
+
+  TrainedFixture() : detector(tiny_pipeline_config()) {
+    sd::SardConfig config;
+    config.pairs_per_category = 6;
+    config.long_fraction = 0.0;
+    config.seed = 23;
+    auto cases = sd::generate_sard_like(config);
+    detector.train(cases);
+    for (const auto& tc : cases) {
+      if (!tc.vulnerable) continue;
+      if (!detector.detect(tc.source).empty()) {
+        vulnerable_source = tc.source;
+        break;
+      }
+    }
+  }
+};
+
+TrainedFixture& fixture() {
+  static TrainedFixture f;
+  return f;
+}
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/sevuldet_serve_test_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+/// A Server running on its own thread; joins (after a drain) at scope
+/// exit. Waits for the socket to be bound before returning.
+struct RunningServer {
+  serve::Server server;
+  std::thread thread;
+
+  explicit RunningServer(serve::ServeOptions options)
+      : server(fixture().detector, std::move(options)) {
+    thread = std::thread([this] { server.run(); });
+    for (int i = 0; i < 500; ++i) {
+      if (::access(server.options().socket_path.c_str(), F_OK) == 0) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    server.request_shutdown();
+    thread.join();
+    throw std::runtime_error("daemon socket never appeared");
+  }
+
+  ~RunningServer() {
+    server.request_shutdown();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+serve::ServeOptions test_options(const char* tag) {
+  serve::ServeOptions options;
+  options.socket_path = test_socket_path(tag);
+  options.threads = 2;
+  options.accept_timeout_ms = 20;  // quick shutdown in tests
+  return options;
+}
+
+// ---------------------------------------------------------------------
+// MicroBatcher: batched == unbatched, bitwise.
+
+TEST(ServeBatcher, BatchedScoresMatchInlineBitwise) {
+  auto& f = fixture();
+  auto prepared = f.detector.prepare(f.vulnerable_source);
+  ASSERT_FALSE(prepared.empty());
+
+  // Inline (unbatched) reference, serial on the fixture model.
+  std::vector<sevuldet::models::Prediction> expected;
+  for (const auto& gadget : prepared) {
+    expected.push_back(f.detector.model().predict_captured(gadget.ids, true));
+  }
+
+  // Batched, across clones, submitted concurrently so entries coalesce.
+  serve::BatcherOptions options;
+  options.max_batch = 4;
+  options.window_ms = 20.0;
+  options.threads = 2;
+  serve::MicroBatcher batcher(f.detector.model(), options);
+  std::vector<sevuldet::models::Prediction> got(prepared.size());
+  std::vector<std::thread> submitters;
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    submitters.emplace_back([&, i] {
+      got[i] = batcher.predict(prepared[i].ids, true);
+    });
+  }
+  for (auto& t : submitters) t.join();
+  batcher.stop();
+
+  EXPECT_GE(batcher.gadgets_scored(), static_cast<long long>(prepared.size()));
+  EXPECT_GE(batcher.batches_flushed(), 1);
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    EXPECT_EQ(expected[i].probability, got[i].probability) << "gadget " << i;
+    EXPECT_EQ(expected[i].token_weights, got[i].token_weights) << "gadget " << i;
+    EXPECT_EQ(expected[i].spatial_weights, got[i].spatial_weights)
+        << "gadget " << i;
+  }
+}
+
+TEST(ServeBatcher, PredictManyMatchesPredict) {
+  auto& f = fixture();
+  auto prepared = f.detector.prepare(f.vulnerable_source);
+  ASSERT_FALSE(prepared.empty());
+  serve::BatcherOptions options;
+  options.max_batch = 2;  // forces multiple flushes per predict_many
+  options.window_ms = 1.0;
+  options.threads = 2;
+  serve::MicroBatcher batcher(f.detector.model(), options);
+
+  std::vector<const std::vector<int>*> ids;
+  for (const auto& gadget : prepared) ids.push_back(&gadget.ids);
+  auto many = batcher.predict_many(ids, false);
+  ASSERT_EQ(prepared.size(), many.size());
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    auto one = batcher.predict(prepared[i].ids, false);
+    EXPECT_EQ(one.probability, many[i].probability) << "gadget " << i;
+  }
+}
+
+TEST(ServeBatcher, PredictAfterStopThrows) {
+  auto& f = fixture();
+  serve::MicroBatcher batcher(f.detector.model(), {});
+  batcher.stop();
+  std::vector<int> ids = {1, 2, 3};
+  EXPECT_THROW(batcher.predict(ids, false), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Daemon end-to-end.
+
+TEST(ServeDaemon, ScanMatchesInProcessByteIdentical) {
+  auto& f = fixture();
+  RunningServer running(test_options("scan"));
+  auto client = serve::Client::connect(running.server.options().socket_path);
+  ASSERT_TRUE(client.has_value());
+
+  const std::string expected = serve::findings_to_json(
+      f.detector.detect(f.vulnerable_source));
+  const std::string got =
+      serve::findings_to_json(client->scan(f.vulnerable_source));
+  EXPECT_EQ(expected, got);
+}
+
+TEST(ServeDaemon, ExplainMatchesInProcessByteIdentical) {
+  auto& f = fixture();
+  RunningServer running(test_options("explain"));
+  auto client = serve::Client::connect(running.server.options().socket_path);
+  ASSERT_TRUE(client.has_value());
+
+  sc::DetectOptions options;
+  options.explain = true;
+  options.top_k = 5;
+  const std::string expected =
+      serve::findings_to_json(f.detector.detect(f.vulnerable_source, options));
+  const std::string got = serve::findings_to_json(
+      client->scan(f.vulnerable_source, /*top_k=*/5, /*explain=*/true));
+  EXPECT_EQ(expected, got);
+  EXPECT_NE(std::string::npos, got.find("\"attributions\":[{"))
+      << "explain findings should carry attributions";
+}
+
+TEST(ServeDaemon, ConcurrentClientsAllByteIdentical) {
+  auto& f = fixture();
+  serve::ServeOptions options = test_options("concurrent");
+  options.threads = 4;
+  RunningServer running(std::move(options));
+  const std::string expected =
+      serve::findings_to_json(f.detector.detect(f.vulnerable_source));
+
+  constexpr int kClients = 6;
+  constexpr int kScansEach = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      auto client =
+          serve::Client::connect(running.server.options().socket_path);
+      ASSERT_TRUE(client.has_value());
+      for (int s = 0; s < kScansEach; ++s) {
+        if (serve::findings_to_json(client->scan(f.vulnerable_source)) !=
+            expected) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(0, mismatches.load());
+}
+
+TEST(ServeDaemon, ZeroDeadlineYieldsTypedError) {
+  auto& f = fixture();
+  RunningServer running(test_options("deadline"));
+  auto client = serve::Client::connect(running.server.options().socket_path);
+  ASSERT_TRUE(client.has_value());
+  try {
+    client->scan(f.vulnerable_source, 10, false, /*deadline_ms=*/0.0);
+    FAIL() << "deadline_ms=0 should be rejected";
+  } catch (const serve::DaemonError& e) {
+    EXPECT_EQ(serve::ErrorCode::DeadlineExceeded, e.code());
+  }
+  // The connection survives a typed error: the next scan works.
+  EXPECT_EQ(serve::findings_to_json(f.detector.detect(f.vulnerable_source)),
+            serve::findings_to_json(client->scan(f.vulnerable_source)));
+}
+
+TEST(ServeDaemon, MalformedJsonYieldsBadRequest) {
+  RunningServer running(test_options("badjson"));
+  auto stream =
+      su::UnixStream::connect(running.server.options().socket_path);
+  ASSERT_TRUE(stream.has_value());
+  stream->send_frame("this is not json");
+  auto payload = stream->recv_frame();
+  ASSERT_TRUE(payload.has_value());
+  serve::Response response = serve::parse_response(*payload);
+  EXPECT_FALSE(response.ok);
+  ASSERT_TRUE(response.error.has_value());
+  EXPECT_EQ(serve::ErrorCode::BadRequest, response.error->code);
+}
+
+TEST(ServeDaemon, CorruptFrameYieldsBadRequestAndCloses) {
+  RunningServer running(test_options("badframe"));
+  auto stream =
+      su::UnixStream::connect(running.server.options().socket_path);
+  ASSERT_TRUE(stream.has_value());
+  su::ByteWriter frame;
+  frame.bytes(su::kFrameMagic);
+  frame.u32(4);
+  frame.bytes("data");
+  frame.u64(su::fnv1a("data") ^ 1);  // corrupt checksum
+  ::send(stream->fd(), frame.data().data(), frame.size(), 0);
+  auto payload = stream->recv_frame();
+  ASSERT_TRUE(payload.has_value());
+  serve::Response response = serve::parse_response(*payload);
+  EXPECT_FALSE(response.ok);
+  ASSERT_TRUE(response.error.has_value());
+  EXPECT_EQ(serve::ErrorCode::BadRequest, response.error->code);
+  EXPECT_EQ(std::nullopt, stream->recv_frame());  // daemon closed the stream
+}
+
+TEST(ServeDaemon, ReportStatusExposesCounters) {
+  auto& f = fixture();
+  RunningServer running(test_options("status"));
+  auto client = serve::Client::connect(running.server.options().socket_path);
+  ASSERT_TRUE(client.has_value());
+  client->scan(f.vulnerable_source);
+  const std::string status = client->report_status();
+  mini_json::Value doc = mini_json::parse(status);
+  EXPECT_EQ(1.0, doc.at("requests").at("scan").number);
+  EXPECT_GE(doc.at("batcher").at("gadgets").number, 1.0);
+  EXPECT_GE(doc.at("batcher").at("batches").number, 1.0);
+  EXPECT_GT(doc.at("batcher").at("arena_high_water_bytes").number, 0.0);
+  EXPECT_EQ(2.0, doc.at("threads").number);
+  EXPECT_GE(doc.at("connections").at("active").number, 1.0);
+}
+
+/// Shutdown is a drain: the ack arrives, run() returns (joining every
+/// server thread), the socket file is unlinked, and the post-run
+/// metrics snapshot is complete — serve counters and request histograms
+/// recorded on worker/connection threads are all visible.
+TEST(ServeDaemon, ShutdownDrainsAndFoldsMetrics) {
+  auto& f = fixture();
+  sevuldet::util::metrics::reset();
+  sevuldet::util::metrics::set_enabled(true);
+
+  serve::ServeOptions options = test_options("shutdown");
+  const std::string socket_path = options.socket_path;
+  serve::Server server(f.detector, std::move(options));
+  std::thread runner([&] { server.run(); });
+  for (int i = 0; i < 500 && ::access(socket_path.c_str(), F_OK) != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  auto client = serve::Client::connect(socket_path);
+  ASSERT_TRUE(client.has_value());
+  const int kScans = 3;
+  for (int i = 0; i < kScans; ++i) client->scan(f.vulnerable_source);
+  client->shutdown();
+  runner.join();  // returns only after the drain
+
+  EXPECT_NE(0, ::access(socket_path.c_str(), F_OK))
+      << "socket file should be unlinked after shutdown";
+  EXPECT_EQ(std::nullopt, serve::Client::connect(socket_path))
+      << "no daemon should be listening after shutdown";
+
+  auto snapshot = sevuldet::util::metrics::snapshot();
+  sevuldet::util::metrics::set_enabled(false);
+  EXPECT_EQ(kScans + 1, snapshot.counters.at("serve.requests"));
+  ASSERT_TRUE(snapshot.histograms.count("serve.request_ms"));
+  EXPECT_EQ(kScans + 1, snapshot.histograms.at("serve.request_ms").count);
+  // Spans recorded on worker threads (serve.queue, serve.infer) and the
+  // batcher flusher (serve.batch) all folded into the final snapshot.
+  for (const char* name :
+       {"span.serve.accept", "span.serve.queue", "span.serve.infer",
+        "span.serve.batch", "span.serve.reply"}) {
+    EXPECT_TRUE(snapshot.histograms.count(name)) << name;
+  }
+  EXPECT_GE(snapshot.counters.at("serve.batch.gadgets"), 1);
+}
+
+TEST(ServeDaemon, RejectsOversizedRequestFrame) {
+  RunningServer running(test_options("oversize"));
+  auto stream =
+      su::UnixStream::connect(running.server.options().socket_path);
+  ASSERT_TRUE(stream.has_value());
+  // A frame header promising more than the daemon's cap: the daemon
+  // replies with a typed bad_request and closes, instead of allocating.
+  su::ByteWriter header;
+  header.bytes(su::kFrameMagic);
+  header.u32(64 << 20);  // 64 MiB > 16 MiB default cap
+  ::send(stream->fd(), header.data().data(), header.size(), 0);
+  auto payload = stream->recv_frame();
+  ASSERT_TRUE(payload.has_value());
+  serve::Response response = serve::parse_response(*payload);
+  ASSERT_TRUE(response.error.has_value());
+  EXPECT_EQ(serve::ErrorCode::BadRequest, response.error->code);
+}
+
+}  // namespace

@@ -16,22 +16,30 @@ Two subcommands:
           true cost (record baselines and CI runs with the same
           repetition flags, without --benchmark_report_aggregates_only).
         - metrics-registry snapshots ("schema_version": 1, see
-          util/metrics.hpp): gauges ending in "_seconds" follow the
-          wall-time rule, gauges ending in "hit_rate" must not drop,
-          counters containing "allocs" must not rise, and labels
-          (e.g. corpus.fingerprint) must match exactly.
+          util/metrics.hpp): gauges ending in "_seconds" or "p95_ms"
+          follow the wall-time rule, gauges ending in "hit_rate" must
+          not drop, gauges ending in "_rps"/"_qps" (throughput) must
+          stay above base*(1 - max-regress), counters containing
+          "allocs" must not rise, and labels (e.g. corpus.fingerprint,
+          bench.findings_identical) must match exactly. Other "_ms"
+          gauges (p50/p99 tails) are informational only — they are too
+          noisy on shared runners to gate without flaking.
       A comparison table in GitHub-flavored markdown is printed, and
       appended to --summary when given (CI points this at
       $GITHUB_STEP_SUMMARY).
 
   validate FILE [--require-spans a,b,c] [--spans-manifest FILE]
+           [--spans-key spans]
       Check that FILE is a schema-valid metrics snapshot and that each
       required span has a "span.<name>" histogram with count > 0. The
       span list comes from --require-spans (comma-separated, ad-hoc
-      runs) and/or --spans-manifest (a committed JSON file with a
-      "spans" array, e.g. bench/SPANS_manifest.json — the single source
-      of truth for CI, so adding a pipeline phase means updating the
-      manifest instead of a workflow command line).
+      runs) and/or --spans-manifest (a committed JSON file with one or
+      more string arrays of span names, e.g. bench/SPANS_manifest.json
+      — the single source of truth for CI, so adding a pipeline phase
+      means updating the manifest instead of a workflow command line).
+      --spans-key selects which array of the manifest to require
+      (default "spans"; the serve-gate job uses "serve_spans" against
+      the daemon's own metrics snapshot).
 
 Benchmarks present on only one side are reported but never fail the
 gate, so adding a benchmark does not require touching the baseline in
@@ -151,16 +159,20 @@ def compare_google_benchmark(base, cur, max_regress, gate):
 
 def compare_metrics_snapshot(base, cur, max_regress, gate):
     wall_rule = f"time <= base*{1 + max_regress:.2f}"
+    floor_rule = f"rate >= base*{1 - max_regress:.2f}"
     for name, bval in base.get("gauges", {}).items():
         cval = cur.get("gauges", {}).get(name)
         if cval is None:
             gate.note(name, bval, None, "missing in current")
-        elif name.endswith("_seconds"):
+        elif name.endswith("_seconds") or name.endswith("p95_ms"):
             gate.check(name, bval, cval, wall_rule,
                        float(cval) <= float(bval) * (1.0 + max_regress))
         elif name.endswith("hit_rate"):
             gate.check(name, bval, cval, "rate >= base",
                        float(cval) >= float(bval) - 1e-9)
+        elif name.endswith("_rps") or name.endswith("_qps"):
+            gate.check(name, bval, cval, floor_rule,
+                       float(cval) >= float(bval) * (1.0 - max_regress))
         else:
             gate.note(name, bval, cval, "informational")
     for name, bval in base.get("counters", {}).items():
@@ -205,11 +217,12 @@ def required_spans(args):
     spans = [s for s in (args.require_spans or "").split(",") if s]
     if args.spans_manifest:
         manifest = load(args.spans_manifest)
-        listed = manifest.get("spans")
+        key = args.spans_key or "spans"
+        listed = manifest.get(key)
         if not isinstance(listed, list) or not all(
                 isinstance(s, str) for s in listed):
             raise SystemExit(
-                f"FAIL: {args.spans_manifest}: 'spans' must be a string array")
+                f"FAIL: {args.spans_manifest}: {key!r} must be a string array")
         spans.extend(s for s in listed if s not in spans)
     return spans
 
@@ -257,7 +270,9 @@ def main():
     validate.add_argument("--require-spans", default="",
                           help="comma-separated span names that must have data")
     validate.add_argument("--spans-manifest", default="",
-                          help="JSON file with a 'spans' array of required span names")
+                          help="JSON file with arrays of required span names")
+    validate.add_argument("--spans-key", default="spans",
+                          help="which manifest array to require (default: spans)")
     validate.set_defaults(func=cmd_validate)
     args = parser.parse_args()
     return args.func(args)
