@@ -9,6 +9,14 @@
 //
 //   micro_serve --model MODEL [--socket SOCK] [--qps "50,100,200"]
 //               [--secs S] [--clients C] [--reps R] [--json PATH]
+//               [--precision fp32|fp16|int8]
+//
+// --precision runs the whole sweep at that forward precision: the
+// in-process reference findings AND the self-hosted daemon both use it,
+// so the byte-equivalence check still gates (quantized daemon replies
+// must match quantized in-process replies exactly — same clone, same
+// arithmetic). Non-fp32 runs record their rows under bench.<precision>.*
+// so BENCH_serve.json can hold fp32 and int8 rows side by side.
 //
 // When a daemon is already listening on --socket the bench drives it
 // (the CI mode — a separate `sevuldet serve` process); otherwise it
@@ -71,19 +79,23 @@ struct Workload {
 
 /// A handful of scan inputs with their in-process reference findings.
 /// Deterministic (fixed seed), so every rep and every CI run scans the
-/// same programs.
-Workload build_workload(sc::SeVulDet& detector) {
+/// same programs. The reference scans run at the sweep's precision so
+/// the daemon-equivalence check compares like with like.
+Workload build_workload(sc::SeVulDet& detector,
+                        sevuldet::models::Precision precision) {
   sd::SardConfig config;
   config.pairs_per_category = 3;
   config.long_fraction = 0.0;
   config.seed = 404;
+  sc::DetectOptions detect_options;
+  detect_options.precision = precision;
   Workload workload;
   for (const auto& tc : sd::generate_sard_like(config)) {
     if (workload.sources.size() >= 4) break;
     if (!tc.vulnerable) continue;
     workload.sources.push_back(tc.source);
     workload.expected.push_back(
-        serve::findings_to_json(detector.detect(tc.source)));
+        serve::findings_to_json(detector.detect(tc.source, detect_options)));
   }
   if (workload.sources.empty()) {
     std::fprintf(stderr, "workload generation produced no sources\n");
@@ -251,6 +263,7 @@ int main(int argc, char** argv) {
   double secs = 2.0;
   int clients = 4;
   int reps = bench::env_int("SEVULDET_BENCH_REPS", 2);
+  sevuldet::models::Precision precision = sevuldet::models::Precision::kFp32;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--model") == 0) model_path = argv[i + 1];
     if (std::strcmp(argv[i], "--socket") == 0) socket_path = argv[i + 1];
@@ -259,12 +272,18 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--clients") == 0) clients = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--precision") == 0 &&
+        !sevuldet::models::parse_precision(argv[i + 1], &precision)) {
+      std::fprintf(stderr, "bad --precision '%s' (expected fp32|fp16|int8)\n",
+                   argv[i + 1]);
+      return 2;
+    }
   }
   if (model_path == nullptr) {
     std::fprintf(stderr,
                  "usage: micro_serve --model MODEL [--socket SOCK] "
                  "[--qps LIST] [--secs S] [--clients C] [--reps R] "
-                 "[--json PATH]\n");
+                 "[--json PATH] [--precision fp32|fp16|int8]\n");
     return 2;
   }
   clients = std::max(1, clients);
@@ -286,7 +305,7 @@ int main(int argc, char** argv) {
   config.model.conv_channels = 16;
   sc::SeVulDet detector(config);
   detector.load(model_path);
-  const Workload workload = build_workload(detector);
+  const Workload workload = build_workload(detector, precision);
 
   std::optional<serve::Server> self_hosted;
   std::thread server_thread;
@@ -296,15 +315,17 @@ int main(int argc, char** argv) {
     options.socket_path = socket_path;
     options.threads = std::max(2, bench::bench_threads());
     options.queue_depth = 256;
+    options.precision = precision;
     self_hosted.emplace(detector, options);
     server_thread = std::thread([&] { self_hosted->run(); });
     for (int i = 0; i < 500 && ::access(socket_path.c_str(), F_OK) != 0; ++i) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   }
-  std::printf("driving %s daemon at %s (%d client(s), %d rep(s), %.1fs/level)\n",
-              external ? "external" : "self-hosted", socket_path.c_str(),
-              clients, reps, secs);
+  std::printf(
+      "driving %s daemon at %s (%d client(s), %d rep(s), %.1fs/level, %s)\n",
+      external ? "external" : "self-hosted", socket_path.c_str(), clients, reps,
+      secs, sevuldet::models::precision_name(precision));
 
   std::atomic<long long> mismatches{0};
   std::vector<LevelResult> open_best(levels.size());
@@ -326,6 +347,12 @@ int main(int argc, char** argv) {
     server_thread.join();
   }
 
+  // fp32 rows keep the historical bench.* names; quantized sweeps nest
+  // under bench.<precision>.* so one baseline holds both side by side.
+  const std::string row_prefix =
+      precision == sevuldet::models::Precision::kFp32
+          ? std::string("bench")
+          : std::string("bench.") + sevuldet::models::precision_name(precision);
   sevuldet::util::Table table(
       {"load", "p50 ms", "p95 ms", "p99 ms", "achieved rps"});
   for (std::size_t i = 0; i < levels.size(); ++i) {
@@ -334,13 +361,13 @@ int main(int argc, char** argv) {
                    sevuldet::util::fmt(open_best[i].p95_ms, 2),
                    sevuldet::util::fmt(open_best[i].p99_ms, 2),
                    sevuldet::util::fmt(open_best[i].achieved_rps, 1)});
-    record_level("bench.qps" + std::to_string(levels[i]), open_best[i]);
+    record_level(row_prefix + ".qps" + std::to_string(levels[i]), open_best[i]);
   }
   table.add_row({"closed loop", sevuldet::util::fmt(closed_best.p50_ms, 2),
                  sevuldet::util::fmt(closed_best.p95_ms, 2),
                  sevuldet::util::fmt(closed_best.p99_ms, 2),
                  sevuldet::util::fmt(closed_best.achieved_rps, 1)});
-  record_level("bench.closed", closed_best);
+  record_level(row_prefix + ".closed", closed_best);
   std::printf("%s", table.to_string().c_str());
 
   const bool identical = mismatches.load() == 0;

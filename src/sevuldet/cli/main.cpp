@@ -61,16 +61,19 @@ int usage() {
                "  sevuldet selftrain --out MODEL [--pairs N] [--epochs N]\n"
                "                     [--corpus-cache DIR]\n"
                "  sevuldet scan FILE.c --model MODEL [--daemon SOCK]\n"
+               "                [--precision P]\n"
                "  sevuldet gadgets FILE.c [--plain]\n"
                "  sevuldet fuzz FILE.c [--execs N]\n"
                "  sevuldet train --dir DIR [--manifest TSV] --out MODEL\n"
                "  sevuldet export-corpus --dir DIR [--pairs N]\n"
                "  sevuldet explain FILE.c --model MODEL [--json FILE]\n"
-               "                  [--top N]\n"
+               "                  [--top N] [--precision P]\n"
                "  sevuldet report [--json FILE] [--pairs N] [--epochs N]\n"
+               "                  [--precision P]\n"
                "  sevuldet serve --model MODEL --socket SOCK [--threads N]\n"
                "                 [--queue-depth N] [--batch N]\n"
                "                 [--batch-window MS] [--deadline MS]\n"
+               "                 [--precision P]\n"
                "  sevuldet shutdown --socket SOCK\n"
                "\n"
                "  scan --daemon SOCK sends the file to a running serve\n"
@@ -82,6 +85,12 @@ int usage() {
                "  identical to --threads 1. --w2v-threads N additionally\n"
                "  parallelizes word2vec pre-training (Hogwild, result is then\n"
                "  nondeterministic; default 1).\n"
+               "\n"
+               "  --precision P selects the inference precision: fp32 (exact\n"
+               "  reference, default), fp16 or int8 (quantized conv/FC GEMMs —\n"
+               "  faster, with a small bounded score drift; the quality gate\n"
+               "  holds F1/AUC floors for int8). report evaluates its held-out\n"
+               "  fold at P; training itself always runs fp32.\n"
                "\n"
                "  selftrain/train accept --corpus-cache DIR: memoize per-file\n"
                "  preprocessing (Steps I-III) in a content-addressed cache, so\n"
@@ -116,6 +125,19 @@ bool has_flag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+/// Shared --precision handling for the inference commands. Returns false
+/// (after an error message) on an unknown value.
+bool apply_precision_flag(int argc, char** argv, models::Precision* out) {
+  if (const char* text = arg_value(argc, argv, "--precision")) {
+    if (!models::parse_precision(text, out)) {
+      std::fprintf(stderr, "bad --precision '%s' (expected fp32|fp16|int8)\n",
+                   text);
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Shared --threads/--w2v-threads/--corpus-cache handling for the
@@ -207,7 +229,9 @@ int cmd_scan(int argc, char** argv) {
   core::SeVulDet detector(config);
   detector.load(model_path);
 
-  return print_findings(argv[0], detector.detect(source));
+  core::DetectOptions options;
+  if (!apply_precision_flag(argc, argv, &options.precision)) return usage();
+  return print_findings(argv[0], detector.detect(source, options));
 }
 
 int cmd_serve(int argc, char** argv) {
@@ -243,11 +267,13 @@ int cmd_serve(int argc, char** argv) {
   if (const char* deadline = arg_value(argc, argv, "--deadline")) {
     options.default_deadline_ms = std::atof(deadline);
   }
+  if (!apply_precision_flag(argc, argv, &options.precision)) return usage();
 
   serve::Server server(detector, options);
-  std::printf("serving on %s (%d worker(s), queue depth %d, batch %d/%.1fms)\n",
-              socket_path, options.threads, options.queue_depth,
-              options.max_batch, options.batch_window_ms);
+  std::printf(
+      "serving on %s (%d worker(s), queue depth %d, batch %d/%.1fms, %s)\n",
+      socket_path, options.threads, options.queue_depth, options.max_batch,
+      options.batch_window_ms, models::precision_name(options.precision));
   std::fflush(stdout);
   server.run();
   std::printf("shutdown complete: %s\n", server.status_json().c_str());
@@ -369,6 +395,7 @@ int cmd_explain(int argc, char** argv) {
 
   core::DetectOptions options;
   options.explain = true;
+  if (!apply_precision_flag(argc, argv, &options.precision)) return usage();
   if (const char* top = arg_value(argc, argv, "--top")) {
     options.top_k = std::atoi(top);
   }
@@ -416,6 +443,7 @@ int cmd_report(int argc, char** argv) {
   if (const char* epochs = arg_value(argc, argv, "--epochs")) {
     config.pipeline.train.epochs = std::atoi(epochs);
   }
+  if (!apply_precision_flag(argc, argv, &config.precision)) return usage();
   apply_thread_flags(argc, argv, config.pipeline);
 
   auto report = core::run_quality_report(config);

@@ -143,18 +143,30 @@ EvaluationReport run_quality_report(const ReportConfig& config) {
   report.epoch_accuracies = train_result.epoch_accuracies;
   report.train_seconds = train_result.seconds;
 
-  // Held-out evaluation: one eval-mode forward pass per test sample
-  // feeds every breakdown.
+  // Held-out evaluation: the whole test fold is scored in one
+  // length-bucketed predict_batch call (training stays fp32; the
+  // requested precision applies to evaluation only), then every
+  // breakdown is fed from the returned probabilities.
   util::trace::ScopedSpan eval_span("report.eval");
+  detector.model().set_precision(config.precision);
+  report.precision = models::precision_name(config.precision);
+  std::vector<models::BatchItem> items;
+  items.reserve(split.test.size());
+  for (std::size_t idx : split.test) {
+    items.push_back({&corpus.samples[idx].ids, false});
+  }
+  std::vector<models::Prediction> scored(items.size());
+  detector.model().predict_batch(items.data(), items.size(), scored.data());
   const float threshold = config.pipeline.model.threshold;
   std::vector<dataset::ScoredPrediction> predictions;
   predictions.reserve(split.test.size());
   std::map<std::string, dataset::Confusion> by_cwe;
   std::map<std::string, dataset::Confusion> by_length;
   dataset::Confusion clean_by_cwe;  // shared negatives for every CWE row
+  std::size_t scored_idx = 0;
   for (std::size_t idx : split.test) {
     const auto& sample = corpus.samples[idx];
-    const float probability = detector.predict(sample.ids);
+    const float probability = scored[scored_idx++].probability;
     const bool predicted = probability > threshold;
     const bool actual = sample.label == 1;
     report.confusion.record(predicted, actual);
@@ -204,7 +216,9 @@ std::string report_to_json(const EvaluationReport& report) {
   append_float_array(out, report.epoch_losses);
   out += ",\n    \"epoch_accuracies\": ";
   append_float_array(out, report.epoch_accuracies);
-  out += "\n  },\n  \"evaluation\": {\n    \"confusion\": {";
+  out += "\n  },\n  \"evaluation\": {\n    \"precision\": ";
+  json::append_string(out, report.precision);
+  out += ",\n    \"confusion\": {";
   append_confusion_fields(out, report.confusion);
   out += "},\n    \"fpr\": ";
   json::append_number(out, report.confusion.fpr());
@@ -262,8 +276,8 @@ std::string report_summary(const EvaluationReport& report) {
   for (float loss : report.epoch_losses) out += " " + util::fmt(loss, 4);
   out += "\nepoch accuracy:";
   for (float acc : report.epoch_accuracies) out += " " + pct(acc) + "%";
-  out += "\n\nheld-out fold: " + report.confusion.summary() +
-         " AUC=" + util::fmt(report.auc, 3) +
+  out += "\n\nheld-out fold (" + report.precision +
+         "): " + report.confusion.summary() + " AUC=" + util::fmt(report.auc, 3) +
          " ECE=" + util::fmt(report.calibration.ece, 3) + "\n\n";
 
   auto breakdown_table = [](const char* label,

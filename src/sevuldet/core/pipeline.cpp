@@ -195,22 +195,40 @@ std::vector<Finding> SeVulDet::detect(const std::string& source,
   const std::vector<slicer::SpecialToken> tokens =
       slicer::find_special_tokens(program);
 
-  // Slice + normalize + classify one special token. Eval-mode forward
-  // passes are deterministic, so which model instance runs them does not
-  // change the result — only which thread it runs on.
-  auto process = [&](models::SeVulDetNet& model, nn::Graph& graph,
-                     const slicer::SpecialToken& token) -> std::optional<Finding> {
-    std::optional<PreparedGadget> prepared =
-        prepare_token(program, token, config_.corpus.gadget, vocab_);
-    if (!prepared.has_value()) return std::nullopt;
-    nn::GraphScope scope(graph);
-    const models::Prediction prediction =
-        model.predict_captured(prepared->ids, options.explain);
-    return finding_from_prediction(*prepared, prediction, options);
+  if (model_->precision() != options.precision) {
+    model_->set_precision(options.precision);
+  }
+
+  // Slice + normalize a chunk of special tokens, then score the chunk in
+  // one length-bucketed predict_batch call (same per-gadget results as
+  // scoring one at a time — bitwise at fp32 — but each bucket runs as
+  // large stacked GEMMs). Eval-mode forwards are deterministic, so which
+  // model instance runs them does not change the result.
+  std::vector<std::optional<Finding>> slots(tokens.size());
+  auto process_range = [&](models::SeVulDetNet& model, std::size_t begin,
+                           std::size_t end) {
+    std::vector<std::optional<PreparedGadget>> prepared(end - begin);
+    std::vector<models::BatchItem> items;
+    std::vector<std::size_t> origin;  // token index per batch item
+    items.reserve(end - begin);
+    origin.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      prepared[i - begin] =
+          prepare_token(program, tokens[i], config_.corpus.gadget, vocab_);
+      if (prepared[i - begin].has_value()) {
+        items.push_back({&prepared[i - begin]->ids, options.explain});
+        origin.push_back(i);
+      }
+    }
+    std::vector<models::Prediction> predictions(items.size());
+    model.predict_batch(items.data(), items.size(), predictions.data());
+    for (std::size_t j = 0; j < origin.size(); ++j) {
+      slots[origin[j]] = finding_from_prediction(
+          *prepared[origin[j] - begin], predictions[j], options);
+    }
   };
 
   const int threads = util::resolve_threads(config_.corpus.threads);
-  std::vector<std::optional<Finding>> slots(tokens.size());
   if (threads > 1 && tokens.size() > 1) {
     util::ThreadPool pool(threads);
     std::vector<std::unique_ptr<models::SeVulDetNet>> clones(
@@ -218,17 +236,10 @@ std::vector<Finding> SeVulDet::detect(const std::string& source,
     for (auto& clone : clones) clone = model_->clone_net();
     pool.parallel_chunks(tokens.size(), [&](int worker, std::size_t begin,
                                             std::size_t end) {
-      models::SeVulDetNet& model = *clones[static_cast<std::size_t>(worker)];
-      nn::Graph graph;
-      for (std::size_t i = begin; i < end; ++i) {
-        slots[i] = process(model, graph, tokens[i]);
-      }
+      process_range(*clones[static_cast<std::size_t>(worker)], begin, end);
     });
   } else {
-    nn::Graph graph;
-    for (std::size_t i = 0; i < tokens.size(); ++i) {
-      slots[i] = process(*model_, graph, tokens[i]);
-    }
+    process_range(*model_, 0, tokens.size());
   }
 
   std::vector<Finding> findings;
@@ -294,6 +305,11 @@ void SeVulDet::load(const std::string& path) {
     if (!in.done()) {
       throw std::runtime_error("model file: trailing bytes in payload");
     }
+    // Load-time tile autotuning: benchmark candidate GEMM cache tiles on
+    // this model's actual batched layer shapes and install the winner
+    // (once per process; results are tile-invariant, so this only moves
+    // wall clock).
+    nn::kernels::autotune_gemm_for_shapes(model_->batch_gemm_shapes(256));
     return;
   }
   if (bytes.compare(0, kModelHeaderV1.size(), kModelHeaderV1) != 0) {
@@ -321,6 +337,7 @@ void SeVulDet::load(const std::string& path) {
   std::ostringstream rest;
   rest << in.rdbuf();
   nn::deserialize_params(model_->params(), rest.str());
+  nn::kernels::autotune_gemm_for_shapes(model_->batch_gemm_shapes(256));
 }
 
 }  // namespace sevuldet::core

@@ -112,6 +112,37 @@ TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
   return result;
 }
 
+namespace {
+
+/// Score test[begin,end) in one predict_batch call (length-bucketed
+/// large GEMMs for SeVulDetNet, a per-sample loop for the RNN baselines)
+/// and tally the confusion. Same skips and threshold compare as the old
+/// per-sample loop — identical counts.
+dataset::Confusion evaluate_chunk(models::Detector& model,
+                                  const SampleRefs& test, std::size_t begin,
+                                  std::size_t end) {
+  std::vector<models::BatchItem> items;
+  std::vector<bool> truths;
+  items.reserve(end - begin);
+  truths.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto* sample = test[i];
+    if (sample->ids.empty()) continue;
+    items.push_back({&sample->ids, false});
+    truths.push_back(sample->label == 1);
+  }
+  std::vector<models::Prediction> predictions(items.size());
+  model.predict_batch(items.data(), items.size(), predictions.data());
+  dataset::Confusion confusion;
+  const float threshold = model.config().threshold;
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    confusion.record(predictions[j].probability > threshold, truths[j]);
+  }
+  return confusion;
+}
+
+}  // namespace
+
 dataset::Confusion evaluate_detector(models::Detector& detector,
                                      const SampleRefs& test, int threads) {
   util::trace::ScopedSpan span("eval");
@@ -119,15 +150,7 @@ dataset::Confusion evaluate_detector(models::Detector& detector,
                              static_cast<long long>(test.size()));
   const int workers = util::resolve_threads(threads);
   if (workers <= 1 || test.size() < 2) {
-    dataset::Confusion confusion;
-    nn::Graph graph;
-    for (const auto* sample : test) {
-      if (sample->ids.empty()) continue;
-      nn::GraphScope scope(graph);
-      const bool predicted = detector.is_vulnerable(sample->ids);
-      confusion.record(predicted, sample->label == 1);
-    }
-    return confusion;
+    return evaluate_chunk(detector, test, 0, test.size());
   }
 
   util::ThreadPool pool(workers);
@@ -137,15 +160,9 @@ dataset::Confusion evaluate_detector(models::Detector& detector,
   for (auto& clone : clones) clone = detector.clone();
   pool.parallel_chunks(test.size(), [&](int worker, std::size_t begin,
                                         std::size_t end) {
-    models::Detector& model = *clones[static_cast<std::size_t>(worker)];
-    dataset::Confusion& confusion = partial[static_cast<std::size_t>(worker)];
-    nn::Graph graph;  // per-worker: GraphScope is thread-local
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto* sample = test[i];
-      if (sample->ids.empty()) continue;
-      nn::GraphScope scope(graph);
-      confusion.record(model.is_vulnerable(sample->ids), sample->label == 1);
-    }
+    partial[static_cast<std::size_t>(worker)] =
+        evaluate_chunk(*clones[static_cast<std::size_t>(worker)], test, begin,
+                       end);
   });
   dataset::Confusion confusion;
   for (const auto& p : partial) confusion += p;

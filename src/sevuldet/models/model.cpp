@@ -33,6 +33,51 @@ std::pair<int, float> Detector::predict_class(const std::vector<int>& tokens) {
   return {best, probs[static_cast<std::size_t>(best)]};
 }
 
+const char* precision_name(Precision precision) {
+  switch (precision) {
+    case Precision::kFp32: return "fp32";
+    case Precision::kFp16: return "fp16";
+    case Precision::kInt8: return "int8";
+  }
+  return "?";
+}
+
+bool parse_precision(const std::string& text, Precision* out) {
+  if (text == "fp32") {
+    *out = Precision::kFp32;
+  } else if (text == "fp16") {
+    *out = Precision::kFp16;
+  } else if (text == "int8") {
+    *out = Precision::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Detector::predict_batch(const BatchItem* items, std::size_t count,
+                             Prediction* out) {
+  // Loop fallback: byte-identical to calling predict() per item (the
+  // batch_test suite pins this for BiRnnNet). Attention read-outs stay
+  // empty — models without an attention head have nothing to capture.
+  // Each item gets its own graph scope so the autograd arena is recycled
+  // per forward, exactly like the serial eval loop.
+  nn::Graph graph;
+  for (std::size_t i = 0; i < count; ++i) {
+    nn::GraphScope scope(graph);
+    out[i].probability = predict(*items[i].tokens);
+    out[i].token_weights.clear();
+    out[i].spatial_weights.clear();
+  }
+}
+
+std::vector<Prediction> Detector::predict_batch(
+    const std::vector<BatchItem>& items) {
+  std::vector<Prediction> out(items.size());
+  predict_batch(items.data(), items.size(), out.data());
+  return out;
+}
+
 void copy_parameters(const nn::ParamStore& from, nn::ParamStore& to) {
   for (const auto& [name, node] : from.all()) {
     nn::NodePtr target = to.find(name);

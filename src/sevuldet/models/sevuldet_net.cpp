@@ -1,6 +1,10 @@
 #include "sevuldet/models/sevuldet_net.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "sevuldet/util/metrics.hpp"
 
 namespace sevuldet::models {
 
@@ -92,7 +96,545 @@ const std::vector<float>& SeVulDetNet::last_spatial_weights() const {
 std::unique_ptr<SeVulDetNet> SeVulDetNet::clone_net() const {
   auto copy = std::make_unique<SeVulDetNet>(config_);
   copy_parameters(store_, copy->store_);
+  copy->set_precision(precision_);  // rebuilds quant caches from the copy
   return copy;
+}
+
+// ---------------------------------------------------------------------------
+// Batched inference engine.
+//
+// The fp32 batched path must be BITWISE-identical to the per-gadget
+// autograd forward, so every stage below replicates the exact
+// floating-point chain of the corresponding nn:: op (same kernels, same
+// reduction order, same clamp sequence). Stacking S same-length gadgets
+// into one [S*T, *] GEMM is safe because every GEMM row's accumulation
+// chain is independent of m and of the installed cache tiles (see the
+// determinism contract in nn/kernels.hpp).
+// ---------------------------------------------------------------------------
+
+namespace nk = nn::kernels;
+
+void SeVulDetNet::set_precision(Precision precision) {
+  precision_ = precision;
+  if (precision == Precision::kFp32) {
+    qconv1_ = QuantWeights{};
+    qconv2_ = QuantWeights{};
+    qfc1_ = QuantWeights{};
+    qfc2_ = QuantWeights{};
+  } else {
+    build_quant_cache();
+  }
+}
+
+const SeVulDetNet::ParamCache& SeVulDetNet::param_cache() {
+  if (!pcache_.ready) {
+    auto find = [this](const char* name) -> const nn::Tensor* {
+      return &store_.find(name)->value;
+    };
+    if (token_attention_) {
+      pcache_.attn_w = find("token_attn.w");
+      pcache_.attn_b = find("token_attn.b");
+      pcache_.attn_u = find("token_attn.u");
+    }
+    pcache_.conv1_w = find("conv1.w");
+    pcache_.conv1_b = find("conv1.b");
+    if (cbam_) {
+      pcache_.ch_w0 = find("cbam.channel.w0");
+      pcache_.ch_b0 = find("cbam.channel.b0");
+      pcache_.ch_w1 = find("cbam.channel.w1");
+      pcache_.ch_b1 = find("cbam.channel.b1");
+      pcache_.sp_w = find("cbam.spatial.conv.w");
+      pcache_.sp_b = find("cbam.spatial.conv.b");
+    }
+    pcache_.conv2_w = find("conv2.w");
+    pcache_.conv2_b = find("conv2.b");
+    pcache_.fc1_w = find("fc1.w");
+    pcache_.fc1_b = find("fc1.b");
+    pcache_.fc2_w = find("fc2.w");
+    pcache_.fc2_b = find("fc2.b");
+    pcache_.fc3_w = find("fc3.w");
+    pcache_.fc3_b = find("fc3.b");
+    pcache_.ready = true;
+  }
+  return pcache_;
+}
+
+void SeVulDetNet::build_quant_cache() {
+  auto build = [this](const char* name, QuantWeights& qw) {
+    const nn::Tensor& w = store_.find(name)->value;
+    const int rows = w.rows(), cols = w.cols();
+    qw.rows = rows;
+    qw.cols = cols;
+    qw.col_scale.assign(static_cast<std::size_t>(cols), 1.0f);
+    qw.q.assign(static_cast<std::size_t>(rows) * cols, 0);
+    for (int j = 0; j < cols; ++j) {
+      float amax = 0.0f;
+      for (int i = 0; i < rows; ++i) amax = std::max(amax, std::fabs(w.at(i, j)));
+      qw.col_scale[static_cast<std::size_t>(j)] = amax > 0.0f ? amax / 127.0f : 1.0f;
+    }
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        const float inv = 1.0f / qw.col_scale[static_cast<std::size_t>(j)];
+        long v = std::lrintf(w.at(i, j) * inv);
+        v = std::min(127L, std::max(-127L, v));
+        qw.q[static_cast<std::size_t>(i) * cols + j] = static_cast<std::int8_t>(v);
+      }
+    }
+    qw.half.resize(static_cast<std::size_t>(rows) * cols);
+    nk::float_to_half_buffer(qw.half.size(), w.data(), qw.half.data());
+  };
+  build("conv1.w", qconv1_);
+  build("conv2.w", qconv2_);
+  build("fc1.w", qfc1_);
+  build("fc2.w", qfc2_);
+}
+
+void SeVulDetNet::dense_head(int m, int k, int n, const float* act,
+                             const nn::Tensor& w, const nn::Tensor& b,
+                             const QuantWeights& qw, bool apply_relu,
+                             float* out) {
+  BatchScratch& s = scratch_;
+  if (precision_ == Precision::kInt8 && !qw.q.empty()) {
+    // Per-row dynamic activation scale; int32 accumulation is exact.
+    s.qa.resize(static_cast<std::size_t>(m) * k);
+    s.row_scale.resize(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      const float* row = act + static_cast<std::size_t>(i) * k;
+      float amax = 0.0f;
+      for (int p = 0; p < k; ++p) amax = std::max(amax, std::fabs(row[p]));
+      const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+      s.row_scale[static_cast<std::size_t>(i)] = scale;
+      const float inv = 1.0f / scale;
+      std::int8_t* qrow = s.qa.data() + static_cast<std::size_t>(i) * k;
+      for (int p = 0; p < k; ++p) {
+        long v = std::lrintf(row[p] * inv);
+        qrow[p] = static_cast<std::int8_t>(std::min(127L, std::max(-127L, v)));
+      }
+    }
+    s.acc.assign(static_cast<std::size_t>(m) * n, 0);
+    nk::gemm_s8(m, n, k, s.qa.data(), qw.q.data(), s.acc.data());
+    for (int i = 0; i < m; ++i) {
+      const float sa = s.row_scale[static_cast<std::size_t>(i)];
+      for (int j = 0; j < n; ++j) {
+        const std::size_t idx = static_cast<std::size_t>(i) * n + j;
+        out[idx] = static_cast<float>(s.acc[idx]) *
+                   (sa * qw.col_scale[static_cast<std::size_t>(j)]);
+      }
+    }
+  } else if (precision_ == Precision::kFp16 && !qw.half.empty()) {
+    s.ha.resize(static_cast<std::size_t>(m) * k);
+    nk::float_to_half_buffer(s.ha.size(), act, s.ha.data());
+    std::fill(out, out + static_cast<std::size_t>(m) * n, 0.0f);
+    nk::gemm_f16(m, n, k, s.ha.data(), qw.half.data(), out);
+  } else {
+    std::fill(out, out + static_cast<std::size_t>(m) * n, 0.0f);
+    nk::gemm(m, n, k, act, w.data(), out);
+  }
+  const float* bias = b.data();
+  for (int i = 0; i < m; ++i) {
+    float* row = out + static_cast<std::size_t>(i) * n;
+    nk::add_inplace(static_cast<std::size_t>(n), bias, row);
+    if (apply_relu) {
+      for (int j = 0; j < n; ++j) row[j] = row[j] > 0.0f ? row[j] : 0.0f;
+    }
+  }
+}
+
+void SeVulDetNet::forward_bucket(const BatchItem* const* items,
+                                 Prediction** out, int segs, int padded_len) {
+  BatchScratch& s = scratch_;
+  const ParamCache& pc = param_cache();
+  const int t0 = padded_len;
+  const int e = config_.embed_dim;
+  const int ch = config_.conv_channels;
+  const int kk = config_.conv_kernel;
+  const int pad = kk / 2;
+  const int t1 = t0 + 2 * pad - kk + 1;  // conv1 output rows per segment
+  const int t2 = t1 + 2 * pad - kk + 1;  // conv2 output rows per segment
+  if (t1 < 1 || t2 < 1) {
+    throw std::invalid_argument("im2row: sequence shorter than kernel");
+  }
+  const int rows0 = segs * t0;
+  const int rows1 = segs * t1;
+  const int rows2 = segs * t2;
+
+  // Embedding gather [rows0, e] (same padding rule as forward_logit).
+  s.x.resize(static_cast<std::size_t>(rows0) * e);
+  const nn::Tensor& table = embedding_->value;
+  for (int sg = 0; sg < segs; ++sg) {
+    const std::vector<int>& tokens = *items[sg]->tokens;
+    const int len = static_cast<int>(tokens.size());
+    float* xs = s.x.data() + static_cast<std::size_t>(sg) * t0 * e;
+    for (int i = 0; i < t0; ++i) {
+      const int id = i < len ? tokens[static_cast<std::size_t>(i)] : 0;
+      if (id < 0 || id >= table.rows()) {
+        throw std::out_of_range("embedding: id out of range");
+      }
+      nk::copy(static_cast<std::size_t>(e),
+               table.data() + static_cast<std::size_t>(id) * e,
+               xs + static_cast<std::size_t>(i) * e);
+    }
+  }
+
+  // Token attention (eqs. 1-4): one stacked GEMM for u and for the
+  // scores; softmax + alpha capture + alpha*T scaling per segment.
+  if (token_attention_) {
+    const nn::Tensor& ww = *pc.attn_w;  // [e, a]
+    const nn::Tensor& bw = *pc.attn_b;  // [1, a]
+    const nn::Tensor& uw = *pc.attn_u;  // [a, 1]
+    const int a = ww.cols();
+    s.attn_u.assign(static_cast<std::size_t>(rows0) * a, 0.0f);
+    nk::gemm(rows0, a, e, s.x.data(), ww.data(), s.attn_u.data());
+    for (int i = 0; i < rows0; ++i) {
+      float* row = s.attn_u.data() + static_cast<std::size_t>(i) * a;
+      nk::add_inplace(static_cast<std::size_t>(a), bw.data(), row);
+      for (int j = 0; j < a; ++j) row[j] = std::tanh(row[j]);
+    }
+    s.attn_scores.assign(static_cast<std::size_t>(rows0), 0.0f);
+    nk::gemm(rows0, 1, a, s.attn_u.data(), uw.data(), s.attn_scores.data());
+    s.alpha.resize(static_cast<std::size_t>(rows0));
+    const float tf = static_cast<float>(t0);
+    for (int sg = 0; sg < segs; ++sg) {
+      const float* sc = s.attn_scores.data() + static_cast<std::size_t>(sg) * t0;
+      float* al = s.alpha.data() + static_cast<std::size_t>(sg) * t0;
+      float max_v = sc[0];
+      for (int i = 1; i < t0; ++i) max_v = std::max(max_v, sc[i]);
+      float sum = 0.0f;
+      for (int i = 0; i < t0; ++i) {
+        al[i] = std::exp(sc[i] - max_v);
+        sum += al[i];
+      }
+      for (int i = 0; i < t0; ++i) al[i] /= sum;
+      out[sg]->token_weights.assign(al, al + t0);  // pre-scale, as the layer does
+      float* xs = s.x.data() + static_cast<std::size_t>(sg) * t0 * e;
+      for (int i = 0; i < t0; ++i) {
+        const float sa = al[i] * tf;
+        float* xr = xs + static_cast<std::size_t>(i) * e;
+        for (int j = 0; j < e; ++j) xr[j] *= sa;
+      }
+    }
+  } else {
+    for (int sg = 0; sg < segs; ++sg) out[sg]->token_weights.clear();
+  }
+
+  // conv1 = relu(im2row * W + b), quantizable.
+  const int k1 = kk * e;
+  s.im1.assign(static_cast<std::size_t>(rows1) * k1, 0.0f);
+  for (int sg = 0; sg < segs; ++sg) {
+    const float* xs = s.x.data() + static_cast<std::size_t>(sg) * t0 * e;
+    float* os = s.im1.data() + static_cast<std::size_t>(sg) * t1 * k1;
+    for (int i = 0; i < t1; ++i) {
+      for (int k2 = 0; k2 < kk; ++k2) {
+        const int src = i + k2 - pad;
+        if (src < 0 || src >= t0) continue;  // zero padding
+        nk::copy(static_cast<std::size_t>(e),
+                 xs + static_cast<std::size_t>(src) * e,
+                 os + static_cast<std::size_t>(i) * k1 +
+                     static_cast<std::size_t>(k2) * e);
+      }
+    }
+  }
+  s.f1.resize(static_cast<std::size_t>(rows1) * ch);
+  dense_head(rows1, k1, ch, s.im1.data(), *pc.conv1_w, *pc.conv1_b, qconv1_,
+             /*apply_relu=*/true, s.f1.data());
+
+  // CBAM (eqs. 5-8), always fp32.
+  const float* conv2_src = s.f1.data();
+  if (cbam_) {
+    // Channel attention: per-segment avg/max rows -> [segs, ch] through
+    // the shared MLP as stacked GEMMs.
+    const nn::Tensor& w0 = *pc.ch_w0;  // [ch, mid]
+    const nn::Tensor& b0 = *pc.ch_b0;
+    const nn::Tensor& w1 = *pc.ch_w1;  // [mid, ch]
+    const nn::Tensor& b1 = *pc.ch_b1;
+    const int mid = w0.cols();
+    s.ch_avg.assign(static_cast<std::size_t>(segs) * ch, 0.0f);
+    s.ch_max.resize(static_cast<std::size_t>(segs) * ch);
+    for (int sg = 0; sg < segs; ++sg) {
+      const float* fs = s.f1.data() + static_cast<std::size_t>(sg) * t1 * ch;
+      float* avg = s.ch_avg.data() + static_cast<std::size_t>(sg) * ch;
+      nk::col_sum_add(t1, ch, fs, avg);
+      for (int j = 0; j < ch; ++j) avg[j] /= static_cast<float>(t1);
+      float* mx = s.ch_max.data() + static_cast<std::size_t>(sg) * ch;
+      nk::copy(static_cast<std::size_t>(ch), fs, mx);
+      for (int i = 1; i < t1; ++i) {
+        const float* fr = fs + static_cast<std::size_t>(i) * ch;
+        for (int j = 0; j < ch; ++j) {
+          if (fr[j] > mx[j]) mx[j] = fr[j];
+        }
+      }
+    }
+    auto mlp = [&](const std::vector<float>& in, std::vector<float>& out_v) {
+      s.ch_mid.assign(static_cast<std::size_t>(segs) * mid, 0.0f);
+      nk::gemm(segs, mid, ch, in.data(), w0.data(), s.ch_mid.data());
+      for (int i = 0; i < segs; ++i) {
+        float* row = s.ch_mid.data() + static_cast<std::size_t>(i) * mid;
+        nk::add_inplace(static_cast<std::size_t>(mid), b0.data(), row);
+        for (int j = 0; j < mid; ++j) row[j] = row[j] > 0.0f ? row[j] : 0.0f;
+      }
+      out_v.assign(static_cast<std::size_t>(segs) * ch, 0.0f);
+      nk::gemm(segs, ch, mid, s.ch_mid.data(), w1.data(), out_v.data());
+      for (int i = 0; i < segs; ++i) {
+        nk::add_inplace(static_cast<std::size_t>(ch), b1.data(),
+                        out_v.data() + static_cast<std::size_t>(i) * ch);
+      }
+    };
+    mlp(s.ch_avg, s.ch_mlp);  // avg branch
+    mlp(s.ch_max, s.mc);      // max branch
+    for (std::size_t i = 0; i < s.mc.size(); ++i) {
+      s.mc[i] = 1.0f / (1.0f + std::exp(-(s.ch_mlp[i] + s.mc[i])));
+    }
+    // F' = F * Mc (row broadcast per segment).
+    s.cb.resize(static_cast<std::size_t>(rows1) * ch);
+    for (int sg = 0; sg < segs; ++sg) {
+      const float* fs = s.f1.data() + static_cast<std::size_t>(sg) * t1 * ch;
+      const float* mcr = s.mc.data() + static_cast<std::size_t>(sg) * ch;
+      float* gs = s.cb.data() + static_cast<std::size_t>(sg) * t1 * ch;
+      for (int i = 0; i < t1; ++i) {
+        for (int j = 0; j < ch; ++j) {
+          gs[static_cast<std::size_t>(i) * ch + j] =
+              fs[static_cast<std::size_t>(i) * ch + j] * mcr[j];
+        }
+      }
+    }
+
+    // Spatial attention input: F' when sequential, F when parallel.
+    const float* sp_src = config_.cbam_sequential ? s.cb.data() : s.f1.data();
+    s.sp_in.resize(static_cast<std::size_t>(rows1) * 2);
+    for (int i = 0; i < rows1; ++i) {
+      const float* fr = sp_src + static_cast<std::size_t>(i) * ch;
+      float acc = 0.0f;
+      for (int j = 0; j < ch; ++j) acc += fr[j];
+      // 0.0f + acc mirrors row_sum_add's accumulate-into-zeroed-output.
+      s.sp_in[2 * static_cast<std::size_t>(i)] =
+          (0.0f + acc) / static_cast<float>(ch);
+      float best = fr[0];
+      for (int j = 1; j < ch; ++j) {
+        if (fr[j] > best) best = fr[j];
+      }
+      s.sp_in[2 * static_cast<std::size_t>(i) + 1] = best;
+    }
+    const nn::Tensor& sw = *pc.sp_w;  // [2k, 1]
+    const nn::Tensor& sb = *pc.sp_b;  // [1, 1]
+    const int ks = sw.rows() / 2;
+    const int ps = ks / 2;
+    const int ksc = ks * 2;
+    if (t1 + 2 * ps - ks + 1 != t1) {
+      throw std::invalid_argument("forward_bucket: spatial kernel must be odd");
+    }
+    s.sp_im.assign(static_cast<std::size_t>(rows1) * ksc, 0.0f);
+    for (int sg = 0; sg < segs; ++sg) {
+      const float* ss = s.sp_in.data() + static_cast<std::size_t>(sg) * t1 * 2;
+      float* os = s.sp_im.data() + static_cast<std::size_t>(sg) * t1 * ksc;
+      for (int i = 0; i < t1; ++i) {
+        for (int k2 = 0; k2 < ks; ++k2) {
+          const int src = i + k2 - ps;
+          if (src < 0 || src >= t1) continue;
+          nk::copy(2, ss + static_cast<std::size_t>(src) * 2,
+                   os + static_cast<std::size_t>(i) * ksc +
+                       static_cast<std::size_t>(k2) * 2);
+        }
+      }
+    }
+    s.ms.assign(static_cast<std::size_t>(rows1), 0.0f);
+    nk::gemm(rows1, 1, ksc, s.sp_im.data(), sw.data(), s.ms.data());
+    const float sbias = sb.at(0, 0);
+    for (int i = 0; i < rows1; ++i) {
+      s.ms[static_cast<std::size_t>(i)] =
+          1.0f / (1.0f + std::exp(-(s.ms[static_cast<std::size_t>(i)] + sbias)));
+    }
+    for (int sg = 0; sg < segs; ++sg) {
+      if (items[sg]->capture_spatial) {
+        const float* msr = s.ms.data() + static_cast<std::size_t>(sg) * t1;
+        out[sg]->spatial_weights.assign(msr, msr + t1);
+      } else {
+        out[sg]->spatial_weights.clear();
+      }
+    }
+    s.cb2.resize(static_cast<std::size_t>(rows1) * ch);
+    if (config_.cbam_sequential) {
+      // F'' = F' * Ms (col broadcast).
+      for (int i = 0; i < rows1; ++i) {
+        const float m = s.ms[static_cast<std::size_t>(i)];
+        for (int j = 0; j < ch; ++j) {
+          s.cb2[static_cast<std::size_t>(i) * ch + j] =
+              s.cb[static_cast<std::size_t>(i) * ch + j] * m;
+        }
+      }
+    } else {
+      // 0.5 * (channel branch + spatial branch).
+      for (int i = 0; i < rows1; ++i) {
+        const float m = s.ms[static_cast<std::size_t>(i)];
+        for (int j = 0; j < ch; ++j) {
+          const std::size_t idx = static_cast<std::size_t>(i) * ch + j;
+          s.cb2[idx] = (s.cb[idx] + s.f1[idx] * m) * 0.5f;
+        }
+      }
+    }
+    conv2_src = s.cb2.data();
+  } else {
+    for (int sg = 0; sg < segs; ++sg) out[sg]->spatial_weights.clear();
+  }
+
+  // conv2 = relu(im2row * W + b), quantizable.
+  const int k2c = kk * ch;
+  s.im2.assign(static_cast<std::size_t>(rows2) * k2c, 0.0f);
+  for (int sg = 0; sg < segs; ++sg) {
+    const float* fs = conv2_src + static_cast<std::size_t>(sg) * t1 * ch;
+    float* os = s.im2.data() + static_cast<std::size_t>(sg) * t2 * k2c;
+    for (int i = 0; i < t2; ++i) {
+      for (int k2 = 0; k2 < kk; ++k2) {
+        const int src = i + k2 - pad;
+        if (src < 0 || src >= t1) continue;
+        nk::copy(static_cast<std::size_t>(ch),
+                 fs + static_cast<std::size_t>(src) * ch,
+                 os + static_cast<std::size_t>(i) * k2c +
+                     static_cast<std::size_t>(k2) * ch);
+      }
+    }
+  }
+  s.f2.resize(static_cast<std::size_t>(rows2) * ch);
+  dense_head(rows2, k2c, ch, s.im2.data(), *pc.conv2_w, *pc.conv2_b, qconv2_,
+             /*apply_relu=*/true, s.f2.data());
+
+  // SPP per segment -> pooled [segs, spp_out] (exact spp_max clamps).
+  const int spp_out = spp_total_bins(config_.spp_bins) * ch;
+  s.pooled.resize(static_cast<std::size_t>(segs) * spp_out);
+  for (int sg = 0; sg < segs; ++sg) {
+    const float* fs = s.f2.data() + static_cast<std::size_t>(sg) * t2 * ch;
+    float* pr = s.pooled.data() + static_cast<std::size_t>(sg) * spp_out;
+    int bin_offset = 0;
+    for (int nb : config_.spp_bins) {
+      for (int b = 0; b < nb; ++b) {
+        int start = (b * t2) / nb;
+        int end = ((b + 1) * t2 + nb - 1) / nb;  // ceil
+        if (end <= start) end = start + 1;
+        if (start >= t2) start = t2 - 1;
+        if (end > t2) end = t2;
+        for (int j = 0; j < ch; ++j) {
+          float best = fs[static_cast<std::size_t>(start) * ch + j];
+          for (int i = start + 1; i < end; ++i) {
+            const float v = fs[static_cast<std::size_t>(i) * ch + j];
+            if (v > best) best = v;
+          }
+          pr[static_cast<std::size_t>(bin_offset + b) * ch + j] = best;
+        }
+      }
+      bin_offset += nb;
+    }
+  }
+
+  // FC head: fc1/fc2 quantizable + ReLU (dropout is identity in eval),
+  // fc3 always fp32 (the logit layer stays exact).
+  s.h1.resize(static_cast<std::size_t>(segs) * config_.dense1);
+  dense_head(segs, spp_out, config_.dense1, s.pooled.data(), *pc.fc1_w,
+             *pc.fc1_b, qfc1_, /*apply_relu=*/true, s.h1.data());
+  s.h2.resize(static_cast<std::size_t>(segs) * config_.dense2);
+  dense_head(segs, config_.dense1, config_.dense2, s.h1.data(), *pc.fc2_w,
+             *pc.fc2_b, qfc2_, /*apply_relu=*/true, s.h2.data());
+  const int numout = std::max(1, config_.num_classes);
+  s.logits.assign(static_cast<std::size_t>(segs) * numout, 0.0f);
+  nk::gemm(segs, numout, config_.dense2, s.h2.data(), pc.fc3_w->data(),
+           s.logits.data());
+  const nn::Tensor& b3 = *pc.fc3_b;
+  for (int i = 0; i < segs; ++i) {
+    float* row = s.logits.data() + static_cast<std::size_t>(i) * numout;
+    nk::add_inplace(static_cast<std::size_t>(numout), b3.data(), row);
+    if (config_.num_classes > 1) {
+      float max_v = row[0];
+      for (int j = 1; j < numout; ++j) max_v = std::max(max_v, row[j]);
+      float sum = 0.0f;
+      float p0 = 0.0f;
+      for (int j = 0; j < numout; ++j) {
+        const float v = std::exp(row[j] - max_v);
+        if (j == 0) p0 = v;
+        sum += v;
+      }
+      out[i]->probability = 1.0f - p0 / sum;
+    } else {
+      out[i]->probability = 1.0f / (1.0f + std::exp(-row[0]));
+    }
+  }
+}
+
+void SeVulDetNet::predict_batch(const BatchItem* items, std::size_t count,
+                                Prediction* out) {
+  if (count == 0) return;
+  util::metrics::counter_add("nn.predict_batch.calls");
+  util::metrics::counter_add("nn.predict_batch.gadgets",
+                             static_cast<long long>(count));
+  // Group by padded length: stable order inside a bucket, ascending
+  // length across buckets — deterministic regardless of input order.
+  // The original index is the pair's second member, so plain in-place
+  // sort on (len, idx) is stable by construction (stable_sort would
+  // heap-allocate a temp buffer every call).
+  bucket_order_.clear();
+  bucket_order_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int len = std::max(static_cast<int>(items[i].tokens->size()),
+                             config_.conv_kernel);
+    bucket_order_.emplace_back(len, i);
+  }
+  std::sort(bucket_order_.begin(), bucket_order_.end());
+  std::size_t start = 0;
+  while (start < bucket_order_.size()) {
+    const int len = bucket_order_[start].first;
+    std::size_t stop = start;
+    while (stop < bucket_order_.size() && bucket_order_[stop].first == len) {
+      ++stop;
+    }
+    bucket_items_.clear();
+    bucket_out_.clear();
+    for (std::size_t i = start; i < stop; ++i) {
+      bucket_items_.push_back(&items[bucket_order_[i].second]);
+      bucket_out_.push_back(&out[bucket_order_[i].second]);
+    }
+    forward_bucket(bucket_items_.data(), bucket_out_.data(),
+                   static_cast<int>(bucket_items_.size()), len);
+    start = stop;
+  }
+}
+
+std::size_t SeVulDetNet::scratch_bytes() const {
+  const BatchScratch& s = scratch_;
+  std::size_t floats = 0;
+  for (const std::vector<float>* v :
+       {&s.x, &s.attn_u, &s.attn_scores, &s.alpha, &s.im1, &s.f1, &s.cb,
+        &s.cb2, &s.im2, &s.f2, &s.ch_avg, &s.ch_max, &s.ch_mid, &s.ch_mlp,
+        &s.mc, &s.sp_in, &s.sp_im, &s.ms, &s.pooled, &s.h1, &s.h2, &s.logits,
+        &s.row_scale}) {
+    floats += v->capacity();
+  }
+  return floats * sizeof(float) + s.qa.capacity() * sizeof(std::int8_t) +
+         s.acc.capacity() * sizeof(std::int32_t) +
+         s.ha.capacity() * sizeof(std::uint16_t);
+}
+
+std::vector<nn::kernels::GemmShape> SeVulDetNet::batch_gemm_shapes(
+    int rows_hint) const {
+  const int rows = std::max(32, rows_hint);
+  const int segs = std::max(1, rows / 48);  // ~typical tokens per gadget
+  const int e = config_.embed_dim;
+  const int ch = config_.conv_channels;
+  const int kk = config_.conv_kernel;
+  std::vector<nk::GemmShape> shapes;
+  if (config_.token_attention) {
+    shapes.push_back({rows, config_.attn_dim, e});
+    shapes.push_back({rows, 1, config_.attn_dim});
+  }
+  shapes.push_back({rows, ch, kk * e});
+  if (config_.multilayer_attention) {
+    const int mid = std::max(1, ch / config_.cbam_reduction);
+    shapes.push_back({segs, mid, ch});
+    shapes.push_back({segs, ch, mid});
+    shapes.push_back({rows, 1, 14});
+  }
+  shapes.push_back({rows, ch, kk * ch});
+  const int spp_out = spp_total_bins(config_.spp_bins) * ch;
+  shapes.push_back({segs, config_.dense1, spp_out});
+  shapes.push_back({segs, config_.dense2, config_.dense1});
+  shapes.push_back({segs, std::max(1, config_.num_classes), config_.dense2});
+  return shapes;
 }
 
 }  // namespace sevuldet::models

@@ -6,9 +6,11 @@
 // RQ2 ablations (CNN / CNN-TokenATT / CNN-MultiATT).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "sevuldet/models/model.hpp"
+#include "sevuldet/nn/kernels.hpp"
 
 namespace sevuldet::models {
 
@@ -40,11 +42,92 @@ class SeVulDetNet : public Detector {
   Prediction predict_captured(const std::vector<int>& tokens,
                               bool capture_spatial = false);
 
+  /// Length-bucketed batched inference: items are grouped by padded
+  /// token count and each group runs the whole trunk as large stacked
+  /// GEMMs (embedding gather, token-attention MLP, conv1/conv2 im2row
+  /// products, CBAM MLPs, FC head), with the per-gadget stages
+  /// (softmax, reductions, SPP) applied per row segment. At fp32 the
+  /// output is BITWISE-identical to calling predict_captured() per item
+  /// — stacking same-length gadgets changes neither any GEMM row's
+  /// accumulation chain nor any segment-local op (tests/batch_test.cpp
+  /// pins this). At fp16/int8 the conv/FC GEMMs run quantized (see
+  /// Precision). No autograd graph is built; scratch is reused across
+  /// calls, so steady-state batches allocate nothing.
+  void predict_batch(const BatchItem* items, std::size_t count,
+                     Prediction* out) override;
+  using Detector::predict_batch;  // keep the vector convenience overload
+
+  /// Build (or drop) the quantized weight caches for the batched path.
+  void set_precision(Precision precision) override;
+
+  /// Bytes currently held by the batched engine's recycled scratch
+  /// buffers (capacity, not size — vectors only grow, so this is the
+  /// high-water inference footprint of this instance).
+  std::size_t scratch_bytes() const;
+
+  /// The GEMM problem shapes the bucketed forward issues for roughly
+  /// `rows_hint` stacked token rows — fed to the load-time tile
+  /// autotuner, which benchmarks candidate cache tiles on exactly these.
+  std::vector<nn::kernels::GemmShape> batch_gemm_shapes(int rows_hint) const;
+
   /// Concrete deep copy (keeps access to last_token_weights()).
   std::unique_ptr<SeVulDetNet> clone_net() const;
   std::unique_ptr<Detector> clone() const override { return clone_net(); }
 
  private:
+  /// One weight matrix in the quantized formats the batched engine can
+  /// consume: int8 with per-output-channel (column) symmetric scales,
+  /// and binary16. Built once in set_precision (model load), read-only
+  /// during inference.
+  struct QuantWeights {
+    std::vector<std::int8_t> q;       // [rows, cols] int8
+    std::vector<float> col_scale;     // [cols] dequant scales
+    std::vector<std::uint16_t> half;  // [rows, cols] binary16
+    int rows = 0;
+    int cols = 0;
+  };
+
+  /// Recycled buffers of the batched engine (per model instance; clones
+  /// own their own, so per-worker clones batch concurrently).
+  struct BatchScratch {
+    std::vector<float> x, attn_u, attn_scores, alpha;
+    std::vector<float> im1, f1, cb, cb2, im2, f2;
+    std::vector<float> ch_avg, ch_max, ch_mid, ch_mlp, mc;
+    std::vector<float> sp_in, sp_im, ms;
+    std::vector<float> pooled, h1, h2, logits;
+    std::vector<std::int8_t> qa;      // quantized activations
+    std::vector<std::int32_t> acc;    // int8 GEMM accumulators
+    std::vector<std::uint16_t> ha;    // fp16 activations
+    std::vector<float> row_scale;     // per-row activation scales
+  };
+
+  /// Parameter tensors the batched engine reads, resolved from store_
+  /// once per instance (ParamStore::find hashes a std::string per call —
+  /// measurably hot at one-segment bucket granularity). Tensor addresses
+  /// are stable for the model's lifetime; training updates values in
+  /// place.
+  struct ParamCache {
+    const nn::Tensor *attn_w = nullptr, *attn_b = nullptr, *attn_u = nullptr;
+    const nn::Tensor *conv1_w = nullptr, *conv1_b = nullptr;
+    const nn::Tensor *ch_w0 = nullptr, *ch_b0 = nullptr;
+    const nn::Tensor *ch_w1 = nullptr, *ch_b1 = nullptr;
+    const nn::Tensor *sp_w = nullptr, *sp_b = nullptr;
+    const nn::Tensor *conv2_w = nullptr, *conv2_b = nullptr;
+    const nn::Tensor *fc1_w = nullptr, *fc1_b = nullptr;
+    const nn::Tensor *fc2_w = nullptr, *fc2_b = nullptr;
+    const nn::Tensor *fc3_w = nullptr, *fc3_b = nullptr;
+    bool ready = false;
+  };
+
+  const ParamCache& param_cache();
+  void build_quant_cache();
+  /// out[m,n] = act[m,k] x W + bias (+ReLU), dispatched on precision_.
+  void dense_head(int m, int k, int n, const float* act, const nn::Tensor& w,
+                  const nn::Tensor& b, const QuantWeights& qw, bool apply_relu,
+                  float* out);
+  void forward_bucket(const BatchItem* const* items, Prediction** out, int segs,
+                      int padded_len);
+
   std::string name_;
   nn::ParamStore store_;
   util::Rng rng_;          // dropout randomness
@@ -56,6 +139,12 @@ class SeVulDetNet : public Detector {
   std::unique_ptr<nn::Dense> fc1_, fc2_, fc3_;
   std::vector<float> empty_weights_;
   std::vector<int> ids_scratch_;  // padded token ids, reused per forward
+  QuantWeights qconv1_, qconv2_, qfc1_, qfc2_;
+  ParamCache pcache_;
+  BatchScratch scratch_;
+  std::vector<std::pair<int, std::size_t>> bucket_order_;  // (padded len, idx)
+  std::vector<const BatchItem*> bucket_items_;  // bucket assembly scratch
+  std::vector<Prediction*> bucket_out_;
 };
 
 }  // namespace sevuldet::models

@@ -14,10 +14,8 @@ MicroBatcher::MicroBatcher(const models::SeVulDetNet& model,
   options_.max_batch = std::max(1, options_.max_batch);
   options_.window_ms = std::max(0.0, options_.window_ms);
   clones_.reserve(static_cast<std::size_t>(pool_.size()));
-  graphs_.reserve(static_cast<std::size_t>(pool_.size()));
   for (int i = 0; i < pool_.size(); ++i) {
     clones_.push_back(model.clone_net());
-    graphs_.push_back(std::make_unique<nn::Graph>());
   }
   flusher_ = std::thread([this] { flusher_loop(); });
 }
@@ -122,24 +120,44 @@ void MicroBatcher::run_batch(std::vector<Entry*>& batch) {
                              static_cast<long long>(batch.size()));
   // Score outside mu_ so new submissions queue up behind this batch.
   // parallel_chunks gives each ThreadPool worker a contiguous slice and
-  // its own clone + Graph; a pool of size 1 runs inline on this thread.
-  auto score = [&](models::SeVulDetNet& model, nn::Graph& graph, Entry& entry) {
+  // its own clone; a pool of size 1 runs inline on this thread. Each
+  // chunk is scored with one length-bucketed predict_batch call —
+  // bitwise-identical to the old per-entry predict_captured loop at
+  // fp32. If the batched call throws (e.g. an out-of-range token id),
+  // the chunk is rescored one entry at a time so a bad gadget only
+  // fails its own entry, exactly as before.
+  auto score_range = [&](models::SeVulDetNet& model, std::size_t begin,
+                         std::size_t end) {
+    std::vector<models::BatchItem> items;
+    items.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      items.push_back({batch[i]->ids, batch[i]->capture_spatial});
+    }
+    std::vector<models::Prediction> predictions(items.size());
     try {
-      nn::GraphScope scope(graph);
-      entry.result = model.predict_captured(*entry.ids, entry.capture_spatial);
+      model.predict_batch(items.data(), items.size(), predictions.data());
+      for (std::size_t i = begin; i < end; ++i) {
+        batch[i]->result = std::move(predictions[i - begin]);
+      }
+      return;
     } catch (...) {
-      entry.error = std::current_exception();
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        model.predict_batch(&items[i - begin], 1, predictions.data());
+        batch[i]->result = std::move(predictions[0]);
+      } catch (...) {
+        batch[i]->error = std::current_exception();
+      }
     }
   };
   if (pool_.size() > 1 && batch.size() > 1) {
     pool_.parallel_chunks(batch.size(), [&](int worker, std::size_t begin,
                                             std::size_t end) {
-      auto& model = *clones_[static_cast<std::size_t>(worker)];
-      auto& graph = *graphs_[static_cast<std::size_t>(worker)];
-      for (std::size_t i = begin; i < end; ++i) score(model, graph, *batch[i]);
+      score_range(*clones_[static_cast<std::size_t>(worker)], begin, end);
     });
   } else {
-    for (Entry* entry : batch) score(*clones_[0], *graphs_[0], *entry);
+    score_range(*clones_[0], 0, batch.size());
   }
   {
     std::lock_guard lock(mu_);
@@ -165,9 +183,7 @@ long long MicroBatcher::full_flushes() const {
 
 std::size_t MicroBatcher::arena_high_water_bytes() const {
   std::size_t total = 0;
-  for (const auto& graph : graphs_) {
-    total += graph->arena().high_water() * sizeof(float);
-  }
+  for (const auto& clone : clones_) total += clone->scratch_bytes();
   return total;
 }
 

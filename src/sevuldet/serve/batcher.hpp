@@ -2,8 +2,9 @@
 // workers submit encoded gadgets (token-id sequences) and block on the
 // result; a dedicated flusher thread collects submissions into batches
 // and scores each batch over the PR 1 ThreadPool with per-worker model
-// clones and per-worker autograd Graphs (arena reuse — zero heap
-// allocation per gadget after warmup). A batch flushes when it reaches
+// clones, each running the length-bucketed predict_batch engine (scratch
+// reuse — zero heap allocation per gadget after warmup). A batch flushes
+// when it reaches
 // `max_batch` entries or when its oldest entry has waited `window_ms`,
 // whichever comes first, so a lone request never stalls behind an
 // unfilled batch for long.
@@ -65,8 +66,9 @@ class MicroBatcher {
   long long batches_flushed() const;
   long long gadgets_scored() const;
   long long full_flushes() const;  // flushed at max_batch (vs window/drain)
-  /// Peak activation-arena bytes across the inference clones — the
-  /// daemon's steady-state inference memory footprint.
+  /// Peak activation-scratch bytes across the inference clones — the
+  /// daemon's steady-state inference memory footprint (the batched
+  /// engine's recycled buffers; capacity only grows).
   std::size_t arena_high_water_bytes() const;
 
  private:
@@ -84,7 +86,6 @@ class MicroBatcher {
   BatcherOptions options_;
   util::ThreadPool pool_;
   std::vector<std::unique_ptr<models::SeVulDetNet>> clones_;
-  std::vector<std::unique_ptr<nn::Graph>> graphs_;
 
   std::mutex mu_;
   std::condition_variable pending_cv_;  // wakes the flusher

@@ -24,12 +24,20 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Apply the serve precision to the model before MicroBatcher clones it
+/// (member-init order: the batcher is constructed right after options_).
+models::SeVulDetNet& with_precision(models::SeVulDetNet& model,
+                                    models::Precision precision) {
+  if (model.precision() != precision) model.set_precision(precision);
+  return model;
+}
+
 }  // namespace
 
 Server::Server(core::SeVulDet& detector, ServeOptions options)
     : detector_(detector),
       options_(std::move(options)),
-      batcher_(detector.model(),
+      batcher_(with_precision(detector.model(), options_.precision),
                BatcherOptions{std::max(1, options_.max_batch),
                               std::max(0.0, options_.batch_window_ms),
                               std::max(1, options_.threads)}) {

@@ -65,6 +65,11 @@ struct ServeOptions {
   int accept_timeout_ms = 100;  // accept/readability poll granularity —
                                 // bounds shutdown latency
   int recv_timeout_ms = 30000;  // mid-frame stall bound per connection
+  /// Forward precision for every scan this daemon serves. Applied to the
+  /// detector's model before the batcher clones it, so all scoring
+  /// clones inherit it. fp32 replies are byte-identical to in-process
+  /// scans; fp16/int8 trade bounded score drift for throughput.
+  models::Precision precision = models::Precision::kFp32;
 };
 
 class Server {

@@ -1,0 +1,261 @@
+// The length-bucketed batched inference engine's load-bearing contract:
+// at fp32, SeVulDetNet::predict_batch is BITWISE identical to the
+// per-gadget predict_captured loop — across bucket boundaries, odd
+// batch sizes, every attention ablation, multiclass heads, and the
+// explain capture (attention read-outs travel with the scores). Models
+// without a native batched engine fall back to the base-class loop,
+// which must be byte-identical to repeated predict(). Daemon-level
+// byte-identity (client bytes vs in-process detect) is pinned in
+// serve_test.cpp — the daemon scores through this same engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "sevuldet/models/birnn_net.hpp"
+#include "sevuldet/models/sevuldet_net.hpp"
+#include "sevuldet/nn/autograd.hpp"
+
+namespace sm = sevuldet::models;
+namespace nn = sevuldet::nn;
+
+namespace {
+
+/// Deterministic token sequences with deliberate length collisions:
+/// lengths cycle through a template set (multi-gadget buckets) with
+/// every fourth gadget on a one-off length (single-segment buckets),
+/// including lengths below the conv kernel (padding path).
+std::vector<std::vector<int>> make_gadgets(int count, int vocab) {
+  constexpr int kTemplateLens[] = {2, 7, 12, 20, 33, 50};
+  std::vector<std::vector<int>> gadgets;
+  gadgets.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int len =
+        i % 4 == 3 ? 1 + (i * 17) % 61 : kTemplateLens[(i / 4) % 6];
+    std::vector<int> ids(static_cast<std::size_t>(len));
+    for (int j = 0; j < len; ++j) {
+      ids[static_cast<std::size_t>(j)] = 1 + (i * 29 + j * 7) % (vocab - 2);
+    }
+    gadgets.push_back(std::move(ids));
+  }
+  return gadgets;
+}
+
+bool bits_equal(float a, float b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+bool bits_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+/// Per-gadget reference: the exact loop the pipeline ran before the
+/// batched engine existed (arena-scoped predict_captured per gadget).
+std::vector<sm::Prediction> reference_predictions(
+    sm::SeVulDetNet& net, const std::vector<std::vector<int>>& gadgets,
+    bool capture_spatial = false) {
+  std::vector<sm::Prediction> out;
+  out.reserve(gadgets.size());
+  nn::Graph graph;
+  for (const auto& ids : gadgets) {
+    nn::GraphScope scope(graph);
+    out.push_back(net.predict_captured(ids, capture_spatial));
+  }
+  return out;
+}
+
+void expect_batched_bitwise(sm::SeVulDetNet& net,
+                            const std::vector<std::vector<int>>& gadgets,
+                            int batch, bool capture_spatial = false) {
+  std::vector<sm::BatchItem> items;
+  items.reserve(gadgets.size());
+  for (const auto& ids : gadgets) items.push_back({&ids, capture_spatial});
+  std::vector<sm::Prediction> batched(gadgets.size());
+  for (std::size_t off = 0; off < items.size();
+       off += static_cast<std::size_t>(batch)) {
+    const std::size_t n =
+        std::min(static_cast<std::size_t>(batch), items.size() - off);
+    net.predict_batch(items.data() + off, n, batched.data() + off);
+  }
+  const auto expected = reference_predictions(net, gadgets, capture_spatial);
+  for (std::size_t i = 0; i < gadgets.size(); ++i) {
+    EXPECT_TRUE(bits_equal(batched[i].probability, expected[i].probability))
+        << "gadget " << i << " batch " << batch << ": " << batched[i].probability
+        << " vs " << expected[i].probability;
+    EXPECT_TRUE(bits_equal(batched[i].token_weights, expected[i].token_weights))
+        << "token_weights diverge at gadget " << i;
+    EXPECT_TRUE(
+        bits_equal(batched[i].spatial_weights, expected[i].spatial_weights))
+        << "spatial_weights diverge at gadget " << i;
+  }
+}
+
+sm::ModelConfig small_config() {
+  sm::ModelConfig config;
+  config.vocab_size = 120;
+  config.embed_dim = 12;
+  config.conv_channels = 8;
+  config.attn_dim = 10;
+  config.dense1 = 24;
+  config.dense2 = 12;
+  return config;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// fp32 batched == per-gadget, bitwise
+// ---------------------------------------------------------------------------
+
+TEST(BatchTest, BatchedMatchesPerGadgetBitwise) {
+  sm::SeVulDetNet net(small_config());
+  const auto gadgets = make_gadgets(37, net.config().vocab_size);
+  // Odd batch sizes straddle bucket boundaries: a bucket of same-length
+  // gadgets split across two predict_batch calls must score identically.
+  for (const int batch : {1, 2, 3, 5, 17, 37}) {
+    expect_batched_bitwise(net, gadgets, batch);
+  }
+}
+
+TEST(BatchTest, AblationsMatchPerGadgetBitwise) {
+  // The RQ2 ablations exercise every engine branch: no token attention
+  // (no alpha stage), no CBAM (conv1 -> conv2 direct), parallel CBAM
+  // order, and the bare CNN.
+  for (const bool token_attention : {true, false}) {
+    for (const bool multilayer : {true, false}) {
+      for (const bool sequential : {true, false}) {
+        sm::ModelConfig config = small_config();
+        config.token_attention = token_attention;
+        config.multilayer_attention = multilayer;
+        config.cbam_sequential = sequential;
+        sm::SeVulDetNet net(config);
+        const auto gadgets = make_gadgets(13, config.vocab_size);
+        expect_batched_bitwise(net, gadgets, 5);
+      }
+    }
+  }
+}
+
+TEST(BatchTest, MulticlassMatchesPerGadgetBitwise) {
+  sm::ModelConfig config = small_config();
+  config.num_classes = 4;
+  sm::SeVulDetNet net(config);
+  const auto gadgets = make_gadgets(11, config.vocab_size);
+  expect_batched_bitwise(net, gadgets, 4);
+}
+
+TEST(BatchTest, ExplainCaptureIdenticalUnderBatching) {
+  // capture_spatial is the `explain` path: the CBAM spatial map must
+  // travel with each prediction and match the per-gadget read-out.
+  sm::SeVulDetNet net(small_config());
+  const auto gadgets = make_gadgets(9, net.config().vocab_size);
+  expect_batched_bitwise(net, gadgets, 4, /*capture_spatial=*/true);
+  // Mixed capture flags within one batch: only flagged items pay for
+  // the copy, the rest stay empty.
+  std::vector<sm::BatchItem> items;
+  for (std::size_t i = 0; i < gadgets.size(); ++i) {
+    items.push_back({&gadgets[i], i % 2 == 0});
+  }
+  const auto batched = net.predict_batch(items);
+  const auto expected = reference_predictions(net, gadgets, true);
+  for (std::size_t i = 0; i < gadgets.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_TRUE(
+          bits_equal(batched[i].spatial_weights, expected[i].spatial_weights));
+      EXPECT_FALSE(batched[i].spatial_weights.empty());
+    } else {
+      EXPECT_TRUE(batched[i].spatial_weights.empty());
+    }
+  }
+}
+
+TEST(BatchTest, RepeatedCallsReuseScratchAndStayIdentical) {
+  // Steady-state reuse: the engine recycles its scratch across calls;
+  // a second pass over the same gadgets must reproduce the first bit
+  // for bit (stale scratch contents must never leak into results).
+  sm::SeVulDetNet net(small_config());
+  const auto gadgets = make_gadgets(21, net.config().vocab_size);
+  std::vector<sm::BatchItem> items;
+  for (const auto& ids : gadgets) items.push_back({&ids, false});
+  const auto first = net.predict_batch(items);
+  const auto second = net.predict_batch(items);
+  for (std::size_t i = 0; i < gadgets.size(); ++i) {
+    EXPECT_TRUE(bits_equal(first[i].probability, second[i].probability));
+    EXPECT_TRUE(bits_equal(first[i].token_weights, second[i].token_weights));
+  }
+  EXPECT_GT(net.scratch_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// base-class fallback (models without a native batched engine)
+// ---------------------------------------------------------------------------
+
+TEST(BatchTest, BiRnnFallbackMatchesRepeatedPredict) {
+  sm::ModelConfig config = small_config();
+  config.fixed_length = 20;
+  const auto net = sm::make_bgru(config);
+  const auto gadgets = make_gadgets(15, config.vocab_size);
+  std::vector<sm::BatchItem> items;
+  for (const auto& ids : gadgets) items.push_back({&ids, false});
+  const auto batched = net->predict_batch(items);
+  for (std::size_t i = 0; i < gadgets.size(); ++i) {
+    EXPECT_TRUE(bits_equal(batched[i].probability, net->predict(gadgets[i])))
+        << "BiRnn fallback diverges at gadget " << i;
+    EXPECT_TRUE(batched[i].token_weights.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// quantized paths
+// ---------------------------------------------------------------------------
+
+TEST(BatchTest, QuantizedScoresStayProbabilitiesNearFp32) {
+  // fp16/int8 are accuracy trade-offs, not exactness contracts: scores
+  // must stay valid probabilities and track fp32 closely at these
+  // shapes (the CI quality gate bounds the corpus-level F1/AUC drift).
+  sm::SeVulDetNet net(small_config());
+  const auto gadgets = make_gadgets(17, net.config().vocab_size);
+  std::vector<sm::BatchItem> items;
+  for (const auto& ids : gadgets) items.push_back({&ids, false});
+  const auto fp32 = net.predict_batch(items);
+  for (const sm::Precision precision :
+       {sm::Precision::kFp16, sm::Precision::kInt8}) {
+    net.set_precision(precision);
+    const auto quant = net.predict_batch(items);
+    for (std::size_t i = 0; i < gadgets.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(quant[i].probability));
+      EXPECT_GE(quant[i].probability, 0.0f);
+      EXPECT_LE(quant[i].probability, 1.0f);
+      EXPECT_NEAR(quant[i].probability, fp32[i].probability, 0.15f)
+          << sm::precision_name(precision) << " gadget " << i;
+      // Attention runs fp32 in every mode — read-outs stay bitwise.
+      EXPECT_TRUE(bits_equal(quant[i].token_weights, fp32[i].token_weights));
+    }
+  }
+  // Dropping back to fp32 restores exactness (quant caches are opt-in).
+  net.set_precision(sm::Precision::kFp32);
+  const auto back = net.predict_batch(items);
+  for (std::size_t i = 0; i < gadgets.size(); ++i) {
+    EXPECT_TRUE(bits_equal(back[i].probability, fp32[i].probability));
+  }
+}
+
+TEST(BatchTest, ClonesInheritPrecisionAndScoreIdentically) {
+  // The serve daemon scores on per-worker clones: a clone must carry
+  // the parent's precision and produce the same bytes.
+  sm::SeVulDetNet net(small_config());
+  net.set_precision(sm::Precision::kInt8);
+  const auto clone = net.clone_net();
+  EXPECT_EQ(clone->precision(), sm::Precision::kInt8);
+  const auto gadgets = make_gadgets(7, net.config().vocab_size);
+  std::vector<sm::BatchItem> items;
+  for (const auto& ids : gadgets) items.push_back({&ids, false});
+  const auto a = net.predict_batch(items);
+  const auto b = clone->predict_batch(items);
+  for (std::size_t i = 0; i < gadgets.size(); ++i) {
+    EXPECT_TRUE(bits_equal(a[i].probability, b[i].probability));
+  }
+}

@@ -24,6 +24,23 @@ Two subcommands:
           bench.findings_identical) must match exactly. Other "_ms"
           gauges (p50/p99 tails) are informational only — they are too
           noisy on shared runners to gate without flaking.
+          A baseline may additionally carry a top-level "speedups"
+          section declaring machine-independent ratio floors:
+
+              "speedups": {
+                "batched_vs_single": {
+                  "numerator": "bench.batch32.fp32_scans_per_s",
+                  "denominator": "bench.single.fp32_scans_per_s",
+                  "floor": 2.0
+                }
+              }
+
+          Each entry is evaluated on the CURRENT snapshot only:
+          current[numerator] / current[denominator] must be >= floor.
+          Because both gauges come from the same run on the same host,
+          the ratio cancels machine speed — this is how the batched
+          inference path's ">= 2x over per-gadget scoring" contract is
+          enforced without the committed absolute numbers ever gating.
       A comparison table in GitHub-flavored markdown is printed, and
       appended to --summary when given (CI points this at
       $GITHUB_STEP_SUMMARY).
@@ -187,6 +204,16 @@ def compare_metrics_snapshot(base, cur, max_regress, gate):
     for name, bval in base.get("labels", {}).items():
         cval = cur.get("labels", {}).get(name)
         gate.check(name, bval, cval, "exact match", cval == bval)
+    for name, spec in base.get("speedups", {}).items():
+        num = cur.get("gauges", {}).get(spec["numerator"])
+        den = cur.get("gauges", {}).get(spec["denominator"])
+        floor = float(spec["floor"])
+        rule = f"{spec['numerator']}/{spec['denominator']} >= {floor:g}"
+        if num is None or den is None or float(den) == 0.0:
+            gate.check(f"speedup:{name}", floor, None, rule, False)
+        else:
+            ratio = float(num) / float(den)
+            gate.check(f"speedup:{name}", floor, ratio, rule, ratio >= floor)
 
 
 def cmd_compare(args):
