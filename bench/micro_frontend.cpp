@@ -1,0 +1,540 @@
+// Frontend lexing microbenchmark: the zero-copy string_view lexer
+// (lex_into reusing one LexResult's vectors and arena) vs the copying
+// lexer it replaced (std::string per token, fresh result per file —
+// ported verbatim into this TU so the baseline stays measurable after
+// the replacement). Records BENCH_frontend.json in the metrics-registry
+// schema; absolute tokens/s and bytes/s gauges are informational
+// (machine-dependent, never gated), the committed baseline's "speedups"
+// section gates the machine-independent ratio instead:
+//
+//   sv_vs_copy   zero-copy tokens/s / copying tokens/s   >= 2.0
+//
+// The bench is also a correctness harness: before timing anything it
+// lexes the whole corpus through both paths and exits 4 unless every
+// token (kind, spelling, line, column) and directive agrees, and lexes
+// one corpus file through an MmapFile mapping and exits 5 unless the
+// mmap-backed stream is identical to the in-memory one. The steady-
+// state zero-copy pass is alloc-counted (this TU overrides operator
+// new) — after warmup a full-corpus sweep must allocate nothing
+// (counter bench.frontend.allocs_per_file stays 0: vectors and arena
+// chunks are recycled across files).
+//
+//   micro_frontend [--files N] [--secs S] [--reps R] [--json PATH]
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sevuldet/frontend/lexer.hpp"
+#include "sevuldet/util/mmap_file.hpp"
+#include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/strings.hpp"
+#include "sevuldet/util/table.hpp"
+
+// --- allocation counter ----------------------------------------------------
+// Same replacement-operator pattern as micro_kernels/micro_batch (and
+// the same GCC false-positive suppression for inlined replacements).
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+namespace {
+std::atomic<long long> g_allocs{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+namespace {
+
+namespace sf = sevuldet::frontend;
+namespace su = sevuldet::util;
+using Clock = std::chrono::steady_clock;
+
+// --- copying baseline ------------------------------------------------------
+// The pre-zero-copy lexer, kept byte-for-byte in behavior: every token
+// owns a std::string spelling, directives are owned strings, and each
+// file gets a fresh result vector. Only the namespace differs.
+namespace copying {
+
+// The pre-PR hash-set keyword lookup (the zero-copy lexer switched to
+// length-bucketed comparison chains).
+bool is_c_keyword(std::string_view word) {
+  static const std::unordered_set<std::string_view> kKeywords = {
+      "auto",     "break",   "case",     "char",   "const",    "continue",
+      "default",  "do",      "double",   "else",   "enum",     "extern",
+      "float",    "for",     "goto",     "if",     "inline",   "int",
+      "long",     "register","restrict", "return", "short",    "signed",
+      "sizeof",   "static",  "struct",   "switch", "typedef",  "union",
+      "unsigned", "void",    "volatile", "while",  "_Bool",    "bool",
+  };
+  return kKeywords.contains(word);
+}
+
+struct Token {
+  sf::TokenKind kind = sf::TokenKind::EndOfFile;
+  std::string text;
+  int line = 0;
+  int column = 0;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<std::string> directives;
+};
+
+constexpr std::string_view kPuncts3[] = {
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=",
+};
+constexpr std::string_view kPuncts2Extra[] = {"&=", "|=", "^="};
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    LexResult result;
+    for (;;) {
+      skip_trivia(result);
+      if (at_end()) break;
+      result.tokens.push_back(next_token());
+    }
+    Token eof;
+    eof.kind = sf::TokenKind::EndOfFile;
+    eof.line = line_;
+    eof.column = column_;
+    result.tokens.push_back(std::move(eof));
+    return result;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_trivia(LexResult& result) {
+    for (;;) {
+      if (at_end()) return;
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        for (;;) {
+          if (at_end()) {
+            throw sf::LexError("unterminated block comment", line_, column_);
+          }
+          if (peek() == '*' && peek(1) == '/') {
+            advance();
+            advance();
+            break;
+          }
+          advance();
+        }
+      } else if (c == '#' && column_ == 1) {
+        std::string directive;
+        while (!at_end() && peek() != '\n') {
+          if (peek() == '\\' && peek(1) == '\n') {
+            advance();
+            advance();
+            directive += ' ';
+            continue;
+          }
+          directive += advance();
+        }
+        result.directives.push_back(std::move(directive));
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token next_token() {
+    Token tok;
+    tok.line = line_;
+    tok.column = column_;
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (!at_end() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+        word += advance();
+      }
+      tok.kind = is_c_keyword(word) ? sf::TokenKind::Keyword
+                                    : sf::TokenKind::Identifier;
+      tok.text = std::move(word);
+      return tok;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      return lex_number(tok);
+    }
+    if (c == '"') return lex_string(tok);
+    if (c == '\'') return lex_char(tok);
+    return lex_punct(tok);
+  }
+
+  Token lex_number(Token tok) {
+    std::string text;
+    bool is_float = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      text += advance();
+      text += advance();
+      while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek()))) {
+        text += advance();
+      }
+    } else {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        text += advance();
+      }
+      if (peek() == '.') {
+        is_float = true;
+        text += advance();
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        text += advance();
+      }
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        char after = peek(1);
+        if (std::isdigit(static_cast<unsigned char>(after)) || after == '+' ||
+            after == '-') {
+          is_float = true;
+          text += advance();
+          if (peek() == '+' || peek() == '-') text += advance();
+          while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        text += advance();
+      }
+        }
+      }
+    }
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L' ||
+           peek() == 'f' || peek() == 'F') {
+      if (peek() == 'f' || peek() == 'F') is_float = true;
+      text += advance();
+    }
+    tok.kind = is_float ? sf::TokenKind::FloatLiteral : sf::TokenKind::IntLiteral;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  Token lex_string(Token tok) {
+    std::string text;
+    text += advance();
+    for (;;) {
+      if (at_end() || peek() == '\n') {
+        throw sf::LexError("unterminated string literal", tok.line, tok.column);
+      }
+      char c = advance();
+      text += c;
+      if (c == '\\') {
+        if (at_end()) throw sf::LexError("unterminated escape", tok.line, tok.column);
+        text += advance();
+      } else if (c == '"') {
+        break;
+      }
+    }
+    tok.kind = sf::TokenKind::StringLiteral;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  Token lex_char(Token tok) {
+    std::string text;
+    text += advance();
+    for (;;) {
+      if (at_end() || peek() == '\n') {
+        throw sf::LexError("unterminated char literal", tok.line, tok.column);
+      }
+      char c = advance();
+      text += c;
+      if (c == '\\') {
+        if (at_end()) throw sf::LexError("unterminated escape", tok.line, tok.column);
+        text += advance();
+      } else if (c == '\'') {
+        break;
+      }
+    }
+    tok.kind = sf::TokenKind::CharLiteral;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  Token lex_punct(Token tok) {
+    std::string_view rest = src_.substr(pos_);
+    for (std::string_view p : kPuncts3) {
+      if (rest.substr(0, p.size()) == p) {
+        for (std::size_t i = 0; i < p.size(); ++i) advance();
+        tok.kind = sf::TokenKind::Punct;
+        tok.text = std::string(p);
+        return tok;
+      }
+    }
+    for (std::string_view p : kPuncts2Extra) {
+      if (rest.substr(0, 2) == p) {
+        advance();
+        advance();
+        tok.kind = sf::TokenKind::Punct;
+        tok.text = std::string(p);
+        return tok;
+      }
+    }
+    static constexpr std::string_view kSingles = "+-*/%<>=!&|^~?:;,.()[]{}";
+    char c = peek();
+    if (kSingles.find(c) != std::string_view::npos) {
+      advance();
+      tok.kind = sf::TokenKind::Punct;
+      tok.text = std::string(1, c);
+      return tok;
+    }
+    throw sf::LexError(std::string("unexpected character '") + c + "'", line_,
+                       column_);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+LexResult lex(std::string_view source) { return Scanner(source).run(); }
+
+}  // namespace copying
+
+// --- corpus ----------------------------------------------------------------
+// Deterministic C-like files shaped like the real-world targets the
+// scan frontend sees: helper functions over stack buffers with risky
+// library calls, string and numeric literals, comments, and a handful
+// of preprocessor directives per file. Both lexers must accept every
+// construct here (no continuations outside directives: the copying
+// baseline never supported those).
+std::vector<std::string> make_corpus(int files) {
+  static constexpr const char* kCalls[] = {"strcpy",  "memcpy", "sprintf",
+                                           "strncat", "memmove", "snprintf"};
+  std::vector<std::string> corpus;
+  corpus.reserve(static_cast<std::size_t>(files));
+  for (int f = 0; f < files; ++f) {
+    std::string src;
+    src += "// bench corpus file " + std::to_string(f) + "\n";
+    src += "#include <string.h>\n#include <stdio.h>\n";
+    src += "#define LIMIT_" + std::to_string(f) + " " +
+           std::to_string(64 + f * 8) + "\n";
+    const int functions = 6 + f % 9;
+    for (int i = 0; i < functions; ++i) {
+      const std::string id = std::to_string(f) + "_" + std::to_string(i);
+      const char* call = kCalls[(f + i) % 6];
+      src += "\n/* helper " + id + ": copies into a fixed buffer */\n";
+      src += "static int helper_" + id + "(const char *input, size_t n) {\n";
+      src += "  char buffer[" + std::to_string(32 + (i * 17) % 96) + "];\n";
+      src += "  double scale = " + std::to_string(i) + ".5e-" +
+             std::to_string(1 + i % 4) + ";\n";
+      src += "  if (n >= sizeof(buffer)) { return -1; }\n";
+      src += "  " + std::string(call) + "(buffer, input);\n";
+      src += "  for (int k = 0; k < (int)n; ++k) {\n";
+      src += "    buffer[k] ^= (char)(k * 31 + " + std::to_string(i) + ");\n";
+      src += "  }\n";
+      src += "  printf(\"helper " + id + ": %s scale=%f\\n\", buffer, scale);\n";
+      src += "  return buffer[0] != '\\0' && scale > 0.0 ? (int)n : 0;\n";
+      src += "}\n";
+    }
+    corpus.push_back(std::move(src));
+  }
+  return corpus;
+}
+
+bool streams_agree(const copying::LexResult& a, const sf::LexResult& b) {
+  if (a.tokens.size() != b.tokens.size()) return false;
+  if (a.directives.size() != b.directives.size()) return false;
+  for (std::size_t i = 0; i < a.tokens.size(); ++i) {
+    const copying::Token& x = a.tokens[i];
+    const sf::Token& y = b.tokens[i];
+    if (x.kind != y.kind || x.text != y.text || x.line != y.line ||
+        x.column != y.column) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.directives.size(); ++i) {
+    if (a.directives[i] != b.directives[i]) return false;
+  }
+  return true;
+}
+
+/// Wall-clock `pass` repeated until `secs` elapse; returns passes/sec
+/// scaled by `units_per_pass` (tokens or bytes). One warmup pass first.
+template <typename Pass>
+double measure_rate(Pass&& pass, double units_per_pass, double secs) {
+  pass();
+  const auto start = Clock::now();
+  double units = 0.0;
+  double elapsed = 0.0;
+  do {
+    pass();
+    units += units_per_pass;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < secs);
+  return units / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_bench_flags(argc, argv);
+  int files = 48;
+  double secs = 0.4;
+  int reps = bench::env_int("SEVULDET_BENCH_REPS", 3);
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--files") == 0) files = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--secs") == 0) secs = std::atof(argv[i + 1]);
+    if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  files = std::max(1, files);
+  reps = std::max(1, reps);
+  if (!json_path.empty()) su::metrics::set_enabled(true);
+  namespace metrics = su::metrics;
+
+  const std::vector<std::string> corpus = make_corpus(files);
+  long long total_bytes = 0;
+  long long total_tokens = 0;
+  for (const std::string& src : corpus) {
+    total_bytes += static_cast<long long>(src.size());
+    total_tokens += static_cast<long long>(sf::lex(src).tokens.size()) - 1;
+  }
+
+  // --- correctness: both lexers must agree on the whole corpus --------
+  bool agree = true;
+  for (const std::string& src : corpus) {
+    if (!streams_agree(copying::lex(src), sf::lex(src))) agree = false;
+  }
+  metrics::label_set("bench.lexers_agree", agree ? "true" : "false");
+  std::printf("copying and zero-copy lexers agree on %d files: %s\n", files,
+              agree ? "yes" : "NO");
+  if (!agree) return 4;
+
+  // --- correctness: mmap-backed lexing is identical to in-memory ------
+  bool mmap_identical = true;
+  {
+    namespace fs = std::filesystem;
+    const fs::path tmp =
+        fs::temp_directory_path() / "sevuldet_micro_frontend.c";
+    std::ofstream(tmp, std::ios::binary) << corpus[0];
+    su::MmapFile mapped = su::MmapFile::open(tmp.string());
+    sf::LexResult from_map = sf::lex(mapped.view());
+    sf::LexResult from_mem = sf::lex(corpus[0]);
+    if (from_map.tokens.size() != from_mem.tokens.size()) {
+      mmap_identical = false;
+    } else {
+      for (std::size_t i = 0; i < from_map.tokens.size(); ++i) {
+        const sf::Token& x = from_map.tokens[i];
+        const sf::Token& y = from_mem.tokens[i];
+        if (x.kind != y.kind || x.text != y.text || x.line != y.line ||
+            x.column != y.column) {
+          mmap_identical = false;
+        }
+      }
+    }
+    fs::remove(tmp);
+  }
+  metrics::label_set("bench.mmap_identical",
+                     mmap_identical ? "true" : "false");
+  std::printf("mmap-backed token stream identical to in-memory: %s\n",
+              mmap_identical ? "yes" : "NO");
+  if (!mmap_identical) return 5;
+
+  // --- throughput -----------------------------------------------------
+  auto best_of_reps = [&](auto&& pass) {
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      best = std::max(
+          best, measure_rate(pass, static_cast<double>(total_tokens), secs));
+    }
+    return best;
+  };
+
+  sf::LexResult reused;  // the zero-copy steady-state result
+  auto sv_pass = [&] {
+    for (const std::string& src : corpus) sf::lex_into(src, reused);
+  };
+  auto copy_pass = [&] {
+    for (const std::string& src : corpus) {
+      copying::LexResult result = copying::lex(src);
+      (void)result;
+    }
+  };
+
+  su::Table table({"path", "tokens/s", "MB/s"});
+  const double bytes_per_token =
+      static_cast<double>(total_bytes) / static_cast<double>(total_tokens);
+  auto record = [&](const std::string& name, double tokens_per_s) {
+    metrics::gauge_set("bench." + name + ".tokens_per_s", tokens_per_s);
+    metrics::gauge_set("bench." + name + ".bytes_per_s",
+                       tokens_per_s * bytes_per_token);
+    table.add_row({name, su::fmt(tokens_per_s, 0),
+                   su::fmt(tokens_per_s * bytes_per_token / 1e6, 1)});
+  };
+  record("copy", best_of_reps(copy_pass));
+  record("sv", best_of_reps(sv_pass));
+
+  // --- steady-state allocations --------------------------------------
+  // After one warm sweep the reused result's vectors and arena chunks
+  // cover the largest file, so further full-corpus sweeps must not
+  // touch the heap at all.
+  {
+    sv_pass();  // warm
+    const long long before = g_allocs.load(std::memory_order_relaxed);
+    constexpr int kPasses = 5;
+    for (int i = 0; i < kPasses; ++i) sv_pass();
+    const long long after = g_allocs.load(std::memory_order_relaxed);
+    const long long per_file =
+        (after - before) / (static_cast<long long>(kPasses) * files);
+    metrics::counter_add("bench.frontend.allocs_per_file", per_file);
+    table.add_row({"sv allocs/file", std::to_string(per_file), "-"});
+  }
+
+  metrics::gauge_set("bench.frontend.files", files);
+  metrics::gauge_set("bench.frontend.corpus_bytes",
+                     static_cast<double>(total_bytes));
+  metrics::gauge_set("bench.frontend.corpus_tokens",
+                     static_cast<double>(total_tokens));
+  std::printf("%s", table.to_string().c_str());
+  if (!json_path.empty()) {
+    metrics::write_json(json_path);
+    std::printf("recorded %s\n", json_path.c_str());
+  }
+  return 0;
+}

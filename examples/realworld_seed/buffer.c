@@ -1,0 +1,32 @@
+/* Core buffer routines. mb_append copies with an off-by-one-prone
+ * bound; mb_format goes through the LOG_LINE macro so the sprintf call
+ * site only exists after expansion. */
+#include <string.h>
+
+#include "minibuf.h"
+#include "minilog.h"
+
+void mb_reset(minibuf *mb) {
+  memset(mb->data, 0, sizeof(mb->data));
+  mb->len = 0;
+}
+
+int mb_append(minibuf *mb, const char *text, size_t n) {
+  size_t take = MB_CLAMP(n);
+  if (mb->len + take >= sizeof(mb->data)) {
+    take = sizeof(mb->data) - mb->len - 1;
+  }
+  memcpy(mb->data + mb->len, text, take);
+  mb->len += take;
+  mb->data[mb->len] = '\0';
+  return (int)take;
+}
+
+int mb_format(minibuf *mb, const char *name, int value) {
+  char line[LOG_CAPACITY];
+  LOG_LINE(line, LOG_TAG, name);
+  if (value > 0) {
+    strcat(line, " (enabled)");
+  }
+  return mb_append(mb, line, strlen(line));
+}

@@ -1,0 +1,22 @@
+/* Compatibility shims in a subdirectory: exercises recursive tree
+ * walking and a quote-include resolved against the scan root rather
+ * than the including file's directory. */
+#include <string.h>
+
+#include "minibuf.h"
+
+size_t compat_strlcpy(char *dst, const char *src, size_t size) {
+  size_t n = strlen(src);
+  if (size != 0) {
+    size_t take = n < size - 1 ? n : size - 1;
+    memcpy(dst, src, take);
+    dst[take] = '\0';
+  }
+  return n;
+}
+
+int compat_join(char *dst, const char *a, const char *b) {
+  strcpy(dst, a);
+  strcat(dst, b);
+  return (int)strlen(dst);
+}

@@ -1,0 +1,32 @@
+/* Configuration loader: classic strcpy-into-fixed-buffer sink behind a
+ * conditional region. The "platform_tuning.h" include does not exist in
+ * the tree — the preprocessor must count it unresolved and keep going. */
+#include <string.h>
+#include <stdlib.h>
+
+#include "minibuf.h"
+#include "platform_tuning.h"
+
+#define ENV_KEY "MINIBUF_PROFILE"
+
+static char profile_name[32];
+
+int config_load_profile(const char *override) {
+  const char *chosen = override;
+  if (chosen == 0) {
+    chosen = getenv(ENV_KEY);
+  }
+  if (chosen == 0) {
+    chosen = "default";
+  }
+  strcpy(profile_name, chosen);
+  return (int)strlen(profile_name);
+}
+
+const char *config_profile(void) {
+#ifdef MINIBUF_TRACE
+  return "traced";
+#else
+  return profile_name;
+#endif
+}

@@ -1,0 +1,26 @@
+/* Pre-ANSI code the C-subset parser cannot represent: the K&R
+ * definition below is unparseable, so the recovery path must drop only
+ * this region, count the lost lines, and still surface the strcpy
+ * inside it through the lex-fallback gadget path. */
+#include <string.h>
+
+int legacy_checksum(const char *p, unsigned n) {
+  unsigned sum = 0;
+  while (n--) {
+    sum = sum * 31u + (unsigned char)*p++;
+  }
+  return (int)sum;
+}
+
+int legacy_copy(dst, src)
+char *dst;
+char *src;
+{
+  strcpy(dst, src);
+  return legacy_checksum(dst, (unsigned)strlen(dst));
+}
+
+int legacy_sum_pair(const char *a, const char *b) {
+  return legacy_checksum(a, (unsigned)strlen(a)) +
+         legacy_checksum(b, (unsigned)strlen(b));
+}

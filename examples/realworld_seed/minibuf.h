@@ -1,0 +1,25 @@
+/* Fixed-capacity byte buffer used across the seed tree. The header is
+ * deliberately macro-heavy: the scan frontend's preprocessor has to
+ * expand MB_MIN/MB_CLAMP call sites and evaluate the include guard. */
+#ifndef MINIBUF_H
+#define MINIBUF_H
+
+#include <stddef.h>
+
+#define MINIBUF_VERSION 2
+#define MINIBUF_MAX 256
+
+#define MB_MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MB_CLAMP(n) \
+  MB_MIN((n), (size_t)MINIBUF_MAX - 1)
+
+typedef struct minibuf {
+  char data[MINIBUF_MAX];
+  size_t len;
+} minibuf;
+
+int mb_append(minibuf *mb, const char *text, size_t n);
+int mb_format(minibuf *mb, const char *name, int value);
+void mb_reset(minibuf *mb);
+
+#endif /* MINIBUF_H */

@@ -1,0 +1,18 @@
+/* Logging shim. LOG_LINE is a function-like macro wrapping sprintf into
+ * a stack buffer — expanded at call sites, the risky call must still be
+ * attributed to the caller's line. */
+#ifndef MINILOG_H
+#define MINILOG_H
+
+#include <stdio.h>
+
+#define LOG_CAPACITY 128
+#define LOG_LINE(buf, tag, msg) sprintf((buf), "[%s] %s", (tag), (msg))
+
+#if MINIBUF_VERSION >= 2
+#define LOG_TAG "minibuf2"
+#else
+#define LOG_TAG "minibuf"
+#endif
+
+#endif /* MINILOG_H */

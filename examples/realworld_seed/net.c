@@ -1,0 +1,33 @@
+/* Packet framing with a platform #if the evaluator cannot decide (the
+ * defined() conjunction references macros the tree never defines): the
+ * region must be kept, counted as an unresolved conditional, and the
+ * code inside still scanned. */
+#include <string.h>
+
+#include "minibuf.h"
+
+#define FRAME_HEADER 4
+
+#if defined(MINIBUF_WIN32) && MINIBUF_WINVER >= 0x0601
+typedef unsigned long frame_size_t;
+#else
+typedef unsigned int frame_size_t;
+#endif
+
+int net_frame_payload(minibuf *out, const char *packet, frame_size_t n) {
+  char header[FRAME_HEADER];
+  if (n < FRAME_HEADER) {
+    return -1;
+  }
+  memcpy(header, packet, FRAME_HEADER);
+  if (header[0] != 'M' || header[1] != 'B') {
+    return -2;
+  }
+  return mb_append(out, packet + FRAME_HEADER, n - FRAME_HEADER);
+}
+
+int net_describe(char *dst, const char *peer) {
+  /* No bound on peer: the scanner should flag this line. */
+  strcpy(dst, peer);
+  return (int)strlen(dst);
+}

@@ -1,0 +1,25 @@
+/* Report rendering: sprintf/strcat sinks with attacker-adjacent input,
+ * plus a multi-line macro (backslash continuations inside a directive)
+ * the lexer must splice before the preprocessor sees it. */
+#include <stdio.h>
+#include <string.h>
+
+#include "minibuf.h"
+
+#define REPORT_ROW(buf, label, count) \
+  sprintf((buf) + strlen(buf),        \
+          "%s=%d;", (label), (count))
+
+int report_render(char *out, const char *title, int hits, int misses) {
+  char row[96];
+  sprintf(out, "report: %s\n", title);
+  row[0] = '\0';
+  REPORT_ROW(row, "hits", hits);
+  REPORT_ROW(row, "misses", misses);
+  strcat(out, row);
+  return (int)strlen(out);
+}
+
+int report_total(int hits, int misses) {
+  return hits + misses;
+}

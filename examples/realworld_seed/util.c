@@ -1,0 +1,26 @@
+/* Clean helpers: no preprocessor tricks, no parse hazards, no risky
+ * sinks. This file pins the frontend's false-positive floor — a scan
+ * that drops or flags anything here is regressing. */
+#include "minibuf.h"
+
+size_t util_span_digits(const char *s) {
+  size_t i = 0;
+  while (s[i] >= '0' && s[i] <= '9') {
+    ++i;
+  }
+  return i;
+}
+
+int util_parse_uint(const char *s, unsigned *out) {
+  unsigned value = 0;
+  size_t digits = util_span_digits(s);
+  size_t i;
+  if (digits == 0 || digits > 9) {
+    return -1;
+  }
+  for (i = 0; i < digits; ++i) {
+    value = value * 10u + (unsigned)(s[i] - '0');
+  }
+  *out = value;
+  return 0;
+}

@@ -15,13 +15,22 @@ namespace sevuldet::baselines {
 
 namespace {
 
+// Rule tables are keyed by string_view-comparable hashes so the lexer's
+// zero-copy tokens probe them without per-token string construction.
+struct SvHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+using RuleMap = std::unordered_map<std::string, int, SvHash, std::equal_to<>>;
+
 /// Lexical scan: flag every call to a function on the rule list,
 /// guard-blind (the defining weakness of lexical tools).
-std::vector<ToolFinding> lexical_scan(
-    const std::string& source,
-    const std::unordered_map<std::string, int>& rules) {
+std::vector<ToolFinding> lexical_scan(const std::string& source,
+                                      const RuleMap& rules) {
   std::vector<ToolFinding> findings;
-  std::vector<frontend::Token> tokens;
+  frontend::TokenStream tokens;
   try {
     tokens = frontend::lex_tokens(source);
   } catch (const frontend::LexError&) {
@@ -32,7 +41,7 @@ std::vector<ToolFinding> lexical_scan(
     if (!tokens[i + 1].is_punct("(")) continue;
     auto it = rules.find(tokens[i].text);
     if (it == rules.end()) continue;
-    findings.push_back({tokens[i].line, tokens[i].text, it->second});
+    findings.push_back({tokens[i].line, std::string(tokens[i].text), it->second});
   }
   return findings;
 }
@@ -42,7 +51,7 @@ std::vector<ToolFinding> lexical_scan(
 std::vector<ToolFinding> FlawfinderLike::scan(const std::string& source) {
   // Flawfinder's flavor: classic dangerous-call database, string and
   // format functions rank highest.
-  static const std::unordered_map<std::string, int> kRules = {
+  static const RuleMap kRules = {
       {"strcpy", 4},  {"strcat", 4},  {"gets", 5},     {"sprintf", 4},
       {"vsprintf", 4},{"scanf", 4},   {"sscanf", 3},   {"strncpy", 1},
       {"strncat", 1}, {"memcpy", 2},  {"alloca", 4},   {"system", 4},
@@ -55,7 +64,7 @@ std::vector<ToolFinding> FlawfinderLike::scan(const std::string& source) {
 std::vector<ToolFinding> RatsLike::scan(const std::string& source) {
   // RATS' flavor: overlapping but distinct database; adds random-number
   // and file-handling rules, skips some of Flawfinder's low-risk ones.
-  static const std::unordered_map<std::string, int> kRules = {
+  static const RuleMap kRules = {
       {"strcpy", 5},  {"strcat", 5},  {"gets", 5},   {"sprintf", 5},
       {"scanf", 4},   {"memcpy", 3},  {"malloc", 1}, {"realloc", 1},
       {"system", 5},  {"popen", 5},   {"rand", 2},   {"srand", 2},

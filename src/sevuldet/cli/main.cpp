@@ -31,6 +31,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -39,6 +40,7 @@
 #include "sevuldet/baselines/fuzzer.hpp"
 #include "sevuldet/core/introspect.hpp"
 #include "sevuldet/core/pipeline.hpp"
+#include "sevuldet/core/scan.hpp"
 #include "sevuldet/dataset/manifest.hpp"
 #include "sevuldet/dataset/sard_generator.hpp"
 #include "sevuldet/frontend/parser.hpp"
@@ -62,6 +64,8 @@ int usage() {
                "                     [--corpus-cache DIR]\n"
                "  sevuldet scan FILE.c --model MODEL [--daemon SOCK]\n"
                "                [--precision P]\n"
+               "  sevuldet scan DIR --model MODEL [--daemon SOCK]\n"
+               "                [--json FILE] [--threads N] [--precision P]\n"
                "  sevuldet gadgets FILE.c [--plain]\n"
                "  sevuldet fuzz FILE.c [--execs N]\n"
                "  sevuldet train --dir DIR [--manifest TSV] --out MODEL\n"
@@ -79,6 +83,13 @@ int usage() {
                "  scan --daemon SOCK sends the file to a running serve\n"
                "  daemon (same findings, model stays loaded); when no daemon\n"
                "  is listening the scan silently falls back to in-process.\n"
+               "\n"
+               "  scan DIR walks the tree (.c/.h), preprocesses each file\n"
+               "  (includes, macros, conditionals), parses with per-region\n"
+               "  error recovery, and scans files in parallel; findings are\n"
+               "  identical to a serial scan, and identical through --daemon.\n"
+               "  --json FILE writes the full tree result with per-file drop\n"
+               "  accounting.\n"
                "\n"
                "  selftrain/train/scan accept --threads N (0 = all cores) to\n"
                "  parallelize preprocessing and detection; results are\n"
@@ -205,8 +216,77 @@ int print_findings(const char* path, const std::vector<core::Finding>& findings)
   return 1;  // findings found => nonzero, CI-friendly
 }
 
+/// Directory-scan output: per-file findings in sorted-path order (the
+/// single-file format, path-prefixed), then a one-line summary with the
+/// frontend drop accounting. Deterministic for any thread count.
+int print_tree_scan(const core::TreeScanResult& tree) {
+  for (const auto& file : tree.files) {
+    if (!file.ok) {
+      std::printf("%s: unreadable (%s)\n", file.path.c_str(),
+                  file.error.c_str());
+      continue;
+    }
+    if (file.findings.empty()) continue;
+    print_findings(file.path.c_str(), file.findings);
+  }
+  const core::TreeScanStats& s = tree.stats;
+  std::printf(
+      "scanned %d file(s), %d finding(s) (%d from recovered regions); "
+      "%d file(s) recovered, %d unreadable; parse drop %.2f%%, "
+      "preprocess drop %.2f%%\n",
+      s.files, s.findings, s.fallback_findings, s.files_recovered,
+      s.files_failed, s.parse_drop_rate * 100.0,
+      s.preprocess_drop_rate * 100.0);
+  return s.findings > 0 ? 1 : 0;
+}
+
+/// `sevuldet scan DIR`: parallel per-file scan of a source tree through
+/// the real-world frontend (mmap + preprocess + error-resilient parse).
+/// With --daemon the tree request is served by a running daemon — same
+/// scan_tree(), so findings and drop counters are identical.
+int cmd_scan_tree(int argc, char** argv) {
+  const std::string root = argv[0];
+  const char* json_path = arg_value(argc, argv, "--json");
+
+  auto finish = [&](const core::TreeScanResult& tree) {
+    if (json_path != nullptr) {
+      std::ofstream out(json_path);
+      if (!out) {
+        throw std::runtime_error(std::string("cannot write ") + json_path);
+      }
+      out << serve::tree_scan_to_json(tree);
+      std::printf("tree scan written to %s\n", json_path);
+    }
+    return print_tree_scan(tree);
+  };
+
+  if (const char* sock = arg_value(argc, argv, "--daemon")) {
+    auto client = serve::Client::connect(sock);
+    if (client.has_value()) {
+      return finish(client->scan_tree(root));
+    }
+    std::fprintf(stderr, "no daemon at %s; scanning in-process\n", sock);
+  }
+
+  const char* model_path = arg_value(argc, argv, "--model");
+  if (model_path == nullptr) return usage();
+  core::PipelineConfig config;
+  config.model.embed_dim = 24;
+  config.model.conv_channels = 16;
+  apply_thread_flags(argc, argv, config);
+  core::SeVulDet detector(config);
+  detector.load(model_path);
+
+  core::ScanOptions options;
+  if (!apply_precision_flag(argc, argv, &options.detect.precision)) {
+    return usage();
+  }
+  return finish(core::scan_tree(detector, root, options));
+}
+
 int cmd_scan(int argc, char** argv) {
   if (argc < 1) return usage();
+  if (std::filesystem::is_directory(argv[0])) return cmd_scan_tree(argc, argv);
   const std::string source = read_file(argv[0]);
 
   // Daemon mode: ship the file to a running `sevuldet serve` (the model

@@ -141,7 +141,12 @@ std::optional<PreparedGadget> prepare_token(
 
 std::vector<PreparedGadget> SeVulDet::prepare(const std::string& source) const {
   if (!trained()) throw std::logic_error("SeVulDet::prepare before train/load");
-  graph::ProgramGraph program = graph::build_program_graph(source);
+  return prepare_program(graph::build_program_graph(source));
+}
+
+std::vector<PreparedGadget> SeVulDet::prepare_program(
+    const graph::ProgramGraph& program) const {
+  if (!trained()) throw std::logic_error("SeVulDet::prepare before train/load");
   const std::vector<slicer::SpecialToken> tokens =
       slicer::find_special_tokens(program);
   std::vector<PreparedGadget> prepared;

@@ -122,6 +122,13 @@ class SeVulDet {
   /// parallelism across requests instead of within one.
   std::vector<PreparedGadget> prepare(const std::string& source) const;
 
+  /// Same as prepare(), but on an already-built program graph. The scan
+  /// frontend parses through the error-resilient recovery path and a
+  /// lightweight preprocessor before building the graph, so it cannot
+  /// use the parse-from-source entry point above.
+  std::vector<PreparedGadget> prepare_program(
+      const graph::ProgramGraph& program) const;
+
   /// Second half of detect() for one prepared gadget: threshold check
   /// (with the detect.drop.below_threshold counter), attention top-k,
   /// and — when `options.explain` — line-level attributions and the

@@ -1,21 +1,37 @@
 #include "sevuldet/frontend/lexer.hpp"
 
 #include <array>
-#include <cctype>
-#include <unordered_set>
 
 namespace sevuldet::frontend {
 
-bool is_c_keyword(std::string_view word) {
-  static const std::unordered_set<std::string_view> kKeywords = {
-      "auto",     "break",   "case",     "char",   "const",    "continue",
-      "default",  "do",      "double",   "else",   "enum",     "extern",
-      "float",    "for",     "goto",     "if",     "inline",   "int",
-      "long",     "register","restrict", "return", "short",    "signed",
-      "sizeof",   "static",  "struct",   "switch", "typedef",  "union",
-      "unsigned", "void",    "volatile", "while",  "_Bool",    "bool",
-  };
-  return kKeywords.contains(word);
+// Length-bucketed comparison chains instead of a hash set: every
+// identifier the lexer produces goes through here, and short memcmp
+// chains beat hashing the spelling at these lengths.
+bool is_c_keyword(std::string_view w) {
+  switch (w.size()) {
+    case 2:
+      return w == "do" || w == "if";
+    case 3:
+      return w == "for" || w == "int";
+    case 4:
+      return w == "auto" || w == "bool" || w == "case" || w == "char" ||
+             w == "else" || w == "enum" || w == "goto" || w == "long" ||
+             w == "void";
+    case 5:
+      return w == "_Bool" || w == "break" || w == "const" || w == "float" ||
+             w == "short" || w == "union" || w == "while";
+    case 6:
+      return w == "double" || w == "extern" || w == "inline" ||
+             w == "return" || w == "signed" || w == "sizeof" ||
+             w == "static" || w == "struct" || w == "switch";
+    case 7:
+      return w == "default" || w == "typedef";
+    case 8:
+      return w == "continue" || w == "register" || w == "restrict" ||
+             w == "unsigned" || w == "volatile";
+    default:
+      return false;
+  }
 }
 
 const char* token_kind_name(TokenKind kind) {
@@ -34,33 +50,55 @@ const char* token_kind_name(TokenKind kind) {
 
 namespace {
 
-// Multi-character punctuators, longest first so maximal munch works.
-constexpr std::array<std::string_view, 19> kPuncts3 = {
-    "<<=", ">>=", "...",
-    // two-character fillers below keep the array single-sourced; the
-    // scanner checks 3-char entries first, then 2-char, then 1-char.
-    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
-    "+=", "-=", "*=", "/=", "%=",
-};
-constexpr std::string_view kPuncts2Extra[] = {"&=", "|=", "^="};
+inline unsigned uc(char c) { return static_cast<unsigned char>(c); }
+
+constexpr auto kIdentStart = [] {
+  std::array<bool, 256> t{};
+  for (unsigned c = 'a'; c <= 'z'; ++c) t[c] = true;
+  for (unsigned c = 'A'; c <= 'Z'; ++c) t[c] = true;
+  t[static_cast<unsigned>('_')] = true;
+  return t;
+}();
+
+constexpr auto kIdentCont = [] {
+  std::array<bool, 256> t{};
+  for (unsigned c = 'a'; c <= 'z'; ++c) t[c] = true;
+  for (unsigned c = 'A'; c <= 'Z'; ++c) t[c] = true;
+  for (unsigned c = '0'; c <= '9'; ++c) t[c] = true;
+  t[static_cast<unsigned>('_')] = true;
+  return t;
+}();
+
+constexpr auto kDigit = [] {
+  std::array<bool, 256> t{};
+  for (unsigned c = '0'; c <= '9'; ++c) t[c] = true;
+  return t;
+}();
+
+constexpr auto kHexDigit = [] {
+  std::array<bool, 256> t{};
+  for (unsigned c = '0'; c <= '9'; ++c) t[c] = true;
+  for (unsigned c = 'a'; c <= 'f'; ++c) t[c] = true;
+  for (unsigned c = 'A'; c <= 'F'; ++c) t[c] = true;
+  return t;
+}();
 
 class Scanner {
  public:
-  explicit Scanner(std::string_view src) : src_(src) {}
+  Scanner(std::string_view src, LexResult& out) : src_(src), out_(out) {}
 
-  LexResult run() {
-    LexResult result;
+  void run() {
     for (;;) {
-      skip_trivia(result);
+      skip_trivia();
       if (at_end()) break;
-      result.tokens.push_back(next_token());
+      out_.tokens.push_back(next_token());
+      fresh_line_ = false;
     }
     Token eof;
     eof.kind = TokenKind::EndOfFile;
     eof.line = line_;
     eof.column = column_;
-    result.tokens.push_back(std::move(eof));
-    return result;
+    out_.tokens.push_back(eof);
   }
 
  private:
@@ -69,55 +107,112 @@ class Scanner {
     return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
   }
 
-  char advance() {
-    char c = src_[pos_++];
-    if (c == '\n') {
-      ++line_;
-      column_ = 1;
-    } else {
-      ++column_;
-    }
-    return c;
+  // Length in bytes of a newline sequence starting at byte `i`
+  // ('\n' = 1, "\r\n" = 2, lone '\r' = 1), or 0 if none.
+  std::size_t newline_len(std::size_t i) const {
+    if (i >= src_.size()) return 0;
+    if (src_[i] == '\n') return 1;
+    if (src_[i] == '\r') return i + 1 < src_.size() && src_[i + 1] == '\n' ? 2 : 1;
+    return 0;
   }
 
-  void skip_trivia(LexResult& result) {
+  void take() {
+    ++pos_;
+    ++column_;
+  }
+
+  void take_newline(std::size_t len) {
+    pos_ += len;
+    ++line_;
+    column_ = 1;
+  }
+
+  // If the scanner sits on a backslash line continuation inside a token,
+  // consume it: stash the contiguous segment [start, pos_) in scratch_,
+  // skip the splice, and restart the segment. finish_run() later interns
+  // the stitched spelling into the arena.
+  bool try_splice(std::size_t& start, bool& spliced) {
+    if (peek() != '\\') return false;
+    std::size_t nl = newline_len(pos_ + 1);
+    if (nl == 0) return false;
+    if (!spliced) {
+      spliced = true;
+      scratch_.clear();
+    }
+    scratch_.append(src_.data() + start, pos_ - start);
+    take_newline(1 + nl);
+    start = pos_;
+    return true;
+  }
+
+  std::string_view finish_run(std::size_t start, bool spliced) {
+    if (!spliced) return src_.substr(start, pos_ - start);
+    scratch_.append(src_.data() + start, pos_ - start);
+    return out_.arena.intern(scratch_);
+  }
+
+  void skip_trivia() {
     for (;;) {
       if (at_end()) return;
       char c = peek();
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        advance();
+      if (c == '\n' || c == '\r') {
+        take_newline(newline_len(pos_));
+        fresh_line_ = true;
+      } else if (c == ' ' || c == '\t' || c == '\v' || c == '\f') {
+        take();
+      } else if (c == '\\' && newline_len(pos_ + 1) > 0) {
+        take_newline(1 + newline_len(pos_ + 1));  // splice between tokens
       } else if (c == '/' && peek(1) == '/') {
-        while (!at_end() && peek() != '\n') advance();
+        while (!at_end() && peek() != '\n' && peek() != '\r') take();
       } else if (c == '/' && peek(1) == '*') {
         int start_line = line_, start_col = column_;
-        advance();
-        advance();
+        take();
+        take();
         for (;;) {
           if (at_end()) throw LexError("unterminated block comment", start_line, start_col);
           if (peek() == '*' && peek(1) == '/') {
-            advance();
-            advance();
+            take();
+            take();
             break;
           }
-          advance();
-        }
-      } else if (c == '#' && column_ == 1) {
-        // Preprocessor directive: record the raw line (with continuations).
-        std::string directive;
-        while (!at_end() && peek() != '\n') {
-          if (peek() == '\\' && peek(1) == '\n') {
-            advance();
-            advance();
-            directive += ' ';
-            continue;
+          std::size_t nl = newline_len(pos_);
+          if (nl > 0) {
+            take_newline(nl);
+          } else {
+            take();
           }
-          directive += advance();
         }
-        result.directives.push_back(std::move(directive));
+      } else if (c == '#' && fresh_line_) {
+        lex_directive();
       } else {
         return;
       }
     }
+  }
+
+  // Record the raw '#...' line. Continuations are replaced with a single
+  // space (so "#define N \\\n 10" reads "#define N  10"); the trailing
+  // '\r' of a CRLF line is excluded.
+  void lex_directive() {
+    std::size_t start = pos_;
+    bool spliced = false;
+    while (!at_end()) {
+      char c = peek();
+      if (c == '\n' || c == '\r') break;
+      if (c == '\\' && newline_len(pos_ + 1) > 0) {
+        if (!spliced) {
+          spliced = true;
+          scratch_.clear();
+        }
+        scratch_.append(src_.data() + start, pos_ - start);
+        scratch_ += ' ';
+        take_newline(1 + newline_len(pos_ + 1));
+        start = pos_;
+        continue;
+      }
+      take();
+    }
+    out_.directives.push_back(finish_run(start, spliced));
   }
 
   Token next_token() {
@@ -125,145 +220,195 @@ class Scanner {
     tok.line = line_;
     tok.column = column_;
     char c = peek();
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      std::string word;
-      while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
-        word += advance();
-      }
-      tok.kind = is_c_keyword(word) ? TokenKind::Keyword : TokenKind::Identifier;
-      tok.text = std::move(word);
-      return tok;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) ||
-        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
-      return lex_number(tok);
-    }
-    if (c == '"') return lex_string(tok);
-    if (c == '\'') return lex_char(tok);
+    if (kIdentStart[uc(c)]) return lex_word(tok);
+    if (kDigit[uc(c)] || (c == '.' && kDigit[uc(peek(1))])) return lex_number(tok);
+    if (c == '"') return lex_quoted(tok, '"');
+    if (c == '\'') return lex_quoted(tok, '\'');
     return lex_punct(tok);
   }
 
-  Token lex_number(Token tok) {
-    std::string text;
-    bool is_float = false;
-    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
-      text += advance();
-      text += advance();
-      while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek()))) text += advance();
-    } else {
-      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
-      if (peek() == '.') {
-        is_float = true;
-        text += advance();
-        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  Token lex_word(Token tok) {
+    std::size_t start = pos_;
+    bool spliced = false;
+    for (;;) {
+      if (kIdentCont[uc(peek())] && !at_end()) {
+        take();
+        continue;
       }
-      if (peek() == 'e' || peek() == 'E') {
+      if (try_splice(start, spliced)) continue;
+      break;
+    }
+    tok.text = finish_run(start, spliced);
+    tok.kind = is_c_keyword(tok.text) ? TokenKind::Keyword : TokenKind::Identifier;
+    return tok;
+  }
+
+  Token lex_number(Token tok) {
+    std::size_t start = pos_;
+    bool spliced = false;
+    // Consuming any splice before each lookahead keeps digit runs and
+    // suffixes correct across continuations.
+    auto cur = [&]() -> char {
+      while (try_splice(start, spliced)) {
+      }
+      return peek();
+    };
+    bool is_float = false;
+    if (cur() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      take();
+      take();
+      while (kHexDigit[uc(cur())] && !at_end()) take();
+    } else {
+      while (kDigit[uc(cur())] && !at_end()) take();
+      if (cur() == '.') {
+        is_float = true;
+        take();
+        while (kDigit[uc(cur())] && !at_end()) take();
+      }
+      if (cur() == 'e' || cur() == 'E') {
         char after = peek(1);
-        if (std::isdigit(static_cast<unsigned char>(after)) || after == '+' || after == '-') {
+        if (kDigit[uc(after)] || after == '+' || after == '-') {
           is_float = true;
-          text += advance();
-          if (peek() == '+' || peek() == '-') text += advance();
-          while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+          take();
+          if (cur() == '+' || cur() == '-') take();
+          while (kDigit[uc(cur())] && !at_end()) take();
         }
       }
     }
     // Integer / float suffixes: u, l, ll, f combinations.
-    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L' ||
-           peek() == 'f' || peek() == 'F') {
-      if (peek() == 'f' || peek() == 'F') is_float = true;
-      text += advance();
+    for (;;) {
+      char c = cur();
+      if (c == 'u' || c == 'U' || c == 'l' || c == 'L') {
+        take();
+      } else if (c == 'f' || c == 'F') {
+        is_float = true;
+        take();
+      } else {
+        break;
+      }
     }
     tok.kind = is_float ? TokenKind::FloatLiteral : TokenKind::IntLiteral;
-    tok.text = std::move(text);
+    tok.text = finish_run(start, spliced);
     return tok;
   }
 
-  Token lex_string(Token tok) {
-    std::string text;
-    text += advance();  // opening quote
+  Token lex_quoted(Token tok, char quote) {
+    const char* unterminated =
+        quote == '"' ? "unterminated string literal" : "unterminated char literal";
+    std::size_t start = pos_;
+    bool spliced = false;
+    take();  // opening quote
     for (;;) {
-      if (at_end() || peek() == '\n') {
-        throw LexError("unterminated string literal", tok.line, tok.column);
+      if (at_end() || peek() == '\n' || peek() == '\r') {
+        throw LexError(unterminated, tok.line, tok.column);
       }
-      char c = advance();
-      text += c;
+      char c = peek();
       if (c == '\\') {
+        if (try_splice(start, spliced)) continue;
+        take();  // backslash
         if (at_end()) throw LexError("unterminated escape", tok.line, tok.column);
-        text += advance();
-      } else if (c == '"') {
-        break;
+        take();  // escaped character
+        continue;
       }
+      take();
+      if (c == quote) break;
     }
-    tok.kind = TokenKind::StringLiteral;
-    tok.text = std::move(text);
+    tok.kind = quote == '"' ? TokenKind::StringLiteral : TokenKind::CharLiteral;
+    tok.text = finish_run(start, spliced);
     return tok;
   }
 
-  Token lex_char(Token tok) {
-    std::string text;
-    text += advance();  // opening quote
-    for (;;) {
-      if (at_end() || peek() == '\n') {
-        throw LexError("unterminated char literal", tok.line, tok.column);
-      }
-      char c = advance();
-      text += c;
-      if (c == '\\') {
-        if (at_end()) throw LexError("unterminated escape", tok.line, tok.column);
-        text += advance();
-      } else if (c == '\'') {
-        break;
-      }
-    }
-    tok.kind = TokenKind::CharLiteral;
-    tok.text = std::move(text);
-    return tok;
-  }
-
+  // Maximal munch by first-character dispatch: one switch decides the
+  // punctuator length instead of probing a longest-first table.
   Token lex_punct(Token tok) {
-    std::string_view rest = src_.substr(pos_);
-    for (std::string_view p : kPuncts3) {
-      if (rest.substr(0, p.size()) == p) {
-        for (std::size_t i = 0; i < p.size(); ++i) advance();
-        tok.kind = TokenKind::Punct;
-        tok.text = std::string(p);
-        return tok;
-      }
-    }
-    for (std::string_view p : kPuncts2Extra) {
-      if (rest.substr(0, 2) == p) {
-        advance();
-        advance();
-        tok.kind = TokenKind::Punct;
-        tok.text = std::string(p);
-        return tok;
-      }
-    }
-    static constexpr std::string_view kSingles = "+-*/%<>=!&|^~?:;,.()[]{}";
     char c = peek();
-    if (kSingles.find(c) != std::string_view::npos) {
-      advance();
-      tok.kind = TokenKind::Punct;
-      tok.text = std::string(1, c);
-      return tok;
+    char c1 = peek(1);
+    std::size_t len = 0;
+    switch (c) {
+      case '<':
+        len = c1 == '<' ? (peek(2) == '=' ? 3 : 2) : (c1 == '=' ? 2 : 1);
+        break;
+      case '>':
+        len = c1 == '>' ? (peek(2) == '=' ? 3 : 2) : (c1 == '=' ? 2 : 1);
+        break;
+      case '.':
+        len = c1 == '.' && peek(2) == '.' ? 3 : 1;
+        break;
+      case '-':
+        len = c1 == '>' || c1 == '-' || c1 == '=' ? 2 : 1;
+        break;
+      case '+':
+        len = c1 == '+' || c1 == '=' ? 2 : 1;
+        break;
+      case '&':
+        len = c1 == '&' || c1 == '=' ? 2 : 1;
+        break;
+      case '|':
+        len = c1 == '|' || c1 == '=' ? 2 : 1;
+        break;
+      case '*':
+      case '/':
+      case '%':
+      case '=':
+      case '!':
+      case '^':
+        len = c1 == '=' ? 2 : 1;
+        break;
+      case '~':
+      case '?':
+      case ':':
+      case ';':
+      case ',':
+      case '(':
+      case ')':
+      case '[':
+      case ']':
+      case '{':
+      case '}':
+        len = 1;
+        break;
+      default:
+        throw LexError(std::string("unexpected character '") + c + "'", line_,
+                       column_);
     }
-    throw LexError(std::string("unexpected character '") + c + "'", line_, column_);
+    tok.kind = TokenKind::Punct;
+    tok.text = src_.substr(pos_, len);
+    pos_ += len;
+    column_ += static_cast<int>(len);
+    return tok;
   }
 
   std::string_view src_;
+  LexResult& out_;
+  std::string scratch_;  // assembles spellings split by continuations
   std::size_t pos_ = 0;
   int line_ = 1;
   int column_ = 1;
+  bool fresh_line_ = true;  // only whitespace seen since the last newline
 };
 
 }  // namespace
 
-LexResult lex(std::string_view source) { return Scanner(source).run(); }
+void lex_into(std::string_view source, LexResult& out) {
+  out.tokens.clear();
+  out.directives.clear();
+  out.arena.reset();
+  Scanner(source, out).run();
+}
 
-std::vector<Token> lex_tokens(std::string_view source) {
+LexResult lex(std::string_view source) {
+  LexResult result;
+  lex_into(source, result);
+  return result;
+}
+
+TokenStream lex_tokens(std::string_view source) {
   LexResult result = lex(source);
   result.tokens.pop_back();  // drop EOF
-  return std::move(result.tokens);
+  TokenStream stream;
+  stream.tokens = std::move(result.tokens);
+  stream.arena = std::move(result.arena);
+  return stream;
 }
 
 }  // namespace sevuldet::frontend

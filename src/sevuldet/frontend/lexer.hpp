@@ -2,6 +2,13 @@
 // whitespace, records preprocessor directive lines separately (the
 // slicing pipeline ignores them but the normalizer keeps macros intact),
 // and reports malformed input with source positions rather than crashing.
+//
+// The scanner is zero-copy: every Token::text is a string_view into the
+// caller's source buffer, except spellings that are not contiguous in
+// the source (tokens split by backslash line continuations), which are
+// interned into the result's TokenArena. The caller must therefore keep
+// the source buffer alive as long as the tokens; the arena travels
+// inside LexResult/TokenStream and needs no extra care.
 #pragma once
 
 #include <stdexcept>
@@ -14,27 +21,54 @@
 namespace sevuldet::frontend {
 
 /// Raised on malformed input (unterminated string/comment, stray byte).
+/// what() carries the position-decorated text; raw_message() the bare
+/// reason, for callers that build drop-reason labels.
 class LexError : public std::runtime_error {
  public:
   LexError(const std::string& message, int line, int column)
       : std::runtime_error(message + " at " + std::to_string(line) + ":" +
                            std::to_string(column)),
         line(line),
-        column(column) {}
+        column(column),
+        raw_message_(message) {}
+  const std::string& raw_message() const { return raw_message_; }
   int line;
   int column;
+
+ private:
+  std::string raw_message_;
 };
 
 struct LexResult {
-  std::vector<Token> tokens;       // ends with an EndOfFile token
-  std::vector<std::string> directives;  // raw '#...' lines, in order
+  std::vector<Token> tokens;  // ends with an EndOfFile token
+  std::vector<std::string_view> directives;  // raw '#...' lines, in order
+  TokenArena arena;  // storage for spliced/synthesized spellings
 };
 
-/// Tokenize a whole translation unit.
+/// Tokenize a whole translation unit. Views in the result point into
+/// `source` (or the result's own arena); `source` must outlive them.
 LexResult lex(std::string_view source);
+
+/// Tokenize into a caller-owned result, reusing its vectors' capacity
+/// and its arena chunks — repeated calls on same-sized inputs reach a
+/// zero-allocation steady state. Clears previous contents.
+void lex_into(std::string_view source, LexResult& out);
+
+/// Token sequence without the EndOfFile sentinel, bundled with the
+/// arena that keeps synthesized spellings alive.
+struct TokenStream {
+  std::vector<Token> tokens;
+  TokenArena arena;
+
+  std::size_t size() const { return tokens.size(); }
+  bool empty() const { return tokens.empty(); }
+  const Token& operator[](std::size_t i) const { return tokens[i]; }
+  auto begin() const { return tokens.begin(); }
+  auto end() const { return tokens.end(); }
+};
 
 /// Tokenize and drop the EndOfFile sentinel — convenient for callers that
 /// only want the token texts (e.g. the gadget tokenizer).
-std::vector<Token> lex_tokens(std::string_view source);
+TokenStream lex_tokens(std::string_view source);
 
 }  // namespace sevuldet::frontend

@@ -11,8 +11,18 @@ namespace sevuldet::frontend {
 
 namespace {
 
-const std::unordered_set<std::string>& builtin_type_names() {
-  static const std::unordered_set<std::string> kTypes = {
+// Heterogeneous-lookup string set: contains(string_view) without
+// materializing a std::string per probe (token texts are views now).
+struct SvHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+using StringSet = std::unordered_set<std::string, SvHash, std::equal_to<>>;
+
+const StringSet& builtin_type_names() {
+  static const StringSet kTypes = {
       // Common typedef-style names treated as types even though the lexer
       // classifies them as identifiers.
       "size_t",   "ssize_t",  "ptrdiff_t", "wchar_t",  "FILE",
@@ -26,7 +36,7 @@ const std::unordered_set<std::string>& builtin_type_names() {
 
 bool is_type_keyword(const Token& tok) {
   if (tok.kind != TokenKind::Keyword) return false;
-  static const std::unordered_set<std::string> kTypeKw = {
+  static const std::unordered_set<std::string_view> kTypeKw = {
       "void", "char", "short", "int", "long", "float", "double", "signed",
       "unsigned", "struct", "union", "enum", "const", "volatile", "static",
       "extern", "register", "auto", "inline", "_Bool", "bool",
@@ -36,16 +46,17 @@ bool is_type_keyword(const Token& tok) {
 
 class Parser {
  public:
-  explicit Parser(std::string_view source) {
-    LexResult lexed = lex(source);
-    tokens_ = std::move(lexed.tokens);
-    directives_ = std::move(lexed.directives);
+  explicit Parser(std::string_view source)
+      : lexed_(lex(source)), tokens_(lexed_.tokens) {
+    // The whole LexResult stays alive as a member: tokens_ holds views
+    // into `source` (owned by the caller for the duration of the parse)
+    // and into lexed_.arena (spliced spellings).
     type_names_ = builtin_type_names();
   }
 
   TranslationUnit parse_unit() {
     TranslationUnit unit;
-    unit.directives = directives_;
+    unit.directives.assign(lexed_.directives.begin(), lexed_.directives.end());
     while (!peek().is(TokenKind::EndOfFile)) {
       parse_top_level(unit);
     }
@@ -96,7 +107,8 @@ class Parser {
 
   const Token& expect_punct(std::string_view p) {
     if (!peek().is_punct(p)) {
-      throw ParseError("expected '" + std::string(p) + "', got '" + peek().text + "'",
+      throw ParseError("expected '" + std::string(p) + "', got '" +
+                           std::string(peek().text) + "'",
                        peek().line, peek().column);
     }
     return advance();
@@ -104,14 +116,14 @@ class Parser {
 
   void expect_eof() {
     if (!peek().is(TokenKind::EndOfFile)) {
-      throw ParseError("trailing input '" + peek().text + "'", peek().line,
-                       peek().column);
+      throw ParseError("trailing input '" + std::string(peek().text) + "'",
+                       peek().line, peek().column);
     }
   }
 
   [[noreturn]] void fail(const std::string& message) const {
-    throw ParseError(message + " (got '" + peek().text + "')", peek().line,
-                     peek().column);
+    throw ParseError(message + " (got '" + std::string(peek().text) + "')",
+                     peek().line, peek().column);
   }
 
   bool is_type_start(std::size_t ahead = 0) const {
@@ -135,7 +147,7 @@ class Parser {
       }
       expect_punct(";");
       if (!body.empty() && body.back().kind == TokenKind::Identifier) {
-        type_names_.insert(body.back().text);
+        type_names_.emplace(body.back().text);
       }
       return;
     }
@@ -149,8 +161,8 @@ class Parser {
         GlobalDecl decl;
         decl.range.begin_line = peek().line;
         advance();  // struct/union/enum
-        type_names_.insert(peek().text);
-        std::string tag = advance().text;
+        type_names_.emplace(peek().text);
+        std::string tag(advance().text);
         decl.text = "struct " + tag;
         skip_balanced("{", "}");
         // optional trailing declarators
@@ -182,7 +194,7 @@ class Parser {
       unit.globals.push_back(std::move(decl));
       return;
     }
-    std::string name = advance().text;
+    std::string name(advance().text);
 
     if (peek().is_punct("(")) {
       FunctionDef fn;
@@ -581,7 +593,7 @@ class Parser {
 
   ExprPtr parse_assign_expr() {
     ExprPtr lhs = parse_ternary_expr();
-    static const std::unordered_set<std::string> kAssignOps = {
+    static const std::unordered_set<std::string_view> kAssignOps = {
         "=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^="};
     if (peek().kind == TokenKind::Punct && kAssignOps.contains(peek().text)) {
       auto node = std::make_unique<Expr>(ExprKind::Assign);
@@ -609,7 +621,7 @@ class Parser {
 
   static int binary_precedence(const Token& tok) {
     if (tok.kind != TokenKind::Punct) return -1;
-    const std::string& p = tok.text;
+    std::string_view p = tok.text;
     if (p == "||") return 0;
     if (p == "&&") return 1;
     if (p == "|") return 2;
@@ -663,8 +675,8 @@ class Parser {
   ExprPtr parse_unary_expr() {
     const Token& tok = peek();
     if (tok.kind == TokenKind::Punct) {
-      static const std::unordered_set<std::string> kUnary = {"-", "+", "!", "~",
-                                                             "*", "&", "++", "--"};
+      static const std::unordered_set<std::string_view> kUnary = {
+          "-", "+", "!", "~", "*", "&", "++", "--"};
       if (kUnary.contains(tok.text)) {
         auto node = std::make_unique<Expr>(ExprKind::Unary);
         node->line = tok.line;
@@ -818,9 +830,9 @@ class Parser {
     }
   }
 
-  std::vector<Token> tokens_;
-  std::vector<std::string> directives_;
-  std::unordered_set<std::string> type_names_;
+  LexResult lexed_;  // owns the token vector and the splice arena
+  std::vector<Token>& tokens_;
+  StringSet type_names_;
   std::size_t pos_ = 0;
 };
 

@@ -24,9 +24,16 @@ class ParseError : public std::runtime_error {
       : std::runtime_error(message + " at " + std::to_string(line) + ":" +
                            std::to_string(column)),
         line(line),
-        column(column) {}
+        column(column),
+        raw_message_(message) {}
+  /// The bare reason without the " at L:C" suffix — recovery code uses
+  /// it for drop-reason labels.
+  const std::string& raw_message() const { return raw_message_; }
   int line;
   int column;
+
+ private:
+  std::string raw_message_;
 };
 
 /// Parse a whole translation unit. Throws LexError / ParseError on

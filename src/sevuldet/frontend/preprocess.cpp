@@ -1,0 +1,871 @@
+#include "sevuldet/frontend/preprocess.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+#include "sevuldet/util/mmap_file.hpp"
+
+namespace sevuldet::frontend {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+inline bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+inline bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+struct Macro {
+  bool function_like = false;
+  std::vector<std::string> params;
+  std::string body;
+};
+
+struct PhysicalLine {
+  std::string_view with_term;  // raw bytes including the line terminator
+  std::string_view content;    // without terminator
+  int number = 0;              // 1-based within its buffer
+  bool continues = false;      // content ends with a backslash
+};
+
+/// Iterate the physical lines of a buffer, preserving terminators.
+std::vector<PhysicalLine> physical_lines(std::string_view src) {
+  std::vector<PhysicalLine> lines;
+  std::size_t begin = 0;
+  int number = 1;
+  while (begin < src.size()) {
+    std::size_t nl = src.find('\n', begin);
+    std::size_t term_end = nl == std::string_view::npos ? src.size() : nl + 1;
+    std::string_view with_term = src.substr(begin, term_end - begin);
+    std::string_view content = with_term;
+    if (content.ends_with('\n')) content.remove_suffix(1);
+    if (content.ends_with('\r')) content.remove_suffix(1);
+    lines.push_back(
+        {with_term, content, number, !content.empty() && content.back() == '\\'});
+    begin = term_end;
+    ++number;
+  }
+  return lines;
+}
+
+// #if expression evaluator: C integer-constant subset with defined(),
+// unknown identifiers resolving through the macro table (or to 0, the
+// standard behavior). Returns nullopt on anything it cannot parse.
+class CondEval {
+ public:
+  CondEval(std::string_view expr,
+           const std::map<std::string, Macro, std::less<>>& macros, int depth)
+      : s_(expr), macros_(macros), depth_(depth) {}
+
+  std::optional<long long> eval() {
+    auto v = parse_or();
+    skip_ws();
+    if (!v || pos_ != s_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool eat(std::string_view tok) {
+    skip_ws();
+    if (s_.substr(pos_, tok.size()) == tok) {
+      pos_ += tok.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<long long> parse_or() {
+    auto lhs = parse_and();
+    while (lhs) {
+      skip_ws();
+      if (s_.substr(pos_, 2) == "||") {
+        pos_ += 2;
+        auto rhs = parse_and();
+        if (!rhs) return std::nullopt;
+        lhs = (*lhs != 0 || *rhs != 0) ? 1 : 0;
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  std::optional<long long> parse_and() {
+    auto lhs = parse_cmp();
+    while (lhs) {
+      skip_ws();
+      if (s_.substr(pos_, 2) == "&&") {
+        pos_ += 2;
+        auto rhs = parse_cmp();
+        if (!rhs) return std::nullopt;
+        lhs = (*lhs != 0 && *rhs != 0) ? 1 : 0;
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  std::optional<long long> parse_cmp() {
+    auto lhs = parse_add();
+    while (lhs) {
+      skip_ws();
+      std::string_view rest = s_.substr(pos_);
+      long long l = *lhs;
+      std::optional<long long> rhs;
+      if (rest.starts_with("==")) {
+        pos_ += 2;
+        rhs = parse_add();
+        if (!rhs) return std::nullopt;
+        lhs = l == *rhs ? 1 : 0;
+      } else if (rest.starts_with("!=")) {
+        pos_ += 2;
+        rhs = parse_add();
+        if (!rhs) return std::nullopt;
+        lhs = l != *rhs ? 1 : 0;
+      } else if (rest.starts_with("<=")) {
+        pos_ += 2;
+        rhs = parse_add();
+        if (!rhs) return std::nullopt;
+        lhs = l <= *rhs ? 1 : 0;
+      } else if (rest.starts_with(">=")) {
+        pos_ += 2;
+        rhs = parse_add();
+        if (!rhs) return std::nullopt;
+        lhs = l >= *rhs ? 1 : 0;
+      } else if (rest.starts_with("<") && !rest.starts_with("<<")) {
+        pos_ += 1;
+        rhs = parse_add();
+        if (!rhs) return std::nullopt;
+        lhs = l < *rhs ? 1 : 0;
+      } else if (rest.starts_with(">") && !rest.starts_with(">>")) {
+        pos_ += 1;
+        rhs = parse_add();
+        if (!rhs) return std::nullopt;
+        lhs = l > *rhs ? 1 : 0;
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  std::optional<long long> parse_add() {
+    auto lhs = parse_mul();
+    while (lhs) {
+      skip_ws();
+      char c = peek();
+      if (c == '+' || c == '-') {
+        ++pos_;
+        auto rhs = parse_mul();
+        if (!rhs) return std::nullopt;
+        lhs = c == '+' ? *lhs + *rhs : *lhs - *rhs;
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  std::optional<long long> parse_mul() {
+    auto lhs = parse_unary();
+    while (lhs) {
+      skip_ws();
+      char c = peek();
+      if (c == '*' || c == '/' || c == '%') {
+        ++pos_;
+        auto rhs = parse_unary();
+        if (!rhs) return std::nullopt;
+        if ((c == '/' || c == '%') && *rhs == 0) return std::nullopt;
+        lhs = c == '*' ? *lhs * *rhs : (c == '/' ? *lhs / *rhs : *lhs % *rhs);
+      } else {
+        break;
+      }
+    }
+    return lhs;
+  }
+
+  std::optional<long long> parse_unary() {
+    skip_ws();
+    char c = peek();
+    if (c == '!') {
+      ++pos_;
+      auto v = parse_unary();
+      if (!v) return std::nullopt;
+      return *v == 0 ? 1 : 0;
+    }
+    if (c == '-') {
+      ++pos_;
+      auto v = parse_unary();
+      if (!v) return std::nullopt;
+      return -*v;
+    }
+    if (c == '+') {
+      ++pos_;
+      return parse_unary();
+    }
+    if (c == '~') {
+      ++pos_;
+      auto v = parse_unary();
+      if (!v) return std::nullopt;
+      return ~*v;
+    }
+    return parse_primary();
+  }
+
+  std::optional<long long> parse_primary() {
+    skip_ws();
+    char c = peek();
+    if (c == '(') {
+      ++pos_;
+      auto v = parse_or();
+      if (!v || !eat(")")) return std::nullopt;
+      return v;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = pos_;
+      long long value = 0;
+      if (s_.substr(pos_, 2) == "0x" || s_.substr(pos_, 2) == "0X") {
+        end = pos_ + 2;
+        while (end < s_.size() && std::isxdigit(static_cast<unsigned char>(s_[end]))) {
+          value = value * 16 +
+                  (std::isdigit(static_cast<unsigned char>(s_[end]))
+                       ? s_[end] - '0'
+                       : std::tolower(static_cast<unsigned char>(s_[end])) - 'a' + 10);
+          ++end;
+        }
+      } else {
+        while (end < s_.size() && std::isdigit(static_cast<unsigned char>(s_[end]))) {
+          value = value * 10 + (s_[end] - '0');
+          ++end;
+        }
+      }
+      // integer suffixes
+      while (end < s_.size() &&
+             (s_[end] == 'u' || s_[end] == 'U' || s_[end] == 'l' || s_[end] == 'L')) {
+        ++end;
+      }
+      pos_ = end;
+      return value;
+    }
+    if (ident_start(c)) {
+      std::size_t end = pos_;
+      while (end < s_.size() && ident_cont(s_[end])) ++end;
+      std::string_view name = s_.substr(pos_, end - pos_);
+      pos_ = end;
+      if (name == "defined") {
+        skip_ws();
+        bool paren = eat("(");
+        skip_ws();
+        std::size_t e2 = pos_;
+        while (e2 < s_.size() && ident_cont(s_[e2])) ++e2;
+        if (e2 == pos_) return std::nullopt;
+        std::string_view arg = s_.substr(pos_, e2 - pos_);
+        pos_ = e2;
+        if (paren && !eat(")")) return std::nullopt;
+        return macros_.find(arg) != macros_.end() ? 1 : 0;
+      }
+      auto it = macros_.find(name);
+      if (it == macros_.end() || it->second.function_like) return 0;
+      if (depth_ <= 0) return std::nullopt;
+      return CondEval(trim(it->second.body), macros_, depth_ - 1).eval();
+    }
+    return std::nullopt;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  const std::map<std::string, Macro, std::less<>>& macros_;
+  int depth_;
+};
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(const PreprocessOptions& options) : options_(options) {}
+
+  PreprocessResult run(std::string_view source) {
+    PreprocessResult result;
+    process_buffer(source, /*is_main=*/true, options_.current_dir,
+                   options_.max_include_depth);
+    result.text = std::move(text_);
+    result.line_map = std::move(line_map_);
+    result.stats = stats_;
+    result.changed = result.text != source;
+    return result;
+  }
+
+ private:
+  // --- output ----------------------------------------------------------
+
+  void emit_verbatim(const PhysicalLine& line, int origin) {
+    text_.append(line.with_term);
+    // A final line without terminator is still one output line.
+    line_map_.push_back(origin);
+  }
+
+  void emit_text(std::string_view text, int origin) {
+    text_.append(text);
+    text_.push_back('\n');
+    line_map_.push_back(origin);
+  }
+
+  // --- conditional stack ----------------------------------------------
+
+  struct Cond {
+    bool parent_active = true;
+    bool taken = false;   // some branch of this #if chain was active
+    bool active = false;  // current branch is active
+  };
+
+  bool active() const { return conds_.empty() || conds_.back().active; }
+
+  // --- directive handling ----------------------------------------------
+
+  // Returns true when the first non-whitespace character outside a
+  // block comment is '#'. Assumes in_comment_ reflects the state at the
+  // start of the line (updated separately by update_comment_state).
+  bool is_directive(std::string_view content) const {
+    bool in_comment = in_comment_;
+    std::size_t i = 0;
+    while (i < content.size()) {
+      if (in_comment) {
+        std::size_t close = content.find("*/", i);
+        if (close == std::string_view::npos) return false;
+        i = close + 2;
+        in_comment = false;
+        continue;
+      }
+      char c = content[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < content.size() && content[i + 1] == '*') {
+        in_comment = true;
+        i += 2;
+        continue;
+      }
+      return c == '#';
+    }
+    return false;
+  }
+
+  // Track /* */ comment state across lines (string-literal aware).
+  void update_comment_state(std::string_view content) {
+    std::size_t i = 0;
+    bool in_string = false, in_char = false;
+    while (i < content.size()) {
+      char c = content[i];
+      if (in_comment_) {
+        std::size_t close = content.find("*/", i);
+        if (close == std::string_view::npos) return;
+        i = close + 2;
+        in_comment_ = false;
+        continue;
+      }
+      if (in_string) {
+        if (c == '\\') {
+          i += 2;
+          continue;
+        }
+        if (c == '"') in_string = false;
+        ++i;
+        continue;
+      }
+      if (in_char) {
+        if (c == '\\') {
+          i += 2;
+          continue;
+        }
+        if (c == '\'') in_char = false;
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+        ++i;
+      } else if (c == '\'') {
+        in_char = true;
+        ++i;
+      } else if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
+        return;  // line comment: rest of line is trivia
+      } else if (c == '/' && i + 1 < content.size() && content[i + 1] == '*') {
+        in_comment_ = true;
+        i += 2;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void handle_directive(std::string_view logical, const std::string& dir,
+                        int depth) {
+    std::string_view rest = trim(logical);
+    rest.remove_prefix(1);  // '#'
+    rest = trim(rest);
+    std::size_t end = 0;
+    while (end < rest.size() && ident_cont(rest[end])) ++end;
+    std::string_view name = rest.substr(0, end);
+    std::string_view arg = trim(rest.substr(end));
+
+    if (name == "ifdef" || name == "ifndef") {
+      ++stats_.conditionals;
+      bool defined = macros_.find(ident_prefix(arg)) != macros_.end();
+      bool value = name == "ifdef" ? defined : !defined;
+      conds_.push_back({active(), value && active(), value && active()});
+      return;
+    }
+    if (name == "if") {
+      ++stats_.conditionals;
+      bool value = eval_condition(arg);
+      conds_.push_back({active(), value && active(), value && active()});
+      return;
+    }
+    if (name == "elif") {
+      if (conds_.empty()) {
+        ++stats_.unresolved_conditionals;
+        return;
+      }
+      Cond& top = conds_.back();
+      if (!top.parent_active || top.taken) {
+        top.active = false;
+      } else {
+        top.active = eval_condition(arg);
+        top.taken = top.active;
+      }
+      return;
+    }
+    if (name == "else") {
+      if (conds_.empty()) {
+        ++stats_.unresolved_conditionals;
+        return;
+      }
+      Cond& top = conds_.back();
+      top.active = top.parent_active && !top.taken;
+      top.taken = true;
+      return;
+    }
+    if (name == "endif") {
+      if (conds_.empty()) {
+        ++stats_.unresolved_conditionals;
+        return;
+      }
+      conds_.pop_back();
+      return;
+    }
+
+    if (!active()) return;  // skipped region: no defines/includes
+
+    if (name == "define") {
+      parse_define(arg);
+      return;
+    }
+    if (name == "undef") {
+      auto it = macros_.find(ident_prefix(arg));
+      if (it != macros_.end()) macros_.erase(it);
+      return;
+    }
+    if (name == "include") {
+      handle_include(arg, dir, depth);
+      return;
+    }
+    // #pragma, #error, #line, unknown: left verbatim, nothing to do.
+  }
+
+  static std::string_view ident_prefix(std::string_view s) {
+    std::size_t end = 0;
+    while (end < s.size() && ident_cont(s[end])) ++end;
+    return s.substr(0, end);
+  }
+
+  void parse_define(std::string_view arg) {
+    std::string_view name = ident_prefix(arg);
+    if (name.empty()) return;
+    std::string_view rest = arg.substr(name.size());
+    Macro macro;
+    if (!rest.empty() && rest.front() == '(') {
+      // Function-like only when '(' immediately follows the name.
+      macro.function_like = true;
+      std::size_t close = rest.find(')');
+      if (close == std::string_view::npos) return;  // malformed: skip
+      std::string_view params = rest.substr(1, close - 1);
+      std::size_t begin = 0;
+      while (begin <= params.size()) {
+        std::size_t comma = params.find(',', begin);
+        std::string_view p =
+            trim(params.substr(begin, comma == std::string_view::npos
+                                          ? std::string_view::npos
+                                          : comma - begin));
+        if (!p.empty()) macro.params.emplace_back(p);
+        if (comma == std::string_view::npos) break;
+        begin = comma + 1;
+      }
+      rest = rest.substr(close + 1);
+    }
+    macro.body = std::string(trim(rest));
+    macros_.insert_or_assign(std::string(name), std::move(macro));
+    ++stats_.macros_defined;
+  }
+
+  void handle_include(std::string_view arg, const std::string& dir, int depth) {
+    char open = arg.empty() ? '\0' : arg.front();
+    char close = open == '"' ? '"' : (open == '<' ? '>' : '\0');
+    std::size_t end = close ? arg.find(close, 1) : std::string_view::npos;
+    if (close == '\0' || end == std::string_view::npos) {
+      ++stats_.includes_unresolved;
+      return;
+    }
+    std::string_view name = arg.substr(1, end - 1);
+    if (depth <= 0) {
+      ++stats_.includes_unresolved;
+      return;
+    }
+
+    std::vector<std::string> candidates;
+    if (open == '"' && !dir.empty()) {
+      candidates.push_back((fs::path(dir) / std::string(name)).string());
+    }
+    for (const auto& root : options_.include_roots) {
+      candidates.push_back((fs::path(root) / std::string(name)).string());
+    }
+
+    for (const auto& candidate : candidates) {
+      std::error_code ec;
+      if (!fs::is_regular_file(candidate, ec)) continue;
+      std::string canonical = fs::weakly_canonical(candidate, ec).string();
+      if (ec) canonical = candidate;
+      if (including_.contains(canonical)) {
+        ++stats_.include_cycles;
+        return;
+      }
+      util::MmapFile file;
+      try {
+        file = util::MmapFile::open(candidate);
+      } catch (const std::exception&) {
+        continue;  // unreadable: try the next root
+      }
+      ++stats_.includes_resolved;
+      including_.insert(canonical);
+      std::string inc_dir = fs::path(candidate).parent_path().string();
+      process_buffer(file.view(), /*is_main=*/false, inc_dir, depth - 1);
+      including_.erase(canonical);
+      return;
+    }
+    ++stats_.includes_unresolved;
+  }
+
+  bool eval_condition(std::string_view expr) {
+    auto value = CondEval(expr, macros_, options_.max_macro_depth).eval();
+    if (!value) {
+      // Unresolvable expression: keep the region so the scanner sees the
+      // code (degradation is counted, never fatal).
+      ++stats_.unresolved_conditionals;
+      return true;
+    }
+    return *value != 0;
+  }
+
+  // --- macro expansion --------------------------------------------------
+
+  // Expand macros in one physical line of code (not a directive).
+  // Comment/string aware; returns nullopt when nothing changed.
+  std::optional<std::string> expand_line(std::string_view line) {
+    if (macros_.empty()) return std::nullopt;
+    bool changed = false;
+    std::string out = expand_text(line, options_.max_macro_depth, &changed,
+                                  /*code_line=*/true);
+    if (!changed) return std::nullopt;
+    return out;
+  }
+
+  std::string expand_text(std::string_view text, int depth, bool* changed,
+                          bool code_line) {
+    std::string out;
+    out.reserve(text.size());
+    std::size_t i = 0;
+    bool in_string = false, in_char = false;
+    bool in_comment = code_line ? in_comment_ : false;
+    while (i < text.size()) {
+      char c = text[i];
+      if (in_comment) {
+        std::size_t close = text.find("*/", i);
+        std::size_t upto = close == std::string_view::npos ? text.size() : close + 2;
+        out.append(text.substr(i, upto - i));
+        i = upto;
+        in_comment = false;
+        if (close == std::string_view::npos) break;
+        continue;
+      }
+      if (in_string || in_char) {
+        out.push_back(c);
+        if (c == '\\' && i + 1 < text.size()) {
+          out.push_back(text[i + 1]);
+          i += 2;
+          continue;
+        }
+        if ((in_string && c == '"') || (in_char && c == '\'')) {
+          in_string = in_char = false;
+        }
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+        out.push_back(c);
+        ++i;
+        continue;
+      }
+      if (c == '\'') {
+        in_char = true;
+        out.push_back(c);
+        ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+        out.append(text.substr(i));
+        break;
+      }
+      if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+        in_comment = true;
+        out.append("/*");
+        i += 2;
+        continue;
+      }
+      if (ident_start(c)) {
+        std::size_t end = i;
+        while (end < text.size() && ident_cont(text[end])) ++end;
+        std::string_view word = text.substr(i, end - i);
+        auto it = macros_.find(word);
+        if (it == macros_.end() || depth <= 0) {
+          out.append(word);
+          i = end;
+          continue;
+        }
+        const Macro& macro = it->second;
+        if (!macro.function_like) {
+          bool inner = false;
+          out.append(expand_text(macro.body, depth - 1, &inner, false));
+          ++stats_.macro_expansions;
+          *changed = true;
+          i = end;
+          continue;
+        }
+        // Function-like: require '(' (after optional spaces) on this line.
+        std::size_t p = end;
+        while (p < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[p]))) {
+          ++p;
+        }
+        if (p >= text.size() || text[p] != '(') {
+          out.append(word);  // name without call: leave as-is
+          i = end;
+          continue;
+        }
+        std::vector<std::string> args;
+        std::size_t after = parse_macro_args(text, p, args);
+        if (after == 0) {  // unbalanced on this line: degrade, no expansion
+          out.append(word);
+          i = end;
+          continue;
+        }
+        bool inner = false;
+        std::string body = substitute_params(macro, args);
+        out.append(expand_text(body, depth - 1, &inner, false));
+        ++stats_.macro_expansions;
+        *changed = true;
+        i = after;
+        continue;
+      }
+      out.push_back(c);
+      ++i;
+    }
+    return out;
+  }
+
+  // Parse a parenthesized argument list starting at text[open_paren].
+  // Returns the index just past the closing ')' (0 if unbalanced).
+  static std::size_t parse_macro_args(std::string_view text,
+                                      std::size_t open_paren,
+                                      std::vector<std::string>& args) {
+    std::size_t i = open_paren + 1;
+    int depth = 1;
+    std::string current;
+    bool in_string = false, in_char = false;
+    bool any = false;
+    while (i < text.size()) {
+      char c = text[i];
+      if (in_string || in_char) {
+        current.push_back(c);
+        if (c == '\\' && i + 1 < text.size()) {
+          current.push_back(text[i + 1]);
+          i += 2;
+          continue;
+        }
+        if ((in_string && c == '"') || (in_char && c == '\'')) {
+          in_string = in_char = false;
+        }
+        ++i;
+        continue;
+      }
+      if (c == '"') in_string = true;
+      if (c == '\'') in_char = true;
+      if (c == '(') ++depth;
+      if (c == ')') {
+        --depth;
+        if (depth == 0) {
+          if (any || !trim(current).empty()) args.emplace_back(trim(current));
+          return i + 1;
+        }
+      }
+      if (c == ',' && depth == 1) {
+        args.emplace_back(trim(current));
+        current.clear();
+        any = true;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+    }
+    return 0;
+  }
+
+  static std::string substitute_params(const Macro& macro,
+                                       const std::vector<std::string>& args) {
+    const std::string& body = macro.body;
+    std::string out;
+    out.reserve(body.size());
+    std::size_t i = 0;
+    while (i < body.size()) {
+      char c = body[i];
+      if (ident_start(c)) {
+        std::size_t end = i;
+        while (end < body.size() && ident_cont(body[end])) ++end;
+        std::string_view word{body.data() + i, end - i};
+        bool replaced = false;
+        for (std::size_t k = 0; k < macro.params.size(); ++k) {
+          if (word == macro.params[k]) {
+            out.append(k < args.size() ? args[k] : "");
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) out.append(word);
+        i = end;
+        continue;
+      }
+      out.push_back(c);
+      ++i;
+    }
+    // Token paste: drop "##" together with the whitespace around it.
+    std::string pasted;
+    pasted.reserve(out.size());
+    std::size_t j = 0;
+    while (j < out.size()) {
+      std::size_t paste = out.find("##", j);
+      if (paste == std::string::npos) {
+        pasted.append(out.substr(j));
+        break;
+      }
+      std::size_t left = paste;
+      while (left > j &&
+             std::isspace(static_cast<unsigned char>(out[left - 1]))) {
+        --left;
+      }
+      pasted.append(out.substr(j, left - j));
+      j = paste + 2;
+      while (j < out.size() && std::isspace(static_cast<unsigned char>(out[j]))) {
+        ++j;
+      }
+    }
+    return pasted;
+  }
+
+  // --- main loop --------------------------------------------------------
+
+  void process_buffer(std::string_view src, bool is_main, const std::string& dir,
+                      int depth) {
+    auto lines = physical_lines(src);
+    std::size_t i = 0;
+    while (i < lines.size()) {
+      const PhysicalLine& line = lines[i];
+      int origin = is_main ? line.number : 0;
+      if (is_directive(line.content)) {
+        // Join continuations into the logical directive text; emit every
+        // physical line verbatim so the lexer sees the same bytes.
+        std::string logical(line.content);
+        std::size_t last = i;
+        while (lines[last].continues && last + 1 < lines.size()) {
+          logical.pop_back();  // trailing backslash
+          logical += ' ';
+          ++last;
+          logical.append(lines[last].content);
+        }
+        for (std::size_t k = i; k <= last; ++k) {
+          emit_verbatim(lines[k], is_main ? lines[k].number : 0);
+          update_comment_state(lines[k].content);
+        }
+        handle_directive(logical, dir, depth);
+        i = last + 1;
+        continue;
+      }
+      if (!active()) {
+        // Inactive region: blank the line, keep the count.
+        emit_text("", origin);
+        ++stats_.lines_dropped;
+        update_comment_state(line.content);
+        ++i;
+        continue;
+      }
+      std::optional<std::string> expanded = expand_line(line.content);
+      if (expanded) {
+        emit_text(*expanded, origin);
+      } else {
+        emit_verbatim(line, origin);
+      }
+      update_comment_state(line.content);
+      ++i;
+    }
+  }
+
+  const PreprocessOptions& options_;
+  PreprocessStats stats_;
+  std::map<std::string, Macro, std::less<>> macros_;
+  std::vector<Cond> conds_;
+  std::unordered_set<std::string> including_;  // cycle guard (canonical paths)
+  bool in_comment_ = false;
+
+  std::string text_;
+  std::vector<int> line_map_;
+};
+
+}  // namespace
+
+PreprocessResult preprocess(std::string_view source,
+                            const PreprocessOptions& options) {
+  return Preprocessor(options).run(source);
+}
+
+}  // namespace sevuldet::frontend

@@ -1,0 +1,69 @@
+// Lightweight C preprocessor for real-world scanning. Resolves
+// #include against the scan roots (with an include-set cycle guard),
+// expands object-like and function-like macros with a recursion cap,
+// and evaluates #if/#ifdef/#elif/#else/#endif conditionals. It is NOT a
+// conforming cpp: anything it cannot resolve — missing headers,
+// token-pasting edge cases, unparseable #if expressions — degrades
+// gracefully (the construct is left in place or the region is kept)
+// instead of erroring, and every degradation is counted in the stats so
+// the scan drop-rate gate sees it.
+//
+// Output-line provenance: every output line carries the 1-based line of
+// the *top-level* file it came from (0 for lines pulled in from
+// includes), so findings on preprocessed text map back to the file the
+// user pointed the scanner at. When nothing needed rewriting the output
+// is byte-identical to the input (`changed == false`), which keeps
+// single-file scans bit-for-bit compatible with the unpreprocessed
+// pipeline.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sevuldet::frontend {
+
+struct PreprocessOptions {
+  /// Directories #include names are resolved against ("" names also try
+  /// the including file's directory first).
+  std::vector<std::string> include_roots;
+  /// Directory of the file being preprocessed (for "name" includes).
+  std::string current_dir;
+  int max_include_depth = 16;
+  int max_macro_depth = 8;
+};
+
+struct PreprocessStats {
+  int includes_resolved = 0;
+  int includes_unresolved = 0;  // not found under any root: left verbatim
+  int include_cycles = 0;       // self/mutual inclusion stopped by guard
+  int macros_defined = 0;
+  int macro_expansions = 0;
+  int conditionals = 0;              // #if/#ifdef/#ifndef evaluated
+  int unresolved_conditionals = 0;   // unparseable #if exprs: region kept
+  int lines_dropped = 0;             // lines blanked by inactive regions
+};
+
+struct PreprocessResult {
+  std::string text;  // preprocessed translation unit
+  /// Original 1-based line in the top-level file for output line i+1;
+  /// 0 when the line came from an #include.
+  std::vector<int> line_map;
+  PreprocessStats stats;
+  bool changed = false;  // false => `text` is byte-identical to the input
+
+  /// Map a 1-based line of `text` back to the top-level file (0 when it
+  /// originated in an include; identity when out of range).
+  int origin_line(int output_line) const {
+    if (output_line < 1 ||
+        static_cast<std::size_t>(output_line) > line_map.size()) {
+      return output_line;
+    }
+    return line_map[static_cast<std::size_t>(output_line) - 1];
+  }
+};
+
+PreprocessResult preprocess(std::string_view source,
+                            const PreprocessOptions& options = {});
+
+}  // namespace sevuldet::frontend

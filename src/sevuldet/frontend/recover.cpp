@@ -1,0 +1,157 @@
+#include "sevuldet/frontend/recover.hpp"
+
+#include <cctype>
+
+#include "sevuldet/frontend/lexer.hpp"
+#include "sevuldet/frontend/parser.hpp"
+#include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/trace.hpp"
+
+namespace sevuldet::frontend {
+
+namespace {
+
+struct Chunk {
+  std::size_t begin = 0;  // byte offsets into the source
+  std::size_t end = 0;
+  int begin_line = 1;
+  int end_line = 1;
+};
+
+/// Split a source into top-level chunks: runs of bytes that end where
+/// brace depth returns to zero at a ';' or '}'. The scan is tolerant —
+/// strings, char literals and comments are skipped, anything malformed
+/// just keeps the bytes flowing into the current chunk — so it never
+/// throws on input the lexer would reject.
+std::vector<Chunk> split_top_level(std::string_view src) {
+  std::vector<Chunk> chunks;
+  std::size_t i = 0;
+  int line = 1;
+  int depth = 0;
+  Chunk current{0, 0, 1, 1};
+  bool in_chunk = false;
+
+  auto close_chunk = [&](std::size_t end, int end_line) {
+    if (!in_chunk) return;
+    current.end = end;
+    current.end_line = end_line;
+    chunks.push_back(current);
+    in_chunk = false;
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i < src.size() && !(src[i] == '*' && i + 1 < src.size() && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= src.size() ? i + 2 : src.size();
+      continue;
+    }
+    if (!in_chunk) {
+      in_chunk = true;
+      current = {i, i, line, line};
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      while (i < src.size() && src[i] != quote && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < src.size()) ++i;
+        ++i;
+      }
+      if (i < src.size() && src[i] == quote) ++i;
+      continue;
+    }
+    if (c == '{') {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      if (depth > 0) --depth;
+      ++i;
+      if (depth == 0) {
+        // Optional trailing ';' (struct definitions, initialized arrays).
+        std::size_t j = i;
+        while (j < src.size() &&
+               (src[j] == ' ' || src[j] == '\t' || src[j] == '\r')) {
+          ++j;
+        }
+        if (j < src.size() && src[j] == ';') i = j + 1;
+        close_chunk(i, line);
+      }
+      continue;
+    }
+    if (c == ';' && depth == 0) {
+      ++i;
+      close_chunk(i, line);
+      continue;
+    }
+    ++i;
+  }
+  close_chunk(src.size(), line);
+  return chunks;
+}
+
+}  // namespace
+
+RecoveredParse parse_with_recovery(std::string_view source) {
+  util::trace::ScopedSpan span("frontend.recover");
+  RecoveredParse result;
+  try {
+    result.unit = parse(source);
+    return result;
+  } catch (const LexError&) {
+  } catch (const ParseError&) {
+  }
+
+  result.clean = false;
+  util::metrics::counter_add("frontend.recover.files");
+
+  std::vector<Chunk> chunks = split_top_level(source);
+  result.chunks_total = static_cast<int>(chunks.size());
+  std::string padded;
+  for (const Chunk& chunk : chunks) {
+    std::string_view text = source.substr(chunk.begin, chunk.end - chunk.begin);
+    // Pad with newlines so line numbers inside the chunk stay absolute.
+    padded.assign(static_cast<std::size_t>(chunk.begin_line - 1), '\n');
+    padded.append(text);
+    try {
+      TranslationUnit part = parse(padded);
+      for (auto& fn : part.functions) result.unit.functions.push_back(std::move(fn));
+      for (auto& g : part.globals) result.unit.globals.push_back(std::move(g));
+      for (auto& d : part.directives) result.unit.directives.push_back(std::move(d));
+      ++result.chunks_recovered;
+    } catch (const LexError& e) {
+      util::metrics::counter_add("frontend.drop.lex_chunk");
+      result.lost.push_back(
+          {chunk.begin_line, chunk.end_line, e.raw_message(), std::string(text)});
+    } catch (const ParseError& e) {
+      util::metrics::counter_add("frontend.drop.parse_chunk");
+      result.lost.push_back(
+          {chunk.begin_line, chunk.end_line, e.raw_message(), std::string(text)});
+    }
+  }
+  util::metrics::counter_add("frontend.recover.chunks",
+                             static_cast<long long>(result.chunks_total));
+  util::metrics::counter_add("frontend.recover.chunks_ok",
+                             static_cast<long long>(result.chunks_recovered));
+  return result;
+}
+
+}  // namespace sevuldet::frontend

@@ -1,0 +1,40 @@
+// Error-resilient parsing for real-world scanning. A lex or parse error
+// no longer drops the whole file: the source is split into top-level
+// brace-balanced chunks (function definitions, declarations) and each
+// chunk is re-parsed independently, padded with newlines so every AST
+// node keeps its original 1-based source line. Chunks that still fail
+// are returned as LostRegions — the scanner degrades them to the
+// lex-fallback gadget path instead of losing the code, and every loss
+// is counted in the frontend.drop.* metrics.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sevuldet/frontend/ast.hpp"
+
+namespace sevuldet::frontend {
+
+/// A top-level region that could not be parsed even in isolation.
+struct LostRegion {
+  int begin_line = 0;    // 1-based, inclusive
+  int end_line = 0;      // 1-based, inclusive
+  std::string reason;    // un-decorated LexError/ParseError message
+  std::string text;      // raw source of the region
+};
+
+struct RecoveredParse {
+  TranslationUnit unit;           // merged parse of the recoverable chunks
+  std::vector<LostRegion> lost;   // regions that resisted recovery
+  bool clean = true;              // full parse succeeded on the first try
+  int chunks_total = 0;           // chunks attempted during recovery
+  int chunks_recovered = 0;       // chunks that parsed in isolation
+};
+
+/// Parse `source`, recovering at top-level-declaration granularity on
+/// failure. Never throws on malformed input: the worst case is a result
+/// whose unit is empty and whose `lost` covers the whole file.
+RecoveredParse parse_with_recovery(std::string_view source);
+
+}  // namespace sevuldet::frontend

@@ -2,12 +2,74 @@
 // token stream with source positions; the parser consumes it and the
 // normalizer (Step III of the paper) re-tokenizes gadget text with the
 // same lexer so both phases agree on token boundaries.
+//
+// Tokens are zero-copy: `text` is a std::string_view into the buffer
+// being lexed (an mmap'd file, a std::string, ...) — or, for spellings
+// that are not contiguous in the source (a token split by a backslash
+// line continuation, a macro expansion), into the TokenArena that
+// accompanies the token stream. Token lifetime therefore equals
+// min(source buffer lifetime, arena lifetime).
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace sevuldet::frontend {
+
+/// Bump allocator for synthesized token spellings. Storage chunks are
+/// heap blocks owned through unique_ptr, so views handed out stay valid
+/// across moves of the arena and across further intern() calls.
+/// reset() rewinds to empty while keeping the allocated chunks, so a
+/// reused arena reaches a zero-allocation steady state.
+class TokenArena {
+ public:
+  /// Copy `text` into stable storage and return a view of the copy.
+  std::string_view intern(std::string_view text) {
+    char* dst = allocate(text.size());
+    if (!text.empty()) std::char_traits<char>::copy(dst, text.data(), text.size());
+    return {dst, text.size()};
+  }
+
+  /// Forget every interned spelling but keep the chunks for reuse.
+  void reset() {
+    used_ = 0;
+    chunk_index_ = 0;
+  }
+
+  std::size_t bytes_interned() const {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < chunk_index_; ++i) total += chunk_sizes_[i];
+    return total + used_;
+  }
+
+ private:
+  char* allocate(std::size_t n) {
+    while (chunk_index_ < chunks_.size()) {
+      if (used_ + n <= chunk_sizes_[chunk_index_]) {
+        char* p = chunks_[chunk_index_].get() + used_;
+        used_ += n;
+        return p;
+      }
+      ++chunk_index_;
+      used_ = 0;
+    }
+    const std::size_t size = std::max<std::size_t>(n, kChunkBytes);
+    chunks_.push_back(std::make_unique<char[]>(size));
+    chunk_sizes_.push_back(size);
+    chunk_index_ = chunks_.size() - 1;
+    used_ = n;
+    return chunks_.back().get();
+  }
+
+  static constexpr std::size_t kChunkBytes = 4096;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::vector<std::size_t> chunk_sizes_;
+  std::size_t chunk_index_ = 0;  // chunk currently being filled
+  std::size_t used_ = 0;         // bytes used in that chunk
+};
 
 enum class TokenKind {
   Identifier,   // foo, strncpy, var1
@@ -24,7 +86,7 @@ enum class TokenKind {
 /// first character in the original source.
 struct Token {
   TokenKind kind = TokenKind::EndOfFile;
-  std::string text;
+  std::string_view text;
   int line = 0;
   int column = 0;
 

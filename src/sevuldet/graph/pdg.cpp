@@ -81,14 +81,19 @@ ProgramGraph build_program_graph(frontend::TranslationUnit unit) {
   return graph;
 }
 
-ProgramGraph build_program_graph(std::string_view source) {
-  ProgramGraph graph = build_program_graph(frontend::parse(source));
+ProgramGraph build_program_graph(frontend::TranslationUnit unit,
+                                 std::string_view source) {
+  ProgramGraph graph = build_program_graph(std::move(unit));
   graph.source = std::string(source);
   graph.source_lines.clear();
   for (const auto& raw : util::split_lines(graph.source)) {
     graph.source_lines.emplace_back(util::trim(raw));
   }
   return graph;
+}
+
+ProgramGraph build_program_graph(std::string_view source) {
+  return build_program_graph(frontend::parse(source), source);
 }
 
 }  // namespace sevuldet::graph

@@ -7,6 +7,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sevuldet/frontend/ast.hpp"
@@ -63,5 +64,12 @@ ProgramGraph build_program_graph(std::string_view source);
 
 /// Build from an already-parsed unit (takes ownership).
 ProgramGraph build_program_graph(frontend::TranslationUnit unit);
+
+/// Build from an already-parsed unit plus the source it was parsed
+/// from, so gadgets can quote lines exactly as if the source had been
+/// parsed here. Used by the error-resilient scan frontend, which parses
+/// through parse_with_recovery() instead of parse().
+ProgramGraph build_program_graph(frontend::TranslationUnit unit,
+                                 std::string_view source);
 
 }  // namespace sevuldet::graph

@@ -14,8 +14,8 @@ namespace {
 
 /// Identifiers that are not renamed even though they are not keywords:
 /// common typedef names and well-known macros.
-bool is_preserved_identifier(const std::string& name) {
-  static const std::unordered_set<std::string> kPreserved = {
+bool is_preserved_identifier(std::string_view name) {
+  static const std::unordered_set<std::string_view> kPreserved = {
       "size_t", "ssize_t", "ptrdiff_t", "wchar_t",  "FILE",     "NULL",
       "int8_t", "int16_t", "int32_t",   "int64_t",  "uint8_t",  "uint16_t",
       "uint32_t","uint64_t","uintptr_t","intptr_t", "EOF",      "stdin",
@@ -57,7 +57,7 @@ std::vector<std::string> tokenize_text(const std::string& text) {
   std::vector<std::string> out;
   std::string ascii = util::strip_non_ascii(text);
   for (const auto& tok : frontend::lex_tokens(ascii)) {
-    out.push_back(tok.text);
+    out.emplace_back(tok.text);
   }
   return out;
 }
@@ -66,7 +66,7 @@ NormalizedGadget normalize_text(const std::string& gadget_text) {
   NormalizedGadget out;
   std::string ascii = util::strip_non_ascii(gadget_text);
 
-  std::vector<frontend::Token> tokens;
+  frontend::TokenStream tokens;
   try {
     tokens = frontend::lex_tokens(ascii);
   } catch (const frontend::LexError&) {
@@ -93,20 +93,20 @@ NormalizedGadget normalize_text(const std::string& gadget_text) {
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const frontend::Token& tok = tokens[i];
     if (tok.kind != frontend::TokenKind::Identifier) {
-      out.tokens.push_back(tok.text);
+      out.tokens.emplace_back(tok.text);
       out.lines.push_back(tok.line);
       continue;
     }
     if (is_preserved_identifier(tok.text) ||
         slicer::is_library_function(tok.text)) {
-      out.tokens.push_back(tok.text);
+      out.tokens.emplace_back(tok.text);
       out.lines.push_back(tok.line);
       continue;
     }
     const bool is_call = i + 1 < tokens.size() && tokens[i + 1].is_punct("(");
     if (is_call) {
       auto [it, inserted] = out.fun_map.try_emplace(
-          tok.text, "fun" + std::to_string(out.fun_map.size() + 1));
+          std::string(tok.text), "fun" + std::to_string(out.fun_map.size() + 1));
       out.tokens.push_back(it->second);
     } else {
       // A name already mapped as a function keeps its fun alias when it
@@ -118,7 +118,7 @@ NormalizedGadget normalize_text(const std::string& gadget_text) {
         continue;
       }
       auto [it, inserted] = out.var_map.try_emplace(
-          tok.text, "var" + std::to_string(out.var_map.size() + 1));
+          std::string(tok.text), "var" + std::to_string(out.var_map.size() + 1));
       out.tokens.push_back(it->second);
     }
     out.lines.push_back(tok.line);

@@ -20,8 +20,10 @@ struct NormalizedGadget {
   /// (for a gadget, its index into CodeGadget::lines + 1). Always the
   /// same length as `tokens`; 0 when the position is unknown.
   std::vector<int> lines;
-  std::map<std::string, std::string> var_map;  // original -> varK
-  std::map<std::string, std::string> fun_map;  // original -> funK
+  // std::less<> so lookups take the lexer's string_view tokens without
+  // materializing a std::string per probe.
+  std::map<std::string, std::string, std::less<>> var_map;  // original -> varK
+  std::map<std::string, std::string, std::less<>> fun_map;  // original -> funK
 
   std::string text() const;  // tokens joined by spaces
 

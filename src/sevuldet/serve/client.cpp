@@ -37,6 +37,23 @@ std::vector<core::Finding> Client::scan(const std::string& source, int top_k,
   return std::move(response.findings);
 }
 
+core::TreeScanResult Client::scan_tree(const std::string& root, int top_k,
+                                       double deadline_ms, int timeout_ms) {
+  Request request;
+  request.op = Op::ScanTree;
+  request.root = root;
+  request.top_k = top_k;
+  request.deadline_ms = deadline_ms;
+  Response response = roundtrip(std::move(request), timeout_ms);
+  if (response.error.has_value()) {
+    throw DaemonError(response.error->code, response.error->message);
+  }
+  if (!response.ok || response.status_json.empty()) {
+    throw std::runtime_error("daemon replied without a tree scan result");
+  }
+  return tree_scan_from_json(response.status_json);
+}
+
 std::string Client::report_status(int timeout_ms) {
   Request request;
   request.op = Op::ReportStatus;

@@ -54,6 +54,15 @@ class Client {
                                   double deadline_ms = -1.0,
                                   int timeout_ms = 60000);
 
+  /// Directory scan through the daemon: the server runs the same
+  /// parallel scan frontend as an in-process core::scan_tree, so the
+  /// returned tree (findings, drop counters, stats) is identical to one
+  /// produced locally. Tree scans can be long — the default deadline
+  /// and timeout are generous. Throws DaemonError on a typed error.
+  core::TreeScanResult scan_tree(const std::string& root, int top_k = 10,
+                                 double deadline_ms = 300000.0,
+                                 int timeout_ms = 300000);
+
   /// The daemon's status object as raw JSON.
   std::string report_status(int timeout_ms = 60000);
 

@@ -16,6 +16,7 @@ const char* op_name(Op op) {
   switch (op) {
     case Op::Scan: return "scan";
     case Op::Explain: return "explain";
+    case Op::ScanTree: return "scan-tree";
     case Op::ReportStatus: return "report-status";
     case Op::Shutdown: return "shutdown";
   }
@@ -47,6 +48,7 @@ namespace {
 std::optional<Op> op_from_name(const std::string& name) {
   if (name == "scan") return Op::Scan;
   if (name == "explain") return Op::Explain;
+  if (name == "scan-tree") return Op::ScanTree;
   if (name == "report-status") return Op::ReportStatus;
   if (name == "shutdown") return Op::Shutdown;
   return std::nullopt;
@@ -192,6 +194,156 @@ std::vector<core::Finding> findings_from_json_array(const std::string& text) {
   return findings;
 }
 
+std::string tree_scan_to_json(const core::TreeScanResult& tree) {
+  std::string out;
+  out.reserve(512 + 512 * tree.files.size());
+  out += "{\"root\":";
+  json::append_string(out, tree.root);
+  out += ",\"files\":[";
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    const core::FileScanResult& file = tree.files[i];
+    const core::FileScanStats& s = file.stats;
+    if (i != 0) out += ',';
+    out += "{\"path\":";
+    json::append_string(out, file.path);
+    out += ",\"ok\":";
+    out += file.ok ? "true" : "false";
+    out += ",\"error\":";
+    json::append_string(out, file.error);
+    out += ",\"findings\":";
+    out += findings_to_json(file.findings);
+    out += ",\"stats\":{\"preprocessed\":";
+    out += s.preprocessed ? "true" : "false";
+    out += ",\"parse_clean\":";
+    out += s.parse_clean ? "true" : "false";
+    out += ",\"chunks_total\":";
+    json::append_number(out, s.chunks_total);
+    out += ",\"chunks_recovered\":";
+    json::append_number(out, s.chunks_recovered);
+    out += ",\"lost_regions\":";
+    json::append_number(out, s.lost_regions);
+    out += ",\"lines_total\":";
+    json::append_number(out, s.lines_total);
+    out += ",\"lines_lost\":";
+    json::append_number(out, s.lines_lost);
+    out += ",\"fallback_gadgets\":";
+    json::append_number(out, s.fallback_gadgets);
+    out += ",\"fallback_findings\":";
+    json::append_number(out, s.fallback_findings);
+    out += ",\"findings_dropped_include\":";
+    json::append_number(out, s.findings_dropped_include);
+    out += ",\"includes_resolved\":";
+    json::append_number(out, s.preprocess.includes_resolved);
+    out += ",\"includes_unresolved\":";
+    json::append_number(out, s.preprocess.includes_unresolved);
+    out += ",\"include_cycles\":";
+    json::append_number(out, s.preprocess.include_cycles);
+    out += ",\"macros_defined\":";
+    json::append_number(out, s.preprocess.macros_defined);
+    out += ",\"macro_expansions\":";
+    json::append_number(out, s.preprocess.macro_expansions);
+    out += ",\"conditionals\":";
+    json::append_number(out, s.preprocess.conditionals);
+    out += ",\"unresolved_conditionals\":";
+    json::append_number(out, s.preprocess.unresolved_conditionals);
+    out += ",\"lines_dropped\":";
+    json::append_number(out, s.preprocess.lines_dropped);
+    out += "}}";
+  }
+  const core::TreeScanStats& t = tree.stats;
+  out += "],\"stats\":{\"files\":";
+  json::append_number(out, t.files);
+  out += ",\"files_failed\":";
+  json::append_number(out, t.files_failed);
+  out += ",\"files_recovered\":";
+  json::append_number(out, t.files_recovered);
+  out += ",\"bytes\":";
+  json::append_number(out, static_cast<double>(t.bytes));
+  out += ",\"findings\":";
+  json::append_number(out, t.findings);
+  out += ",\"fallback_findings\":";
+  json::append_number(out, t.fallback_findings);
+  out += ",\"lines_total\":";
+  json::append_number(out, t.lines_total);
+  out += ",\"lines_lost\":";
+  json::append_number(out, t.lines_lost);
+  out += ",\"includes_resolved\":";
+  json::append_number(out, t.includes_resolved);
+  out += ",\"includes_unresolved\":";
+  json::append_number(out, t.includes_unresolved);
+  out += ",\"macro_expansions\":";
+  json::append_number(out, t.macro_expansions);
+  out += ",\"conditionals\":";
+  json::append_number(out, t.conditionals);
+  out += ",\"unresolved_conditionals\":";
+  json::append_number(out, t.unresolved_conditionals);
+  out += ",\"parse_drop_rate\":";
+  json::append_number(out, t.parse_drop_rate);
+  out += ",\"preprocess_drop_rate\":";
+  json::append_number(out, t.preprocess_drop_rate);
+  out += "}}";
+  return out;
+}
+
+core::TreeScanResult tree_scan_from_json(const std::string& text) {
+  Value doc = Parser(text).parse();
+  core::TreeScanResult tree;
+  tree.root = doc.at("root").str;
+  for (const Value& file_value : doc.at("files").array) {
+    core::FileScanResult file;
+    file.path = file_value.at("path").str;
+    file.ok = file_value.at("ok").boolean;
+    file.error = file_value.at("error").str;
+    for (const Value& finding : file_value.at("findings").array) {
+      file.findings.push_back(parse_finding(finding));
+    }
+    const Value& s = file_value.at("stats");
+    auto num = [&s](const char* key) {
+      return static_cast<int>(s.at(key).number);
+    };
+    file.stats.preprocessed = s.at("preprocessed").boolean;
+    file.stats.parse_clean = s.at("parse_clean").boolean;
+    file.stats.chunks_total = num("chunks_total");
+    file.stats.chunks_recovered = num("chunks_recovered");
+    file.stats.lost_regions = num("lost_regions");
+    file.stats.lines_total = num("lines_total");
+    file.stats.lines_lost = num("lines_lost");
+    file.stats.fallback_gadgets = num("fallback_gadgets");
+    file.stats.fallback_findings = num("fallback_findings");
+    file.stats.findings_dropped_include = num("findings_dropped_include");
+    file.stats.preprocess.includes_resolved = num("includes_resolved");
+    file.stats.preprocess.includes_unresolved = num("includes_unresolved");
+    file.stats.preprocess.include_cycles = num("include_cycles");
+    file.stats.preprocess.macros_defined = num("macros_defined");
+    file.stats.preprocess.macro_expansions = num("macro_expansions");
+    file.stats.preprocess.conditionals = num("conditionals");
+    file.stats.preprocess.unresolved_conditionals =
+        num("unresolved_conditionals");
+    file.stats.preprocess.lines_dropped = num("lines_dropped");
+    tree.files.push_back(std::move(file));
+  }
+  const Value& t = doc.at("stats");
+  auto num = [&t](const char* key) {
+    return static_cast<int>(t.at(key).number);
+  };
+  tree.stats.files = num("files");
+  tree.stats.files_failed = num("files_failed");
+  tree.stats.files_recovered = num("files_recovered");
+  tree.stats.bytes = static_cast<long long>(t.at("bytes").number);
+  tree.stats.findings = num("findings");
+  tree.stats.fallback_findings = num("fallback_findings");
+  tree.stats.lines_total = num("lines_total");
+  tree.stats.lines_lost = num("lines_lost");
+  tree.stats.includes_resolved = num("includes_resolved");
+  tree.stats.includes_unresolved = num("includes_unresolved");
+  tree.stats.macro_expansions = num("macro_expansions");
+  tree.stats.conditionals = num("conditionals");
+  tree.stats.unresolved_conditionals = num("unresolved_conditionals");
+  tree.stats.parse_drop_rate = t.at("parse_drop_rate").number;
+  tree.stats.preprocess_drop_rate = t.at("preprocess_drop_rate").number;
+  return tree;
+}
+
 std::string request_to_json(const Request& request) {
   std::string out;
   out += "{\"op\":";
@@ -201,6 +353,12 @@ std::string request_to_json(const Request& request) {
   if (request.op == Op::Scan || request.op == Op::Explain) {
     out += ",\"source\":";
     json::append_string(out, request.source);
+    out += ",\"top_k\":";
+    json::append_number(out, request.top_k);
+  }
+  if (request.op == Op::ScanTree) {
+    out += ",\"root\":";
+    json::append_string(out, request.root);
     out += ",\"top_k\":";
     json::append_number(out, request.top_k);
   }
@@ -223,6 +381,13 @@ Request parse_request(const std::string& text) {
   if (doc.has("id")) request.id = static_cast<std::int64_t>(doc.at("id").number);
   if (request.op == Op::Scan || request.op == Op::Explain) {
     request.source = doc.at("source").str;  // throws when missing
+  }
+  if (request.op == Op::ScanTree) {
+    request.root = doc.at("root").str;  // throws when missing
+    if (request.root.empty()) throw std::runtime_error("root must be non-empty");
+  }
+  if (request.op == Op::Scan || request.op == Op::Explain ||
+      request.op == Op::ScanTree) {
     if (doc.has("top_k")) {
       request.top_k = static_cast<int>(doc.at("top_k").number);
       if (request.top_k < 0) throw std::runtime_error("top_k must be >= 0");

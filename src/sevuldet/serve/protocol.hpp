@@ -3,16 +3,23 @@
 // answered by exactly one response frame, in order, per connection.
 //
 // Request:
-//   { "op": "scan" | "explain" | "report-status" | "shutdown",
+//   { "op": "scan" | "explain" | "scan-tree" | "report-status" | "shutdown",
 //     "id": <client-chosen number, echoed back>,
 //     "source": "<C translation unit>",        // scan/explain
+//     "root": "<directory to scan>",           // scan-tree
 //     "top_k": 10,                             // optional
 //     "deadline_ms": 10000 }                   // optional, 0 = already due
 //
 // Success response:
 //   { "id": n, "ok": true, "findings": [...] }          // scan/explain
 //   { "id": n, "ok": true, "status": {...} }            // report-status
+//   { "id": n, "ok": true, "status": {...tree...} }     // scan-tree
 //   { "id": n, "ok": true }                             // shutdown
+//
+// scan-tree replies carry the tree_scan_to_json() document in the
+// status slot; Client::scan_tree parses it back to a TreeScanResult
+// with tree_scan_from_json(), a lossless round-trip — so re-serializing
+// the client's copy is byte-identical to an in-process scan_tree().
 //
 // Error response (typed):
 //   { "id": n, "ok": false,
@@ -31,10 +38,11 @@
 #include <vector>
 
 #include "sevuldet/core/pipeline.hpp"
+#include "sevuldet/core/scan.hpp"
 
 namespace sevuldet::serve {
 
-enum class Op { Scan, Explain, ReportStatus, Shutdown };
+enum class Op { Scan, Explain, ScanTree, ReportStatus, Shutdown };
 
 const char* op_name(Op op);
 
@@ -55,6 +63,7 @@ struct Request {
   Op op = Op::Scan;
   std::int64_t id = 0;
   std::string source;        // scan/explain payload
+  std::string root;          // scan-tree payload: directory to scan
   int top_k = 10;
   /// Budget for the whole request, measured from the daemon's receipt.
   /// <0 selects the server default; 0 is "already due" (rejected at
@@ -86,6 +95,13 @@ Request parse_request(const std::string& json);
 /// explain-only attributions/spatial map) round-trips exactly.
 std::string findings_to_json(const std::vector<core::Finding>& findings);
 std::vector<core::Finding> findings_from_json_array(const std::string& json);
+
+/// TreeScanResult <-> JSON: the canonical spelling of a directory scan
+/// (per-file findings + frontend drop accounting + tree aggregates).
+/// Lossless both ways — the daemon parity contract compares
+/// tree_scan_to_json() strings from the two paths byte for byte.
+std::string tree_scan_to_json(const core::TreeScanResult& tree);
+core::TreeScanResult tree_scan_from_json(const std::string& json);
 
 /// Response <-> JSON.
 std::string response_to_json(const Response& response);

@@ -121,6 +121,24 @@ Response Server::process(Job& job) {
                           "deadline exceeded while queued");
   }
   try {
+    if (job.request.op == Op::ScanTree) {
+      // Directory scans reuse the exact parallel frontend the CLI runs
+      // in-process (core::scan_tree), so findings and drop counters are
+      // identical through either path. They bypass the cross-request
+      // micro-batcher: the tree scan batches per file already.
+      util::trace::ScopedSpan span("serve.scan_tree");
+      core::ScanOptions scan_options;
+      scan_options.detect.top_k = job.request.top_k;
+      scan_options.detect.precision = options_.precision;
+      scan_options.threads = options_.threads;
+      core::TreeScanResult tree =
+          core::scan_tree(detector_, job.request.root, scan_options);
+      if (std::chrono::steady_clock::now() >= job.deadline) {
+        return error_response(job.request.id, ErrorCode::DeadlineExceeded,
+                              "deadline exceeded during tree scan");
+      }
+      return status_response(job.request.id, tree_scan_to_json(tree));
+    }
     util::trace::ScopedSpan span("serve.infer");
     const bool explain = job.request.op == Op::Explain;
     core::DetectOptions detect_options;
@@ -204,8 +222,15 @@ void Server::handle_connection(util::UnixStream stream) {
             shutdown_after_reply = true;
             break;
           case Op::Scan:
-          case Op::Explain: {
-            (request->op == Op::Scan ? requests_scan_ : requests_explain_)++;
+          case Op::Explain:
+          case Op::ScanTree: {
+            if (request->op == Op::Scan) {
+              ++requests_scan_;
+            } else if (request->op == Op::Explain) {
+              ++requests_explain_;
+            } else {
+              ++requests_scan_tree_;
+            }
             if (!accepting_) {
               response = error_response(request->id, ErrorCode::ShuttingDown,
                                         "daemon is shutting down");
@@ -280,6 +305,8 @@ std::string Server::status_json() const {
   json::append_number(out, static_cast<double>(requests_scan_.load()));
   out += ",\"explain\":";
   json::append_number(out, static_cast<double>(requests_explain_.load()));
+  out += ",\"scan-tree\":";
+  json::append_number(out, static_cast<double>(requests_scan_tree_.load()));
   out += ",\"report-status\":";
   json::append_number(out, static_cast<double>(requests_status_.load()));
   out += ",\"shutdown\":";

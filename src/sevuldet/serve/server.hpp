@@ -130,6 +130,7 @@ class Server {
 
   std::atomic<long long> requests_scan_{0};
   std::atomic<long long> requests_explain_{0};
+  std::atomic<long long> requests_scan_tree_{0};
   std::atomic<long long> requests_status_{0};
   std::atomic<long long> requests_shutdown_{0};
   std::atomic<long long> errors_{0};

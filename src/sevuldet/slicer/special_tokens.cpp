@@ -38,8 +38,8 @@ const char* category_long_name(TokenCategory c) {
   return "?";
 }
 
-bool is_library_function(const std::string& callee) {
-  static const std::unordered_set<std::string> kLibrary = {
+bool is_library_function(std::string_view callee) {
+  static const std::unordered_set<std::string_view> kLibrary = {
       "strcpy",  "strncpy", "strcat",  "strncat", "strlen",  "strcmp",
       "strncmp", "strchr",  "strrchr", "strstr",  "strtok",  "strdup",
       "memcpy",  "memmove", "memset",  "memcmp",  "memchr",  "malloc",
@@ -58,8 +58,8 @@ bool is_library_function(const std::string& callee) {
   return kLibrary.contains(callee);
 }
 
-bool is_risky_library_function(const std::string& callee) {
-  static const std::unordered_set<std::string> kRisky = {
+bool is_risky_library_function(std::string_view callee) {
+  static const std::unordered_set<std::string_view> kRisky = {
       "strcpy", "strcat", "sprintf", "vsprintf", "gets",  "scanf",
       "sscanf", "strncpy","strncat", "memcpy",   "memmove","memset",
       "alloca", "system", "popen",   "execl",    "execv", "realpath",

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sevuldet/graph/pdg.hpp"
@@ -32,11 +33,11 @@ struct SpecialToken {
 /// True if `callee` is treated as a library/API function (C standard
 /// library and common POSIX names, or any function not defined in the
 /// translation unit when `unit` is given).
-bool is_library_function(const std::string& callee);
+bool is_library_function(std::string_view callee);
 
 /// True if the callee is on the "risky" sublist classical lexical tools
 /// flag (strcpy, gets, sprintf, ...). Used by the baseline scanners too.
-bool is_risky_library_function(const std::string& callee);
+bool is_risky_library_function(std::string_view callee);
 
 /// All special tokens of a program, in (function, unit, category) order.
 /// At most one token per (unit, category) pair, mirroring how the paper

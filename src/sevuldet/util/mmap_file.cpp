@@ -1,0 +1,104 @@
+#include "sevuldet/util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sevuldet::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error(path + ": " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+MmapFile MmapFile::open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path, "open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail(path, "fstat");
+  }
+  MmapFile file;
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size > 0 && S_ISREG(st.st_mode)) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr != MAP_FAILED) {
+      file.data_ = static_cast<const char*>(addr);
+      file.size_ = size;
+      file.mapped_ = true;
+      ::close(fd);
+      return file;
+    }
+  }
+  // Heap fallback: empty files (zero-length mmap is invalid), pipes, and
+  // filesystems that refuse PROT_READ mappings.
+  std::string buffer;
+  char chunk[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fail(path, "read");
+    }
+    if (n == 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  file.fallback_ = std::make_unique<char[]>(buffer.size() + 1);
+  std::memcpy(file.fallback_.get(), buffer.data(), buffer.size());
+  file.data_ = file.fallback_.get();
+  file.size_ = buffer.size();
+  return file;
+}
+
+MmapFile::~MmapFile() { release(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    fallback_ = std::move(other.fallback_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+void MmapFile::release() noexcept {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  mapped_ = false;
+  data_ = nullptr;
+  size_ = 0;
+  fallback_.reset();
+}
+
+}  // namespace sevuldet::util

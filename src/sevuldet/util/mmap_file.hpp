@@ -1,0 +1,45 @@
+// Read-only memory-mapped file with RAII unmapping. The scan frontend
+// lexes straight out of the mapping (Token carries string_views into
+// it), so opening a file for scanning costs one mmap instead of a heap
+// buffer plus a copy of every token. Falls back to an owned heap buffer
+// when mmap cannot serve the file (empty files, pipes, filesystems
+// without mmap support) — view() is valid either way, so callers never
+// branch on the mechanism.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace sevuldet::util {
+
+class MmapFile {
+ public:
+  /// Map `path` read-only. Throws std::runtime_error (with errno text)
+  /// when the file cannot be opened or stat'd.
+  static MmapFile open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// The file's bytes. Valid until this object is destroyed or moved
+  /// from; stable across moves of the owning object.
+  std::string_view view() const { return {data_, size_}; }
+  std::size_t size() const { return size_; }
+  bool mapped() const { return mapped_; }  // mmap vs heap fallback
+
+ private:
+  void release() noexcept;
+
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;                    // true: munmap on destruction
+  std::unique_ptr<char[]> fallback_;       // owns bytes when !mapped_
+};
+
+}  // namespace sevuldet::util

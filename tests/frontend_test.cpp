@@ -1,0 +1,357 @@
+// The real-world scan frontend: mmap ingestion must be byte-equivalent
+// to in-memory lexing, arena-backed spellings must survive moves, the
+// lightweight preprocessor's macro/conditional/include handling (and
+// its graceful-degradation stats), chunk-granularity parse recovery,
+// and the parallel-vs-serial scan_tree byte-identity the CI
+// realworld-gate job relies on.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sevuldet/core/scan.hpp"
+#include "sevuldet/dataset/sard_generator.hpp"
+#include "sevuldet/frontend/lexer.hpp"
+#include "sevuldet/frontend/preprocess.hpp"
+#include "sevuldet/frontend/recover.hpp"
+#include "sevuldet/serve/protocol.hpp"
+#include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/mmap_file.hpp"
+
+namespace fs = std::filesystem;
+namespace sc = sevuldet::core;
+namespace sd = sevuldet::dataset;
+namespace sf = sevuldet::frontend;
+namespace su = sevuldet::util;
+namespace serve = sevuldet::serve;
+
+namespace {
+
+/// Temp directory wiped at scope exit.
+struct TempTree {
+  fs::path root;
+
+  explicit TempTree(const char* tag)
+      : root(fs::temp_directory_path() /
+             ("sevuldet_frontend_" + std::to_string(::getpid()) + "_" + tag)) {
+    fs::create_directories(root);
+  }
+  ~TempTree() { fs::remove_all(root); }
+
+  fs::path write(const std::string& name, const std::string& bytes) {
+    fs::path path = root / name;
+    fs::create_directories(path.parent_path());
+    std::ofstream(path, std::ios::binary) << bytes;
+    return path;
+  }
+};
+
+bool same_tokens(const sf::LexResult& a, const sf::LexResult& b) {
+  if (a.tokens.size() != b.tokens.size()) return false;
+  for (std::size_t i = 0; i < a.tokens.size(); ++i) {
+    const sf::Token& x = a.tokens[i];
+    const sf::Token& y = b.tokens[i];
+    if (x.kind != y.kind || x.text != y.text || x.line != y.line ||
+        x.column != y.column) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// mmap ingestion.
+
+TEST(FrontendMmap, TokenStreamIdenticalToInMemory) {
+  // CRLF line endings and a continuation inside an identifier: the two
+  // ingestion paths must agree token-for-token, positions included.
+  const std::string source =
+      "int ma\\\nin(void) {\r\n  return 40 + 2; /* done */\r\n}\n";
+  TempTree tree("mmap");
+  const fs::path path = tree.write("input.c", source);
+
+  su::MmapFile mapped = su::MmapFile::open(path.string());
+  EXPECT_EQ(source, std::string(mapped.view()));
+  EXPECT_TRUE(same_tokens(sf::lex(mapped.view()), sf::lex(source)));
+}
+
+TEST(FrontendMmap, EmptyFileUsesFallbackAndLexes) {
+  TempTree tree("empty");
+  const fs::path path = tree.write("empty.c", "");
+  su::MmapFile mapped = su::MmapFile::open(path.string());
+  EXPECT_EQ(0u, mapped.size());
+  sf::LexResult result = sf::lex(mapped.view());
+  ASSERT_EQ(1u, result.tokens.size());
+  EXPECT_EQ(sf::TokenKind::EndOfFile, result.tokens[0].kind);
+}
+
+TEST(FrontendMmap, MissingFileThrows) {
+  EXPECT_THROW(su::MmapFile::open("/nonexistent/sevuldet/nope.c"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Arena lifetime: synthesized spellings travel with the result.
+
+TEST(FrontendArena, SplicedSpellingSurvivesMove) {
+  // "strc" + continuation + "py": not contiguous in the source, so the
+  // spelling lives in the result's arena — and must stay valid after
+  // the result (and the arena inside it) is moved.
+  const std::string source = "strc\\\npy(a, b);";
+  sf::TokenStream moved = [&] {
+    sf::TokenStream stream = sf::lex_tokens(source);
+    return stream;
+  }();
+  ASSERT_FALSE(moved.empty());
+  EXPECT_EQ("strcpy", moved[0].text);
+  EXPECT_EQ(sf::TokenKind::Identifier, moved[0].kind);
+
+  sf::TokenStream again = std::move(moved);
+  EXPECT_EQ("strcpy", again[0].text);
+}
+
+TEST(FrontendArena, LexIntoReusesResultAcrossInputs) {
+  sf::LexResult reused;
+  sf::lex_into("int a\\\nbc = 1;", reused);
+  EXPECT_EQ("abc", reused.tokens[1].text);
+  // Re-lexing into the same result resets tokens, directives, and the
+  // arena; stale spellings must not leak through.
+  sf::lex_into("float xyz;", reused);
+  ASSERT_EQ(4u, reused.tokens.size());  // float xyz ; EOF
+  EXPECT_EQ("xyz", reused.tokens[1].text);
+  EXPECT_TRUE(reused.directives.empty());
+}
+
+// ---------------------------------------------------------------------
+// Preprocessor.
+
+TEST(FrontendPreprocess, UnchangedInputIsByteIdentical) {
+  const std::string source = "int f(void) { return 1; }\n";
+  sf::PreprocessResult result = sf::preprocess(source);
+  EXPECT_FALSE(result.changed);
+  EXPECT_EQ(source, result.text);
+  EXPECT_EQ(3, result.origin_line(3));  // identity mapping
+}
+
+TEST(FrontendPreprocess, ExpandsObjectAndFunctionMacros) {
+  const std::string source =
+      "#define N 8\n"
+      "#define MIN(a, b) ((a) < (b) ? (a) : (b))\n"
+      "int f(int x) { char buf[N]; return MIN(x, N); }\n";
+  sf::PreprocessResult result = sf::preprocess(source);
+  EXPECT_TRUE(result.changed);
+  EXPECT_NE(std::string::npos, result.text.find("char buf[8]"));
+  EXPECT_NE(std::string::npos, result.text.find("((x) < (8) ? (x) : (8))"));
+  EXPECT_EQ(2, result.stats.macros_defined);
+  EXPECT_GE(result.stats.macro_expansions, 2);
+}
+
+TEST(FrontendPreprocess, ConditionalKeepsActiveBranchOnly) {
+  const std::string source =
+      "#define FAST 1\n"
+      "#if FAST\n"
+      "int speed = 9;\n"
+      "#else\n"
+      "int speed = 1;\n"
+      "#endif\n";
+  sf::PreprocessResult result = sf::preprocess(source);
+  EXPECT_NE(std::string::npos, result.text.find("int speed = 9;"));
+  EXPECT_EQ(std::string::npos, result.text.find("int speed = 1;"));
+  EXPECT_EQ(1, result.stats.conditionals);
+  EXPECT_EQ(0, result.stats.unresolved_conditionals);
+  EXPECT_GE(result.stats.lines_dropped, 1);
+  // The surviving line must map back to its original position (line 3).
+  const std::size_t pos = result.text.find("int speed = 9;");
+  const int out_line =
+      1 + static_cast<int>(std::count(result.text.begin(),
+                                      result.text.begin() + static_cast<long>(pos),
+                                      '\n'));
+  EXPECT_EQ(3, result.origin_line(out_line));
+}
+
+TEST(FrontendPreprocess, UnresolvableConditionalKeepsRegion) {
+  // __has_include is outside the evaluator's integer-constant subset, so
+  // the expression is unresolvable (as opposed to merely false).
+  const std::string source =
+      "#if __has_include(<sys/epoll.h>)\n"
+      "typedef long wide_t;\n"
+      "#endif\n"
+      "int ok = 1;\n";
+  sf::PreprocessResult result = sf::preprocess(source);
+  // Degradation, not loss: the region's code survives for scanning.
+  EXPECT_NE(std::string::npos, result.text.find("typedef long wide_t;"));
+  EXPECT_NE(std::string::npos, result.text.find("int ok = 1;"));
+  EXPECT_GE(result.stats.unresolved_conditionals, 1);
+}
+
+TEST(FrontendPreprocess, ResolvesIncludesAgainstRootsAndCountsMissing) {
+  TempTree tree("inc");
+  tree.write("helpers.h", "#define GREETING \"hi\"\nint helper(int);\n");
+  const std::string source =
+      "#include \"helpers.h\"\n"
+      "#include \"not_there.h\"\n"
+      "const char *g = GREETING;\n";
+  sf::PreprocessOptions options;
+  options.include_roots = {tree.root.string()};
+  sf::PreprocessResult result = sf::preprocess(source, options);
+  EXPECT_EQ(1, result.stats.includes_resolved);
+  EXPECT_EQ(1, result.stats.includes_unresolved);
+  EXPECT_NE(std::string::npos, result.text.find("int helper(int);"));
+  EXPECT_NE(std::string::npos, result.text.find("\"hi\""))
+      << "macro from the include must expand in the includer";
+  // Missing include left verbatim so nothing is silently dropped.
+  EXPECT_NE(std::string::npos, result.text.find("#include \"not_there.h\""));
+
+  // Lines pulled from the include map to origin 0; top-level lines keep
+  // their own numbers.
+  const std::size_t helper_pos = result.text.find("int helper(int);");
+  const int helper_line =
+      1 + static_cast<int>(
+              std::count(result.text.begin(),
+                         result.text.begin() + static_cast<long>(helper_pos),
+                         '\n'));
+  EXPECT_EQ(0, result.origin_line(helper_line));
+}
+
+TEST(FrontendPreprocess, IncludeCycleIsGuarded) {
+  TempTree tree("cycle");
+  tree.write("a.h", "#include \"b.h\"\nint from_a;\n");
+  tree.write("b.h", "#include \"a.h\"\nint from_b;\n");
+  sf::PreprocessOptions options;
+  options.include_roots = {tree.root.string()};
+  sf::PreprocessResult result = sf::preprocess("#include \"a.h\"\n", options);
+  EXPECT_GE(result.stats.include_cycles, 1);
+  EXPECT_NE(std::string::npos, result.text.find("int from_a;"));
+  EXPECT_NE(std::string::npos, result.text.find("int from_b;"));
+}
+
+// ---------------------------------------------------------------------
+// Error-resilient recovery.
+
+TEST(FrontendRecover, CleanSourceStaysClean) {
+  sf::RecoveredParse result =
+      sf::parse_with_recovery("int f(void) { return 1; }\n");
+  EXPECT_TRUE(result.clean);
+  EXPECT_TRUE(result.lost.empty());
+  EXPECT_EQ(0, result.chunks_total);
+  ASSERT_EQ(1u, result.unit.functions.size());
+}
+
+TEST(FrontendRecover, UnparseableChunkIsLostOthersSurvive) {
+  sevuldet::util::metrics::reset();
+  sevuldet::util::metrics::set_enabled(true);
+  const std::string source =
+      "int good_one(int a) { return a + 1; }\n"
+      "\n"
+      "int old_style(a, b)\n"
+      "int a;\n"
+      "int b;\n"
+      "{\n"
+      "  return a + b;\n"
+      "}\n"
+      "\n"
+      "int good_two(int a) { return a * 2; }\n";
+  sf::RecoveredParse result = sf::parse_with_recovery(source);
+  EXPECT_FALSE(result.clean);
+  // The splitter closes chunks at top-level ';', so the K&R definition
+  // becomes two failing chunks: the header + first declarator, then the
+  // orphaned brace body.
+  ASSERT_FALSE(result.lost.empty());
+  ASSERT_EQ(2u, result.unit.functions.size());
+  EXPECT_EQ("good_one", result.unit.functions[0].name);
+  EXPECT_EQ("good_two", result.unit.functions[1].name);
+  // The lost regions collectively cover the K&R definition and body.
+  int lo = result.lost.front().begin_line;
+  int hi = result.lost.front().end_line;
+  bool saw_kr = false;
+  for (const sf::LostRegion& region : result.lost) {
+    lo = std::min(lo, region.begin_line);
+    hi = std::max(hi, region.end_line);
+    if (region.text.find("old_style") != std::string::npos) saw_kr = true;
+    EXPECT_FALSE(region.reason.empty());
+  }
+  EXPECT_LE(lo, 3);
+  EXPECT_GE(hi, 8);
+  EXPECT_TRUE(saw_kr);
+  EXPECT_GT(result.chunks_total, 0);
+  EXPECT_EQ(result.chunks_total - static_cast<int>(result.lost.size()),
+            result.chunks_recovered);
+
+  auto snapshot = sevuldet::util::metrics::snapshot();
+  sevuldet::util::metrics::set_enabled(false);
+  EXPECT_EQ(1, snapshot.counters.at("frontend.recover.files"));
+  EXPECT_EQ(static_cast<long long>(result.lost.size()),
+            snapshot.counters.at("frontend.drop.parse_chunk"));
+}
+
+TEST(FrontendRecover, GarbageNeverThrows) {
+  sf::RecoveredParse result =
+      sf::parse_with_recovery("\x01\x02 not C at all \"unterminated\n}{");
+  EXPECT_FALSE(result.clean);
+  EXPECT_FALSE(result.lost.empty());
+  EXPECT_TRUE(result.unit.functions.empty());
+}
+
+// ---------------------------------------------------------------------
+// scan_tree: parallel == serial, byte for byte.
+
+TEST(FrontendScan, ParallelTreeScanIdenticalToSerial) {
+  // A tiny trained detector (same shape as the serve tests use).
+  sc::PipelineConfig config;
+  config.model.embed_dim = 12;
+  config.model.conv_channels = 8;
+  config.model.attn_dim = 8;
+  config.model.dense1 = 24;
+  config.model.dense2 = 8;
+  config.train.epochs = 2;
+  config.word2vec.epochs = 2;
+  sc::SeVulDet detector(config);
+  sd::SardConfig sard;
+  sard.pairs_per_category = 4;
+  sard.long_fraction = 0.0;
+  sard.seed = 29;
+  detector.train(sd::generate_sard_like(sard));
+
+  // Mixed tree: vulnerable sources, a header, an include user, a file
+  // needing recovery, and a subdirectory.
+  TempTree tree("scan");
+  const auto cases = sd::generate_sard_like(sard);
+  int written = 0;
+  for (const auto& tc : cases) {
+    if (!tc.vulnerable) continue;
+    tree.write("case_" + std::to_string(written) + ".c", tc.source);
+    if (++written == 4) break;
+  }
+  tree.write("helpers.h", "#define LIMIT 16\nint helper(int);\n");
+  tree.write("sub/uses.c",
+             "#include \"helpers.h\"\n#include <string.h>\n"
+             "void use(char *dst, const char *src) {\n"
+             "  char buf[LIMIT];\n"
+             "  strcpy(buf, src);\n"
+             "  strcpy(dst, buf);\n"
+             "}\n");
+  tree.write("sub/legacy.c", "int old_style(a) int a; { return a + 1; }\n");
+
+  sc::ScanOptions serial;
+  serial.threads = 1;
+  sc::ScanOptions parallel;
+  parallel.threads = 4;
+  const sc::TreeScanResult a =
+      sc::scan_tree(detector, tree.root.string(), serial);
+  const sc::TreeScanResult b =
+      sc::scan_tree(detector, tree.root.string(), parallel);
+  EXPECT_EQ(serve::tree_scan_to_json(a), serve::tree_scan_to_json(b));
+  EXPECT_EQ(written + 3, a.stats.files);
+  EXPECT_GE(a.stats.files_recovered, 1);
+  EXPECT_GE(a.stats.includes_resolved, 1);
+  EXPECT_GE(a.stats.includes_unresolved, 1);
+  EXPECT_EQ(0, a.stats.files_failed);
+}
+
+}  // namespace

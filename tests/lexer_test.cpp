@@ -41,7 +41,7 @@ TEST(Lexer, MaximalMunchPunctuators) {
   auto toks = sf::lex_tokens("a->b <<= >> <= == ... ++ --x");
   std::vector<std::string> puncts;
   for (const auto& t : toks) {
-    if (t.kind == sf::TokenKind::Punct) puncts.push_back(t.text);
+    if (t.kind == sf::TokenKind::Punct) puncts.emplace_back(t.text);
   }
   EXPECT_EQ(puncts, (std::vector<std::string>{"->", "<<=", ">>", "<=", "==",
                                               "...", "++", "--"}));
@@ -88,4 +88,93 @@ TEST(Lexer, EmptyInput) {
   auto result = sf::lex("");
   ASSERT_EQ(result.tokens.size(), 1u);
   EXPECT_EQ(result.tokens[0].kind, sf::TokenKind::EndOfFile);
+}
+
+TEST(Lexer, LexErrorKeepsRawMessage) {
+  try {
+    sf::lex_tokens("\"abc");
+    FAIL() << "expected LexError";
+  } catch (const sf::LexError& e) {
+    EXPECT_EQ(e.raw_message(), "unterminated string literal");
+    EXPECT_NE(std::string(e.what()).find(" at 1:1"), std::string::npos);
+  }
+}
+
+TEST(Lexer, BackslashLineContinuationSplicesTokens) {
+  // `ab\<newline>cd` is one identifier after splicing.
+  auto toks = sf::lex_tokens("ab\\\ncd = 1\\\n2;");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "abcd");
+  EXPECT_EQ(toks[0].kind, sf::TokenKind::Identifier);
+  EXPECT_EQ(toks[2].text, "12");
+  EXPECT_EQ(toks[2].kind, sf::TokenKind::IntLiteral);
+}
+
+TEST(Lexer, ContinuationKeepsLineNumbers) {
+  auto toks = sf::lex_tokens("a\\\n b\nc");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 2);  // the splice consumed one newline
+  EXPECT_EQ(toks[2].line, 3);
+}
+
+TEST(Lexer, ContinuationInsideString) {
+  auto toks = sf::lex_tokens("\"ab\\\ncd\"");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, sf::TokenKind::StringLiteral);
+  EXPECT_EQ(toks[0].text, "\"abcd\"");
+}
+
+TEST(Lexer, CrlfLineEndings) {
+  auto toks = sf::lex_tokens("int a;\r\nint b;\r\nint c;");
+  ASSERT_EQ(toks.size(), 9u);
+  EXPECT_EQ(toks[3].text, "int");
+  EXPECT_EQ(toks[3].line, 2);
+  EXPECT_EQ(toks[3].column, 1);
+  EXPECT_EQ(toks[6].line, 3);
+}
+
+TEST(Lexer, CrlfDirectiveExcludesCarriageReturn) {
+  auto result = sf::lex("#define N 10\r\nint x;\r\n");
+  ASSERT_EQ(result.directives.size(), 1u);
+  EXPECT_EQ(result.directives[0], "#define N 10");
+}
+
+TEST(Lexer, CrlfContinuation) {
+  auto toks = sf::lex_tokens("ab\\\r\ncd");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].text, "abcd");
+}
+
+TEST(Lexer, DirectiveAfterLeadingWhitespace) {
+  auto result = sf::lex("  #include <a.h>\nint x;\n");
+  ASSERT_EQ(result.directives.size(), 1u);
+  EXPECT_EQ(result.directives[0], "#include <a.h>");
+}
+
+TEST(Lexer, DirectiveContinuationJoinsWithSpace) {
+  auto result = sf::lex("#define N \\\n 10\n");
+  ASSERT_EQ(result.directives.size(), 1u);
+  EXPECT_EQ(result.directives[0], "#define N   10");
+}
+
+TEST(Lexer, TokensAreViewsIntoSource) {
+  std::string source = "int value = 42;";
+  auto toks = sf::lex_tokens(source);
+  ASSERT_EQ(toks.size(), 5u);
+  for (const auto& t : toks) {
+    EXPECT_GE(t.text.data(), source.data());
+    EXPECT_LE(t.text.data() + t.text.size(), source.data() + source.size());
+  }
+}
+
+TEST(Lexer, LexIntoReusesCapacity) {
+  sf::LexResult result;
+  sf::lex_into("int a = 1;", result);
+  std::size_t n = result.tokens.size();
+  sf::lex_into("int b = 2;", result);
+  EXPECT_EQ(result.tokens.size(), n);
+  EXPECT_EQ(result.tokens[1].text, "b");
 }

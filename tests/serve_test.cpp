@@ -9,11 +9,14 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "sevuldet/core/pipeline.hpp"
+#include "sevuldet/core/scan.hpp"
 #include "sevuldet/dataset/sard_generator.hpp"
 #include "sevuldet/nn/autograd.hpp"
 #include "sevuldet/serve/batcher.hpp"
@@ -214,6 +217,86 @@ TEST(ServeProtocol, FindingsRoundTripByteExact) {
   const std::vector<sc::Finding> parsed = serve::findings_from_json_array(json);
   ASSERT_EQ(2u, parsed.size());
   EXPECT_EQ(json, serve::findings_to_json(parsed));
+}
+
+TEST(ServeProtocol, ScanTreeRequestRoundTrips) {
+  serve::Request request;
+  request.op = serve::Op::ScanTree;
+  request.id = 11;
+  request.root = "/some/tree with spaces";
+  request.top_k = 4;
+  request.deadline_ms = 90000.0;
+  serve::Request parsed = serve::parse_request(serve::request_to_json(request));
+  EXPECT_EQ(serve::Op::ScanTree, parsed.op);
+  EXPECT_EQ(11, parsed.id);
+  EXPECT_EQ(request.root, parsed.root);
+  EXPECT_EQ(4, parsed.top_k);
+  EXPECT_EQ(90000.0, parsed.deadline_ms);
+  // A tree scan without a root is malformed, like a scan without source.
+  EXPECT_THROW(serve::parse_request("{\"op\":\"scan-tree\",\"id\":1}"),
+               std::exception);
+}
+
+/// Tree results with every stats field populated (awkward rates, failed
+/// files, fallback findings) must survive JSON losslessly:
+/// serialize(parse(serialize(x))) == serialize(x). This is what makes a
+/// daemon tree scan byte-identical to an in-process one regardless of
+/// how the wire re-emits the payload.
+TEST(ServeProtocol, TreeScanJsonRoundTripsLossless) {
+  sc::TreeScanResult tree;
+  tree.root = "src/\"quoted\"";
+  tree.files.resize(2);
+  tree.files[0].path = "a.c";
+  tree.files[0].stats.preprocessed = true;
+  tree.files[0].stats.parse_clean = false;
+  tree.files[0].stats.chunks_total = 3;
+  tree.files[0].stats.chunks_recovered = 2;
+  tree.files[0].stats.lost_regions = 1;
+  tree.files[0].stats.lines_total = 40;
+  tree.files[0].stats.lines_lost = 5;
+  tree.files[0].stats.fallback_gadgets = 2;
+  tree.files[0].stats.fallback_findings = 1;
+  tree.files[0].stats.findings_dropped_include = 1;
+  tree.files[0].stats.preprocess.includes_resolved = 1;
+  tree.files[0].stats.preprocess.includes_unresolved = 2;
+  tree.files[0].stats.preprocess.include_cycles = 1;
+  tree.files[0].stats.preprocess.macros_defined = 4;
+  tree.files[0].stats.preprocess.macro_expansions = 7;
+  tree.files[0].stats.preprocess.conditionals = 3;
+  tree.files[0].stats.preprocess.unresolved_conditionals = 1;
+  tree.files[0].stats.preprocess.lines_dropped = 6;
+  sc::Finding finding;
+  finding.function = "f";
+  finding.line = 17;
+  finding.category = sevuldet::slicer::TokenCategory::FunctionCall;
+  finding.token = "strcpy";
+  finding.probability = 0.6666667f;
+  tree.files[0].findings.push_back(finding);
+  tree.files[1].path = "b.c";
+  tree.files[1].ok = false;
+  tree.files[1].error = "mmap failed: \"denied\"";
+  tree.stats.files = 2;
+  tree.stats.files_failed = 1;
+  tree.stats.files_recovered = 1;
+  tree.stats.bytes = 1234567890123LL;
+  tree.stats.findings = 1;
+  tree.stats.fallback_findings = 1;
+  tree.stats.lines_total = 40;
+  tree.stats.lines_lost = 5;
+  tree.stats.includes_resolved = 1;
+  tree.stats.includes_unresolved = 2;
+  tree.stats.macro_expansions = 7;
+  tree.stats.conditionals = 3;
+  tree.stats.unresolved_conditionals = 1;
+  tree.stats.parse_drop_rate = 0.125;
+  tree.stats.preprocess_drop_rate = 0.5;
+
+  const std::string json = serve::tree_scan_to_json(tree);
+  const sc::TreeScanResult parsed = serve::tree_scan_from_json(json);
+  EXPECT_EQ(json, serve::tree_scan_to_json(parsed));
+  EXPECT_EQ("a.c", parsed.files[0].path);
+  EXPECT_FALSE(parsed.files[1].ok);
+  EXPECT_EQ(1234567890123LL, parsed.stats.bytes);
 }
 
 TEST(ServeProtocol, StatusResponseCarriesRawObject) {
@@ -542,6 +625,43 @@ TEST(ServeDaemon, ShutdownDrainsAndFoldsMetrics) {
     EXPECT_TRUE(snapshot.histograms.count(name)) << name;
   }
   EXPECT_GE(snapshot.counters.at("serve.batch.gadgets"), 1);
+}
+
+/// A daemon directory scan must produce the same bytes as an in-process
+/// core::scan_tree — findings, per-file stats, and drop counters — even
+/// though the tree includes a file only recovery can handle and an
+/// unresolvable include. This is the `sevuldet scan DIR --daemon` parity
+/// the CI serve-gate job relies on.
+TEST(ServeDaemon, TreeScanMatchesInProcessByteIdentical) {
+  namespace fs = std::filesystem;
+  auto& f = fixture();
+  const fs::path root = fs::temp_directory_path() /
+                        ("sevuldet_serve_tree_" + std::to_string(::getpid()));
+  fs::create_directories(root / "sub");
+  std::ofstream(root / "vuln.c") << f.vulnerable_source;
+  std::ofstream(root / "helpers.h")
+      << "#define GREET \"hi\"\nint helper(int x);\n";
+  std::ofstream(root / "sub" / "uses.c")
+      << "#include \"helpers.h\"\n#include \"missing.h\"\n"
+         "#include <string.h>\n"
+         "void use(char *dst) { strcpy(dst, GREET); }\n";
+  std::ofstream(root / "sub" / "legacy.c")
+      << "int old_style(a) int a; { return a + 1; }\n";
+
+  RunningServer running(test_options("tree"));
+  auto client = serve::Client::connect(running.server.options().socket_path);
+  ASSERT_TRUE(client.has_value());
+
+  sc::ScanOptions options;
+  options.threads = 1;
+  const sc::TreeScanResult local =
+      sc::scan_tree(f.detector, root.string(), options);
+  const sc::TreeScanResult remote = client->scan_tree(root.string());
+  EXPECT_EQ(serve::tree_scan_to_json(local), serve::tree_scan_to_json(remote));
+  EXPECT_EQ(4, remote.stats.files);
+  EXPECT_GE(remote.stats.files_recovered, 1);
+  EXPECT_GE(remote.stats.includes_unresolved, 1);
+  fs::remove_all(root);
 }
 
 TEST(ServeDaemon, RejectsOversizedRequestFrame) {

@@ -41,6 +41,22 @@ Two subcommands:
           the ratio cancels machine speed — this is how the batched
           inference path's ">= 2x over per-gadget scoring" contract is
           enforced without the committed absolute numbers ever gating.
+          A baseline may also carry a top-level "max_rates" section
+          declaring ceilings on CURRENT gauges (machine-independent
+          fractions such as scan drop rates):
+
+              "max_rates": {
+                "parse_drop": {
+                  "gauge": "scan.parse_drop_rate",
+                  "max": 0.05
+                }
+              }
+
+          Each entry fails the gate when current[gauge] > max (or the
+          gauge is missing). This is how the real-world scan frontend's
+          "graceful degradation stays bounded" contract is enforced: the
+          rate is a property of the pinned input tree and the frontend,
+          not of the machine, so the ceiling gates absolutely.
       A comparison table in GitHub-flavored markdown is printed, and
       appended to --summary when given (CI points this at
       $GITHUB_STEP_SUMMARY).
@@ -214,6 +230,15 @@ def compare_metrics_snapshot(base, cur, max_regress, gate):
         else:
             ratio = float(num) / float(den)
             gate.check(f"speedup:{name}", floor, ratio, rule, ratio >= floor)
+    for name, spec in base.get("max_rates", {}).items():
+        cval = cur.get("gauges", {}).get(spec["gauge"])
+        ceiling = float(spec["max"])
+        rule = f"{spec['gauge']} <= {ceiling:g}"
+        if cval is None:
+            gate.check(f"max_rate:{name}", ceiling, None, rule, False)
+        else:
+            gate.check(f"max_rate:{name}", ceiling, cval, rule,
+                       float(cval) <= ceiling + 1e-9)
 
 
 def cmd_compare(args):

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Fetch a pinned real-world C project snapshot for scan benchmarking.
+#
+#   tools/fetch_realworld.sh [DEST]
+#
+# Clones the pinned tag below into DEST (default: third_party/realworld,
+# git-ignored). Offline — CI runners and the build container have no
+# network — it falls back to copying the committed seed tree
+# (examples/realworld_seed), so every consumer (`sevuldet scan DEST`,
+# bench/micro_realworld) works identically either way; only the tree
+# size changes. The pin is a tag, not a branch: the same command always
+# yields the same bytes, which is what lets drop rates gate in CI.
+set -eu
+
+DEST="${1:-third_party/realworld}"
+PIN_REPO="https://github.com/madler/zlib.git"
+PIN_TAG="v1.3.1"
+SEED="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)/examples/realworld_seed"
+
+if [ -e "$DEST" ]; then
+  echo "fetch_realworld: $DEST already exists; leaving it untouched" >&2
+  exit 0
+fi
+
+if git clone --quiet --depth 1 --branch "$PIN_TAG" "$PIN_REPO" "$DEST" \
+    2>/dev/null; then
+  rm -rf "$DEST/.git"
+  echo "fetch_realworld: pinned $PIN_REPO @ $PIN_TAG -> $DEST"
+else
+  mkdir -p "$DEST"
+  cp -R "$SEED"/. "$DEST"/
+  echo "fetch_realworld: offline; copied committed seed tree -> $DEST"
+fi
