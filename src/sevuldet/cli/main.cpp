@@ -61,7 +61,7 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  sevuldet selftrain --out MODEL [--pairs N] [--epochs N]\n"
-               "                     [--corpus-cache DIR]\n"
+               "                     [--corpus-cache DIR] [--backend B]\n"
                "  sevuldet scan FILE.c --model MODEL [--daemon SOCK]\n"
                "                [--precision P]\n"
                "  sevuldet scan DIR --model MODEL [--daemon SOCK]\n"
@@ -69,11 +69,13 @@ int usage() {
                "  sevuldet gadgets FILE.c [--plain]\n"
                "  sevuldet fuzz FILE.c [--execs N]\n"
                "  sevuldet train --dir DIR [--manifest TSV] --out MODEL\n"
+               "                 [--backend B]\n"
                "  sevuldet export-corpus --dir DIR [--pairs N]\n"
                "  sevuldet explain FILE.c --model MODEL [--json FILE]\n"
                "                  [--top N] [--precision P]\n"
                "  sevuldet report [--json FILE] [--pairs N] [--epochs N]\n"
-               "                  [--precision P]\n"
+               "                  [--precision P] [--backend B]\n"
+               "                  [--compare B1,B2]\n"
                "  sevuldet serve --model MODEL --socket SOCK [--threads N]\n"
                "                 [--queue-depth N] [--batch N]\n"
                "                 [--batch-window MS] [--deadline MS]\n"
@@ -102,6 +104,14 @@ int usage() {
                "  faster, with a small bounded score drift; the quality gate\n"
                "  holds F1/AUC floors for int8). report evaluates its held-out\n"
                "  fold at P; training itself always runs fp32.\n"
+               "\n"
+               "  --backend B picks the detector backend for commands that\n"
+               "  train from scratch: cnn (TextCNN+CBAM, default) or gat\n"
+               "  (edge-aware graph attention over the gadget PDG). Saved\n"
+               "  models record their backend, so scan/explain/serve load the\n"
+               "  right one automatically. report --compare B1,B2 trains each\n"
+               "  listed backend on the same corpus and fold and prints a\n"
+               "  side-by-side table (--json writes every run's full report).\n"
                "\n"
                "  selftrain/train accept --corpus-cache DIR: memoize per-file\n"
                "  preprocessing (Steps I-III) in a content-addressed cache, so\n"
@@ -151,6 +161,22 @@ bool apply_precision_flag(int argc, char** argv, models::Precision* out) {
   return true;
 }
 
+/// Shared --backend handling for every command that builds or trains a
+/// detector. Loading a saved model overrides this with the backend
+/// recorded in the file (v1/v2 model files are always the CNN), so the
+/// flag matters for the commands that train from scratch.
+bool apply_backend_flag(int argc, char** argv, std::string* out) {
+  if (const char* text = arg_value(argc, argv, "--backend")) {
+    if (!models::valid_backend(text)) {
+      std::fprintf(stderr, "bad --backend '%s' (expected %s)\n", text,
+                   util::join(models::detector_backends(), "|").c_str());
+      return false;
+    }
+    *out = text;
+  }
+  return true;
+}
+
 /// Shared --threads/--w2v-threads/--corpus-cache handling for the
 /// training/scan commands.
 void apply_thread_flags(int argc, char** argv, core::PipelineConfig& config) {
@@ -182,11 +208,12 @@ int cmd_selftrain(int argc, char** argv) {
   }
   config.train.lr = 0.002f;
   config.train.verbose = true;
+  if (!apply_backend_flag(argc, argv, &config.backend)) return usage();
   apply_thread_flags(argc, argv, config);
 
   core::SeVulDet detector(config);
-  std::printf("training on %d pairs/category...\n",
-              corpus_config.pairs_per_category);
+  std::printf("training %s backend on %d pairs/category...\n",
+              config.backend.c_str(), corpus_config.pairs_per_category);
   auto result = detector.train(dataset::generate_sard_like(corpus_config));
   std::printf("trained on %zu gadgets in %.1fs (final loss %.4f)\n",
               result.samples, result.seconds, result.epoch_losses.back());
@@ -273,6 +300,7 @@ int cmd_scan_tree(int argc, char** argv) {
   core::PipelineConfig config;
   config.model.embed_dim = 24;
   config.model.conv_channels = 16;
+  if (!apply_backend_flag(argc, argv, &config.backend)) return usage();
   apply_thread_flags(argc, argv, config);
   core::SeVulDet detector(config);
   detector.load(model_path);
@@ -305,6 +333,7 @@ int cmd_scan(int argc, char** argv) {
   core::PipelineConfig config;
   config.model.embed_dim = 24;
   config.model.conv_channels = 16;
+  if (!apply_backend_flag(argc, argv, &config.backend)) return usage();
   apply_thread_flags(argc, argv, config);
   core::SeVulDet detector(config);
   detector.load(model_path);
@@ -322,6 +351,7 @@ int cmd_serve(int argc, char** argv) {
   core::PipelineConfig config;
   config.model.embed_dim = 24;
   config.model.conv_channels = 16;
+  if (!apply_backend_flag(argc, argv, &config.backend)) return usage();
   apply_thread_flags(argc, argv, config);
   core::SeVulDet detector(config);
   detector.load(model_path);
@@ -438,6 +468,7 @@ int cmd_train(int argc, char** argv) {
   config.train.epochs = 6;
   config.train.lr = 0.002f;
   config.train.verbose = true;
+  if (!apply_backend_flag(argc, argv, &config.backend)) return usage();
   apply_thread_flags(argc, argv, config);
   core::SeVulDet detector(config);
   auto result = detector.train(cases);
@@ -469,6 +500,7 @@ int cmd_explain(int argc, char** argv) {
   core::PipelineConfig config;
   config.model.embed_dim = 24;
   config.model.conv_channels = 16;
+  if (!apply_backend_flag(argc, argv, &config.backend)) return usage();
   apply_thread_flags(argc, argv, config);
   core::SeVulDet detector(config);
   detector.load(model_path);
@@ -524,7 +556,36 @@ int cmd_report(int argc, char** argv) {
     config.pipeline.train.epochs = std::atoi(epochs);
   }
   if (!apply_precision_flag(argc, argv, &config.precision)) return usage();
+  if (!apply_backend_flag(argc, argv, &config.pipeline.backend)) return usage();
   apply_thread_flags(argc, argv, config.pipeline);
+
+  // --compare cnn,gat: one full report per backend, same corpus + fold.
+  if (const char* compare = arg_value(argc, argv, "--compare")) {
+    std::vector<std::string> backends = util::split(compare, ',');
+    if (backends.size() < 2) {
+      std::fprintf(stderr, "--compare expects 2+ comma-separated backends\n");
+      return usage();
+    }
+    for (const std::string& backend : backends) {
+      if (!models::valid_backend(backend)) {
+        std::fprintf(stderr, "bad --compare backend '%s' (expected %s)\n",
+                     backend.c_str(),
+                     util::join(models::detector_backends(), "|").c_str());
+        return usage();
+      }
+    }
+    auto comparison = core::run_comparison_report(config, backends);
+    if (const char* json_path = arg_value(argc, argv, "--json")) {
+      std::ofstream out(json_path);
+      if (!out) {
+        throw std::runtime_error(std::string("cannot write ") + json_path);
+      }
+      out << core::comparison_to_json(comparison);
+      std::printf("comparison written to %s\n", json_path);
+    }
+    std::printf("%s", core::comparison_summary(comparison).c_str());
+    return 0;
+  }
 
   auto report = core::run_quality_report(config);
   if (const char* json_path = arg_value(argc, argv, "--json")) {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 #include <set>
+#include <stdexcept>
 
 #include "sevuldet/dataset/corpus_io.hpp"
 #include "sevuldet/dataset/kfold.hpp"
@@ -149,11 +150,12 @@ EvaluationReport run_quality_report(const ReportConfig& config) {
   // breakdown is fed from the returned probabilities.
   util::trace::ScopedSpan eval_span("report.eval");
   detector.model().set_precision(config.precision);
+  report.backend = config.pipeline.backend;
   report.precision = models::precision_name(config.precision);
   std::vector<models::BatchItem> items;
   items.reserve(split.test.size());
   for (std::size_t idx : split.test) {
-    items.push_back({&corpus.samples[idx].ids, false});
+    items.push_back({&corpus.samples[idx].ids, false, &corpus.samples[idx].graph});
   }
   std::vector<models::Prediction> scored(items.size());
   detector.model().predict_batch(items.data(), items.size(), scored.data());
@@ -216,7 +218,9 @@ std::string report_to_json(const EvaluationReport& report) {
   append_float_array(out, report.epoch_losses);
   out += ",\n    \"epoch_accuracies\": ";
   append_float_array(out, report.epoch_accuracies);
-  out += "\n  },\n  \"evaluation\": {\n    \"precision\": ";
+  out += "\n  },\n  \"evaluation\": {\n    \"backend\": ";
+  json::append_string(out, report.backend);
+  out += ",\n    \"precision\": ";
   json::append_string(out, report.precision);
   out += ",\n    \"confusion\": {";
   append_confusion_fields(out, report.confusion);
@@ -276,7 +280,7 @@ std::string report_summary(const EvaluationReport& report) {
   for (float loss : report.epoch_losses) out += " " + util::fmt(loss, 4);
   out += "\nepoch accuracy:";
   for (float acc : report.epoch_accuracies) out += " " + pct(acc) + "%";
-  out += "\n\nheld-out fold (" + report.precision +
+  out += "\n\nheld-out fold (" + report.backend + ", " + report.precision +
          "): " + report.confusion.summary() + " AUC=" + util::fmt(report.auc, 3) +
          " ECE=" + util::fmt(report.calibration.ece, 3) + "\n\n";
 
@@ -360,6 +364,71 @@ std::string explanations_to_json(const std::string& file,
   }
   out += first_finding ? "]" : "\n  ]";
   out += "\n}\n";
+  return out;
+}
+
+ComparisonReport run_comparison_report(
+    const ReportConfig& config, const std::vector<std::string>& backends) {
+  ComparisonReport comparison;
+  comparison.runs.reserve(backends.size());
+  for (const std::string& backend : backends) {
+    if (!models::valid_backend(backend)) {
+      throw std::invalid_argument("report --compare: unknown backend '" +
+                                  backend + "'");
+    }
+    // Same corpus + same fold across runs: generation and the k-fold
+    // split are pure functions of the config seeds, which do not vary
+    // with the backend. Only the detector differs.
+    ReportConfig run_config = config;
+    run_config.pipeline.backend = backend;
+    comparison.runs.push_back(run_quality_report(run_config));
+  }
+  return comparison;
+}
+
+std::string comparison_to_json(const ComparisonReport& comparison) {
+  std::string out;
+  out.reserve(4096 * (comparison.runs.size() + 1));
+  out += "{\n  \"schema_version\": ";
+  json::append_number(out, kReportSchemaVersion);
+  out += ",\n  \"runs\": [";
+  bool first = true;
+  for (const EvaluationReport& run : comparison.runs) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += report_to_json(run);
+    // report_to_json ends with "}\n"; drop the trailing newline so the
+    // array stays tidy.
+    if (!out.empty() && out.back() == '\n') out.pop_back();
+  }
+  out += first ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+std::string comparison_summary(const ComparisonReport& comparison) {
+  std::string out;
+  if (comparison.runs.empty()) return out;
+  out += "corpus " + comparison.runs.front().corpus_fingerprint + ": " +
+         std::to_string(comparison.runs.front().total_samples) +
+         " gadgets, same fold for every backend\n\n";
+  util::Table table(
+      {"backend", "P%", "R%", "F1%", "AUC", "ECE", "train s"});
+  for (const EvaluationReport& run : comparison.runs) {
+    table.add_row({run.backend, pct(run.confusion.precision()),
+                   pct(run.confusion.recall()), pct(run.confusion.f1()),
+                   util::fmt(run.auc, 3), util::fmt(run.calibration.ece, 3),
+                   util::fmt(run.train_seconds, 1)});
+  }
+  out += table.to_string();
+  for (const EvaluationReport& run : comparison.runs) {
+    if (run.corpus_fingerprint != comparison.runs.front().corpus_fingerprint) {
+      out += "\nWARNING: corpus fingerprints differ across runs (" +
+             comparison.runs.front().corpus_fingerprint + " vs " +
+             run.corpus_fingerprint + ") — comparison is not same-fold\n";
+      break;
+    }
+  }
   return out;
 }
 

@@ -62,6 +62,7 @@ struct EvaluationReport {
   double train_seconds = 0.0;
 
   // Held-out fold evaluation.
+  std::string backend = "cnn";     // detector backend the run trained
   std::string precision = "fp32";  // forward precision the fold ran at
   dataset::Confusion confusion;
   double auc = 0.5;
@@ -96,5 +97,25 @@ std::string report_summary(const EvaluationReport& report);
 /// with (file, function, line) provenance and the CBAM spatial map.
 std::string explanations_to_json(const std::string& file,
                                  const std::vector<Finding>& findings);
+
+/// `sevuldet report --compare cnn,gat`: one full quality report per
+/// backend over the SAME corpus and the SAME fold (corpus generation and
+/// the k-fold split are deterministic in the config seeds, so every
+/// backend trains and evaluates on identical sample sets — the runs
+/// differ only in the detector).
+struct ComparisonReport {
+  std::vector<EvaluationReport> runs;  // one per backend, input order
+};
+
+/// Run run_quality_report once per backend name. Throws
+/// std::invalid_argument on an unknown backend.
+ComparisonReport run_comparison_report(const ReportConfig& config,
+                                       const std::vector<std::string>& backends);
+
+/// {"schema_version": ..., "runs": [<report json>, ...]}.
+std::string comparison_to_json(const ComparisonReport& comparison);
+
+/// Side-by-side headline table (backend, F1, AUC, P, R, train seconds).
+std::string comparison_summary(const ComparisonReport& comparison);
 
 }  // namespace sevuldet::core

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sevuldet/dataset/gadget_graph.hpp"
 #include "sevuldet/graph/pdg.hpp"
 #include "sevuldet/nn/serialize.hpp"
 #include "sevuldet/normalize/normalize.hpp"
@@ -22,7 +23,7 @@ SeVulDet::SeVulDet(PipelineConfig config) : config_(std::move(config)) {}
 void SeVulDet::build_model() {
   models::ModelConfig model_config = config_.model;
   model_config.vocab_size = vocab_.size();
-  model_ = std::make_unique<models::SeVulDetNet>(model_config);
+  model_ = models::make_detector(config_.backend, std::move(model_config));
 }
 
 TrainResult SeVulDet::train(const std::vector<dataset::TestCase>& programs) {
@@ -134,6 +135,8 @@ std::optional<PreparedGadget> prepare_token(
     return std::nullopt;
   }
   prepared.ids = vocab.encode(prepared.norm.tokens);
+  prepared.graph =
+      dataset::build_gadget_graph(program, prepared.gadget, prepared.norm);
   return prepared;
 }
 
@@ -210,7 +213,7 @@ std::vector<Finding> SeVulDet::detect(const std::string& source,
   // large stacked GEMMs). Eval-mode forwards are deterministic, so which
   // model instance runs them does not change the result.
   std::vector<std::optional<Finding>> slots(tokens.size());
-  auto process_range = [&](models::SeVulDetNet& model, std::size_t begin,
+  auto process_range = [&](models::Detector& model, std::size_t begin,
                            std::size_t end) {
     std::vector<std::optional<PreparedGadget>> prepared(end - begin);
     std::vector<models::BatchItem> items;
@@ -221,7 +224,8 @@ std::vector<Finding> SeVulDet::detect(const std::string& source,
       prepared[i - begin] =
           prepare_token(program, tokens[i], config_.corpus.gadget, vocab_);
       if (prepared[i - begin].has_value()) {
-        items.push_back({&prepared[i - begin]->ids, options.explain});
+        items.push_back({&prepared[i - begin]->ids, options.explain,
+                         &prepared[i - begin]->graph});
         origin.push_back(i);
       }
     }
@@ -236,9 +240,9 @@ std::vector<Finding> SeVulDet::detect(const std::string& source,
   const int threads = util::resolve_threads(config_.corpus.threads);
   if (threads > 1 && tokens.size() > 1) {
     util::ThreadPool pool(threads);
-    std::vector<std::unique_ptr<models::SeVulDetNet>> clones(
+    std::vector<std::unique_ptr<models::Detector>> clones(
         static_cast<std::size_t>(pool.size()));
-    for (auto& clone : clones) clone = model_->clone_net();
+    for (auto& clone : clones) clone = model_->clone();
     pool.parallel_chunks(tokens.size(), [&](int worker, std::size_t begin,
                                             std::size_t end) {
       process_range(*clones[static_cast<std::size_t>(worker)], begin, end);
@@ -263,10 +267,15 @@ namespace {
 // v2 layout: the text header line (so a v1 reader fails with a clear
 // message), then a framed binary payload — magic + format version + size
 // + payload + FNV-1a checksum, the same framing as compiled-corpus files.
+// v3 prepends the backend name to the payload so load() rebuilds the
+// right network; "cnn" models keep writing v2, byte-identical to every
+// pre-registry build (pipeline_test pins this).
 constexpr std::string_view kModelHeaderV1 = "SEVULDET-MODEL v1\n";
 constexpr std::string_view kModelHeaderV2 = "SEVULDET-MODEL v2\n";
+constexpr std::string_view kModelHeaderV3 = "SEVULDET-MODEL v3\n";
 constexpr std::string_view kModelMagic = "SVDMODL\n";
 constexpr std::uint32_t kModelFormatVersion = 2;
+constexpr std::uint32_t kModelFormatVersionV3 = 3;
 
 }  // namespace
 
@@ -275,10 +284,21 @@ void SeVulDet::save(const std::string& path) const {
   util::trace::ScopedSpan span("model.save");
   util::metrics::counter_add("model.saves");
   util::ByteWriter payload;
+  if (config_.backend != models::kDefaultBackend) {
+    payload.str(config_.backend);
+  }
   payload.str(vocab_.serialize());
   nn::serialize_params_binary(model_->params(), payload);
-  std::string bytes(kModelHeaderV2);
-  bytes += util::frame_payload(kModelMagic, kModelFormatVersion, payload.data());
+  std::string bytes;
+  if (config_.backend == models::kDefaultBackend) {
+    bytes = kModelHeaderV2;
+    bytes +=
+        util::frame_payload(kModelMagic, kModelFormatVersion, payload.data());
+  } else {
+    bytes = kModelHeaderV3;
+    bytes +=
+        util::frame_payload(kModelMagic, kModelFormatVersionV3, payload.data());
+  }
   util::write_binary_file(path, bytes);
 }
 
@@ -299,11 +319,21 @@ void SeVulDet::load(const std::string& path) {
   util::trace::ScopedSpan span("model.load");
   util::metrics::counter_add("model.loads");
   const std::string bytes = util::read_binary_file(path);
-  if (bytes.compare(0, kModelHeaderV2.size(), kModelHeaderV2) == 0) {
+  const bool v3 = bytes.compare(0, kModelHeaderV3.size(), kModelHeaderV3) == 0;
+  if (v3 || bytes.compare(0, kModelHeaderV2.size(), kModelHeaderV2) == 0) {
     const std::string payload = util::unframe_payload(
-        kModelMagic, kModelFormatVersion,
+        kModelMagic, v3 ? kModelFormatVersionV3 : kModelFormatVersion,
         std::string_view(bytes).substr(kModelHeaderV2.size()), "model file");
     util::ByteReader in(payload);
+    if (v3) {
+      const std::string backend = in.str();
+      if (!models::valid_backend(backend)) {
+        throw std::runtime_error("model file: unknown backend '" + backend + "'");
+      }
+      config_.backend = backend;
+    } else {
+      config_.backend = models::kDefaultBackend;  // v2 predates backends
+    }
     vocab_ = normalize::Vocabulary::deserialize(in.str());
     build_model();
     nn::deserialize_params_binary(model_->params(), in);
@@ -313,8 +343,10 @@ void SeVulDet::load(const std::string& path) {
     // Load-time tile autotuning: benchmark candidate GEMM cache tiles on
     // this model's actual batched layer shapes and install the winner
     // (once per process; results are tile-invariant, so this only moves
-    // wall clock).
-    nn::kernels::autotune_gemm_for_shapes(model_->batch_gemm_shapes(256));
+    // wall clock). Backends without a batched GEMM engine report no
+    // shapes and skip it.
+    const auto shapes = model_->batch_gemm_shapes(256);
+    if (!shapes.empty()) nn::kernels::autotune_gemm_for_shapes(shapes);
     return;
   }
   if (bytes.compare(0, kModelHeaderV1.size(), kModelHeaderV1) != 0) {
@@ -338,11 +370,13 @@ void SeVulDet::load(const std::string& path) {
                              std::to_string(in.gcount()) + ")");
   }
   vocab_ = normalize::Vocabulary::deserialize(vocab_blob);
+  config_.backend = models::kDefaultBackend;  // v1 predates backends
   build_model();
   std::ostringstream rest;
   rest << in.rdbuf();
   nn::deserialize_params(model_->params(), rest.str());
-  nn::kernels::autotune_gemm_for_shapes(model_->batch_gemm_shapes(256));
+  const auto shapes = model_->batch_gemm_shapes(256);
+  if (!shapes.empty()) nn::kernels::autotune_gemm_for_shapes(shapes);
 }
 
 }  // namespace sevuldet::core

@@ -16,7 +16,7 @@
 #include "sevuldet/core/trainer.hpp"
 #include "sevuldet/dataset/corpus.hpp"
 #include "sevuldet/dataset/testcase.hpp"
-#include "sevuldet/models/sevuldet_net.hpp"
+#include "sevuldet/models/registry.hpp"
 #include "sevuldet/nn/word2vec.hpp"
 #include "sevuldet/normalize/normalize.hpp"
 
@@ -28,6 +28,10 @@ struct PipelineConfig {
   TrainConfig train;
   nn::Word2VecConfig word2vec;
   bool pretrain_embeddings = true;
+  /// Detector backend, resolved through models::make_detector ("cnn" is
+  /// the paper's CNN trunk, "gat" the graph-attention backbone). The
+  /// name is persisted in v3 model files; v1/v2 files are always "cnn".
+  std::string backend = models::kDefaultBackend;
 };
 
 /// One ranked attention attribution (Fig. 6 provenance): a normalized
@@ -83,6 +87,9 @@ struct PreparedGadget {
   slicer::CodeGadget gadget;
   normalize::NormalizedGadget norm;
   std::vector<int> ids;
+  /// PDG projection of the gadget (see graph/gadget_graph.hpp) for graph
+  /// backends; sequence backends ignore it.
+  graph::GadgetGraph graph;
 };
 
 class SeVulDet {
@@ -142,16 +149,18 @@ class SeVulDet {
   /// daemon sorts its per-request findings identically.
   static void sort_findings(std::vector<Finding>& findings);
 
-  models::SeVulDetNet& model() { return *model_; }
+  models::Detector& model() { return *model_; }
   const normalize::Vocabulary& vocab() const { return vocab_; }
   const PipelineConfig& config() const { return config_; }
   bool trained() const { return model_ != nullptr; }
 
   /// Persist / restore the trained detector (vocabulary + parameters).
-  /// save() writes the v2 checksummed binary format (same writer as the
-  /// compiled-corpus files); load() reads v2 and the legacy v1 text
-  /// format, and throws std::runtime_error on truncated or corrupt files
-  /// of either version.
+  /// save() writes the v2 checksummed binary format for the default
+  /// "cnn" backend (byte-identical to pre-registry builds) and the v3
+  /// format — v2 plus the backend name — for every other backend;
+  /// load() reads v3, v2, and the legacy v1 text format (restoring the
+  /// recorded backend; v1/v2 imply "cnn") and throws std::runtime_error
+  /// on truncated or corrupt files of any version.
   void save(const std::string& path) const;
   void load(const std::string& path);
   /// Legacy v1 text writer, kept so back-compat loading stays testable
@@ -166,7 +175,7 @@ class SeVulDet {
 
   PipelineConfig config_;
   normalize::Vocabulary vocab_;
-  std::unique_ptr<models::SeVulDetNet> model_;
+  std::unique_ptr<models::Detector> model_;
 };
 
 }  // namespace sevuldet::core

@@ -97,7 +97,7 @@ void append_fallback_gadgets(const frontend::LostRegion& region,
 /// Scan one buffer with an explicit scoring model (the caller picks the
 /// per-worker clone). Serial within the file; tree-level parallelism is
 /// across files.
-FileScanResult scan_buffer(SeVulDet& detector, models::SeVulDetNet& model,
+FileScanResult scan_buffer(SeVulDet& detector, models::Detector& model,
                            std::string label, std::string_view source,
                            const ScanOptions& options,
                            const std::vector<std::string>& include_roots,
@@ -148,7 +148,7 @@ FileScanResult scan_buffer(SeVulDet& detector, models::SeVulDetNet& model,
   std::vector<models::BatchItem> items;
   items.reserve(prepared.size());
   for (PreparedGadget& gadget : prepared) {
-    items.push_back({&gadget.ids, options.detect.explain});
+    items.push_back({&gadget.ids, options.detect.explain, &gadget.graph});
   }
   std::vector<models::Prediction> predictions(items.size());
   model.predict_batch(items.data(), items.size(), predictions.data());
@@ -261,7 +261,7 @@ TreeScanResult scan_tree(SeVulDet& detector, const std::string& root,
   std::vector<std::string> roots = options.preprocess.include_roots;
   if (roots.empty()) roots.push_back(root);
 
-  auto scan_one = [&](models::SeVulDetNet& model, std::size_t i) {
+  auto scan_one = [&](models::Detector& model, std::size_t i) {
     const fs::path abs = fs::path(root) / files[i];
     try {
       const util::MmapFile file = util::MmapFile::open(abs.string());
@@ -279,9 +279,9 @@ TreeScanResult scan_tree(SeVulDet& detector, const std::string& root,
   const int threads = util::resolve_threads(requested);
   if (threads > 1 && files.size() > 1) {
     util::ThreadPool pool(threads);
-    std::vector<std::unique_ptr<models::SeVulDetNet>> clones(
+    std::vector<std::unique_ptr<models::Detector>> clones(
         static_cast<std::size_t>(pool.size()));
-    for (auto& clone : clones) clone = detector.model().clone_net();
+    for (auto& clone : clones) clone = detector.model().clone();
     pool.parallel_chunks(files.size(), [&](int worker, std::size_t begin,
                                            std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {

@@ -78,7 +78,11 @@ TrainResult train_detector(models::Detector& detector, const SampleRefs& train,
       if (sample.ids.empty()) continue;
       util::metrics::counter_add("train.steps");
       nn::GraphScope scope(graph);
-      nn::NodePtr logit = detector.forward_logit(sample.ids, /*train=*/true);
+      // Through the item seam so graph backends see the sample's PDG
+      // projection; sequence backends delegate to forward_logit(ids) —
+      // byte-identical to the pre-seam loop.
+      const models::BatchItem item{&sample.ids, false, &sample.graph};
+      nn::NodePtr logit = detector.forward_logit_item(item, /*train=*/true);
       const bool predicted = logit->value.at(0, 0) > logit_threshold;
       correct += predicted == (sample.label == 1) ? 1 : 0;
       ++counted;
@@ -128,7 +132,7 @@ dataset::Confusion evaluate_chunk(models::Detector& model,
   for (std::size_t i = begin; i < end; ++i) {
     const auto* sample = test[i];
     if (sample->ids.empty()) continue;
-    items.push_back({&sample->ids, false});
+    items.push_back({&sample->ids, false, &sample->graph});
     truths.push_back(sample->label == 1);
   }
   std::vector<models::Prediction> predictions(items.size());

@@ -34,7 +34,8 @@ namespace sevuldet::dataset {
 
 /// Version of the cached per-case payload AND of the preprocessing
 /// algorithms that produce it. Part of every cache key.
-inline constexpr std::uint32_t kCaseCacheFormatVersion = 1;
+/// v2: samples carry the projected GadgetGraph (corpus format v2).
+inline constexpr std::uint32_t kCaseCacheFormatVersion = 2;
 
 /// What build_corpus computes for one test case before the ordered
 /// merge: the case's gadget samples (pre-dedup, pre-encode) or the fact

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "sevuldet/dataset/cache.hpp"
+#include "sevuldet/dataset/gadget_graph.hpp"
 #include "sevuldet/frontend/lexer.hpp"
 #include "sevuldet/frontend/parser.hpp"
 #include "sevuldet/graph/pdg.hpp"
@@ -79,6 +80,7 @@ CaseOutput process_case(const TestCase& tc, const CorpusOptions& options) {
     if (norm.tokens.empty()) continue;
 
     GadgetSample sample;
+    sample.graph = build_gadget_graph(program, gadget, norm);
     sample.tokens = std::move(norm.tokens);
     sample.label = label;
     if (label == 1) sample.cwe = tc.cwe;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sevuldet/dataset/testcase.hpp"
+#include "sevuldet/graph/gadget_graph.hpp"
 #include "sevuldet/normalize/vocab.hpp"
 #include "sevuldet/slicer/gadget.hpp"
 
@@ -24,6 +25,10 @@ struct GadgetSample {
   std::string case_id;
   bool from_ambiguous = false;
   bool from_long = false;
+  /// PDG projected onto this gadget (corpus format v2): node token
+  /// spans + typed control/data/call edges. The GAT backbone consumes
+  /// it; the CNN path ignores it entirely.
+  graph::GadgetGraph graph;
 };
 
 struct CorpusOptions {

@@ -55,6 +55,15 @@ void write_sample(util::ByteWriter& out, const GadgetSample& sample) {
   out.str(sample.case_id);
   out.u8(sample.from_ambiguous ? 1 : 0);
   out.u8(sample.from_long ? 1 : 0);
+  // v2: the per-gadget dependence graph.
+  out.u32(static_cast<std::uint32_t>(sample.graph.node_offsets.size()));
+  for (std::uint32_t off : sample.graph.node_offsets) out.u32(off);
+  out.u32(static_cast<std::uint32_t>(sample.graph.edges.size()));
+  for (const auto& edge : sample.graph.edges) {
+    out.u32(edge.from);
+    out.u32(edge.to);
+    out.u8(static_cast<std::uint8_t>(edge.type));
+  }
 }
 
 GadgetSample read_sample(util::ByteReader& in) {
@@ -71,6 +80,20 @@ GadgetSample read_sample(util::ByteReader& in) {
   sample.case_id = in.str();
   sample.from_ambiguous = in.u8() != 0;
   sample.from_long = in.u8() != 0;
+  const std::uint32_t offsets = in.u32();
+  sample.graph.node_offsets.reserve(offsets);
+  for (std::uint32_t i = 0; i < offsets; ++i) {
+    sample.graph.node_offsets.push_back(in.u32());
+  }
+  const std::uint32_t edges = in.u32();
+  sample.graph.edges.reserve(edges);
+  for (std::uint32_t i = 0; i < edges; ++i) {
+    graph::GadgetEdge edge;
+    edge.from = in.u32();
+    edge.to = in.u32();
+    edge.type = static_cast<graph::GadgetEdgeType>(in.u8());
+    sample.graph.edges.push_back(edge);
+  }
   return sample;
 }
 

@@ -25,7 +25,9 @@ namespace sevuldet::dataset {
 
 /// Bump whenever the on-disk corpus layout changes; old files are then
 /// rejected (and the per-case cache re-keys itself — see cache.hpp).
-inline constexpr std::uint32_t kCorpusFormatVersion = 1;
+/// v2: every sample carries its GadgetGraph (node token spans + typed
+/// control/data/call edge list) for the GAT backbone.
+inline constexpr std::uint32_t kCorpusFormatVersion = 2;
 
 /// One GadgetSample, shared by the corpus format and the per-case cache.
 void write_sample(util::ByteWriter& out, const GadgetSample& sample);

@@ -1,0 +1,105 @@
+#include "sevuldet/dataset/gadget_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace sevuldet::dataset {
+
+namespace gr = sevuldet::graph;
+
+gr::GadgetGraph build_gadget_graph(const gr::ProgramGraph& program,
+                                   const slicer::CodeGadget& gadget,
+                                   const normalize::NormalizedGadget& norm) {
+  gr::GadgetGraph out;
+  const int tokens = static_cast<int>(norm.tokens.size());
+  const int n = static_cast<int>(gadget.lines.size());
+  if (tokens == 0 || n == 0) return out;
+
+  // Token -> node. norm.lines is 1-based into gadget.lines with 0 for
+  // tokens without provenance; gadget tokens are emitted line by line,
+  // so clamping to a nondecreasing walk keeps every span contiguous.
+  std::vector<int> node_of(static_cast<std::size_t>(tokens), 0);
+  int cur = 0;
+  for (int t = 0; t < tokens; ++t) {
+    const int ln = t < static_cast<int>(norm.lines.size())
+                       ? norm.lines[static_cast<std::size_t>(t)]
+                       : 0;
+    if (ln >= 1 && ln <= n && ln - 1 > cur) cur = ln - 1;
+    node_of[static_cast<std::size_t>(t)] = cur;
+  }
+  out.node_offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int t = 0; t < tokens; ++t) {
+    ++out.node_offsets[static_cast<std::size_t>(node_of[t]) + 1];
+  }
+  for (int i = 0; i < n; ++i) {
+    out.node_offsets[static_cast<std::size_t>(i) + 1] +=
+        out.node_offsets[static_cast<std::size_t>(i)];
+  }
+
+  // (function, PDG unit) -> gadget node, first gadget line wins (a
+  // boundary line and a statement line can share a source line).
+  std::map<std::pair<std::string, int>, int> unit_node;
+  std::map<std::string, int> fn_entry;  // first gadget node per function
+  for (int gi = 0; gi < n; ++gi) {
+    const auto& line = gadget.lines[static_cast<std::size_t>(gi)];
+    if (fn_entry.find(line.function) == fn_entry.end()) {
+      fn_entry.emplace(line.function, gi);
+    }
+    const gr::FunctionPdg* pdg = program.pdg_of(line.function);
+    if (pdg == nullptr) continue;
+    const int unit = pdg->unit_at_line(line.line);
+    if (unit < 0) continue;
+    unit_node.emplace(std::make_pair(line.function, unit), gi);
+  }
+
+  auto project = [&](const std::string& fn, int from_unit, int to_unit,
+                     gr::GadgetEdgeType type) {
+    const auto from_it = unit_node.find({fn, from_unit});
+    const auto to_it = unit_node.find({fn, to_unit});
+    if (from_it == unit_node.end() || to_it == unit_node.end()) return;
+    if (from_it->second == to_it->second) return;  // model adds self-loops
+    out.edges.push_back({static_cast<std::uint32_t>(from_it->second),
+                         static_cast<std::uint32_t>(to_it->second), type});
+  };
+
+  for (const auto& [fn, entry] : fn_entry) {
+    const gr::FunctionPdg* pdg = program.pdg_of(fn);
+    if (pdg == nullptr) continue;
+    for (const auto& dep : pdg->data.edges) {
+      project(fn, dep.from, dep.to, gr::GadgetEdgeType::kData);
+    }
+    for (std::size_t u = 0; u < pdg->control.deps.size(); ++u) {
+      for (int c : pdg->control.deps[u]) {
+        project(fn, c, static_cast<int>(u), gr::GadgetEdgeType::kControl);
+      }
+    }
+  }
+
+  // Call edges: call-site node -> callee's first gadget node, for the
+  // inter-procedural gadgets the slicer stitches across functions.
+  for (const auto& call : program.calls) {
+    const auto callee_it = fn_entry.find(call.callee);
+    if (callee_it == fn_entry.end()) continue;
+    const auto site_it = unit_node.find({call.caller, call.caller_unit});
+    if (site_it == unit_node.end()) continue;
+    if (site_it->second == callee_it->second) continue;
+    out.edges.push_back({static_cast<std::uint32_t>(site_it->second),
+                         static_cast<std::uint32_t>(callee_it->second),
+                         gr::GadgetEdgeType::kCall});
+  }
+
+  // Sort by (to, from, type) and dedup — the GAT groups by destination,
+  // and every neighborhood must accumulate in one deterministic order.
+  std::sort(out.edges.begin(), out.edges.end(),
+            [](const gr::GadgetEdge& a, const gr::GadgetEdge& b) {
+              if (a.to != b.to) return a.to < b.to;
+              if (a.from != b.from) return a.from < b.from;
+              return static_cast<int>(a.type) < static_cast<int>(b.type);
+            });
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end()),
+                  out.edges.end());
+  return out;
+}
+
+}  // namespace sevuldet::dataset

@@ -1,0 +1,25 @@
+// Projection of the program dependence graph onto one code gadget: the
+// gadget's lines become nodes (token spans via the normalizer's
+// per-token line provenance) and every PDG data/control/call edge whose
+// endpoints both survive the slice becomes a typed GadgetEdge. The
+// result rides inside GadgetSample through the binary corpus format
+// (corpus_io v2) so training never re-parses source.
+#pragma once
+
+#include "sevuldet/graph/gadget_graph.hpp"
+#include "sevuldet/graph/pdg.hpp"
+#include "sevuldet/normalize/normalize.hpp"
+#include "sevuldet/slicer/gadget.hpp"
+
+namespace sevuldet::dataset {
+
+/// Build the per-gadget graph. Token spans come from `norm.lines`
+/// (1-based gadget-line index per token, 0 = unknown — unknown tokens
+/// stay with the previous node). Edges are deduplicated, self-edges
+/// dropped, and sorted by (to, from, type) per the GadgetGraph
+/// invariants. Returns an empty graph when the gadget has no tokens.
+graph::GadgetGraph build_gadget_graph(const graph::ProgramGraph& program,
+                                      const slicer::CodeGadget& gadget,
+                                      const normalize::NormalizedGadget& norm);
+
+}  // namespace sevuldet::dataset

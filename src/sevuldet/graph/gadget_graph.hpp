@@ -1,0 +1,64 @@
+// Per-gadget dependence graph carried alongside the flat token stream:
+// one node per gadget line, typed edges projected from the PDG (data,
+// control, call). This is the input the GAT backbone consumes directly
+// — the CNN path keeps flattening to tokens and never reads it.
+//
+// Header-only and dependency-free on purpose: models/ (which must not
+// link the frontend/graph libraries) includes this through
+// models/model.hpp, and dataset/corpus_io serializes it (format v2).
+//
+// Invariants (enforced by dataset/gadget_graph.cpp's builder and
+// asserted in tests):
+//   - node_offsets is a CSR span array over the gadget's token stream:
+//     node i covers tokens [node_offsets[i], node_offsets[i+1]), spans
+//     are ascending and cover every token exactly once;
+//   - edges are sorted by (to, from, type) and deduplicated, so
+//     grouping by destination for the masked segment-softmax is a
+//     linear walk and every neighborhood accumulates in one
+//     deterministic ascending order;
+//   - self-loops are NOT stored; the model adds one per node at forward
+//     time (every node must attend to itself even with no in-edges).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sevuldet::graph {
+
+enum class GadgetEdgeType : std::uint8_t {
+  kControl = 0,  // control dependence (Definition 3)
+  kData = 1,     // data dependence (Definition 2)
+  kCall = 2,     // call-site -> callee entry, inter-procedural gadgets
+};
+
+inline constexpr int kGadgetEdgeTypes = 3;  // excludes the implicit self type
+
+struct GadgetEdge {
+  std::uint32_t from = 0;  // source node (gadget-line index)
+  std::uint32_t to = 0;    // destination node
+  GadgetEdgeType type = GadgetEdgeType::kControl;
+
+  friend bool operator==(const GadgetEdge& a, const GadgetEdge& b) {
+    return a.from == b.from && a.to == b.to && a.type == b.type;
+  }
+};
+
+struct GadgetGraph {
+  /// CSR token spans, size = node_count() + 1 (empty when the gadget has
+  /// no provenance — e.g. the scan frontend's lex-fallback gadgets; the
+  /// GAT model then treats the whole token stream as a single node).
+  std::vector<std::uint32_t> node_offsets;
+  std::vector<GadgetEdge> edges;
+
+  int node_count() const {
+    return node_offsets.empty() ? 0
+                                : static_cast<int>(node_offsets.size()) - 1;
+  }
+  bool empty() const { return node_offsets.empty(); }
+
+  friend bool operator==(const GadgetGraph& a, const GadgetGraph& b) {
+    return a.node_offsets == b.node_offsets && a.edges == b.edges;
+  }
+};
+
+}  // namespace sevuldet::graph

@@ -98,6 +98,19 @@ DataDeps compute_data_deps(const Cfg& cfg, const std::vector<StmtUnit>& units) {
   }
   for (auto& v : result.deps) std::sort(v.begin(), v.end());
   for (auto& v : result.dependents) std::sort(v.begin(), v.end());
+  // Pin a deterministic (from, to, var) order on the flat edge list. The
+  // construction above iterates defs_of_var (map insertion order leaks
+  // into the sequence), which was harmless while only the sorted
+  // deps/dependents adjacency was consumed — but GAT aggregation walks
+  // the edge list itself, and its segment accumulation must be
+  // byte-stable across thread counts and rebuild orders (pdg_test pins
+  // this).
+  std::sort(result.edges.begin(), result.edges.end(),
+            [](const DataDep& a, const DataDep& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.to != b.to) return a.to < b.to;
+              return a.var < b.var;
+            });
   return result;
 }
 

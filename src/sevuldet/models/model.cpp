@@ -13,6 +13,41 @@ float Detector::predict(const std::vector<int>& tokens) {
   return 1.0f / (1.0f + std::exp(-logit->value.at(0, 0)));
 }
 
+float Detector::predict_item(const BatchItem& item) {
+  nn::NodePtr logit = forward_logit_item(item, /*train=*/false);
+  if (config_.num_classes > 1) {
+    return 1.0f - nn::softmax_row_values(logit->value)[0];
+  }
+  return 1.0f / (1.0f + std::exp(-logit->value.at(0, 0)));
+}
+
+Prediction Detector::predict_captured(const std::vector<int>& tokens,
+                                      bool capture_spatial) {
+  Prediction out;
+  out.probability = predict(tokens);
+  out.token_weights = last_token_weights();
+  if (capture_spatial) out.spatial_weights = last_spatial_weights();
+  return out;
+}
+
+Prediction Detector::predict_captured_item(const BatchItem& item) {
+  Prediction out;
+  out.probability = predict_item(item);
+  out.token_weights = last_token_weights();
+  if (item.capture_spatial) out.spatial_weights = last_spatial_weights();
+  return out;
+}
+
+const std::vector<float>& Detector::last_token_weights() const {
+  static const std::vector<float> kEmpty;
+  return kEmpty;
+}
+
+const std::vector<float>& Detector::last_spatial_weights() const {
+  static const std::vector<float> kEmpty;
+  return kEmpty;
+}
+
 bool Detector::is_vulnerable(const std::vector<int>& tokens) {
   return predict(tokens) > config_.threshold;
 }
@@ -58,16 +93,17 @@ bool parse_precision(const std::string& text, Precision* out) {
 void Detector::predict_batch(const BatchItem* items, std::size_t count,
                              Prediction* out) {
   // Loop fallback: byte-identical to calling predict() per item (the
-  // batch_test suite pins this for BiRnnNet). Attention read-outs stay
-  // empty — models without an attention head have nothing to capture.
-  // Each item gets its own graph scope so the autograd arena is recycled
-  // per forward, exactly like the serial eval loop.
+  // batch_test suite pins this for BiRnnNet). Attention read-outs come
+  // from last_*_weights(), which is empty for models without an
+  // attention head. Each item gets its own graph scope so the autograd
+  // arena is recycled per forward, exactly like the serial eval loop.
   nn::Graph graph;
   for (std::size_t i = 0; i < count; ++i) {
     nn::GraphScope scope(graph);
-    out[i].probability = predict(*items[i].tokens);
-    out[i].token_weights.clear();
-    out[i].spatial_weights.clear();
+    out[i].probability = predict_item(items[i]);
+    out[i].token_weights = last_token_weights();
+    out[i].spatial_weights =
+        items[i].capture_spatial ? last_spatial_weights() : std::vector<float>{};
   }
 }
 

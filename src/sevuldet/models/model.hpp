@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "sevuldet/graph/gadget_graph.hpp"
+#include "sevuldet/nn/kernels.hpp"
 #include "sevuldet/nn/layers.hpp"
 #include "sevuldet/nn/tensor.hpp"
 
@@ -39,6 +41,12 @@ struct ModelConfig {
   int rnn_hidden = 30;
   int fixed_length = 50;  // time steps; tokens are truncated/padded to this
 
+  // GAT backbone (the "gat" backend): edge-aware graph attention over
+  // the gadget's PDG projection (GadgetGraph).
+  int gat_layers = 2;           // message-passing rounds
+  int gat_hidden = 32;          // per-node hidden width
+  float gat_leaky_slope = 0.2f; // LeakyReLU slope on attention scores
+
   std::uint64_t seed = 42;
 };
 
@@ -69,9 +77,13 @@ const char* precision_name(Precision precision);
 bool parse_precision(const std::string& text, Precision* out);
 
 /// One gadget in a predict_batch() call. `tokens` must outlive the call.
+/// `graph` is the gadget's PDG projection for graph backends (may stay
+/// null — sequence models ignore it, graph models fall back to a
+/// single-node graph over the whole token stream).
 struct BatchItem {
   const std::vector<int>* tokens = nullptr;
   bool capture_spatial = false;  // fill Prediction::spatial_weights
+  const graph::GadgetGraph* graph = nullptr;
 };
 
 /// Abstract detector.
@@ -81,6 +93,14 @@ class Detector {
 
   /// Logit for one token-id sequence; `train` enables dropout.
   virtual nn::NodePtr forward_logit(const std::vector<int>& tokens, bool train) = 0;
+
+  /// Logit for one batch item. Sequence models ignore item.graph (the
+  /// default delegates to forward_logit on the tokens); graph models
+  /// override to consume it. Training and evaluation go through this
+  /// seam so every backend sees the full sample.
+  virtual nn::NodePtr forward_logit_item(const BatchItem& item, bool train) {
+    return forward_logit(*item.tokens, train);
+  }
 
   virtual const std::string& name() const = 0;
   virtual nn::ParamStore& params() = 0;
@@ -98,6 +118,28 @@ class Detector {
   /// Multiclass: (argmax class id, its softmax probability). For binary
   /// models returns ({0,1}, predict()).
   std::pair<int, float> predict_class(const std::vector<int>& tokens);
+
+  /// predict() over a full batch item (graph-aware). For items with no
+  /// graph this is bit-identical to predict(*item.tokens).
+  float predict_item(const BatchItem& item);
+
+  /// predict() plus a copy of the attention read-outs taken immediately
+  /// after the forward pass — the unit the serve batcher ships between
+  /// threads (last_*_weights() is only valid until the instance's next
+  /// forward). `capture_spatial` additionally copies the spatial map
+  /// (explain requests only — it is the largest of the three). The
+  /// probability is bit-identical to predict(tokens).
+  Prediction predict_captured(const std::vector<int>& tokens,
+                              bool capture_spatial = false);
+  /// Same, through the graph-aware item seam.
+  Prediction predict_captured_item(const BatchItem& item);
+
+  /// Attention read-outs of the last eval forward pass, used by
+  /// explain/report. The base returns empty vectors (models without an
+  /// attention head have nothing to expose); attention backends
+  /// override. Only valid until the next forward pass on this instance.
+  virtual const std::vector<float>& last_token_weights() const;
+  virtual const std::vector<float>& last_spatial_weights() const;
 
   /// Score `count` gadgets in one call, writing one Prediction per item.
   /// The base implementation is a loop over predict() — byte-identical
@@ -124,6 +166,18 @@ class Detector {
   /// can run forward passes concurrently on different threads — the
   /// parallel evaluation/detection paths clone one model per worker.
   virtual std::unique_ptr<Detector> clone() const = 0;
+
+  /// Bytes held by any recycled batched-inference scratch (capacity,
+  /// not size). 0 for models without a batched engine.
+  virtual std::size_t scratch_bytes() const { return 0; }
+
+  /// GEMM problem shapes the batched forward would issue for roughly
+  /// `rows_hint` stacked rows — fed to the load-time tile autotuner.
+  /// Empty when the model has no batched GEMM path to tune.
+  virtual std::vector<nn::kernels::GemmShape> batch_gemm_shapes(int rows_hint) const {
+    (void)rows_hint;
+    return {};
+  }
 
   const ModelConfig& config() const { return config_; }
 

@@ -1,0 +1,35 @@
+#include "sevuldet/models/registry.hpp"
+
+#include <stdexcept>
+
+#include "sevuldet/models/gat_net.hpp"
+#include "sevuldet/models/sevuldet_net.hpp"
+
+namespace sevuldet::models {
+
+const std::vector<std::string>& detector_backends() {
+  static const std::vector<std::string> kBackends = {"cnn", "gat"};
+  return kBackends;
+}
+
+bool valid_backend(const std::string& backend) {
+  for (const auto& name : detector_backends()) {
+    if (name == backend) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Detector> make_detector(const std::string& backend,
+                                        ModelConfig config) {
+  if (backend == "cnn") return std::make_unique<SeVulDetNet>(std::move(config));
+  if (backend == "gat") return std::make_unique<GatNet>(std::move(config));
+  std::string names;
+  for (const auto& name : detector_backends()) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  throw std::invalid_argument("unknown detector backend '" + backend +
+                              "' (expected one of: " + names + ")");
+}
+
+}  // namespace sevuldet::models

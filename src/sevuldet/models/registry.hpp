@@ -1,0 +1,32 @@
+// Backend registry: maps the user-facing backend name ("cnn", "gat") to
+// a concrete Detector. Everything above the models layer — pipeline,
+// trainer, scan, serve, CLI — selects a backend by name and then talks
+// only to the Detector interface, so adding a backend means adding one
+// registry entry, not touching the callers. The backend name is also
+// persisted in v3 model files so a load rebuilds the right network.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sevuldet/models/model.hpp"
+
+namespace sevuldet::models {
+
+/// The canonical default backend (the paper's CNN trunk).
+inline constexpr const char* kDefaultBackend = "cnn";
+
+/// All registered backend names, in a fixed order ("cnn", "gat") — the
+/// CLI help text and `report --compare` parse against this list.
+const std::vector<std::string>& detector_backends();
+
+/// True iff `backend` names a registered backend.
+bool valid_backend(const std::string& backend);
+
+/// Construct the named backend. Throws std::invalid_argument on an
+/// unknown name (message lists the valid ones).
+std::unique_ptr<Detector> make_detector(const std::string& backend,
+                                        ModelConfig config);
+
+}  // namespace sevuldet::models

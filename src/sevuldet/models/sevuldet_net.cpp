@@ -76,15 +76,6 @@ nn::NodePtr SeVulDetNet::forward_logit(const std::vector<int>& tokens, bool trai
   return fc3_->forward(x);                                  // [1, 1] logit
 }
 
-Prediction SeVulDetNet::predict_captured(const std::vector<int>& tokens,
-                                         bool capture_spatial) {
-  Prediction out;
-  out.probability = predict(tokens);
-  out.token_weights = last_token_weights();
-  if (capture_spatial) out.spatial_weights = last_spatial_weights();
-  return out;
-}
-
 const std::vector<float>& SeVulDetNet::last_token_weights() const {
   return token_attention_ ? token_attention_->last_weights() : empty_weights_;
 }

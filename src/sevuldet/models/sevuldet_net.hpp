@@ -25,22 +25,12 @@ class SeVulDetNet : public Detector {
   /// α weights of the last forward pass (one per input token) — the
   /// Fig. 6 attention-visualization hook. Empty if token attention is
   /// disabled.
-  const std::vector<float>& last_token_weights() const;
+  const std::vector<float>& last_token_weights() const override;
 
   /// CBAM spatial map Ms of the last forward pass (one weight per conv
   /// row; rows align with the padded token sequence). Empty if
   /// multilayer attention is disabled.
-  const std::vector<float>& last_spatial_weights() const;
-
-  /// predict() plus a copy of the attention read-outs taken immediately
-  /// after the forward pass. The batched serve path scores gadgets on a
-  /// different thread than the one assembling findings, so the weights
-  /// must travel with the probability instead of being read back later
-  /// through last_*_weights(). `capture_spatial` additionally copies the
-  /// CBAM map (explain requests only — it is the largest of the three).
-  /// The probability is bit-identical to predict(tokens).
-  Prediction predict_captured(const std::vector<int>& tokens,
-                              bool capture_spatial = false);
+  const std::vector<float>& last_spatial_weights() const override;
 
   /// Length-bucketed batched inference: items are grouped by padded
   /// token count and each group runs the whole trunk as large stacked
@@ -63,12 +53,12 @@ class SeVulDetNet : public Detector {
   /// Bytes currently held by the batched engine's recycled scratch
   /// buffers (capacity, not size — vectors only grow, so this is the
   /// high-water inference footprint of this instance).
-  std::size_t scratch_bytes() const;
+  std::size_t scratch_bytes() const override;
 
   /// The GEMM problem shapes the bucketed forward issues for roughly
   /// `rows_hint` stacked token rows — fed to the load-time tile
   /// autotuner, which benchmarks candidate cache tiles on exactly these.
-  std::vector<nn::kernels::GemmShape> batch_gemm_shapes(int rows_hint) const;
+  std::vector<nn::kernels::GemmShape> batch_gemm_shapes(int rows_hint) const override;
 
   /// Concrete deep copy (keeps access to last_token_weights()).
   std::unique_ptr<SeVulDetNet> clone_net() const;

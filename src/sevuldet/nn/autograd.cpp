@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sevuldet/nn/graph_kernels.hpp"
 #include "sevuldet/nn/kernels.hpp"
 #include "sevuldet/util/metrics.hpp"
 
@@ -815,6 +816,148 @@ NodePtr spp_max(const NodePtr& a, const std::vector<int>& bins) {
                                          static_cast<std::size_t>(c) +
                                      static_cast<std::size_t>(j)];
         pa->grad.at(src, j) += nd->grad.at(0, b * c + j);
+      }
+    }
+  };
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// graph message passing
+//
+// Index/offset arrays live in the Node's iscratch so the backward
+// closures stay raw-pointer-only. Forwards call the blocked kernels in
+// graph_kernels.hpp; backwards keep the same ascending-index
+// accumulation discipline, so blocked==naive holds through training.
+// ---------------------------------------------------------------------------
+
+NodePtr leaky_relu(const NodePtr& a, float slope) {
+  return unary_op(
+      a, [slope](float x) { return x > 0.0f ? x : slope * x; },
+      [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
+}
+
+NodePtr gather_rows(const NodePtr& a, const std::vector<int>& idx) {
+  const int rows = a->value.rows(), c = a->value.cols();
+  const int n = static_cast<int>(idx.size());
+  for (int i : idx) {
+    if (i < 0 || i >= rows) {
+      throw std::out_of_range("gather_rows: index out of range");
+    }
+  }
+  auto node = make_node(ctx_alloc(n, c), {a});
+  node->iscratch.assign(idx.begin(), idx.end());
+  kernels::gather_rows(static_cast<std::size_t>(n),
+                       static_cast<std::size_t>(c), node->iscratch.data(),
+                       a->value.data(), node->value.data());
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, n, c]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    kernels::scatter_add_rows(static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(c), nd->iscratch.data(),
+                              nd->grad.data(), pa->grad.data());
+  };
+  return node;
+}
+
+NodePtr scatter_sum_rows(const NodePtr& a, const std::vector<int>& idx,
+                         int rows) {
+  const int n = a->value.rows(), c = a->value.cols();
+  if (static_cast<int>(idx.size()) != n) {
+    throw std::invalid_argument("scatter_sum_rows: idx size != rows");
+  }
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (idx[i] < 0 || idx[i] >= rows) {
+      throw std::out_of_range("scatter_sum_rows: index out of range");
+    }
+    if (i > 0 && idx[i] < idx[i - 1]) {
+      throw std::invalid_argument("scatter_sum_rows: idx must be ascending");
+    }
+  }
+  auto node = make_node(ctx_alloc(rows, c), {a});
+  node->iscratch.assign(idx.begin(), idx.end());
+  kernels::scatter_add_rows(static_cast<std::size_t>(n),
+                            static_cast<std::size_t>(c), node->iscratch.data(),
+                            a->value.data(), node->value.data());
+  Node* nd = node.get();
+  Node* pa = a.get();
+  // d(out[idx[i]])/d(a[i]) = I: gather the destination-row gradients
+  // back to edges, accumulating in ascending-i order.
+  node->backward_fn = [nd, pa, n, c]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int i = 0; i < n; ++i) {
+      kernels::add_inplace(
+          static_cast<std::size_t>(c),
+          nd->grad.data() + static_cast<std::size_t>(nd->iscratch[i]) * c,
+          pa->grad.data() + static_cast<std::size_t>(i) * c);
+    }
+  };
+  return node;
+}
+
+NodePtr segment_mean_rows(const NodePtr& a, const std::vector<int>& offsets) {
+  const int t = a->value.rows(), c = a->value.cols();
+  const int segs = static_cast<int>(offsets.size()) - 1;
+  if (segs < 0 || offsets.front() != 0 || offsets.back() != t) {
+    throw std::invalid_argument("segment_mean_rows: bad offsets");
+  }
+  auto node = make_node(ctx_alloc(segs, c), {a});
+  node->iscratch.assign(offsets.begin(), offsets.end());
+  kernels::segment_mean(static_cast<std::size_t>(segs), node->iscratch.data(),
+                        static_cast<std::size_t>(c), a->value.data(),
+                        node->value.data());
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, segs, c]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int s = 0; s < segs; ++s) {
+      const int begin = nd->iscratch[s], end = nd->iscratch[s + 1];
+      if (end <= begin) continue;
+      const float inv = 1.0f / static_cast<float>(end - begin);
+      const float* g = nd->grad.data() + static_cast<std::size_t>(s) * c;
+      for (int i = begin; i < end; ++i) {
+        kernels::axpy(static_cast<std::size_t>(c), inv, g,
+                      pa->grad.data() + static_cast<std::size_t>(i) * c);
+      }
+    }
+  };
+  return node;
+}
+
+NodePtr segment_softmax_col(const NodePtr& a, const std::vector<int>& offsets) {
+  if (a->value.cols() != 1) {
+    throw std::invalid_argument("segment_softmax_col expects [E,1], got " +
+                                a->value.shape_string());
+  }
+  const int e = a->value.rows();
+  const int segs = static_cast<int>(offsets.size()) - 1;
+  if (segs < 0 || offsets.front() != 0 || offsets.back() != e) {
+    throw std::invalid_argument("segment_softmax_col: bad offsets");
+  }
+  auto node = make_node(ctx_alloc(e, 1), {a});
+  node->iscratch.assign(offsets.begin(), offsets.end());
+  kernels::segment_softmax(static_cast<std::size_t>(segs),
+                           node->iscratch.data(), a->value.data(),
+                           node->value.data());
+  Node* nd = node.get();
+  Node* pa = a.get();
+  node->backward_fn = [nd, pa, segs]() {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    // Per segment: dX_i = y_i * (g_i - sum_j g_j y_j), as softmax_col.
+    for (int s = 0; s < segs; ++s) {
+      const int begin = nd->iscratch[s], end = nd->iscratch[s + 1];
+      if (end <= begin) continue;
+      const float dot = kernels::dot(static_cast<std::size_t>(end - begin),
+                                     nd->grad.data() + begin,
+                                     nd->value.data() + begin);
+      for (int i = begin; i < end; ++i) {
+        pa->grad.at(i, 0) +=
+            nd->value.at(i, 0) * (nd->grad.at(i, 0) - dot);
       }
     }
   };

@@ -192,6 +192,27 @@ NodePtr im2row(const NodePtr& a, int kernel, int pad);
 /// levels concatenate to [1, (sum bins) * C]. Works for any T >= 1.
 NodePtr spp_max(const NodePtr& a, const std::vector<int>& bins);
 
+// --- graph message passing (GAT over gadget PDGs) -------------------------
+// All index/offset arguments follow the CSR conventions documented in
+// nn/graph_kernels.hpp; forwards call the blocked kernels there, so the
+// autograd path inherits the blocked==naive bitwise contract.
+/// x > 0 ? x : slope * x (GAT attention-score activation).
+NodePtr leaky_relu(const NodePtr& a, float slope);
+/// Rows of `a` gathered by index (edge-source lookup); unlike
+/// embedding(), `a` is a differentiable activation. [R,C] -> [n,C].
+NodePtr gather_rows(const NodePtr& a, const std::vector<int>& idx);
+/// out[idx[i],:] += a[i,:] into a fresh zero [rows,C] tensor (edge ->
+/// destination-node aggregation). idx must be sorted ascending so every
+/// destination row accumulates in ascending-edge order.
+NodePtr scatter_sum_rows(const NodePtr& a, const std::vector<int>& idx,
+                         int rows);
+/// Mean over row spans: out[s,:] = mean of a rows [offsets[s],
+/// offsets[s+1]); empty spans give zero rows. [T,C] -> [S,C].
+NodePtr segment_mean_rows(const NodePtr& a, const std::vector<int>& offsets);
+/// Per-segment softmax over a column vector [E,1] (masked neighborhood
+/// softmax: empty segments are untouched).
+NodePtr segment_softmax_col(const NodePtr& a, const std::vector<int>& offsets);
+
 // --- regularization / loss --------------------------------------------------
 NodePtr dropout(const NodePtr& a, float p, util::Rng& rng, bool train);
 /// Numerically stable binary cross-entropy on a logit: target in {0,1}.

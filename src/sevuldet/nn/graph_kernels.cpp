@@ -1,0 +1,113 @@
+#include "sevuldet/nn/graph_kernels.hpp"
+
+#include <cmath>
+
+#include "sevuldet/nn/kernels.hpp"
+
+namespace sevuldet::nn::kernels {
+
+// The "blocked" variants lean on the vector-width copy/add_inplace
+// kernels; both are strictly element-wise in ascending order, so every
+// output element's chain matches the scalar oracle exactly.
+
+void gather_rows(std::size_t n, std::size_t cols, const int* idx,
+                 const float* src, float* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    copy(cols, src + static_cast<std::size_t>(idx[i]) * cols, dst + i * cols);
+  }
+}
+
+void gather_rows_naive(std::size_t n, std::size_t cols, const int* idx,
+                       const float* src, float* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* s = src + static_cast<std::size_t>(idx[i]) * cols;
+    float* d = dst + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) d[j] = s[j];
+  }
+}
+
+void scatter_add_rows(std::size_t n, std::size_t cols, const int* idx,
+                      const float* src, float* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    add_inplace(cols, src + i * cols,
+                dst + static_cast<std::size_t>(idx[i]) * cols);
+  }
+}
+
+void scatter_add_rows_naive(std::size_t n, std::size_t cols, const int* idx,
+                            const float* src, float* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* s = src + i * cols;
+    float* d = dst + static_cast<std::size_t>(idx[i]) * cols;
+    for (std::size_t j = 0; j < cols; ++j) d[j] += s[j];
+  }
+}
+
+void segment_softmax(std::size_t segments, const int* offsets, const float* x,
+                     float* out) {
+  for (std::size_t s = 0; s < segments; ++s) {
+    const int begin = offsets[s], end = offsets[s + 1];
+    if (end <= begin) continue;  // masked: empty neighborhood
+    float max_v = x[begin];
+    for (int i = begin + 1; i < end; ++i) {
+      if (x[i] > max_v) max_v = x[i];
+    }
+    float sum = 0.0f;
+    for (int i = begin; i < end; ++i) {
+      out[i] = std::exp(x[i] - max_v);
+      sum += out[i];
+    }
+    for (int i = begin; i < end; ++i) out[i] /= sum;
+  }
+}
+
+void segment_softmax_naive(std::size_t segments, const int* offsets,
+                           const float* x, float* out) {
+  for (std::size_t s = 0; s < segments; ++s) {
+    const int begin = offsets[s], end = offsets[s + 1];
+    if (end <= begin) continue;
+    float max_v = x[begin];
+    for (int i = begin + 1; i < end; ++i) {
+      if (x[i] > max_v) max_v = x[i];
+    }
+    float sum = 0.0f;
+    for (int i = begin; i < end; ++i) {
+      out[i] = std::exp(x[i] - max_v);
+      sum += out[i];
+    }
+    for (int i = begin; i < end; ++i) out[i] /= sum;
+  }
+}
+
+void segment_mean(std::size_t segments, const int* offsets, std::size_t cols,
+                  const float* src, float* out) {
+  for (std::size_t s = 0; s < segments; ++s) {
+    const int begin = offsets[s], end = offsets[s + 1];
+    float* row = out + s * cols;
+    for (std::size_t j = 0; j < cols; ++j) row[j] = 0.0f;
+    if (end <= begin) continue;  // empty span -> zero row
+    for (int i = begin; i < end; ++i) {
+      add_inplace(cols, src + static_cast<std::size_t>(i) * cols, row);
+    }
+    const float inv = 1.0f / static_cast<float>(end - begin);
+    for (std::size_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+void segment_mean_naive(std::size_t segments, const int* offsets,
+                        std::size_t cols, const float* src, float* out) {
+  for (std::size_t s = 0; s < segments; ++s) {
+    const int begin = offsets[s], end = offsets[s + 1];
+    float* row = out + s * cols;
+    for (std::size_t j = 0; j < cols; ++j) row[j] = 0.0f;
+    if (end <= begin) continue;
+    for (int i = begin; i < end; ++i) {
+      const float* r = src + static_cast<std::size_t>(i) * cols;
+      for (std::size_t j = 0; j < cols; ++j) row[j] += r[j];
+    }
+    const float inv = 1.0f / static_cast<float>(end - begin);
+    for (std::size_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+}  // namespace sevuldet::nn::kernels

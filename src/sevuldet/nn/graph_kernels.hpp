@@ -1,0 +1,61 @@
+// Message-passing kernels for graph attention over gadget PDGs:
+// row gather/scatter by edge list, masked segment-softmax over
+// in-neighborhoods, and segment mean pooling (token spans -> node
+// features). Same determinism contract as kernels.hpp:
+//
+//   - every output element has exactly one accumulator, filled in
+//     ascending index order (edges ascending within a destination
+//     segment, rows ascending within a token span), so results are
+//     BITWISE identical to the *_naive scalar references regardless of
+//     build flags — the library is compiled with -ffp-contract=off (see
+//     nn/CMakeLists.txt) so no FMA contraction can split blocked and
+//     naive chains apart;
+//   - no kernel allocates; callers own every buffer.
+//
+// Segment conventions: `offsets` is a CSR-style array of `segments + 1`
+// ascending ints; segment s spans [offsets[s], offsets[s+1]). Empty
+// segments are legal (softmax leaves them untouched, mean writes a zero
+// row) — that is the "masked" part of the segment-softmax: a node with
+// no in-edges contributes nothing and receives nothing.
+//
+// bench/micro_gat.cpp bit-compares every kernel against its oracle and
+// exits nonzero on the first mismatch; tests/gat_test.cpp does the same
+// under the unit suite.
+#pragma once
+
+#include <cstddef>
+
+namespace sevuldet::nn::kernels {
+
+/// dst[i,:] = src[idx[i],:] for i in [0,n). `src` has `cols`-wide rows;
+/// idx values must be valid row indices of src.
+void gather_rows(std::size_t n, std::size_t cols, const int* idx,
+                 const float* src, float* dst);
+void gather_rows_naive(std::size_t n, std::size_t cols, const int* idx,
+                       const float* src, float* dst);
+
+/// dst[idx[i],:] += src[i,:] for i ascending in [0,n). Callers zero (or
+/// pre-seed) dst. Ascending-i accumulation gives every destination row a
+/// single deterministic chain when idx is sorted (edge lists are sorted
+/// by destination — see graph/gadget_graph.hpp).
+void scatter_add_rows(std::size_t n, std::size_t cols, const int* idx,
+                      const float* src, float* dst);
+void scatter_add_rows_naive(std::size_t n, std::size_t cols, const int* idx,
+                            const float* src, float* dst);
+
+/// Per-segment numerically-stable softmax over a flat score array:
+/// out[i] = exp(x[i] - max_seg) / sum_seg for i in segment s. Empty
+/// segments write nothing.
+void segment_softmax(std::size_t segments, const int* offsets, const float* x,
+                     float* out);
+void segment_softmax_naive(std::size_t segments, const int* offsets,
+                           const float* x, float* out);
+
+/// out[s,:] = mean of src rows [offsets[s], offsets[s+1]); empty
+/// segments yield a zero row. Ascending-row accumulation per column.
+void segment_mean(std::size_t segments, const int* offsets, std::size_t cols,
+                  const float* src, float* out);
+void segment_mean_naive(std::size_t segments, const int* offsets,
+                        std::size_t cols, const float* src, float* out);
+
+}  // namespace sevuldet::nn::kernels

@@ -8,14 +8,14 @@
 
 namespace sevuldet::serve {
 
-MicroBatcher::MicroBatcher(const models::SeVulDetNet& model,
+MicroBatcher::MicroBatcher(const models::Detector& model,
                            BatcherOptions options)
     : options_(options), pool_(std::max(1, options.threads)) {
   options_.max_batch = std::max(1, options_.max_batch);
   options_.window_ms = std::max(0.0, options_.window_ms);
   clones_.reserve(static_cast<std::size_t>(pool_.size()));
   for (int i = 0; i < pool_.size(); ++i) {
-    clones_.push_back(model.clone_net());
+    clones_.push_back(model.clone());
   }
   flusher_ = std::thread([this] { flusher_loop(); });
 }
@@ -42,11 +42,20 @@ models::Prediction MicroBatcher::predict(const std::vector<int>& ids,
 
 std::vector<models::Prediction> MicroBatcher::predict_many(
     const std::vector<const std::vector<int>*>& ids, bool capture_spatial) {
-  if (ids.empty()) return {};
-  std::vector<Entry> entries(ids.size());
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    entries[i].ids = ids[i];
-    entries[i].capture_spatial = capture_spatial;
+  std::vector<models::BatchItem> items;
+  items.reserve(ids.size());
+  for (const std::vector<int>* gadget : ids) {
+    items.push_back({gadget, capture_spatial, nullptr});
+  }
+  return predict_many(items);
+}
+
+std::vector<models::Prediction> MicroBatcher::predict_many(
+    const std::vector<models::BatchItem>& items) {
+  if (items.empty()) return {};
+  std::vector<Entry> entries(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    entries[i].item = items[i];
   }
   {
     std::unique_lock lock(mu_);
@@ -126,12 +135,12 @@ void MicroBatcher::run_batch(std::vector<Entry*>& batch) {
   // fp32. If the batched call throws (e.g. an out-of-range token id),
   // the chunk is rescored one entry at a time so a bad gadget only
   // fails its own entry, exactly as before.
-  auto score_range = [&](models::SeVulDetNet& model, std::size_t begin,
+  auto score_range = [&](models::Detector& model, std::size_t begin,
                          std::size_t end) {
     std::vector<models::BatchItem> items;
     items.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
-      items.push_back({batch[i]->ids, batch[i]->capture_spatial});
+      items.push_back(batch[i]->item);
     }
     std::vector<models::Prediction> predictions(items.size());
     try {

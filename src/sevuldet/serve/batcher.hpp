@@ -26,7 +26,7 @@
 #include <thread>
 #include <vector>
 
-#include "sevuldet/models/sevuldet_net.hpp"
+#include "sevuldet/models/model.hpp"
 #include "sevuldet/util/thread_pool.hpp"
 
 namespace sevuldet::serve {
@@ -39,9 +39,10 @@ struct BatcherOptions {
 
 class MicroBatcher {
  public:
-  /// Clones `model` once per inference thread. The reference must stay
-  /// valid for the batcher's lifetime (the Server owns both).
-  MicroBatcher(const models::SeVulDetNet& model, BatcherOptions options);
+  /// Clones `model` once per inference thread (any Detector backend).
+  /// The reference must stay valid for the batcher's lifetime (the
+  /// Server owns both).
+  MicroBatcher(const models::Detector& model, BatcherOptions options);
   ~MicroBatcher();
 
   MicroBatcher(const MicroBatcher&) = delete;
@@ -55,6 +56,10 @@ class MicroBatcher {
   /// pending batch together (one window wait for the whole request, and
   /// a request with >= max_batch gadgets flushes immediately), and the
   /// call blocks until every one is scored. Results are positional.
+  /// Each item's pointed-to tokens/graph must stay valid until return.
+  std::vector<models::Prediction> predict_many(
+      const std::vector<models::BatchItem>& items);
+  /// Token-only convenience (no gadget graphs attached).
   std::vector<models::Prediction> predict_many(
       const std::vector<const std::vector<int>*>& ids, bool capture_spatial);
 
@@ -73,8 +78,7 @@ class MicroBatcher {
 
  private:
   struct Entry {
-    const std::vector<int>* ids = nullptr;
-    bool capture_spatial = false;
+    models::BatchItem item;
     models::Prediction result;
     bool done = false;
     std::exception_ptr error;
@@ -85,7 +89,7 @@ class MicroBatcher {
 
   BatcherOptions options_;
   util::ThreadPool pool_;
-  std::vector<std::unique_ptr<models::SeVulDetNet>> clones_;
+  std::vector<std::unique_ptr<models::Detector>> clones_;
 
   std::mutex mu_;
   std::condition_variable pending_cv_;  // wakes the flusher

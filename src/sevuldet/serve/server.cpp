@@ -26,8 +26,8 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 /// Apply the serve precision to the model before MicroBatcher clones it
 /// (member-init order: the batcher is constructed right after options_).
-models::SeVulDetNet& with_precision(models::SeVulDetNet& model,
-                                    models::Precision precision) {
+models::Detector& with_precision(models::Detector& model,
+                                 models::Precision precision) {
   if (model.precision() != precision) model.set_precision(precision);
   return model;
 }
@@ -146,13 +146,13 @@ Response Server::process(Job& job) {
     detect_options.explain = explain;
     std::vector<core::PreparedGadget> prepared =
         detector_.prepare(job.request.source);
-    std::vector<const std::vector<int>*> ids;
-    ids.reserve(prepared.size());
+    std::vector<models::BatchItem> items;
+    items.reserve(prepared.size());
     for (const core::PreparedGadget& gadget : prepared) {
-      ids.push_back(&gadget.ids);
+      items.push_back({&gadget.ids, explain, &gadget.graph});
     }
     std::vector<models::Prediction> predictions =
-        batcher_.predict_many(ids, explain);
+        batcher_.predict_many(items);
     std::vector<core::Finding> findings;
     for (std::size_t i = 0; i < prepared.size(); ++i) {
       std::optional<core::Finding> finding = detector_.finding_from_prediction(

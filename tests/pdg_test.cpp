@@ -208,3 +208,37 @@ TEST(Pdg, GracefulOnEmptyFunction) {
   EXPECT_TRUE(pdg.units.empty());
   EXPECT_TRUE(pdg.cfg.has_edge(pdg.cfg.entry(), pdg.cfg.exit()));
 }
+
+// The flat data-edge list is pinned to (from, to, var) order at build
+// time. GAT aggregation walks this list directly, so its order must be
+// byte-stable across thread counts and rebuild orders — not an accident
+// of map insertion during the reaching-defs sweep.
+TEST(DataDeps, EdgeListSortedDeterministically) {
+  auto graph = sg::build_program_graph(
+      "void f(int n) {\n"
+      "  int a = n + 1;\n"
+      "  int b = n + 2;\n"
+      "  int c = a + b;\n"
+      "  if (c) { a = b + c; }\n"
+      "  int d = a + b + c;\n"
+      "}\n");
+  const auto& pdg = graph.functions[0];
+  ASSERT_GT(pdg.data.edges.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      pdg.data.edges.begin(), pdg.data.edges.end(),
+      [](const sg::DataDep& x, const sg::DataDep& y) {
+        if (x.from != y.from) return x.from < y.from;
+        if (x.to != y.to) return x.to < y.to;
+        return x.var < y.var;
+      }));
+  // Rebuilding the same source yields the identical edge sequence.
+  auto graph2 = sg::build_program_graph(graph.source);
+  const auto& e1 = pdg.data.edges;
+  const auto& e2 = graph2.functions[0].data.edges;
+  ASSERT_EQ(e1.size(), e2.size());
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].from, e2[i].from);
+    EXPECT_EQ(e1[i].to, e2[i].to);
+    EXPECT_EQ(e1[i].var, e2[i].var);
+  }
+}

@@ -253,3 +253,42 @@ TEST(Trainer, EvaluateCountsMatchTestSet) {
   auto confusion = sc::evaluate_detector(detector.model(), test_refs);
   EXPECT_EQ(confusion.total(), static_cast<long long>(test_refs.size()));
 }
+
+// Registry-refactor pin: the default backend is still the CNN, its name
+// and its on-disk format are unchanged, and saving the same trained
+// detector twice is byte-identical (deterministic v2 frames — the file
+// bytes a pre-registry build produced for this config). The gat backend
+// writes v3 frames; only non-default backends pay the new header.
+TEST(Pipeline, DefaultBackendIsCnnWithByteStableV2Files) {
+  sc::PipelineConfig config = tiny_pipeline_config();
+  EXPECT_EQ(config.backend, "cnn");
+
+  auto cases = tiny_cases();
+  sc::SeVulDet detector(config);
+  detector.train(cases);
+  EXPECT_EQ(detector.model().name(), "SEVulDet(CNN-MultiATT)");
+
+  const std::string a = ::testing::TempDir() + "cnn_pin_a.bin";
+  const std::string b = ::testing::TempDir() + "cnn_pin_b.bin";
+  detector.save(a);
+  detector.save(b);
+
+  auto read_all = [](const std::string& path) {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string bytes;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+    return bytes;
+  };
+  const std::string bytes_a = read_all(a);
+  const std::string bytes_b = read_all(b);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a.substr(0, 18), "SEVULDET-MODEL v2\n");
+  EXPECT_EQ(bytes_a, bytes_b);
+}
