@@ -10,6 +10,17 @@
 //   micro_serve --model MODEL [--socket SOCK] [--qps "50,100,200"]
 //               [--secs S] [--clients C] [--reps R] [--json PATH]
 //               [--precision fp32|fp16|int8]
+//               [--telemetry] [--telemetry-compare]
+//
+// --telemetry self-hosts the daemon with the live telemetry plane on
+// (snapshotter thread + structured access log + per-request trace IDs)
+// and records rows under bench.telemetry.* instead of bench.*.
+// --telemetry-compare runs the closed-loop saturation pass twice on
+// self-hosted daemons — telemetry off, then on — and records both
+// bench.closed.* and bench.telemetry.closed.* into ONE snapshot, so
+// check_bench.py's machine-independent `speedups` ratio rule
+// (BENCH_telemetry.json: on/off >= 0.99) gates the < 1% exposition
+// overhead without wall-clock flakiness.
 //
 // --precision runs the whole sweep at that forward precision: the
 // in-process reference findings AND the self-hosted daemon both use it,
@@ -264,6 +275,14 @@ int main(int argc, char** argv) {
   int clients = 4;
   int reps = bench::env_int("SEVULDET_BENCH_REPS", 2);
   sevuldet::models::Precision precision = sevuldet::models::Precision::kFp32;
+  bool telemetry = false;
+  bool telemetry_compare = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry") == 0) telemetry = true;
+    if (std::strcmp(argv[i], "--telemetry-compare") == 0) {
+      telemetry_compare = true;
+    }
+  }
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--model") == 0) model_path = argv[i + 1];
     if (std::strcmp(argv[i], "--socket") == 0) socket_path = argv[i + 1];
@@ -307,16 +326,89 @@ int main(int argc, char** argv) {
   detector.load(model_path);
   const Workload workload = build_workload(detector, precision);
 
-  std::optional<serve::Server> self_hosted;
-  std::thread server_thread;
-  const bool external = serve::Client::connect(socket_path).has_value();
-  if (!external) {
+  // Self-hosted daemon options; `telemetry_on` adds the live plane the
+  // way the obs-gate runs it: snapshotter + access log (slow tracing
+  // stays off — it only triggers on outliers and is gated separately).
+  auto server_options = [&](bool telemetry_on) {
     serve::ServeOptions options;
     options.socket_path = socket_path;
     options.threads = std::max(2, bench::bench_threads());
     options.queue_depth = 256;
     options.precision = precision;
-    self_hosted.emplace(detector, options);
+    if (telemetry_on) {
+      options.telemetry = true;
+      options.telemetry_interval_ms = 250.0;
+      options.access_log_path = socket_path + ".access.log";
+    }
+    return options;
+  };
+
+  if (telemetry_compare) {
+    // Paired closed-loop pass: same process, same workload, back to
+    // back — only the telemetry plane differs. Both rows land in one
+    // snapshot so the BENCH_telemetry.json speedups rule can hold the
+    // on/off throughput ratio >= 0.99 machine-independently.
+    std::atomic<long long> compare_mismatches{0};
+    auto closed_reps = [&](bool telemetry_on) {
+      serve::Server server(detector, server_options(telemetry_on));
+      std::thread thread([&] { server.run(); });
+      for (int i = 0; i < 500 && ::access(socket_path.c_str(), F_OK) != 0;
+           ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      LevelResult best;
+      for (int rep = 0; rep < reps; ++rep) {
+        keep_best(best,
+                  run_closed_loop(socket_path, workload, secs, clients,
+                                  compare_mismatches),
+                  rep == 0);
+      }
+      server.request_shutdown();
+      thread.join();
+      return best;
+    };
+    std::printf(
+        "telemetry-compare: closed loop, telemetry off then on "
+        "(%d client(s), %d rep(s), %.1fs each)\n",
+        clients, reps, secs);
+    const LevelResult off = closed_reps(false);
+    const LevelResult on = closed_reps(true);
+    std::remove((socket_path + ".access.log").c_str());
+    record_level("bench.closed", off);
+    record_level("bench.telemetry.closed", on);
+    const double ratio =
+        off.achieved_rps > 0.0 ? on.achieved_rps / off.achieved_rps : 0.0;
+    sevuldet::util::Table table(
+        {"telemetry", "p50 ms", "p95 ms", "p99 ms", "achieved rps"});
+    table.add_row({"off", sevuldet::util::fmt(off.p50_ms, 2),
+                   sevuldet::util::fmt(off.p95_ms, 2),
+                   sevuldet::util::fmt(off.p99_ms, 2),
+                   sevuldet::util::fmt(off.achieved_rps, 1)});
+    table.add_row({"on", sevuldet::util::fmt(on.p50_ms, 2),
+                   sevuldet::util::fmt(on.p95_ms, 2),
+                   sevuldet::util::fmt(on.p99_ms, 2),
+                   sevuldet::util::fmt(on.achieved_rps, 1)});
+    std::printf("%s", table.to_string().c_str());
+    std::printf("telemetry-on/off throughput ratio: %.4f\n", ratio);
+    const bool identical = compare_mismatches.load() == 0;
+    sevuldet::util::metrics::label_set("bench.findings_identical",
+                                       identical ? "true" : "false");
+    sevuldet::util::metrics::gauge_set("bench.clients", clients);
+    sevuldet::util::metrics::gauge_set("bench.secs_per_level", secs);
+    std::printf("findings identical to in-process detect: %s\n",
+                identical ? "yes" : "NO");
+    if (!json_path.empty()) {
+      sevuldet::util::metrics::write_json(json_path);
+      std::printf("recorded %s\n", json_path.c_str());
+    }
+    return identical ? 0 : 4;
+  }
+
+  std::optional<serve::Server> self_hosted;
+  std::thread server_thread;
+  const bool external = serve::Client::connect(socket_path).has_value();
+  if (!external) {
+    self_hosted.emplace(detector, server_options(telemetry));
     server_thread = std::thread([&] { self_hosted->run(); });
     for (int i = 0; i < 500 && ::access(socket_path.c_str(), F_OK) != 0; ++i) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -348,11 +440,14 @@ int main(int argc, char** argv) {
   }
 
   // fp32 rows keep the historical bench.* names; quantized sweeps nest
-  // under bench.<precision>.* so one baseline holds both side by side.
-  const std::string row_prefix =
+  // under bench.<precision>.*, telemetry-on sweeps under
+  // <prefix>.telemetry.*, so one baseline holds the variants side by
+  // side.
+  std::string row_prefix =
       precision == sevuldet::models::Precision::kFp32
           ? std::string("bench")
           : std::string("bench.") + sevuldet::models::precision_name(precision);
+  if (telemetry && !external) row_prefix += ".telemetry";
   sevuldet::util::Table table(
       {"load", "p50 ms", "p95 ms", "p99 ms", "achieved rps"});
   for (std::size_t i = 0; i < levels.size(); ++i) {

@@ -28,11 +28,17 @@
 //       micro-batching gadgets across concurrent requests.
 //   sevuldet shutdown --socket /tmp/sevuldet.sock
 //       Drain and stop a running daemon.
+//   sevuldet top --socket /tmp/sevuldet.sock
+//       Live view of a running daemon (QPS, latency percentiles, error
+//       rates, queue depth, batch occupancy, RSS) by polling the
+//       `metrics` op; --json / --prom print one machine-readable scrape.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -49,6 +55,7 @@
 #include "sevuldet/serve/server.hpp"
 #include "sevuldet/slicer/gadget.hpp"
 #include "sevuldet/util/metrics.hpp"
+#include "sevuldet/util/mini_json.hpp"
 #include "sevuldet/util/strings.hpp"
 #include "sevuldet/util/table.hpp"
 #include "sevuldet/util/trace.hpp"
@@ -79,8 +86,30 @@ int usage() {
                "  sevuldet serve --model MODEL --socket SOCK [--threads N]\n"
                "                 [--queue-depth N] [--batch N]\n"
                "                 [--batch-window MS] [--deadline MS]\n"
-               "                 [--precision P]\n"
+               "                 [--precision P] [--no-telemetry]\n"
+               "                 [--telemetry-interval MS] [--history N]\n"
+               "                 [--access-log FILE [--access-log-max-bytes N]\n"
+               "                  [--access-log-max-files N]]\n"
+               "                 [--slow-trace-ms MS --slow-trace-dir DIR\n"
+               "                  [--slow-trace-max N]]\n"
                "  sevuldet shutdown --socket SOCK\n"
+               "  sevuldet top --socket SOCK [--json | --prom]\n"
+               "               [--interval SECS] [--count N] [--history N]\n"
+               "\n"
+               "  serve runs with the live telemetry plane on by default: the\n"
+               "  daemon answers the `metrics` op (registry snapshot as JSON or\n"
+               "  Prometheus text + a resource-sample history ring), assigns\n"
+               "  every request a trace_id, and — when --access-log is set —\n"
+               "  writes one schema-v1 JSON line per request to a size-rotated\n"
+               "  log. --slow-trace-ms M dumps a Chrome trace (trace_id in the\n"
+               "  span args) for every request slower than M ms into\n"
+               "  --slow-trace-dir, keeping at most --slow-trace-max files.\n"
+               "  scan --trace-id ID tags a daemon scan so its access-log line\n"
+               "  and any slow-trace dump are joinable to this invocation.\n"
+               "\n"
+               "  top polls a daemon's `metrics` op: default is a refreshing\n"
+               "  terminal view (every --interval secs, --count polls); --json\n"
+               "  prints one raw scrape, --prom one Prometheus exposition.\n"
                "\n"
                "  scan --daemon SOCK sends the file to a running serve\n"
                "  daemon (same findings, model stays loaded); when no daemon\n"
@@ -323,7 +352,10 @@ int cmd_scan(int argc, char** argv) {
   if (const char* sock = arg_value(argc, argv, "--daemon")) {
     auto client = serve::Client::connect(sock);
     if (client.has_value()) {
-      return print_findings(argv[0], client->scan(source));
+      const char* trace_id = arg_value(argc, argv, "--trace-id");
+      return print_findings(
+          argv[0], client->scan(source, 10, false, -1.0, 60000,
+                                trace_id != nullptr ? trace_id : ""));
     }
     std::fprintf(stderr, "no daemon at %s; scanning in-process\n", sock);
   }
@@ -379,11 +411,45 @@ int cmd_serve(int argc, char** argv) {
   }
   if (!apply_precision_flag(argc, argv, &options.precision)) return usage();
 
+  // The live telemetry plane defaults ON for the CLI daemon (embedded
+  // Server instances in tests/benches keep it off unless asked).
+  options.telemetry = !has_flag(argc, argv, "--no-telemetry");
+  if (const char* interval = arg_value(argc, argv, "--telemetry-interval")) {
+    options.telemetry_interval_ms = std::atof(interval);
+  }
+  if (const char* history = arg_value(argc, argv, "--history")) {
+    options.history_capacity = std::atoi(history);
+  }
+  if (const char* log_path = arg_value(argc, argv, "--access-log")) {
+    options.access_log_path = log_path;
+    if (const char* bytes = arg_value(argc, argv, "--access-log-max-bytes")) {
+      options.access_log_max_bytes =
+          static_cast<std::size_t>(std::atoll(bytes));
+    }
+    if (const char* files = arg_value(argc, argv, "--access-log-max-files")) {
+      options.access_log_max_files = std::atoi(files);
+    }
+  }
+  if (const char* slow = arg_value(argc, argv, "--slow-trace-ms")) {
+    options.slow_trace_ms = std::atof(slow);
+    const char* dir = arg_value(argc, argv, "--slow-trace-dir");
+    if (dir == nullptr) {
+      std::fprintf(stderr, "--slow-trace-ms requires --slow-trace-dir\n");
+      return usage();
+    }
+    options.slow_trace_dir = dir;
+    if (const char* max_files = arg_value(argc, argv, "--slow-trace-max")) {
+      options.slow_trace_max_files = std::atoi(max_files);
+    }
+  }
+
   serve::Server server(detector, options);
   std::printf(
-      "serving on %s (%d worker(s), queue depth %d, batch %d/%.1fms, %s)\n",
+      "serving on %s (%d worker(s), queue depth %d, batch %d/%.1fms, %s, "
+      "telemetry %s)\n",
       socket_path, options.threads, options.queue_depth, options.max_batch,
-      options.batch_window_ms, models::precision_name(options.precision));
+      options.batch_window_ms, models::precision_name(options.precision),
+      options.telemetry ? "on" : "off");
   std::fflush(stdout);
   server.run();
   std::printf("shutdown complete: %s\n", server.status_json().c_str());
@@ -402,6 +468,180 @@ int cmd_shutdown(int argc, char** argv) {
   }
   client->shutdown();
   std::printf("daemon at %s is shutting down\n", socket_path);
+  return 0;
+}
+
+/// One polled view of a daemon's metrics payload, decoded from the
+/// `metrics` op JSON for the terminal renderer.
+struct TopSample {
+  double polled_at = 0.0;  // client steady-clock seconds
+  long long requests = 0;
+  long long errors = 0;
+  std::map<std::string, long long> errors_by_code;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  long long batch_flushes = 0, batch_gadgets = 0;
+  double queue_depth = 0.0, rss_bytes = 0.0;
+  double cpu_user = 0.0, cpu_sys = 0.0, open_fds = 0.0;
+  /// QPS derived from the daemon's own history ring (last two samples),
+  /// so even the first poll can show a rate. <0 = unknown.
+  double ring_qps = -1.0;
+};
+
+TopSample decode_top_sample(const std::string& payload) {
+  using util::mini_json::Parser;
+  using util::mini_json::Value;
+  TopSample sample;
+  sample.polled_at = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+  Value doc = Parser(payload).parse();
+  const Value& metrics = doc.at("metrics");
+  if (metrics.has("counters")) {
+    for (const auto& [name, value] : metrics.at("counters").object) {
+      const long long count = static_cast<long long>(value.number);
+      if (name == "serve.requests") sample.requests = count;
+      if (name == "serve.batch.flushes") sample.batch_flushes = count;
+      if (name == "serve.batch.gadgets") sample.batch_gadgets = count;
+      if (name.rfind("serve.errors.", 0) == 0) {
+        sample.errors_by_code[name.substr(13)] = count;
+        sample.errors += count;
+      }
+    }
+  }
+  if (metrics.has("gauges")) {
+    const Value& gauges = metrics.at("gauges");
+    if (gauges.has("serve.queue_depth")) {
+      sample.queue_depth = gauges.at("serve.queue_depth").number;
+    }
+    if (gauges.has("proc.rss_bytes")) {
+      sample.rss_bytes = gauges.at("proc.rss_bytes").number;
+    }
+    if (gauges.has("proc.cpu_user_seconds")) {
+      sample.cpu_user = gauges.at("proc.cpu_user_seconds").number;
+    }
+    if (gauges.has("proc.cpu_sys_seconds")) {
+      sample.cpu_sys = gauges.at("proc.cpu_sys_seconds").number;
+    }
+    if (gauges.has("proc.open_fds")) {
+      sample.open_fds = gauges.at("proc.open_fds").number;
+    }
+  }
+  if (metrics.has("histograms") &&
+      metrics.at("histograms").has("serve.request_ms")) {
+    const Value& hist = metrics.at("histograms").at("serve.request_ms");
+    sample.p50_ms = hist.at("p50").number;
+    sample.p95_ms = hist.at("p95").number;
+    sample.p99_ms = hist.at("p99").number;
+  }
+  if (doc.has("history") && doc.at("history").array.size() >= 2) {
+    const auto& history = doc.at("history").array;
+    const Value& a = history[history.size() - 2];
+    const Value& b = history[history.size() - 1];
+    const double dt = b.at("unix_seconds").number - a.at("unix_seconds").number;
+    if (dt > 0.0) {
+      sample.ring_qps =
+          (b.at("requests").number - a.at("requests").number) / dt;
+    }
+  }
+  return sample;
+}
+
+void render_top(const char* socket_path, const TopSample& now,
+                const TopSample* previous, double interval_s, bool clear) {
+  if (clear) std::printf("\x1b[2J\x1b[H");  // ANSI clear + home
+  double qps = now.ring_qps;
+  if (previous != nullptr && now.polled_at > previous->polled_at) {
+    qps = static_cast<double>(now.requests - previous->requests) /
+          (now.polled_at - previous->polled_at);
+  }
+  std::printf("sevuldet top — %s (every %.1fs)\n\n", socket_path, interval_s);
+  if (qps >= 0.0) {
+    std::printf("  qps        %10.1f\n", qps);
+  } else {
+    std::printf("  qps        %10s\n", "-");
+  }
+  std::printf("  requests   %10lld   errors %lld\n", now.requests, now.errors);
+  std::printf("  latency ms  p50 %.2f   p95 %.2f   p99 %.2f\n", now.p50_ms,
+              now.p95_ms, now.p99_ms);
+  std::printf("  queue      %10.0f\n", now.queue_depth);
+  if (now.batch_flushes > 0) {
+    std::printf("  batch      %10.2f gadgets/flush (%lld flushes)\n",
+                static_cast<double>(now.batch_gadgets) /
+                    static_cast<double>(now.batch_flushes),
+                now.batch_flushes);
+  } else {
+    std::printf("  batch      %10s\n", "-");
+  }
+  std::printf("  rss        %10.1f MiB\n", now.rss_bytes / (1024.0 * 1024.0));
+  std::printf("  cpu        user %.1fs   sys %.1fs   fds %.0f\n", now.cpu_user,
+              now.cpu_sys, now.open_fds);
+  if (!now.errors_by_code.empty()) {
+    std::printf("  errors by code:");
+    for (const auto& [code, count] : now.errors_by_code) {
+      if (count > 0) std::printf(" %s=%lld", code.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+/// `sevuldet top`: live view of a running daemon via the metrics op.
+int cmd_top(int argc, char** argv) {
+  const char* socket_path = arg_value(argc, argv, "--socket");
+  if (socket_path == nullptr) return usage();
+  const bool json_mode = has_flag(argc, argv, "--json");
+  const bool prom_mode = has_flag(argc, argv, "--prom");
+  double interval_s = 2.0;
+  if (const char* interval = arg_value(argc, argv, "--interval")) {
+    interval_s = std::max(0.1, std::atof(interval));
+  }
+  int history = 120;
+  if (const char* h = arg_value(argc, argv, "--history")) {
+    history = std::atoi(h);
+  }
+  int count = json_mode || prom_mode ? 1 : 0;  // 0 = until interrupted
+  if (const char* c = arg_value(argc, argv, "--count")) count = std::atoi(c);
+
+  auto client = serve::Client::connect(socket_path);
+  if (!client.has_value()) {
+    std::fprintf(stderr, "no daemon at %s\n", socket_path);
+    return 1;
+  }
+  if (prom_mode) {
+    for (int i = 0; i != count; ++i) {
+      const std::string payload = client->metrics("prometheus", history);
+      util::mini_json::Value doc = util::mini_json::Parser(payload).parse();
+      std::printf("%s", doc.at("exposition").str.c_str());
+      std::fflush(stdout);
+      if (i + 1 != count) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+      }
+    }
+    return 0;
+  }
+  if (json_mode) {
+    for (int i = 0; i != count; ++i) {
+      std::printf("%s\n", client->metrics("json", history).c_str());
+      std::fflush(stdout);
+      if (i + 1 != count) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+      }
+    }
+    return 0;
+  }
+  TopSample previous;
+  bool have_previous = false;
+  for (int i = 0; i != count; ++i) {
+    const TopSample sample =
+        decode_top_sample(client->metrics("json", history));
+    render_top(socket_path, sample, have_previous ? &previous : nullptr,
+               interval_s, /*clear=*/i > 0);
+    previous = sample;
+    have_previous = true;
+    if (i + 1 != count) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    }
+  }
   return 0;
 }
 
@@ -645,6 +885,7 @@ int main(int argc, char** argv) {
     if (command == "report") return cmd_report(argc - 2, argv + 2);
     if (command == "serve") return cmd_serve(argc - 2, argv + 2);
     if (command == "shutdown") return cmd_shutdown(argc - 2, argv + 2);
+    if (command == "top") return cmd_top(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;

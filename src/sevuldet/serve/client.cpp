@@ -23,12 +23,14 @@ Response Client::roundtrip(Request request, int timeout_ms) {
 
 std::vector<core::Finding> Client::scan(const std::string& source, int top_k,
                                         bool explain, double deadline_ms,
-                                        int timeout_ms) {
+                                        int timeout_ms,
+                                        const std::string& trace_id) {
   Request request;
   request.op = explain ? Op::Explain : Op::Scan;
   request.source = source;
   request.top_k = top_k;
   request.deadline_ms = deadline_ms;
+  request.trace_id = trace_id;
   Response response = roundtrip(std::move(request), timeout_ms);
   if (response.error.has_value()) {
     throw DaemonError(response.error->code, response.error->message);
@@ -60,6 +62,22 @@ std::string Client::report_status(int timeout_ms) {
   Response response = roundtrip(std::move(request), timeout_ms);
   if (response.error.has_value()) {
     throw DaemonError(response.error->code, response.error->message);
+  }
+  return std::move(response.status_json);
+}
+
+std::string Client::metrics(const std::string& format, int history,
+                            int timeout_ms) {
+  Request request;
+  request.op = Op::Metrics;
+  request.format = format;
+  request.history = history;
+  Response response = roundtrip(std::move(request), timeout_ms);
+  if (response.error.has_value()) {
+    throw DaemonError(response.error->code, response.error->message);
+  }
+  if (!response.ok || response.status_json.empty()) {
+    throw std::runtime_error("daemon replied without a metrics payload");
   }
   return std::move(response.status_json);
 }

@@ -49,10 +49,13 @@ class Client {
   /// identical to an in-process detect() with the same options. Throws
   /// DaemonError on a typed error response. `deadline_ms` < 0 uses the
   /// server default.
+  /// `trace_id` (optional) propagates a client-chosen request ID into
+  /// the daemon's access log and slow-trace dumps.
   std::vector<core::Finding> scan(const std::string& source, int top_k = 10,
                                   bool explain = false,
                                   double deadline_ms = -1.0,
-                                  int timeout_ms = 60000);
+                                  int timeout_ms = 60000,
+                                  const std::string& trace_id = std::string());
 
   /// Directory scan through the daemon: the server runs the same
   /// parallel scan frontend as an in-process core::scan_tree, so the
@@ -65,6 +68,14 @@ class Client {
 
   /// The daemon's status object as raw JSON.
   std::string report_status(int timeout_ms = 60000);
+
+  /// The daemon's live metrics payload as raw JSON:
+  /// {"format":..., "metrics":{...}|"exposition":"...", "history":[..]}.
+  /// `format` is "json" or "prometheus"; `history` asks for that many
+  /// trailing resource-ring samples. Note the returned JSON is the
+  /// parse_response re-emission (keys sorted).
+  std::string metrics(const std::string& format = "json", int history = 0,
+                      int timeout_ms = 60000);
 
   /// Ask the daemon to drain and exit; returns once the ack arrives.
   void shutdown(int timeout_ms = 60000);

@@ -18,6 +18,7 @@ const char* op_name(Op op) {
     case Op::Explain: return "explain";
     case Op::ScanTree: return "scan-tree";
     case Op::ReportStatus: return "report-status";
+    case Op::Metrics: return "metrics";
     case Op::Shutdown: return "shutdown";
   }
   return "?";
@@ -50,6 +51,7 @@ std::optional<Op> op_from_name(const std::string& name) {
   if (name == "explain") return Op::Explain;
   if (name == "scan-tree") return Op::ScanTree;
   if (name == "report-status") return Op::ReportStatus;
+  if (name == "metrics") return Op::Metrics;
   if (name == "shutdown") return Op::Shutdown;
   return std::nullopt;
 }
@@ -362,9 +364,19 @@ std::string request_to_json(const Request& request) {
     out += ",\"top_k\":";
     json::append_number(out, request.top_k);
   }
+  if (request.op == Op::Metrics) {
+    out += ",\"format\":";
+    json::append_string(out, request.format);
+    out += ",\"history\":";
+    json::append_number(out, request.history);
+  }
   if (request.deadline_ms >= 0.0) {
     out += ",\"deadline_ms\":";
     json::append_number(out, request.deadline_ms);
+  }
+  if (!request.trace_id.empty()) {
+    out += ",\"trace_id\":";
+    json::append_string(out, request.trace_id);
   }
   out += '}';
   return out;
@@ -393,12 +405,27 @@ Request parse_request(const std::string& text) {
       if (request.top_k < 0) throw std::runtime_error("top_k must be >= 0");
     }
   }
+  if (request.op == Op::Metrics) {
+    if (doc.has("format")) {
+      request.format = doc.at("format").str;
+      if (request.format != "json" && request.format != "prometheus") {
+        throw std::runtime_error("unknown metrics format: " + request.format);
+      }
+    }
+    if (doc.has("history")) {
+      request.history = static_cast<int>(doc.at("history").number);
+      if (request.history < 0) {
+        throw std::runtime_error("history must be >= 0");
+      }
+    }
+  }
   if (doc.has("deadline_ms")) {
     request.deadline_ms = doc.at("deadline_ms").number;
     if (request.deadline_ms < 0.0) {
       throw std::runtime_error("deadline_ms must be >= 0");
     }
   }
+  if (doc.has("trace_id")) request.trace_id = doc.at("trace_id").str;
   return request;
 }
 
@@ -420,6 +447,10 @@ std::string response_to_json(const Response& response) {
   } else if (response.ok) {
     out += ",\"findings\":";
     out += findings_to_json(response.findings);
+  }
+  if (!response.trace_id.empty()) {
+    out += ",\"trace_id\":";
+    json::append_string(out, response.trace_id);
   }
   out += '}';
   return out;
@@ -449,6 +480,7 @@ Response parse_response(const std::string& text) {
   if (doc.has("status")) {
     append_value(response.status_json, doc.at("status"));
   }
+  if (doc.has("trace_id")) response.trace_id = doc.at("trace_id").str;
   return response;
 }
 

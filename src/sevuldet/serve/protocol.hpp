@@ -3,18 +3,29 @@
 // answered by exactly one response frame, in order, per connection.
 //
 // Request:
-//   { "op": "scan" | "explain" | "scan-tree" | "report-status" | "shutdown",
+//   { "op": "scan" | "explain" | "scan-tree" | "report-status"
+//           | "metrics" | "shutdown",
 //     "id": <client-chosen number, echoed back>,
 //     "source": "<C translation unit>",        // scan/explain
 //     "root": "<directory to scan>",           // scan-tree
 //     "top_k": 10,                             // optional
-//     "deadline_ms": 10000 }                   // optional, 0 = already due
+//     "deadline_ms": 10000,                    // optional, 0 = already due
+//     "trace_id": "req-1",                     // optional request ID
+//     "format": "json" | "prometheus",         // metrics
+//     "history": 60 }                          // metrics: ring samples
 //
 // Success response:
 //   { "id": n, "ok": true, "findings": [...] }          // scan/explain
 //   { "id": n, "ok": true, "status": {...} }            // report-status
 //   { "id": n, "ok": true, "status": {...tree...} }     // scan-tree
+//   { "id": n, "ok": true, "status": {"format":...,     // metrics
+//       "metrics": {...} | "exposition": "...",
+//       "history": [...]} }
 //   { "id": n, "ok": true }                             // shutdown
+//
+// Every response from a telemetry-era daemon also carries "trace_id":
+// the request's ID (client-propagated or server-generated) that joins
+// the reply to its access-log line and any slow-trace dump.
 //
 // scan-tree replies carry the tree_scan_to_json() document in the
 // status slot; Client::scan_tree parses it back to a TreeScanResult
@@ -42,7 +53,7 @@
 
 namespace sevuldet::serve {
 
-enum class Op { Scan, Explain, ScanTree, ReportStatus, Shutdown };
+enum class Op { Scan, Explain, ScanTree, ReportStatus, Metrics, Shutdown };
 
 const char* op_name(Op op);
 
@@ -69,6 +80,16 @@ struct Request {
   /// <0 selects the server default; 0 is "already due" (rejected at
   /// admission — the deterministic deadline test relies on this).
   double deadline_ms = -1.0;
+  /// Optional client-chosen request ID, echoed in the response and
+  /// attached to the daemon's access-log line and slow-trace dump for
+  /// this request. When empty the server generates one.
+  std::string trace_id;
+  /// Metrics op only: exposition format, "json" (default — the raw
+  /// registry snapshot document) or "prometheus" (text exposition).
+  std::string format = "json";
+  /// Metrics op only: number of trailing resource-ring samples to
+  /// include in the response (0 = none, capped by the server's ring).
+  int history = 0;
 };
 
 struct ErrorInfo {
@@ -82,6 +103,9 @@ struct Response {
   std::vector<core::Finding> findings;  // scan/explain
   std::string status_json;              // report-status: raw "status" object
   std::optional<ErrorInfo> error;
+  /// Request ID this response answers (client-propagated or
+  /// server-generated); empty from daemons predating the telemetry op.
+  std::string trace_id;
 };
 
 /// Request <-> JSON. parse_request throws std::runtime_error on

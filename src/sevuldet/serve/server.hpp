@@ -34,6 +34,19 @@
 // serve.queue (admission -> dequeue, recorded cross-thread),
 // serve.infer (prepare + batched scoring), serve.batch (one CNN batch
 // flush, in the batcher), serve.reply (serialize + send).
+//
+// Live telemetry (ServeOptions::telemetry): the `metrics` op answers
+// with the registry (JSON snapshot or Prometheus text) plus a bounded
+// resource-sample history ring filled by a snapshotter thread
+// (telemetry.snapshot span; proc.rss_bytes / proc.cpu_*_seconds /
+// proc.open_fds / serve.queue_depth gauges). Every request gets a
+// trace_id (client-propagated or server-generated), echoed in the
+// response, written to the structured access log (one schema-v1 JSON
+// line per request through a rotating file sink), and stamped into the
+// args of tail-sampled slow-request trace dumps
+// (serve.slowtrace.captured counts them). The metrics op is handled
+// inline on the connection thread — like report-status — so scrapes
+// keep working when the admission queue is full.
 #pragma once
 
 #include <atomic>
@@ -47,9 +60,14 @@
 #include <thread>
 #include <vector>
 
+#include <cstdint>
+#include <memory>
+
 #include "sevuldet/core/pipeline.hpp"
 #include "sevuldet/serve/batcher.hpp"
 #include "sevuldet/serve/protocol.hpp"
+#include "sevuldet/serve/telemetry.hpp"
+#include "sevuldet/util/log.hpp"
 #include "sevuldet/util/socket.hpp"
 
 namespace sevuldet::serve {
@@ -70,6 +88,30 @@ struct ServeOptions {
   /// clones inherit it. fp32 replies are byte-identical to in-process
   /// scans; fp16/int8 trade bounded score drift for throughput.
   models::Precision precision = models::Precision::kFp32;
+
+  /// Live telemetry plane (PR 10). Off by default so embedded servers
+  /// (tests, benches) keep the registry exactly as they configured it;
+  /// the `sevuldet serve` CLI turns it on unless --no-telemetry.
+  /// When on: run() enables the metrics registry, starts the resource
+  /// snapshotter thread (proc.* gauges + the history ring served by the
+  /// `metrics` op), generates a trace_id per request, and — when the
+  /// paths below are set — writes access-log lines and slow-trace
+  /// dumps.
+  bool telemetry = false;
+  double telemetry_interval_ms = 1000.0;  // snapshotter period
+  int history_capacity = 300;             // resource-ring bound (~5 min)
+  /// Structured access log: one schema-v1 JSON line per finished
+  /// request, size-rotated. Empty path = no access log.
+  std::string access_log_path;
+  std::size_t access_log_max_bytes = 8u << 20;
+  int access_log_max_files = 4;
+  /// Tail-based slow-request tracing: requests slower than this get a
+  /// Chrome-trace dump (trace_id in span args) into slow_trace_dir,
+  /// bounded at slow_trace_max_files. <0 disables; 0 captures every
+  /// request (the CI forced-slow probe). Requires telemetry.
+  double slow_trace_ms = -1.0;
+  std::string slow_trace_dir;
+  int slow_trace_max_files = 16;
 };
 
 class Server {
@@ -99,17 +141,37 @@ class Server {
 
   const ServeOptions& options() const { return options_; }
 
+  /// The `metrics` op payload: {"format":..., "metrics": <registry
+  /// snapshot> | "exposition": "<prometheus text>", "history":[...]}.
+  std::string metrics_json(const std::string& format, int history) const;
+
  private:
+  /// Worker-measured timings handed back to the connection thread
+  /// through the Job (the promise/future pair orders the writes): queue
+  /// wait, inference time, and gadgets scored, for the access log.
+  struct RequestTiming {
+    double queue_ms = 0.0;
+    double infer_ms = 0.0;
+    int batch_size = 0;
+  };
+
   struct Job {
     Request request;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;
     std::promise<Response> promise;
+    RequestTiming* timing = nullptr;  // connection-thread stack slot
   };
 
   void worker_loop();
   void handle_connection(util::UnixStream stream);
   Response process(Job& job);
+  void snapshot_loop();
+  void take_resource_sample();
+  std::string next_trace_id();
+  void finish_request(const char* op_label, const Response& response,
+                      const RequestTiming& timing, std::size_t request_bytes,
+                      std::size_t response_bytes, double total_ms);
 
   core::SeVulDet& detector_;
   ServeOptions options_;
@@ -132,11 +194,25 @@ class Server {
   std::atomic<long long> requests_explain_{0};
   std::atomic<long long> requests_scan_tree_{0};
   std::atomic<long long> requests_status_{0};
+  std::atomic<long long> requests_metrics_{0};
   std::atomic<long long> requests_shutdown_{0};
   std::atomic<long long> errors_{0};
   std::atomic<long long> connections_total_{0};
   std::atomic<int> connections_active_{0};
   std::atomic<int> queue_peak_{0};
+  std::atomic<long long> requests_total_{0};  // all ops, for QPS deltas
+
+  // Telemetry plane (all null / idle when options_.telemetry is off).
+  std::unique_ptr<telemetry::SampleRing> ring_;
+  std::unique_ptr<util::RotatingFileSink> access_log_;
+  std::unique_ptr<telemetry::SlowTraceWriter> slow_traces_;
+  std::atomic<std::uint64_t> trace_seq_{0};
+  std::thread snapshotter_;
+  std::mutex snapshot_mu_;
+  std::condition_variable snapshot_cv_;
+  bool snapshot_stop_ = false;
+  std::string precision_name_;  // cached for access-log lines
+  std::string backend_name_;
 };
 
 }  // namespace sevuldet::serve

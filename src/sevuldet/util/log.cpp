@@ -1,16 +1,26 @@
 #include "sevuldet/util/log.hpp"
 
 #include <atomic>
-#include <cstdio>
-#include <mutex>
+#include <stdexcept>
+#include <utility>
 
 namespace sevuldet::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Info};
-std::mutex g_sink_mutex;
 
-const char* level_name(LogLevel level) {
+std::mutex& sink_mutex() {
+  static std::mutex* m = new std::mutex;  // leaked: usable during exit
+  return *m;
+}
+
+std::shared_ptr<LogSink>& sink_slot() {
+  static std::shared_ptr<LogSink>* slot = new std::shared_ptr<LogSink>;
+  return *slot;
+}
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::Debug: return "DEBUG";
     case LogLevel::Info: return "INFO";
@@ -20,7 +30,6 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
 void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
@@ -28,17 +37,111 @@ void set_log_level(LogLevel level) {
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+std::shared_ptr<LogSink> set_log_sink(std::shared_ptr<LogSink> sink) {
+  std::lock_guard lock(sink_mutex());
+  std::shared_ptr<LogSink> previous = std::move(sink_slot());
+  sink_slot() = std::move(sink);
+  return previous;
+}
+
 void log(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) <
       static_cast<int>(g_level.load(std::memory_order_relaxed))) {
     return;
   }
-  // One fprintf per message is atomic enough on POSIX, but the mutex
-  // also keeps messages whole if the sink ever becomes line-buffered or
-  // multi-write; it is uncontended in the common single-logger case.
-  std::lock_guard lock(g_sink_mutex);
-  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+  // The mutex both keeps messages whole and makes sink swaps safe: a
+  // writer holds it for the whole write, so set_log_sink cannot retire
+  // the sink mid-line. It is uncontended in the common single-logger
+  // case.
+  std::lock_guard lock(sink_mutex());
+  LogSink* sink = sink_slot().get();
+  if (sink != nullptr) {
+    sink->write(level, message);
+    if (level >= LogLevel::Error) sink->flush();
+    return;
+  }
+  std::fprintf(stderr, "[%s] %.*s\n", log_level_name(level),
                static_cast<int>(message.size()), message.data());
+  if (level >= LogLevel::Error) std::fflush(stderr);
+}
+
+RotatingFileSink::RotatingFileSink(std::string path, std::size_t max_bytes,
+                                   int max_files)
+    : path_(std::move(path)),
+      max_bytes_(max_bytes > 0 ? max_bytes : 1),
+      max_files_(max_files > 0 ? max_files : 1) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("log: cannot open " + path_);
+  }
+  long size = 0;
+  if (std::fseek(file_, 0, SEEK_END) == 0) size = std::ftell(file_);
+  bytes_ = size > 0 ? static_cast<std::size_t>(size) : 0;
+}
+
+RotatingFileSink::~RotatingFileSink() {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void RotatingFileSink::write(LogLevel level, std::string_view line) {
+  std::string formatted;
+  formatted.reserve(line.size() + 16);
+  formatted += '[';
+  formatted += log_level_name(level);
+  formatted += "] ";
+  formatted.append(line.data(), line.size());
+  append_line(formatted, level >= LogLevel::Error);
+}
+
+void RotatingFileSink::flush() {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void RotatingFileSink::append_line(std::string_view line, bool flush_now) {
+  std::lock_guard lock(mutex_);
+  append_locked(line, flush_now);
+}
+
+long long RotatingFileSink::rotations() const {
+  std::lock_guard lock(mutex_);
+  return rotations_;
+}
+
+void RotatingFileSink::rotate_locked() {
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  // path.(max_files-1) falls off the end; everything else shifts up.
+  for (int i = max_files_ - 1; i >= 1; --i) {
+    const std::string from =
+        i == 1 ? path_ : path_ + "." + std::to_string(i - 1);
+    const std::string to = path_ + "." + std::to_string(i);
+    std::remove(to.c_str());
+    std::rename(from.c_str(), to.c_str());
+  }
+  if (max_files_ == 1) std::remove(path_.c_str());
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("log: cannot reopen " + path_ + " after rotation");
+  }
+  bytes_ = 0;
+  ++rotations_;
+}
+
+void RotatingFileSink::append_locked(std::string_view line, bool flush_now) {
+  if (file_ == nullptr) return;
+  const std::size_t needed = line.size() + 1;
+  if (bytes_ > 0 && bytes_ + needed > max_bytes_) rotate_locked();
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  bytes_ += needed;
+  if (flush_now) std::fflush(file_);
 }
 
 }  // namespace sevuldet::util

@@ -1,21 +1,98 @@
 // Minimal leveled logger. Benches run with Info; tests silence it by
 // setting the level to Error. Thread-safe: the level is atomic and the
-// stderr sink is serialized by a mutex, so parallel corpus builds and
-// Hogwild word2vec workers can log without interleaving lines (the
-// original "single-threaded per experiment" assumption died with the
-// PR 1 thread pool).
+// sink is serialized by a mutex, so parallel corpus builds and Hogwild
+// word2vec workers can log without interleaving lines (the original
+// "single-threaded per experiment" assumption died with the PR 1
+// thread pool).
+//
+// The sink is swappable at runtime (set_log_sink): the default writes
+// "[LEVEL] message" lines to stderr; a RotatingFileSink redirects the
+// same lines to a size-rotated file set for long-lived daemons. Swaps
+// happen under the same mutex that serializes writes, so a concurrent
+// logger never races a sink teardown — it either finishes on the old
+// sink or starts on the new one, and lines are never torn. Error-level
+// messages are flushed through the sink immediately (flush-on-fatal),
+// so the tail of the log survives an abort().
 #pragma once
 
+#include <cstddef>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <string_view>
 
 namespace sevuldet::util {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
+const char* log_level_name(LogLevel level);
+
 /// Process-wide minimum level; messages below it are dropped. Safe to
 /// call from any thread at any time.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Destination for formatted log lines. write() receives one complete
+/// line (no trailing newline); the global logger serializes calls, so
+/// implementations only need to be internally consistent when they are
+/// also used directly (RotatingFileSink::append_line has its own lock
+/// for that).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(LogLevel level, std::string_view line) = 0;
+  virtual void flush() {}
+};
+
+/// Size-rotated file sink for long-lived processes. Lines append to
+/// `path`; once the file would exceed `max_bytes` it is rotated:
+/// path.(N-1) is dropped, path.i renames to path.(i+1), and the live
+/// file reopens empty — keeping at most `max_files` files (the live one
+/// plus max_files-1 rotated). Error-level writes flush immediately.
+/// Thread-safe on its own mutex, so it can serve both as the global
+/// logger sink and as a standalone structured-log writer (the serve
+/// access log) at the same time.
+class RotatingFileSink : public LogSink {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened.
+  RotatingFileSink(std::string path, std::size_t max_bytes = 8u << 20,
+                   int max_files = 4);
+  ~RotatingFileSink() override;
+
+  RotatingFileSink(const RotatingFileSink&) = delete;
+  RotatingFileSink& operator=(const RotatingFileSink&) = delete;
+
+  void write(LogLevel level, std::string_view line) override;
+  void flush() override;
+
+  /// Append one raw line (a newline is added) with rotation, flushing
+  /// immediately when `flush_now`. This is the structured-log entry
+  /// point: no level prefix, one JSON document per line.
+  void append_line(std::string_view line, bool flush_now = false);
+
+  const std::string& path() const { return path_; }
+  /// Number of rotations performed since construction.
+  long long rotations() const;
+
+ private:
+  void rotate_locked();
+  void append_locked(std::string_view line, bool flush_now);
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::size_t max_bytes_;
+  int max_files_;
+  std::FILE* file_ = nullptr;
+  std::size_t bytes_ = 0;
+  long long rotations_ = 0;
+};
+
+/// Swap the global sink; nullptr restores the default stderr sink.
+/// Returns the previous sink (nullptr when it was the default). The
+/// swap synchronizes with concurrent log() calls, so the old sink is
+/// safe to destroy as soon as this returns.
+std::shared_ptr<LogSink> set_log_sink(std::shared_ptr<LogSink> sink);
 
 void log(LogLevel level, std::string_view message);
 

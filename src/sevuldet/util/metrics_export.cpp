@@ -1,0 +1,106 @@
+#include "sevuldet/util/metrics_export.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace sevuldet::util::metrics {
+
+namespace {
+
+/// Shortest exact number spelling, matching util/json's convention:
+/// integral values without a decimal point, otherwise %.17g.
+void append_value(std::string& out, double value) {
+  char buffer[64];
+  if (value == static_cast<long long>(value) && value >= -1e15 && value <= 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  out += buffer;
+}
+
+bool legal_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "sevuldet_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out += legal_name_char(c) ? c : '_';
+  return out;
+}
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom;
+    out += ' ';
+    append_value(out, static_cast<double>(value));
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom;
+    out += ' ';
+    append_value(out, value);
+    out += '\n';
+  }
+  if (!snapshot.labels.empty()) {
+    out += "# TYPE sevuldet_label_info gauge\n";
+    for (const auto& [name, value] : snapshot.labels) {
+      out += "sevuldet_label_info{name=\"" + prometheus_escape_label(name) +
+             "\",value=\"" + prometheus_escape_label(value) + "\"} 1\n";
+    }
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // The registry stores per-bucket counts for non-empty buckets only;
+    // the exposition format wants cumulative counts per upper bound.
+    long long cumulative = 0;
+    for (const auto& [bound_ms, count] : histogram.buckets) {
+      cumulative += count;
+      out += prom + "_bucket{le=\"";
+      append_value(out, bound_ms);
+      out += "\"} ";
+      append_value(out, static_cast<double>(cumulative));
+      out += '\n';
+    }
+    out += prom + "_bucket{le=\"+Inf\"} ";
+    append_value(out, static_cast<double>(histogram.count));
+    out += '\n';
+    out += prom + "_sum ";
+    append_value(out, histogram.sum);
+    out += '\n';
+    out += prom + "_count ";
+    append_value(out, static_cast<double>(histogram.count));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_prometheus() { return to_prometheus(snapshot()); }
+
+}  // namespace sevuldet::util::metrics

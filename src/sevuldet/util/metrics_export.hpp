@@ -1,0 +1,47 @@
+// Prometheus text-exposition rendering of a metrics::Snapshot — the
+// wire format the serve daemon's `metrics` op returns so a standard
+// scraper (or `sevuldet top --prom`) can ingest the registry live,
+// instead of waiting for the dump-at-exit --metrics-out JSON.
+//
+// Mapping rules (deterministic — sorted maps in, sorted text out):
+//
+//  - Names: the registry's dotted names ("serve.request_ms") are not
+//    legal Prometheus names, so every exported metric is spelled
+//    "sevuldet_" + name with each character outside [a-zA-Z0-9_:]
+//    replaced by '_' ("sevuldet_serve_request_ms").
+//  - Counters  -> `# TYPE <n> counter` + one un-labeled sample.
+//  - Gauges    -> `# TYPE <n> gauge` + one un-labeled sample.
+//  - Labels    -> a single `sevuldet_label_info` gauge with one sample
+//    per registry label: {name="<registry name>",value="<value>"} 1.
+//    Label values are escaped per the exposition spec (\\, \", \n).
+//  - Histograms (registry unit: milliseconds) -> `# TYPE <n> histogram`
+//    with cumulative `<n>_bucket{le="<bound_ms>"}` samples over the
+//    snapshot's non-empty buckets, a final le="+Inf" bucket equal to
+//    the observation count, then `<n>_sum` and `<n>_count`.
+//
+// Validated by tools/check_metrics.py (charset, bucket cumulativity,
+// counter monotonicity across scrapes) in the CI obs-gate job.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sevuldet/util/metrics.hpp"
+
+namespace sevuldet::util::metrics {
+
+/// "sevuldet_" + `name` with illegal characters replaced by '_'.
+std::string prometheus_name(std::string_view name);
+
+/// Escape a label value per the text exposition format: backslash,
+/// double quote, and newline become \\, \", and \n.
+std::string prometheus_escape_label(std::string_view value);
+
+/// Render a full snapshot as Prometheus text exposition (version 0.0.4
+/// text format). Deterministic for a given snapshot.
+std::string to_prometheus(const Snapshot& snapshot);
+
+/// to_prometheus(snapshot()) convenience on the live registry.
+std::string to_prometheus();
+
+}  // namespace sevuldet::util::metrics

@@ -664,6 +664,178 @@ TEST(ServeDaemon, TreeScanMatchesInProcessByteIdentical) {
   fs::remove_all(root);
 }
 
+// ---------------------------------------------------------------------
+// Telemetry plane end-to-end (ServeOptions::telemetry on).
+
+serve::ServeOptions telemetry_options(const char* tag) {
+  serve::ServeOptions options = test_options(tag);
+  options.telemetry = true;
+  options.telemetry_interval_ms = 50.0;  // fast ring fill for tests
+  return options;
+}
+
+TEST(ServeTelemetry, MetricsOpServesJsonAndPrometheus) {
+  auto& f = fixture();
+  RunningServer running(telemetry_options("metrics"));
+  auto client = serve::Client::connect(running.server.options().socket_path);
+  ASSERT_TRUE(client.has_value());
+  client->scan(f.vulnerable_source);
+
+  mini_json::Value doc = mini_json::parse(client->metrics("json"));
+  EXPECT_EQ("json", doc.at("format").str);
+  EXPECT_GE(doc.at("metrics").at("counters").at("serve.requests").number, 1.0);
+  EXPECT_TRUE(doc.at("metrics").at("gauges").has("proc.rss_bytes"));
+
+  mini_json::Value prom = mini_json::parse(client->metrics("prometheus"));
+  EXPECT_EQ("prometheus", prom.at("format").str);
+  const std::string& text = prom.at("exposition").str;
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE sevuldet_serve_requests counter"));
+  EXPECT_NE(std::string::npos, text.find("sevuldet_serve_request_ms_bucket"));
+}
+
+/// The resource ring fills on the snapshotter's cadence; the history
+/// field returns the newest samples oldest-first with a cumulative
+/// request counter a client can difference into QPS.
+TEST(ServeTelemetry, HistoryReturnsRingSamples) {
+  auto& f = fixture();
+  RunningServer running(telemetry_options("history"));
+  auto client = serve::Client::connect(running.server.options().socket_path);
+  ASSERT_TRUE(client.has_value());
+  client->scan(f.vulnerable_source);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  mini_json::Value doc = mini_json::parse(client->metrics("json", 10));
+  const auto& history = doc.at("history").array;
+  ASSERT_GE(history.size(), 2u);
+  double previous = 0.0;
+  for (const auto& sample : history) {
+    EXPECT_GE(sample.at("unix_seconds").number, previous);
+    previous = sample.at("unix_seconds").number;
+    EXPECT_GT(sample.at("rss_bytes").number, 0.0);
+  }
+  EXPECT_GE(history.back().at("requests").number, 1.0);
+}
+
+TEST(ServeTelemetry, TraceIdPropagatesAndIsMintedWhenAbsent) {
+  auto& f = fixture();
+  RunningServer running(telemetry_options("traceid"));
+  auto client = serve::Client::connect(running.server.options().socket_path);
+  ASSERT_TRUE(client.has_value());
+
+  // Client-chosen IDs echo back verbatim.
+  serve::Request request;
+  request.op = serve::Op::Scan;
+  request.source = f.vulnerable_source;
+  request.trace_id = "my-trace-42";
+  serve::Response response = client->roundtrip(std::move(request));
+  EXPECT_EQ("my-trace-42", response.trace_id);
+
+  // Without one, the telemetry daemon mints a "<pid-hex>-<seq>" ID.
+  serve::Request bare;
+  bare.op = serve::Op::Scan;
+  bare.source = f.vulnerable_source;
+  serve::Response minted = client->roundtrip(std::move(bare));
+  EXPECT_FALSE(minted.trace_id.empty());
+  EXPECT_NE(std::string::npos, minted.trace_id.find('-'));
+}
+
+/// One finished request -> one schema-v1 access-log line carrying the
+/// request's trace_id; the log is complete once run() drains.
+TEST(ServeTelemetry, AccessLogRecordsEveryRequest) {
+  namespace fs = std::filesystem;
+  auto& f = fixture();
+  serve::ServeOptions options = telemetry_options("accesslog");
+  const fs::path log_path =
+      fs::temp_directory_path() /
+      ("sevuldet_access_" + std::to_string(::getpid()) + ".log");
+  fs::remove(log_path);
+  options.access_log_path = log_path.string();
+  {
+    RunningServer running(std::move(options));
+    auto client = serve::Client::connect(running.server.options().socket_path);
+    ASSERT_TRUE(client.has_value());
+    serve::Request request;
+    request.op = serve::Op::Scan;
+    request.source = f.vulnerable_source;
+    request.trace_id = "logged-1";
+    client->roundtrip(std::move(request));
+    client->report_status();
+  }  // drain flushes the access log
+  std::ifstream in(log_path);
+  std::string line;
+  bool saw_scan = false, saw_status = false;
+  while (std::getline(in, line)) {
+    mini_json::Value record = mini_json::parse(line);
+    EXPECT_EQ(1.0, record.at("schema_version").number);
+    EXPECT_FALSE(record.at("trace_id").str.empty());
+    if (record.at("op").str == "scan") {
+      saw_scan = true;
+      EXPECT_EQ("logged-1", record.at("trace_id").str);
+      EXPECT_GE(record.at("batch_size").number, 1.0);
+      EXPECT_GT(record.at("infer_ms").number, 0.0);
+      EXPECT_EQ("fp32", record.at("precision").str);
+    }
+    if (record.at("op").str == "report-status") saw_status = true;
+  }
+  EXPECT_TRUE(saw_scan);
+  EXPECT_TRUE(saw_status);
+  fs::remove(log_path);
+}
+
+/// Tail-based slow tracing is data-plane only: with the threshold at 0
+/// every scan is "slow", but metrics scrapes, status probes, and the
+/// shutdown ack must not produce trace files — the CI obs-gate asserts
+/// exactly one file after exactly one scan.
+TEST(ServeTelemetry, SlowTraceCapturesDataPlaneOnly) {
+  namespace fs = std::filesystem;
+  auto& f = fixture();
+  serve::ServeOptions options = telemetry_options("slowtrace");
+  const fs::path trace_dir =
+      fs::temp_directory_path() /
+      ("sevuldet_slow_" + std::to_string(::getpid()));
+  fs::remove_all(trace_dir);
+  fs::create_directories(trace_dir);
+  options.slow_trace_ms = 0.0;
+  options.slow_trace_dir = trace_dir.string();
+  {
+    RunningServer running(std::move(options));
+    auto client = serve::Client::connect(running.server.options().socket_path);
+    ASSERT_TRUE(client.has_value());
+    serve::Request request;
+    request.op = serve::Op::Scan;
+    request.source = f.vulnerable_source;
+    request.trace_id = "slow-probe";
+    client->roundtrip(std::move(request));
+    client->metrics("json");       // control plane: no trace file
+    client->report_status();       // control plane: no trace file
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(trace_dir)) {
+    files.push_back(entry.path());
+  }
+  ASSERT_EQ(1u, files.size()) << "exactly one slow trace for one scan";
+  std::ifstream in(files[0]);
+  std::ostringstream body;
+  body << in.rdbuf();
+  EXPECT_NE(std::string::npos, body.str().find("\"slow-probe\""));
+  EXPECT_NE(std::string::npos, body.str().find("traceEvents"));
+  fs::remove_all(trace_dir);
+}
+
+/// Telemetry must not perturb results: scans through a telemetry-on
+/// daemon stay byte-identical to in-process detect().
+TEST(ServeTelemetry, ScanStaysByteIdenticalWithTelemetryOn) {
+  auto& f = fixture();
+  RunningServer running(telemetry_options("teleident"));
+  auto client = serve::Client::connect(running.server.options().socket_path);
+  ASSERT_TRUE(client.has_value());
+  const std::string expected =
+      serve::findings_to_json(f.detector.detect(f.vulnerable_source));
+  EXPECT_EQ(expected, serve::findings_to_json(client->scan(
+                          f.vulnerable_source, 10, false, -1.0, 60000,
+                          "ident-check")));
+}
+
 TEST(ServeDaemon, RejectsOversizedRequestFrame) {
   RunningServer running(test_options("oversize"));
   auto stream =

@@ -62,7 +62,7 @@ Two subcommands:
       $GITHUB_STEP_SUMMARY).
 
   validate FILE [--require-spans a,b,c] [--spans-manifest FILE]
-           [--spans-key spans]
+           [--spans-key spans] [--counters-key K] [--gauges-key K]
       Check that FILE is a schema-valid metrics snapshot and that each
       required span has a "span.<name>" histogram with count > 0. The
       span list comes from --require-spans (comma-separated, ad-hoc
@@ -72,7 +72,11 @@ Two subcommands:
       means updating the manifest instead of a workflow command line).
       --spans-key selects which array of the manifest to require
       (default "spans"; the serve-gate job uses "serve_spans" against
-      the daemon's own metrics snapshot).
+      the daemon's own metrics snapshot). --counters-key / --gauges-key
+      name additional manifest arrays whose entries must be present in
+      the snapshot's "counters" / "gauges" sections (the obs-gate job
+      uses telemetry_counters/telemetry_gauges to pin the resource
+      snapshotter's output to the manifest).
 
 Benchmarks present on only one side are reported but never fail the
 gate, so adding a benchmark does not require touching the baseline in
@@ -264,18 +268,23 @@ def cmd_compare(args):
     return 0
 
 
+def manifest_array(path, key):
+    """Read a string array named `key` from the manifest at `path`."""
+    manifest = load(path)
+    listed = manifest.get(key)
+    if not isinstance(listed, list) or not all(
+            isinstance(s, str) for s in listed):
+        raise SystemExit(f"FAIL: {path}: {key!r} must be a string array")
+    return listed
+
+
 def required_spans(args):
     """Union of --require-spans and the --spans-manifest file, in order."""
     spans = [s for s in (args.require_spans or "").split(",") if s]
     if args.spans_manifest:
-        manifest = load(args.spans_manifest)
-        key = args.spans_key or "spans"
-        listed = manifest.get(key)
-        if not isinstance(listed, list) or not all(
-                isinstance(s, str) for s in listed):
-            raise SystemExit(
-                f"FAIL: {args.spans_manifest}: {key!r} must be a string array")
-        spans.extend(s for s in listed if s not in spans)
+        spans.extend(s for s in manifest_array(args.spans_manifest,
+                                               args.spans_key or "spans")
+                     if s not in spans)
     return spans
 
 
@@ -297,12 +306,39 @@ def cmd_validate(args):
             errors.append(f"span.{span} has count 0")
         elif not all(k in h for k in ("p50", "p95", "p99", "buckets")):
             errors.append(f"span.{span} missing percentile/bucket fields")
+    checked = []
+    if args.counters_key:
+        if not args.spans_manifest:
+            raise SystemExit("FAIL: --counters-key needs --spans-manifest")
+        counters = doc.get("counters", {})
+        for name in manifest_array(args.spans_manifest, args.counters_key):
+            if name not in counters:
+                errors.append(f"no counter {name!r}")
+            elif not isinstance(counters[name], (int, float)) \
+                    or counters[name] < 0:
+                errors.append(f"counter {name!r} is {counters[name]!r}, "
+                              "want a non-negative number")
+            else:
+                checked.append(name)
+    if args.gauges_key:
+        if not args.spans_manifest:
+            raise SystemExit("FAIL: --gauges-key needs --spans-manifest")
+        gauges = doc.get("gauges", {})
+        for name in manifest_array(args.spans_manifest, args.gauges_key):
+            if name not in gauges:
+                errors.append(f"no gauge {name!r}")
+            elif not isinstance(gauges[name], (int, float)):
+                errors.append(f"gauge {name!r} is {gauges[name]!r}, "
+                              "want a number")
+            else:
+                checked.append(name)
     if errors:
         for e in errors:
             print(f"FAIL: {args.file}: {e}", file=sys.stderr)
         return 1
     print(f"{args.file}: valid metrics snapshot"
-          + (f", spans ok ({','.join(spans)})" if spans else ""))
+          + (f", spans ok ({','.join(spans)})" if spans else "")
+          + (f", metrics ok ({','.join(checked)})" if checked else ""))
     return 0
 
 
@@ -325,6 +361,10 @@ def main():
                           help="JSON file with arrays of required span names")
     validate.add_argument("--spans-key", default="spans",
                           help="which manifest array to require (default: spans)")
+    validate.add_argument("--counters-key", default="",
+                          help="manifest array of counters that must be present")
+    validate.add_argument("--gauges-key", default="",
+                          help="manifest array of gauges that must be present")
     validate.set_defaults(func=cmd_validate)
     args = parser.parse_args()
     return args.func(args)
